@@ -1,0 +1,191 @@
+(* The paracrash command-line tool: run one of the paper's test
+   programs against a simulated HPC I/O stack and report the
+   crash-consistency bugs found, like the original framework's
+   `paracrash.py -c <config> <preamble> <test>` entry point. *)
+
+module D = Paracrash_core.Driver
+module R = Paracrash_core.Report
+module Model = Paracrash_core.Model
+module P = Paracrash_pfs
+module W = Paracrash_workloads
+module Registry = W.Registry
+
+open Cmdliner
+
+let fs_arg =
+  let names = List.map (fun e -> e.Registry.fs_name) Registry.file_systems in
+  let doc =
+    Printf.sprintf "Parallel file system to test: %s." (String.concat ", " names)
+  in
+  Arg.(value & opt string "beegfs" & info [ "f"; "fs" ] ~docv:"FS" ~doc)
+
+let program_arg =
+  let doc =
+    Printf.sprintf "Test program: %s, or 'all'."
+      (String.concat ", " Registry.workload_names)
+  in
+  Arg.(value & opt string "ARVR" & info [ "p"; "program" ] ~docv:"PROGRAM" ~doc)
+
+let mode_arg =
+  let doc = "Exploration mode: brute-force, pruning or optimized (§5.3)." in
+  Arg.(value & opt string "optimized" & info [ "m"; "mode" ] ~docv:"MODE" ~doc)
+
+let k_arg =
+  let doc = "Maximum victims per crash state (Algorithm 1)." in
+  Arg.(value & opt int 1 & info [ "k" ] ~docv:"K" ~doc)
+
+let pfs_model_arg =
+  let doc = "Crash-consistency model the PFS layer is tested against." in
+  Arg.(value & opt string "causal" & info [ "pfs-model" ] ~docv:"MODEL" ~doc)
+
+let lib_model_arg =
+  let doc = "Crash-consistency model the I/O library is tested against." in
+  Arg.(value & opt string "baseline" & info [ "lib-model" ] ~docv:"MODEL" ~doc)
+
+let servers_arg =
+  let doc = "Number of metadata and storage servers (split evenly)." in
+  Arg.(value & opt int 4 & info [ "n"; "servers" ] ~docv:"N" ~doc)
+
+let stripe_arg =
+  let doc = "Stripe size in bytes." in
+  Arg.(value & opt int (128 * 1024) & info [ "stripe" ] ~docv:"BYTES" ~doc)
+
+let show_trace_arg =
+  let doc = "Print the recorded cross-layer trace (Figures 2/9 style)." in
+  Arg.(value & flag & info [ "t"; "trace" ] ~doc)
+
+let json_arg =
+  let doc = "Emit the report as JSON." in
+  Arg.(value & flag & info [ "j"; "json" ] ~doc)
+
+let config_file_arg =
+  let doc =
+    "Read defaults from a configuration file (key = value; see \
+     lib/workloads/runconfig.mli). Explicit flags override it."
+  in
+  Arg.(value & opt (some string) None & info [ "c"; "config" ] ~docv:"FILE" ~doc)
+
+let output_arg =
+  let doc = "Also write the crash-consistency report(s) to this file." in
+  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+
+let explicit flag = List.exists (fun a -> List.mem a (Array.to_list Sys.argv)) flag
+
+let run config_file fs_name program mode_s k pfs_model_s lib_model_s servers
+    stripe show_trace json output =
+  let fail fmt = Fmt.kstr (fun m -> `Error (false, m)) fmt in
+  let base =
+    match config_file with
+    | None -> Ok W.Runconfig.default
+    | Some path -> W.Runconfig.load path
+  in
+  match base with
+  | Error m -> fail "configuration file: %s" m
+  | Ok base -> (
+      (* explicit command-line flags override the configuration file *)
+      let fs_name = if explicit [ "-f"; "--fs" ] then fs_name else base.W.Runconfig.fs in
+      let program =
+        if explicit [ "-p"; "--program" ] then program else base.W.Runconfig.program
+      in
+      let mode_s =
+        if explicit [ "-m"; "--mode" ] then mode_s
+        else D.mode_to_string base.W.Runconfig.options.D.mode
+      in
+      let k = if explicit [ "--k"; "-k" ] then k else base.W.Runconfig.options.D.k in
+      let pfs_model_s =
+        if explicit [ "--pfs-model" ] then pfs_model_s
+        else Model.to_string base.W.Runconfig.options.D.pfs_model
+      in
+      let lib_model_s =
+        if explicit [ "--lib-model" ] then lib_model_s
+        else Model.to_string base.W.Runconfig.options.D.lib_model
+      in
+      let base_config = base.W.Runconfig.config in
+      match Registry.find_fs fs_name with
+      | None -> fail "unknown file system %S" fs_name
+      | Some fs -> (
+          match D.mode_of_string mode_s with
+          | None -> fail "unknown mode %S" mode_s
+          | Some mode -> (
+              match (Model.of_string pfs_model_s, Model.of_string lib_model_s) with
+              | None, _ -> fail "unknown model %S" pfs_model_s
+              | _, None -> fail "unknown model %S" lib_model_s
+              | Some pfs_model, Some lib_model ->
+                  let programs =
+                    if program = "all" then Registry.workload_names else [ program ]
+                  in
+                  let missing =
+                    List.filter (fun p -> Registry.find_workload p = None) programs
+                  in
+                  if missing <> [] then fail "unknown program %S" (List.hd missing)
+                  else begin
+                    let config =
+                      if explicit [ "-n"; "--servers" ] || explicit [ "--stripe" ]
+                      then
+                        {
+                          base_config with
+                          P.Config.n_meta = max 1 (servers / 2);
+                          n_storage = max 1 (servers - (servers / 2));
+                          stripe_size = stripe;
+                        }
+                      else base_config
+                    in
+                    let options =
+                      { D.default_options with mode; k; pfs_model; lib_model }
+                    in
+                    let out = Buffer.create 256 in
+                    List.iter
+                      (fun pname ->
+                        let spec = Option.get (Registry.find_workload pname) in
+                        let report, session =
+                          D.run ~options ~config ~make_fs:fs.Registry.make spec
+                        in
+                        let rendered =
+                          if json then R.to_json report
+                          else Fmt.str "%a@." R.pp report
+                        in
+                        print_string rendered;
+                        Buffer.add_string out rendered;
+                        Buffer.add_char out '\n';
+                        if show_trace then
+                          Fmt.pr "@.--- trace ---@.%a@."
+                            Paracrash_trace.Tracer.pp
+                            session.Paracrash_core.Session.tracer;
+                        Fmt.pr "@.")
+                      programs;
+                    (match output with
+                    | Some path ->
+                        Out_channel.with_open_text path (fun oc ->
+                            Out_channel.output_string oc (Buffer.contents out))
+                    | None -> ());
+                    `Ok ()
+                  end)))
+
+let cmd =
+  let doc =
+    "test the crash consistency of a simulated HPC I/O stack (ParaCrash)"
+  in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Runs one of the paper's test programs against a simulated parallel \
+         file system (with HDF5/NetCDF and MPI-IO above it for the library \
+         programs), explores the possible crash states, recovers each one \
+         and reports the crash-consistency bugs, attributed to the PFS or \
+         the I/O library.";
+      `S Manpage.s_examples;
+      `P "paracrash -f beegfs -p ARVR -m brute-force -t";
+      `P "paracrash -f lustre -p H5-create";
+      `P "paracrash -f gpfs -p all";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "paracrash" ~version:"1.0" ~doc ~man)
+    Term.(
+      ret
+        (const run $ config_file_arg $ fs_arg $ program_arg $ mode_arg $ k_arg
+       $ pfs_model_arg $ lib_model_arg $ servers_arg $ stripe_arg
+       $ show_trace_arg $ json_arg $ output_arg))
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/fsync_fix.ml: Fmt List Paracrash_core Paracrash_pfs

@@ -1,0 +1,1 @@
+examples/fsync_fix.mli:

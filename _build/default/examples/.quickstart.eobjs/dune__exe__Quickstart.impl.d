@@ -1,0 +1,1 @@
+examples/quickstart.ml: Fmt Paracrash_core Paracrash_pfs

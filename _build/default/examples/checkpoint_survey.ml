@@ -1,0 +1,36 @@
+(* Survey: which parallel file systems recover the checkpointing
+   pattern (atomic replace via rename) cleanly after a crash?
+
+   This reproduces the paper's motivation (§2.3 and Figure 2): the same
+   four-operation program leaves recoverable state on some stacks and
+   loses data on others, depending on how each PFS orders persistence
+   across its servers.
+
+     dune exec examples/checkpoint_survey.exe *)
+
+module Driver = Paracrash_core.Driver
+module Report = Paracrash_core.Report
+module Registry = Paracrash_workloads.Registry
+
+let () =
+  Fmt.pr "ARVR (atomic replace via rename) across the simulated stacks:@.@.";
+  Fmt.pr "%-12s %-8s %-10s %s@." "fs" "bugs" "states" "verdict";
+  List.iter
+    (fun (fs : Registry.fs_entry) ->
+      let report, _ =
+        Driver.run ~config:Paracrash_pfs.Config.default ~make_fs:fs.make
+          Paracrash_workloads.Posix.arvr
+      in
+      let n = List.length report.Report.bugs in
+      Fmt.pr "%-12s %-8d %-10d %s@." fs.fs_name n report.Report.perf.n_checked
+        (if n = 0 then "crash safe"
+         else "NOT crash safe: checkpoint can be lost");
+      List.iter
+        (fun b -> Fmt.pr "             - %s@." b.Report.description)
+        report.Report.bugs)
+    Registry.file_systems;
+  Fmt.pr
+    "@.BeeGFS and OrangeFS reorder the temporary file's data against the \
+     metadata rename across servers; GPFS tears the rename transaction; \
+     GlusterFS, Lustre and local ext4 recover it cleanly (Table 3 rows \
+     1-3).@."

@@ -1,0 +1,65 @@
+(* Can the application protect itself with fsync?
+
+   The paper notes (§2.3) that developers can enforce ordering with
+   fsync at a significant performance cost. This example measures how
+   far that actually goes on the simulated BeeGFS: an fsync between
+   writing and renaming the temporary file removes the crash states
+   where the rename outruns the data — but the PFS's *internal* update
+   ordering (its size attribute vs. the chunk data, its dentry rename
+   vs. the old chunk's unlink) stays broken, because no application-
+   level call orders another process's metadata against storage. PFS
+   bugs need PFS fixes; that is the point of cross-layer attribution.
+
+     dune exec examples/fsync_fix.exe *)
+
+module D = Paracrash_core.Driver
+module R = Paracrash_core.Report
+module Op = Paracrash_pfs.Pfs_op
+
+let x = Paracrash_pfs.Handle.exec
+
+let arvr ~fsync =
+  {
+    D.name = (if fsync then "ARVR-with-fsync" else "ARVR");
+    preamble =
+      (fun h ->
+        x h (Op.Creat { path = "/foo" });
+        x h (Op.Append { path = "/foo"; data = "old checkpoint" }));
+    test =
+      (fun h ->
+        x h (Op.Creat { path = "/tmp" });
+        x h (Op.Append { path = "/tmp"; data = "new checkpoint" });
+        if fsync then x h (Op.Fsync { path = "/tmp" });
+        x h (Op.Rename { src = "/tmp"; dst = "/foo" }));
+    lib = None;
+  }
+
+let () =
+  let run fsync =
+    fst
+      (D.run
+         ~options:{ D.default_options with mode = D.Brute_force }
+         ~config:Paracrash_pfs.Config.default
+         ~make_fs:(fun ~config ~tracer ->
+           Paracrash_pfs.Beegfs.create ~config ~tracer)
+         (arvr ~fsync))
+  in
+  let plain = run false in
+  let synced = run true in
+  let states r = r.R.n_inconsistent in
+  Fmt.pr "ARVR on BeeGFS without fsync: %d inconsistent crash states, %d root causes@."
+    (states plain)
+    (List.length plain.R.bugs);
+  Fmt.pr "ARVR on BeeGFS with fsync(tmp) before the rename: %d inconsistent states, %d root causes@.@."
+    (states synced)
+    (List.length synced.R.bugs);
+  Fmt.pr
+    "The fsync closes the window where the metadata rename persists before \
+     the temporary file's data (%d states disappear), but the file system's \
+     internal reorderings survive it:@.@."
+    (states plain - states synced);
+  List.iter (fun b -> Fmt.pr "  - %a@." R.pp_bug b) synced.R.bugs;
+  Fmt.pr
+    "@.Only the PFS can order its own metadata against its storage servers \
+     — which is why ParaCrash attributes these bugs to the file system, not \
+     the application (§4.4.3).@."

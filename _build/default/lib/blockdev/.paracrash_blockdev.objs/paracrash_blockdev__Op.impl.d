@@ -1,0 +1,1 @@
+lib/blockdev/op.ml: Fmt String

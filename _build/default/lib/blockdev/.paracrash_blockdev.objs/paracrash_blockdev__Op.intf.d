@@ -1,0 +1,1 @@
+lib/blockdev/op.mli: Format

@@ -1,0 +1,1 @@
+lib/blockdev/state.ml: Buffer Fmt Int List Map Op Paracrash_util Printf String

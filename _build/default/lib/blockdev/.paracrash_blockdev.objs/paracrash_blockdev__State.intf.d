@@ -1,0 +1,1 @@
+lib/blockdev/state.mli: Format Op

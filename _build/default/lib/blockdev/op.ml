@@ -1,0 +1,14 @@
+type t =
+  | Scsi_write of { lba : int; data : string; what : string }
+  | Scsi_sync
+
+let is_sync = function Scsi_sync -> true | Scsi_write _ -> false
+let lba = function Scsi_write { lba; _ } -> Some lba | Scsi_sync -> None
+let what = function Scsi_write { what; _ } -> what | Scsi_sync -> "sync"
+
+let pp ppf = function
+  | Scsi_write { lba; data; what } ->
+      Fmt.pf ppf "scsi_write(LBA:%d, %dB, %s)" lba (String.length data) what
+  | Scsi_sync -> Fmt.pf ppf "scsi_sync()"
+
+let to_string op = Fmt.str "%a" pp op

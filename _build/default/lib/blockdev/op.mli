@@ -1,0 +1,22 @@
+(** Block-level I/O commands.
+
+    These are the lowermost-level operations traced for kernel-level
+    parallel file systems (GPFS, Lustre), the analogue of the SCSI
+    commands ParaCrash captures through iSCSI. Each write carries a
+    semantic tag ([what]) describing the on-disk structure it updates
+    (log record, inode, directory block, file content), which powers
+    bug classification and state-space pruning. *)
+
+type t =
+  | Scsi_write of { lba : int; data : string; what : string }
+      (** Overwrite the block at [lba]. [what] is a semantic tag such as
+          ["log file"] or ["inode of /foo"]. *)
+  | Scsi_sync
+      (** Cache-synchronize barrier: writes issued before it persist
+          before writes issued after it (on the same device). *)
+
+val is_sync : t -> bool
+val lba : t -> int option
+val what : t -> string
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,32 @@
+module IMap = Map.Make (Int)
+
+type t = string IMap.t
+
+let empty = IMap.empty
+
+let apply t = function
+  | Op.Scsi_write { lba; data; _ } -> IMap.add lba data t
+  | Op.Scsi_sync -> t
+
+let apply_all = List.fold_left apply
+let read t lba = IMap.find_opt lba t
+let mem t lba = IMap.mem lba t
+let bindings t = IMap.bindings t
+
+let canonical t =
+  let buf = Buffer.create 128 in
+  IMap.iter
+    (fun lba data ->
+      Buffer.add_string buf
+        (Printf.sprintf "%d:%d:%s\n" lba (String.length data)
+           (Paracrash_util.Digestutil.of_string data)))
+    t;
+  Buffer.contents buf
+
+let digest t = Paracrash_util.Digestutil.of_string (canonical t)
+let equal a b = IMap.equal String.equal a b
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>";
+  IMap.iter (fun lba data -> Fmt.pf ppf "LBA %d: %dB@," lba (String.length data)) t;
+  Fmt.pf ppf "@]"

@@ -1,0 +1,19 @@
+(** Immutable block-device image: a map from LBA to block payload.
+
+    Blocks are variable-size records (each on-disk structure of the
+    kernel-level PFS simulators occupies its own LBA), which keeps the
+    crash-reordering semantics — whole-block atomic writes — while
+    avoiding byte-level block packing. *)
+
+type t
+
+val empty : t
+val apply : t -> Op.t -> t
+val apply_all : t -> Op.t list -> t
+val read : t -> int -> string option
+val mem : t -> int -> bool
+val bindings : t -> (int * string) list
+val canonical : t -> string
+val digest : t -> string
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

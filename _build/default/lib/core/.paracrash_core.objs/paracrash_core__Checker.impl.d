@@ -1,0 +1,1 @@
+lib/core/checker.ml: Array Emulator Hashtbl List Model Paracrash_pfs Paracrash_util Session String

@@ -1,0 +1,1 @@
+lib/core/checker.mli: Model Paracrash_pfs Paracrash_util Session

@@ -1,0 +1,1 @@
+lib/core/classify.ml: Array Explore Fmt Int List Paracrash_blockdev Paracrash_trace Paracrash_util Paracrash_vfs Printf Session String

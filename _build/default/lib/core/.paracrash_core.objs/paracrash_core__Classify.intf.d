@@ -1,0 +1,1 @@
+lib/core/classify.mli: Explore Format Paracrash_util Session

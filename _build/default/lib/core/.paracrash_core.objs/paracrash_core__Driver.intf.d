@@ -1,0 +1,1 @@
+lib/core/driver.mli: Checker Model Paracrash_pfs Paracrash_trace Report Session

@@ -1,0 +1,1 @@
+lib/core/emulator.mli: Paracrash_pfs Paracrash_util Session

@@ -1,0 +1,1 @@
+lib/core/explore.ml: Array Hashtbl List Paracrash_util Session

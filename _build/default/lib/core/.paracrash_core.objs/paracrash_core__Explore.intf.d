@@ -1,0 +1,1 @@
+lib/core/explore.mli: Paracrash_util Session

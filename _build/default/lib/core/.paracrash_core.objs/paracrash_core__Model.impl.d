@@ -1,0 +1,1 @@
+lib/core/model.ml: Fmt Fun List Paracrash_util

@@ -1,0 +1,1 @@
+lib/core/persist.ml: Array List Paracrash_pfs Paracrash_trace Paracrash_util Paracrash_vfs Session String

@@ -1,0 +1,1 @@
+lib/core/prune.ml: Classify Explore List Paracrash_util

@@ -1,0 +1,1 @@
+lib/core/report.ml: Buffer Char Checker Classify Explore Fmt List Printf String

@@ -1,0 +1,1 @@
+lib/core/session.ml: Array List Paracrash_pfs Paracrash_trace Paracrash_util

@@ -1,0 +1,1 @@
+lib/core/session.mli: Paracrash_pfs Paracrash_trace Paracrash_util

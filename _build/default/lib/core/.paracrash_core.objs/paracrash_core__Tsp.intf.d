@@ -1,0 +1,1 @@
+lib/core/tsp.mli: Explore Paracrash_util Session

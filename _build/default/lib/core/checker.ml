@@ -1,0 +1,81 @@
+module Bitset = Paracrash_util.Bitset
+module Dag = Paracrash_util.Dag
+module Logical = Paracrash_pfs.Logical
+module Golden = Paracrash_pfs.Golden
+module Pfs_op = Paracrash_pfs.Pfs_op
+module Handle = Paracrash_pfs.Handle
+
+type lib_layer = {
+  lib_name : string;
+  view : Logical.t -> string;
+  view_after_recovery : Logical.t -> string option;
+  legal_views : string list;
+  expected_view : string;
+}
+
+type layer = Pfs_fault | Lib_fault
+type verdict = Consistent | Consistent_after_recovery | Inconsistent of layer
+
+let pfs_call_graph (s : Session.t) =
+  let ids = List.map fst s.pfs_calls in
+  let g, _ = Dag.restrict s.graph ids in
+  g
+
+let pfs_legal_states (s : Session.t) model =
+  let ops = Array.of_list (List.map snd s.pfs_calls) in
+  let graph = pfs_call_graph s in
+  let is_commit i = Pfs_op.is_commit ops.(i) in
+  (* an fsync covers the operations on the same file that happened
+     before it — never later ones, even on the same path *)
+  let covered_by i j =
+    is_commit j
+    && (i = j
+       || (Dag.happens_before graph i j
+          && String.equal (Pfs_op.path_of ops.(i)) (Pfs_op.path_of ops.(j))))
+  in
+  let sets = Model.preserved_sets model ~graph ~is_commit ~covered_by in
+  let base = Handle.mount s.handle s.initial in
+  let states = Hashtbl.create 32 in
+  let order = ref [] in
+  List.iter
+    (fun set ->
+      let ops_of_set =
+        List.filteri (fun i _ -> Bitset.mem set i) (Array.to_list ops)
+      in
+      let st = Golden.replay base ops_of_set in
+      let c = Logical.canonical st in
+      if not (Hashtbl.mem states c) then begin
+        Hashtbl.replace states c ();
+        order := c :: !order
+      end)
+    sets;
+  List.rev !order
+
+let recovered_view (s : Session.t) persisted =
+  let images, _anomalies = Emulator.reconstruct s persisted in
+  let images = Handle.fsck s.handle images in
+  Handle.mount s.handle images
+
+let check (s : Session.t) ~pfs_legal ?lib persisted =
+  let view = recovered_view s persisted in
+  let canon = Logical.canonical view in
+  let pfs_ok = List.exists (String.equal canon) pfs_legal in
+  match lib with
+  | None -> ((if pfs_ok then Consistent else Inconsistent Pfs_fault), view, None)
+  | Some lib ->
+      let lv = lib.view view in
+      if List.exists (String.equal lv) lib.legal_views then
+        (Consistent, view, Some lv)
+      else (
+        match lib.view_after_recovery view with
+        | Some lv' when List.exists (String.equal lv') lib.legal_views ->
+            (Consistent_after_recovery, view, Some lv')
+        | Some _ | None ->
+            ( Inconsistent (if pfs_ok then Lib_fault else Pfs_fault),
+              view,
+              Some lv ))
+
+let is_consistent s ~pfs_legal ?lib persisted =
+  match check s ~pfs_legal ?lib persisted with
+  | (Consistent | Consistent_after_recovery), _, _ -> true
+  | Inconsistent _, _, _ -> false

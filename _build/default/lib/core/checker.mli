@@ -1,0 +1,59 @@
+(** Consistency checking and cross-layer bug attribution (§4.4.3 and
+    Figure 6 of the paper).
+
+    Each recovered crash state is compared, top layer first, to the
+    legal states of that layer (golden replays of the preserved sets
+    its crash-consistency model allows). A state that matches no legal
+    state and that the layer's recovery tool cannot repair is
+    inconsistent; if the PFS view underneath is itself a legal causal
+    PFS state, the bug is attributed to the I/O library, otherwise to
+    the PFS. *)
+
+type lib_layer = {
+  lib_name : string;
+  view : Paracrash_pfs.Logical.t -> string;
+      (** canonical I/O-library-level state read from a recovered PFS
+          view (e.g. parse the .h5 file) *)
+  view_after_recovery : Paracrash_pfs.Logical.t -> string option;
+      (** the same after running the library's recovery tool
+          (h5clear); [None] if recovery is impossible *)
+  legal_views : string list;  (** canonical legal library states *)
+  expected_view : string;
+      (** golden replay of the full operation sequence (the no-crash
+          outcome), for consequence reporting *)
+}
+
+type layer = Pfs_fault | Lib_fault
+
+type verdict =
+  | Consistent
+  | Consistent_after_recovery
+  | Inconsistent of layer
+
+val pfs_call_graph : Session.t -> Paracrash_util.Dag.t
+(** Causality graph over the session's PFS-layer calls (indices into
+    [Session.pfs_calls]). *)
+
+val pfs_legal_states : Session.t -> Model.t -> string list
+(** Canonical forms of the legal PFS states: golden replays, over the
+    initial mounted view, of every preserved set the model allows. *)
+
+val check :
+  Session.t ->
+  pfs_legal:string list ->
+  ?lib:lib_layer ->
+  Paracrash_util.Bitset.t ->
+  verdict * Paracrash_pfs.Logical.t * string option
+(** Reconstruct, run the PFS recovery tool, mount, and judge one crash
+    state. Returns the verdict, the recovered PFS view and (when a
+    library layer is present) the recovered library-level view, for
+    reporting. *)
+
+val is_consistent :
+  Session.t ->
+  pfs_legal:string list ->
+  ?lib:lib_layer ->
+  Paracrash_util.Bitset.t ->
+  bool
+(** [check] folded to a boolean (recovered-consistent counts as
+    consistent), memoizable by the caller. *)

@@ -1,0 +1,151 @@
+module Bitset = Paracrash_util.Bitset
+module Dag = Paracrash_util.Dag
+module Event = Paracrash_trace.Event
+module Correlate = Paracrash_trace.Correlate
+
+type kind =
+  | Reorder of { first : int; second : int }
+  | Atomic of int list
+  | Unknown of int list
+
+let describe_op (s : Session.t) i =
+  let e = Session.storage_event s i in
+  let op_name =
+    match e.Event.payload with
+    | Event.Posix_op op -> (
+        match op with
+        | Paracrash_vfs.Op.Creat _ -> "creat"
+        | Mkdir _ -> "mkdir"
+        | Write _ -> "write"
+        | Append _ -> "append"
+        | Truncate _ -> "truncate"
+        | Rename _ -> "rename"
+        | Link _ -> "link"
+        | Unlink _ -> "unlink"
+        | Rmdir _ -> "rmdir"
+        | Setxattr _ -> "setxattr"
+        | Removexattr _ -> "removexattr"
+        | Fsync _ -> "fsync"
+        | Fdatasync _ -> "fdatasync")
+    | Event.Block_op op -> (
+        match op with
+        | Paracrash_blockdev.Op.Scsi_write _ -> "write"
+        | Scsi_sync -> "sync")
+    | Event.Call { name; _ } -> name
+    | Event.Send _ -> "sendto"
+    | Event.Recv _ -> "recvfrom"
+  in
+  let what = if e.tag <> "" then e.tag else Event.describe e in
+  Printf.sprintf "%s(%s)@%s" op_name what e.proc
+
+(* Table 1 probes, relative to the failing state's own context [base]
+   (in which [a] is dropped and [b] persisted): toggling only [a] and
+   [b] while every other operation keeps its crash-state fate isolates
+   the pair's contribution. The state with both persisted must pass and
+   the state with [b] also dropped must not fail because of [a]'s
+   absence:
+   - reordering (a must persist before b): only the observed
+     combination fails;
+   - atomicity: both mixed combinations fail, both aligned ones pass. *)
+let owner_call (s : Session.t) i =
+  let id = s.storage_events.(i) in
+  match Correlate.owner_at s.tracer Event.Lib id with
+  | Some c -> Some c
+  | None -> Correlate.owner_at s.tracer Event.Pfs id
+
+let classify (s : Session.t) ~storage_graph ~check (st : Explore.state) =
+  let n = Session.n_storage_ops s in
+  let base = st.persisted in
+  (* unpersisted operations include both chosen victims (with their
+     dependents) and everything past the crash cut *)
+  let dropped = Bitset.elements (Bitset.diff (Bitset.full n) st.persisted) in
+  let persisted = Bitset.elements st.persisted in
+  let candidate_pairs =
+    List.concat_map
+      (fun a ->
+        List.filter_map
+          (fun b ->
+            if Dag.happens_before storage_graph a b then Some (`Fwd, a, b)
+            else if Dag.happens_before storage_graph b a then Some (`Bwd, a, b)
+            else None)
+          persisted)
+      dropped
+  in
+  (* Try every candidate pair; prefer a reordering explanation (the
+     sharpest pattern of Table 1) over a pairwise atomicity one. *)
+  let reorder = ref None and atomic_pair = ref None in
+  let examine (dir, a, b) =
+    if !reorder = None then begin
+      let s01 = base in
+      let s11 = Bitset.add base a in
+      let s10 = Bitset.remove s11 b in
+      let s00 = Bitset.remove base b in
+      match (dir, check s00, check s01, check s10, check s11) with
+      | `Fwd, _, false, true, true -> reorder := Some (Reorder { first = a; second = b })
+      | (`Fwd | `Bwd), true, false, false, true ->
+          if !atomic_pair = None then atomic_pair := Some (Atomic [ a; b ])
+      | _ -> ()
+    end
+  in
+  List.iter examine candidate_pairs;
+  match (!reorder, !atomic_pair) with
+  | Some k, _ -> k
+  | None, Some k -> k
+  | None, None ->
+      (* group atomicity over the partially persisted high-level calls:
+         the smallest group whose all-or-nothing versions both pass *)
+      let owners_of ops =
+        List.filter_map (owner_call s) ops |> List.sort_uniq Int.compare
+      in
+      let dropped_owners = owners_of dropped in
+      let persisted_owners = owners_of persisted in
+      let partial =
+        List.filter (fun c -> List.mem c persisted_owners) dropped_owners
+      in
+      let group_of calls =
+        List.concat_map
+          (fun c ->
+            Correlate.storage_ops_of s.tracer c
+            |> List.filter_map (Session.index_of_event s))
+          calls
+        |> List.sort_uniq Int.compare
+      in
+      let probe_group group =
+        group <> []
+        && check (List.fold_left Bitset.remove base group)
+        && check (List.fold_left Bitset.add base group)
+      in
+      let candidates =
+        List.map (fun c -> group_of [ c ]) partial
+        @ [ group_of partial; group_of (List.sort_uniq Int.compare (dropped_owners @ persisted_owners)) ]
+      in
+      let rec first_group = function
+        | [] -> Unknown dropped
+        | g :: rest -> if probe_group g then Atomic g else first_group rest
+      in
+      first_group candidates
+
+let matches kind (st : Explore.state) =
+  let dropped i = not (Bitset.mem st.persisted i) in
+  match kind with
+  | Reorder { first; second } -> dropped first && Bitset.mem st.persisted second
+  | Atomic ops ->
+      List.exists (Bitset.mem st.persisted) ops && List.exists dropped ops
+  | Unknown ops -> ops <> [] && List.for_all dropped ops
+
+let key s = function
+  | Reorder { first; second } ->
+      "R|" ^ describe_op s first ^ "|" ^ describe_op s second
+  | Atomic ops ->
+      "A|" ^ String.concat "|" (List.sort String.compare (List.map (describe_op s) ops))
+  | Unknown ops ->
+      "U|" ^ String.concat "|" (List.sort String.compare (List.map (describe_op s) ops))
+
+let pp s ppf = function
+  | Reorder { first; second } ->
+      Fmt.pf ppf "%s -> %s" (describe_op s first) (describe_op s second)
+  | Atomic ops ->
+      Fmt.pf ppf "[%s]" (String.concat ", " (List.map (describe_op s) ops))
+  | Unknown ops ->
+      Fmt.pf ppf "unexplained, dropped: %s"
+        (String.concat ", " (List.map (describe_op s) ops))

@@ -1,0 +1,41 @@
+(** Bug classification (§5.2, Table 1 of the paper).
+
+    For an inconsistent crash state, probe candidate operation pairs
+    with the four persist / not-persist combinations of Table 1:
+    failing only when [first] is dropped while [second] persists is a
+    reordering violation ([first] must persist before [second]);
+    failing whenever exactly one of the two persists is an atomicity
+    violation. If no pair explains the state, fall back to the atomic
+    group formed by the high-level calls whose operations were
+    partially persisted. *)
+
+type kind =
+  | Reorder of { first : int; second : int }
+      (** storage-op indices: [first] should persist before [second] *)
+  | Atomic of int list  (** these operations must persist atomically *)
+  | Unknown of int list  (** dropped operations, no simpler explanation *)
+
+val classify :
+  Session.t ->
+  storage_graph:Paracrash_util.Dag.t ->
+  check:(Paracrash_util.Bitset.t -> bool) ->
+  Explore.state ->
+  kind
+(** [check] judges the consistency of an arbitrary persisted set (the
+    caller memoizes it). *)
+
+val describe_op : Session.t -> int -> string
+(** Table-3-style rendering of a storage op: [tag@server] (falling back
+    to the operation itself when untagged). *)
+
+val matches : kind -> Explore.state -> bool
+(** Does the crash state exhibit this root cause's scenario (the
+    required-first operation dropped while the required-second
+    persisted; an atomic group partially persisted)? Used to attribute
+    further states to an already-classified cause without re-probing. *)
+
+val key : Session.t -> kind -> string
+(** Deduplication key: two inconsistent states with equal keys have the
+    same root cause. *)
+
+val pp : Session.t -> Format.formatter -> kind -> unit

@@ -1,0 +1,296 @@
+module Bitset = Paracrash_util.Bitset
+module Tracer = Paracrash_trace.Tracer
+module Event = Paracrash_trace.Event
+module Handle = Paracrash_pfs.Handle
+module Logical = Paracrash_pfs.Logical
+
+type mode = Brute_force | Pruned | Optimized
+
+let mode_to_string = function
+  | Brute_force -> "brute-force"
+  | Pruned -> "pruning"
+  | Optimized -> "optimized"
+
+let mode_of_string = function
+  | "brute-force" | "brute" -> Some Brute_force
+  | "pruning" | "pruned" -> Some Pruned
+  | "optimized" -> Some Optimized
+  | _ -> None
+
+type options = {
+  k : int;
+  mode : mode;
+  pfs_model : Model.t;
+  lib_model : Model.t;
+  max_cuts : int;
+  classify : bool;
+}
+
+let default_options =
+  {
+    k = 1;
+    mode = Optimized;
+    pfs_model = Model.Causal;
+    lib_model = Model.Baseline;
+    max_cuts = 100_000;
+    classify = true;
+  }
+
+type spec = {
+  name : string;
+  preamble : Handle.t -> unit;
+  test : Handle.t -> unit;
+  lib : (model:Model.t -> Session.t -> Checker.lib_layer) option;
+}
+
+(* Human-readable difference between the expected final view and a
+   recovered one, used as the bug's "consequence" column. *)
+let consequence ~expected view =
+  let missing = ref [] and wrong = ref [] and unreadable = ref [] and extra = ref [] in
+  List.iter
+    (fun (p, e) ->
+      match (e, Logical.find view p) with
+      | _, None -> missing := p :: !missing
+      | Logical.File _, Some (Logical.File (Logical.Unreadable _)) ->
+          unreadable := p :: !unreadable
+      | Logical.File (Logical.Data d), Some (Logical.File (Logical.Data d')) ->
+          if not (String.equal d d') then wrong := p :: !wrong
+      | Logical.Dir, Some Logical.Dir -> ()
+      | _, Some _ -> wrong := p :: !wrong)
+    (Logical.bindings expected);
+  List.iter
+    (fun (p, _) -> if Logical.find expected p = None then extra := p :: !extra)
+    (Logical.bindings view);
+  let part name = function
+    | [] -> []
+    | ps -> [ name ^ " " ^ String.concat "," (List.rev ps) ]
+  in
+  let notes =
+    match Logical.notes view with [] -> [] | ns -> [ String.concat "; " ns ]
+  in
+  let all =
+    part "data loss/mismatch:" !wrong
+    @ part "missing:" !missing
+    @ part "unreadable:" !unreadable
+    @ part "spurious:" !extra
+    @ notes
+  in
+  match all with [] -> "recovered state diverges" | _ -> String.concat "; " all
+
+let run ?(options = default_options) ~config ~make_fs spec =
+  let tracer = Tracer.create () in
+  let handle = make_fs ~config ~tracer in
+  Tracer.set_enabled tracer false;
+  spec.preamble handle;
+  let initial = Handle.snapshot handle in
+  Tracer.set_enabled tracer true;
+  spec.test handle;
+  Tracer.set_enabled tracer false;
+  let session = Session.of_run ~handle ~initial in
+  let t0 = Unix.gettimeofday () in
+  let persist = Persist.build session in
+  let storage_graph = Explore.storage_graph session in
+  let states, gen =
+    Explore.generate ~k:options.k ~max_cuts:options.max_cuts session ~persist
+  in
+  let states =
+    match options.mode with
+    | Optimized -> Tsp.order session states
+    | Brute_force | Pruned -> states
+  in
+  let pfs_legal = Checker.pfs_legal_states session options.pfs_model in
+  let lib =
+    Option.map (fun f -> f ~model:options.lib_model session) spec.lib
+  in
+  (* memoize only the verdict and the (small) library view: caching the
+     recovered Logical views would pin every crash state's full file
+     contents in memory *)
+  let memo = Hashtbl.create 512 in
+  let check_state persisted =
+    let key = Bitset.to_string persisted in
+    match Hashtbl.find_opt memo key with
+    | Some (v, lv) -> (v, None, lv)
+    | None ->
+        let v, view, lv = Checker.check session ~pfs_legal ?lib persisted in
+        Hashtbl.replace memo key (v, lv);
+        (v, Some view, lv)
+  in
+  let bool_check persisted =
+    match check_state persisted with
+    | (Checker.Consistent | Checker.Consistent_after_recovery), _, _ -> true
+    | Checker.Inconsistent _, _, _ -> false
+  in
+  let raw_data i =
+    let e = Session.storage_event session i in
+    let tag = e.Event.tag in
+    let contains_sub hay needle =
+      let nh = String.length hay and nn = String.length needle in
+      let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+      nn > 0 && go 0
+    in
+    contains_sub tag "raw data"
+  in
+  let prune = Prune.create ~raw_data in
+  let semantic = lib <> None in
+  (* root causes already classified, with their bug-table keys: further
+     states exhibiting the same scenario are attributed without
+     re-probing *)
+  let explained : (Classify.kind * string) list ref = ref [] in
+  let expected = Handle.mount handle session.Session.final in
+  let bugs : (string, Report.bug) Hashtbl.t = Hashtbl.create 16 in
+  let bug_order = ref [] in
+  let n_checked = ref 0 in
+  let n_pruned = ref 0 in
+  let n_inconsistent = ref 0 in
+  let restarts = ref 0 in
+  let last_sig = ref None in
+  let n_servers = List.length (Handle.servers handle) in
+  List.iter
+    (fun (st : Explore.state) ->
+      if
+        options.mode <> Brute_force
+        && Prune.should_skip prune ~semantic st
+      then incr n_pruned
+      else begin
+        incr n_checked;
+        (match options.mode with
+        | Optimized ->
+            let sg = Tsp.server_signature session st.persisted in
+            (match !last_sig with
+            | None -> restarts := !restarts + n_servers
+            | Some prev ->
+                restarts :=
+                  !restarts
+                  + List.fold_left2
+                      (fun acc a b -> if String.equal a b then acc else acc + 1)
+                      0 prev sg);
+            last_sig := Some sg
+        | Brute_force | Pruned -> restarts := !restarts + n_servers);
+        let verdict, view_opt, lib_view = check_state st.persisted in
+        match verdict with
+        | Checker.Consistent | Checker.Consistent_after_recovery -> ()
+        | Checker.Inconsistent layer ->
+            incr n_inconsistent;
+            if options.classify then begin
+              let layer_suffix =
+                match layer with
+                | Checker.Pfs_fault -> "pfs"
+                | Checker.Lib_fault -> "lib"
+              in
+              let known =
+                List.find_opt
+                  (fun (kind, k) ->
+                    Classify.matches kind st
+                    && String.length k > String.length layer_suffix
+                    && String.sub k
+                         (String.length k - String.length layer_suffix)
+                         (String.length layer_suffix)
+                       = layer_suffix)
+                  !explained
+              in
+              let kind, key =
+                match known with
+                | Some (kind, key) -> (kind, key)
+                | None ->
+                    let kind =
+                      Classify.classify session ~storage_graph ~check:bool_check st
+                    in
+                    let key = Classify.key session kind ^ "|" ^ layer_suffix in
+                    explained := (kind, key) :: !explained;
+                    (kind, key)
+              in
+              if options.mode <> Brute_force then Prune.learn prune kind;
+              match Hashtbl.find_opt bugs key with
+              | Some b -> Hashtbl.replace bugs key { b with states = b.states + 1 }
+              | None ->
+                  let view =
+                    match view_opt with
+                    | Some v -> v
+                    | None ->
+                        let _, v, _ =
+                          Checker.check session ~pfs_legal ?lib st.persisted
+                        in
+                        v
+                  in
+                  let conseq =
+                    match (layer, lib_view, lib) with
+                    | Checker.Lib_fault, Some lv, Some l ->
+                        let corrupt_lines =
+                          String.split_on_char '\n' lv
+                          |> List.filter (fun line ->
+                                 let rec has i =
+                                   i + 7 <= String.length line
+                                   && (String.sub line i 7 = "CORRUPT" || has (i + 1))
+                                 in
+                                 has 0)
+                        in
+                        if corrupt_lines <> [] then String.concat "; " corrupt_lines
+                        else begin
+                          (* a structurally clean library state that is
+                             nonetheless illegal: report lost/spurious
+                             objects against the no-crash outcome *)
+                          let lines v =
+                            String.split_on_char '\n' v
+                            |> List.filter (fun x -> x <> "")
+                          in
+                          let exp_lines = lines l.Checker.expected_view in
+                          let got_lines = lines lv in
+                          let lost =
+                            List.filter (fun x -> not (List.mem x got_lines)) exp_lines
+                          in
+                          let spurious =
+                            List.filter (fun x -> not (List.mem x exp_lines)) got_lines
+                          in
+                          let part name = function
+                            | [] -> []
+                            | xs -> [ name ^ " " ^ String.concat ", " xs ]
+                          in
+                          match part "object lost:" lost @ part "stale object:" spurious with
+                          | [] -> consequence ~expected view
+                          | parts -> String.concat "; " parts
+                        end
+                    | _ -> consequence ~expected view
+                  in
+                  Hashtbl.replace bugs key
+                    {
+                      Report.kind;
+                      layer;
+                      description = Fmt.str "%a" (Classify.pp session) kind;
+                      consequence = conseq;
+                      states = 1;
+                    };
+                  bug_order := key :: !bug_order
+            end
+      end)
+    states;
+  let wall = Unix.gettimeofday () -. t0 in
+  let fs = Handle.fs_name handle in
+  let bug_list =
+    List.rev_map (fun k -> Hashtbl.find bugs k) !bug_order
+  in
+  let lib_bugs =
+    List.length (List.filter (fun b -> b.Report.layer = Checker.Lib_fault) bug_list)
+  in
+  let pfs_bugs = List.length bug_list - lib_bugs in
+  let report =
+    {
+      Report.workload = spec.name;
+      fs;
+      mode = mode_to_string options.mode;
+      gen;
+      n_inconsistent = !n_inconsistent;
+      bugs = bug_list;
+      lib_bugs;
+      pfs_bugs;
+      perf =
+        {
+          Report.wall_seconds = wall;
+          modeled_seconds =
+            Stats.modeled_seconds ~fs ~n_states:!n_checked ~restarts:!restarts;
+          restarts = !restarts;
+          n_checked = !n_checked;
+          n_pruned = !n_pruned;
+        };
+    }
+  in
+  (report, session)

@@ -1,0 +1,43 @@
+(** End-to-end ParaCrash test driver (Figure 6 of the paper).
+
+    Runs the preamble program untraced to build the initial storage
+    state, traces the test program, generates crash states, recovers
+    and checks each one, classifies and deduplicates the inconsistent
+    ones, and produces a report. *)
+
+type mode = Brute_force | Pruned | Optimized
+
+val mode_to_string : mode -> string
+val mode_of_string : string -> mode option
+
+type options = {
+  k : int;  (** max victims per crash state (Algorithm 1) *)
+  mode : mode;
+  pfs_model : Model.t;  (** model the PFS layer is tested against *)
+  lib_model : Model.t;  (** model the I/O library is tested against *)
+  max_cuts : int;
+  classify : bool;  (** classify and deduplicate inconsistent states *)
+}
+
+val default_options : options
+(** k = 1, optimized exploration, causal PFS model, baseline library
+    model. *)
+
+type spec = {
+  name : string;
+  preamble : Paracrash_pfs.Handle.t -> unit;
+  test : Paracrash_pfs.Handle.t -> unit;
+  lib :
+    (model:Model.t -> Session.t -> Checker.lib_layer) option;
+      (** present for I/O-library (HDF5/NetCDF) programs *)
+}
+
+val run :
+  ?options:options ->
+  config:Paracrash_pfs.Config.t ->
+  make_fs:
+    (config:Paracrash_pfs.Config.t ->
+    tracer:Paracrash_trace.Tracer.t ->
+    Paracrash_pfs.Handle.t) ->
+  spec ->
+  Report.t * Session.t

@@ -1,0 +1,27 @@
+module Bitset = Paracrash_util.Bitset
+module Event = Paracrash_trace.Event
+
+let reconstruct (s : Session.t) persisted =
+  let images = ref s.initial in
+  let anomalies = ref [] in
+  Array.iteri
+    (fun i _ ->
+      if Bitset.mem persisted i then
+        let e = Session.storage_event s i in
+        match e.Event.payload with
+        | Event.Posix_op op -> (
+            let imgs, err = Paracrash_pfs.Images.apply_posix !images e.proc op in
+            images := imgs;
+            match err with
+            | None -> ()
+            | Some msg ->
+                anomalies :=
+                  Printf.sprintf "%s: %s: %s" e.proc
+                    (Paracrash_vfs.Op.to_string op)
+                    msg
+                  :: !anomalies)
+        | Event.Block_op op ->
+            images := Paracrash_pfs.Images.apply_block !images e.proc op
+        | Event.Call _ | Event.Send _ | Event.Recv _ -> ())
+    s.storage_events;
+  (!images, List.rev !anomalies)

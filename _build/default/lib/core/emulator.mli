@@ -1,0 +1,10 @@
+(** Crash-state reconstruction: replay the persisted subset of traced
+    storage operations onto the initial server images. *)
+
+val reconstruct :
+  Session.t -> Paracrash_util.Bitset.t -> Paracrash_pfs.Images.t * string list
+(** [reconstruct s persisted] applies, in trace order, exactly the
+    storage operations whose indices are in [persisted]. Returns the
+    resulting images and the replay anomalies (operations that could
+    not apply because a dropped victim removed their preconditions —
+    these model garbage left behind by partial persistence). *)

@@ -1,0 +1,43 @@
+module Bitset = Paracrash_util.Bitset
+module Dag = Paracrash_util.Dag
+module Combi = Paracrash_util.Combi
+
+type state = { persisted : Bitset.t; cut : Bitset.t; victims : int list }
+type stats = { n_cuts : int; n_candidates : int; n_unique : int }
+
+let storage_graph (s : Session.t) =
+  let keep = Array.to_list s.storage_events in
+  let g, _mapping = Dag.restrict s.graph keep in
+  g
+
+let generate ?(k = 1) ?(max_cuts = 100_000) (s : Session.t) ~persist =
+  let g = storage_graph s in
+  let cuts = Dag.downsets ~limit:max_cuts g in
+  let n_cuts = List.length cuts in
+  let seen = Hashtbl.create 256 in
+  let states_rev = ref [] in
+  let n_candidates = ref 0 in
+  let consider cut victims =
+    incr n_candidates;
+    let unpersisted =
+      List.fold_left
+        (fun acc v ->
+          Bitset.add (Bitset.union acc (Bitset.inter (Dag.descendants persist v) cut)) v)
+        (Bitset.create (Bitset.capacity cut))
+        victims
+    in
+    let persisted = Bitset.diff cut unpersisted in
+    let key = Bitset.to_string persisted in
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.replace seen key ();
+      states_rev := { persisted; cut; victims } :: !states_rev
+    end
+  in
+  List.iter
+    (fun cut ->
+      let members = Bitset.elements cut in
+      let combos = Combi.combinations_upto members k in
+      List.iter (fun victims -> consider cut victims) combos)
+    cuts;
+  let states = List.rev !states_rev in
+  (states, { n_cuts; n_candidates = !n_candidates; n_unique = List.length states })

@@ -1,0 +1,34 @@
+(** Crash-state generation (Algorithm 1 of the paper).
+
+    Normal states are the consistent cuts of the causality graph
+    restricted to the lowermost-level storage operations. A crash state
+    is obtained from a cut by choosing up to [k] victim operations that
+    fail to persist; each victim drags along every operation that must
+    persist after it (its descendants in the persistence DAG). *)
+
+type state = {
+  persisted : Paracrash_util.Bitset.t;
+      (** storage-op indices that reached persistent storage *)
+  cut : Paracrash_util.Bitset.t;  (** the consistent cut this state came from *)
+  victims : int list;  (** chosen victim indices *)
+}
+
+type stats = {
+  n_cuts : int;  (** consistent cuts explored *)
+  n_candidates : int;  (** states before deduplication *)
+  n_unique : int;
+}
+
+val storage_graph : Session.t -> Paracrash_util.Dag.t
+(** The causality graph projected onto storage-op indices. *)
+
+val generate :
+  ?k:int ->
+  ?max_cuts:int ->
+  Session.t ->
+  persist:Paracrash_util.Dag.t ->
+  state list * stats
+(** All distinct crash states, deduplicated on the persisted set, in
+    deterministic order. [k] defaults to 1 (the paper's setting;
+    increasing it did not expose new bugs). [max_cuts] caps cut
+    enumeration for very wide graphs (default 100_000). *)

@@ -1,0 +1,61 @@
+module Bitset = Paracrash_util.Bitset
+module Dag = Paracrash_util.Dag
+
+type t = Strict | Commit | Causal | Baseline
+
+let all = [ Strict; Commit; Causal; Baseline ]
+
+let to_string = function
+  | Strict -> "strict"
+  | Commit -> "commit"
+  | Causal -> "causal"
+  | Baseline -> "baseline"
+
+let of_string = function
+  | "strict" -> Some Strict
+  | "commit" -> Some Commit
+  | "causal" -> Some Causal
+  | "baseline" -> Some Baseline
+  | _ -> None
+
+let pp ppf m = Fmt.string ppf (to_string m)
+
+(* A commit operation pins the operations it covers, but only in
+   preserved sets where the commit provably completed before the crash:
+   either the commit itself is preserved, or some preserved operation
+   happens after it (so the crash point is causally past the commit).
+   For a preserved set without such evidence, the crash may have
+   predated the commit — an equally legal schedule — and nothing is
+   pinned (§4.4.2). *)
+let commit_respected ~graph ~is_commit ~covered_by s =
+  let n = Dag.size graph in
+  let happened j =
+    Bitset.mem s j
+    || List.exists
+         (fun i -> Bitset.mem s i && Dag.happens_before graph j i)
+         (List.init n Fun.id)
+  in
+  List.for_all
+    (fun j ->
+      (not (is_commit j))
+      || (not (happened j))
+      || List.for_all
+           (fun i -> (not (covered_by i j)) || Bitset.mem s i)
+           (List.init n Fun.id))
+    (List.init n Fun.id)
+
+let all_subsets ~n =
+  if n > 20 then invalid_arg "Model.preserved_sets: too many layer operations";
+  Paracrash_util.Combi.subsets (List.init n Fun.id)
+  |> List.map (Bitset.of_list n)
+
+let preserved_sets m ~graph ~is_commit ~covered_by =
+  let n = Dag.size graph in
+  match m with
+  | Strict -> [ Bitset.full n ]
+  | Commit ->
+      all_subsets ~n |> List.filter (commit_respected ~graph ~is_commit ~covered_by)
+  | Causal ->
+      Dag.downsets graph
+      |> List.filter (commit_respected ~graph ~is_commit ~covered_by)
+  | Baseline -> all_subsets ~n

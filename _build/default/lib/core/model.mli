@@ -1,0 +1,48 @@
+(** Crash-consistency models (§4.4 of the paper).
+
+    A model defines the legal preserved sets: which subsets of the
+    operations issued at a layer before the crash may constitute the
+    recovered state. Replaying each preserved set through the layer's
+    golden semantics yields the legal states. *)
+
+type t =
+  | Strict
+      (** everything issued before the crash is preserved, and nothing
+          else *)
+  | Commit
+      (** operations persisted by a commit (fsync) are preserved;
+          everything else may or may not be *)
+  | Causal
+      (** commit-consistent, and the preserved set is closed under
+          happens-before *)
+  | Baseline
+      (** only updates to files already closed when the crash happened
+          are guaranteed; any subset of the remaining operations is
+          legal *)
+
+val all : t list
+val to_string : t -> string
+val of_string : string -> t option
+val pp : Format.formatter -> t -> unit
+
+val preserved_sets :
+  t ->
+  graph:Paracrash_util.Dag.t ->
+  is_commit:(int -> bool) ->
+  covered_by:(int -> int -> bool) ->
+  Paracrash_util.Bitset.t list
+(** [preserved_sets m ~graph ~is_commit ~covered_by] enumerates the
+    legal preserved sets over the operation indices [0 .. size-1] of
+    [graph] (the layer-level causality graph). [is_commit i] marks
+    commit operations; [covered_by i j] says commit [j] persists
+    operation [i] (e.g. same file, or any prior operation under data
+    journaling).
+
+    A commit pins the operations it covers only in preserved sets that
+    show the commit completed before the crash — the commit itself is
+    preserved, or some preserved operation happens after it. Otherwise
+    the crash may have predated the commit under a different legal
+    schedule, and nothing is pinned.
+
+    Raises [Invalid_argument] for the subset-based models when the
+    operation count exceeds 20. *)

@@ -1,0 +1,77 @@
+module Dag = Paracrash_util.Dag
+module Event = Paracrash_trace.Event
+module Tracer = Paracrash_trace.Tracer
+module Journal = Paracrash_vfs.Journal
+
+let is_block (e : Event.t) =
+  match e.payload with Event.Block_op _ -> true | _ -> false
+
+let shares_file (a : Event.t) (b : Event.t) =
+  List.exists (fun f -> List.mem f (Event.files b)) (Event.files a)
+
+let build (s : Session.t) =
+  let handle = s.handle in
+  let graph = s.graph in
+  let tracer = s.tracer in
+  let n = Array.length s.storage_events in
+  let ev i = Tracer.event tracer s.storage_events.(i) in
+  let hb_ev a b = Dag.happens_before graph a b in
+  (* all sync events (they are excluded from storage_events) *)
+  let syncs =
+    Array.to_list (Tracer.events tracer)
+    |> List.filter (fun (e : Event.t) -> Event.is_sync e)
+  in
+  let mode_of proc = Paracrash_pfs.Handle.mode_of handle proc in
+  (* does a commit event [c] cover operation [a]? *)
+  let covers (c : Event.t) (a : Event.t) =
+    String.equal c.proc a.proc
+    &&
+    match c.payload with
+    | Event.Block_op _ -> true (* device-wide barrier *)
+    | Event.Posix_op _ -> (
+        match mode_of a.proc with
+        | Some Journal.Data ->
+            true (* journal commit flushes everything prior *)
+        | Some (Journal.Ordered | Journal.Writeback | Journal.Nobarrier) | None
+          -> (
+            match Event.sync_file c with
+            | Some f -> List.mem f (Event.files a)
+            | None -> true))
+    | Event.Call _ | Event.Send _ | Event.Recv _ -> false
+  in
+  let commit_between (a : Event.t) (b : Event.t) =
+    List.exists
+      (fun (c : Event.t) -> covers c a && hb_ev a.id c.id && hb_ev c.id b.id)
+      syncs
+  in
+  let same_server_ordered (a : Event.t) (b : Event.t) =
+    if is_block a || is_block b then
+      (* raw device: barrier-ordered only *)
+      commit_between a b
+    else
+      match mode_of a.proc with
+      | Some Journal.Data -> true
+      | Some Journal.Writeback ->
+          (Event.is_posix_metadata a && Event.is_posix_metadata b)
+          || commit_between a b
+      | Some Journal.Ordered ->
+          (Event.is_posix_metadata a && Event.is_posix_metadata b)
+          || ((not (Event.is_posix_metadata a))
+             && Event.is_posix_metadata b && shares_file a b)
+          || commit_between a b
+      | Some Journal.Nobarrier | None -> commit_between a b
+  in
+  let persists_before i j =
+    let a = ev i and b = ev j in
+    hb_ev a.id b.id
+    &&
+    if String.equal a.proc b.proc then same_server_ordered a b
+    else commit_between a b
+  in
+  let builder = Dag.Builder.create n in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j && persists_before i j then Dag.Builder.add_edge builder i j
+    done
+  done;
+  Dag.Builder.freeze builder

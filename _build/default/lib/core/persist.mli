@@ -1,0 +1,26 @@
+(** The persists-before relation (Algorithm 2 of the paper).
+
+    Given the causality graph of a traced run, computes for each pair
+    of lowermost-level storage operations whether the first is
+    guaranteed to reach persistent storage no later than the second:
+
+    - on the same server with a data-journaling local FS, persistence
+      follows execution (happens-before) order;
+    - with writeback journaling, only metadata operations are mutually
+      ordered; with ordered journaling, additionally a file's data
+      persists before later metadata on the same file;
+    - with no barriers, nothing is ordered;
+    - on a raw block device, two writes are ordered only across an
+      intervening [scsi_sync];
+    - across servers, only a commit operation (fsync / fdatasync /
+      scsi_sync) that covers the first operation and happens before the
+      second one orders them. With data journaling, an fsync commits
+      the server's whole journal, hence every prior operation of that
+      server; otherwise it covers only operations on the synced file.
+
+    The result is the "persistence DAG" over storage-op indices; a
+    victim operation drags all its persistence descendants with it when
+    dropped (the [depends_on] closure of Algorithm 1). *)
+
+val build : Session.t -> Paracrash_util.Dag.t
+(** Nodes are indices into [Session.storage_events]. *)

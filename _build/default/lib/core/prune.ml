@@ -1,0 +1,34 @@
+module Bitset = Paracrash_util.Bitset
+
+type t = {
+  raw_data : int -> bool;
+  mutable reorders : (int * int) list;
+  mutable atomics : int list list;
+}
+
+let create ~raw_data = { raw_data; reorders = []; atomics = [] }
+
+let learn t = function
+  | Classify.Reorder { first; second } ->
+      if not (List.mem (first, second) t.reorders) then
+        t.reorders <- (first, second) :: t.reorders
+  | Classify.Atomic ops ->
+      (* Only small atomic groups are safe pruning scenarios: a group
+         covering a whole high-level call would prune every partial
+         persistence of that call and mask unrelated root causes. *)
+      if List.length ops <= 3 && not (List.mem ops t.atomics) then
+        t.atomics <- ops :: t.atomics
+  | Classify.Unknown _ -> ()
+
+let known_count t = List.length t.reorders + List.length t.atomics
+
+let should_skip t ~semantic (st : Explore.state) =
+  let dropped = Bitset.diff st.cut st.persisted in
+  let matches_reorder (a, b) = Bitset.mem dropped a && Bitset.mem st.persisted b in
+  let matches_atomic ops =
+    List.exists (Bitset.mem st.persisted) ops
+    && List.exists (Bitset.mem dropped) ops
+  in
+  List.exists matches_reorder t.reorders
+  || List.exists matches_atomic t.atomics
+  || semantic && st.victims <> [] && List.for_all t.raw_data st.victims

@@ -1,0 +1,25 @@
+(** Crash-state pruning (§5.3 of the paper).
+
+    Two mechanisms, both sound with respect to bug discovery:
+
+    - scenario pruning: once a reordering or atomicity root cause has
+      been identified, crash states exhibiting the same scenario (the
+      same operation dropped while its required successor persisted; a
+      partially persisted atomic group) are skipped;
+    - semantic pruning: states whose only victims are raw-data writes
+      of I/O-library datasets are skipped, since reordering pure data
+      chunks cannot produce metadata inconsistencies (§5.3). *)
+
+type t
+
+val create : raw_data:(int -> bool) -> t
+(** [raw_data i] says storage op [i] is a pure dataset-payload write
+    (driven by event tags). *)
+
+val learn : t -> Classify.kind -> unit
+
+val should_skip : t -> semantic:bool -> Explore.state -> bool
+(** [semantic] enables the semantic rule (used by the optimized mode
+    and the pruning mode for I/O-library programs). *)
+
+val known_count : t -> int

@@ -1,0 +1,98 @@
+type bug = {
+  kind : Classify.kind;
+  layer : Checker.layer;
+  description : string;
+  consequence : string;
+  states : int;
+}
+
+type perf = {
+  wall_seconds : float;
+  modeled_seconds : float;
+  restarts : int;
+  n_checked : int;
+  n_pruned : int;
+}
+
+type t = {
+  workload : string;
+  fs : string;
+  mode : string;
+  gen : Explore.stats;
+  n_inconsistent : int;
+  bugs : bug list;
+  lib_bugs : int;
+  pfs_bugs : int;
+  perf : perf;
+}
+
+let layer_name = function
+  | Checker.Pfs_fault -> "PFS"
+  | Checker.Lib_fault -> "I/O library"
+
+let pp_bug ppf b =
+  Fmt.pf ppf "@[<v2>[%s] %s@,consequence: %s (%d state%s)@]" (layer_name b.layer)
+    b.description b.consequence b.states
+    (if b.states = 1 then "" else "s")
+
+let pp ppf t =
+  Fmt.pf ppf
+    "@[<v>%s on %s (%s mode): %d cuts, %d candidate states, %d unique, %d \
+     checked, %d pruned, %d inconsistent@,%d bug(s): %d PFS, %d I/O library@,"
+    t.workload t.fs t.mode t.gen.Explore.n_cuts t.gen.Explore.n_candidates
+    t.gen.Explore.n_unique t.perf.n_checked t.perf.n_pruned t.n_inconsistent
+    (List.length t.bugs) t.pfs_bugs t.lib_bugs;
+  List.iter (fun b -> Fmt.pf ppf "%a@," pp_bug b) t.bugs;
+  Fmt.pf ppf "wall %.3fs, modeled %.1fs, %d restarts@]" t.perf.wall_seconds
+    t.perf.modeled_seconds t.perf.restarts
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 32 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json t =
+  let buf = Buffer.create 512 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "{\n";
+  add "  \"workload\": \"%s\",\n" (json_escape t.workload);
+  add "  \"fs\": \"%s\",\n" (json_escape t.fs);
+  add "  \"mode\": \"%s\",\n" (json_escape t.mode);
+  add "  \"states\": { \"cuts\": %d, \"candidates\": %d, \"unique\": %d, \"checked\": %d, \"pruned\": %d },\n"
+    t.gen.Explore.n_cuts t.gen.Explore.n_candidates t.gen.Explore.n_unique
+    t.perf.n_checked t.perf.n_pruned;
+  add "  \"inconsistent\": %d,\n" t.n_inconsistent;
+  add "  \"pfs_bugs\": %d,\n" t.pfs_bugs;
+  add "  \"lib_bugs\": %d,\n" t.lib_bugs;
+  add "  \"perf\": { \"wall_seconds\": %.6f, \"modeled_seconds\": %.3f, \"restarts\": %d },\n"
+    t.perf.wall_seconds t.perf.modeled_seconds t.perf.restarts;
+  add "  \"bugs\": [\n";
+  List.iteri
+    (fun i b ->
+      add "    { \"layer\": \"%s\", \"kind\": \"%s\", \"description\": \"%s\", \"consequence\": \"%s\", \"states\": %d }%s\n"
+        (json_escape (layer_name b.layer))
+        (match b.kind with
+        | Classify.Reorder _ -> "reordering"
+        | Classify.Atomic _ -> "atomicity"
+        | Classify.Unknown _ -> "unexplained")
+        (json_escape b.description)
+        (json_escape b.consequence)
+        b.states
+        (if i = List.length t.bugs - 1 then "" else ","))
+    t.bugs;
+  add "  ]\n}\n";
+  Buffer.contents buf
+
+let summary_line t =
+  Fmt.str "%-18s %-10s %-10s states=%-5d inconsistent=%-4d bugs=%d (pfs=%d lib=%d)"
+    t.workload t.fs t.mode t.perf.n_checked t.n_inconsistent (List.length t.bugs)
+    t.pfs_bugs t.lib_bugs

@@ -1,0 +1,39 @@
+(** Test outcome records: discovered bugs and exploration statistics. *)
+
+type bug = {
+  kind : Classify.kind;
+  layer : Checker.layer;
+  description : string;  (** Table-3-style rendering of the root cause *)
+  consequence : string;  (** what the recovered state looks like *)
+  states : int;  (** inconsistent crash states sharing this cause *)
+}
+
+type perf = {
+  wall_seconds : float;  (** measured wall-clock exploration time *)
+  modeled_seconds : float;
+      (** wall time plus the modeled cost of PFS restarts and replays
+          on a real deployment (see {!Stats}); preserves the shape of
+          the paper's Figures 10 and 11 *)
+  restarts : int;  (** server restarts performed *)
+  n_checked : int;  (** crash states actually reconstructed *)
+  n_pruned : int;  (** crash states skipped by pruning *)
+}
+
+type t = {
+  workload : string;
+  fs : string;
+  mode : string;
+  gen : Explore.stats;
+  n_inconsistent : int;  (** inconsistent states among checked ones *)
+  bugs : bug list;  (** deduplicated root causes *)
+  lib_bugs : int;  (** bugs attributed to the I/O library *)
+  pfs_bugs : int;
+  perf : perf;
+}
+
+val pp_bug : Format.formatter -> bug -> unit
+val pp : Format.formatter -> t -> unit
+val summary_line : t -> string
+
+val to_json : t -> string
+(** Machine-readable rendering of the full report. *)

@@ -1,0 +1,44 @@
+module Tracer = Paracrash_trace.Tracer
+module Event = Paracrash_trace.Event
+
+type t = {
+  handle : Paracrash_pfs.Handle.t;
+  tracer : Tracer.t;
+  initial : Paracrash_pfs.Images.t;
+  final : Paracrash_pfs.Images.t;
+  graph : Paracrash_util.Dag.t;
+  storage_events : int array;
+  pfs_calls : (int * Paracrash_pfs.Pfs_op.t) list;
+}
+
+let of_run ~handle ~initial =
+  let tracer = Paracrash_pfs.Handle.tracer handle in
+  let evs = Tracer.events tracer in
+  let storage_events =
+    Array.to_list evs
+    |> List.filter_map (fun (e : Event.t) ->
+           if Event.is_storage_op e && not (Event.is_sync e) then Some e.id
+           else None)
+    |> Array.of_list
+  in
+  {
+    handle;
+    tracer;
+    initial;
+    final = Paracrash_pfs.Handle.snapshot handle;
+    graph = Tracer.graph tracer;
+    storage_events;
+    pfs_calls = Paracrash_pfs.Handle.oplog handle;
+  }
+
+let storage_event t i = Tracer.event t.tracer t.storage_events.(i)
+let n_storage_ops t = Array.length t.storage_events
+
+let index_of_event t id =
+  let n = Array.length t.storage_events in
+  let rec go i =
+    if i >= n then None
+    else if t.storage_events.(i) = id then Some i
+    else go (i + 1)
+  in
+  go 0

@@ -1,0 +1,31 @@
+(** A traced execution of a test program against a live stack: the
+    input to crash emulation and consistency checking. *)
+
+type t = {
+  handle : Paracrash_pfs.Handle.t;
+  tracer : Paracrash_trace.Tracer.t;
+  initial : Paracrash_pfs.Images.t;
+      (** server images at the start of the traced test (after the
+          preamble program ran and fully persisted) *)
+  final : Paracrash_pfs.Images.t;  (** live images at the end of the test *)
+  graph : Paracrash_util.Dag.t;  (** full causality graph over all events *)
+  storage_events : int array;
+      (** event ids of state-mutating lowermost-level operations, in
+          trace order; crash states are subsets of these *)
+  pfs_calls : (int * Paracrash_pfs.Pfs_op.t) list;
+      (** PFS-layer call events for golden replay *)
+}
+
+val of_run :
+  handle:Paracrash_pfs.Handle.t -> initial:Paracrash_pfs.Images.t -> t
+(** Build the session after the test program has executed: derives the
+    causality graph, the storage-op index and the PFS op log from the
+    handle's tracer. *)
+
+val storage_event : t -> int -> Paracrash_trace.Event.t
+(** [storage_event s i] is the event behind storage index [i]. *)
+
+val n_storage_ops : t -> int
+
+val index_of_event : t -> int -> int option
+(** Inverse of [storage_events]. *)

@@ -1,0 +1,16 @@
+(** Modeled exploration cost.
+
+    In-memory crash-state reconstruction takes microseconds; on the
+    paper's real deployments it is dominated by PFS server restarts
+    (up to 7.8 s to restart BeeGFS) and trace replays. To reproduce the
+    shape of Figures 10 and 11 we charge each reconstructed state a
+    replay cost and each server restart a per-file-system cost
+    calibrated against the paper's reported times. *)
+
+val restart_unit : string -> float
+(** Seconds per server restart for a named file system. *)
+
+val replay_unit : float
+(** Seconds per crash-state replay + comparison. *)
+
+val modeled_seconds : fs:string -> n_states:int -> restarts:int -> float

@@ -1,0 +1,75 @@
+module Bitset = Paracrash_util.Bitset
+module Event = Paracrash_trace.Event
+
+let servers (s : Session.t) = Paracrash_pfs.Handle.servers s.handle
+
+let server_signature (s : Session.t) persisted =
+  let sigs = Hashtbl.create 8 in
+  Array.iteri
+    (fun i _ ->
+      if Bitset.mem persisted i then begin
+        let e = Session.storage_event s i in
+        let cur = try Hashtbl.find sigs e.Event.proc with Not_found -> [] in
+        Hashtbl.replace sigs e.proc (i :: cur)
+      end)
+    s.storage_events;
+  List.map
+    (fun srv ->
+      let ops = try Hashtbl.find sigs srv with Not_found -> [] in
+      String.concat "," (List.rev_map string_of_int ops))
+    (servers s)
+
+let sig_distance sa sb =
+  List.fold_left2
+    (fun acc x y -> if String.equal x y then acc else acc + 1)
+    0 sa sb
+
+let distance s a b = sig_distance (server_signature s a) (server_signature s b)
+
+let order (s : Session.t) states =
+  match states with
+  | [] | [ _ ] -> states
+  | _ ->
+      let arr = Array.of_list states in
+      let n = Array.length arr in
+      let sigs =
+        Array.map (fun st -> server_signature s st.Explore.persisted) arr
+      in
+      let used = Array.make n false in
+      used.(0) <- true;
+      let path = ref [ arr.(0) ] in
+      let cur = ref 0 in
+      for _step = 1 to n - 1 do
+        let best = ref (-1) and best_d = ref max_int in
+        for j = 0 to n - 1 do
+          if not used.(j) then begin
+            let d = sig_distance sigs.(!cur) sigs.(j) in
+            if d < !best_d then begin
+              best := j;
+              best_d := d
+            end
+          end
+        done;
+        used.(!best) <- true;
+        path := arr.(!best) :: !path;
+        cur := !best
+      done;
+      List.rev !path
+
+let restarts (s : Session.t) states =
+  let n_servers = List.length (servers s) in
+  match states with
+  | [] -> 0
+  | first :: rest ->
+      let sig0 = server_signature s first.Explore.persisted in
+      let _, total =
+        List.fold_left
+          (fun (prev_sig, acc) st ->
+            let sg = server_signature s st.Explore.persisted in
+            (sg, acc + sig_distance prev_sig sg))
+          (sig0, n_servers) rest
+      in
+      total
+
+let full_restarts (s : Session.t) n_states =
+  n_states * List.length (servers s)

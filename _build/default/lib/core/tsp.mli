@@ -1,0 +1,25 @@
+(** Incremental crash-state reconstruction ordering (§5.3).
+
+    Moving from one crash state to the next requires restarting only
+    the servers whose image differs. A greedy traveling-salesman pass
+    over the states — distance = number of servers in different states
+    — minimizes the total number of server restarts, like the paper's
+    greedy TSP solver. *)
+
+val server_signature : Session.t -> Paracrash_util.Bitset.t -> string list
+(** Per-server digests of the persisted-op subsets; two states need no
+    restart of a server iff its digest matches. *)
+
+val distance : Session.t -> Paracrash_util.Bitset.t -> Paracrash_util.Bitset.t -> int
+
+val order : Session.t -> Explore.state list -> Explore.state list
+(** Greedy nearest-neighbour visit order, starting from the first
+    state. *)
+
+val restarts : Session.t -> Explore.state list -> int
+(** Total server restarts needed to visit the states in the given
+    order, counting a full boot for the first state. *)
+
+val full_restarts : Session.t -> int -> int
+(** Restarts of the non-incremental strategy: every state reboots every
+    server. *)

@@ -1,0 +1,1 @@
+lib/hdf5/clear.ml: Bytes Layout String

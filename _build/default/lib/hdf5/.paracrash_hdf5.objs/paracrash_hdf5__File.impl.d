@@ -1,0 +1,1 @@
+lib/hdf5/file.ml: Golden H5op Int Layout List Option Paracrash_mpiio Paracrash_pfs Paracrash_trace Printf String

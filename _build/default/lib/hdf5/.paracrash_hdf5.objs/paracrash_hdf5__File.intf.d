@@ -1,0 +1,1 @@
+lib/hdf5/file.mli: Golden H5op Paracrash_mpiio

@@ -1,0 +1,1 @@
+lib/hdf5/golden.ml: Buffer Char H5op List Map Paracrash_util Printf String

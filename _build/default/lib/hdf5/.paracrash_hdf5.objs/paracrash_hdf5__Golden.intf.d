@@ -1,0 +1,1 @@
+lib/hdf5/golden.mli: H5op

@@ -1,0 +1,1 @@
+lib/hdf5/h5op.ml: Fmt Printf

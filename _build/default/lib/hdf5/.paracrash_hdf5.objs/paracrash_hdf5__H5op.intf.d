@@ -1,0 +1,1 @@
+lib/hdf5/h5op.mli: Format

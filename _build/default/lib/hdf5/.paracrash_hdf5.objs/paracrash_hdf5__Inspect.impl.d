@@ -1,0 +1,1 @@
+lib/hdf5/inspect.ml: Buffer File List Option Paracrash_mpiio Paracrash_pfs Printf

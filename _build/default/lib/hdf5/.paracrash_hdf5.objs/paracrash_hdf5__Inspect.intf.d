@@ -1,0 +1,1 @@
+lib/hdf5/inspect.mli: File

@@ -1,0 +1,1 @@
+lib/hdf5/layer.ml: Array Clear File Golden Hashtbl List Option Paracrash_core Paracrash_pfs Paracrash_util Printf Read

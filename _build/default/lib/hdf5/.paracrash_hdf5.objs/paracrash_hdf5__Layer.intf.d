@@ -1,0 +1,1 @@
+lib/hdf5/layer.mli: File Paracrash_core

@@ -1,0 +1,1 @@
+lib/hdf5/layout.ml: Bytes List Option Printf Result String

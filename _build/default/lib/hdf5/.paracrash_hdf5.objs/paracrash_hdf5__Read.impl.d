@@ -1,0 +1,1 @@
+lib/hdf5/read.ml: Buffer Bytes Layout List Paracrash_util Printf Result String

@@ -1,0 +1,1 @@
+lib/hdf5/read.mli:

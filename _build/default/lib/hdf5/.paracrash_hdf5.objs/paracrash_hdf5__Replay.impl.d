@@ -1,0 +1,1 @@
+lib/hdf5/replay.ml: Buffer File Golden H5op List Printf

@@ -1,0 +1,1 @@
+lib/hdf5/replay.mli: File H5op Paracrash_mpiio

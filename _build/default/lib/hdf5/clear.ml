@@ -1,0 +1,19 @@
+let apply bytes =
+  if String.length bytes < Layout.superblock_size then None
+  else
+    match
+      Layout.parse_superblock (String.sub bytes 0 Layout.superblock_size)
+    with
+    | Error _ -> None
+    | Ok sb ->
+        let sb' =
+          {
+            sb with
+            Layout.flags = 0;
+            eof = max sb.Layout.eof (String.length bytes);
+          }
+        in
+        let rendered = Layout.render_superblock sb' in
+        let b = Bytes.of_string bytes in
+        Bytes.blit_string rendered 0 b 0 (String.length rendered);
+        Some (Bytes.to_string b)

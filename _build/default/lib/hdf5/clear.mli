@@ -1,0 +1,12 @@
+(** The h5clear recovery tool.
+
+    h5clear repairs only superblock-level damage: it clears the status
+    flags and, with the size-fixing option, advances the recorded
+    end-of-file address to the actual file size — which rescues crash
+    states whose new allocations persisted before the superblock update
+    (the "h5clear options" sensitivity of Table 3 row 13). It cannot
+    repair structural damage inside groups or B-trees. *)
+
+val apply : string -> string option
+(** [apply bytes] returns the repaired file, or [None] when even the
+    superblock is unreadable. *)

@@ -1,0 +1,449 @@
+module Mpiio = Paracrash_mpiio.Mpiio
+module Handle = Paracrash_pfs.Handle
+module Config = Paracrash_pfs.Config
+module Tracer = Paracrash_trace.Tracer
+module Event = Paracrash_trace.Event
+
+let chunk_bytes = 256 * 1024
+
+type dset = {
+  mutable d_rows : int;
+  mutable d_cols : int;
+  created_rows : int;
+  created_cols : int;
+  d_ohdr : int;
+  d_data : int;
+  d_dlen : int;
+  mutable d_btree : int;  (* chunk B-tree root address; 0 = contiguous *)
+  mutable d_child : int;
+  mutable d_root_kids : (int * int) list;
+  mutable d_child_kids : (int * int) list;
+  mutable d_sbser : int;
+}
+
+type grp = {
+  g_name : string;  (* "" for the root group *)
+  g_ohdr : int;
+  g_heap_addr : int;
+  g_btree_addr : int;
+  g_snod_addr : int;
+  mutable g_heap : Layout.heap;
+  mutable g_nkeys : int;
+  mutable g_snod : Layout.snod;
+  mutable g_name_offs : (string * int) list;
+  mutable g_dsets : (string * dset) list;
+}
+
+type t = {
+  mctx : Mpiio.ctx;
+  fpath : string;
+  mutable eof : int;
+  mutable serial : int;
+  mutable root : grp option;  (* set during [create] *)
+  mutable grps : (string * grp) list;
+  mutable oplog_rev : (int * H5op.t) list;
+  mutable golden_cur : Golden.state;
+  mutable golden_init : Golden.state;
+}
+
+let path t = t.fpath
+let ctx t = t.mctx
+let oplog t = List.rev t.oplog_rev
+let golden_initial t = t.golden_init
+let golden_final t = t.golden_cur
+let tracer t = Handle.tracer (Mpiio.handle t.mctx)
+let root_exn t = match t.root with Some g -> g | None -> assert false
+
+let stripe_geometry t =
+  let cfg = Handle.config (Mpiio.handle t.mctx) in
+  (cfg.Config.stripe_size, cfg.Config.n_storage)
+
+let alloc t n =
+  let a = t.eof in
+  t.eof <- a + n;
+  a
+
+(* Allocate on a stripe that no file-system rotation maps to the same
+   server as [apart]'s stripe: any stripe s with
+   s <> stripe(apart) (mod n_servers) works, since every simulated PFS
+   places stripe s of a file at (start + s) mod n_servers. *)
+let alloc_new_stripe t ~apart n =
+  let stripe_size, n_servers = stripe_geometry t in
+  if n_servers <= 1 then alloc t n
+  else begin
+    let apart_stripe = apart / stripe_size in
+    let s = ref ((t.eof + stripe_size - 1) / stripe_size) in
+    while (!s - apart_stripe) mod n_servers = 0 do
+      incr s
+    done;
+    t.eof <- !s * stripe_size;
+    alloc t n
+  end
+
+(* Allocate on a stripe that every rotation maps to the same server as
+   [like]'s stripe. *)
+let alloc_same_stripe t ~like n =
+  let stripe_size, n_servers = stripe_geometry t in
+  if n_servers <= 1 then alloc t n
+  else begin
+    let like_stripe = like / stripe_size in
+    let cur = t.eof / stripe_size in
+    if (cur - like_stripe) mod n_servers <> 0 || t.eof mod stripe_size + n > stripe_size
+    then begin
+      let s = ref ((t.eof + stripe_size - 1) / stripe_size) in
+      while (!s - like_stripe) mod n_servers <> 0 do
+        incr s
+      done;
+      t.eof <- !s * stripe_size
+    end;
+    alloc t n
+  end
+
+let w t ~rank ~what addr bytes =
+  Mpiio.write_at t.mctx ~rank t.fpath ~off:addr ~what bytes
+
+let write_sb t ~rank =
+  w t ~rank ~what:"superblock" 0
+    (Layout.render_superblock
+       { eof = t.eof; root = (root_exn t).g_ohdr; serial = t.serial; flags = 1 })
+
+let gdesc g = if g.g_name = "" then "root group" else "group /" ^ g.g_name
+
+let write_heap t ~rank g =
+  w t ~rank ~what:("local heap of " ^ gdesc g) g.g_heap_addr
+    (Layout.render_heap g.g_heap)
+
+let write_btree t ~rank g =
+  let keys = List.sort Int.compare (List.map snd g.g_name_offs) in
+  w t ~rank ~what:("B-tree node of " ^ gdesc g) g.g_btree_addr
+    (Layout.render_btree
+       (Layout.Group_btree
+          { parent = g.g_ohdr; nkeys = g.g_nkeys; snod = g.g_snod_addr; keys }))
+
+let write_snod t ~rank g =
+  w t ~rank ~what:("symbol table node of " ^ gdesc g) g.g_snod_addr
+    (Layout.render_snod g.g_snod)
+
+let write_group_ohdr t ~rank g =
+  w t ~rank ~what:("object header of " ^ gdesc g) g.g_ohdr
+    (Layout.render_ohdr_group { g_btree = g.g_btree_addr; g_heap = g.g_heap_addr })
+
+let write_dset_ohdr t ~rank g name d =
+  w t ~rank ~what:(Printf.sprintf "object header of /%s/%s" g.g_name name) d.d_ohdr
+    (Layout.render_ohdr_dataset
+       {
+         rows = d.d_rows;
+         cols = d.d_cols;
+         data = d.d_data;
+         dlen = d.d_dlen;
+         chunk_btree = d.d_btree;
+         sbserial = d.d_sbser;
+       })
+
+let write_chunk_root t ~rank g name d =
+  let nkeys = List.length d.d_root_kids + List.length d.d_child_kids in
+  w t ~rank ~what:(Printf.sprintf "parent B-tree node of /%s/%s" g.g_name name)
+    d.d_btree
+    (Layout.render_btree
+       (Layout.Chunk_btree { nkeys; child = d.d_child; kids = d.d_root_kids }))
+
+let write_chunk_child t ~rank g name d =
+  w t ~rank ~what:(Printf.sprintf "child B-tree node of /%s/%s" g.g_name name)
+    d.d_child
+    (Layout.render_btree
+       (Layout.Chunk_btree
+          { nkeys = List.length d.d_child_kids; child = 0; kids = d.d_child_kids }))
+
+(* allocate the structures of a fresh group; the symbol table node is
+   placed on a different stripe than the heap/B-tree block (HDF5
+   allocates SNODs on demand, far from the group's header block) *)
+let alloc_group t name =
+  (* the group's header block (object header, heap, B-tree) shares the
+     superblock's stripe class; the symbol table node is allocated on
+     demand from a different class — so heap/B-tree vs. SNOD and SNOD
+     vs. superblock always cross storage servers *)
+  let g_ohdr = alloc_same_stripe t ~like:0 Layout.ohdr_group_size in
+  let g_heap_addr = alloc t Layout.heap_size in
+  let g_btree_addr = alloc t Layout.btree_size in
+  let g_snod_addr = alloc_new_stripe t ~apart:g_heap_addr Layout.snod_size in
+  {
+    g_name = name;
+    g_ohdr;
+    g_heap_addr;
+    g_btree_addr;
+    g_snod_addr;
+    g_heap = { Layout.used = 0; payload = "" };
+    g_nkeys = 0;
+    g_snod = { Layout.entries = [] };
+    g_name_offs = [];
+    g_dsets = [];
+  }
+
+let lib_call t ~rank op body =
+  let tr = tracer t in
+  Tracer.with_call tr ~proc:(Mpiio.rank_proc rank) ~layer:Event.Lib
+    ~name:(H5op.name op) ~args:(H5op.args op) (fun () ->
+      if Tracer.enabled tr then
+        t.oplog_rev <- (Tracer.count tr - 1, op) :: t.oplog_rev;
+      body ());
+  t.golden_cur <- Golden.apply t.golden_cur op;
+  if not (Tracer.enabled tr) then t.golden_init <- t.golden_cur
+
+let create mctx fpath =
+  let t =
+    {
+      mctx;
+      fpath;
+      eof = 0;
+      serial = 1;
+      root = None;
+      grps = [];
+      oplog_rev = [];
+      golden_cur = Golden.empty;
+      golden_init = Golden.empty;
+    }
+  in
+  Mpiio.file_open mctx ~rank:0 ~create:true fpath;
+  ignore (alloc t Layout.superblock_size);
+  let root = alloc_group t "" in
+  t.root <- Some root;
+  write_sb t ~rank:0;
+  write_group_ohdr t ~rank:0 root;
+  write_heap t ~rank:0 root;
+  write_btree t ~rank:0 root;
+  write_snod t ~rank:0 root;
+  (* tracing is normally disabled here (preamble); keep golden state in
+     sync regardless *)
+  t.golden_init <- t.golden_cur;
+  t
+
+let find_group t name =
+  match List.assoc_opt name t.grps with
+  | Some g -> g
+  | None -> failwith ("hdf5: unknown group " ^ name)
+
+let find_dset g name =
+  match List.assoc_opt name g.g_dsets with
+  | Some d -> d
+  | None -> failwith (Printf.sprintf "hdf5: unknown dataset /%s/%s" g.g_name name)
+
+let add_entry g name ohdr =
+  let heap, off = Layout.heap_add g.g_heap name in
+  g.g_heap <- heap;
+  g.g_name_offs <- (name, off) :: g.g_name_offs;
+  g.g_nkeys <- g.g_nkeys + 1;
+  g.g_snod <-
+    { Layout.entries = g.g_snod.Layout.entries @ [ { name_off = off; ohdr } ] }
+
+let remove_entry g name =
+  let off = List.assoc name g.g_name_offs in
+  g.g_heap <- Layout.heap_free g.g_heap off;
+  g.g_name_offs <- List.remove_assoc name g.g_name_offs;
+  g.g_nkeys <- g.g_nkeys - 1;
+  g.g_snod <-
+    {
+      Layout.entries =
+        List.filter
+          (fun (e : Layout.snod_entry) -> e.name_off <> off)
+          g.g_snod.Layout.entries;
+    }
+
+let create_group t ?(rank = 0) name =
+  lib_call t ~rank (H5op.Create_group { group = name }) (fun () ->
+      let g = alloc_group t name in
+      let root = root_exn t in
+      add_entry root name g.g_ohdr;
+      t.grps <- t.grps @ [ (name, g) ];
+      write_sb t ~rank;
+      write_group_ohdr t ~rank g;
+      write_heap t ~rank g;
+      write_btree t ~rank g;
+      write_snod t ~rank g;
+      write_heap t ~rank root;
+      write_btree t ~rank root;
+      write_snod t ~rank root)
+
+let dataset_structures t ~group ~name ~rows ~cols ~sbser =
+  let g = find_group t group in
+  let dlen = rows * cols * Golden.element_size in
+  (* dataset object headers come from a metadata allocation block on a
+     stripe different from the superblock's, so the two can land on
+     different storage servers (Table 3 rows 13 and 15) *)
+  let d_ohdr = alloc_new_stripe t ~apart:0 Layout.ohdr_dataset_size in
+  let d_data = alloc t dlen in
+  let d =
+    {
+      d_rows = rows;
+      d_cols = cols;
+      created_rows = rows;
+      created_cols = cols;
+      d_ohdr;
+      d_data;
+      d_dlen = dlen;
+      d_btree = 0;
+      d_child = 0;
+      d_root_kids = [];
+      d_child_kids = [];
+      d_sbser = sbser;
+    }
+  in
+  add_entry g name d.d_ohdr;
+  g.g_dsets <- g.g_dsets @ [ (name, d) ];
+  (g, d)
+
+let write_fill t ~rank g name d =
+  w t ~rank
+    ~what:(Printf.sprintf "dataset raw data of /%s/%s" g.g_name name)
+    d.d_data
+    (Golden.fill ~group:g.g_name ~name ~len:d.d_dlen)
+
+let create_dataset t ?(rank = 0) ?(parallel = false) ~group ~name ~rows ~cols () =
+  lib_call t ~rank (H5op.Create_dataset { group; name; rows; cols }) (fun () ->
+      let g, d = dataset_structures t ~group ~name ~rows ~cols ~sbser:0 in
+      if parallel && Mpiio.nprocs t.mctx > 1 then begin
+        (* collective creation: ranks write different structures with no
+           ordering between them until the closing barrier *)
+        let r0 = 0 and r1 = 1 in
+        write_sb t ~rank:r0;
+        write_dset_ohdr t ~rank:r0 g name d;
+        write_fill t ~rank:r0 g name d;
+        write_heap t ~rank:r1 g;
+        write_btree t ~rank:r0 g;
+        write_snod t ~rank:r0 g;
+        Mpiio.barrier t.mctx
+      end
+      else begin
+        write_sb t ~rank;
+        write_dset_ohdr t ~rank g name d;
+        write_fill t ~rank g name d;
+        write_heap t ~rank g;
+        write_btree t ~rank g;
+        write_snod t ~rank g
+      end)
+
+let delete_dataset t ?(rank = 0) ~group ~name () =
+  lib_call t ~rank (H5op.Delete_dataset { group; name }) (fun () ->
+      let g = find_group t group in
+      ignore (find_dset g name);
+      remove_entry g name;
+      g.g_dsets <- List.remove_assoc name g.g_dsets;
+      (* HDF5 1.8 updates the B-tree and heap before the symbol table
+         node; a crash between them strands a symbol-table entry whose
+         heap name has been freed (Table 3 row 11) *)
+      write_btree t ~rank g;
+      write_heap t ~rank g;
+      write_snod t ~rank g)
+
+let move_dataset t ?(rank = 0) ~src_group ~name ~dst_group ?new_name () =
+  let new_name = Option.value new_name ~default:name in
+  lib_call t ~rank (H5op.Move_dataset { src_group; name; dst_group; new_name })
+    (fun () ->
+      let gs = find_group t src_group in
+      let gd = find_group t dst_group in
+      let d = find_dset gs name in
+      remove_entry gs name;
+      gs.g_dsets <- List.remove_assoc name gs.g_dsets;
+      add_entry gd new_name d.d_ohdr;
+      gd.g_dsets <- gd.g_dsets @ [ (new_name, d) ];
+      write_btree t ~rank gs;
+      write_heap t ~rank gs;
+      write_snod t ~rank gs;
+      write_heap t ~rank gd;
+      write_btree t ~rank gd;
+      write_snod t ~rank gd)
+
+let resize_dataset t ?(rank = 0) ?(parallel = false) ~group ~name ~rows ~cols () =
+  lib_call t ~rank (H5op.Resize_dataset { group; name; rows; cols }) (fun () ->
+      let g = find_group t group in
+      let d = find_dset g name in
+      let old_cells = d.d_rows * d.d_cols in
+      if rows * cols < old_cells then
+        failwith "hdf5: shrinking resize not supported";
+      let ext = (rows * cols - old_cells) * Golden.element_size in
+      d.d_rows <- rows;
+      d.d_cols <- cols;
+      (* the extension is stored as chunk extents registered in the
+         dataset's chunk B-tree; the root node is allocated on a stripe
+         different from the superblock's, overflow goes to a child node
+         on yet another stripe *)
+      if d.d_btree = 0 then
+        d.d_btree <- alloc_new_stripe t ~apart:0 Layout.btree_size;
+      let rec split_ext remaining acc =
+        if remaining <= 0 then List.rev acc
+        else
+          let n = min remaining chunk_bytes in
+          let addr = alloc t n in
+          split_ext (remaining - n) ((addr, n) :: acc)
+      in
+      let new_kids = split_ext ext [] in
+      let all_kids = d.d_root_kids @ d.d_child_kids @ new_kids in
+      let root_cap = 3 in
+      if List.length all_kids > root_cap then begin
+        if d.d_child = 0 then
+          d.d_child <- alloc_new_stripe t ~apart:d.d_btree Layout.btree_size;
+        d.d_root_kids <- List.filteri (fun i _ -> i < root_cap) all_kids;
+        d.d_child_kids <- List.filteri (fun i _ -> i >= root_cap) all_kids
+      end
+      else d.d_root_kids <- all_kids;
+      let r0 = rank and r1 = if parallel && Mpiio.nprocs t.mctx > 1 then 1 else rank in
+      (* HDF5 1.8 order: superblock (EOF), dataset header, then the
+         chunk B-tree top-down — parent before child, so a causally
+         consistent prefix can strand a parent that references an
+         unwritten child (Table 3 row 14) *)
+      write_sb t ~rank:r0;
+      write_dset_ohdr t ~rank:r1 g name d;
+      write_chunk_root t ~rank:r0 g name d;
+      if d.d_child <> 0 then write_chunk_child t ~rank:r1 g name d;
+      List.iter
+        (fun (addr, len) ->
+          w t ~rank:r0
+            ~what:(Printf.sprintf "dataset raw data of /%s/%s" g.g_name name)
+            addr (String.make len '\000'))
+        new_kids;
+      if parallel && Mpiio.nprocs t.mctx > 1 then Mpiio.barrier t.mctx)
+
+let cdf_create_var t ?(rank = 0) ~group ~name ~rows ~cols () =
+  lib_call t ~rank (H5op.Cdf_create_var { group; name; rows; cols }) (fun () ->
+      (* NetCDF-4 records dimension-scale bookkeeping in the superblock
+         extension; the variable's object header refers to that
+         superblock revision (Table 3 row 15) *)
+      t.serial <- t.serial + 1;
+      let g, d = dataset_structures t ~group ~name ~rows ~cols ~sbser:t.serial in
+      write_sb t ~rank;
+      write_dset_ohdr t ~rank g name d;
+      write_fill t ~rank g name d;
+      write_heap t ~rank g;
+      write_btree t ~rank g;
+      write_snod t ~rank g)
+
+let object_map t =
+  let objs = ref [ ("superblock", 0, Layout.superblock_size) ] in
+  let add desc addr size = objs := (desc, addr, size) :: !objs in
+  let add_group g =
+    add ("object header of " ^ gdesc g) g.g_ohdr Layout.ohdr_group_size;
+    add ("local heap of " ^ gdesc g) g.g_heap_addr Layout.heap_size;
+    add ("B-tree node of " ^ gdesc g) g.g_btree_addr Layout.btree_size;
+    add ("symbol table node of " ^ gdesc g) g.g_snod_addr Layout.snod_size;
+    List.iter
+      (fun (name, d) ->
+        add
+          (Printf.sprintf "object header of /%s/%s" g.g_name name)
+          d.d_ohdr Layout.ohdr_dataset_size;
+        add (Printf.sprintf "raw data of /%s/%s" g.g_name name) d.d_data d.d_dlen;
+        if d.d_btree <> 0 then
+          add
+            (Printf.sprintf "chunk B-tree of /%s/%s" g.g_name name)
+            d.d_btree Layout.btree_size;
+        if d.d_child <> 0 then
+          add
+            (Printf.sprintf "chunk B-tree child of /%s/%s" g.g_name name)
+            d.d_child Layout.btree_size;
+        List.iter
+          (fun (addr, len) ->
+            add (Printf.sprintf "chunk of /%s/%s" g.g_name name) addr len)
+          (d.d_root_kids @ d.d_child_kids))
+      g.g_dsets
+  in
+  (match t.root with Some root -> add_group root | None -> ());
+  List.iter (fun (_, g) -> add_group g) t.grps;
+  List.sort (fun (_, a, _) (_, b, _) -> Int.compare a b) !objs

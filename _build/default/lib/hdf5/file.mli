@@ -1,0 +1,47 @@
+(** The simulated HDF5 library: an in-memory metadata cache over a file
+    stored on the PFS through MPI-IO.
+
+    Like HDF5 1.8 with caching enabled, the library never syncs and
+    never orders its file writes beyond the program order of each rank;
+    each logical operation writes the affected structures in a fixed
+    order chosen to match the vulnerable orders the paper observed
+    (§6.3.2). Structures whose reordering must cross storage servers to
+    corrupt the file (symbol-table nodes vs. heaps, B-tree nodes vs. the
+    superblock) are allocated on different file stripes, as HDF5's
+    on-demand allocation does in large files. *)
+
+type t
+
+val create : Paracrash_mpiio.Mpiio.ctx -> string -> t
+(** Create the file on the PFS (rank 0) and write the superblock and
+    root group structures. *)
+
+val path : t -> string
+val ctx : t -> Paracrash_mpiio.Mpiio.ctx
+
+val oplog : t -> (int * H5op.t) list
+(** Lib-layer call event ids with their operations (traced only). *)
+
+val golden_initial : t -> Golden.state
+(** Logical state when tracing started (after the preamble). *)
+
+val golden_final : t -> Golden.state
+
+val create_group : t -> ?rank:int -> string -> unit
+val create_dataset :
+  t -> ?rank:int -> ?parallel:bool -> group:string -> name:string ->
+  rows:int -> cols:int -> unit -> unit
+val delete_dataset : t -> ?rank:int -> group:string -> name:string -> unit -> unit
+val move_dataset :
+  t -> ?rank:int -> src_group:string -> name:string -> dst_group:string ->
+  ?new_name:string -> unit -> unit
+val resize_dataset :
+  t -> ?rank:int -> ?parallel:bool -> group:string -> name:string ->
+  rows:int -> cols:int -> unit -> unit
+val cdf_create_var :
+  t -> ?rank:int -> group:string -> name:string -> rows:int -> cols:int ->
+  unit -> unit
+
+val object_map : t -> (string * int * int) list
+(** h5inspect's object table: (object description, file address, size),
+    sorted by address. *)

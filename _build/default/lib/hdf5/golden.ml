@@ -1,0 +1,100 @@
+module SMap = Map.Make (String)
+
+type dataset = {
+  rows : int;
+  cols : int;
+  created_rows : int;
+  created_cols : int;
+  origin : string;
+}
+
+type state = { grps : dataset SMap.t SMap.t }
+
+let element_size = 8
+let empty = { grps = SMap.empty }
+
+let fill ~group ~name ~len =
+  let seed =
+    String.fold_left (fun a c -> a + Char.code c) 0 (group ^ "/" ^ name)
+  in
+  String.init len (fun i -> Char.chr (65 + ((seed + i) mod 26)))
+
+let expected_bytes d =
+  let created = d.created_rows * d.created_cols * element_size in
+  let total = d.rows * d.cols * element_size in
+  let group, name =
+    match String.index_opt d.origin '/' with
+    | Some i ->
+        ( String.sub d.origin 0 i,
+          String.sub d.origin (i + 1) (String.length d.origin - i - 1) )
+    | None -> ("", d.origin)
+  in
+  fill ~group ~name ~len:(min created total)
+  ^ if total > created then String.make (total - created) '\000' else ""
+
+let apply st (op : H5op.t) =
+  match op with
+  | Create_group { group } ->
+      if SMap.mem group st.grps then st
+      else { grps = SMap.add group SMap.empty st.grps }
+  | Create_dataset { group; name; rows; cols }
+  | Cdf_create_var { group; name; rows; cols } -> (
+      match SMap.find_opt group st.grps with
+      | None -> st
+      | Some dsets ->
+          let d =
+            {
+              rows;
+              cols;
+              created_rows = rows;
+              created_cols = cols;
+              origin = group ^ "/" ^ name;
+            }
+          in
+          { grps = SMap.add group (SMap.add name d dsets) st.grps })
+  | Delete_dataset { group; name } -> (
+      match SMap.find_opt group st.grps with
+      | None -> st
+      | Some dsets -> { grps = SMap.add group (SMap.remove name dsets) st.grps })
+  | Move_dataset { src_group; name; dst_group; new_name } -> (
+      match (SMap.find_opt src_group st.grps, SMap.find_opt dst_group st.grps) with
+      | Some src, Some _ when SMap.mem name src -> (
+          match SMap.find_opt name src with
+          | None -> st
+          | Some d ->
+              let grps = SMap.add src_group (SMap.remove name src) st.grps in
+              let dst = SMap.find dst_group grps in
+              { grps = SMap.add dst_group (SMap.add new_name d dst) grps })
+      | _ -> st)
+  | Resize_dataset { group; name; rows; cols } -> (
+      match SMap.find_opt group st.grps with
+      | None -> st
+      | Some dsets -> (
+          match SMap.find_opt name dsets with
+          | None -> st
+          | Some d when rows * cols >= d.rows * d.cols ->
+              let d' = { d with rows; cols } in
+              { grps = SMap.add group (SMap.add name d' dsets) st.grps }
+          | Some _ -> st))
+
+let replay st ops = List.fold_left apply st ops
+
+let groups st =
+  SMap.bindings st.grps |> List.map (fun (g, ds) -> (g, SMap.bindings ds))
+
+let canonical st =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf "H5 ok\n";
+  SMap.iter
+    (fun g dsets ->
+      Buffer.add_string buf (Printf.sprintf "G %s ok\n" g);
+      SMap.iter
+        (fun name d ->
+          let digest = Paracrash_util.Digestutil.of_string (expected_bytes d) in
+          Buffer.add_string buf
+            (Printf.sprintf "D %s/%s %dx%d %s\n" g name d.rows d.cols digest))
+        dsets)
+    st.grps;
+  Buffer.contents buf
+
+let equal a b = String.equal (canonical a) (canonical b)

@@ -1,0 +1,40 @@
+(** Golden (crash-free) semantics of the I/O-library operations.
+
+    Legal library-level states are golden replays of preserved subsets
+    of the traced operations over the initial state, rendered to the
+    same canonical form that {!Read} produces from recovered file
+    bytes. *)
+
+type dataset = {
+  rows : int;
+  cols : int;
+  created_rows : int;  (** dimensions at creation; the original extent
+                           is filled with the deterministic pattern,
+                           resize extensions read back as zeros *)
+  created_cols : int;
+  origin : string;  (** "group/name" at creation — the fill pattern is
+                        keyed by it and survives moves *)
+}
+
+type state
+
+val element_size : int
+(** Bytes per dataset element (8: double precision). *)
+
+val empty : state
+(** Just the root group. *)
+
+val fill : group:string -> name:string -> len:int -> string
+(** The deterministic pattern written into a freshly created dataset. *)
+
+val expected_bytes : dataset -> string
+(** The full expected raw data of a dataset (fill + zero extension). *)
+
+val apply : state -> H5op.t -> state
+(** Operations whose preconditions fail (e.g. resizing a dataset the
+    subset never created) leave the state unchanged. *)
+
+val replay : state -> H5op.t list -> state
+val groups : state -> (string * (string * dataset) list) list
+val canonical : state -> string
+val equal : state -> state -> bool

@@ -1,0 +1,34 @@
+type t =
+  | Create_group of { group : string }
+  | Create_dataset of { group : string; name : string; rows : int; cols : int }
+  | Delete_dataset of { group : string; name : string }
+  | Move_dataset of {
+      src_group : string;
+      name : string;
+      dst_group : string;
+      new_name : string;
+    }
+  | Resize_dataset of { group : string; name : string; rows : int; cols : int }
+  | Cdf_create_var of { group : string; name : string; rows : int; cols : int }
+
+let name = function
+  | Create_group _ -> "H5Gcreate"
+  | Create_dataset _ -> "H5Dcreate"
+  | Delete_dataset _ -> "H5Ldelete"
+  | Move_dataset _ -> "H5Lmove"
+  | Resize_dataset _ -> "H5Dset_extent"
+  | Cdf_create_var _ -> "nc_def_var"
+
+let dims r c = Printf.sprintf "%dx%d" r c
+
+let args = function
+  | Create_group { group } -> [ group ]
+  | Create_dataset { group; name; rows; cols } -> [ group; name; dims rows cols ]
+  | Delete_dataset { group; name } -> [ group; name ]
+  | Move_dataset { src_group; name; dst_group; new_name } ->
+      [ src_group; name; dst_group; new_name ]
+  | Resize_dataset { group; name; rows; cols } -> [ group; name; dims rows cols ]
+  | Cdf_create_var { group; name; rows; cols } -> [ group; name; dims rows cols ]
+
+let pp ppf op =
+  Fmt.pf ppf "%s(%a)" (name op) Fmt.(list ~sep:comma string) (args op)

@@ -1,0 +1,21 @@
+(** Logical HDF5 / NetCDF library operations (the Lib-layer calls of
+    the causality graph). *)
+
+type t =
+  | Create_group of { group : string }
+  | Create_dataset of { group : string; name : string; rows : int; cols : int }
+  | Delete_dataset of { group : string; name : string }
+  | Move_dataset of {
+      src_group : string;
+      name : string;
+      dst_group : string;
+      new_name : string;
+    }
+  | Resize_dataset of { group : string; name : string; rows : int; cols : int }
+  | Cdf_create_var of { group : string; name : string; rows : int; cols : int }
+      (** NetCDF variable creation (HDF5 format, with the
+          dimension-scale superblock dependency of Table 3 row 15). *)
+
+val name : t -> string
+val args : t -> string list
+val pp : Format.formatter -> t -> unit

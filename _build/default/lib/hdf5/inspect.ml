@@ -1,0 +1,28 @@
+module Handle = Paracrash_pfs.Handle
+module Mpiio = Paracrash_mpiio.Mpiio
+
+let json file =
+  let objs = File.object_map file in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "{\n  \"objects\": [\n";
+  let n = List.length objs in
+  List.iteri
+    (fun i (desc, addr, size) ->
+      Buffer.add_string buf
+        (Printf.sprintf "    {\"object\": %S, \"addr\": %d, \"size\": %d}%s\n"
+           desc addr size
+           (if i = n - 1 then "" else ",")))
+    objs;
+  Buffer.add_string buf "  ]\n}\n";
+  Buffer.contents buf
+
+let object_at file off =
+  File.object_map file
+  |> List.find_opt (fun (_, addr, size) -> off >= addr && off < addr + size)
+  |> Option.map (fun (desc, _, _) -> desc)
+
+let stripe_report file =
+  let cfg = Handle.config (Mpiio.handle (File.ctx file)) in
+  let stripe = cfg.Paracrash_pfs.Config.stripe_size in
+  File.object_map file
+  |> List.map (fun (desc, addr, _) -> (desc, addr / stripe))

@@ -1,0 +1,13 @@
+(** The h5inspect tool: maps HDF5 objects to their file locations
+    (§5.2 of the paper), supporting semantic state-space pruning and
+    root-cause analysis. *)
+
+val json : File.t -> string
+(** Object-to-offset mapping as a JSON document. *)
+
+val object_at : File.t -> int -> string option
+(** The object containing the given file offset, if any. *)
+
+val stripe_report : File.t -> (string * int) list
+(** (object, stripe index) for every object — which storage stripe each
+    structure lands on. *)

@@ -1,0 +1,58 @@
+module Checker = Paracrash_core.Checker
+module Model = Paracrash_core.Model
+module Session = Paracrash_core.Session
+module Bitset = Paracrash_util.Bitset
+module Dag = Paracrash_util.Dag
+module Logical = Paracrash_pfs.Logical
+
+let file_bytes path logical =
+  match Logical.find logical path with
+  | Some (Logical.File (Logical.Data d)) -> Ok d
+  | Some (Logical.File (Logical.Unreadable why)) ->
+      Error ("file unreadable through the PFS: " ^ why)
+  | Some Logical.Dir -> Error "file is a directory"
+  | None -> Error "file missing"
+
+let lib_layer ~file ~model (session : Session.t) =
+  let path = File.path file in
+  let ops = Array.of_list (List.map snd (File.oplog file)) in
+  let ids = List.map fst (File.oplog file) in
+  let graph, _ = Dag.restrict session.Session.graph ids in
+  let sets =
+    Model.preserved_sets model ~graph
+      ~is_commit:(fun _ -> false)
+      ~covered_by:(fun _ _ -> false)
+  in
+  let initial = File.golden_initial file in
+  let legal = Hashtbl.create 16 in
+  let legal_order = ref [] in
+  List.iter
+    (fun set ->
+      let subset =
+        List.filteri (fun i _ -> Bitset.mem set i) (Array.to_list ops)
+      in
+      let st = Golden.replay initial subset in
+      let c = Golden.canonical st in
+      if not (Hashtbl.mem legal c) then begin
+        Hashtbl.replace legal c ();
+        legal_order := c :: !legal_order
+      end)
+    sets;
+  let view logical =
+    match file_bytes path logical with
+    | Ok bytes -> Read.canonical bytes
+    | Error m -> Printf.sprintf "H5 CORRUPT %s\n" m
+  in
+  let view_after_recovery logical =
+    match file_bytes path logical with
+    | Ok bytes -> Option.map Read.canonical (Clear.apply bytes)
+    | Error _ -> None
+  in
+  {
+    Checker.lib_name = "hdf5";
+    view;
+    view_after_recovery;
+    legal_views = List.rev !legal_order;
+    expected_view =
+      Golden.canonical (Golden.replay initial (Array.to_list ops));
+  }

@@ -1,0 +1,13 @@
+(** Glue between the HDF5 library and the ParaCrash checker: builds the
+    I/O-library layer descriptor (legal states, recovered-state reader,
+    h5clear recovery) that the driver uses for top-down cross-layer
+    checking. *)
+
+val lib_layer :
+  file:File.t ->
+  model:Paracrash_core.Model.t ->
+  Paracrash_core.Session.t ->
+  Paracrash_core.Checker.lib_layer
+(** Legal views are golden replays of the preserved sets of the traced
+    library operations that [model] allows, over the library state at
+    the start of the test. *)

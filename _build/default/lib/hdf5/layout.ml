@@ -1,0 +1,259 @@
+let superblock_size = 96
+let ohdr_group_size = 64
+let ohdr_dataset_size = 128
+let heap_size = 512
+let heap_payload = heap_size - 16
+let btree_size = 128
+let snod_size = 512
+let max_snod_entries = 24
+
+let pad size s =
+  if String.length s > size then failwith "Layout.pad: record too large"
+  else s ^ String.make (size - String.length s) ' '
+
+let check_sig what record s =
+  if String.length s < String.length record then
+    Error (Printf.sprintf "%s: truncated record" what)
+  else if not (String.starts_with ~prefix:record s) then
+    Error (Printf.sprintf "%s: bad signature" what)
+  else Ok ()
+
+let ( let* ) = Result.bind
+
+let fields s =
+  (* "SIG|k=v|k=v ..." -> assoc; payload fields handled separately *)
+  String.split_on_char '|' (String.trim s)
+  |> List.filter_map (fun part ->
+         match String.index_opt part '=' with
+         | Some i ->
+             Some
+               ( String.sub part 0 i,
+                 String.sub part (i + 1) (String.length part - i - 1) )
+         | None -> None)
+
+let int_field what kvs key =
+  match List.assoc_opt key kvs with
+  | Some v -> (
+      match int_of_string_opt (String.trim v) with
+      | Some n -> Ok n
+      | None -> Error (Printf.sprintf "%s: bad %s field" what key))
+  | None -> Error (Printf.sprintf "%s: missing %s field" what key)
+
+(* --- superblock -------------------------------------------------------- *)
+
+type superblock = { eof : int; root : int; serial : int; flags : int }
+
+let render_superblock sb =
+  pad superblock_size
+    (Printf.sprintf "HDF5SIM1|eof=%010d|root=%010d|serial=%06d|flags=%d" sb.eof
+       sb.root sb.serial sb.flags)
+
+let parse_superblock s =
+  let* () = check_sig "superblock" "HDF5SIM1" s in
+  let kvs = fields s in
+  let* eof = int_field "superblock" kvs "eof" in
+  let* root = int_field "superblock" kvs "root" in
+  let* serial = int_field "superblock" kvs "serial" in
+  let* flags = int_field "superblock" kvs "flags" in
+  Ok { eof; root; serial; flags }
+
+(* --- object headers ---------------------------------------------------- *)
+
+type ohdr_group = { g_btree : int; g_heap : int }
+
+let render_ohdr_group o =
+  pad ohdr_group_size (Printf.sprintf "OHDRGRP|btree=%010d|heap=%010d" o.g_btree o.g_heap)
+
+let parse_ohdr_group s =
+  let* () = check_sig "object header" "OHDRGRP" s in
+  let kvs = fields s in
+  let* g_btree = int_field "object header" kvs "btree" in
+  let* g_heap = int_field "object header" kvs "heap" in
+  Ok { g_btree; g_heap }
+
+type ohdr_dataset = {
+  rows : int;
+  cols : int;
+  data : int;
+  dlen : int;
+  chunk_btree : int;
+  sbserial : int;
+}
+
+let render_ohdr_dataset o =
+  pad ohdr_dataset_size
+    (Printf.sprintf "OHDRDST|r=%06d|c=%06d|data=%010d|dlen=%010d|btree=%010d|sbser=%06d"
+       o.rows o.cols o.data o.dlen o.chunk_btree o.sbserial)
+
+let parse_ohdr_dataset s =
+  let* () = check_sig "object header" "OHDRDST" s in
+  let kvs = fields s in
+  let* rows = int_field "object header" kvs "r" in
+  let* cols = int_field "object header" kvs "c" in
+  let* data = int_field "object header" kvs "data" in
+  let* dlen = int_field "object header" kvs "dlen" in
+  let* chunk_btree = int_field "object header" kvs "btree" in
+  let* sbserial = int_field "object header" kvs "sbser" in
+  Ok { rows; cols; data; dlen; chunk_btree; sbserial }
+
+(* --- local heap --------------------------------------------------------- *)
+
+type heap = { used : int; payload : string }
+
+let render_heap h =
+  let payload = h.payload ^ String.make (heap_payload - String.length h.payload) ' ' in
+  "HEAP|" ^ Printf.sprintf "used=%05d|" h.used ^ payload
+
+let parse_heap s =
+  let* () = check_sig "local heap" "HEAP" s in
+  if String.length s < heap_size then Error "local heap: truncated record"
+  else
+    let header = String.sub s 0 16 in
+    let kvs = fields header in
+    let* used = int_field "local heap" kvs "used" in
+    if used < 0 || used > heap_payload then Error "local heap: bad used size"
+    else Ok { used; payload = String.sub s 16 heap_payload }
+
+let heap_add h name =
+  let entry = name ^ "\000" in
+  if h.used + String.length entry > heap_payload then
+    failwith "Layout.heap_add: local heap full";
+  let off = h.used in
+  let payload =
+    let base =
+      h.payload ^ String.make (heap_payload - String.length h.payload) ' '
+    in
+    let b = Bytes.of_string base in
+    Bytes.blit_string entry 0 b off (String.length entry);
+    Bytes.sub_string b 0 (off + String.length entry)
+  in
+  ({ used = off + String.length entry; payload }, off)
+
+let heap_free h off =
+  let b = Bytes.of_string h.payload in
+  let i = ref off in
+  while !i < Bytes.length b && Bytes.get b !i <> '\000' do
+    Bytes.set b !i '#';
+    incr i
+  done;
+  if !i < Bytes.length b then Bytes.set b !i '#';
+  { h with payload = Bytes.to_string b }
+
+let heap_name h off =
+  if off < 0 || off >= h.used then Error "local heap: name offset out of range"
+  else
+    match String.index_from_opt h.payload off '\000' with
+    | None -> Error "local heap: unterminated name"
+    | Some stop ->
+        let name = String.sub h.payload off (stop - off) in
+        if name = "" || String.contains name '#' || String.contains name ' ' then
+          Error "local heap: freed or corrupt name"
+        else Ok name
+
+(* --- B-tree nodes ------------------------------------------------------- *)
+
+type btree =
+  | Group_btree of { parent : int; nkeys : int; snod : int; keys : int list }
+  | Chunk_btree of { nkeys : int; child : int; kids : (int * int) list }
+
+let render_btree b =
+  pad btree_size
+    (match b with
+    | Group_btree { parent; nkeys; snod; keys } ->
+        Printf.sprintf "TREEGRP|parent=%010d|n=%03d|snod=%010d|keys=%s" parent
+          nkeys snod
+          (String.concat "," (List.map string_of_int keys))
+    | Chunk_btree { nkeys; child; kids } ->
+        Printf.sprintf "TREECHK|n=%03d|child=%010d|kids=%s" nkeys child
+          (String.concat ","
+             (List.map (fun (a, l) -> Printf.sprintf "%d:%d" a l) kids)))
+
+let parse_btree s =
+  if String.length s >= 7 && String.sub s 0 7 = "TREEGRP" then
+    let kvs = fields s in
+    let* parent = int_field "B-tree node" kvs "parent" in
+    let* nkeys = int_field "B-tree node" kvs "n" in
+    let* snod = int_field "B-tree node" kvs "snod" in
+    let* keys =
+      match List.assoc_opt "keys" kvs with
+      | None -> Error "B-tree node: missing keys field"
+      | Some v when String.trim v = "" -> Ok []
+      | Some v ->
+          let nums = List.map int_of_string_opt (String.split_on_char ',' (String.trim v)) in
+          if List.exists (( = ) None) nums then Error "B-tree node: bad key"
+          else Ok (List.map Option.get nums)
+    in
+    Ok (Group_btree { parent; nkeys; snod; keys })
+  else if String.length s >= 7 && String.sub s 0 7 = "TREECHK" then
+    let kvs = fields s in
+    let* nkeys = int_field "B-tree node" kvs "n" in
+    let* child = int_field "B-tree node" kvs "child" in
+    let* kids =
+      match List.assoc_opt "kids" kvs with
+      | None -> Error "B-tree node: missing kids field"
+      | Some v when String.trim v = "" -> Ok []
+      | Some v ->
+          let parts = String.split_on_char ',' (String.trim v) in
+          let parse p =
+            match String.split_on_char ':' p with
+            | [ a; l ] -> (
+                match (int_of_string_opt a, int_of_string_opt l) with
+                | Some a, Some l -> Some (a, l)
+                | _ -> None)
+            | _ -> None
+          in
+          let pairs = List.map parse parts in
+          if List.exists (( = ) None) pairs then
+            Error "B-tree node: bad kid address"
+          else Ok (List.map Option.get pairs)
+    in
+    Ok (Chunk_btree { nkeys; child; kids })
+  else Error "B-tree node: wrong B-tree signature"
+
+(* --- symbol table nodes -------------------------------------------------- *)
+
+type snod_entry = { name_off : int; ohdr : int }
+type snod = { entries : snod_entry list }
+
+let render_snod sn =
+  if List.length sn.entries > max_snod_entries then
+    failwith "Layout.render_snod: too many entries";
+  pad snod_size
+    (Printf.sprintf "SNOD|n=%03d|%s"
+       (List.length sn.entries)
+       (String.concat ""
+          (List.map
+             (fun e -> Printf.sprintf "%04d:%010d;" e.name_off e.ohdr)
+             sn.entries)))
+
+let parse_snod s =
+  let* () = check_sig "symbol table node" "SNOD" s in
+  let kvs = fields s in
+  let* n = int_field "symbol table node" kvs "n" in
+  (* entries start after "SNOD|n=NNN|" *)
+  let prefix_len = String.length "SNOD|n=000|" in
+  if String.length s < prefix_len then Error "symbol table node: truncated"
+  else begin
+    let body = String.sub s prefix_len (String.length s - prefix_len) in
+    let parts =
+      String.split_on_char ';' (String.trim body)
+      |> List.filter (fun p -> String.trim p <> "")
+    in
+    let parse_entry p =
+      match String.split_on_char ':' p with
+      | [ off; ohdr ] -> (
+          match (int_of_string_opt off, int_of_string_opt ohdr) with
+          | Some name_off, Some ohdr -> Ok { name_off; ohdr }
+          | _ -> Error "symbol table node: corrupt entry")
+      | _ -> Error "symbol table node: corrupt entry"
+    in
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | p :: rest -> (
+          match parse_entry p with Ok e -> go (e :: acc) rest | Error m -> Error m)
+    in
+    let* entries = go [] parts in
+    if List.length entries <> n then
+      Error "symbol table node: entry count mismatch"
+    else Ok { entries }
+  end

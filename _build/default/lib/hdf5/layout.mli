@@ -1,0 +1,75 @@
+(** On-disk record layout of the simplified HDF5 format.
+
+    The format mirrors the HDF5 1.8 symbol-table group machinery at the
+    granularity that matters for crash consistency: a superblock,
+    per-group object headers, group B-tree nodes, local name heaps and
+    symbol-table nodes, per-dataset object headers, chunk B-tree nodes
+    for resized datasets, and raw data extents. Records are fixed-size
+    ASCII for debuggability; every record starts with a signature that
+    the checker validates. *)
+
+val superblock_size : int
+val ohdr_group_size : int
+val ohdr_dataset_size : int
+val heap_size : int
+val heap_payload : int
+val btree_size : int
+val snod_size : int
+val max_snod_entries : int
+
+type superblock = { eof : int; root : int; serial : int; flags : int }
+
+val render_superblock : superblock -> string
+val parse_superblock : string -> (superblock, string) result
+
+type ohdr_group = { g_btree : int; g_heap : int }
+
+val render_ohdr_group : ohdr_group -> string
+val parse_ohdr_group : string -> (ohdr_group, string) result
+
+type ohdr_dataset = {
+  rows : int;
+  cols : int;
+  data : int;  (** address of the first raw-data extent *)
+  dlen : int;  (** its length *)
+  chunk_btree : int;  (** 0 = contiguous, no chunk tree *)
+  sbserial : int;  (** superblock serial this header depends on; 0 = none *)
+}
+
+val render_ohdr_dataset : ohdr_dataset -> string
+val parse_ohdr_dataset : string -> (ohdr_dataset, string) result
+
+type heap = { used : int; payload : string }
+
+val render_heap : heap -> string
+val parse_heap : string -> (heap, string) result
+
+val heap_add : heap -> string -> heap * int
+(** [heap_add h name] appends a NUL-terminated name; returns the new
+    heap and the name's offset. Raises [Failure] when full. *)
+
+val heap_free : heap -> int -> heap
+(** Overwrite the name at the given offset with filler (freed space). *)
+
+val heap_name : heap -> int -> (string, string) result
+(** Resolve a name offset; fails on out-of-range, freed or unterminated
+    entries. *)
+
+type btree =
+  | Group_btree of { parent : int; nkeys : int; snod : int; keys : int list }
+      (** [keys] are local-heap name offsets of the node's boundary
+          keys; lookups resolve them against the heap, so a B-tree node
+          persisted without its heap update corrupts the group
+          (Table 3 rows 9 and 10). *)
+  | Chunk_btree of { nkeys : int; child : int; kids : (int * int) list }
+      (** [child = 0]: leaf-only root. [kids] are raw-data extents as
+          (address, length) pairs. *)
+
+val render_btree : btree -> string
+val parse_btree : string -> (btree, string) result
+
+type snod_entry = { name_off : int; ohdr : int }
+type snod = { entries : snod_entry list }
+
+val render_snod : snod -> string
+val parse_snod : string -> (snod, string) result

@@ -1,0 +1,220 @@
+type dataset_view =
+  | Dset of { rows : int; cols : int; digest : string }
+  | Dset_corrupt of string
+
+type group_view =
+  | Group of (string * dataset_view) list
+  | Group_corrupt of string
+
+type view = File_corrupt of string | File of (string * group_view) list
+
+let ( let* ) = Result.bind
+
+let sub_padded bytes addr size =
+  let b = Bytes.make size '\000' in
+  let avail = String.length bytes - addr in
+  let n = min size (max 0 avail) in
+  if n > 0 && addr >= 0 then Bytes.blit_string bytes addr b 0 n;
+  Bytes.to_string b
+
+let parse bytes =
+  match Layout.parse_superblock (sub_padded bytes 0 Layout.superblock_size) with
+  | Error m -> File_corrupt ("cannot open file: " ^ m)
+  | Ok sb -> (
+      let fetch what addr size =
+        if addr < 0 || addr + size > sb.Layout.eof then
+          Error (what ^ ": addr overflow")
+        else Ok (sub_padded bytes addr size)
+      in
+      let fetch_data what addr size =
+        let* raw = fetch what addr size in
+        Ok raw
+      in
+      (* collect every dataset object header first, for the NetCDF
+         superblock-serial dependency check *)
+      let serial_violated = ref false in
+      let parse_dataset gname name (o : Layout.ohdr_dataset) =
+        if o.sbserial > sb.serial then serial_violated := true;
+        let* first = fetch_data "raw data" o.data o.dlen in
+        let* extents =
+          if o.chunk_btree = 0 then Ok []
+          else
+            let* root_raw = fetch "chunk B-tree" o.chunk_btree Layout.btree_size in
+            let* root = Layout.parse_btree root_raw in
+            match root with
+            | Layout.Group_btree _ -> Error "chunk B-tree: wrong B-tree signature"
+            | Layout.Chunk_btree { child; kids; _ } ->
+                let* child_kids =
+                  if child = 0 then Ok []
+                  else
+                    let* child_raw = fetch "chunk B-tree child" child Layout.btree_size in
+                    let* node = Layout.parse_btree child_raw in
+                    match node with
+                    | Layout.Group_btree _ ->
+                        Error "chunk B-tree child: wrong B-tree signature"
+                    | Layout.Chunk_btree { kids = k; child = c; _ } ->
+                        if c <> 0 then Error "chunk B-tree child: unexpected depth"
+                        else Ok k
+                in
+                let rec read_all acc = function
+                  | [] -> Ok (List.rev acc)
+                  | (addr, len) :: rest ->
+                      let* raw = fetch_data "chunk" addr len in
+                      read_all (raw :: acc) rest
+                in
+                read_all [] (kids @ child_kids)
+        in
+        let data = String.concat "" (first :: extents) in
+        ignore gname;
+        ignore name;
+        Ok
+          (Dset
+             {
+               rows = o.rows;
+               cols = o.cols;
+               digest = Paracrash_util.Digestutil.of_string data;
+             })
+      in
+      let parse_group gname (og : Layout.ohdr_group) =
+        let result =
+          let* heap_raw = fetch "local heap" og.g_heap Layout.heap_size in
+          let* heap = Layout.parse_heap heap_raw in
+          let* btree_raw = fetch "B-tree node" og.g_btree Layout.btree_size in
+          let* btree = Layout.parse_btree btree_raw in
+          let* snod_addr =
+            match btree with
+            | Layout.Group_btree { snod; keys; _ } ->
+                let rec check_keys = function
+                  | [] -> Ok snod
+                  | k :: rest -> (
+                      match Layout.heap_name heap k with
+                      | Ok _ -> check_keys rest
+                      | Error m -> Error ("B-tree key: " ^ m))
+                in
+                check_keys keys
+            | Layout.Chunk_btree _ -> Error "group B-tree: wrong B-tree signature"
+          in
+          let* snod_raw = fetch "symbol table node" snod_addr Layout.snod_size in
+          let* snod = Layout.parse_snod snod_raw in
+          let* entries =
+            let rec go acc = function
+              | [] -> Ok (List.rev acc)
+              | (e : Layout.snod_entry) :: rest ->
+                  let* name = Layout.heap_name heap e.name_off in
+                  go ((name, e.ohdr) :: acc) rest
+            in
+            go [] snod.Layout.entries
+          in
+          Ok entries
+        in
+        match result with
+        | Error m -> Group_corrupt m
+        | Ok entries ->
+            let datasets =
+              List.map
+                (fun (name, ohdr_addr) ->
+                  let dv =
+                    let* raw = fetch "object header" ohdr_addr Layout.ohdr_dataset_size in
+                    let* o = Layout.parse_ohdr_dataset raw in
+                    parse_dataset gname name o
+                  in
+                  match dv with
+                  | Ok v -> (name, v)
+                  | Error m -> (name, Dset_corrupt m))
+                entries
+            in
+            Group datasets
+      in
+      (* the root group's entries are groups *)
+      let root =
+        let* raw = fetch "root object header" sb.root Layout.ohdr_group_size in
+        let* og = Layout.parse_ohdr_group raw in
+        let* heap_raw = fetch "root local heap" og.g_heap Layout.heap_size in
+        let* heap = Layout.parse_heap heap_raw in
+        let* btree_raw = fetch "root B-tree node" og.g_btree Layout.btree_size in
+        let* btree = Layout.parse_btree btree_raw in
+        let* snod_addr =
+          match btree with
+          | Layout.Group_btree { snod; keys; _ } ->
+              let rec check_keys = function
+                | [] -> Ok snod
+                | k :: rest -> (
+                    match Layout.heap_name heap k with
+                    | Ok _ -> check_keys rest
+                    | Error m -> Error ("root B-tree key: " ^ m))
+              in
+              check_keys keys
+          | Layout.Chunk_btree _ -> Error "root B-tree: wrong B-tree signature"
+        in
+        let* snod_raw = fetch "root symbol table node" snod_addr Layout.snod_size in
+        let* snod = Layout.parse_snod snod_raw in
+        let rec go acc = function
+          | [] -> Ok (List.rev acc)
+          | (e : Layout.snod_entry) :: rest ->
+              let* name = Layout.heap_name heap e.name_off in
+              go ((name, e.ohdr) :: acc) rest
+        in
+        go [] snod.Layout.entries
+      in
+      match root with
+      | Error m -> File_corrupt m
+      | Ok group_entries ->
+          let groups =
+            List.map
+              (fun (gname, ohdr_addr) ->
+                let gv =
+                  let* raw = fetch "group object header" ohdr_addr Layout.ohdr_group_size in
+                  let* og = Layout.parse_ohdr_group raw in
+                  Ok (parse_group gname og)
+                in
+                match gv with
+                | Ok v -> (gname, v)
+                | Error m -> (gname, Group_corrupt m))
+              group_entries
+          in
+          if !serial_violated then
+            File_corrupt
+              "HDF5 error -101: object header depends on a newer superblock"
+          else File groups)
+
+let canonical_of_view = function
+  | File_corrupt m -> Printf.sprintf "H5 CORRUPT %s\n" m
+  | File groups ->
+      let buf = Buffer.create 128 in
+      Buffer.add_string buf "H5 ok\n";
+      let sorted = List.sort (fun (a, _) (b, _) -> String.compare a b) groups in
+      List.iter
+        (fun (g, gv) ->
+          match gv with
+          | Group_corrupt m ->
+              Buffer.add_string buf (Printf.sprintf "G %s CORRUPT %s\n" g m)
+          | Group datasets ->
+              Buffer.add_string buf (Printf.sprintf "G %s ok\n" g);
+              let ds = List.sort (fun (a, _) (b, _) -> String.compare a b) datasets in
+              List.iter
+                (fun (name, dv) ->
+                  match dv with
+                  | Dset { rows; cols; digest } ->
+                      Buffer.add_string buf
+                        (Printf.sprintf "D %s/%s %dx%d %s\n" g name rows cols digest)
+                  | Dset_corrupt m ->
+                      Buffer.add_string buf
+                        (Printf.sprintf "D %s/%s CORRUPT %s\n" g name m))
+                ds)
+        sorted;
+      Buffer.contents buf
+
+let canonical bytes = canonical_of_view (parse bytes)
+
+let is_clean = function
+  | File_corrupt _ -> false
+  | File groups ->
+      List.for_all
+        (fun (_, gv) ->
+          match gv with
+          | Group_corrupt _ -> false
+          | Group ds ->
+              List.for_all
+                (fun (_, dv) -> match dv with Dset _ -> true | Dset_corrupt _ -> false)
+                ds)
+        groups

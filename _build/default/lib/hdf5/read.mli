@@ -1,0 +1,27 @@
+(** HDF5 file reader and format checker (the h5check role).
+
+    Parses raw file bytes (as read back through a possibly-crashed PFS)
+    into the library-level logical view and validates every structural
+    invariant: signatures, end-of-file bounds (address overflow), heap
+    name resolution, symbol-table / B-tree integrity, and the NetCDF
+    superblock-serial dependency. The canonical rendering coincides
+    with {!Golden.canonical} on intact files, so recovered states can
+    be compared against golden replays directly. *)
+
+type dataset_view =
+  | Dset of { rows : int; cols : int; digest : string }
+  | Dset_corrupt of string
+
+type group_view =
+  | Group of (string * dataset_view) list
+  | Group_corrupt of string
+
+type view = File_corrupt of string | File of (string * group_view) list
+
+val parse : string -> view
+val canonical_of_view : view -> string
+val canonical : string -> string
+(** [canonical bytes = canonical_of_view (parse bytes)]. *)
+
+val is_clean : view -> bool
+(** No corruption anywhere. *)

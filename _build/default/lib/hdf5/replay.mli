@@ -1,0 +1,16 @@
+(** The h5replay tool (§5.1 of the paper).
+
+    The original framework replays HDF5-level operation sequences by
+    generating a C program with the corresponding HDF5 calls. Here a
+    replay executes the operations directly against a fresh stack, and
+    {!to_c_program} renders the C program the original tool would have
+    produced, for inspection and documentation. *)
+
+val replay :
+  Paracrash_mpiio.Mpiio.ctx -> path:string -> H5op.t list -> File.t
+(** Create [path] on the context's PFS and apply the operations through
+    the library. Operations on objects the sequence never created are
+    skipped, mirroring golden-replay semantics. *)
+
+val to_c_program : path:string -> H5op.t list -> string
+(** The C source of an equivalent HDF5 program. *)

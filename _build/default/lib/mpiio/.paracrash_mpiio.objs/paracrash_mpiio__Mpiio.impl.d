@@ -1,0 +1,1 @@
+lib/mpiio/mpiio.ml: List Paracrash_pfs Paracrash_trace Printf String

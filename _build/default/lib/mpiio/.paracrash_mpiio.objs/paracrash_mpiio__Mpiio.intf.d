@@ -1,0 +1,1 @@
+lib/mpiio/mpiio.mli: Paracrash_pfs

@@ -1,0 +1,55 @@
+module Tracer = Paracrash_trace.Tracer
+module Event = Paracrash_trace.Event
+module Handle = Paracrash_pfs.Handle
+module Pfs_op = Paracrash_pfs.Pfs_op
+
+type ctx = { h : Handle.t; tracer : Tracer.t; nprocs : int }
+
+let init h ~nprocs =
+  if nprocs <= 0 then invalid_arg "Mpiio.init: nprocs";
+  { h; tracer = Handle.tracer h; nprocs }
+
+let nprocs t = t.nprocs
+let handle t = t.h
+let rank_proc r = Printf.sprintf "rank#%d" r
+
+let with_mpi t ~rank ~name ~args body =
+  Tracer.with_call t.tracer ~proc:(rank_proc rank) ~layer:Event.Mpi ~name ~args
+    body
+
+let file_open t ~rank ?(create = false) path =
+  let mode = if create then "MODE_CREATE" else "MODE_RDWR" in
+  with_mpi t ~rank ~name:"MPI_File_open" ~args:[ path; mode ] (fun () ->
+      if create then
+        Handle.exec t.h ~client:(rank_proc rank) (Pfs_op.Creat { path }))
+
+let write_at t ~rank path ~off ?(what = "") data =
+  with_mpi t ~rank ~name:"MPI_File_write_at"
+    ~args:[ path; string_of_int off; string_of_int (String.length data) ]
+    (fun () ->
+      Handle.exec t.h ~client:(rank_proc rank) (Pfs_op.Write { path; off; data; what }))
+
+let read t ~rank path =
+  ignore rank;
+  Handle.read_file t.h path
+
+let barrier t =
+  if Tracer.enabled t.tracer then begin
+    let enters =
+      List.init t.nprocs (fun r ->
+          Tracer.record t.tracer ~proc:(rank_proc r) ~layer:Event.Mpi
+            (Event.Call { name = "MPI_Barrier"; args = [ "enter" ] }))
+    in
+    let exits =
+      List.init t.nprocs (fun r ->
+          Tracer.record t.tracer ~proc:(rank_proc r) ~layer:Event.Mpi
+            (Event.Call { name = "MPI_Barrier"; args = [ "exit" ] }))
+    in
+    List.iter
+      (fun e -> List.iter (fun x -> Tracer.add_edge t.tracer e x) exits)
+      enters
+  end
+
+let close t ~rank path =
+  with_mpi t ~rank ~name:"MPI_File_close" ~args:[ path ] (fun () ->
+      Handle.exec t.h ~client:(rank_proc rank) (Pfs_op.Close { path }))

@@ -1,0 +1,37 @@
+(** Simulated MPI-IO layer.
+
+    Ranks are separate client processes ([rank#0], [rank#1], ...);
+    their calls are recorded as MPI-layer events and translated into
+    PFS client operations. [MPI_Barrier] contributes the only
+    cross-rank happens-before edges: between two barriers, operations
+    of different ranks are causally unordered — exactly the window in
+    which collective I/O-library calls can be torn by a crash even on a
+    causally consistent PFS (Table 3 row 9). *)
+
+type ctx
+
+val init : Paracrash_pfs.Handle.t -> nprocs:int -> ctx
+val nprocs : ctx -> int
+val handle : ctx -> Paracrash_pfs.Handle.t
+val rank_proc : int -> string
+
+val file_open :
+  ctx -> rank:int -> ?create:bool -> string -> unit
+(** [MPI_File_open]; with [create] (collective, performed once by rank
+    0) the file is created on the PFS. *)
+
+val write_at :
+  ctx -> rank:int -> string -> off:int -> ?what:string -> string -> unit
+(** [MPI_File_write_at]. [what] names the I/O-library structure being
+    written; it propagates to the server-side trace tags. *)
+
+val read : ctx -> rank:int -> string -> (string, string) result
+(** Whole-file read through the live PFS. *)
+
+val barrier : ctx -> unit
+(** [MPI_Barrier] on all ranks: records one enter and one exit event
+    per rank and adds every enter -> exit cross edge. *)
+
+val close : ctx -> rank:int -> string -> unit
+(** [MPI_File_close] (records the PFS-level close used by the baseline
+    crash-consistency model). *)

@@ -1,0 +1,1 @@
+lib/net/rpc.ml: List Paracrash_trace

@@ -1,0 +1,1 @@
+lib/net/rpc.mli: Paracrash_trace

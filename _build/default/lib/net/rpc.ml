@@ -1,0 +1,52 @@
+module Tracer = Paracrash_trace.Tracer
+module Event = Paracrash_trace.Event
+
+let call t ~client ~server ?(reply = true) handler =
+  if not (Tracer.enabled t) then handler ()
+  else begin
+    let msg = Tracer.fresh_msg t in
+    let send =
+      Tracer.record t ~proc:client ~layer:Event.Net (Event.Send { msg; dst = server })
+    in
+    (* the whole handler, including the receive and the reply, runs in
+       its own conversation on the server: two concurrent clients'
+       handlers are causally unordered even on one server *)
+    Tracer.begin_conversation t ~proc:server msg;
+    let recv =
+      Tracer.record t ~proc:server ~layer:Event.Net (Event.Recv { msg; src = client })
+    in
+    Tracer.add_edge t send recv;
+    Tracer.push_caller t ~proc:server recv;
+    let cleanup () =
+      Tracer.pop_caller t ~proc:server;
+      Tracer.end_conversation t ~proc:server
+    in
+    let finish () =
+      if reply then begin
+        let msg' = Tracer.fresh_msg t in
+        let send' =
+          Tracer.record t ~proc:server ~layer:Event.Net
+            (Event.Send { msg = msg'; dst = client })
+        in
+        cleanup ();
+        let recv' =
+          Tracer.record t ~proc:client ~layer:Event.Net
+            (Event.Recv { msg = msg'; src = server })
+        in
+        Tracer.add_edge t send' recv'
+      end
+      else cleanup ()
+    in
+    match handler () with
+    | v ->
+        finish ();
+        v
+    | exception e ->
+        cleanup ();
+        raise e
+  end
+
+let oneway t ~client ~server handler = call t ~client ~server ~reply:false handler
+
+let broadcast t ~client ~servers handler =
+  List.iter (fun server -> call t ~client ~server (fun () -> handler server)) servers

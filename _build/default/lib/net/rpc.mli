@@ -1,0 +1,33 @@
+(** Simulated remote procedure calls between stack processes.
+
+    An RPC records a [Send] on the caller, a [Recv] on the callee, runs
+    the handler with the receive event as the callee's innermost caller
+    (so server-side storage operations correlate back to the client
+    call), and optionally records the reply pair. The send/receive
+    pairs contribute the cross-process happens-before edges of the
+    causality graph. *)
+
+val call :
+  Paracrash_trace.Tracer.t ->
+  client:string ->
+  server:string ->
+  ?reply:bool ->
+  (unit -> 'a) ->
+  'a
+(** [call t ~client ~server handler] performs a synchronous RPC.
+    [reply] (default [true]) controls whether the server's completion
+    is acknowledged to the client (creating a server -> client
+    happens-before edge). *)
+
+val oneway :
+  Paracrash_trace.Tracer.t -> client:string -> server:string -> (unit -> 'a) -> 'a
+(** [call] with [~reply:false]: the client does not wait, so later
+    client events are not ordered after the server-side effects. *)
+
+val broadcast :
+  Paracrash_trace.Tracer.t ->
+  client:string ->
+  servers:string list ->
+  (string -> unit) ->
+  unit
+(** One RPC per server, each with a reply. *)

@@ -1,0 +1,1 @@
+lib/netcdf/netcdf.ml: Paracrash_hdf5

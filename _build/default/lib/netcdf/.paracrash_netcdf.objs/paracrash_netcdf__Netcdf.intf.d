@@ -1,0 +1,1 @@
+lib/netcdf/netcdf.mli: Paracrash_hdf5 Paracrash_mpiio

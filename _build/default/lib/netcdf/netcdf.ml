@@ -1,0 +1,14 @@
+module File = Paracrash_hdf5.File
+
+type t = { file : File.t }
+
+let create ctx path = { file = File.create ctx path }
+let hdf5 t = t.file
+let def_group t ?rank name = File.create_group t.file ?rank name
+
+let def_var t ?rank ~group ~name ~rows ~cols () =
+  File.cdf_create_var t.file ?rank ~group ~name ~rows ~cols ()
+
+let rename_var t ?rank ~group ~name ~new_name () =
+  File.move_dataset t.file ?rank ~src_group:group ~name ~dst_group:group
+    ~new_name ()

@@ -1,0 +1,24 @@
+(** NetCDF-4 over the HDF5 substrate.
+
+    NetCDF-4 stores its variables as HDF5 datasets inside an HDF5 file
+    and keeps dimension-scale bookkeeping that ties each variable's
+    object header to the superblock revision that recorded it — the
+    dependency behind Table 3 row 15 (CDF-create: superblock must
+    persist before the object header, or the file cannot be opened,
+    [HDF5 error -101]). *)
+
+type t
+
+val create : Paracrash_mpiio.Mpiio.ctx -> string -> t
+(** Create a NetCDF-4 file (an HDF5 file underneath). *)
+
+val hdf5 : t -> Paracrash_hdf5.File.t
+
+val def_group : t -> ?rank:int -> string -> unit
+val def_var :
+  t -> ?rank:int -> group:string -> name:string -> rows:int -> cols:int ->
+  unit -> unit
+val rename_var :
+  t -> ?rank:int -> group:string -> name:string -> new_name:string ->
+  unit -> unit
+(** NetCDF variable rename (relinks the underlying dataset). *)

@@ -1,0 +1,1 @@
+lib/pfs/beegfs.ml: Config Handle Hashtbl Images Int List Logical Paracrash_net Paracrash_trace Paracrash_vfs Pfs_op Printf Result String Striping

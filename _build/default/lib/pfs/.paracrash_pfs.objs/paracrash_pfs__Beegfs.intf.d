@@ -1,0 +1,1 @@
+lib/pfs/beegfs.mli: Config Handle Paracrash_trace

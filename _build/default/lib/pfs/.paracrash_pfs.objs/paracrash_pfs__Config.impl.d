@@ -1,0 +1,1 @@
+lib/pfs/config.ml: Fmt Paracrash_vfs

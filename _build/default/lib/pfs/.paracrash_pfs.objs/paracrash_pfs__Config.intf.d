@@ -1,0 +1,1 @@
+lib/pfs/config.mli: Format Paracrash_vfs

@@ -1,0 +1,1 @@
+lib/pfs/extfs.ml: Config Handle Hashtbl Images Logical Paracrash_net Paracrash_trace Paracrash_vfs Pfs_op Printf String

@@ -1,0 +1,1 @@
+lib/pfs/extfs.mli: Config Handle Paracrash_trace

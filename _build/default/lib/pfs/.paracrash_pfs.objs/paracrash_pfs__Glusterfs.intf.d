@@ -1,0 +1,1 @@
+lib/pfs/glusterfs.mli: Config Handle Paracrash_trace

@@ -1,0 +1,1 @@
+lib/pfs/golden.ml: Bytes List Logical Pfs_op String

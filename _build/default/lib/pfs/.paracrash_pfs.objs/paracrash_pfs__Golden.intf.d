@@ -1,0 +1,1 @@
+lib/pfs/golden.mli: Logical Pfs_op

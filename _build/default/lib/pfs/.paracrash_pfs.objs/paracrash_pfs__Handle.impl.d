@@ -1,0 +1,1 @@
+lib/pfs/handle.ml: Config Images List Logical Paracrash_trace Paracrash_vfs Pfs_op String

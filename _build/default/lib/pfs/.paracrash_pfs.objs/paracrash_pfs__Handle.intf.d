@@ -1,0 +1,1 @@
+lib/pfs/handle.mli: Config Images Logical Paracrash_trace Paracrash_vfs Pfs_op

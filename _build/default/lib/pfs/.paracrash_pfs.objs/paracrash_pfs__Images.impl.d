@@ -1,0 +1,1 @@
+lib/pfs/images.ml: List Map Paracrash_blockdev Paracrash_util Paracrash_vfs String

@@ -1,0 +1,1 @@
+lib/pfs/images.mli: Paracrash_blockdev Paracrash_vfs

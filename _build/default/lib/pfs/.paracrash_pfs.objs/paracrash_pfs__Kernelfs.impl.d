@@ -1,0 +1,1 @@
+lib/pfs/kernelfs.ml: Bytes Config Handle Hashtbl Images Int List Logical Option Paracrash_blockdev Paracrash_net Paracrash_trace Paracrash_vfs Pfs_op Printf Scanf String

@@ -1,0 +1,1 @@
+lib/pfs/kernelfs.mli: Config Handle Paracrash_trace

@@ -1,0 +1,1 @@
+lib/pfs/logical.ml: Buffer Fmt List Map Paracrash_util Printf String

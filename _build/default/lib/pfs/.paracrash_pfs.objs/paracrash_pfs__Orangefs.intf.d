@@ -1,0 +1,1 @@
+lib/pfs/orangefs.mli: Config Handle Paracrash_trace

@@ -1,0 +1,1 @@
+lib/pfs/pfs_op.ml: Fmt String

@@ -1,0 +1,1 @@
+lib/pfs/pfs_op.mli: Format

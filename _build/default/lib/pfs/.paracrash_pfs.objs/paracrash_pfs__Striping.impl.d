@@ -1,0 +1,1 @@
+lib/pfs/striping.ml: Bytes Hashtbl List String

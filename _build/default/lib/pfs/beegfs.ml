@@ -1,0 +1,566 @@
+module Tracer = Paracrash_trace.Tracer
+module Event = Paracrash_trace.Event
+module Rpc = Paracrash_net.Rpc
+module Vop = Paracrash_vfs.Op
+module Vstate = Paracrash_vfs.State
+
+let meta_proc i = Printf.sprintf "meta#%d" i
+let storage_proc i = Printf.sprintf "storage#%d" i
+
+type t = {
+  cfg : Config.t;
+  tracer : Tracer.t;
+  mutable images : Images.t;
+  mutable next_id : int;
+  mutable stamp : int;  (* monotonic mtime source, separate from ids *)
+  dir_ids : (string, int) Hashtbl.t;  (* PFS dir path -> dir id *)
+  file_ids : (string, int) Hashtbl.t;  (* PFS file path -> file id *)
+  idfile_server : (int, int) Hashtbl.t;  (* file id -> meta index *)
+  sizes : (int, int) Hashtbl.t;  (* file id -> logical size *)
+  chunk_servers : (int, int list ref) Hashtbl.t;  (* file id -> storage idxs *)
+}
+
+let dentries_dir dirid = Printf.sprintf "/dentries/%d" dirid
+let dentry_path dirid name = Printf.sprintf "/dentries/%d/%s" dirid name
+let idfile_path fileid = Printf.sprintf "/inodes/%d" fileid
+let chunk_path fileid = Printf.sprintf "/chunks/%d" fileid
+let owner_of_dir t dirid = dirid mod t.cfg.Config.n_meta
+let chunk_start t fileid = fileid mod t.cfg.Config.n_storage
+
+(* Record a server-side local FS operation and apply it to the live
+   image. Live application must never fail; a failure is a simulator
+   bug, not a crash state. *)
+let posix t server ?(tag = "") op =
+  ignore (Tracer.record t.tracer ~proc:server ~layer:Event.Posix ~tag (Event.Posix_op op));
+  let images, err = Images.apply_posix t.images server op in
+  match err with
+  | None -> t.images <- images
+  | Some e ->
+      failwith
+        (Printf.sprintf "beegfs: live op failed on %s: %s: %s" server
+           (Vop.to_string op) e)
+
+let fresh_id t =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  id
+
+let fresh_stamp t =
+  let v = t.stamp in
+  t.stamp <- v + 1;
+  v
+
+let parent_dir_id t path =
+  let parent = Paracrash_vfs.Vpath.parent path in
+  match Hashtbl.find_opt t.dir_ids parent with
+  | Some id -> id
+  | None -> failwith ("beegfs: unknown parent directory " ^ parent)
+
+let basename = Paracrash_vfs.Vpath.basename
+
+let touch_dir_inode t dirid =
+  let m = meta_proc (owner_of_dir t dirid) in
+  posix t m ~tag:(Printf.sprintf "dir_inode of dir#%d" dirid)
+    (Vop.Setxattr
+       { path = dentries_dir dirid; key = "mtime"; value = string_of_int (fresh_stamp t) })
+
+(* --- client operations ------------------------------------------------ *)
+
+let do_creat t ~client path =
+  let pdir = parent_dir_id t path in
+  let m = owner_of_dir t pdir in
+  let id = fresh_id t in
+  Rpc.call t.tracer ~client ~server:(meta_proc m) (fun () ->
+      posix t (meta_proc m) ~tag:("idfile of " ^ path)
+        (Vop.Creat { path = idfile_path id });
+      posix t (meta_proc m) ~tag:("idfile of " ^ path)
+        (Vop.Setxattr { path = idfile_path id; key = "fileid"; value = string_of_int id });
+      posix t (meta_proc m) ~tag:("d_entry of " ^ path)
+        (Vop.Link { src = idfile_path id; dst = dentry_path pdir (basename path) });
+      touch_dir_inode t pdir);
+  Hashtbl.replace t.file_ids path id;
+  Hashtbl.replace t.idfile_server id m;
+  Hashtbl.replace t.sizes id 0;
+  Hashtbl.replace t.chunk_servers id (ref [])
+
+let do_mkdir t ~client path =
+  let pdir = parent_dir_id t path in
+  let m = owner_of_dir t pdir in
+  let id = fresh_id t in
+  let m' = owner_of_dir t id in
+  Rpc.call t.tracer ~client ~server:(meta_proc m) (fun () ->
+      posix t (meta_proc m) ~tag:("d_entry of " ^ path)
+        (Vop.Creat { path = dentry_path pdir (basename path) });
+      posix t (meta_proc m) ~tag:("d_entry of " ^ path)
+        (Vop.Setxattr
+           { path = dentry_path pdir (basename path); key = "target";
+             value = "dir:" ^ string_of_int id });
+      touch_dir_inode t pdir);
+  Rpc.call t.tracer ~client ~server:(meta_proc m') (fun () ->
+      posix t (meta_proc m') ~tag:("dir entries of " ^ path)
+        (Vop.Mkdir { path = dentries_dir id }));
+  Hashtbl.replace t.dir_ids path id
+
+let ensure_chunk t fileid server_idx =
+  let holders =
+    match Hashtbl.find_opt t.chunk_servers fileid with
+    | Some r -> r
+    | None ->
+        let r = ref [] in
+        Hashtbl.replace t.chunk_servers fileid r;
+        r
+  in
+  if not (List.mem server_idx !holders) then begin
+    holders := server_idx :: !holders;
+    true
+  end
+  else false
+
+let do_write t ~client ?(what = "") path off data =
+  let data_tag = if what = "" then "file chunk of " ^ path else what in
+  let id =
+    match Hashtbl.find_opt t.file_ids path with
+    | Some id -> id
+    | None -> failwith ("beegfs: write to unknown file " ^ path)
+  in
+  let pieces =
+    Striping.pieces ~stripe_size:t.cfg.Config.stripe_size
+      ~n_servers:t.cfg.Config.n_storage ~start:(chunk_start t id) ~off
+      ~len:(String.length data)
+  in
+  (* group consecutive pieces by server, preserving order *)
+  let by_server = Hashtbl.create 4 in
+  List.iter
+    (fun (p : Striping.piece) ->
+      let cur =
+        match Hashtbl.find_opt by_server p.server with Some l -> l | None -> []
+      in
+      Hashtbl.replace by_server p.server (p :: cur))
+    pieces;
+  let server_order =
+    List.sort_uniq Int.compare (List.map (fun (p : Striping.piece) -> p.Striping.server) pieces)
+  in
+  List.iter
+    (fun j ->
+      let ps = List.rev (Hashtbl.find by_server j) in
+      Rpc.call t.tracer ~client ~server:(storage_proc j) (fun () ->
+          if ensure_chunk t id j then
+            posix t (storage_proc j) ~tag:data_tag
+              (Vop.Creat { path = chunk_path id });
+          List.iter
+            (fun (p : Striping.piece) ->
+              posix t (storage_proc j) ~tag:data_tag
+                (Vop.Write
+                   { path = chunk_path id; off = p.local_off;
+                     data = String.sub data p.data_off p.len }))
+            ps))
+    server_order;
+  let old_size = match Hashtbl.find_opt t.sizes id with Some s -> s | None -> 0 in
+  let new_size = max old_size (off + String.length data) in
+  Hashtbl.replace t.sizes id new_size;
+  let m = match Hashtbl.find_opt t.idfile_server id with Some m -> m | None -> 0 in
+  Rpc.call t.tracer ~client ~server:(meta_proc m) (fun () ->
+      posix t (meta_proc m) ~tag:("idfile of " ^ path)
+        (Vop.Setxattr
+           { path = idfile_path id; key = "size"; value = string_of_int new_size }))
+
+let do_append t ~client path data =
+  let id =
+    match Hashtbl.find_opt t.file_ids path with
+    | Some id -> id
+    | None -> failwith ("beegfs: append to unknown file " ^ path)
+  in
+  let size = match Hashtbl.find_opt t.sizes id with Some s -> s | None -> 0 in
+  do_write t ~client path size data
+
+(* Remove the old target of a replacing rename/unlink: idfile on its
+   metadata server and chunk files on the storage servers. *)
+let remove_file_objects t ~via ~what id =
+  let m = match Hashtbl.find_opt t.idfile_server id with Some m -> m | None -> 0 in
+  (if via <> meta_proc m then
+     Rpc.call t.tracer ~client:via ~server:(meta_proc m) (fun () ->
+         posix t (meta_proc m) ~tag:("old idfile of " ^ what)
+           (Vop.Unlink { path = idfile_path id }))
+   else
+     posix t (meta_proc m) ~tag:("old idfile of " ^ what)
+       (Vop.Unlink { path = idfile_path id }));
+  let holders =
+    match Hashtbl.find_opt t.chunk_servers id with Some r -> !r | None -> []
+  in
+  List.iter
+    (fun j ->
+      Rpc.call t.tracer ~client:via ~server:(storage_proc j) (fun () ->
+          posix t (storage_proc j) ~tag:("old file chunk of " ^ what)
+            (Vop.Unlink { path = chunk_path id })))
+    (List.sort Int.compare holders)
+
+let retarget_tables t src dst =
+  (* move client-side name bindings from [src] subtree to [dst] *)
+  let move tbl =
+    let moved =
+      Hashtbl.fold
+        (fun p id acc ->
+          if String.equal p src then (p, dst, id) :: acc
+          else
+            let prefix = src ^ "/" in
+            if String.starts_with ~prefix p then
+              (p, dst ^ String.sub p (String.length src) (String.length p - String.length src), id)
+              :: acc
+            else acc)
+        tbl []
+    in
+    List.iter
+      (fun (old_p, new_p, id) ->
+        Hashtbl.remove tbl old_p;
+        Hashtbl.replace tbl new_p id)
+      moved
+  in
+  move t.file_ids;
+  move t.dir_ids
+
+let do_rename t ~client src dst =
+  let src_pdir = parent_dir_id t src and dst_pdir = parent_dir_id t dst in
+  let m_src = owner_of_dir t src_pdir and m_dst = owner_of_dir t dst_pdir in
+  let replaced = Hashtbl.find_opt t.file_ids dst in
+  let is_dir = Hashtbl.mem t.dir_ids src in
+  if m_src = m_dst then
+    Rpc.call t.tracer ~client ~server:(meta_proc m_src) (fun () ->
+        posix t (meta_proc m_src)
+          ~tag:(Printf.sprintf "d_entry of %s -> d_entry of %s" src dst)
+          (Vop.Rename
+             { src = dentry_path src_pdir (basename src);
+               dst = dentry_path dst_pdir (basename dst) });
+        touch_dir_inode t dst_pdir;
+        match replaced with
+        | Some old_id ->
+            remove_file_objects t ~via:(meta_proc m_src) ~what:dst old_id;
+            (* the renamed file's inode object may live on another
+               metadata server if the file itself arrived here through a
+               cross-server rename *)
+            let id = Hashtbl.find t.file_ids src in
+            let im =
+              match Hashtbl.find_opt t.idfile_server id with
+              | Some im -> im
+              | None -> m_src
+            in
+            let touch () =
+              posix t (meta_proc im) ~tag:("idfile of " ^ dst)
+                (Vop.Setxattr
+                   { path = idfile_path id; key = "mtime";
+                     value = string_of_int (fresh_stamp t) })
+            in
+            if im = m_src then touch ()
+            else Rpc.call t.tracer ~client:(meta_proc m_src) ~server:(meta_proc im) touch
+        | None -> ())
+  else begin
+    (* cross-metadata-server rename: create the new entry, then remove
+       the old one; no ordering is enforced between the two servers *)
+    let entry_target =
+      if is_dir then "dir:" ^ string_of_int (Hashtbl.find t.dir_ids src)
+      else "id:" ^ string_of_int (Hashtbl.find t.file_ids src)
+    in
+    Rpc.call t.tracer ~client ~server:(meta_proc m_dst) (fun () ->
+        (* an existing destination entry may be a hard link sharing the
+           replaced file's inode: creat alone would keep that inode (and
+           its stale xattrs) alive under the new target *)
+        (if replaced <> None then
+           posix t (meta_proc m_dst) ~tag:("old d_entry of " ^ dst)
+             (Vop.Unlink { path = dentry_path dst_pdir (basename dst) }));
+        posix t (meta_proc m_dst) ~tag:("d_entry of " ^ dst)
+          (Vop.Creat { path = dentry_path dst_pdir (basename dst) });
+        posix t (meta_proc m_dst) ~tag:("d_entry of " ^ dst)
+          (Vop.Setxattr
+             { path = dentry_path dst_pdir (basename dst); key = "target";
+               value = entry_target });
+        touch_dir_inode t dst_pdir);
+    Rpc.call t.tracer ~client ~server:(meta_proc m_src) (fun () ->
+        posix t (meta_proc m_src) ~tag:("d_entry of " ^ src)
+          (Vop.Unlink { path = dentry_path src_pdir (basename src) });
+        touch_dir_inode t src_pdir);
+    match replaced with
+    | Some old_id -> remove_file_objects t ~via:client ~what:dst old_id
+    | None -> ()
+  end;
+  (match replaced with
+  | Some old_id ->
+      Hashtbl.remove t.idfile_server old_id;
+      Hashtbl.remove t.sizes old_id;
+      Hashtbl.remove t.chunk_servers old_id
+  | None -> ());
+  retarget_tables t src dst
+
+let do_unlink t ~client path =
+  match Hashtbl.find_opt t.file_ids path with
+  | None -> failwith ("beegfs: unlink of unknown file " ^ path)
+  | Some id ->
+      let pdir = parent_dir_id t path in
+      let m = owner_of_dir t pdir in
+      Rpc.call t.tracer ~client ~server:(meta_proc m) (fun () ->
+          posix t (meta_proc m) ~tag:("d_entry of " ^ path)
+            (Vop.Unlink { path = dentry_path pdir (basename path) });
+          touch_dir_inode t pdir);
+      remove_file_objects t ~via:client ~what:path id;
+      Hashtbl.remove t.file_ids path;
+      Hashtbl.remove t.idfile_server id;
+      Hashtbl.remove t.sizes id;
+      Hashtbl.remove t.chunk_servers id
+
+let do_fsync t ~client path =
+  (* tuneRemoteFSync: the client's fsync is forwarded to the storage
+     servers that hold chunks of the file *)
+  match Hashtbl.find_opt t.file_ids path with
+  | None -> ()
+  | Some id ->
+      let holders =
+        match Hashtbl.find_opt t.chunk_servers id with Some r -> !r | None -> []
+      in
+      List.iter
+        (fun j ->
+          Rpc.call t.tracer ~client ~server:(storage_proc j) (fun () ->
+              posix t (storage_proc j) ~tag:("file chunk of " ^ path)
+                (Vop.Fsync { path = chunk_path id })))
+        (List.sort Int.compare holders)
+
+let do_op t ~client (op : Pfs_op.t) =
+  match op with
+  | Creat { path } -> do_creat t ~client path
+  | Mkdir { path } -> do_mkdir t ~client path
+  | Write { path; off; data; what } -> do_write t ~client ~what path off data
+  | Append { path; data } -> do_append t ~client path data
+  | Rename { src; dst } -> do_rename t ~client src dst
+  | Unlink { path } -> do_unlink t ~client path
+  | Fsync { path } -> do_fsync t ~client path
+  | Close _ -> ()
+
+(* --- mount: read a set of server images back into the logical view --- *)
+
+let find_idfile cfg images id =
+  let rec go m =
+    if m >= cfg.Config.n_meta then None
+    else
+      let st = Images.fs_exn images (meta_proc m) in
+      if Vstate.is_file st (idfile_path id) then Some (st, idfile_path id)
+      else go (m + 1)
+  in
+  go 0
+
+let read_chunks cfg images id size =
+  Striping.reassemble ~stripe_size:cfg.Config.stripe_size
+    ~n_servers:cfg.Config.n_storage ~start:(id mod cfg.Config.n_storage) ~size
+    ~read_chunk:(fun j ->
+      let st = Images.fs_exn images (storage_proc j) in
+      match Vstate.read_file st (chunk_path id) with Ok c -> c | Error _ -> "")
+
+let mount cfg images =
+  let view = ref Logical.empty in
+  let visited = Hashtbl.create 8 in
+  let file_of_id ~remote st_dentry dentry id_opt =
+    (* size lives as an xattr on the inode object; a hard-linked dentry
+       shares the inode, so it can be read through the dentry — but a
+       remote ("id:" target) dentry is a separate file whose xattrs say
+       nothing about the inode object *)
+    let via_dentry =
+      if remote then Error (Vstate.Enoent dentry)
+      else Vstate.getxattr st_dentry dentry "size"
+    in
+    let size_res =
+      match (via_dentry, id_opt) with
+      | Ok s, _ -> Ok s
+      | Error _, Some id -> (
+          match find_idfile cfg images id with
+          | Some (st, p) -> (
+              match Vstate.getxattr st p "size" with
+              | Ok s -> Ok s
+              | Error _ -> Ok "0")
+          | None -> Error "dangling dentry: no inode object")
+      | Error _, None -> Ok "0"
+    in
+    match (size_res, id_opt) with
+    | Error why, _ -> Logical.Unreadable why
+    | Ok _, None -> Logical.Unreadable "unidentifiable dentry"
+    | Ok s, Some id ->
+        let size = try int_of_string s with Failure _ -> 0 in
+        Logical.Data (read_chunks cfg images id size)
+  in
+  let rec walk dirid pfs_path =
+    if not (Hashtbl.mem visited dirid) then begin
+      Hashtbl.replace visited dirid ();
+      let st = Images.fs_exn images (meta_proc (dirid mod cfg.Config.n_meta)) in
+      match Vstate.list_dir st (dentries_dir dirid) with
+      | Error _ ->
+          if pfs_path <> "/" then
+            view := Logical.note !view ("missing entry directory for " ^ pfs_path)
+      | Ok names ->
+          List.iter
+            (fun name ->
+              let dentry = dentry_path dirid name in
+              let child =
+                if pfs_path = "/" then "/" ^ name else pfs_path ^ "/" ^ name
+              in
+              match Vstate.getxattr st dentry "target" with
+              | Ok s when String.starts_with ~prefix:"dir:" s ->
+                  let k = int_of_string (String.sub s 4 (String.length s - 4)) in
+                  view := Logical.add_dir !view child;
+                  walk k child
+              | Ok s when String.starts_with ~prefix:"id:" s ->
+                  let id = int_of_string (String.sub s 3 (String.length s - 3)) in
+                  view :=
+                    Logical.add_file !view child
+                      (file_of_id ~remote:true st dentry (Some id))
+              | Ok _ | Error _ ->
+                  (* hard-linked inode object: identify via the fileid xattr *)
+                  let id_opt =
+                    match Vstate.getxattr st dentry "fileid" with
+                    | Ok s -> int_of_string_opt s
+                    | Error _ -> None
+                  in
+                  view :=
+                    Logical.add_file !view child
+                      (file_of_id ~remote:false st dentry id_opt))
+            names
+    end
+  in
+  walk 0 "/";
+  !view
+
+(* --- beegfs-fsck ------------------------------------------------------ *)
+
+let fsck cfg images =
+  (* Pass 1: collect referenced file ids and directory ids from all
+     dentries; remove entries that cannot be resolved. *)
+  let referenced = Hashtbl.create 16 in
+  let to_remove = ref [] in
+  let scan_meta m =
+    let st = Images.fs_exn images (meta_proc m) in
+    match Vstate.list_dir st "/dentries" with
+    | Error _ -> ()
+    | Ok dirids ->
+        List.iter
+          (fun dirid_s ->
+            match Vstate.list_dir st ("/dentries/" ^ dirid_s) with
+            | Error _ -> ()
+            | Ok names ->
+                List.iter
+                  (fun name ->
+                    let dentry = "/dentries/" ^ dirid_s ^ "/" ^ name in
+                    match Vstate.getxattr st dentry "target" with
+                    | Ok s when String.starts_with ~prefix:"dir:" s -> ()
+                    | Ok s when String.starts_with ~prefix:"id:" s ->
+                        let id =
+                          int_of_string (String.sub s 3 (String.length s - 3))
+                        in
+                        if find_idfile cfg images id = None then
+                          to_remove := (meta_proc m, dentry) :: !to_remove
+                        else Hashtbl.replace referenced id ()
+                    | Ok _ | Error _ -> (
+                        match Vstate.getxattr st dentry "fileid" with
+                        | Ok s -> (
+                            match int_of_string_opt s with
+                            | Some id -> Hashtbl.replace referenced id ()
+                            | None -> to_remove := (meta_proc m, dentry) :: !to_remove)
+                        | Error _ ->
+                            to_remove := (meta_proc m, dentry) :: !to_remove))
+                  names)
+          dirids
+  in
+  for m = 0 to cfg.Config.n_meta - 1 do
+    scan_meta m
+  done;
+  let images = ref images in
+  let apply proc op =
+    let imgs, _err = Images.apply_posix !images proc op in
+    images := imgs
+  in
+  List.iter (fun (proc, p) -> apply proc (Vop.Unlink { path = p })) !to_remove;
+  (* Pass 2: unlink orphan inode objects. *)
+  for m = 0 to cfg.Config.n_meta - 1 do
+    let st = Images.fs_exn !images (meta_proc m) in
+    match Vstate.list_dir st "/inodes" with
+    | Error _ -> ()
+    | Ok ids ->
+        List.iter
+          (fun id_s ->
+            match int_of_string_opt id_s with
+            | Some id when not (Hashtbl.mem referenced id) ->
+                apply (meta_proc m) (Vop.Unlink { path = idfile_path id })
+            | Some _ | None -> ())
+          ids
+  done;
+  (* Pass 3: unlink orphan chunk files. *)
+  for j = 0 to cfg.Config.n_storage - 1 do
+    let st = Images.fs_exn !images (storage_proc j) in
+    match Vstate.list_dir st "/chunks" with
+    | Error _ -> ()
+    | Ok ids ->
+        List.iter
+          (fun id_s ->
+            match int_of_string_opt id_s with
+            | Some id when not (Hashtbl.mem referenced id) ->
+                apply (storage_proc j) (Vop.Unlink { path = chunk_path id })
+            | Some _ | None -> ())
+          ids
+  done;
+  !images
+
+(* --- construction ------------------------------------------------------ *)
+
+let initial_images cfg =
+  let base_meta =
+    let s = Vstate.empty in
+    let s = Result.get_ok (Vstate.apply s (Vop.Mkdir { path = "/dentries" })) in
+    let s = Result.get_ok (Vstate.apply s (Vop.Mkdir { path = "/inodes" })) in
+    s
+  in
+  let base_storage =
+    Result.get_ok (Vstate.apply Vstate.empty (Vop.Mkdir { path = "/chunks" }))
+  in
+  let images = ref Images.empty in
+  for m = 0 to cfg.Config.n_meta - 1 do
+    let st =
+      if m = 0 then
+        Result.get_ok (Vstate.apply base_meta (Vop.Mkdir { path = dentries_dir 0 }))
+      else base_meta
+    in
+    images := Images.add !images (meta_proc m) (Images.Fs st)
+  done;
+  for j = 0 to cfg.Config.n_storage - 1 do
+    images := Images.add !images (storage_proc j) (Images.Fs base_storage)
+  done;
+  !images
+
+let create ~config ~tracer =
+  let t =
+    {
+      cfg = config;
+      tracer;
+      images = initial_images config;
+      next_id = 1;
+      stamp = 0;
+      dir_ids = Hashtbl.create 8;
+      file_ids = Hashtbl.create 8;
+      idfile_server = Hashtbl.create 8;
+      sizes = Hashtbl.create 8;
+      chunk_servers = Hashtbl.create 8;
+    }
+  in
+  Hashtbl.replace t.dir_ids "/" 0;
+  let servers () =
+    List.init config.Config.n_meta meta_proc
+    @ List.init config.Config.n_storage storage_proc
+  in
+  let mode_of proc =
+    if String.starts_with ~prefix:"meta#" proc then Some config.Config.meta_mode
+    else if String.starts_with ~prefix:"storage#" proc then
+      Some config.Config.storage_mode
+    else None
+  in
+  Handle.make ~config ~tracer
+    {
+      Handle.fs_name = "beegfs";
+      do_op = (fun ~client op -> do_op t ~client op);
+      snapshot = (fun () -> t.images);
+      servers;
+      mount = (fun images -> mount config images);
+      fsck = (fun images -> fsck config images);
+      mode_of;
+    }

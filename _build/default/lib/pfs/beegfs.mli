@@ -1,0 +1,18 @@
+(** BeeGFS-like parallel file system simulator.
+
+    Dedicated metadata servers hold per-directory entry directories
+    ([/dentries/<dirid>/]) and per-file inode objects
+    ([/inodes/<fileid>], hard-linked into the entry directory, carrying
+    size and id as extended attributes). Storage servers hold one chunk
+    file per file ([/chunks/<fileid>]) with stripes laid out
+    round-robin. No server issues fsync — persistence ordering between
+    servers is unconstrained, which is the root of the BeeGFS bugs in
+    the paper's Table 3 (rows 1, 2, 4–8). The operation sequences mirror
+    the traces of Figure 2. *)
+
+val create : config:Config.t -> tracer:Paracrash_trace.Tracer.t -> Handle.t
+
+(** Server process names. *)
+
+val meta_proc : int -> string
+val storage_proc : int -> string

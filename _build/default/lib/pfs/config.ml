@@ -1,0 +1,23 @@
+type t = {
+  n_meta : int;
+  n_storage : int;
+  stripe_size : int;
+  meta_mode : Paracrash_vfs.Journal.mode;
+  storage_mode : Paracrash_vfs.Journal.mode;
+}
+
+let default =
+  {
+    n_meta = 2;
+    n_storage = 2;
+    stripe_size = 128 * 1024;
+    meta_mode = Paracrash_vfs.Journal.Data;
+    storage_mode = Paracrash_vfs.Journal.Data;
+  }
+
+let with_servers t ~n_meta ~n_storage = { t with n_meta; n_storage }
+
+let pp ppf t =
+  Fmt.pf ppf "meta=%d storage=%d stripe=%d meta_mode=%a storage_mode=%a"
+    t.n_meta t.n_storage t.stripe_size Paracrash_vfs.Journal.pp t.meta_mode
+    Paracrash_vfs.Journal.pp t.storage_mode

@@ -1,0 +1,17 @@
+(** Cluster configuration (the paper's Table 2 knobs). *)
+
+type t = {
+  n_meta : int;  (** metadata servers (ignored by PFSs without them) *)
+  n_storage : int;  (** storage / data servers *)
+  stripe_size : int;  (** bytes per stripe chunk (paper default: 128 KiB) *)
+  meta_mode : Paracrash_vfs.Journal.mode;
+      (** journaling mode of metadata servers' local FS *)
+  storage_mode : Paracrash_vfs.Journal.mode;
+}
+
+val default : t
+(** Two metadata servers, two storage servers, 128 KiB stripes, data
+    journaling everywhere — the paper's evaluation setup. *)
+
+val with_servers : t -> n_meta:int -> n_storage:int -> t
+val pp : Format.formatter -> t -> unit

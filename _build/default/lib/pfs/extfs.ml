@@ -1,0 +1,84 @@
+module Tracer = Paracrash_trace.Tracer
+module Event = Paracrash_trace.Event
+module Rpc = Paracrash_net.Rpc
+module Vop = Paracrash_vfs.Op
+module Vstate = Paracrash_vfs.State
+
+let proc = "ext4#0"
+
+type t = { tracer : Tracer.t; mutable images : Images.t; sizes : (string, int) Hashtbl.t }
+
+let posix t ?(tag = "") op =
+  ignore (Tracer.record t.tracer ~proc ~layer:Event.Posix ~tag (Event.Posix_op op));
+  let images, err = Images.apply_posix t.images proc op in
+  match err with
+  | None -> t.images <- images
+  | Some e ->
+      failwith
+        (Printf.sprintf "ext4: live op failed: %s: %s" (Vop.to_string op) e)
+
+let do_op t ~client (op : Pfs_op.t) =
+  let run body = Rpc.call t.tracer ~client ~server:proc body in
+  match op with
+  | Creat { path } ->
+      Hashtbl.replace t.sizes path 0;
+      run (fun () -> posix t ~tag:("file " ^ path) (Vop.Creat { path }))
+  | Mkdir { path } ->
+      run (fun () -> posix t ~tag:("directory " ^ path) (Vop.Mkdir { path }))
+  | Write { path; off; data; what } ->
+      let old = match Hashtbl.find_opt t.sizes path with Some s -> s | None -> 0 in
+      Hashtbl.replace t.sizes path (max old (off + String.length data));
+      let tag = if what = "" then "file content of " ^ path else what in
+      run (fun () -> posix t ~tag (Vop.Write { path; off; data }))
+  | Append { path; data } ->
+      let old = match Hashtbl.find_opt t.sizes path with Some s -> s | None -> 0 in
+      Hashtbl.replace t.sizes path (old + String.length data);
+      run (fun () ->
+          posix t ~tag:("file content of " ^ path) (Vop.Append { path; data }))
+  | Rename { src; dst } ->
+      (match Hashtbl.find_opt t.sizes src with
+      | Some s ->
+          Hashtbl.remove t.sizes src;
+          Hashtbl.replace t.sizes dst s
+      | None -> ());
+      run (fun () ->
+          posix t
+            ~tag:(Printf.sprintf "d_entry of %s -> d_entry of %s" src dst)
+            (Vop.Rename { src; dst }))
+  | Unlink { path } ->
+      Hashtbl.remove t.sizes path;
+      run (fun () -> posix t ~tag:("d_entry of " ^ path) (Vop.Unlink { path }))
+  | Fsync { path } ->
+      run (fun () -> posix t ~tag:("file " ^ path) (Vop.Fsync { path }))
+  | Close _ -> ()
+
+let mount images =
+  let st = Images.fs_exn images proc in
+  let view = ref Logical.empty in
+  Vstate.walk st (fun path kind ->
+      match kind with
+      | `Dir -> view := Logical.add_dir !view path
+      | `File c -> view := Logical.add_file !view path (Logical.Data c));
+  !view
+
+let create ~config ~tracer =
+  let t =
+    {
+      tracer;
+      images = Images.add Images.empty proc (Images.Fs Vstate.empty);
+      sizes = Hashtbl.create 8;
+    }
+  in
+  let mode_of p =
+    if String.equal p proc then Some config.Config.storage_mode else None
+  in
+  Handle.make ~config ~tracer
+    {
+      Handle.fs_name = "ext4";
+      do_op = (fun ~client op -> do_op t ~client op);
+      snapshot = (fun () -> t.images);
+      servers = (fun () -> [ proc ]);
+      mount = (fun images -> mount images);
+      fsck = (fun images -> images);
+      mode_of;
+    }

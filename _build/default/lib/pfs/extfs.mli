@@ -1,0 +1,8 @@
+(** Plain local ext4 used directly as the "parallel" file system — the
+    paper's single-node baseline. With data journaling every crash
+    state is a causally consistent prefix, so none of the POSIX test
+    programs exposes an inconsistency (Figure 8's ext4 bars are all
+    zero). *)
+
+val create : config:Config.t -> tracer:Paracrash_trace.Tracer.t -> Handle.t
+val proc : string

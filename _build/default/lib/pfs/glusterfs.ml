@@ -1,0 +1,369 @@
+module Tracer = Paracrash_trace.Tracer
+module Event = Paracrash_trace.Event
+module Rpc = Paracrash_net.Rpc
+module Vop = Paracrash_vfs.Op
+module Vstate = Paracrash_vfs.State
+
+let server_proc j = Printf.sprintf "server#%d" j
+let names_root = "/names"
+let chunks_root = "/chunks"
+let gfid_root = "/gfidlinks"
+
+type t = {
+  cfg : Config.t;
+  tracer : Tracer.t;
+  mutable images : Images.t;
+  mutable next_gfid : int;
+  gfids : (string, int) Hashtbl.t;  (* PFS file path -> gfid *)
+  sizes : (int, int) Hashtbl.t;
+  chunk_servers : (int, int list ref) Hashtbl.t;
+}
+
+let name_path p = if p = "/" then names_root else names_root ^ p
+let chunk_path g = Printf.sprintf "%s/%d" chunks_root g
+let gfid_link g = Printf.sprintf "%s/%d" gfid_root g
+
+let posix t server ?(tag = "") op =
+  ignore (Tracer.record t.tracer ~proc:server ~layer:Event.Posix ~tag (Event.Posix_op op));
+  let images, err = Images.apply_posix t.images server op in
+  match err with
+  | None -> t.images <- images
+  | Some e ->
+      failwith
+        (Printf.sprintf "glusterfs: live op failed on %s: %s: %s" server
+           (Vop.to_string op) e)
+
+let fresh_gfid t =
+  let g = t.next_gfid in
+  t.next_gfid <- g + 1;
+  g
+
+(* --- client operations ------------------------------------------------ *)
+
+let do_creat t ~client path =
+  let g = fresh_gfid t in
+  Rpc.call t.tracer ~client ~server:(server_proc 0) (fun () ->
+      posix t (server_proc 0) ~tag:("d_entry of " ^ path)
+        (Vop.Creat { path = name_path path });
+      posix t (server_proc 0) ~tag:("d_entry of " ^ path)
+        (Vop.Setxattr
+           { path = name_path path; key = "gfid"; value = string_of_int g });
+      posix t (server_proc 0) ~tag:("gfid link of " ^ path)
+        (Vop.Link { src = name_path path; dst = gfid_link g }));
+  Hashtbl.replace t.gfids path g;
+  Hashtbl.replace t.sizes g 0;
+  Hashtbl.replace t.chunk_servers g (ref [])
+
+let do_mkdir t ~client path =
+  Rpc.call t.tracer ~client ~server:(server_proc 0) (fun () ->
+      posix t (server_proc 0) ~tag:("directory " ^ path)
+        (Vop.Mkdir { path = name_path path }))
+
+let ensure_chunk t g j =
+  let holders =
+    match Hashtbl.find_opt t.chunk_servers g with
+    | Some r -> r
+    | None ->
+        let r = ref [] in
+        Hashtbl.replace t.chunk_servers g r;
+        r
+  in
+  if not (List.mem j !holders) then begin
+    holders := j :: !holders;
+    true
+  end
+  else false
+
+let do_write t ~client ?(what = "") path off data =
+  let data_tag = if what = "" then "file chunk of " ^ path else what in
+  let g =
+    match Hashtbl.find_opt t.gfids path with
+    | Some g -> g
+    | None -> failwith ("glusterfs: write to unknown file " ^ path)
+  in
+  let pieces =
+    Striping.pieces ~stripe_size:t.cfg.Config.stripe_size
+      ~n_servers:t.cfg.Config.n_storage ~start:(g mod t.cfg.Config.n_storage)
+      ~off ~len:(String.length data)
+  in
+  let servers =
+    List.sort_uniq Int.compare
+      (List.map (fun (p : Striping.piece) -> p.Striping.server) pieces)
+  in
+  List.iter
+    (fun j ->
+      Rpc.call t.tracer ~client ~server:(server_proc j) (fun () ->
+          if ensure_chunk t g j then
+            posix t (server_proc j) ~tag:data_tag
+              (Vop.Creat { path = chunk_path g });
+          List.iter
+            (fun (p : Striping.piece) ->
+              if p.Striping.server = j then
+                posix t (server_proc j) ~tag:data_tag
+                  (Vop.Write
+                     { path = chunk_path g; off = p.local_off;
+                       data = String.sub data p.data_off p.len }))
+            pieces))
+    servers;
+  let old = match Hashtbl.find_opt t.sizes g with Some s -> s | None -> 0 in
+  let size = max old (off + String.length data) in
+  Hashtbl.replace t.sizes g size;
+  Rpc.call t.tracer ~client ~server:(server_proc 0) (fun () ->
+      posix t (server_proc 0) ~tag:("size xattr of " ^ path)
+        (Vop.Setxattr
+           { path = name_path path; key = "size"; value = string_of_int size }))
+
+let do_append t ~client path data =
+  let g = Hashtbl.find t.gfids path in
+  let size = match Hashtbl.find_opt t.sizes g with Some s -> s | None -> 0 in
+  do_write t ~client path size data
+
+let holders_of t g =
+  match Hashtbl.find_opt t.chunk_servers g with Some r -> !r | None -> []
+
+(* Dropping the gfid link is the only online step of file removal; the
+   data chunks lose their last reference and are garbage-collected by
+   the heal daemon (fsck) after a crash or in the background. Deferring
+   the chunk unlink is what protects the atomic-replace-via-rename
+   pattern on GlusterFS (Table 3 row 2 lists only BeeGFS). *)
+let remove_data t ~client ~what g =
+  ignore (holders_of t g);
+  Rpc.call t.tracer ~client ~server:(server_proc 0) (fun () ->
+      posix t (server_proc 0) ~tag:("gfid link of " ^ what)
+        (Vop.Unlink { path = gfid_link g }))
+
+let retarget t src dst =
+  let moved =
+    Hashtbl.fold
+      (fun p g acc ->
+        if String.equal p src then (p, dst, g) :: acc
+        else
+          let prefix = src ^ "/" in
+          if String.starts_with ~prefix p then
+            ( p,
+              dst ^ String.sub p (String.length src) (String.length p - String.length src),
+              g )
+            :: acc
+          else acc)
+      t.gfids []
+  in
+  List.iter
+    (fun (o, n, g) ->
+      Hashtbl.remove t.gfids o;
+      Hashtbl.replace t.gfids n g)
+    moved
+
+let do_rename t ~client src dst =
+  let replaced = Hashtbl.find_opt t.gfids dst in
+  Rpc.call t.tracer ~client ~server:(server_proc 0) (fun () ->
+      posix t (server_proc 0)
+        ~tag:(Printf.sprintf "d_entry of %s -> d_entry of %s" src dst)
+        (Vop.Rename { src = name_path src; dst = name_path dst });
+      posix t (server_proc 0) ~tag:("d_entry of " ^ dst)
+        (Vop.Setxattr
+           { path = name_path dst; key = "renamed"; value = "1" }));
+  (match replaced with
+  | Some og ->
+      remove_data t ~client ~what:dst og;
+      Hashtbl.remove t.sizes og;
+      Hashtbl.remove t.chunk_servers og
+  | None -> ());
+  retarget t src dst
+
+let do_unlink t ~client path =
+  let g = Hashtbl.find t.gfids path in
+  Rpc.call t.tracer ~client ~server:(server_proc 0) (fun () ->
+      posix t (server_proc 0) ~tag:("d_entry of " ^ path)
+        (Vop.Unlink { path = name_path path }));
+  remove_data t ~client ~what:path g;
+  Hashtbl.remove t.gfids path;
+  Hashtbl.remove t.sizes g;
+  Hashtbl.remove t.chunk_servers g
+
+let do_fsync t ~client path =
+  match Hashtbl.find_opt t.gfids path with
+  | None -> ()
+  | Some g ->
+      List.iter
+        (fun j ->
+          Rpc.call t.tracer ~client ~server:(server_proc j) (fun () ->
+              posix t (server_proc j) ~tag:("file chunk of " ^ path)
+                (Vop.Fsync { path = chunk_path g })))
+        (List.sort Int.compare (holders_of t g))
+
+let do_op t ~client (op : Pfs_op.t) =
+  match op with
+  | Creat { path } -> do_creat t ~client path
+  | Mkdir { path } -> do_mkdir t ~client path
+  | Write { path; off; data; what } -> do_write t ~client ~what path off data
+  | Append { path; data } -> do_append t ~client path data
+  | Rename { src; dst } -> do_rename t ~client src dst
+  | Unlink { path } -> do_unlink t ~client path
+  | Fsync { path } -> do_fsync t ~client path
+  | Close _ -> ()
+
+(* --- mount ------------------------------------------------------------- *)
+
+let read_content cfg images g size =
+  Striping.reassemble ~stripe_size:cfg.Config.stripe_size
+    ~n_servers:cfg.Config.n_storage ~start:(g mod cfg.Config.n_storage) ~size
+    ~read_chunk:(fun j ->
+      let st = Images.fs_exn images (server_proc j) in
+      match Vstate.read_file st (chunk_path g) with Ok c -> c | Error _ -> "")
+
+let mount cfg images =
+  let st0 = Images.fs_exn images (server_proc 0) in
+  let view = ref Logical.empty in
+  let rec walk local pfs =
+    match Vstate.list_dir st0 local with
+    | Error _ -> ()
+    | Ok names ->
+        List.iter
+          (fun name ->
+            let child_local = local ^ "/" ^ name in
+            let child = if pfs = "/" then "/" ^ name else pfs ^ "/" ^ name in
+            if Vstate.is_dir st0 child_local then begin
+              view := Logical.add_dir !view child;
+              walk child_local child
+            end
+            else
+              let entry =
+                match Vstate.getxattr st0 child_local "gfid" with
+                | Error _ -> Logical.Unreadable "name object without gfid"
+                | Ok g_s -> (
+                    match int_of_string_opt g_s with
+                    | None -> Logical.Unreadable "corrupt gfid"
+                    | Some g ->
+                        let size =
+                          match Vstate.getxattr st0 child_local "size" with
+                          | Ok s -> ( try int_of_string s with Failure _ -> 0)
+                          | Error _ -> 0
+                        in
+                        Logical.Data (read_content cfg images g size))
+              in
+              view := Logical.add_file !view child entry)
+          names
+  in
+  walk names_root "/";
+  !view
+
+(* --- fsck (self-heal-style cleanup) ------------------------------------ *)
+
+let fsck cfg images =
+  let st0 = Images.fs_exn images (server_proc 0) in
+  (* referenced gfids, from the namespace *)
+  let referenced = Hashtbl.create 16 in
+  let rec scan local =
+    match Vstate.list_dir st0 local with
+    | Error _ -> ()
+    | Ok names ->
+        List.iter
+          (fun name ->
+            let child = local ^ "/" ^ name in
+            if Vstate.is_dir st0 child then scan child
+            else
+              match Vstate.getxattr st0 child "gfid" with
+              | Ok g -> (
+                  match int_of_string_opt g with
+                  | Some g -> Hashtbl.replace referenced g ()
+                  | None -> ())
+              | Error _ -> ())
+          names
+  in
+  scan names_root;
+  let images = ref images in
+  let apply proc op =
+    let imgs, _ = Images.apply_posix !images proc op in
+    images := imgs
+  in
+  (* remove half-created name objects (no gfid xattr yet): the heal
+     daemon cannot attach them to any file *)
+  let rec clean local =
+    match Vstate.list_dir (Images.fs_exn !images (server_proc 0)) local with
+    | Error _ -> ()
+    | Ok names ->
+        List.iter
+          (fun name ->
+            let child = local ^ "/" ^ name in
+            let st = Images.fs_exn !images (server_proc 0) in
+            if Vstate.is_dir st child then clean child
+            else
+              match Vstate.getxattr st child "gfid" with
+              | Ok _ -> ()
+              | Error _ -> apply (server_proc 0) (Vop.Unlink { path = child }))
+          names
+  in
+  clean names_root;
+  (* drop dangling gfid links and orphan chunks *)
+  (match Vstate.list_dir st0 gfid_root with
+  | Error _ -> ()
+  | Ok links ->
+      List.iter
+        (fun l ->
+          match int_of_string_opt l with
+          | Some g when not (Hashtbl.mem referenced g) ->
+              apply (server_proc 0) (Vop.Unlink { path = gfid_link g })
+          | Some _ | None -> ())
+        links);
+  for j = 0 to cfg.Config.n_storage - 1 do
+    let st = Images.fs_exn !images (server_proc j) in
+    match Vstate.list_dir st chunks_root with
+    | Error _ -> ()
+    | Ok chunks ->
+        List.iter
+          (fun c ->
+            match int_of_string_opt c with
+            | Some g when not (Hashtbl.mem referenced g) ->
+                apply (server_proc j) (Vop.Unlink { path = chunk_path g })
+            | Some _ | None -> ())
+          chunks
+  done;
+  !images
+
+(* --- construction ------------------------------------------------------ *)
+
+let initial_images cfg =
+  let base =
+    let s = Vstate.empty in
+    let s = Result.get_ok (Vstate.apply s (Vop.Mkdir { path = chunks_root })) in
+    s
+  in
+  let base0 =
+    let s = Result.get_ok (Vstate.apply base (Vop.Mkdir { path = names_root })) in
+    Result.get_ok (Vstate.apply s (Vop.Mkdir { path = gfid_root }))
+  in
+  let images = ref Images.empty in
+  for j = 0 to cfg.Config.n_storage - 1 do
+    images :=
+      Images.add !images (server_proc j) (Images.Fs (if j = 0 then base0 else base))
+  done;
+  !images
+
+let create ~config ~tracer =
+  let t =
+    {
+      cfg = config;
+      tracer;
+      images = initial_images config;
+      next_gfid = 1;
+      gfids = Hashtbl.create 8;
+      sizes = Hashtbl.create 8;
+      chunk_servers = Hashtbl.create 8;
+    }
+  in
+  let servers () = List.init config.Config.n_storage server_proc in
+  let mode_of proc =
+    if String.starts_with ~prefix:"server#" proc then
+      Some config.Config.storage_mode
+    else None
+  in
+  Handle.make ~config ~tracer
+    {
+      Handle.fs_name = "glusterfs";
+      do_op = (fun ~client op -> do_op t ~client op);
+      snapshot = (fun () -> t.images);
+      servers;
+      mount = (fun images -> mount config images);
+      fsck = (fun images -> fsck config images);
+      mode_of;
+    }

@@ -1,0 +1,16 @@
+(** GlusterFS-like parallel file system simulator (striped volume).
+
+    No dedicated metadata servers: namespace objects (names, gfid
+    links, size attributes) live on the first brick, which also stores
+    stripe 0 of every file — stripes are not rotated, so a small file's
+    metadata and data always share one local file system and persist in
+    order (this is why the paper's ARVR/CR/RC programs expose no
+    GlusterFS bugs). Files that span stripes place data on other
+    bricks, where no cross-server ordering exists — the WAL and HDF5
+    programs expose those reorderings (Table 3 rows 6, 8, 10, 13, 15).
+    The per-file operation sequences (creat, lsetxattr, link to the
+    gfid object, rename + lsetxattr + unlink of the replaced chunk)
+    follow Figure 9(c). *)
+
+val create : config:Config.t -> tracer:Paracrash_trace.Tracer.t -> Handle.t
+val server_proc : int -> string

@@ -1,0 +1,57 @@
+let splice content off data =
+  let needed = off + String.length data in
+  let base =
+    if String.length content >= needed then content
+    else content ^ String.make (needed - String.length content) '\000'
+  in
+  let b = Bytes.of_string base in
+  Bytes.blit_string data 0 b off (String.length data);
+  Bytes.to_string b
+
+let file_content st path =
+  match Logical.find st path with
+  | Some (Logical.File (Logical.Data d)) -> Some d
+  | Some (Logical.File (Logical.Unreadable _)) | Some Logical.Dir | None -> None
+
+let apply st (op : Pfs_op.t) =
+  match op with
+  | Creat { path } -> Logical.add_file st path (Logical.Data "")
+  | Mkdir { path } -> Logical.add_dir st path
+  | Write { path; off; data; what = _ } -> (
+      match file_content st path with
+      | Some c -> Logical.add_file st path (Logical.Data (splice c off data))
+      | None -> st)
+  | Append { path; data } -> (
+      match file_content st path with
+      | Some c -> Logical.add_file st path (Logical.Data (c ^ data))
+      | None -> st)
+  | Rename { src; dst } -> (
+      match Logical.find st src with
+      | None -> st
+      | Some entry ->
+          let st = Logical.remove st dst in
+          let moved =
+            Logical.bindings st
+            |> List.filter_map (fun (p, e) ->
+                   if String.equal p src then Some (dst, e)
+                   else
+                     let prefix = src ^ "/" in
+                     if String.starts_with ~prefix p then
+                       Some
+                         ( dst ^ String.sub p (String.length src)
+                             (String.length p - String.length src),
+                           e )
+                     else None)
+          in
+          let st = Logical.remove st src in
+          ignore entry;
+          List.fold_left
+            (fun acc (p, e) ->
+              match e with
+              | Logical.Dir -> Logical.add_dir acc p
+              | Logical.File c -> Logical.add_file acc p c)
+            st moved)
+  | Unlink { path } -> Logical.remove st path
+  | Fsync _ | Close _ -> st
+
+let replay st ops = List.fold_left apply st ops

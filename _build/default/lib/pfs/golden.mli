@@ -1,0 +1,16 @@
+(** The golden (crash-free) semantics of PFS client operations.
+
+    Legal post-crash states of the PFS layer are obtained by replaying
+    preserved subsets of the traced PFS operations through this model
+    (the "golden master" of the paper's methodology). *)
+
+val apply : Logical.t -> Pfs_op.t -> Logical.t
+(** Correct semantics of one operation. Operations whose preconditions
+    fail (e.g. writing a file that the preserved subset never created)
+    leave the state unchanged — the replayed subset simply does not
+    produce that effect. *)
+
+val replay : Logical.t -> Pfs_op.t list -> Logical.t
+val splice : string -> int -> string -> string
+(** [splice content off data] overwrites [data] at [off], zero-padding
+    any gap, as a POSIX positional write does. *)

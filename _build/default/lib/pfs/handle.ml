@@ -1,0 +1,51 @@
+module Tracer = Paracrash_trace.Tracer
+module Event = Paracrash_trace.Event
+
+type impl = {
+  fs_name : string;
+  do_op : client:string -> Pfs_op.t -> unit;
+  snapshot : unit -> Images.t;
+  servers : unit -> string list;
+  mount : Images.t -> Logical.t;
+  fsck : Images.t -> Images.t;
+  mode_of : string -> Paracrash_vfs.Journal.mode option;
+}
+
+type t = {
+  config : Config.t;
+  tracer : Tracer.t;
+  impl : impl;
+  mutable oplog_rev : (int * Pfs_op.t) list;
+}
+
+let make ~config ~tracer impl = { config; tracer; impl; oplog_rev = [] }
+let fs_name t = t.impl.fs_name
+let config t = t.config
+let tracer t = t.tracer
+
+let exec t ?(client = "client#0") op =
+  Tracer.with_call t.tracer ~proc:client ~layer:Event.Pfs ~name:(Pfs_op.name op)
+    ~args:(Pfs_op.args op) (fun () ->
+      (* the id of the call we are inside, for the golden-replay log *)
+      (if Tracer.enabled t.tracer then
+         let id = Tracer.count t.tracer - 1 in
+         t.oplog_rev <- (id, op) :: t.oplog_rev);
+      t.impl.do_op ~client op)
+
+let oplog t = List.rev t.oplog_rev
+let snapshot t = t.impl.snapshot ()
+let servers t = t.impl.servers ()
+let mount t images = t.impl.mount images
+let fsck t images = t.impl.fsck images
+let mode_of t proc = t.impl.mode_of proc
+let live_view t = t.impl.mount (t.impl.snapshot ())
+
+let read_file t path =
+  match Logical.find (live_view t) path with
+  | Some (Logical.File (Logical.Data d)) -> Ok d
+  | Some (Logical.File (Logical.Unreadable why)) -> Error why
+  | Some Logical.Dir -> Error "is a directory"
+  | None -> Error "no such file"
+
+let file_size t path =
+  match read_file t path with Ok d -> Some (String.length d) | Error _ -> None

@@ -1,0 +1,56 @@
+(** Uniform handle over a live parallel-file-system instance.
+
+    The handle is how everything above the PFS (MPI-IO, the I/O
+    libraries, the test workloads, the ParaCrash driver) talks to a
+    PFS. Client operations issued through {!exec} are recorded as
+    PFS-layer [Call] events (and logged for golden replay) before being
+    dispatched to the concrete implementation, which emits the
+    server-side storage operations. *)
+
+type impl = {
+  fs_name : string;
+  do_op : client:string -> Pfs_op.t -> unit;
+      (** Perform the operation: trace server-side ops via RPC and
+          mutate the live images. *)
+  snapshot : unit -> Images.t;  (** current live per-server images *)
+  servers : unit -> string list;  (** server process names *)
+  mount : Images.t -> Logical.t;
+      (** Pure read-back of a (possibly crashed, post-fsck) image set
+          into the client-visible view. *)
+  fsck : Images.t -> Images.t;  (** the PFS's recovery tool *)
+  mode_of : string -> Paracrash_vfs.Journal.mode option;
+      (** Journaling mode of a server's local FS; [None] for servers
+          that are raw block devices. *)
+}
+
+type t
+
+val make :
+  config:Config.t -> tracer:Paracrash_trace.Tracer.t -> impl -> t
+
+val fs_name : t -> string
+val config : t -> Config.t
+val tracer : t -> Paracrash_trace.Tracer.t
+
+val exec : t -> ?client:string -> Pfs_op.t -> unit
+(** Issue a client operation (default client ["client#0"]). Records the
+    PFS-layer call event, logs it for golden replay, then runs the
+    implementation. *)
+
+val oplog : t -> (int * Pfs_op.t) list
+(** PFS call event ids paired with their operations, in issue order
+    (only operations issued while tracing was enabled). *)
+
+val snapshot : t -> Images.t
+val servers : t -> string list
+val mount : t -> Images.t -> Logical.t
+val fsck : t -> Images.t -> Images.t
+val mode_of : t -> string -> Paracrash_vfs.Journal.mode option
+
+val live_view : t -> Logical.t
+(** The logical state of the live (uncrashed) file system. *)
+
+val read_file : t -> string -> (string, string) result
+(** Read a whole file through the live PFS. *)
+
+val file_size : t -> string -> int option

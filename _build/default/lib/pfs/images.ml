@@ -1,0 +1,54 @@
+module SMap = Map.Make (String)
+module Vstate = Paracrash_vfs.State
+module Bstate = Paracrash_blockdev.State
+
+type image = Fs of Vstate.t | Dev of Bstate.t
+type t = image SMap.t
+
+let empty = SMap.empty
+let add t proc img = SMap.add proc img t
+let find t proc = SMap.find_opt proc t
+
+let fs_exn t proc =
+  match find t proc with
+  | Some (Fs s) -> s
+  | Some (Dev _) -> invalid_arg ("Images.fs_exn: block image for " ^ proc)
+  | None -> invalid_arg ("Images.fs_exn: no image for " ^ proc)
+
+let dev_exn t proc =
+  match find t proc with
+  | Some (Dev s) -> s
+  | Some (Fs _) -> invalid_arg ("Images.dev_exn: fs image for " ^ proc)
+  | None -> invalid_arg ("Images.dev_exn: no image for " ^ proc)
+
+let procs t = List.map fst (SMap.bindings t)
+let bindings t = SMap.bindings t
+
+let digest t =
+  let parts =
+    SMap.bindings t
+    |> List.map (fun (proc, img) ->
+           match img with
+           | Fs s -> proc ^ "|fs|" ^ Vstate.digest s
+           | Dev s -> proc ^ "|dev|" ^ Bstate.digest s)
+  in
+  Paracrash_util.Digestutil.combine parts
+
+let equal a b =
+  SMap.equal
+    (fun x y ->
+      match (x, y) with
+      | Fs s1, Fs s2 -> Vstate.equal s1 s2
+      | Dev s1, Dev s2 -> Bstate.equal s1 s2
+      | Fs _, Dev _ | Dev _, Fs _ -> false)
+    a b
+
+let apply_posix t proc op =
+  let s = fs_exn t proc in
+  match Vstate.apply s op with
+  | Ok s' -> (add t proc (Fs s'), None)
+  | Error e -> (t, Some (Vstate.error_to_string e))
+
+let apply_block t proc op =
+  let s = dev_exn t proc in
+  add t proc (Dev (Bstate.apply s op))

@@ -1,0 +1,31 @@
+(** Per-server persistent-storage images.
+
+    A crash state is one image per server process: a local-FS state for
+    user-level PFSs, a block-device state for kernel-level PFSs. Crash
+    emulation replays persisted-operation subsets onto the initial
+    images; recovery and mount read these images back. *)
+
+type image =
+  | Fs of Paracrash_vfs.State.t
+  | Dev of Paracrash_blockdev.State.t
+
+type t
+
+val empty : t
+val add : t -> string -> image -> t
+val find : t -> string -> image option
+val fs_exn : t -> string -> Paracrash_vfs.State.t
+(** Raises [Invalid_argument] if the proc is missing or block-based. *)
+
+val dev_exn : t -> string -> Paracrash_blockdev.State.t
+val procs : t -> string list
+val bindings : t -> (string * image) list
+val digest : t -> string
+val equal : t -> t -> bool
+
+val apply_posix : t -> string -> Paracrash_vfs.Op.t -> t * string option
+(** Apply one local-FS op to the named server's image; the second
+    component reports a replay error, if any (a dropped victim may make
+    a later operation fail — a legitimate corrupt-image outcome). *)
+
+val apply_block : t -> string -> Paracrash_blockdev.Op.t -> t

@@ -1,0 +1,618 @@
+module Tracer = Paracrash_trace.Tracer
+module Event = Paracrash_trace.Event
+module Rpc = Paracrash_net.Rpc
+module Bop = Paracrash_blockdev.Op
+module Bstate = Paracrash_blockdev.State
+
+type flavor = Gpfs | Lustre
+
+let server_proc j = Printf.sprintf "nsd#%d" j
+let alloc_lba = 1
+let inode_lba id = 1000 + id
+let dir_lba id = 2000 + id
+let log_lba seq = 5000 + seq
+
+(* Every written data extent is its own block (the LBA is the per-file
+   write-piece sequence number), stamped with that sequence and its byte
+   offset, so that any persisted subset of extents composes in execution
+   order at mount time — last-writer-wins for arbitrary overlaps, and a
+   dropped extent never silently carries a neighbour's bytes. *)
+let data_window = 1_000_000
+let data_base id = 10_000_000 + (id * data_window)
+let data_lba id piece = data_base id + piece
+
+let render_extent seq off payload =
+  Printf.sprintf "%010d|%010d|" seq off ^ payload
+
+let parse_extent content =
+  if String.length content >= 22 && content.[10] = '|' && content.[21] = '|'
+  then
+    match
+      ( int_of_string_opt (String.sub content 0 10),
+        int_of_string_opt (String.sub content 11 10) )
+    with
+    | Some seq, Some off ->
+        Some (seq, off, String.sub content 22 (String.length content - 22))
+    | _ -> None
+  else None
+
+type t = {
+  flavor : flavor;
+  cfg : Config.t;
+  tracer : Tracer.t;
+  mutable images : Images.t;
+  mutable next_id : int;
+  file_ids : (string, int) Hashtbl.t;
+  dir_ids : (string, int) Hashtbl.t;
+  sizes : (int, int) Hashtbl.t;
+  dir_entries : (int, (string * string) list ref) Hashtbl.t;
+      (* dir id -> (name, "f<id>" | "d<id>") assoc, insertion order *)
+  wseq : (int, int ref) Hashtbl.t;  (* per-file data write sequence *)
+  data_servers : (int, int list ref) Hashtbl.t;
+  alloc : (int, int list ref) Hashtbl.t;  (* server -> allocated ids *)
+  seqs : (int, int ref) Hashtbl.t;  (* server -> log sequence *)
+}
+
+let n_servers t = t.cfg.Config.n_storage
+
+(* GPFS spreads metadata ownership across the cluster; Lustre serves
+   the namespace from a single primary MDT, so a cross-directory rename
+   is one logged transaction there. *)
+let owner t id = match t.flavor with Gpfs -> id mod n_servers t | Lustre -> 0
+
+let block t server_idx ?(tag = "") op =
+  let proc = server_proc server_idx in
+  ignore (Tracer.record t.tracer ~proc ~layer:Event.Block ~tag (Event.Block_op op));
+  t.images <- Images.apply_block t.images proc op
+
+let write_block t server_idx ~tag lba content =
+  block t server_idx ~tag (Bop.Scsi_write { lba; data = content; what = tag })
+
+let sync t server_idx = block t server_idx ~tag:"barrier" Bop.Scsi_sync
+
+let fresh_id t =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  id
+
+let fresh_seq t server_idx =
+  let r =
+    match Hashtbl.find_opt t.seqs server_idx with
+    | Some r -> r
+    | None ->
+        let r = ref 0 in
+        Hashtbl.replace t.seqs server_idx r;
+        r
+  in
+  let v = !r in
+  incr r;
+  v
+
+(* --- block content rendering ------------------------------------------ *)
+
+let render_dir id entries =
+  "dir " ^ string_of_int id
+  ^ String.concat ""
+      (List.map (fun (name, target) -> "|" ^ name ^ "=" ^ target) entries)
+
+let render_inode_file id size = Printf.sprintf "inode %d file %d" id size
+let render_inode_dir id = Printf.sprintf "inode %d dir" id
+
+let render_alloc ids =
+  "alloc " ^ String.concat "," (List.map string_of_int (List.rev ids))
+
+let render_log seq writes =
+  "logrec " ^ string_of_int seq ^ "\n"
+  ^ String.concat "\n"
+      (List.map
+         (fun (lba, content) -> string_of_int lba ^ "\t" ^ String.escaped content)
+         writes)
+
+let parse_log content =
+  match String.split_on_char '\n' content with
+  | header :: entries when String.starts_with ~prefix:"logrec " header ->
+      let seq = int_of_string_opt (String.sub header 7 (String.length header - 7)) in
+      let parse_entry e =
+        match String.index_opt e '\t' with
+        | Some i -> (
+            match int_of_string_opt (String.sub e 0 i) with
+            | Some lba -> (
+                try
+                  Some
+                    (lba, Scanf.unescaped (String.sub e (i + 1) (String.length e - i - 1)))
+                with Scanf.Scan_failure _ | Failure _ -> None)
+            | None -> None)
+        | None -> None
+      in
+      Option.map (fun s -> (s, List.filter_map parse_entry entries)) seq
+  | _ -> None
+
+(* --- transactions ------------------------------------------------------ *)
+
+(* A metadata transaction: for each involved server, a write-ahead log
+   record followed by the in-place block writes. Lustre brackets both
+   with barriers; GPFS issues none. *)
+let txn t ~client writes =
+  let by_server = Hashtbl.create 4 in
+  let order = ref [] in
+  List.iter
+    (fun (srv, lba, content, tag) ->
+      (match Hashtbl.find_opt by_server srv with
+      | Some r -> r := (lba, content, tag) :: !r
+      | None ->
+          Hashtbl.replace by_server srv (ref [ (lba, content, tag) ]);
+          order := srv :: !order))
+    writes;
+  List.iter
+    (fun srv ->
+      let ws = List.rev !(Hashtbl.find by_server srv) in
+      Rpc.call t.tracer ~client ~server:(server_proc srv) (fun () ->
+          let seq = fresh_seq t srv in
+          let log =
+            render_log seq (List.map (fun (lba, content, _) -> (lba, content)) ws)
+          in
+          write_block t srv ~tag:"log file" (log_lba seq) log;
+          if t.flavor = Lustre then sync t srv;
+          List.iter (fun (lba, content, tag) -> write_block t srv ~tag lba content) ws;
+          if t.flavor = Lustre then sync t srv))
+    (List.rev !order)
+
+let entries_of t d =
+  match Hashtbl.find_opt t.dir_entries d with
+  | Some r -> r
+  | None ->
+      let r = ref [] in
+      Hashtbl.replace t.dir_entries d r;
+      r
+
+let alloc_of t srv =
+  match Hashtbl.find_opt t.alloc srv with
+  | Some r -> r
+  | None ->
+      let r = ref [] in
+      Hashtbl.replace t.alloc srv r;
+      r
+
+let parent_dir t path =
+  let parent = Paracrash_vfs.Vpath.parent path in
+  match Hashtbl.find_opt t.dir_ids parent with
+  | Some d -> d
+  | None -> failwith ("kernelfs: unknown parent directory " ^ parent)
+
+let basename = Paracrash_vfs.Vpath.basename
+
+let dir_write t d ~tag = (owner t d, dir_lba d, render_dir d !(entries_of t d), tag)
+
+(* --- client operations ------------------------------------------------ *)
+
+let do_creat t ~client path =
+  let d = parent_dir t path in
+  let id = fresh_id t in
+  let entries = entries_of t d in
+  entries := !entries @ [ (basename path, "f" ^ string_of_int id) ];
+  let srv = owner t id in
+  let al = alloc_of t srv in
+  al := id :: !al;
+  txn t ~client
+    [
+      (srv, inode_lba id, render_inode_file id 0, "inode of " ^ path);
+      (srv, alloc_lba, render_alloc !al, "inode allocation map");
+      dir_write t d ~tag:(Printf.sprintf "directory block of dir#%d" d);
+    ];
+  Hashtbl.replace t.file_ids path id;
+  Hashtbl.replace t.sizes id 0;
+  Hashtbl.replace t.data_servers id (ref [])
+
+let do_mkdir t ~client path =
+  let d = parent_dir t path in
+  let id = fresh_id t in
+  let entries = entries_of t d in
+  entries := !entries @ [ (basename path, "d" ^ string_of_int id) ];
+  let srv = owner t id in
+  let al = alloc_of t srv in
+  al := id :: !al;
+  ignore (entries_of t id);
+  txn t ~client
+    [
+      (srv, inode_lba id, render_inode_dir id, "inode of " ^ path);
+      (srv, alloc_lba, render_alloc !al, "inode allocation map");
+      (srv, dir_lba id, render_dir id [], "directory block of " ^ path);
+      dir_write t d ~tag:(Printf.sprintf "directory block of dir#%d" d);
+    ];
+  Hashtbl.replace t.dir_ids path id
+
+let data_server t id stripe = (id + stripe) mod n_servers t
+
+let do_write t ~client ?(what = "") path off data =
+  let data_tag = if what = "" then "file data of " ^ path else what in
+  let id =
+    match Hashtbl.find_opt t.file_ids path with
+    | Some id -> id
+    | None -> failwith ("kernelfs: write to unknown file " ^ path)
+  in
+  let stripe_size = t.cfg.Config.stripe_size in
+  let len = String.length data in
+  (* split the write into per-stripe extents; each extent is one block *)
+  let by_server = Hashtbl.create 4 in
+  let rec split cur =
+    if cur < off + len then begin
+      let stripe = cur / stripe_size in
+      let stop = min (off + len) ((stripe + 1) * stripe_size) in
+      let piece = String.sub data (cur - off) (stop - cur) in
+      let srv = data_server t id stripe in
+      let cur_list =
+        match Hashtbl.find_opt by_server srv with Some l -> l | None -> []
+      in
+      Hashtbl.replace by_server srv (cur_list @ [ (cur, piece) ]);
+      split stop
+    end
+  in
+  split off;
+  (* MPI-IO ranks write through the client cache with no barriers (the
+     I/O-library path the paper's HDF5 bugs travel); direct POSIX
+     clients get the eager write-through path, bracketed by barriers,
+     which is why Lustre and GPFS recover the POSIX programs' data
+     cleanly *)
+  let cached_client = String.starts_with ~prefix:"rank" client in
+  let seq_ref =
+    match Hashtbl.find_opt t.wseq id with
+    | Some r -> r
+    | None ->
+        let r = ref 0 in
+        Hashtbl.replace t.wseq id r;
+        r
+  in
+  Hashtbl.iter
+    (fun srv stripes ->
+      Rpc.call t.tracer ~client ~server:(server_proc srv) (fun () ->
+          if not cached_client then sync t srv;
+          List.iter
+            (fun (ext_off, content) ->
+              let seq = !seq_ref in
+              incr seq_ref;
+              write_block t srv ~tag:data_tag (data_lba id seq)
+                (render_extent seq ext_off content))
+            stripes;
+          if not cached_client then sync t srv;
+          let ds = Hashtbl.find t.data_servers id in
+          if not (List.mem srv !ds) then ds := srv :: !ds))
+    by_server;
+  let size = max (off + len) (match Hashtbl.find_opt t.sizes id with Some s -> s | None -> 0) in
+  Hashtbl.replace t.sizes id size;
+  txn t ~client
+    [ (owner t id, inode_lba id, render_inode_file id size, "inode of " ^ path) ];
+  (* the write-through path also commits the size update before the
+     client's next operation *)
+  if not cached_client then
+    Rpc.call t.tracer ~client ~server:(server_proc (owner t id)) (fun () ->
+        sync t (owner t id))
+
+let do_append t ~client path data =
+  let id = Hashtbl.find t.file_ids path in
+  let size = match Hashtbl.find_opt t.sizes id with Some s -> s | None -> 0 in
+  do_write t ~client path size data
+
+let remove_entry t d name =
+  let entries = entries_of t d in
+  entries := List.filter (fun (n, _) -> not (String.equal n name)) !entries
+
+let do_rename t ~client src dst =
+  let sd = parent_dir t src and dd = parent_dir t dst in
+  let replaced = Hashtbl.find_opt t.file_ids dst in
+  let is_dir = Hashtbl.mem t.dir_ids src in
+  let target =
+    if is_dir then "d" ^ string_of_int (Hashtbl.find t.dir_ids src)
+    else "f" ^ string_of_int (Hashtbl.find t.file_ids src)
+  in
+  remove_entry t sd (basename src);
+  remove_entry t dd (basename dst);
+  let entries = entries_of t dd in
+  entries := !entries @ [ (basename dst, target) ];
+  let writes =
+    if sd = dd then
+      [ dir_write t sd ~tag:(Printf.sprintf "directory block of dir#%d" sd) ]
+    else
+      [
+        dir_write t dd ~tag:(Printf.sprintf "directory block of dir#%d" dd);
+        dir_write t sd ~tag:(Printf.sprintf "directory block of dir#%d" sd);
+      ]
+  in
+  let writes =
+    match replaced with
+    | Some oid ->
+        writes @ [ (owner t oid, inode_lba oid, "free", "old inode of " ^ dst) ]
+    | None -> writes
+  in
+  txn t ~client writes;
+  (match replaced with
+  | Some oid ->
+      Hashtbl.remove t.sizes oid;
+      Hashtbl.remove t.data_servers oid
+  | None -> ());
+  (* move client-side bindings *)
+  let move tbl =
+    let moved =
+      Hashtbl.fold
+        (fun p v acc ->
+          if String.equal p src then (p, dst, v) :: acc
+          else
+            let prefix = src ^ "/" in
+            if String.starts_with ~prefix p then
+              ( p,
+                dst ^ String.sub p (String.length src) (String.length p - String.length src),
+                v )
+              :: acc
+            else acc)
+        tbl []
+    in
+    List.iter
+      (fun (o, n, v) ->
+        Hashtbl.remove tbl o;
+        Hashtbl.replace tbl n v)
+      moved
+  in
+  move t.file_ids;
+  move t.dir_ids
+
+let do_unlink t ~client path =
+  let id = Hashtbl.find t.file_ids path in
+  let d = parent_dir t path in
+  remove_entry t d (basename path);
+  txn t ~client
+    [
+      dir_write t d ~tag:(Printf.sprintf "directory block of dir#%d" d);
+      (owner t id, inode_lba id, "free", "inode of " ^ path);
+    ];
+  Hashtbl.remove t.file_ids path;
+  Hashtbl.remove t.sizes id;
+  Hashtbl.remove t.data_servers id
+
+let sync_data t ~client path =
+  match Hashtbl.find_opt t.file_ids path with
+  | None -> ()
+  | Some id ->
+      let ds =
+        match Hashtbl.find_opt t.data_servers id with Some r -> !r | None -> []
+      in
+      List.iter
+        (fun srv ->
+          Rpc.call t.tracer ~client ~server:(server_proc srv) (fun () ->
+              sync t srv))
+        (List.sort Int.compare ds)
+
+let do_op t ~client (op : Pfs_op.t) =
+  match op with
+  | Creat { path } -> do_creat t ~client path
+  | Mkdir { path } -> do_mkdir t ~client path
+  | Write { path; off; data; what } -> do_write t ~client ~what path off data
+  | Append { path; data } -> do_append t ~client path data
+  | Rename { src; dst } -> do_rename t ~client src dst
+  | Unlink { path } -> do_unlink t ~client path
+  | Fsync { path } -> sync_data t ~client path
+  | Close { path } ->
+      (* Lustre aggregates a closed file's dirty data and flushes it
+         with an accurate barrier; GPFS does not *)
+      if t.flavor = Lustre then sync_data t ~client path
+
+(* --- mount ------------------------------------------------------------- *)
+
+let parse_dir content =
+  match String.split_on_char '|' content with
+  | header :: entries when String.starts_with ~prefix:"dir " header ->
+      let parse e =
+        match String.index_opt e '=' with
+        | Some i ->
+            let name = String.sub e 0 i in
+            let target = String.sub e (i + 1) (String.length e - i - 1) in
+            if String.length target >= 2 then
+              match
+                (target.[0], int_of_string_opt (String.sub target 1 (String.length target - 1)))
+              with
+              | 'f', Some id -> Some (name, `File id)
+              | 'd', Some id -> Some (name, `Dir id)
+              | _ -> None
+            else None
+        | None -> None
+      in
+      Some (List.filter_map parse entries)
+  | _ -> None
+
+let parse_inode content =
+  match String.split_on_char ' ' content with
+  | [ "inode"; _id; "file"; size ] ->
+      Option.map (fun s -> `File s) (int_of_string_opt size)
+  | [ "inode"; _id; "dir" ] -> Some `Dir
+  | _ -> None
+
+let mount_with cfg images flavor =
+  let n = cfg.Config.n_storage in
+  let meta_owner id = match flavor with Gpfs -> id mod n | Lustre -> 0 in
+  let dev j = Images.dev_exn images (server_proc j) in
+  let read_block j lba = Bstate.read (dev j) lba in
+  let view = ref Logical.empty in
+  let visited = Hashtbl.create 8 in
+  let file_content id size =
+    let buf = Bytes.make size '\000' in
+    let base = data_base id in
+    let extents = ref [] in
+    for j = 0 to n - 1 do
+      List.iter
+        (fun (lba, content) ->
+          if lba >= base && lba < base + data_window then
+            match parse_extent content with
+            | Some (seq, off, payload) -> extents := (seq, off, payload) :: !extents
+            | None -> ())
+        (Bstate.bindings (dev j))
+    done;
+    (* compose in write order: overlapping persisted extents resolve to
+       the latest writer *)
+    List.iter
+      (fun (_, off, payload) ->
+        let len = min (String.length payload) (size - off) in
+        if off < size && len > 0 then Bytes.blit_string payload 0 buf off len)
+      (List.sort compare !extents);
+    Bytes.to_string buf
+  in
+  let rec walk d pfs =
+    if not (Hashtbl.mem visited d) then begin
+      Hashtbl.replace visited d ();
+      match read_block (meta_owner d) (dir_lba d) with
+      | None -> if pfs <> "/" then view := Logical.note !view ("missing directory block for " ^ pfs)
+      | Some content -> (
+          match parse_dir content with
+          | None -> view := Logical.note !view ("corrupt directory block for " ^ pfs)
+          | Some entries ->
+              List.iter
+                (fun (name, target) ->
+                  let child = if pfs = "/" then "/" ^ name else pfs ^ "/" ^ name in
+                  match target with
+                  | `Dir id ->
+                      view := Logical.add_dir !view child;
+                      walk id child
+                  | `File id -> (
+                      match read_block (meta_owner id) (inode_lba id) with
+                      | Some inode -> (
+                          match parse_inode inode with
+                          | Some (`File size) ->
+                              view :=
+                                Logical.add_file !view child
+                                  (Logical.Data (file_content id size))
+                          | Some `Dir | None ->
+                              view :=
+                                Logical.add_file !view child
+                                  (Logical.Unreadable "dangling directory entry"))
+                      | None ->
+                          view :=
+                            Logical.add_file !view child
+                              (Logical.Unreadable "missing inode")))
+                entries)
+    end
+  in
+  walk 0 "/";
+  !view
+
+(* --- mmfsck / lfsck ----------------------------------------------------- *)
+
+let fsck_with cfg images flavor =
+  let n = cfg.Config.n_storage in
+  let meta_owner id = match flavor with Gpfs -> id mod n | Lustre -> 0 in
+  let images = ref images in
+  let dev j = Images.dev_exn !images (server_proc j) in
+  let put j lba content =
+    images :=
+      Images.apply_block !images (server_proc j)
+        (Bop.Scsi_write { lba; data = content; what = "fsck" })
+  in
+  (* Lustre's barrier discipline guarantees a log record reaches the
+     platter before its transaction's in-place blocks and before any
+     later transaction, so replaying the journal is safe and completes
+     partially persisted transactions. GPFS issues no barriers: blind
+     replay could regress blocks a later transaction already updated
+     (no version stamps at this layer), so like mmfsck we skip the
+     replay and only accept structural fixes below. *)
+  (match flavor with
+  | Lustre ->
+      for j = 0 to n - 1 do
+        let logs =
+          Bstate.bindings (dev j)
+          |> List.filter_map (fun (lba, content) ->
+                 if lba >= 5000 && lba < 10000 then parse_log content else None)
+          |> List.sort (fun (s1, _) (s2, _) -> Int.compare s1 s2)
+        in
+        List.iter
+          (fun (_seq, writes) -> List.iter (fun (lba, c) -> put j lba c) writes)
+          logs
+      done
+  | Gpfs -> ());
+  (* Drop directory entries whose inode is missing or freed
+     ("accept all mmfsck fixes"). *)
+  for j = 0 to n - 1 do
+    let dirs =
+      Bstate.bindings (dev j)
+      |> List.filter (fun (lba, _) -> lba >= 2000 && lba < 5000)
+    in
+    List.iter
+      (fun (lba, content) ->
+        match parse_dir content with
+        | None -> ()
+        | Some entries ->
+            let keep (name, target) =
+              match target with
+              | `Dir id -> (
+                  ignore name;
+                  match Bstate.read (dev (meta_owner id)) (dir_lba id) with
+                  | Some _ -> true
+                  | None -> false)
+              | `File id -> (
+                  match Bstate.read (dev (meta_owner id)) (inode_lba id) with
+                  | Some inode -> (
+                      match parse_inode inode with
+                      | Some (`File _) -> true
+                      | Some `Dir | None -> false)
+                  | None -> false)
+            in
+            let kept = List.filter keep entries in
+            if List.length kept <> List.length entries then begin
+              let d = lba - 2000 in
+              let rendered =
+                render_dir d
+                  (List.map
+                     (fun (name, target) ->
+                       match target with
+                       | `Dir id -> (name, "d" ^ string_of_int id)
+                       | `File id -> (name, "f" ^ string_of_int id))
+                     kept)
+              in
+              put j lba rendered
+            end)
+      dirs
+  done;
+  !images
+
+(* --- construction ------------------------------------------------------ *)
+
+let initial_images cfg =
+  let n = cfg.Config.n_storage in
+  let images = ref Images.empty in
+  for j = 0 to n - 1 do
+    let dev = Bstate.apply Bstate.empty (Bop.Scsi_write { lba = alloc_lba; data = "alloc "; what = "init" }) in
+    let dev =
+      if j = 0 then
+        Bstate.apply dev (Bop.Scsi_write { lba = dir_lba 0; data = render_dir 0 []; what = "init" })
+      else dev
+    in
+    images := Images.add !images (server_proc j) (Images.Dev dev)
+  done;
+  !images
+
+let create flavor ~config ~tracer =
+  let t =
+    {
+      flavor;
+      cfg = config;
+      tracer;
+      images = initial_images config;
+      next_id = 1;
+      file_ids = Hashtbl.create 8;
+      dir_ids = Hashtbl.create 8;
+      sizes = Hashtbl.create 8;
+      dir_entries = Hashtbl.create 8;
+      wseq = Hashtbl.create 8;
+      data_servers = Hashtbl.create 8;
+      alloc = Hashtbl.create 8;
+      seqs = Hashtbl.create 8;
+    }
+  in
+  Hashtbl.replace t.dir_ids "/" 0;
+  ignore (entries_of t 0);
+  let servers () = List.init (n_servers t) server_proc in
+  Handle.make ~config ~tracer
+    {
+      Handle.fs_name = (match flavor with Gpfs -> "gpfs" | Lustre -> "lustre");
+      do_op = (fun ~client op -> do_op t ~client op);
+      snapshot = (fun () -> t.images);
+      servers;
+      mount = (fun images -> mount_with config images flavor);
+      fsck = (fun images -> fsck_with config images flavor);
+      mode_of = (fun _ -> None);
+    }

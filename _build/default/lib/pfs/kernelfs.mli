@@ -1,0 +1,26 @@
+(** Kernel-level parallel file systems traced at the block layer:
+    GPFS (Spectrum Scale) and Lustre, per Figure 7 and 9(d) of the
+    paper.
+
+    Both run on raw block devices ([scsi_write] / [scsi_sync]); every
+    metadata transaction writes a write-ahead log record block followed
+    by the in-place blocks (inodes, directory blocks, allocation map).
+    The two differ in barrier discipline:
+
+    - {b GPFS} issues no barriers, so a server's log and in-place
+      writes persist in any order and cross-server transactions are
+      never atomic — the source of Table 3 rows 3, 4 and 5. Recovery
+      (mmfsck) redoes persisted log records and then accepts fixes,
+      which can still lose data or metadata.
+    - {b Lustre} brackets each transaction with cache-synchronize
+      barriers and flushes a file's data when it is closed, so all the
+      POSIX test programs recover cleanly; only unsynchronized data
+      writes to open files (the I/O-library pattern) can reorder across
+      servers. *)
+
+type flavor = Gpfs | Lustre
+
+val create :
+  flavor -> config:Config.t -> tracer:Paracrash_trace.Tracer.t -> Handle.t
+
+val server_proc : int -> string

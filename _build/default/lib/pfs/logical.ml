@@ -1,0 +1,61 @@
+module SMap = Map.Make (String)
+
+type content = Data of string | Unreadable of string
+type entry = File of content | Dir
+type t = { tree : entry SMap.t; notes : string list }
+
+let empty = { tree = SMap.empty; notes = [] }
+let add_dir t path = { t with tree = SMap.add path Dir t.tree }
+let add_file t path c = { t with tree = SMap.add path (File c) t.tree }
+
+let remove t path =
+  let prefix = path ^ "/" in
+  let keep p _ =
+    not (String.equal p path || String.starts_with ~prefix p)
+  in
+  { t with tree = SMap.filter keep t.tree }
+
+let find t path = SMap.find_opt path t.tree
+let mem t path = SMap.mem path t.tree
+let paths t = List.map fst (SMap.bindings t.tree)
+let bindings t = SMap.bindings t.tree
+let note t n = { t with notes = n :: t.notes }
+let notes t = List.rev t.notes
+
+let canonical t =
+  let buf = Buffer.create 128 in
+  SMap.iter
+    (fun path entry ->
+      match entry with
+      | Dir -> Buffer.add_string buf (Printf.sprintf "D %s\n" path)
+      | File (Data d) ->
+          Buffer.add_string buf
+            (Printf.sprintf "F %s %d %s\n" path (String.length d)
+               (Paracrash_util.Digestutil.of_string d))
+      | File (Unreadable why) ->
+          Buffer.add_string buf (Printf.sprintf "U %s (%s)\n" path why))
+    t.tree;
+  List.iter
+    (fun n -> Buffer.add_string buf (Printf.sprintf "N %s\n" n))
+    (List.sort String.compare t.notes);
+  Buffer.contents buf
+
+let digest t = Paracrash_util.Digestutil.of_string (canonical t)
+let equal a b = String.equal (canonical a) (canonical b)
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>";
+  SMap.iter
+    (fun path entry ->
+      match entry with
+      | Dir -> Fmt.pf ppf "%s/@," path
+      | File (Data d) ->
+          let shown =
+            if String.length d <= 24 then String.escaped d
+            else String.escaped (String.sub d 0 21) ^ "..."
+          in
+          Fmt.pf ppf "%s (%d) %s@," path (String.length d) shown
+      | File (Unreadable why) -> Fmt.pf ppf "%s <unreadable: %s>@," path why)
+    t.tree;
+  List.iter (fun n -> Fmt.pf ppf "! %s@," n) (List.rev t.notes);
+  Fmt.pf ppf "@]"

@@ -1,0 +1,39 @@
+(** The logical, client-visible state of a parallel file system: the
+    namespace tree and file contents as observed through the PFS mount
+    point. Recovered crash states and golden replays are both rendered
+    into this form and compared canonically. *)
+
+type content =
+  | Data of string
+  | Unreadable of string  (** read through the PFS failed; the payload says why *)
+
+type entry = File of content | Dir
+
+type t
+
+val empty : t
+(** Just the root directory. *)
+
+val add_dir : t -> string -> t
+val add_file : t -> string -> content -> t
+val remove : t -> string -> t
+(** Removes the path and (for directories) everything below it. *)
+
+val find : t -> string -> entry option
+val mem : t -> string -> bool
+val paths : t -> string list
+(** All paths, sorted. *)
+
+val bindings : t -> (string * entry) list
+val note : t -> string -> t
+(** Attach a structural-inconsistency note (e.g. "fsck: dangling
+    dentry"); notes make a state distinct from any clean state. *)
+
+val notes : t -> string list
+
+(** {1 Golden-state comparison} *)
+
+val canonical : t -> string
+val digest : t -> string
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,501 @@
+module Tracer = Paracrash_trace.Tracer
+module Event = Paracrash_trace.Event
+module Rpc = Paracrash_net.Rpc
+module Vop = Paracrash_vfs.Op
+module Vstate = Paracrash_vfs.State
+
+let meta_proc i = Printf.sprintf "meta#%d" i
+let storage_proc i = Printf.sprintf "storage#%d" i
+let keyval_db = "/db/keyval.db"
+let attrs_db = "/db/attrs.db"
+let record_size = 64
+
+type t = {
+  cfg : Config.t;
+  tracer : Tracer.t;
+  mutable images : Images.t;
+  mutable next_handle : int;
+  dir_handles : (string, int) Hashtbl.t;
+  file_handles : (string, int) Hashtbl.t;
+  attr_server : (int, int) Hashtbl.t;  (* handle -> meta index *)
+  sizes : (int, int) Hashtbl.t;
+  chunk_servers : (int, int list ref) Hashtbl.t;
+  slots : (string * string, int ref) Hashtbl.t;  (* (meta proc, db) -> next slot *)
+}
+
+let bstream h = Printf.sprintf "/bstreams/%d" h
+let stranded h = Printf.sprintf "/bstreams/%d.stranded" h
+let owner_of_dir t dh = dh mod t.cfg.Config.n_meta
+
+let posix t server ?(tag = "") op =
+  ignore (Tracer.record t.tracer ~proc:server ~layer:Event.Posix ~tag (Event.Posix_op op));
+  let images, err = Images.apply_posix t.images server op in
+  match err with
+  | None -> t.images <- images
+  | Some e ->
+      failwith
+        (Printf.sprintf "orangefs: live op failed on %s: %s: %s" server
+           (Vop.to_string op) e)
+
+let fresh_handle t =
+  let h = t.next_handle in
+  t.next_handle <- h + 1;
+  h
+
+let pad s =
+  if String.length s >= record_size then String.sub s 0 record_size
+  else s ^ String.make (record_size - String.length s) ' '
+
+(* One metadata transaction: a fixed-size record written into the DB
+   file at the next slot, committed with fdatasync (Figure 9(b)). *)
+let db_txn t meta_idx db ~tag record =
+  let proc = meta_proc meta_idx in
+  let slot =
+    match Hashtbl.find_opt t.slots (proc, db) with
+    | Some r -> r
+    | None ->
+        let r = ref 0 in
+        Hashtbl.replace t.slots (proc, db) r;
+        r
+  in
+  let off = !slot * record_size in
+  incr slot;
+  posix t proc ~tag (Vop.Write { path = db; off; data = pad record });
+  posix t proc ~tag (Vop.Fdatasync { path = db })
+
+let parent_handle t path =
+  let parent = Paracrash_vfs.Vpath.parent path in
+  match Hashtbl.find_opt t.dir_handles parent with
+  | Some h -> h
+  | None -> failwith ("orangefs: unknown parent directory " ^ parent)
+
+let basename = Paracrash_vfs.Vpath.basename
+
+(* --- client operations ------------------------------------------------ *)
+
+let do_creat t ~client path =
+  let pd = parent_handle t path in
+  let m = owner_of_dir t pd in
+  let h = fresh_handle t in
+  Rpc.call t.tracer ~client ~server:(meta_proc m) (fun () ->
+      db_txn t m keyval_db ~tag:("d_entry of " ^ path)
+        (Printf.sprintf "I %d %s f%d" pd (basename path) h);
+      db_txn t m attrs_db ~tag:("attrs of " ^ path) (Printf.sprintf "C %d" h));
+  Hashtbl.replace t.file_handles path h;
+  Hashtbl.replace t.attr_server h m;
+  Hashtbl.replace t.sizes h 0;
+  Hashtbl.replace t.chunk_servers h (ref [])
+
+let do_mkdir t ~client path =
+  let pd = parent_handle t path in
+  let m = owner_of_dir t pd in
+  let h = fresh_handle t in
+  Rpc.call t.tracer ~client ~server:(meta_proc m) (fun () ->
+      db_txn t m keyval_db ~tag:("d_entry of " ^ path)
+        (Printf.sprintf "I %d %s d%d" pd (basename path) h));
+  Hashtbl.replace t.dir_handles path h
+
+let ensure_chunk t h j =
+  let holders =
+    match Hashtbl.find_opt t.chunk_servers h with
+    | Some r -> r
+    | None ->
+        let r = ref [] in
+        Hashtbl.replace t.chunk_servers h r;
+        r
+  in
+  if not (List.mem j !holders) then begin
+    holders := j :: !holders;
+    true
+  end
+  else false
+
+let do_write t ~client ?(what = "") path off data =
+  let data_tag = if what = "" then "file chunk of " ^ path else what in
+  let h =
+    match Hashtbl.find_opt t.file_handles path with
+    | Some h -> h
+    | None -> failwith ("orangefs: write to unknown file " ^ path)
+  in
+  let pieces =
+    Striping.pieces ~stripe_size:t.cfg.Config.stripe_size
+      ~n_servers:t.cfg.Config.n_storage ~start:(h mod t.cfg.Config.n_storage)
+      ~off ~len:(String.length data)
+  in
+  let servers =
+    List.sort_uniq Int.compare
+      (List.map (fun (p : Striping.piece) -> p.Striping.server) pieces)
+  in
+  List.iter
+    (fun j ->
+      Rpc.call t.tracer ~client ~server:(storage_proc j) (fun () ->
+          if ensure_chunk t h j then
+            posix t (storage_proc j) ~tag:data_tag
+              (Vop.Creat { path = bstream h });
+          List.iter
+            (fun (p : Striping.piece) ->
+              if p.Striping.server = j then
+                posix t (storage_proc j) ~tag:data_tag
+                  (Vop.Write
+                     { path = bstream h; off = p.local_off;
+                       data = String.sub data p.data_off p.len }))
+            pieces))
+    servers;
+  let old = match Hashtbl.find_opt t.sizes h with Some s -> s | None -> 0 in
+  let size = max old (off + String.length data) in
+  Hashtbl.replace t.sizes h size;
+  let m = match Hashtbl.find_opt t.attr_server h with Some m -> m | None -> 0 in
+  Rpc.call t.tracer ~client ~server:(meta_proc m) (fun () ->
+      db_txn t m attrs_db ~tag:("attrs of " ^ path)
+        (Printf.sprintf "S %d %d" h size))
+
+let do_append t ~client path data =
+  let h = Hashtbl.find t.file_handles path in
+  let size = match Hashtbl.find_opt t.sizes h with Some s -> s | None -> 0 in
+  do_write t ~client path size data
+
+let holders_of t h =
+  match Hashtbl.find_opt t.chunk_servers h with Some r -> !r | None -> []
+
+let strand_bstreams t ~client ~what h =
+  List.iter
+    (fun j ->
+      Rpc.call t.tracer ~client ~server:(storage_proc j) (fun () ->
+          posix t (storage_proc j) ~tag:("stranded bstream of " ^ what)
+            (Vop.Rename { src = bstream h; dst = stranded h })))
+    (List.sort Int.compare (holders_of t h))
+
+let unlink_stranded t ~client ~what h =
+  List.iter
+    (fun j ->
+      Rpc.call t.tracer ~client ~server:(storage_proc j) (fun () ->
+          posix t (storage_proc j) ~tag:("stranded bstream of " ^ what)
+            (Vop.Unlink { path = stranded h })))
+    (List.sort Int.compare (holders_of t h))
+
+let retarget t src dst =
+  let move tbl =
+    let moved =
+      Hashtbl.fold
+        (fun p h acc ->
+          if String.equal p src then (p, dst, h) :: acc
+          else
+            let prefix = src ^ "/" in
+            if String.starts_with ~prefix p then
+              ( p,
+                dst ^ String.sub p (String.length src) (String.length p - String.length src),
+                h )
+              :: acc
+            else acc)
+        tbl []
+    in
+    List.iter
+      (fun (o, n, h) ->
+        Hashtbl.remove tbl o;
+        Hashtbl.replace tbl n h)
+      moved
+  in
+  move t.file_handles;
+  move t.dir_handles
+
+let do_rename t ~client src dst =
+  let spd = parent_handle t src and dpd = parent_handle t dst in
+  let m_src = owner_of_dir t spd and m_dst = owner_of_dir t dpd in
+  let replaced = Hashtbl.find_opt t.file_handles dst in
+  let is_dir = Hashtbl.mem t.dir_handles src in
+  let target_char = if is_dir then 'd' else 'f' in
+  let h =
+    if is_dir then Hashtbl.find t.dir_handles src
+    else Hashtbl.find t.file_handles src
+  in
+  (* strand the replaced file's bstreams before touching metadata, so
+     that pvfs2-fsck can restore them if the crash hits mid-way *)
+  (match replaced with
+  | Some oh -> strand_bstreams t ~client ~what:dst oh
+  | None -> ());
+  if m_src = m_dst && spd = dpd then
+    Rpc.call t.tracer ~client ~server:(meta_proc m_src) (fun () ->
+        db_txn t m_src keyval_db
+          ~tag:(Printf.sprintf "d_entry of %s -> d_entry of %s" src dst)
+          (Printf.sprintf "R %d %s %s" spd (basename src) (basename dst)))
+  else begin
+    Rpc.call t.tracer ~client ~server:(meta_proc m_dst) (fun () ->
+        db_txn t m_dst keyval_db ~tag:("d_entry of " ^ dst)
+          (Printf.sprintf "I %d %s %c%d" dpd (basename dst) target_char h));
+    Rpc.call t.tracer ~client ~server:(meta_proc m_src) (fun () ->
+        db_txn t m_src keyval_db ~tag:("d_entry of " ^ src)
+          (Printf.sprintf "X %d %s" spd (basename src)))
+  end;
+  (match replaced with
+  | Some oh ->
+      let am = match Hashtbl.find_opt t.attr_server oh with Some m -> m | None -> 0 in
+      Rpc.call t.tracer ~client ~server:(meta_proc am) (fun () ->
+          db_txn t am attrs_db ~tag:("old attrs of " ^ dst)
+            (Printf.sprintf "D %d" oh));
+      unlink_stranded t ~client ~what:dst oh;
+      Hashtbl.remove t.attr_server oh;
+      Hashtbl.remove t.sizes oh;
+      Hashtbl.remove t.chunk_servers oh
+  | None -> ());
+  retarget t src dst
+
+let do_unlink t ~client path =
+  let h = Hashtbl.find t.file_handles path in
+  let pd = parent_handle t path in
+  let m = owner_of_dir t pd in
+  Rpc.call t.tracer ~client ~server:(meta_proc m) (fun () ->
+      db_txn t m keyval_db ~tag:("d_entry of " ^ path)
+        (Printf.sprintf "X %d %s" pd (basename path)));
+  let am = match Hashtbl.find_opt t.attr_server h with Some m' -> m' | None -> 0 in
+  Rpc.call t.tracer ~client ~server:(meta_proc am) (fun () ->
+      db_txn t am attrs_db ~tag:("attrs of " ^ path) (Printf.sprintf "D %d" h));
+  List.iter
+    (fun j ->
+      Rpc.call t.tracer ~client ~server:(storage_proc j) (fun () ->
+          posix t (storage_proc j) ~tag:("file chunk of " ^ path)
+            (Vop.Unlink { path = bstream h })))
+    (List.sort Int.compare (holders_of t h));
+  Hashtbl.remove t.file_handles path;
+  Hashtbl.remove t.attr_server h;
+  Hashtbl.remove t.sizes h;
+  Hashtbl.remove t.chunk_servers h
+
+let do_fsync t ~client path =
+  match Hashtbl.find_opt t.file_handles path with
+  | None -> ()
+  | Some h ->
+      List.iter
+        (fun j ->
+          Rpc.call t.tracer ~client ~server:(storage_proc j) (fun () ->
+              posix t (storage_proc j) ~tag:("file chunk of " ^ path)
+                (Vop.Fsync { path = bstream h })))
+        (List.sort Int.compare (holders_of t h))
+
+let do_op t ~client (op : Pfs_op.t) =
+  match op with
+  | Creat { path } -> do_creat t ~client path
+  | Mkdir { path } -> do_mkdir t ~client path
+  | Write { path; off; data; what } -> do_write t ~client ~what path off data
+  | Append { path; data } -> do_append t ~client path data
+  | Rename { src; dst } -> do_rename t ~client src dst
+  | Unlink { path } -> do_unlink t ~client path
+  | Fsync { path } -> do_fsync t ~client path
+  | Close _ -> ()
+
+(* --- reading the DB logs back ----------------------------------------- *)
+
+let records st db =
+  match Vstate.read_file st db with
+  | Error _ -> []
+  | Ok content ->
+      let n = String.length content / record_size in
+      List.init n (fun i ->
+          String.trim (String.sub content (i * record_size) record_size))
+      |> List.filter (fun r -> r <> "")
+
+type dirent = { pd : int; name : string; is_dir : bool; handle : int }
+
+let replay_keyval recs =
+  (* the DB is a transaction log: apply records in order *)
+  let table : (int * string, dirent) Hashtbl.t = Hashtbl.create 16 in
+  let parse_target s =
+    if String.length s < 2 then None
+    else
+      match (s.[0], int_of_string_opt (String.sub s 1 (String.length s - 1))) with
+      | 'f', Some h -> Some (false, h)
+      | 'd', Some h -> Some (true, h)
+      | _ -> None
+  in
+  List.iter
+    (fun r ->
+      match String.split_on_char ' ' r with
+      | [ "I"; pd; name; target ] -> (
+          match (int_of_string_opt pd, parse_target target) with
+          | Some pd, Some (is_dir, handle) ->
+              Hashtbl.replace table (pd, name) { pd; name; is_dir; handle }
+          | _ -> ())
+      | [ "X"; pd; name ] -> (
+          match int_of_string_opt pd with
+          | Some pd -> Hashtbl.remove table (pd, name)
+          | None -> ())
+      | [ "R"; pd; old_name; new_name ] -> (
+          match int_of_string_opt pd with
+          | Some pd -> (
+              match Hashtbl.find_opt table (pd, old_name) with
+              | Some e ->
+                  Hashtbl.remove table (pd, old_name);
+                  Hashtbl.replace table (pd, new_name) { e with name = new_name }
+              | None -> ())
+          | None -> ())
+      | _ -> ())
+    recs;
+  table
+
+let replay_attrs recs table =
+  List.iter
+    (fun r ->
+      match String.split_on_char ' ' r with
+      | [ "C"; h ] -> (
+          match int_of_string_opt h with
+          | Some h -> Hashtbl.replace table h 0
+          | None -> ())
+      | [ "S"; h; size ] -> (
+          match (int_of_string_opt h, int_of_string_opt size) with
+          | Some h, Some size -> Hashtbl.replace table h size
+          | _ -> ())
+      | [ "D"; h ] -> (
+          match int_of_string_opt h with
+          | Some h -> Hashtbl.remove table h
+          | None -> ())
+      | _ -> ())
+    recs
+
+let load_meta cfg images =
+  let dirents : (int * string, dirent) Hashtbl.t = Hashtbl.create 16 in
+  let attrs : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  for m = 0 to cfg.Config.n_meta - 1 do
+    let st = Images.fs_exn images (meta_proc m) in
+    let kv = replay_keyval (records st keyval_db) in
+    Hashtbl.iter (fun k v -> Hashtbl.replace dirents k v) kv;
+    replay_attrs (records st attrs_db) attrs
+  done;
+  (dirents, attrs)
+
+let read_content cfg images h size =
+  Striping.reassemble ~stripe_size:cfg.Config.stripe_size
+    ~n_servers:cfg.Config.n_storage ~start:(h mod cfg.Config.n_storage) ~size
+    ~read_chunk:(fun j ->
+      let st = Images.fs_exn images (storage_proc j) in
+      match Vstate.read_file st (bstream h) with Ok c -> c | Error _ -> "")
+
+let mount cfg images =
+  let dirents, attrs = load_meta cfg images in
+  let view = ref Logical.empty in
+  let visited = Hashtbl.create 8 in
+  let rec walk dh pfs_path =
+    if not (Hashtbl.mem visited dh) then begin
+      Hashtbl.replace visited dh ();
+      Hashtbl.iter
+        (fun (pd, name) e ->
+          if pd = dh then begin
+            let child =
+              if pfs_path = "/" then "/" ^ name else pfs_path ^ "/" ^ name
+            in
+            if e.is_dir then begin
+              view := Logical.add_dir !view child;
+              walk e.handle child
+            end
+            else
+              let size =
+                match Hashtbl.find_opt attrs e.handle with Some s -> s | None -> 0
+              in
+              view :=
+                Logical.add_file !view child
+                  (Logical.Data (read_content cfg images e.handle size))
+          end)
+        dirents
+    end
+  in
+  walk 0 "/";
+  !view
+
+(* --- pvfs2-fsck -------------------------------------------------------- *)
+
+let fsck cfg images =
+  let dirents, _attrs = load_meta cfg images in
+  let referenced = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun _ e -> if not e.is_dir then Hashtbl.replace referenced e.handle ())
+    dirents;
+  let images = ref images in
+  let apply proc op =
+    let imgs, _ = Images.apply_posix !images proc op in
+    images := imgs
+  in
+  for j = 0 to cfg.Config.n_storage - 1 do
+    let st = Images.fs_exn !images (storage_proc j) in
+    match Vstate.list_dir st "/bstreams" with
+    | Error _ -> ()
+    | Ok names ->
+        List.iter
+          (fun name ->
+            let path = "/bstreams/" ^ name in
+            match String.split_on_char '.' name with
+            | [ h_s; "stranded" ] -> (
+                match int_of_string_opt h_s with
+                | Some h
+                  when Hashtbl.mem referenced h
+                       && not (Vstate.is_file st ("/bstreams/" ^ h_s)) ->
+                    (* the metadata update never committed: restore the
+                       stranded bstream *)
+                    apply (storage_proc j)
+                      (Vop.Rename { src = path; dst = "/bstreams/" ^ h_s })
+                | Some _ | None -> apply (storage_proc j) (Vop.Unlink { path }))
+            | [ h_s ] -> (
+                match int_of_string_opt h_s with
+                | Some h when not (Hashtbl.mem referenced h) ->
+                    apply (storage_proc j) (Vop.Unlink { path })
+                | Some _ | None -> ())
+            | _ -> ())
+          names
+  done;
+  !images
+
+(* --- construction ------------------------------------------------------ *)
+
+let initial_images cfg =
+  let base_meta =
+    let s = Vstate.empty in
+    let s = Result.get_ok (Vstate.apply s (Vop.Mkdir { path = "/db" })) in
+    let s = Result.get_ok (Vstate.apply s (Vop.Creat { path = keyval_db })) in
+    let s = Result.get_ok (Vstate.apply s (Vop.Creat { path = attrs_db })) in
+    s
+  in
+  let base_storage =
+    Result.get_ok (Vstate.apply Vstate.empty (Vop.Mkdir { path = "/bstreams" }))
+  in
+  let images = ref Images.empty in
+  for m = 0 to cfg.Config.n_meta - 1 do
+    images := Images.add !images (meta_proc m) (Images.Fs base_meta)
+  done;
+  for j = 0 to cfg.Config.n_storage - 1 do
+    images := Images.add !images (storage_proc j) (Images.Fs base_storage)
+  done;
+  !images
+
+let create ~config ~tracer =
+  let t =
+    {
+      cfg = config;
+      tracer;
+      images = initial_images config;
+      next_handle = 1;
+      dir_handles = Hashtbl.create 8;
+      file_handles = Hashtbl.create 8;
+      attr_server = Hashtbl.create 8;
+      sizes = Hashtbl.create 8;
+      chunk_servers = Hashtbl.create 8;
+      slots = Hashtbl.create 8;
+    }
+  in
+  Hashtbl.replace t.dir_handles "/" 0;
+  let servers () =
+    List.init config.Config.n_meta meta_proc
+    @ List.init config.Config.n_storage storage_proc
+  in
+  let mode_of proc =
+    if String.starts_with ~prefix:"meta#" proc then Some config.Config.meta_mode
+    else if String.starts_with ~prefix:"storage#" proc then
+      Some config.Config.storage_mode
+    else None
+  in
+  Handle.make ~config ~tracer
+    {
+      Handle.fs_name = "orangefs";
+      do_op = (fun ~client op -> do_op t ~client op);
+      snapshot = (fun () -> t.images);
+      servers;
+      mount = (fun images -> mount config images);
+      fsck = (fun images -> fsck config images);
+      mode_of;
+    }

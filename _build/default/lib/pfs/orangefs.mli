@@ -1,0 +1,17 @@
+(** OrangeFS (PVFS2)-like parallel file system simulator.
+
+    Metadata lives in Berkeley-DB-style files on the metadata servers:
+    every directory-entry or attribute transaction is a fixed-size
+    record appended to [/db/keyval.db] or [/db/attrs.db] followed by an
+    [fdatasync] (Figure 9(b) of the paper). The per-update fdatasync
+    gives OrangeFS stronger metadata persistence ordering than BeeGFS —
+    it prevents the cross-server rename/unlink reordering (Table 3 row
+    2) — but storage-server bstream writes remain unsynchronized, so the
+    append-vs-metadata reordering (row 1) and cross-metadata-server
+    atomicity (row 4) remain. Replaced files are first renamed to a
+    [.stranded] bstream and only unlinked after the metadata commit;
+    pvfs2-fsck restores stranded bstreams that are still referenced. *)
+
+val create : config:Config.t -> tracer:Paracrash_trace.Tracer.t -> Handle.t
+val meta_proc : int -> string
+val storage_proc : int -> string

@@ -1,0 +1,53 @@
+type t =
+  | Creat of { path : string }
+  | Mkdir of { path : string }
+  | Write of { path : string; off : int; data : string; what : string }
+  | Append of { path : string; data : string }
+  | Rename of { src : string; dst : string }
+  | Unlink of { path : string }
+  | Fsync of { path : string }
+  | Close of { path : string }
+
+let is_commit = function
+  | Fsync _ -> true
+  | Creat _ | Mkdir _ | Write _ | Append _ | Rename _ | Unlink _ | Close _ ->
+      false
+
+let is_close = function
+  | Close _ -> true
+  | Creat _ | Mkdir _ | Write _ | Append _ | Rename _ | Unlink _ | Fsync _ ->
+      false
+
+let path_of = function
+  | Creat { path }
+  | Mkdir { path }
+  | Write { path; _ }
+  | Append { path; _ }
+  | Unlink { path }
+  | Fsync { path }
+  | Close { path } ->
+      path
+  | Rename { src; _ } -> src
+
+let name = function
+  | Creat _ -> "creat"
+  | Mkdir _ -> "mkdir"
+  | Write _ -> "pwrite"
+  | Append _ -> "append"
+  | Rename _ -> "rename"
+  | Unlink _ -> "unlink"
+  | Fsync _ -> "fsync"
+  | Close _ -> "close"
+
+let args = function
+  | Creat { path } | Mkdir { path } | Unlink { path } | Fsync { path }
+  | Close { path } ->
+      [ path ]
+  | Write { path; off; data; what } ->
+      [ path; string_of_int off; string_of_int (String.length data) ]
+      @ (if what = "" then [] else [ what ])
+  | Append { path; data } -> [ path; string_of_int (String.length data) ]
+  | Rename { src; dst } -> [ src; dst ]
+
+let pp ppf op = Fmt.pf ppf "%s(%a)" (name op) Fmt.(list ~sep:comma string) (args op)
+let to_string op = Fmt.str "%a" pp op

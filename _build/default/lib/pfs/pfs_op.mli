@@ -1,0 +1,30 @@
+(** Client-visible parallel-file-system operations.
+
+    These are the PFS-layer calls of the causality graph. The golden
+    model ({!Golden}) gives their correct (crash-free) semantics; legal
+    PFS states are golden replays of preserved subsets of these
+    operations. *)
+
+type t =
+  | Creat of { path : string }
+  | Mkdir of { path : string }
+  | Write of { path : string; off : int; data : string; what : string }
+      (** [what] optionally names the higher-level structure this write
+          updates (e.g. an HDF5 B-tree node); PFS implementations use
+          it to tag the server-side storage operations. *)
+  | Append of { path : string; data : string }
+  | Rename of { src : string; dst : string }
+  | Unlink of { path : string }
+  | Fsync of { path : string }
+  | Close of { path : string }
+
+val is_commit : t -> bool
+(** [Fsync] commits preceding operations (the commit crash-consistency
+    model's anchor points). *)
+
+val is_close : t -> bool
+val path_of : t -> string
+val name : t -> string
+val args : t -> string list
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,38 @@
+type piece = { server : int; local_off : int; data_off : int; len : int }
+
+let pieces ~stripe_size ~n_servers ~start ~off ~len =
+  if stripe_size <= 0 then invalid_arg "Striping.pieces: stripe_size";
+  if n_servers <= 0 then invalid_arg "Striping.pieces: n_servers";
+  let rec go off remaining data_off acc =
+    if remaining <= 0 then List.rev acc
+    else
+      let stripe = off / stripe_size in
+      let in_stripe = off mod stripe_size in
+      let take = min remaining (stripe_size - in_stripe) in
+      let server = (start + stripe) mod n_servers in
+      let local_off = (stripe / n_servers * stripe_size) + in_stripe in
+      let piece = { server; local_off; data_off; len = take } in
+      go (off + take) (remaining - take) (data_off + take) (piece :: acc)
+  in
+  go off len 0 []
+
+let reassemble ~stripe_size ~n_servers ~start ~size ~read_chunk =
+  let buf = Bytes.make size '\000' in
+  let chunk_cache = Hashtbl.create 4 in
+  let chunk server =
+    match Hashtbl.find_opt chunk_cache server with
+    | Some c -> c
+    | None ->
+        let c = read_chunk server in
+        Hashtbl.add chunk_cache server c;
+        c
+  in
+  let ps = pieces ~stripe_size ~n_servers ~start ~off:0 ~len:size in
+  List.iter
+    (fun p ->
+      let c = chunk p.server in
+      let avail = String.length c - p.local_off in
+      let n = min p.len (max 0 avail) in
+      if n > 0 then Bytes.blit_string c p.local_off buf p.data_off n)
+    ps;
+  Bytes.to_string buf

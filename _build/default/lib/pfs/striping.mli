@@ -1,0 +1,32 @@
+(** Round-robin file striping across storage servers.
+
+    A file's byte stream is split into [stripe_size] chunks; stripe [s]
+    lives on server [(start + s) mod n_servers], inside that server's
+    per-file chunk file, at local offset [(s / n_servers) * stripe_size
+    + (offset mod stripe_size)]. [start] lets a PFS spread distinct
+    files over different first servers (file-distribution sensitivity
+    in the paper's Table 3). *)
+
+type piece = {
+  server : int;  (** storage server index *)
+  local_off : int;  (** offset inside the server's chunk file *)
+  data_off : int;  (** offset inside the caller's buffer *)
+  len : int;
+}
+
+val pieces :
+  stripe_size:int -> n_servers:int -> start:int -> off:int -> len:int -> piece list
+(** Decompose the byte range [off, off+len) into per-server pieces, in
+    increasing global offset order. *)
+
+val reassemble :
+  stripe_size:int ->
+  n_servers:int ->
+  start:int ->
+  size:int ->
+  read_chunk:(int -> string) ->
+  string
+(** Rebuild a file of logical [size] from per-server chunk files
+    ([read_chunk server] returns the chunk file's content, "" if
+    missing); short chunks read back as zero bytes, as a sparse file
+    would. *)

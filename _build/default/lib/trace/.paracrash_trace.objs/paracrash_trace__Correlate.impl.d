@@ -1,0 +1,1 @@
+lib/trace/correlate.ml: Array Event List Tracer

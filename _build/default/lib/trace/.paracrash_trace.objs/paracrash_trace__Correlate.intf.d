@@ -1,0 +1,1 @@
+lib/trace/correlate.mli: Event Tracer

@@ -1,0 +1,1 @@
+lib/trace/event.ml: Fmt Paracrash_blockdev Paracrash_vfs

@@ -1,0 +1,1 @@
+lib/trace/tracer.ml: Array Event Fmt Hashtbl List Paracrash_util String

@@ -1,0 +1,1 @@
+lib/trace/tracer.mli: Event Format Paracrash_util

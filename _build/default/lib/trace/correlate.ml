@@ -1,0 +1,48 @@
+let find_send t msg =
+  let evs = Tracer.events t in
+  let found = ref None in
+  Array.iter
+    (fun (e : Event.t) ->
+      match e.payload with
+      | Event.Send { msg = m; _ } when m = msg && !found = None ->
+          found := Some e.id
+      | _ -> ())
+    evs;
+  !found
+
+let parent t id =
+  let e = Tracer.event t id in
+  match e.caller with
+  | Some c -> Some c
+  | None -> (
+      match e.payload with
+      | Event.Recv { msg; _ } -> find_send t msg
+      | _ -> None)
+
+let rec owner_at t layer id =
+  let e = Tracer.event t id in
+  match (e.layer = layer, e.payload) with
+  | true, Event.Call _ -> Some id
+  | _ -> ( match parent t id with None -> None | Some p -> owner_at t layer p)
+
+let owners t id =
+  let rec go acc id =
+    match parent t id with None -> List.rev acc | Some p -> go (p :: acc) p
+  in
+  go [] id
+
+let storage_ops_of t call =
+  let evs = Tracer.events t in
+  Array.to_list evs
+  |> List.filter_map (fun (e : Event.t) ->
+         if Event.is_storage_op e && (e.id = call || List.mem call (owners t e.id))
+         then Some e.id
+         else None)
+
+let calls_at t layer =
+  let evs = Tracer.events t in
+  Array.to_list evs
+  |> List.filter_map (fun (e : Event.t) ->
+         match (e.layer = layer, e.payload) with
+         | true, Event.Call _ -> Some e.id
+         | _ -> None)

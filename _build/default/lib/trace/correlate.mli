@@ -1,0 +1,22 @@
+(** End-to-end trace correlation (§4.2 of the paper).
+
+    Associates each low-level storage operation with the higher-level
+    calls that caused it, following caller chains within a process and
+    send/receive message pairs across processes. *)
+
+val parent : Tracer.t -> int -> int option
+(** The enclosing event: the caller if any, otherwise the matching
+    [Send] of a [Recv] event. *)
+
+val owner_at : Tracer.t -> Event.layer -> int -> int option
+(** [owner_at t layer id]: the innermost [Call] event at [layer] on
+    [id]'s parent chain (possibly [id] itself). *)
+
+val owners : Tracer.t -> int -> int list
+(** The full parent chain of [id], innermost first, excluding [id]. *)
+
+val storage_ops_of : Tracer.t -> int -> int list
+(** All storage-op events attributed to the given call event. *)
+
+val calls_at : Tracer.t -> Event.layer -> int list
+(** Ids of all [Call] events recorded at [layer], in trace order. *)

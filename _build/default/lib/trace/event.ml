@@ -1,0 +1,68 @@
+type layer = App | Lib | Mpi | Pfs | Posix | Block | Net
+
+type payload =
+  | Posix_op of Paracrash_vfs.Op.t
+  | Block_op of Paracrash_blockdev.Op.t
+  | Call of { name : string; args : string list }
+  | Send of { msg : int; dst : string }
+  | Recv of { msg : int; src : string }
+
+type t = {
+  id : int;
+  seq : int;
+  proc : string;
+  layer : layer;
+  payload : payload;
+  caller : int option;
+  tag : string;
+}
+
+let is_storage_op e =
+  match e.payload with
+  | Posix_op _ | Block_op _ -> true
+  | Call _ | Send _ | Recv _ -> false
+
+let is_sync e =
+  match e.payload with
+  | Posix_op op -> Paracrash_vfs.Op.is_sync op
+  | Block_op op -> Paracrash_blockdev.Op.is_sync op
+  | Call _ | Send _ | Recv _ -> false
+
+let sync_file e =
+  match e.payload with
+  | Posix_op op -> Paracrash_vfs.Op.sync_target op
+  | Block_op _ | Call _ | Send _ | Recv _ -> None
+
+let files e =
+  match e.payload with
+  | Posix_op op -> Paracrash_vfs.Op.touches op
+  | Block_op _ | Call _ | Send _ | Recv _ -> []
+
+let is_posix_metadata e =
+  match e.payload with
+  | Posix_op op -> Paracrash_vfs.Op.is_metadata op
+  | Block_op _ | Call _ | Send _ | Recv _ -> false
+
+let layer_to_string = function
+  | App -> "app"
+  | Lib -> "lib"
+  | Mpi -> "mpi"
+  | Pfs -> "pfs"
+  | Posix -> "posix"
+  | Block -> "block"
+  | Net -> "net"
+
+let pp_payload ppf = function
+  | Posix_op op -> Paracrash_vfs.Op.pp ppf op
+  | Block_op op -> Paracrash_blockdev.Op.pp ppf op
+  | Call { name; args } ->
+      Fmt.pf ppf "%s(%a)" name Fmt.(list ~sep:comma string) args
+  | Send { msg; dst } -> Fmt.pf ppf "sendto(%s, #%d)" dst msg
+  | Recv { msg; src } -> Fmt.pf ppf "recvfrom(%s, #%d)" src msg
+
+let pp ppf e =
+  Fmt.pf ppf "[%d] %s@%s %a" e.id (layer_to_string e.layer) e.proc pp_payload
+    e.payload;
+  if e.tag <> "" then Fmt.pf ppf " {%s}" e.tag
+
+let describe e = Fmt.str "%a" pp e

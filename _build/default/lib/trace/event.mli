@@ -1,0 +1,51 @@
+(** Cross-layer trace events.
+
+    Every simulated operation — an HDF5 library call, an MPI-IO call, a
+    PFS client call, a server-side local-FS operation, a block command,
+    or an RPC message — is recorded as one event. Events carry their
+    process, layer, an optional enclosing (caller) event, and a semantic
+    tag naming the storage structure they touch. *)
+
+type layer =
+  | App  (** test program *)
+  | Lib  (** parallel I/O library: HDF5 / NetCDF *)
+  | Mpi  (** MPI-IO *)
+  | Pfs  (** parallel file system client operation *)
+  | Posix  (** server-side local file system operation *)
+  | Block  (** server-side block device command *)
+  | Net  (** RPC messages *)
+
+type payload =
+  | Posix_op of Paracrash_vfs.Op.t
+  | Block_op of Paracrash_blockdev.Op.t
+  | Call of { name : string; args : string list }
+      (** A structured call at layer [App], [Lib], [Mpi] or [Pfs]. *)
+  | Send of { msg : int; dst : string }
+  | Recv of { msg : int; src : string }
+
+type t = {
+  id : int;  (** globally unique, dense from 0 *)
+  seq : int;  (** per-process sequence number (the "timestamp") *)
+  proc : string;  (** process name, e.g. ["client#0"], ["meta#0"] *)
+  layer : layer;
+  payload : payload;
+  caller : int option;  (** enclosing higher-level event *)
+  tag : string;  (** semantic label, e.g. ["d_entry of /A/foo"] *)
+}
+
+val is_storage_op : t -> bool
+(** [Posix_op] or [Block_op]. *)
+
+val is_sync : t -> bool
+(** A commit operation: [fsync], [fdatasync] or [scsi_sync]. *)
+
+val sync_file : t -> string option
+(** Target file of a posix sync; [None] for [scsi_sync] (whole device). *)
+
+val files : t -> string list
+(** Local files touched by a posix op; [] otherwise. *)
+
+val is_posix_metadata : t -> bool
+val layer_to_string : layer -> string
+val describe : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,162 @@
+module Dag = Paracrash_util.Dag
+
+type t = {
+  mutable events_rev : Event.t list;
+  mutable n : int;
+  mutable on : bool;
+  mutable next_msg : int;
+  last_of_proc : (string, int) Hashtbl.t;  (* keyed by proc/chain-context *)
+  seq_of_proc : (string, int) Hashtbl.t;
+  stack_of_proc : (string, int list) Hashtbl.t;
+  chain_of_proc : (string, int list) Hashtbl.t;
+      (* conversation contexts opened by push_caller: events of one RPC
+         handler are program-ordered among themselves and with their
+         client's chain, but not with other clients' handlers on the
+         same server *)
+  mutable extra_edges : (int * int) list;
+  mutable cache : (int * Event.t array) option;
+}
+
+let create () =
+  {
+    events_rev = [];
+    n = 0;
+    on = true;
+    next_msg = 0;
+    last_of_proc = Hashtbl.create 8;
+    seq_of_proc = Hashtbl.create 8;
+    stack_of_proc = Hashtbl.create 8;
+    chain_of_proc = Hashtbl.create 8;
+    extra_edges = [];
+    cache = None;
+  }
+
+let enabled t = t.on
+let set_enabled t b = t.on <- b
+
+let fresh_msg t =
+  let m = t.next_msg in
+  t.next_msg <- m + 1;
+  m
+
+let top_caller t proc =
+  match Hashtbl.find_opt t.stack_of_proc proc with
+  | Some (c :: _) -> Some c
+  | Some [] | None -> None
+
+let chain_key t proc =
+  match Hashtbl.find_opt t.chain_of_proc proc with
+  | Some (c :: _) -> proc ^ "/" ^ string_of_int c
+  | Some [] | None -> proc
+
+let record t ~proc ~layer ?(tag = "") payload =
+  if not t.on then -1
+  else begin
+    let id = t.n in
+    let seq =
+      match Hashtbl.find_opt t.seq_of_proc proc with None -> 0 | Some s -> s + 1
+    in
+    Hashtbl.replace t.seq_of_proc proc seq;
+    let ev =
+      { Event.id; seq; proc; layer; payload; caller = top_caller t proc; tag }
+    in
+    t.events_rev <- ev :: t.events_rev;
+    t.n <- id + 1;
+    t.cache <- None;
+    let key = chain_key t proc in
+    (match Hashtbl.find_opt t.last_of_proc key with
+    | Some prev -> t.extra_edges <- (prev, id) :: t.extra_edges
+    | None -> ());
+    Hashtbl.replace t.last_of_proc key id;
+    id
+  end
+
+let with_call t ~proc ~layer ~name ?(args = []) ?(tag = "") body =
+  let id = record t ~proc ~layer ~tag (Event.Call { name; args }) in
+  if id = -1 then body ()
+  else begin
+    let stack =
+      match Hashtbl.find_opt t.stack_of_proc proc with Some s -> s | None -> []
+    in
+    Hashtbl.replace t.stack_of_proc proc (id :: stack);
+    let finish () =
+      match Hashtbl.find_opt t.stack_of_proc proc with
+      | Some (_ :: rest) -> Hashtbl.replace t.stack_of_proc proc rest
+      | Some [] | None -> ()
+    in
+    match body () with
+    | v ->
+        finish ();
+        v
+    | exception e ->
+        finish ();
+        raise e
+  end
+
+let push_caller t ~proc id =
+  if id >= 0 then begin
+    let stack =
+      match Hashtbl.find_opt t.stack_of_proc proc with Some s -> s | None -> []
+    in
+    Hashtbl.replace t.stack_of_proc proc (id :: stack)
+  end
+
+let pop_caller t ~proc =
+  match Hashtbl.find_opt t.stack_of_proc proc with
+  | Some (_ :: rest) -> Hashtbl.replace t.stack_of_proc proc rest
+  | Some [] | None -> ()
+
+let begin_conversation t ~proc key =
+  let chain =
+    match Hashtbl.find_opt t.chain_of_proc proc with Some s -> s | None -> []
+  in
+  Hashtbl.replace t.chain_of_proc proc (key :: chain)
+
+let end_conversation t ~proc =
+  match Hashtbl.find_opt t.chain_of_proc proc with
+  | Some (_ :: rest) -> Hashtbl.replace t.chain_of_proc proc rest
+  | Some [] | None -> ()
+
+let add_edge t u v =
+  if u >= 0 && v >= 0 && u <> v then t.extra_edges <- (u, v) :: t.extra_edges
+
+let events t =
+  match t.cache with
+  | Some (n, arr) when n = t.n -> arr
+  | _ ->
+      let arr = Array.of_list (List.rev t.events_rev) in
+      t.cache <- Some (t.n, arr);
+      arr
+
+let event t i = (events t).(i)
+let count t = t.n
+
+let graph t =
+  let evs = events t in
+  let b = Dag.Builder.create (Array.length evs) in
+  List.iter (fun (u, v) -> Dag.Builder.add_edge b u v) t.extra_edges;
+  (* caller-callee: the call happens before each event it encloses *)
+  Array.iter
+    (fun (e : Event.t) ->
+      match e.caller with
+      | Some c when c <> e.id -> Dag.Builder.add_edge b c e.id
+      | Some _ | None -> ())
+    evs;
+  Dag.Builder.freeze b
+
+let pp ppf t =
+  let evs = events t in
+  let procs =
+    Array.to_list evs |> List.map (fun (e : Event.t) -> e.proc)
+    |> List.sort_uniq String.compare
+  in
+  let by_proc p =
+    Array.to_list evs |> List.filter (fun (e : Event.t) -> String.equal e.proc p)
+  in
+  Fmt.pf ppf "@[<v>";
+  List.iter
+    (fun p ->
+      Fmt.pf ppf "--- %s ---@," p;
+      List.iter (fun e -> Fmt.pf ppf "%a@," Event.pp e) (by_proc p))
+    procs;
+  Fmt.pf ppf "@]"

@@ -1,0 +1,74 @@
+(** The trace recorder.
+
+    Simulated stack components self-record into a tracer as they
+    execute, replacing the strace/Recorder/iSCSI capture of the real
+    system. The tracer maintains per-process program order, explicit
+    cross-process causality edges (RPC send-receive, barriers), and the
+    caller stack that nests low-level operations under the high-level
+    calls that issued them. *)
+
+type t
+
+val create : unit -> t
+
+val enabled : t -> bool
+val set_enabled : t -> bool -> unit
+(** While disabled (e.g. during the preamble program that builds the
+    initial storage state), [record] returns [-1] and stores nothing. *)
+
+val record :
+  t -> proc:string -> layer:Event.layer -> ?tag:string -> Event.payload -> int
+(** Record one event; returns its id (or [-1] when disabled). Adds a
+    program-order edge from the previous event of the same process and
+    sets the caller to the process's innermost open call. *)
+
+val with_call :
+  t ->
+  proc:string ->
+  layer:Event.layer ->
+  name:string ->
+  ?args:string list ->
+  ?tag:string ->
+  (unit -> 'a) ->
+  'a
+(** Record a [Call] event and run the body with that call on [proc]'s
+    caller stack, so nested events point back to it. *)
+
+val add_edge : t -> int -> int -> unit
+(** Explicit happens-before edge (send -> recv, barrier). Ignored if
+    either end is [-1]. *)
+
+val push_caller : t -> proc:string -> int -> unit
+(** Make event [id] the innermost caller for subsequent events of
+    [proc]. Used by the RPC layer so that server-side operations are
+    attributed to the message (and hence the client call) that
+    triggered them. *)
+
+val pop_caller : t -> proc:string -> unit
+
+val begin_conversation : t -> proc:string -> int -> unit
+(** Open a program-order context on [proc] keyed by a message id:
+    events recorded inside it are ordered among themselves but not with
+    events of other conversations on the same process. Concurrent
+    clients' handler operations on one server are causally unordered —
+    a different arrival schedule is an equally legal execution (§4.3 of
+    the paper). *)
+
+val end_conversation : t -> proc:string -> unit
+
+val fresh_msg : t -> int
+(** A fresh message id for RPC correlation. *)
+
+val events : t -> Event.t array
+(** All recorded events, indexed by id. *)
+
+val event : t -> int -> Event.t
+val count : t -> int
+
+val graph : t -> Paracrash_util.Dag.t
+(** Full causality graph over all events: program order + explicit
+    edges + caller-callee edges. *)
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable listing, grouped by process (like Figure 2/9 of the
+    paper). *)

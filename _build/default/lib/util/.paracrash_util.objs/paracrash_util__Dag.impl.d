@@ -1,0 +1,1 @@
+lib/util/dag.ml: Array Bitset Fmt Int List Set Sys

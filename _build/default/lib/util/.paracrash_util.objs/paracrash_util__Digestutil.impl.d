@@ -1,0 +1,1 @@
+lib/util/digestutil.ml: Buffer Digest List String

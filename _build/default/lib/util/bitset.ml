@@ -1,0 +1,84 @@
+type t = { cap : int; words : int array }
+
+let bits_per_word = 62 (* keep everything in the OCaml immediate-int range *)
+
+let words_for cap = (cap + bits_per_word - 1) / bits_per_word
+
+let create cap =
+  if cap < 0 then invalid_arg "Bitset.create";
+  { cap; words = Array.make (max 1 (words_for cap)) 0 }
+
+let capacity t = t.cap
+
+let check t i =
+  if i < 0 || i >= t.cap then invalid_arg "Bitset: index out of range"
+
+let add t i =
+  check t i;
+  let w = Array.copy t.words in
+  let j = i / bits_per_word and b = i mod bits_per_word in
+  w.(j) <- w.(j) lor (1 lsl b);
+  { t with words = w }
+
+let remove t i =
+  check t i;
+  let w = Array.copy t.words in
+  let j = i / bits_per_word and b = i mod bits_per_word in
+  w.(j) <- w.(j) land lnot (1 lsl b);
+  { t with words = w }
+
+let mem t i =
+  check t i;
+  let j = i / bits_per_word and b = i mod bits_per_word in
+  t.words.(j) land (1 lsl b) <> 0
+
+let popcount x =
+  let rec go x acc = if x = 0 then acc else go (x lsr 1) (acc + (x land 1)) in
+  go x 0
+
+let cardinal t = Array.fold_left (fun acc w -> acc + popcount w) 0 t.words
+let is_empty t = Array.for_all (fun w -> w = 0) t.words
+
+let binop f a b =
+  if a.cap <> b.cap then invalid_arg "Bitset: capacity mismatch";
+  { cap = a.cap; words = Array.map2 f a.words b.words }
+
+let union = binop ( lor )
+let inter = binop ( land )
+let diff = binop (fun x y -> x land lnot y)
+
+let subset a b =
+  if a.cap <> b.cap then invalid_arg "Bitset.subset: capacity mismatch";
+  Array.for_all2 (fun x y -> x land lnot y = 0) a.words b.words
+
+let equal a b = a.cap = b.cap && Array.for_all2 ( = ) a.words b.words
+
+let compare a b =
+  let c = Int.compare a.cap b.cap in
+  if c <> 0 then c else Stdlib.compare a.words b.words
+
+let of_list cap xs = List.fold_left add (create cap) xs
+
+let fold f t acc =
+  let acc = ref acc in
+  for i = 0 to t.cap - 1 do
+    if mem t i then acc := f i !acc
+  done;
+  !acc
+
+let elements t = List.rev (fold (fun i acc -> i :: acc) t [])
+let iter f t = List.iter f (elements t)
+
+let full cap =
+  let t = create cap in
+  let rec go acc i = if i >= cap then acc else go (add acc i) (i + 1) in
+  go t 0
+
+let hash t = Hashtbl.hash t.words
+
+let to_string t =
+  let buf = Buffer.create (Array.length t.words * 16) in
+  Array.iter (fun w -> Buffer.add_string buf (Printf.sprintf "%x." w)) t.words;
+  Buffer.contents buf
+
+let pp ppf t = Fmt.pf ppf "{%a}" Fmt.(list ~sep:comma int) (elements t)

@@ -1,0 +1,46 @@
+(** Fixed-capacity bit sets over [0 .. capacity-1].
+
+    Used to represent sets of trace-event ids during crash-state
+    exploration, where millions of membership tests and set operations
+    are performed. All operations are pure: each returns a fresh set. *)
+
+type t
+
+val create : int -> t
+(** [create n] is the empty set with capacity [n]. Raises
+    [Invalid_argument] if [n < 0]. *)
+
+val capacity : t -> int
+
+val add : t -> int -> t
+val remove : t -> int -> t
+val mem : t -> int -> bool
+val cardinal : t -> int
+val is_empty : t -> bool
+
+val union : t -> t -> t
+val inter : t -> t -> t
+val diff : t -> t -> t
+
+val subset : t -> t -> bool
+(** [subset a b] is [true] iff every element of [a] is in [b]. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val of_list : int -> int list -> t
+(** [of_list n xs] is the set of capacity [n] containing [xs]. *)
+
+val elements : t -> int list
+(** Elements in increasing order. *)
+
+val iter : (int -> unit) -> t -> unit
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+val full : int -> t
+(** [full n] contains every element of [0 .. n-1]. *)
+
+val hash : t -> int
+val to_string : t -> string
+(** Compact hex rendering, usable as a dedup key. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,36 @@
+let rec combinations xs k =
+  if k = 0 then [ [] ]
+  else
+    match xs with
+    | [] -> []
+    | x :: rest ->
+        let with_x = List.map (fun c -> x :: c) (combinations rest (k - 1)) in
+        with_x @ combinations rest k
+
+let combinations_upto xs k =
+  let rec go i = if i > k then [] else combinations xs i @ go (i + 1) in
+  go 0
+
+let subsets xs =
+  let n = List.length xs in
+  if n > 20 then invalid_arg "Combi.subsets: too many elements";
+  let arr = Array.of_list xs in
+  let result = ref [] in
+  for mask = (1 lsl n) - 1 downto 0 do
+    let s = ref [] in
+    for i = n - 1 downto 0 do
+      if mask land (1 lsl i) <> 0 then s := arr.(i) :: !s
+    done;
+    result := !s :: !result
+  done;
+  !result
+
+let cartesian lists =
+  let add_layer acc xs =
+    List.concat_map (fun prefix -> List.map (fun x -> prefix @ [ x ]) xs) acc
+  in
+  List.fold_left add_layer [ [] ] lists
+
+let rec pairs = function
+  | [] -> []
+  | x :: rest -> List.map (fun y -> (x, y)) rest @ pairs rest

@@ -1,0 +1,18 @@
+(** Small combinatorics helpers used by crash-state generation. *)
+
+val combinations : 'a list -> int -> 'a list list
+(** [combinations xs k] is all size-[k] sublists of [xs], preserving the
+    relative order of elements. [combinations xs 0 = [[]]]. *)
+
+val combinations_upto : 'a list -> int -> 'a list list
+(** All sublists of size [0..k], smallest first. *)
+
+val subsets : 'a list -> 'a list list
+(** All [2^n] sublists. Raises [Invalid_argument] if [n > 20]. *)
+
+val cartesian : 'a list list -> 'a list list
+(** [cartesian [xs1; xs2; ...]] is all ways of picking one element from
+    each list. *)
+
+val pairs : 'a list -> ('a * 'a) list
+(** All unordered pairs (as ordered-by-position tuples). *)

@@ -1,0 +1,181 @@
+type t = {
+  n : int;
+  succs : int list array;
+  preds : int list array;
+  (* reach.(u) contains v iff there is a nonempty path u -> v *)
+  reach : Bitset.t array;
+  topo : int list;
+}
+
+module Builder = struct
+  type t = {
+    bn : int;
+    mutable bsuccs : int list array;
+    mutable bpreds : int list array;
+  }
+
+  let create n =
+    if n < 0 then invalid_arg "Dag.Builder.create";
+    { bn = n; bsuccs = Array.make n []; bpreds = Array.make n [] }
+
+  let add_edge b u v =
+    if u < 0 || u >= b.bn || v < 0 || v >= b.bn then
+      invalid_arg "Dag.Builder.add_edge: node out of range";
+    if u = v then invalid_arg "Dag.Builder.add_edge: self edge";
+    if not (List.mem v b.bsuccs.(u)) then begin
+      b.bsuccs.(u) <- v :: b.bsuccs.(u);
+      b.bpreds.(v) <- u :: b.bpreds.(v)
+    end
+
+  (* Kahn's algorithm with a minimum-id frontier for determinism. *)
+  let topo_order b =
+    let indeg = Array.make b.bn 0 in
+    Array.iter (List.iter (fun v -> indeg.(v) <- indeg.(v) + 1)) b.bsuccs;
+    let module IS = Set.Make (Int) in
+    let frontier = ref IS.empty in
+    for i = 0 to b.bn - 1 do
+      if indeg.(i) = 0 then frontier := IS.add i !frontier
+    done;
+    let order = ref [] in
+    let count = ref 0 in
+    while not (IS.is_empty !frontier) do
+      let u = IS.min_elt !frontier in
+      frontier := IS.remove u !frontier;
+      order := u :: !order;
+      incr count;
+      let relax v =
+        indeg.(v) <- indeg.(v) - 1;
+        if indeg.(v) = 0 then frontier := IS.add v !frontier
+      in
+      List.iter relax b.bsuccs.(u)
+    done;
+    if !count <> b.bn then failwith "Dag: graph has a cycle";
+    List.rev !order
+
+  let freeze b =
+    let topo = topo_order b in
+    let reach = Array.make (max 1 b.bn) (Bitset.create b.bn) in
+    (* Process in reverse topological order: reach(u) = succs(u) ∪ U reach(s). *)
+    let process u =
+      let r =
+        List.fold_left
+          (fun acc s -> Bitset.add (Bitset.union acc reach.(s)) s)
+          (Bitset.create b.bn) b.bsuccs.(u)
+      in
+      reach.(u) <- r
+    in
+    List.iter process (List.rev topo);
+    {
+      n = b.bn;
+      succs = Array.map (List.sort Int.compare) b.bsuccs;
+      preds = Array.map (List.sort Int.compare) b.bpreds;
+      reach;
+      topo;
+    }
+end
+
+let size g = g.n
+let succs g u = g.succs.(u)
+let preds g u = g.preds.(u)
+let happens_before g u v = Bitset.mem g.reach.(u) v
+let reaches g u v = u = v || happens_before g u v
+
+let ancestors g v =
+  let acc = ref (Bitset.create g.n) in
+  for u = 0 to g.n - 1 do
+    if happens_before g u v then acc := Bitset.add !acc u
+  done;
+  !acc
+
+let descendants g u = g.reach.(u)
+let topological g = g.topo
+
+let is_downset g s =
+  (* every predecessor of a member is a member; preds suffice since
+     membership of direct preds propagates transitively *)
+  let ok_node v = List.for_all (fun u -> Bitset.mem s u) g.preds.(v) in
+  List.for_all (fun v -> (not (Bitset.mem s v)) || ok_node v) g.topo
+
+(* Enumerate downsets by deciding membership node-by-node in topological
+   order. A node may be included only if all its predecessors were
+   included; excluding a node forces exclusion of its descendants, which
+   the predecessor test handles for free. Each downset is produced
+   exactly once. *)
+let downsets_fold ?limit g f init =
+  let topo = Array.of_list g.topo in
+  let stop = Sys.opaque_identity (ref false) in
+  let count = ref 0 in
+  let hit_limit () =
+    match limit with
+    | Some l when !count >= l -> true
+    | _ -> false
+  in
+  let acc = ref init in
+  let rec go i set =
+    if !stop then ()
+    else if i >= Array.length topo then begin
+      acc := f set !acc;
+      incr count;
+      if hit_limit () then stop := true
+    end
+    else begin
+      let v = topo.(i) in
+      (* exclude v *)
+      go (i + 1) set;
+      (* include v, if permitted *)
+      if (not !stop) && List.for_all (fun u -> Bitset.mem set u) g.preds.(v)
+      then go (i + 1) (Bitset.add set v)
+    end
+  in
+  go 0 (Bitset.create g.n);
+  !acc
+
+let downsets ?limit g =
+  List.rev (downsets_fold ?limit g (fun s acc -> s :: acc) [])
+
+let downset_count ?limit g = downsets_fold ?limit g (fun _ n -> n + 1) 0
+
+let restrict g keep =
+  let keep = Array.of_list keep in
+  let m = Array.length keep in
+  let b = Builder.create m in
+  for i = 0 to m - 1 do
+    for j = 0 to m - 1 do
+      if i <> j && happens_before g keep.(i) keep.(j) then
+        Builder.add_edge b i j
+    done
+  done;
+  (Builder.freeze b, keep)
+
+let linear_extensions ?(limit = 1024) g =
+  let results = ref [] in
+  let count = ref 0 in
+  let indeg = Array.make g.n 0 in
+  Array.iter (List.iter (fun v -> indeg.(v) <- indeg.(v) + 1)) g.succs;
+  let rec go chosen remaining prefix =
+    if !count >= limit then ()
+    else if remaining = 0 then begin
+      results := List.rev prefix :: !results;
+      incr count
+    end
+    else
+      for v = 0 to g.n - 1 do
+        if (not chosen.(v)) && indeg.(v) = 0 && !count < limit then begin
+          chosen.(v) <- true;
+          List.iter (fun s -> indeg.(s) <- indeg.(s) - 1) g.succs.(v);
+          go chosen (remaining - 1) (v :: prefix);
+          List.iter (fun s -> indeg.(s) <- indeg.(s) + 1) g.succs.(v);
+          chosen.(v) <- false
+        end
+      done
+  in
+  go (Array.make g.n false) g.n [];
+  List.rev !results
+
+let pp ppf g =
+  Fmt.pf ppf "@[<v>dag(%d nodes)" g.n;
+  for u = 0 to g.n - 1 do
+    if g.succs.(u) <> [] then
+      Fmt.pf ppf "@,%d -> %a" u Fmt.(list ~sep:comma int) g.succs.(u)
+  done;
+  Fmt.pf ppf "@]"

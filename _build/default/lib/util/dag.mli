@@ -1,0 +1,69 @@
+(** Directed acyclic graphs over integer node ids [0 .. n-1].
+
+    The causality ("happens-before") graphs of ParaCrash are DAGs whose
+    nodes are trace events. This module provides construction,
+    reachability closure, topological orderings, and enumeration of
+    consistent cuts (downward-closed subsets), which drive crash-state
+    generation (Algorithm 1 of the paper). *)
+
+type t
+
+module Builder : sig
+  type dag := t
+  type t
+
+  val create : int -> t
+  (** [create n] is an empty graph with nodes [0..n-1]. *)
+
+  val add_edge : t -> int -> int -> unit
+  (** [add_edge b u v] records the edge [u -> v]. Self-edges are
+      rejected; duplicate edges are ignored. Raises [Invalid_argument]
+      on out-of-range nodes. *)
+
+  val freeze : t -> dag
+  (** Checks acyclicity and computes reachability. Raises [Failure] if
+      the graph has a cycle. *)
+end
+
+val size : t -> int
+val succs : t -> int -> int list
+val preds : t -> int -> int list
+
+val reaches : t -> int -> int -> bool
+(** [reaches g u v] is [true] iff there is a (possibly empty) directed
+    path from [u] to [v]; hence [reaches g u u = true]. *)
+
+val happens_before : t -> int -> int -> bool
+(** Strict version: a nonempty path exists. *)
+
+val ancestors : t -> int -> Bitset.t
+(** All [u] with [happens_before g u v], as a bitset. *)
+
+val descendants : t -> int -> Bitset.t
+
+val topological : t -> int list
+(** A topological order. Ties are broken by node id, so the result is
+    deterministic. *)
+
+val is_downset : t -> Bitset.t -> bool
+(** [is_downset g s]: no node outside [s] happens before a node in [s]. *)
+
+val downsets : ?limit:int -> t -> Bitset.t list
+(** All downward-closed subsets (consistent cuts) of [g], including the
+    empty set and the full set, in a deterministic order. [limit] caps
+    the number returned (default: no cap). The number of downsets can be
+    exponential in the width of the DAG. *)
+
+val downset_count : ?limit:int -> t -> int
+(** Number of downsets without materializing them (still capped). *)
+
+val restrict : t -> int list -> t * int array
+(** [restrict g keep] is the subgraph induced on nodes [keep] with the
+    reachability relation of [g] (i.e. an edge [i -> j] in the result
+    iff [keep.(i)] happens before [keep.(j)] in [g]). Returns the new
+    graph and the array mapping new ids to original ids. *)
+
+val linear_extensions : ?limit:int -> t -> int list list
+(** All topological orders of [g], capped at [limit] (default 1024). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,11 @@
+let of_string s = Digest.to_hex (Digest.string s)
+
+let combine parts =
+  let buf = Buffer.create 64 in
+  let add s =
+    Buffer.add_string buf (string_of_int (String.length s));
+    Buffer.add_char buf ':';
+    Buffer.add_string buf s
+  in
+  List.iter add parts;
+  of_string (Buffer.contents buf)

@@ -1,0 +1,12 @@
+(** Canonical digests for structural state comparison.
+
+    Storage states (local FS images, PFS logical views, HDF5 logical
+    views) are compared by first rendering them to a canonical string
+    and then hashing. *)
+
+val of_string : string -> string
+(** Hex MD5 digest. *)
+
+val combine : string list -> string
+(** Digest of the concatenation with length framing, so that
+    [combine ["ab"; "c"] <> combine ["a"; "bc"]]. *)

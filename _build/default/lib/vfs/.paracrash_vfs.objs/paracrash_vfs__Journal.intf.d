@@ -1,0 +1,1 @@
+lib/vfs/journal.mli: Format

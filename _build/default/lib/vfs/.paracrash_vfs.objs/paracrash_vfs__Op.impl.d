@@ -1,0 +1,1 @@
+lib/vfs/op.ml: Fmt Printf Stdlib String Vpath

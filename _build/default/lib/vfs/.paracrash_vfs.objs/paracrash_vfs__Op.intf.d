@@ -1,0 +1,1 @@
+lib/vfs/op.mli: Format Vpath

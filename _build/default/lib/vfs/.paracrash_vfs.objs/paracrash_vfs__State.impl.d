@@ -1,0 +1,1 @@
+lib/vfs/state.ml: Buffer Bytes Fmt Hashtbl Int List Map Op Paracrash_util Printf Result String Vpath

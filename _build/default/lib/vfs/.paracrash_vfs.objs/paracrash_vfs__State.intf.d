@@ -1,0 +1,1 @@
+lib/vfs/state.mli: Format Op Vpath

@@ -1,0 +1,18 @@
+type mode = Data | Ordered | Writeback | Nobarrier
+
+let all = [ Data; Ordered; Writeback; Nobarrier ]
+
+let to_string = function
+  | Data -> "data"
+  | Ordered -> "ordered"
+  | Writeback -> "writeback"
+  | Nobarrier -> "nobarrier"
+
+let of_string = function
+  | "data" -> Some Data
+  | "ordered" -> Some Ordered
+  | "writeback" -> Some Writeback
+  | "nobarrier" -> Some Nobarrier
+  | _ -> None
+
+let pp ppf m = Fmt.string ppf (to_string m)

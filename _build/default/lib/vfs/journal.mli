@@ -1,0 +1,20 @@
+(** Journaling modes of the simulated local file system.
+
+    The mode determines the persists-before relation between two
+    operations executed by the same server (Algorithm 2 of the paper):
+
+    - [Data]: full data journaling; operations persist in execution
+      order (the safest ext4 mode, used in the paper's evaluation).
+    - [Ordered]: metadata is journaled in order, and a file's data
+      persists before metadata that commits it; unrelated data writes
+      may reorder.
+    - [Writeback]: only metadata operations are mutually ordered.
+    - [Nobarrier]: nothing is ordered (models Btrfs-style directory
+      operation reordering from §2.3 of the paper). *)
+
+type mode = Data | Ordered | Writeback | Nobarrier
+
+val all : mode list
+val to_string : mode -> string
+val of_string : string -> mode option
+val pp : Format.formatter -> mode -> unit

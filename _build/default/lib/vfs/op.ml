@@ -1,0 +1,73 @@
+type t =
+  | Creat of { path : Vpath.t }
+  | Mkdir of { path : Vpath.t }
+  | Write of { path : Vpath.t; off : int; data : string }
+  | Append of { path : Vpath.t; data : string }
+  | Truncate of { path : Vpath.t; len : int }
+  | Rename of { src : Vpath.t; dst : Vpath.t }
+  | Link of { src : Vpath.t; dst : Vpath.t }
+  | Unlink of { path : Vpath.t }
+  | Rmdir of { path : Vpath.t }
+  | Setxattr of { path : Vpath.t; key : string; value : string }
+  | Removexattr of { path : Vpath.t; key : string }
+  | Fsync of { path : Vpath.t }
+  | Fdatasync of { path : Vpath.t }
+
+let is_data = function
+  | Write _ | Append _ | Truncate _ -> true
+  | Creat _ | Mkdir _ | Rename _ | Link _ | Unlink _ | Rmdir _ | Setxattr _
+  | Removexattr _ | Fsync _ | Fdatasync _ ->
+      false
+
+let is_sync = function
+  | Fsync _ | Fdatasync _ -> true
+  | Creat _ | Mkdir _ | Write _ | Append _ | Truncate _ | Rename _ | Link _
+  | Unlink _ | Rmdir _ | Setxattr _ | Removexattr _ ->
+      false
+
+let is_metadata op = (not (is_data op)) && not (is_sync op)
+
+let sync_target = function
+  | Fsync { path } | Fdatasync { path } -> Some path
+  | Creat _ | Mkdir _ | Write _ | Append _ | Truncate _ | Rename _ | Link _
+  | Unlink _ | Rmdir _ | Setxattr _ | Removexattr _ ->
+      None
+
+let touches = function
+  | Creat { path }
+  | Mkdir { path }
+  | Write { path; _ }
+  | Append { path; _ }
+  | Truncate { path; _ }
+  | Unlink { path }
+  | Rmdir { path }
+  | Setxattr { path; _ }
+  | Removexattr { path; _ }
+  | Fsync { path }
+  | Fdatasync { path } ->
+      [ path ]
+  | Rename { src; dst } | Link { src; dst } -> [ src; dst ]
+
+let equal a b = Stdlib.compare a b = 0
+
+let abbreviate s =
+  if String.length s <= 12 then String.escaped s
+  else String.escaped (String.sub s 0 9) ^ Printf.sprintf "..(%d)" (String.length s)
+
+let pp ppf = function
+  | Creat { path } -> Fmt.pf ppf "creat(%s)" path
+  | Mkdir { path } -> Fmt.pf ppf "mkdir(%s)" path
+  | Write { path; off; data } ->
+      Fmt.pf ppf "pwrite(%s, off=%d, %s)" path off (abbreviate data)
+  | Append { path; data } -> Fmt.pf ppf "append(%s, %s)" path (abbreviate data)
+  | Truncate { path; len } -> Fmt.pf ppf "truncate(%s, %d)" path len
+  | Rename { src; dst } -> Fmt.pf ppf "rename(%s, %s)" src dst
+  | Link { src; dst } -> Fmt.pf ppf "link(%s, %s)" src dst
+  | Unlink { path } -> Fmt.pf ppf "unlink(%s)" path
+  | Rmdir { path } -> Fmt.pf ppf "rmdir(%s)" path
+  | Setxattr { path; key; _ } -> Fmt.pf ppf "setxattr(%s, %s)" path key
+  | Removexattr { path; key } -> Fmt.pf ppf "removexattr(%s, %s)" path key
+  | Fsync { path } -> Fmt.pf ppf "fsync(%s)" path
+  | Fdatasync { path } -> Fmt.pf ppf "fdatasync(%s)" path
+
+let to_string op = Fmt.str "%a" pp op

@@ -1,0 +1,41 @@
+(** Local file system operations.
+
+    These are the lowermost-level I/O operations traced for user-level
+    parallel file systems (the analogue of the POSIX system calls that
+    ParaCrash captures with strace on each server). Crash emulation
+    replays subsets of these against a snapshot of the server's local
+    file system. *)
+
+type t =
+  | Creat of { path : Vpath.t }
+  | Mkdir of { path : Vpath.t }
+  | Write of { path : Vpath.t; off : int; data : string }
+      (** Positional write; extends the file if it reaches past EOF. *)
+  | Append of { path : Vpath.t; data : string }
+  | Truncate of { path : Vpath.t; len : int }
+  | Rename of { src : Vpath.t; dst : Vpath.t }
+  | Link of { src : Vpath.t; dst : Vpath.t }  (** hard link: [dst] becomes a new name for [src] *)
+  | Unlink of { path : Vpath.t }
+  | Rmdir of { path : Vpath.t }
+  | Setxattr of { path : Vpath.t; key : string; value : string }
+  | Removexattr of { path : Vpath.t; key : string }
+  | Fsync of { path : Vpath.t }
+  | Fdatasync of { path : Vpath.t }
+
+val is_metadata : t -> bool
+(** Everything except in-place data writes ([Write], [Append],
+    [Truncate]) and syncs is a metadata operation. *)
+
+val is_data : t -> bool
+val is_sync : t -> bool
+
+val sync_target : t -> Vpath.t option
+(** The file a sync operation commits, if [is_sync]. *)
+
+val touches : t -> Vpath.t list
+(** Paths read or written by the operation (for same-file ordering
+    rules). *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

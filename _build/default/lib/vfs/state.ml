@@ -1,0 +1,348 @@
+module SMap = Map.Make (String)
+module IMap = Map.Make (Int)
+
+type inode = { content : string; xattrs : string SMap.t }
+
+type node = File of int | Dir of dir
+and dir = { entries : node SMap.t; dxattrs : string SMap.t }
+
+type t = { root : dir; inodes : inode IMap.t; next_ino : int }
+
+type error =
+  | Enoent of Vpath.t
+  | Eexist of Vpath.t
+  | Enotdir of Vpath.t
+  | Eisdir of Vpath.t
+  | Enotempty of Vpath.t
+  | Einval of string
+
+let empty_dir = { entries = SMap.empty; dxattrs = SMap.empty }
+let empty = { root = empty_dir; inodes = IMap.empty; next_ino = 0 }
+
+let ( let* ) = Result.bind
+
+(* Locate the node at [path]. *)
+let rec find_in dir = function
+  | [] -> Ok (Dir dir)
+  | c :: rest -> (
+      match SMap.find_opt c dir.entries with
+      | None -> Error `Missing
+      | Some (File i) -> if rest = [] then Ok (File i) else Error `Notdir
+      | Some (Dir d) -> find_in d rest)
+
+let find t path =
+  match find_in t.root (Vpath.components path) with
+  | Ok n -> Ok n
+  | Error `Missing -> Error (Enoent path)
+  | Error `Notdir -> Error (Enotdir path)
+
+(* Rebuild the directory spine after modifying the entry [name] of the
+   directory at [comps] with [f]. [f None] handles a missing entry. *)
+let rec update_dir dir comps f =
+  match comps with
+  | [] -> f dir
+  | c :: rest -> (
+      match SMap.find_opt c dir.entries with
+      | Some (Dir sub) ->
+          let* sub' = update_dir sub rest f in
+          Ok { dir with entries = SMap.add c (Dir sub') dir.entries }
+      | Some (File _) -> Error (Enotdir ("/" ^ c))
+      | None -> Error (Enoent ("/" ^ c)))
+
+let update_parent t path f =
+  let comps = Vpath.components path in
+  match List.rev comps with
+  | [] -> Error (Einval "operation on root")
+  | name :: rev_parents ->
+      let parents = List.rev rev_parents in
+      let g dir =
+        let* entries' = f dir.entries name in
+        Ok { dir with entries = entries' }
+      in
+      let* root' = update_dir t.root parents g in
+      Ok { t with root = root' }
+
+let get_inode t i = IMap.find i t.inodes
+
+let with_file t path f =
+  let* node = find t path in
+  match node with
+  | Dir _ -> Error (Eisdir path)
+  | File i ->
+      let ino = get_inode t i in
+      let* ino' = f ino in
+      Ok { t with inodes = IMap.add i ino' t.inodes }
+
+let splice content off data =
+  let needed = off + String.length data in
+  let base =
+    if String.length content >= needed then content
+    else content ^ String.make (needed - String.length content) '\000'
+  in
+  let b = Bytes.of_string base in
+  Bytes.blit_string data 0 b off (String.length data);
+  Bytes.to_string b
+
+let creat t path =
+  match find t path with
+  | Ok (File i) ->
+      (* O_CREAT|O_TRUNC on an existing file truncates the data. *)
+      let ino = get_inode t i in
+      Ok { t with inodes = IMap.add i { ino with content = "" } t.inodes }
+  | Ok (Dir _) -> Error (Eisdir path)
+  | Error (Enotdir _ as e) -> Error e
+  | Error _ ->
+      let i = t.next_ino in
+      let t = { t with next_ino = i + 1 } in
+      let t =
+        { t with inodes = IMap.add i { content = ""; xattrs = SMap.empty } t.inodes }
+      in
+      update_parent t path (fun entries name ->
+          match SMap.find_opt name entries with
+          | Some _ -> Error (Eexist path)
+          | None -> Ok (SMap.add name (File i) entries))
+
+let mkdir t path =
+  update_parent t path (fun entries name ->
+      match SMap.find_opt name entries with
+      | Some _ -> Error (Eexist path)
+      | None -> Ok (SMap.add name (Dir empty_dir) entries))
+
+let rename t src dst =
+  if Vpath.is_ancestor src dst then
+    Error (Einval "rename: destination inside source")
+  else
+    let* node = find t src in
+    (* Destination checks: a directory may only replace an empty
+       directory; a file may replace a file. *)
+    let* () =
+      match (node, find t dst) with
+      | _, Error (Enoent _) -> Ok ()
+      | Dir _, Ok (Dir d) ->
+          if SMap.is_empty d.entries then Ok () else Error (Enotempty dst)
+      | Dir _, Ok (File _) -> Error (Enotdir dst)
+      | File _, Ok (Dir _) -> Error (Eisdir dst)
+      | File _, Ok (File _) -> Ok ()
+      | _, Error e -> Error e
+    in
+    let* t =
+      update_parent t src (fun entries name ->
+          match SMap.find_opt name entries with
+          | None -> Error (Enoent src)
+          | Some _ -> Ok (SMap.remove name entries))
+    in
+    update_parent t dst (fun entries name -> Ok (SMap.add name node entries))
+
+let link t src dst =
+  let* node = find t src in
+  match node with
+  | Dir _ -> Error (Eisdir src)
+  | File i ->
+      update_parent t dst (fun entries name ->
+          match SMap.find_opt name entries with
+          | Some _ -> Error (Eexist dst)
+          | None -> Ok (SMap.add name (File i) entries))
+
+let unlink t path =
+  update_parent t path (fun entries name ->
+      match SMap.find_opt name entries with
+      | None -> Error (Enoent path)
+      | Some (Dir _) -> Error (Eisdir path)
+      | Some (File _) -> Ok (SMap.remove name entries))
+
+let rmdir t path =
+  update_parent t path (fun entries name ->
+      match SMap.find_opt name entries with
+      | None -> Error (Enoent path)
+      | Some (File _) -> Error (Enotdir path)
+      | Some (Dir d) ->
+          if SMap.is_empty d.entries then Ok (SMap.remove name entries)
+          else Error (Enotempty path))
+
+let set_dir_xattr t path f =
+  let* root' =
+    update_dir t.root (Vpath.components path) (fun dir ->
+        Ok { dir with dxattrs = f dir.dxattrs })
+  in
+  Ok { t with root = root' }
+
+let setxattr t path key value =
+  match find t path with
+  | Ok (Dir _) -> set_dir_xattr t path (SMap.add key value)
+  | Ok (File _) ->
+      with_file t path (fun ino ->
+          Ok { ino with xattrs = SMap.add key value ino.xattrs })
+  | Error e -> Error e
+
+let removexattr t path key =
+  match find t path with
+  | Ok (Dir _) -> set_dir_xattr t path (SMap.remove key)
+  | Ok (File _) ->
+      with_file t path (fun ino -> Ok { ino with xattrs = SMap.remove key ino.xattrs })
+  | Error e -> Error e
+
+let apply t (op : Op.t) =
+  match op with
+  | Creat { path } -> creat t path
+  | Mkdir { path } -> mkdir t path
+  | Write { path; off; data } ->
+      with_file t path (fun ino -> Ok { ino with content = splice ino.content off data })
+  | Append { path; data } ->
+      with_file t path (fun ino -> Ok { ino with content = ino.content ^ data })
+  | Truncate { path; len } ->
+      with_file t path (fun ino ->
+          let n = String.length ino.content in
+          let content =
+            if len <= n then String.sub ino.content 0 len
+            else ino.content ^ String.make (len - n) '\000'
+          in
+          Ok { ino with content })
+  | Rename { src; dst } -> rename t src dst
+  | Link { src; dst } -> link t src dst
+  | Unlink { path } -> unlink t path
+  | Rmdir { path } -> rmdir t path
+  | Setxattr { path; key; value } -> setxattr t path key value
+  | Removexattr { path; key } -> removexattr t path key
+  | Fsync _ | Fdatasync _ -> Ok t
+
+let apply_all t ops =
+  let step (t, errs) op =
+    match apply t op with
+    | Ok t' -> (t', errs)
+    | Error e -> (t, (op, e) :: errs)
+  in
+  let t, errs = List.fold_left step (t, []) ops in
+  (t, List.rev errs)
+
+(* Queries *)
+
+let exists t path = Result.is_ok (find t path)
+
+let is_dir t path =
+  match find t path with Ok (Dir _) -> true | Ok (File _) | Error _ -> false
+
+let is_file t path =
+  match find t path with Ok (File _) -> true | Ok (Dir _) | Error _ -> false
+
+let read_file t path =
+  let* node = find t path in
+  match node with
+  | Dir _ -> Error (Eisdir path)
+  | File i -> Ok (get_inode t i).content
+
+let file_size t path =
+  let* c = read_file t path in
+  Ok (String.length c)
+
+let list_dir t path =
+  let* node = find t path in
+  match node with
+  | File _ -> Error (Enotdir path)
+  | Dir d -> Ok (List.map fst (SMap.bindings d.entries))
+
+let inode_of t path =
+  let* node = find t path in
+  match node with Dir _ -> Error (Eisdir path) | File i -> Ok i
+
+let getxattr t path key =
+  let* node = find t path in
+  let lookup m = match SMap.find_opt key m with
+    | Some v -> Ok v
+    | None -> Error (Enoent path)
+  in
+  match node with
+  | Dir d -> lookup d.dxattrs
+  | File i -> lookup (get_inode t i).xattrs
+
+let xattrs t path =
+  let* node = find t path in
+  match node with
+  | Dir d -> Ok (SMap.bindings d.dxattrs)
+  | File i -> Ok (SMap.bindings (get_inode t i).xattrs)
+
+let walk t f =
+  let rec go prefix dir =
+    SMap.iter
+      (fun name node ->
+        let path = Vpath.concat prefix name in
+        match node with
+        | File i -> f path (`File (get_inode t i).content)
+        | Dir d ->
+            f path `Dir;
+            go path d)
+      dir.entries
+  in
+  go Vpath.root t.root
+
+(* Canonical form: group hard links by inode so that link identity is
+   observable but inode numbering is not. *)
+let canonical t =
+  let groups = Hashtbl.create 16 in
+  let buf = Buffer.create 256 in
+  let rec collect prefix dir =
+    SMap.iter
+      (fun name node ->
+        let path = Vpath.concat prefix name in
+        match node with
+        | File i ->
+            let cur = try Hashtbl.find groups i with Not_found -> [] in
+            Hashtbl.replace groups i (path :: cur)
+        | Dir d -> collect path d)
+      dir.entries
+  in
+  collect Vpath.root t.root;
+  let leader = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun i paths -> Hashtbl.replace leader i (List.fold_left min (List.hd paths) paths))
+    groups;
+  let add_xattrs m =
+    SMap.iter (fun k v -> Buffer.add_string buf (Printf.sprintf " @%s=%s" k v)) m
+  in
+  let rec render prefix dir =
+    add_xattrs dir.dxattrs;
+    SMap.iter
+      (fun name node ->
+        let path = Vpath.concat prefix name in
+        match node with
+        | File i ->
+            let ino = get_inode t i in
+            Buffer.add_string buf
+              (Printf.sprintf "\nF %s grp=%s len=%d %s" path
+                 (Hashtbl.find leader i)
+                 (String.length ino.content)
+                 (Paracrash_util.Digestutil.of_string ino.content));
+            add_xattrs ino.xattrs
+        | Dir d ->
+            Buffer.add_string buf (Printf.sprintf "\nD %s" path);
+            render path d)
+      dir.entries
+  in
+  Buffer.add_string buf "ROOT";
+  render Vpath.root t.root;
+  Buffer.contents buf
+
+let digest t = Paracrash_util.Digestutil.of_string (canonical t)
+let equal a b = String.equal (canonical a) (canonical b)
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>";
+  walk t (fun path kind ->
+      match kind with
+      | `Dir -> Fmt.pf ppf "%s/@," path
+      | `File c ->
+          let shown =
+            if String.length c <= 32 then String.escaped c
+            else String.escaped (String.sub c 0 29) ^ "..."
+          in
+          Fmt.pf ppf "%s (%d) %s@," path (String.length c) shown);
+  Fmt.pf ppf "@]"
+
+let error_to_string = function
+  | Enoent p -> "ENOENT " ^ p
+  | Eexist p -> "EEXIST " ^ p
+  | Enotdir p -> "ENOTDIR " ^ p
+  | Eisdir p -> "EISDIR " ^ p
+  | Enotempty p -> "ENOTEMPTY " ^ p
+  | Einval m -> "EINVAL " ^ m
+
+let pp_error ppf e = Fmt.string ppf (error_to_string e)

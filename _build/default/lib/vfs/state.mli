@@ -1,0 +1,62 @@
+(** Immutable local-file-system state.
+
+    A state is a tree of directories and hard-linked files plus
+    extended attributes, mirroring what a PFS server's ext4 volume
+    holds. Applying an operation returns a new state, so snapshots
+    (needed by crash emulation, which replays many alternative
+    histories against the same base image) are O(1). *)
+
+type t
+
+type error =
+  | Enoent of Vpath.t
+  | Eexist of Vpath.t
+  | Enotdir of Vpath.t
+  | Eisdir of Vpath.t
+  | Enotempty of Vpath.t
+  | Einval of string
+
+val empty : t
+
+val apply : t -> Op.t -> (t, error) result
+(** Apply one operation. On error the original state is unchanged. *)
+
+val apply_all : t -> Op.t list -> t * (Op.t * error) list
+(** Apply a sequence, skipping (and collecting) failing operations.
+    This is the crash-replay primitive: dropped victims may make later
+    operations fail, which itself models a possible corrupt image. *)
+
+(** {1 Queries} *)
+
+val exists : t -> Vpath.t -> bool
+val is_dir : t -> Vpath.t -> bool
+val is_file : t -> Vpath.t -> bool
+val read_file : t -> Vpath.t -> (string, error) result
+val file_size : t -> Vpath.t -> (int, error) result
+val list_dir : t -> Vpath.t -> (string list, error) result
+(** Sorted entry names. *)
+
+val inode_of : t -> Vpath.t -> (int, error) result
+(** The internal inode number of a file: two paths share it iff they
+    are hard links to the same file. Only meaningful for comparisons
+    within one state. Directories have no inode number ([Eisdir]). *)
+
+val getxattr : t -> Vpath.t -> string -> (string, error) result
+val xattrs : t -> Vpath.t -> ((string * string) list, error) result
+
+val walk : t -> (Vpath.t -> [ `File of string | `Dir ] -> unit) -> unit
+(** Preorder traversal of every path (excluding the root), sorted. *)
+
+(** {1 Comparison} *)
+
+val canonical : t -> string
+(** Deterministic full rendering (paths, link identity, contents,
+    xattrs); two states are observationally equal iff their canonical
+    forms are equal. *)
+
+val digest : t -> string
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+val pp_error : Format.formatter -> error -> unit
+val error_to_string : error -> string

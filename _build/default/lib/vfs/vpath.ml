@@ -1,0 +1,46 @@
+type t = string
+
+let root = "/"
+
+let normalize s =
+  if String.length s = 0 || s.[0] <> '/' then
+    invalid_arg ("Vpath.normalize: not absolute: " ^ s);
+  let parts = String.split_on_char '/' s in
+  let keep c =
+    match c with
+    | "" -> false
+    | "." | ".." -> invalid_arg ("Vpath.normalize: dot component in " ^ s)
+    | _ -> true
+  in
+  let parts = List.filter keep parts in
+  match parts with [] -> root | _ -> "/" ^ String.concat "/" parts
+
+let components p =
+  if p = root then [] else List.tl (String.split_on_char '/' p)
+
+let parent p =
+  match List.rev (components p) with
+  | [] -> root
+  | [ _ ] -> root
+  | _ :: rest -> "/" ^ String.concat "/" (List.rev rest)
+
+let basename p =
+  match List.rev (components p) with
+  | [] -> invalid_arg "Vpath.basename: root has no basename"
+  | b :: _ -> b
+
+let concat dir name =
+  if String.contains name '/' then invalid_arg "Vpath.concat: slash in name";
+  if dir = root then "/" ^ name else dir ^ "/" ^ name
+
+let is_ancestor a b =
+  a <> b
+  &&
+  let ca = components a and cb = components b in
+  let rec prefix xs ys =
+    match (xs, ys) with
+    | [], _ -> true
+    | x :: xs', y :: ys' -> String.equal x y && prefix xs' ys'
+    | _ :: _, [] -> false
+  in
+  prefix ca cb

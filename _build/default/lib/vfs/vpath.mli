@@ -1,0 +1,26 @@
+(** Absolute slash-separated paths inside a simulated local file
+    system. Paths are normalized strings like ["/a/b/c"]; the root is
+    ["/"]. *)
+
+type t = string
+
+val root : t
+val normalize : string -> t
+(** Collapses duplicate slashes, strips trailing slash (except root).
+    Raises [Invalid_argument] on relative or empty paths and on ["."] /
+    [".."] components. *)
+
+val components : t -> string list
+(** [components "/a/b" = ["a"; "b"]]; [components "/" = []]. *)
+
+val parent : t -> t
+(** [parent "/a/b" = "/a"]; [parent "/" = "/"]. *)
+
+val basename : t -> string
+(** [basename "/a/b" = "b"]. Raises [Invalid_argument] on the root. *)
+
+val concat : t -> string -> t
+(** [concat "/a" "b" = "/a/b"]. *)
+
+val is_ancestor : t -> t -> bool
+(** [is_ancestor a b] iff [a] is a strict ancestor directory of [b]. *)

@@ -1,0 +1,1 @@
+lib/workloads/genprog.ml: Char Fmt List Paracrash_core Paracrash_pfs Printf String

@@ -1,0 +1,1 @@
+lib/workloads/genprog.mli: Format Paracrash_core Paracrash_pfs

@@ -1,0 +1,1 @@
+lib/workloads/h5.ml: List Option Paracrash_core Paracrash_hdf5 Paracrash_mpiio Paracrash_netcdf Printf

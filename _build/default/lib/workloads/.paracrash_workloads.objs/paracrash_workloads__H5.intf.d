@@ -1,0 +1,1 @@
+lib/workloads/h5.mli: Paracrash_core

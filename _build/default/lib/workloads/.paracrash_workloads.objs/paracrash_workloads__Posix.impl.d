@@ -1,0 +1,1 @@
+lib/workloads/posix.ml: Paracrash_core Paracrash_pfs String

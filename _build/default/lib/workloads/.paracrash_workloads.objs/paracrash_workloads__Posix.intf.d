@@ -1,0 +1,1 @@
+lib/workloads/posix.mli: Paracrash_core

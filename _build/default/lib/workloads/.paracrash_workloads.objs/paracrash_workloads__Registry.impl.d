@@ -1,0 +1,1 @@
+lib/workloads/registry.ml: H5 List Paracrash_core Paracrash_pfs Paracrash_trace Posix String

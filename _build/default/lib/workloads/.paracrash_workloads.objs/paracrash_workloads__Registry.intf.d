@@ -1,0 +1,1 @@
+lib/workloads/registry.mli: Paracrash_core Paracrash_pfs Paracrash_trace

@@ -1,0 +1,1 @@
+lib/workloads/runconfig.ml: Fmt In_channel Paracrash_core Paracrash_pfs Paracrash_vfs Printf Registry Result String

@@ -1,0 +1,1 @@
+lib/workloads/runconfig.mli: Format Paracrash_core Paracrash_pfs

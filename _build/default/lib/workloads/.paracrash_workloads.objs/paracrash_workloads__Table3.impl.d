@@ -1,0 +1,1 @@
+lib/workloads/table3.ml: Fmt Fun Int List Option Paracrash_core Paracrash_pfs Paracrash_trace Paracrash_util Registry String

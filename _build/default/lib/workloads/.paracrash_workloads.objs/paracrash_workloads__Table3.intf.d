@@ -1,0 +1,1 @@
+lib/workloads/table3.mli: Format Registry

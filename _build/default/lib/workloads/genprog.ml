@@ -1,0 +1,145 @@
+module Op = Paracrash_pfs.Pfs_op
+module Handle = Paracrash_pfs.Handle
+
+type t = {
+  seed : int;
+  preamble_ops : Op.t list;
+  test_ops : Op.t list;
+}
+
+(* A small deterministic PRNG (xorshift), so generated programs are
+   reproducible from their seed without touching global state. *)
+module Rng = struct
+  type t = { mutable s : int }
+
+  let create seed = { s = (if seed = 0 then 0x9e3779b9 else seed land max_int) }
+
+  let next t =
+    let s = t.s in
+    let s = s lxor (s lsl 13) land max_int in
+    let s = s lxor (s lsr 7) in
+    let s = s lxor (s lsl 17) land max_int in
+    t.s <- s;
+    s
+
+  let below t n = if n <= 0 then 0 else next t mod n
+  let pick t xs = List.nth xs (below t (List.length xs))
+end
+
+(* Generation state: the namespace the program has built so far, used
+   to keep every operation well-formed. *)
+type gen_state = {
+  mutable dirs : string list;
+  mutable files : (string * int) list;  (* path, size *)
+  mutable fresh : int;
+}
+
+let fresh_name st prefix =
+  let n = st.fresh in
+  st.fresh <- n + 1;
+  Printf.sprintf "%s%d" prefix n
+
+let in_dir rng st = Rng.pick rng st.dirs
+
+let gen_op rng st =
+  let choice = Rng.below rng 100 in
+  if choice < 25 then begin
+    (* create a file *)
+    let dir = in_dir rng st in
+    let path =
+      (if dir = "/" then "/" else dir ^ "/") ^ fresh_name st "f"
+    in
+    st.files <- (path, 0) :: st.files;
+    Some (Op.Creat { path })
+  end
+  else if choice < 45 && st.files <> [] then begin
+    (* append data *)
+    let path, size = Rng.pick rng st.files in
+    let data = String.make (1 + Rng.below rng 64) (Char.chr (97 + Rng.below rng 26)) in
+    st.files <-
+      (path, size + String.length data) :: List.remove_assoc path st.files;
+    Some (Op.Append { path; data })
+  end
+  else if choice < 60 && st.files <> [] then begin
+    (* overwrite strictly in place: a crash can tear an extending write
+       between its data and its size update, which is legal partial
+       execution of a non-atomic operation (§4.4.2) and outside the
+       all-or-nothing golden comparison, so generated overwrites stay
+       within the current size *)
+    let candidates = List.filter (fun (_, size) -> size > 1) st.files in
+    if candidates = [] then None
+    else begin
+      let path, size = Rng.pick rng candidates in
+      let off = Rng.below rng (size - 1) in
+      let len = 1 + Rng.below rng (size - off - 1) in
+      let data = String.make len (Char.chr (65 + Rng.below rng 26)) in
+      Some (Op.Write { path; off; data; what = "" })
+    end
+  end
+  else if choice < 75 && st.files <> [] then begin
+    (* rename a file, possibly replacing another *)
+    let src, size = Rng.pick rng st.files in
+    let dir = in_dir rng st in
+    let replace = Rng.below rng 2 = 0 && List.length st.files > 1 in
+    let dst =
+      if replace then
+        fst (Rng.pick rng (List.filter (fun (p, _) -> p <> src) st.files))
+      else (if dir = "/" then "/" else dir ^ "/") ^ fresh_name st "r"
+    in
+    if dst = src then None
+    else begin
+      st.files <-
+        (dst, size)
+        :: List.remove_assoc dst (List.remove_assoc src st.files);
+      Some (Op.Rename { src; dst })
+    end
+  end
+  else if choice < 85 && st.files <> [] then begin
+    (* unlink *)
+    let path, _ = Rng.pick rng st.files in
+    st.files <- List.remove_assoc path st.files;
+    Some (Op.Unlink { path })
+  end
+  else if choice < 92 then begin
+    (* new directory at the root, to keep renames well-formed *)
+    let path = "/" ^ fresh_name st "d" in
+    st.dirs <- path :: st.dirs;
+    Some (Op.Mkdir { path })
+  end
+  else if st.files <> [] then begin
+    let path, _ = Rng.pick rng st.files in
+    Some (if Rng.below rng 2 = 0 then Op.Fsync { path } else Op.Close { path })
+  end
+  else None
+
+let gen_ops rng st n =
+  let rec go acc remaining guard =
+    if remaining = 0 || guard = 0 then List.rev acc
+    else
+      match gen_op rng st with
+      | Some op -> go (op :: acc) (remaining - 1) guard
+      | None -> go acc remaining (guard - 1)
+  in
+  go [] n (n * 20)
+
+let generate ?(n_ops = 5) ~seed () =
+  let rng = Rng.create seed in
+  let st = { dirs = [ "/" ]; files = []; fresh = 0 } in
+  let preamble_ops = gen_ops rng st (2 + Rng.below rng 3) in
+  let test_ops = gen_ops rng st n_ops in
+  { seed; preamble_ops; test_ops }
+
+let to_spec t =
+  {
+    Paracrash_core.Driver.name = Printf.sprintf "gen-%d" t.seed;
+    preamble = (fun h -> List.iter (Handle.exec h) t.preamble_ops);
+    test = (fun h -> List.iter (Handle.exec h) t.test_ops);
+    lib = None;
+  }
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>program gen-%d@,preamble:@," t.seed;
+  List.iter (fun op -> Fmt.pf ppf "  %a@," Op.pp op) t.preamble_ops;
+  Fmt.pf ppf "test:@,";
+  List.iter (fun op -> Fmt.pf ppf "  %a@," Op.pp op) t.test_ops;
+  Fmt.pf ppf "@]"

@@ -1,0 +1,25 @@
+(** Random test-program generation.
+
+    The paper notes that ParaCrash "allows users to generate their own
+    test programs" (§6.2). This module produces random-but-wellformed
+    POSIX test programs (a preamble establishing files and directories,
+    then a short sequence of operations) from a deterministic seed.
+
+    Besides fuzzing the PFS simulators, random programs give strong
+    whole-stack properties: on a stack whose every crash state is a
+    causally consistent prefix (local ext4 with data journaling,
+    Lustre), no generated program may ever report a bug. *)
+
+type t = {
+  seed : int;
+  preamble_ops : Paracrash_pfs.Pfs_op.t list;
+  test_ops : Paracrash_pfs.Pfs_op.t list;
+}
+
+val generate : ?n_ops:int -> seed:int -> unit -> t
+(** Deterministic in [seed]. [n_ops] bounds the traced test sequence
+    (default 5). All operations are well-formed with respect to the
+    program's own history (no writes to never-created files). *)
+
+val to_spec : t -> Paracrash_core.Driver.spec
+val pp : Format.formatter -> t -> unit

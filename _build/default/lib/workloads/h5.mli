@@ -1,0 +1,27 @@
+(** The paper's HDF5 and NetCDF test programs (§6.2).
+
+    Each program starts from the common initial state — an HDF5 file
+    holding two groups with two datasets each — and performs one or two
+    library calls. The parallel variants run the call collectively on
+    two MPI ranks. Dimensions default to the paper's 200x200 and can be
+    varied for the sensitivity study. *)
+
+val default_rows : int
+val default_cols : int
+
+val h5_create : ?rows:int -> ?cols:int -> ?dsets_per_group:int -> unit ->
+  Paracrash_core.Driver.spec
+val h5_delete : ?rows:int -> ?cols:int -> unit -> Paracrash_core.Driver.spec
+val h5_rename : ?rows:int -> ?cols:int -> unit -> Paracrash_core.Driver.spec
+val h5_resize :
+  ?rows:int -> ?cols:int -> ?to_rows:int -> ?to_cols:int -> unit ->
+  Paracrash_core.Driver.spec
+val cdf_create : ?rows:int -> ?cols:int -> unit -> Paracrash_core.Driver.spec
+val h5_parallel_create :
+  ?rows:int -> ?cols:int -> ?nprocs:int -> unit -> Paracrash_core.Driver.spec
+val h5_parallel_resize :
+  ?rows:int -> ?cols:int -> ?to_rows:int -> ?to_cols:int -> ?nprocs:int ->
+  unit -> Paracrash_core.Driver.spec
+
+val all : unit -> Paracrash_core.Driver.spec list
+(** The seven library programs at default parameters. *)

@@ -1,0 +1,72 @@
+module Handle = Paracrash_pfs.Handle
+module Op = Paracrash_pfs.Pfs_op
+module Driver = Paracrash_core.Driver
+
+let x = Handle.exec
+
+let arvr =
+  {
+    Driver.name = "ARVR";
+    preamble =
+      (fun h ->
+        x h (Op.Creat { path = "/foo" });
+        x h (Op.Append { path = "/foo"; data = "old-contents-of-foo" });
+        x h (Op.Close { path = "/foo" }));
+    test =
+      (fun h ->
+        x h (Op.Creat { path = "/tmp" });
+        x h (Op.Append { path = "/tmp"; data = "NEW-contents-of-foo" });
+        x h (Op.Close { path = "/tmp" });
+        x h (Op.Rename { src = "/tmp"; dst = "/foo" }));
+    lib = None;
+  }
+
+let cr =
+  {
+    Driver.name = "CR";
+    preamble =
+      (fun h ->
+        x h (Op.Mkdir { path = "/A" });
+        x h (Op.Mkdir { path = "/B" }));
+    test =
+      (fun h ->
+        x h (Op.Creat { path = "/A/foo" });
+        x h (Op.Close { path = "/A/foo" });
+        x h (Op.Rename { src = "/A/foo"; dst = "/B/foo" }));
+    lib = None;
+  }
+
+let rc =
+  {
+    Driver.name = "RC";
+    preamble = (fun h -> x h (Op.Mkdir { path = "/A" }));
+    test =
+      (fun h ->
+        x h (Op.Rename { src = "/A"; dst = "/B" });
+        x h (Op.Creat { path = "/B/foo" });
+        x h (Op.Close { path = "/B/foo" }));
+    lib = None;
+  }
+
+let wal =
+  let page c = String.make 4096 c in
+  {
+    Driver.name = "WAL";
+    preamble =
+      (fun h ->
+        x h (Op.Creat { path = "/foo" });
+        x h (Op.Append { path = "/foo"; data = page 'a' });
+        x h (Op.Append { path = "/foo"; data = page 'b' });
+        x h (Op.Close { path = "/foo" }));
+    test =
+      (fun h ->
+        x h (Op.Creat { path = "/log" });
+        x h (Op.Append { path = "/log"; data = "intent: overwrite /foo pages 0-1" });
+        x h (Op.Write { path = "/foo"; off = 0; data = page 'X'; what = "" });
+        x h (Op.Write { path = "/foo"; off = 4096; data = page 'Y'; what = "" });
+        x h (Op.Unlink { path = "/log" });
+        x h (Op.Close { path = "/foo" }));
+    lib = None;
+  }
+
+let all = [ arvr; cr; rc; wal ]

@@ -1,0 +1,23 @@
+(** The paper's POSIX test programs (§6.2).
+
+    Each program issues a short sequence of PFS client calls whose
+    crash behaviour exposed PFS bugs in Table 3. The preambles build
+    the initial storage states the paper describes. *)
+
+val arvr : Paracrash_core.Driver.spec
+(** Atomic-Replace-Via-Rename: update a preexisting [/foo] by creating,
+    writing and renaming [/tmp] over it (the checkpointing pattern;
+    Figure 2). *)
+
+val cr : Paracrash_core.Driver.spec
+(** Create-and-Rename: create [/A/foo], move it to [/B/foo]. *)
+
+val rc : Paracrash_core.Driver.spec
+(** Rename-and-Create: rename directory [/A] to [/B], then create
+    [/B/foo]. *)
+
+val wal : Paracrash_core.Driver.spec
+(** Write-Ahead-Logging: write an intent log, overwrite [/foo] with
+    multiple pages, delete the log. *)
+
+val all : Paracrash_core.Driver.spec list

@@ -1,0 +1,73 @@
+module P = Paracrash_pfs
+
+type fs_entry = {
+  fs_name : string;
+  make :
+    config:P.Config.t -> tracer:Paracrash_trace.Tracer.t -> P.Handle.t;
+  kernel_level : bool;
+}
+
+let file_systems =
+  [
+    {
+      fs_name = "beegfs";
+      make = (fun ~config ~tracer -> P.Beegfs.create ~config ~tracer);
+      kernel_level = false;
+    };
+    {
+      fs_name = "orangefs";
+      make = (fun ~config ~tracer -> P.Orangefs.create ~config ~tracer);
+      kernel_level = false;
+    };
+    {
+      fs_name = "glusterfs";
+      make = (fun ~config ~tracer -> P.Glusterfs.create ~config ~tracer);
+      kernel_level = false;
+    };
+    {
+      fs_name = "gpfs";
+      make = (fun ~config ~tracer -> P.Kernelfs.create P.Kernelfs.Gpfs ~config ~tracer);
+      kernel_level = true;
+    };
+    {
+      fs_name = "lustre";
+      make = (fun ~config ~tracer -> P.Kernelfs.create P.Kernelfs.Lustre ~config ~tracer);
+      kernel_level = true;
+    };
+    {
+      fs_name = "ext4";
+      make = (fun ~config ~tracer -> P.Extfs.create ~config ~tracer);
+      kernel_level = false;
+    };
+  ]
+
+let parallel_file_systems =
+  List.filter (fun e -> e.fs_name <> "ext4") file_systems
+
+let find_fs name = List.find_opt (fun e -> String.equal e.fs_name name) file_systems
+
+let posix_workloads () = Posix.all
+
+let library_workloads () =
+  [
+    H5.h5_create ();
+    H5.h5_delete ();
+    H5.h5_rename ();
+    H5.h5_resize ();
+    H5.cdf_create ();
+    H5.h5_parallel_create ();
+    H5.h5_parallel_resize ();
+  ]
+
+let workloads () = posix_workloads () @ library_workloads ()
+
+let workload_names =
+  [
+    "ARVR"; "CR"; "RC"; "WAL"; "H5-create"; "H5-delete"; "H5-rename";
+    "H5-resize"; "CDF-create"; "H5-parallel-create"; "H5-parallel-resize";
+  ]
+
+let find_workload name =
+  List.find_opt
+    (fun (s : Paracrash_core.Driver.spec) -> String.equal s.name name)
+    (workloads ())

@@ -1,0 +1,29 @@
+(** Central registry of file systems and test programs, used by the
+    CLI, the benchmarks and the integration tests. *)
+
+type fs_entry = {
+  fs_name : string;
+  make :
+    config:Paracrash_pfs.Config.t ->
+    tracer:Paracrash_trace.Tracer.t ->
+    Paracrash_pfs.Handle.t;
+  kernel_level : bool;
+}
+
+val file_systems : fs_entry list
+(** BeeGFS, OrangeFS, GlusterFS, GPFS, Lustre, ext4 — the paper's
+    Table 2. *)
+
+val parallel_file_systems : fs_entry list
+(** Without the ext4 baseline. *)
+
+val find_fs : string -> fs_entry option
+
+val workloads : unit -> Paracrash_core.Driver.spec list
+(** The 11 test programs of §6.2 at default parameters (fresh spec
+    values on each call — specs carry per-run state). *)
+
+val posix_workloads : unit -> Paracrash_core.Driver.spec list
+val library_workloads : unit -> Paracrash_core.Driver.spec list
+val find_workload : string -> Paracrash_core.Driver.spec option
+val workload_names : string list

@@ -1,0 +1,118 @@
+module D = Paracrash_core.Driver
+module Model = Paracrash_core.Model
+module Config = Paracrash_pfs.Config
+
+type t = {
+  fs : string;
+  program : string;
+  options : D.options;
+  config : Config.t;
+}
+
+let default =
+  {
+    fs = "beegfs";
+    program = "ARVR";
+    options = D.default_options;
+    config = Config.default;
+  }
+
+let ( let* ) = Result.bind
+
+let strip_comment line =
+  match String.index_opt line '#' with
+  | Some i -> String.sub line 0 i
+  | None -> line
+
+let parse_int key v =
+  match int_of_string_opt v with
+  | Some n when n > 0 -> Ok n
+  | Some _ | None -> Error (Printf.sprintf "%s: expected a positive integer, got %S" key v)
+
+let apply_kv t key value =
+  match key with
+  | "fs" ->
+      if Registry.find_fs value = None then
+        Error (Printf.sprintf "fs: unknown file system %S" value)
+      else Ok { t with fs = value }
+  | "program" ->
+      if value <> "all" && Registry.find_workload value = None then
+        Error (Printf.sprintf "program: unknown test program %S" value)
+      else Ok { t with program = value }
+  | "mode" -> (
+      match D.mode_of_string value with
+      | Some mode -> Ok { t with options = { t.options with D.mode } }
+      | None -> Error (Printf.sprintf "mode: unknown exploration mode %S" value))
+  | "k" ->
+      let* k = parse_int "k" value in
+      Ok { t with options = { t.options with D.k } }
+  | "servers" ->
+      let* n = parse_int "servers" value in
+      Ok
+        {
+          t with
+          config =
+            {
+              t.config with
+              Config.n_meta = max 1 (n / 2);
+              n_storage = max 1 (n - (n / 2));
+            };
+        }
+  | "stripe" ->
+      let* stripe_size = parse_int "stripe" value in
+      Ok { t with config = { t.config with Config.stripe_size } }
+  | "pfs_model" -> (
+      match Model.of_string value with
+      | Some pfs_model -> Ok { t with options = { t.options with D.pfs_model } }
+      | None -> Error (Printf.sprintf "pfs_model: unknown model %S" value))
+  | "lib_model" -> (
+      match Model.of_string value with
+      | Some lib_model -> Ok { t with options = { t.options with D.lib_model } }
+      | None -> Error (Printf.sprintf "lib_model: unknown model %S" value))
+  | "meta_journal" | "storage_journal" -> (
+      match Paracrash_vfs.Journal.of_string value with
+      | Some mode ->
+          let config =
+            if key = "meta_journal" then { t.config with Config.meta_mode = mode }
+            else { t.config with Config.storage_mode = mode }
+          in
+          Ok { t with config }
+      | None -> Error (Printf.sprintf "%s: unknown journaling mode %S" key value))
+  | _ -> Error (Printf.sprintf "unknown configuration key %S" key)
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let rec go t lineno = function
+    | [] -> Ok t
+    | line :: rest -> (
+        let line = String.trim (strip_comment line) in
+        if line = "" then go t (lineno + 1) rest
+        else
+          match String.index_opt line '=' with
+          | None ->
+              Error (Printf.sprintf "line %d: expected key = value" lineno)
+          | Some i ->
+              let key = String.trim (String.sub line 0 i) in
+              let value =
+                String.trim (String.sub line (i + 1) (String.length line - i - 1))
+              in
+              let* t =
+                Result.map_error
+                  (Printf.sprintf "line %d: %s" lineno)
+                  (apply_kv t key value)
+              in
+              go t (lineno + 1) rest)
+  in
+  go default 1 lines
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> parse text
+  | exception Sys_error m -> Error m
+
+let pp ppf t =
+  Fmt.pf ppf "fs=%s program=%s mode=%s k=%d %a pfs_model=%a lib_model=%a" t.fs
+    t.program
+    (D.mode_to_string t.options.D.mode)
+    t.options.D.k Config.pp t.config Model.pp t.options.D.pfs_model Model.pp
+    t.options.D.lib_model

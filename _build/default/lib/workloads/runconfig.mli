@@ -1,0 +1,38 @@
+(** Run configuration files.
+
+    The original framework is driven by a configuration file naming the
+    system under test, its topology and the crash-consistency models
+    (§5 of the paper). This module parses the equivalent key = value
+    format:
+
+    {v
+    # paracrash.conf
+    fs        = beegfs
+    program   = ARVR
+    mode      = optimized      # brute-force | pruning | optimized
+    k         = 1
+    servers   = 4
+    stripe    = 131072
+    pfs_model = causal         # strict | commit | causal | baseline
+    lib_model = baseline
+    v}
+
+    Unknown keys are rejected; omitted keys keep their defaults. *)
+
+type t = {
+  fs : string;
+  program : string;
+  options : Paracrash_core.Driver.options;
+  config : Paracrash_pfs.Config.t;
+}
+
+val default : t
+
+val parse : string -> (t, string) result
+(** Parse configuration text. Comments start with [#]; blank lines are
+    ignored. *)
+
+val load : string -> (t, string) result
+(** Read and parse a file. *)
+
+val pp : Format.formatter -> t -> unit

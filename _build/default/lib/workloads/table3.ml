@@ -1,0 +1,378 @@
+module Driver = Paracrash_core.Driver
+module Session = Paracrash_core.Session
+module Persist = Paracrash_core.Persist
+module Checker = Paracrash_core.Checker
+module Classify = Paracrash_core.Classify
+module Model = Paracrash_core.Model
+module Handle = Paracrash_pfs.Handle
+module Tracer = Paracrash_trace.Tracer
+module Bitset = Paracrash_util.Bitset
+module Dag = Paracrash_util.Dag
+
+type kind = Reorder | Atomic
+
+type row = {
+  no : int;
+  program : string;
+  file_systems : string list;
+  lib_fault : bool;
+  first : string list;
+  second : string list;
+  second_earliest : bool;
+      (** select the first (not last) trace match for [second]: the
+          crash hits right after the pattern's first occurrence *)
+  kind : kind;
+  details : string;
+  consequence : string;
+}
+
+let all_pfs = [ "beegfs"; "orangefs"; "glusterfs"; "gpfs"; "lustre" ]
+
+let rows =
+  [
+    {
+      no = 1;
+      program = "ARVR";
+      file_systems = [ "beegfs"; "orangefs" ];
+      lib_fault = false;
+      first = [ "write(file chunk of /tmp" ];
+      second =
+        [
+          "rename(d_entry of /tmp -> d_entry of /foo";
+          "write(d_entry of /tmp -> d_entry of /foo";
+        ];
+      second_earliest = false;
+      kind = Reorder;
+      details =
+        "append(file chunk of tmp)@storage -> rename(d_entry of tmp, d_entry \
+         of foo)@metadata";
+      consequence = "Data loss";
+    };
+    {
+      no = 2;
+      program = "ARVR";
+      file_systems = [ "beegfs" ];
+      lib_fault = false;
+      first = [ "rename(d_entry of /tmp -> d_entry of /foo" ];
+      second = [ "unlink(old file chunk of /foo" ];
+      second_earliest = false;
+      kind = Reorder;
+      details =
+        "rename(d_entry of tmp, d_entry of foo)@metadata -> unlink(old file \
+         chunk)@storage";
+      consequence = "Data loss";
+    };
+    {
+      no = 3;
+      program = "ARVR";
+      file_systems = [ "gpfs" ];
+      lib_fault = false;
+      first = [ "write(directory block of dir#0" ];
+      second = [ "write(old inode of /foo" ];
+      second_earliest = false;
+      kind = Atomic;
+      details =
+        "[write(log file), write(parent_dir), write(file inode), \
+         write(parent_dir inode)] partially persisted";
+      consequence = "Data loss (accept all mmfsck fixes)";
+    };
+    {
+      no = 4;
+      program = "CR";
+      file_systems = [ "beegfs"; "orangefs"; "gpfs" ];
+      lib_fault = false;
+      first =
+        [
+          "unlink(d_entry of /A/foo";
+          "write(d_entry of /A/foo";
+          "write(directory block of dir#1";
+        ];
+      second =
+        [
+          "setxattr(d_entry of /B/foo";
+          "write(d_entry of /B/foo";
+          "write(directory block of dir#2";
+        ];
+      second_earliest = false;
+      kind = Atomic;
+      details =
+        "link(idfile, d_entry of A/foo)@metadata -> unlink(d_entry of \
+         B/foo)@metadata (GPFS: inode of directory A -> inode of directory B)";
+      consequence = "File created in both directories";
+    };
+    {
+      no = 5;
+      program = "RC";
+      file_systems = [ "beegfs"; "gpfs" ];
+      lib_fault = false;
+      first =
+        [ "rename(d_entry of /A -> d_entry of /B"; "write(directory block of dir#0" ];
+      second = [ "link(d_entry of /B/foo"; "write(directory block of dir#1" ];
+      second_earliest = false;
+      kind = Reorder;
+      details =
+        "rename(d_entry of A, d_entry of B)@metadata#1 -> link(idfile, \
+         d_entry of B/foo)@metadata#2";
+      consequence = "File created in a wrong directory";
+    };
+    {
+      no = 6;
+      program = "WAL";
+      file_systems = [ "beegfs"; "glusterfs"; "orangefs" ];
+      lib_fault = false;
+      first = [ "write(file chunk of /log" ];
+      second = [ "write(file chunk of /foo" ];
+      second_earliest = false;
+      kind = Reorder;
+      details =
+        "append(file chunk of log)@storage#1 -> overwrite(file chunk of \
+         foo)@storage#2";
+      consequence = "No logs written after file modification";
+    };
+    {
+      no = 7;
+      program = "WAL";
+      file_systems = [ "beegfs" ];
+      lib_fault = false;
+      first = [ "^link(d_entry of /log" ];
+      second = [ "write(file chunk of /foo" ];
+      second_earliest = true;
+      kind = Reorder;
+      details =
+        "link(idfile, d_entry of log)@metadata -> overwrite(file chunk of \
+         foo)@storage";
+      consequence = "No logs created after file modification";
+    };
+    {
+      no = 8;
+      program = "WAL";
+      file_systems = [ "beegfs"; "glusterfs" ];
+      lib_fault = false;
+      first = [ "write(file chunk of /foo" ];
+      second = [ "unlink(d_entry of /log" ];
+      second_earliest = false;
+      kind = Reorder;
+      details =
+        "overwrite(file chunk of foo)@storage -> unlink(d_entry of \
+         log)@metadata";
+      consequence = "No logs created after file modification";
+    };
+    {
+      no = 9;
+      program = "H5-parallel-create";
+      file_systems = all_pfs;
+      lib_fault = true;
+      first = [ "write(local heap of group /g2" ];
+      second = [ "write(B-tree node of group /g2" ];
+      second_earliest = false;
+      kind = Reorder;
+      details = "Local heap -> B-tree nodes of the same group";
+      consequence = "Cannot open an unmodified dataset";
+    };
+    {
+      no = 10;
+      program = "H5-create";
+      file_systems = all_pfs;
+      lib_fault = false;
+      first = [ "write(local heap of group /g2" ];
+      second = [ "write(symbol table node of group /g2" ];
+      second_earliest = false;
+      kind = Reorder;
+      details =
+        "B-tree nodes & local name heap -> Symbol table node of the same group";
+      consequence = "Cannot open an unmodified dataset";
+    };
+    {
+      no = 11;
+      program = "H5-delete";
+      file_systems = all_pfs @ [ "ext4" ];
+      lib_fault = true;
+      first = [ "write(symbol table node of group /g1" ];
+      second = [ "write(local heap of group /g1" ];
+      second_earliest = false;
+      kind = Atomic;
+      details =
+        "Symbol table node -> B-tree nodes & local heap of the same group";
+      consequence = "Cannot open an unmodified dataset";
+    };
+    {
+      no = 12;
+      program = "H5-rename";
+      file_systems = all_pfs @ [ "ext4" ];
+      lib_fault = true;
+      first =
+        [
+          "write(local heap of group /g2";
+          "write(B-tree node of group /g2";
+          "write(symbol table node of group /g2";
+        ];
+      second = [ "write(symbol table node of group /g1" ];
+      second_earliest = false;
+      kind = Atomic;
+      details =
+        "[B-tree nodes, symtab & local heap from both source and destination \
+         group]";
+      consequence = "The renamed dataset is lost";
+    };
+    {
+      no = 13;
+      program = "H5-resize";
+      file_systems = all_pfs;
+      lib_fault = false;
+      first = [ "write(superblock" ];
+      second = [ "write(parent B-tree node of /g1/d0" ];
+      second_earliest = false;
+      kind = Reorder;
+      details = "Superblock -> B-tree node of the resized dataset";
+      consequence = "Cannot read data from the resized dataset (addr overflow)";
+    };
+    {
+      no = 14;
+      program = "H5-resize";
+      file_systems = all_pfs @ [ "ext4" ];
+      lib_fault = true;
+      first = [ "write(child B-tree node of /g1/d0" ];
+      second = [ "write(parent B-tree node of /g1/d0" ];
+      second_earliest = false;
+      kind = Reorder;
+      details = "Child B-tree node -> Parent B-tree node";
+      consequence =
+        "Cannot read data from the resized dataset (wrong B-tree signature)";
+    };
+    {
+      no = 15;
+      program = "CDF-create";
+      file_systems = all_pfs;
+      lib_fault = false;
+      first = [ "write(superblock" ];
+      second = [ "write(symbol table node of group /g2" ];
+      second_earliest = false;
+      kind = Reorder;
+      details = "Superblock -> Object header";
+      consequence = "Cannot open the file (NetCDF: HDF5 error [Errno -101])";
+    };
+  ]
+
+type outcome = { row : row; fs : string; reproduced : bool; note : string }
+
+(* substring match; a leading '^' anchors the needle at the start *)
+let contains hay needle =
+  if String.length needle > 0 && needle.[0] = '^' then
+    String.starts_with ~prefix:(String.sub needle 1 (String.length needle - 1)) hay
+  else
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    nn > 0 && go 0
+
+let run_session (spec : Driver.spec) (fs : Registry.fs_entry) =
+  let tracer = Tracer.create () in
+  let handle = fs.Registry.make ~config:Paracrash_pfs.Config.default ~tracer in
+  Tracer.set_enabled tracer false;
+  spec.preamble handle;
+  let initial = Handle.snapshot handle in
+  Tracer.set_enabled tracer true;
+  spec.test handle;
+  Tracer.set_enabled tracer false;
+  Session.of_run ~handle ~initial
+
+let verify_row row (fs : Registry.fs_entry) =
+  match Registry.find_workload row.program with
+  | None -> { row; fs = fs.fs_name; reproduced = false; note = "unknown program" }
+  | Some spec ->
+      let session = run_session spec fs in
+      let n = Session.n_storage_ops session in
+      (* the last trace operation matching each needle: rows describe
+         the key operation of the pattern, not earlier setup writes
+         that happen to touch the same structure *)
+      let matching ~earliest needles =
+        List.filter_map
+          (fun needle ->
+            List.fold_left
+              (fun acc i ->
+                if contains (Classify.describe_op session i) needle then
+                  match acc with
+                  | Some _ when earliest -> acc
+                  | _ -> Some i
+                else acc)
+              None (List.init n Fun.id))
+          needles
+        |> List.sort_uniq Int.compare
+      in
+      let first_ops = matching ~earliest:false row.first in
+      let second_ops = matching ~earliest:row.second_earliest row.second in
+      if first_ops = [] || second_ops = [] then
+        { row; fs = fs.fs_name; reproduced = false; note = "operations not found in trace" }
+      else begin
+        let persist = Persist.build session in
+        let storage_graph = Paracrash_core.Explore.storage_graph session in
+        (* the crash hits just after the observed (second) operations: the
+           normal state is the smallest consistent cut containing them *)
+        let cut =
+          List.fold_left
+            (fun acc i ->
+              Bitset.add (Bitset.union acc (Dag.ancestors storage_graph i)) i)
+            (Bitset.create n) second_ops
+        in
+        (* drop the must-persist-first set along with everything the
+           persistence model forces to follow it *)
+        let dropped =
+          List.fold_left
+            (fun acc i -> Bitset.add (Bitset.union acc (Dag.descendants persist i)) i)
+            (Bitset.create n) first_ops
+        in
+        if List.exists (Bitset.mem dropped) second_ops then
+          {
+            row;
+            fs = fs.fs_name;
+            reproduced = false;
+            note = "scenario unreachable: persistence ordering protects it";
+          }
+        else begin
+          let persisted = Bitset.diff cut dropped in
+          let pfs_legal = Checker.pfs_legal_states session Model.Causal in
+          let lib =
+            Option.map (fun f -> f ~model:Model.Baseline session) spec.lib
+          in
+          let verdict, _, _ = Checker.check session ~pfs_legal ?lib persisted in
+          let sane, _, _ =
+            Checker.check session ~pfs_legal ?lib (Bitset.full n)
+          in
+          match (sane, verdict) with
+          | Checker.Inconsistent _, _ ->
+              { row; fs = fs.fs_name; reproduced = false; note = "full state not clean" }
+          | _, Checker.Inconsistent layer ->
+              let expected =
+                if row.lib_fault then Checker.Lib_fault else Checker.Pfs_fault
+              in
+              if layer = expected then
+                { row; fs = fs.fs_name; reproduced = true; note = "" }
+              else
+                {
+                  row;
+                  fs = fs.fs_name;
+                  reproduced = false;
+                  note = "inconsistent but attributed to the other layer";
+                }
+          | _, (Checker.Consistent | Checker.Consistent_after_recovery) ->
+              {
+                row;
+                fs = fs.fs_name;
+                reproduced = false;
+                note = "scenario recovered consistently";
+              }
+        end
+      end
+
+let verify_all () =
+  List.concat_map
+    (fun row ->
+      List.filter_map
+        (fun fs_name ->
+          Option.map (verify_row row) (Registry.find_fs fs_name))
+        row.file_systems)
+    rows
+
+let pp_outcome ppf o =
+  Fmt.pf ppf "bug #%2d %-20s %-10s %s%s" o.row.no o.row.program o.fs
+    (if o.reproduced then "REPRODUCED" else "NOT reproduced")
+    (if o.note = "" then "" else " (" ^ o.note ^ ")")

@@ -1,0 +1,46 @@
+(** Direct reproduction of the paper's Table 3: the 15 crash-consistency
+    bugs.
+
+    Each row is encoded as the scenario the paper describes — the
+    operations that must persist first (matched by their trace
+    rendering) and the operations observed persisted without them. The
+    verifier runs the row's test program on each listed file system,
+    constructs exactly that crash scenario (dropping the first set
+    together with everything the persistence model drags along),
+    confirms it is reachable, recovers it, and checks that the
+    consistency checker flags it at the layer the paper attributes it
+    to. *)
+
+type kind = Reorder | Atomic
+
+type row = {
+  no : int;
+  program : string;  (** workload name in {!Registry} *)
+  file_systems : string list;  (** where the paper observed it *)
+  lib_fault : bool;  (** true: attributed to the I/O library *)
+  first : string list;
+      (** substrings selecting the must-persist-first operations (any
+          match counts); these are dropped in the probe *)
+  second : string list;  (** operations kept persisted *)
+  second_earliest : bool;
+      (** select the first (not last) trace match for [second]: the
+          crash hits right after the pattern's first occurrence *)
+  kind : kind;
+  details : string;  (** the paper's description *)
+  consequence : string;
+}
+
+val rows : row list
+
+type outcome = {
+  row : row;
+  fs : string;
+  reproduced : bool;
+  note : string;  (** diagnosis when not reproduced *)
+}
+
+val verify_row : row -> Registry.fs_entry -> outcome
+val verify_all : unit -> outcome list
+(** Every row on every file system it lists. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit

@@ -1,0 +1,1 @@
+test/test_blockdev.ml: Alcotest Gen List Paracrash_blockdev QCheck QCheck_alcotest

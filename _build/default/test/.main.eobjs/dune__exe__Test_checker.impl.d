@@ -1,0 +1,1 @@
+test/test_checker.ml: Alcotest Fmt Fun List Option Paracrash_core Paracrash_pfs Paracrash_trace Paracrash_util Paracrash_vfs Paracrash_workloads String

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Fun List Paracrash_core Paracrash_pfs Paracrash_trace Paracrash_util Paracrash_vfs

@@ -1,0 +1,1 @@
+test/test_genprog.ml: Alcotest Fmt List Option Paracrash_core Paracrash_pfs Paracrash_trace Paracrash_util Paracrash_workloads Printf QCheck QCheck_alcotest String

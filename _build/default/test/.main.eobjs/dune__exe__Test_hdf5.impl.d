@@ -1,0 +1,1 @@
+test/test_hdf5.ml: Alcotest Bytes Char List Option Paracrash_hdf5 Paracrash_mpiio Paracrash_netcdf Paracrash_pfs Paracrash_trace Paracrash_workloads QCheck QCheck_alcotest Result String

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest List Option Paracrash_core Paracrash_pfs Paracrash_workloads Printf String

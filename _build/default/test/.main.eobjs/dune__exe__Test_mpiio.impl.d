@@ -1,0 +1,1 @@
+test/test_mpiio.ml: Alcotest Array List Option Paracrash_hdf5 Paracrash_mpiio Paracrash_pfs Paracrash_trace Paracrash_util Paracrash_workloads Result String

@@ -1,0 +1,1 @@
+test/test_pfs.ml: Alcotest Char Fmt List Option Paracrash_blockdev Paracrash_core Paracrash_pfs Paracrash_trace Paracrash_vfs Paracrash_workloads Result String

@@ -1,0 +1,1 @@
+test/test_pfs_protocols.ml: Alcotest Array Char List Option Paracrash_blockdev Paracrash_pfs Paracrash_trace Paracrash_vfs Paracrash_workloads Result String

@@ -1,0 +1,1 @@
+test/test_striping.ml: Alcotest Array Bytes Char List Paracrash_pfs QCheck QCheck_alcotest String

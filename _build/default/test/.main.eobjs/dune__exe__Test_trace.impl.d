@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest List Paracrash_net Paracrash_trace Paracrash_util Paracrash_vfs

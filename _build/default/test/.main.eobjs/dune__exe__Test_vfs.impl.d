@@ -1,0 +1,1 @@
+test/test_vfs.ml: Alcotest List Paracrash_vfs QCheck QCheck_alcotest String

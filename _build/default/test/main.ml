@@ -1,0 +1,18 @@
+let () =
+  Alcotest.run "paracrash"
+    [
+      ("util", Test_util.tests);
+      ("vfs", Test_vfs.tests);
+      ("trace", Test_trace.tests);
+      ("blockdev", Test_blockdev.tests);
+      ("striping", Test_striping.tests);
+      ("core", Test_core.tests);
+      ("pfs", Test_pfs.tests);
+      ("pfs-protocols", Test_pfs_protocols.tests);
+      ("hdf5", Test_hdf5.tests);
+      ("integration", Test_integration.tests);
+      ("genprog", Test_genprog.tests);
+      ("mpiio", Test_mpiio.tests);
+      ("checker", Test_checker.tests);
+      ("runconfig", Test_runconfig.tests);
+    ]

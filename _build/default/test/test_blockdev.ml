@@ -1,0 +1,63 @@
+(* Tests for the block device simulator. *)
+
+module Op = Paracrash_blockdev.Op
+module State = Paracrash_blockdev.State
+
+let check = Alcotest.check
+let cb = Alcotest.bool
+
+let test_write_read () =
+  let st = State.apply State.empty (Op.Scsi_write { lba = 7; data = "x"; what = "t" }) in
+  check (Alcotest.option Alcotest.string) "read back" (Some "x") (State.read st 7);
+  check (Alcotest.option Alcotest.string) "missing lba" None (State.read st 8)
+
+let test_overwrite_last_wins () =
+  let st =
+    State.apply_all State.empty
+      [
+        Op.Scsi_write { lba = 1; data = "old"; what = "t" };
+        Op.Scsi_write { lba = 1; data = "new"; what = "t" };
+      ]
+  in
+  check (Alcotest.option Alcotest.string) "last write wins" (Some "new")
+    (State.read st 1)
+
+let test_sync_is_noop_on_state () =
+  let st = State.apply State.empty (Op.Scsi_write { lba = 1; data = "a"; what = "t" }) in
+  check cb "sync no-op" true (State.equal st (State.apply st Op.Scsi_sync))
+
+let test_canonical_equality () =
+  let a =
+    State.apply_all State.empty
+      [
+        Op.Scsi_write { lba = 2; data = "b"; what = "t" };
+        Op.Scsi_write { lba = 1; data = "a"; what = "t" };
+      ]
+  in
+  let b =
+    State.apply_all State.empty
+      [
+        Op.Scsi_write { lba = 1; data = "a"; what = "t" };
+        Op.Scsi_write { lba = 2; data = "b"; what = "t" };
+      ]
+  in
+  check cb "order of disjoint writes invisible" true (State.equal a b);
+  check Alcotest.string "digest stable" (State.digest a) (State.digest b)
+
+let prop_apply_subset_deterministic =
+  QCheck.Test.make ~name:"block replay is deterministic" ~count:200
+    QCheck.(list (pair (int_bound 20) (string_of_size (Gen.int_bound 6))))
+    (fun writes ->
+      let ops =
+        List.map (fun (lba, data) -> Op.Scsi_write { lba; data; what = "w" }) writes
+      in
+      State.equal (State.apply_all State.empty ops) (State.apply_all State.empty ops))
+
+let tests =
+  [
+    ("write and read", `Quick, test_write_read);
+    ("overwrite: last write wins", `Quick, test_overwrite_last_wins);
+    ("sync does not change state", `Quick, test_sync_is_noop_on_state);
+    ("canonical equality", `Quick, test_canonical_equality);
+    QCheck_alcotest.to_alcotest prop_apply_subset_deterministic;
+  ]

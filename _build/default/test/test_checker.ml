@@ -1,0 +1,218 @@
+(* Checker and classifier tests: legal-state generation, verdicts,
+   cross-layer attribution, Table-1 probe patterns, pruning scenarios
+   and report rendering. *)
+
+module D = Paracrash_core.Driver
+module Session = Paracrash_core.Session
+module Persist = Paracrash_core.Persist
+module Explore = Paracrash_core.Explore
+module Checker = Paracrash_core.Checker
+module Classify = Paracrash_core.Classify
+module Prune = Paracrash_core.Prune
+module Model = Paracrash_core.Model
+module Handle = Paracrash_pfs.Handle
+module Op = Paracrash_pfs.Pfs_op
+module Config = Paracrash_pfs.Config
+module Journal = Paracrash_vfs.Journal
+module Tracer = Paracrash_trace.Tracer
+module Bitset = Paracrash_util.Bitset
+module Registry = Paracrash_workloads.Registry
+
+let check = Alcotest.check
+let cb = Alcotest.bool
+let ci = Alcotest.int
+
+let beegfs_session ~preamble ~test =
+  let fs = Option.get (Registry.find_fs "beegfs") in
+  let tracer = Tracer.create () in
+  let h = fs.Registry.make ~config:Config.default ~tracer in
+  Tracer.set_enabled tracer false;
+  List.iter (Handle.exec h) preamble;
+  let initial = Handle.snapshot h in
+  Tracer.set_enabled tracer true;
+  List.iter (Handle.exec h) test;
+  Tracer.set_enabled tracer false;
+  Session.of_run ~handle:h ~initial
+
+let arvr_session () =
+  beegfs_session
+    ~preamble:
+      [ Op.Creat { path = "/foo" }; Op.Append { path = "/foo"; data = "OLD" } ]
+    ~test:
+      [
+        Op.Creat { path = "/tmp" };
+        Op.Append { path = "/tmp"; data = "NEW" };
+        Op.Rename { src = "/tmp"; dst = "/foo" };
+      ]
+
+let test_full_and_empty_states_legal () =
+  let s = arvr_session () in
+  let n = Session.n_storage_ops s in
+  let pfs_legal = Checker.pfs_legal_states s Model.Causal in
+  check cb "full state consistent" true
+    (Checker.is_consistent s ~pfs_legal (Bitset.full n));
+  check cb "empty state consistent" true
+    (Checker.is_consistent s ~pfs_legal (Bitset.create n))
+
+let test_legal_states_grow_with_weaker_models () =
+  let s = arvr_session () in
+  let count m = List.length (Checker.pfs_legal_states s m) in
+  check cb "strict has the fewest legal states" true
+    (count Model.Strict <= count Model.Causal);
+  check cb "baseline has the most" true
+    (count Model.Causal <= count Model.Baseline);
+  check ci "strict has exactly one" 1 (count Model.Strict)
+
+let test_pfs_call_graph_shape () =
+  let s = arvr_session () in
+  let g = Checker.pfs_call_graph s in
+  check ci "three PFS calls traced" 3 (Paracrash_util.Dag.size g);
+  (* single client: totally ordered *)
+  check cb "calls are chained" true
+    (Paracrash_util.Dag.happens_before g 0 1
+    && Paracrash_util.Dag.happens_before g 1 2)
+
+let test_verdict_attribution_pfs () =
+  (* drop the tmp data while keeping the rename: the recovered PFS state
+     matches no causal golden replay *)
+  let s = arvr_session () in
+  let n = Session.n_storage_ops s in
+  let pfs_legal = Checker.pfs_legal_states s Model.Causal in
+  let data_idx =
+    List.find
+      (fun i ->
+        let d = Classify.describe_op s i in
+        String.length d >= 5 && String.sub d 0 5 = "write")
+      (List.init n Fun.id)
+  in
+  let persisted = Bitset.remove (Bitset.full n) data_idx in
+  match Checker.check s ~pfs_legal persisted with
+  | Checker.Inconsistent Checker.Pfs_fault, _, _ -> ()
+  | Checker.Inconsistent Checker.Lib_fault, _, _ ->
+      Alcotest.fail "attributed to a library that is not there"
+  | (Checker.Consistent | Checker.Consistent_after_recovery), _, _ ->
+      Alcotest.fail "data loss accepted as consistent"
+
+let test_classify_reorder_probe () =
+  let s = arvr_session () in
+  let pfs_legal = Checker.pfs_legal_states s Model.Causal in
+  let bool_check set = Checker.is_consistent s ~pfs_legal set in
+  let persist = Persist.build s in
+  let states, _ = Explore.generate ~k:1 s ~persist in
+  let storage_graph = Explore.storage_graph s in
+  (* find an inconsistent state and classify it *)
+  let failing =
+    List.filter (fun (st : Explore.state) -> not (bool_check st.persisted)) states
+  in
+  check cb "some failing states" true (failing <> []);
+  List.iter
+    (fun st ->
+      match Classify.classify s ~storage_graph ~check:bool_check st with
+      | Classify.Unknown _ -> Alcotest.fail "ARVR states must be explainable"
+      | Classify.Reorder _ | Classify.Atomic _ -> ())
+    failing
+
+let test_classify_matches_and_keys () =
+  let s = arvr_session () in
+  let n = Session.n_storage_ops s in
+  let kind = Classify.Reorder { first = 0; second = 1 } in
+  let st =
+    {
+      Explore.persisted = Bitset.remove (Bitset.full n) 0;
+      cut = Bitset.full n;
+      victims = [ 0 ];
+    }
+  in
+  check cb "matches its own scenario" true (Classify.matches kind st);
+  let st' =
+    { st with Explore.persisted = Bitset.full n }
+  in
+  check cb "full state matches nothing" false (Classify.matches kind st');
+  check cb "keys are deterministic" true
+    (Classify.key s kind = Classify.key s kind);
+  check cb "atomic key ignores order" true
+    (Classify.key s (Classify.Atomic [ 0; 1 ])
+    = Classify.key s (Classify.Atomic [ 1; 0 ]))
+
+let test_prune_learns_and_skips () =
+  let prune = Prune.create ~raw_data:(fun _ -> false) in
+  let n = 4 in
+  let st victims =
+    let dropped = Paracrash_util.Bitset.of_list n victims in
+    {
+      Explore.persisted = Bitset.diff (Bitset.full n) dropped;
+      cut = Bitset.full n;
+      victims;
+    }
+  in
+  check cb "nothing known yet" false (Prune.should_skip prune ~semantic:false (st [ 0 ]));
+  Prune.learn prune (Classify.Reorder { first = 0; second = 1 });
+  check ci "one scenario learned" 1 (Prune.known_count prune);
+  check cb "same scenario skipped" true
+    (Prune.should_skip prune ~semantic:false (st [ 0 ]));
+  check cb "different victim not skipped" false
+    (Prune.should_skip prune ~semantic:false (st [ 1 ]));
+  (* big atomic groups are reported but not used for pruning *)
+  Prune.learn prune (Classify.Atomic [ 0; 1; 2; 3 ]);
+  check ci "oversized group not learned" 1 (Prune.known_count prune)
+
+let test_semantic_prune_raw_data () =
+  let prune = Prune.create ~raw_data:(fun i -> i = 2) in
+  let n = 4 in
+  let st victims =
+    let dropped = Paracrash_util.Bitset.of_list n victims in
+    {
+      Explore.persisted = Bitset.diff (Bitset.full n) dropped;
+      cut = Bitset.full n;
+      victims;
+    }
+  in
+  check cb "raw-data-only victims pruned semantically" true
+    (Prune.should_skip prune ~semantic:true (st [ 2 ]));
+  check cb "not without the semantic rule" false
+    (Prune.should_skip prune ~semantic:false (st [ 2 ]));
+  check cb "metadata victims kept" false
+    (Prune.should_skip prune ~semantic:true (st [ 1 ]))
+
+let test_report_rendering () =
+  let fs = Option.get (Registry.find_fs "beegfs") in
+  let report, _ =
+    D.run ~config:Config.default ~make_fs:fs.Registry.make
+      Paracrash_workloads.Posix.arvr
+  in
+  let s = Fmt.str "%a" Paracrash_core.Report.pp report in
+  check cb "report names the workload" true
+    (String.length s > 0
+    &&
+    let rec has i =
+      i + 4 <= String.length s && (String.sub s i 4 = "ARVR" || has (i + 1))
+    in
+    has 0);
+  let line = Paracrash_core.Report.summary_line report in
+  check cb "summary line mentions beegfs" true
+    (let rec has i =
+       i + 6 <= String.length line && (String.sub line i 6 = "beegfs" || has (i + 1))
+     in
+     has 0)
+
+let test_modeled_time_monotone () =
+  let m1 = Paracrash_core.Stats.modeled_seconds ~fs:"beegfs" ~n_states:10 ~restarts:10 in
+  let m2 = Paracrash_core.Stats.modeled_seconds ~fs:"beegfs" ~n_states:20 ~restarts:20 in
+  check cb "more work, more modeled time" true (m2 > m1);
+  check cb "beegfs restarts cost more than ext4" true
+    (Paracrash_core.Stats.restart_unit "beegfs"
+    > Paracrash_core.Stats.restart_unit "ext4")
+
+let tests =
+  [
+    ("full and empty states are legal", `Quick, test_full_and_empty_states_legal);
+    ("legal-state counts grow with weaker models", `Quick, test_legal_states_grow_with_weaker_models);
+    ("pfs call graph shape", `Quick, test_pfs_call_graph_shape);
+    ("data-loss states attributed to the PFS", `Quick, test_verdict_attribution_pfs);
+    ("failing ARVR states are explainable", `Quick, test_classify_reorder_probe);
+    ("classification keys and scenario matching", `Quick, test_classify_matches_and_keys);
+    ("pruning learns and skips scenarios", `Quick, test_prune_learns_and_skips);
+    ("semantic pruning of raw-data victims", `Quick, test_semantic_prune_raw_data);
+    ("report rendering", `Quick, test_report_rendering);
+    ("modeled time is monotone", `Quick, test_modeled_time_monotone);
+  ]

@@ -1,0 +1,338 @@
+(* Core-algorithm tests: the persists-before relation under different
+   journaling modes (Algorithm 2), crash-state generation (Algorithm 1),
+   consistency models, and the TSP visit ordering. *)
+
+module Driver = Paracrash_core.Driver
+module Session = Paracrash_core.Session
+module Persist = Paracrash_core.Persist
+module Explore = Paracrash_core.Explore
+module Emulator = Paracrash_core.Emulator
+module Model = Paracrash_core.Model
+module Tsp = Paracrash_core.Tsp
+module Checker = Paracrash_core.Checker
+module Handle = Paracrash_pfs.Handle
+module Pfs_op = Paracrash_pfs.Pfs_op
+module Config = Paracrash_pfs.Config
+module Journal = Paracrash_vfs.Journal
+module Tracer = Paracrash_trace.Tracer
+module Dag = Paracrash_util.Dag
+module Bitset = Paracrash_util.Bitset
+
+let check = Alcotest.check
+let cb = Alcotest.bool
+let ci = Alcotest.int
+
+(* Run a sequence of PFS ops on ext4 (single server) with a chosen
+   journaling mode and return the session. *)
+let session_of ?(mode = Journal.Data) ops =
+  let config = { Config.default with storage_mode = mode } in
+  let tracer = Tracer.create () in
+  let handle = Paracrash_pfs.Extfs.create ~config ~tracer in
+  Tracer.set_enabled tracer false;
+  Handle.exec handle (Pfs_op.Creat { path = "/seed" });
+  let initial = Handle.snapshot handle in
+  Tracer.set_enabled tracer true;
+  List.iter (Handle.exec handle) ops;
+  Tracer.set_enabled tracer false;
+  Session.of_run ~handle ~initial
+
+(* --- persists-before (Algorithm 2) -------------------------------------- *)
+
+let test_persist_data_journaling_orders_everything () =
+  let s =
+    session_of
+      [
+        Pfs_op.Creat { path = "/a" };
+        Pfs_op.Append { path = "/a"; data = "x" };
+        Pfs_op.Creat { path = "/b" };
+      ]
+  in
+  let p = Persist.build s in
+  check ci "three storage ops" 3 (Session.n_storage_ops s);
+  check cb "creat before append" true (Dag.happens_before p 0 1);
+  check cb "append before creat b (data mode)" true (Dag.happens_before p 1 2)
+
+let test_persist_writeback_orders_metadata_only () =
+  let s =
+    session_of ~mode:Journal.Writeback
+      [
+        Pfs_op.Creat { path = "/a" };
+        Pfs_op.Append { path = "/a"; data = "x" };
+        Pfs_op.Creat { path = "/b" };
+      ]
+  in
+  let p = Persist.build s in
+  (* op0 creat(meta), op1 append(data), op2 creat(meta) *)
+  check cb "meta-meta ordered" true (Dag.happens_before p 0 2);
+  check cb "data unordered vs later meta" false (Dag.happens_before p 1 2);
+  check cb "meta unordered vs later data" false (Dag.happens_before p 0 1)
+
+let test_persist_nobarrier_orders_nothing () =
+  let s =
+    session_of ~mode:Journal.Nobarrier
+      [ Pfs_op.Creat { path = "/a" }; Pfs_op.Creat { path = "/b" } ]
+  in
+  let p = Persist.build s in
+  check cb "nothing ordered" false (Dag.happens_before p 0 1)
+
+let test_persist_fsync_commits () =
+  let s =
+    session_of ~mode:Journal.Nobarrier
+      [
+        Pfs_op.Creat { path = "/a" };
+        Pfs_op.Fsync { path = "/a" };
+        Pfs_op.Creat { path = "/b" };
+      ]
+  in
+  let p = Persist.build s in
+  (* storage ops: creat a (0), creat b (1); the fsync sits between them *)
+  check ci "syncs excluded from storage ops" 2 (Session.n_storage_ops s);
+  check cb "fsync orders across it" true (Dag.happens_before p 0 1)
+
+let test_persist_ordered_data_before_same_file_metadata () =
+  let s =
+    session_of ~mode:Journal.Ordered
+      [
+        Pfs_op.Creat { path = "/a" };
+        Pfs_op.Append { path = "/a"; data = "x" };
+        Pfs_op.Rename { src = "/a"; dst = "/b" };
+      ]
+  in
+  let p = Persist.build s in
+  (* op1 data on /a, op2 rename metadata touching /a *)
+  check cb "data before committing metadata" true (Dag.happens_before p 1 2)
+
+(* --- crash-state generation (Algorithm 1) -------------------------------- *)
+
+let test_explore_prefixes_under_data_journaling () =
+  let s =
+    session_of
+      [
+        Pfs_op.Creat { path = "/a" };
+        Pfs_op.Append { path = "/a"; data = "x" };
+        Pfs_op.Creat { path = "/b" };
+      ]
+  in
+  let persist = Persist.build s in
+  let states, stats = Explore.generate ~k:1 s ~persist in
+  (* fully ordered persistence: the distinct states are exactly the four
+     prefixes (victims drag their suffixes back to a prefix) *)
+  check ci "prefix states only" 4 (List.length states);
+  check cb "candidates deduplicated" true (stats.Explore.n_candidates > stats.n_unique);
+  List.iter
+    (fun (st : Explore.state) ->
+      let els = Bitset.elements st.persisted in
+      let is_prefix = List.mapi (fun i x -> i = x) els |> List.for_all Fun.id in
+      check cb "state is a prefix" true is_prefix)
+    states
+
+let test_explore_victims_drop_dependents () =
+  let s =
+    session_of ~mode:Journal.Nobarrier
+      [ Pfs_op.Creat { path = "/a" }; Pfs_op.Creat { path = "/b" } ]
+  in
+  let persist = Persist.build s in
+  let states, _ = Explore.generate ~k:1 s ~persist in
+  (* unordered persistence: all four subsets of two ops are reachable *)
+  check ci "all subsets reachable" 4 (List.length states)
+
+let test_explore_k2_reaches_more () =
+  let s =
+    session_of ~mode:Journal.Nobarrier
+      [
+        Pfs_op.Creat { path = "/a" };
+        Pfs_op.Creat { path = "/b" };
+        Pfs_op.Creat { path = "/c" };
+      ]
+  in
+  let persist = Persist.build s in
+  let states1, _ = Explore.generate ~k:1 s ~persist in
+  let states2, _ = Explore.generate ~k:2 s ~persist in
+  check cb "k=2 explores at least as many states" true
+    (List.length states2 >= List.length states1);
+  check ci "k=2 reaches all 8 subsets" 8 (List.length states2)
+
+let test_emulator_replays_subsets () =
+  let s =
+    session_of [ Pfs_op.Creat { path = "/a" }; Pfs_op.Creat { path = "/b" } ]
+  in
+  let n = Session.n_storage_ops s in
+  let images, anomalies = Emulator.reconstruct s (Bitset.of_list n [ 0 ]) in
+  check ci "no anomalies" 0 (List.length anomalies);
+  let view = Handle.mount s.Session.handle images in
+  check cb "only /a exists" true
+    (Paracrash_pfs.Logical.mem view "/a"
+    && not (Paracrash_pfs.Logical.mem view "/b"))
+
+let test_emulator_anomaly_on_dropped_dependency () =
+  (* dropping a creat but keeping a later append to the same file makes
+     the replayed append fail, which is reported as an anomaly *)
+  let s =
+    session_of ~mode:Journal.Nobarrier
+      [ Pfs_op.Creat { path = "/a" }; Pfs_op.Append { path = "/a"; data = "x" } ]
+  in
+  let n = Session.n_storage_ops s in
+  let _, anomalies = Emulator.reconstruct s (Bitset.of_list n [ 1 ]) in
+  check ci "one anomaly" 1 (List.length anomalies)
+
+(* --- consistency models --------------------------------------------------- *)
+
+let chain n =
+  let b = Dag.Builder.create n in
+  for i = 0 to n - 2 do
+    Dag.Builder.add_edge b i (i + 1)
+  done;
+  Dag.Builder.freeze b
+
+let test_model_strict () =
+  let sets =
+    Model.preserved_sets Model.Strict ~graph:(chain 3)
+      ~is_commit:(fun _ -> false)
+      ~covered_by:(fun _ _ -> false)
+  in
+  check ci "strict: one set" 1 (List.length sets);
+  check ci "strict: everything" 3 (Bitset.cardinal (List.hd sets))
+
+let test_model_baseline () =
+  let sets =
+    Model.preserved_sets Model.Baseline ~graph:(chain 3)
+      ~is_commit:(fun _ -> false)
+      ~covered_by:(fun _ _ -> false)
+  in
+  check ci "baseline: all subsets" 8 (List.length sets)
+
+let test_model_causal () =
+  let sets =
+    Model.preserved_sets Model.Causal ~graph:(chain 3)
+      ~is_commit:(fun _ -> false)
+      ~covered_by:(fun _ _ -> false)
+  in
+  check ci "causal on a chain: prefixes" 4 (List.length sets)
+
+let test_model_commit () =
+  (* op1 is a commit covering ops 0-1: preserved sets with evidence the
+     commit completed (op1 itself, or the later op2) must contain both;
+     sets whose crash point may predate the commit are unconstrained *)
+  let sets =
+    Model.preserved_sets Model.Commit ~graph:(chain 3)
+      ~is_commit:(fun i -> i = 1)
+      ~covered_by:(fun i j -> j = 1 && i <= 1)
+  in
+  check ci "legal commit sets" 4 (List.length sets);
+  List.iter
+    (fun s ->
+      if Bitset.mem s 1 || Bitset.mem s 2 then
+        check cb "covered ops pinned once the commit happened" true
+          (Bitset.mem s 0 && Bitset.mem s 1))
+    sets;
+  check cb "pre-commit crash is unconstrained" true
+    (List.exists Bitset.is_empty sets)
+
+let test_model_causal_commit_interaction () =
+  (* a commit at the end pins everything in the sets that contain it;
+     shorter prefixes correspond to crashes before the commit *)
+  let sets =
+    Model.preserved_sets Model.Causal ~graph:(chain 3)
+      ~is_commit:(fun i -> i = 2)
+      ~covered_by:(fun _ j -> j = 2)
+  in
+  check ci "prefixes of the chain" 4 (List.length sets);
+  List.iter
+    (fun s ->
+      if Bitset.mem s 2 then
+        check cb "everything pinned with the commit" true
+          (Bitset.cardinal s = 3))
+    sets
+
+(* --- Fig. 5 of the paper as a model check -------------------------------- *)
+
+let test_figure5_semantics () =
+  (* P0: write A; send; write B.  P1: recv; write C; fsync.
+     With commit consistency C is preserved; with causal consistency A
+     (which happens before C) is too; B may be lost in both. *)
+  let b = Dag.Builder.create 4 in
+  (* 0 = write A, 1 = write B (P0); 2 = write C, 3 = fsync (P1) *)
+  Dag.Builder.add_edge b 0 1;
+  Dag.Builder.add_edge b 0 2;
+  (* send/recv: A happens before C *)
+  Dag.Builder.add_edge b 2 3;
+  let graph = Dag.Builder.freeze b in
+  let is_commit i = i = 3 in
+  let covered_by i j = j = 3 && i = 2 in
+  let commit_sets = Model.preserved_sets Model.Commit ~graph ~is_commit ~covered_by in
+  check cb "commit: once the fsync happened, C is preserved" true
+    (List.for_all
+       (fun s -> (not (Bitset.mem s 3)) || Bitset.mem s 2)
+       commit_sets);
+  check cb "commit: A may be lost even with the fsync" true
+    (List.exists
+       (fun s -> Bitset.mem s 3 && not (Bitset.mem s 0))
+       commit_sets);
+  let causal_sets = Model.preserved_sets Model.Causal ~graph ~is_commit ~covered_by in
+  check cb "causal: C preserved implies A preserved" true
+    (List.for_all
+       (fun s -> (not (Bitset.mem s 2)) || Bitset.mem s 0)
+       causal_sets);
+  check cb "causal: B may be lost while A and C survive" true
+    (List.exists
+       (fun s -> Bitset.mem s 0 && Bitset.mem s 2 && not (Bitset.mem s 1))
+       causal_sets);
+  let baseline_sets =
+    Model.preserved_sets Model.Baseline ~graph ~is_commit ~covered_by
+  in
+  check cb "baseline: everything may be lost" true
+    (List.exists (fun s -> Bitset.is_empty s) baseline_sets)
+
+(* --- TSP ordering ---------------------------------------------------------- *)
+
+let test_tsp_reduces_restarts () =
+  let s =
+    session_of ~mode:Journal.Nobarrier
+      [
+        Pfs_op.Creat { path = "/a" };
+        Pfs_op.Creat { path = "/b" };
+        Pfs_op.Creat { path = "/c" };
+      ]
+  in
+  let persist = Persist.build s in
+  let states, _ = Explore.generate ~k:2 s ~persist in
+  let ordered = Tsp.order s states in
+  check ci "ordering preserves the state set" (List.length states)
+    (List.length ordered);
+  let r_opt = Tsp.restarts s ordered in
+  let r_brute = Tsp.full_restarts s (List.length states) in
+  check cb "incremental order needs fewer restarts" true (r_opt <= r_brute)
+
+let test_model_names_roundtrip () =
+  List.iter
+    (fun m ->
+      check cb "model name roundtrip" true
+        (Model.of_string (Model.to_string m) = Some m))
+    Model.all;
+  List.iter
+    (fun mode ->
+      check cb "driver mode roundtrip" true
+        (Driver.mode_of_string (Driver.mode_to_string mode) = Some mode))
+    [ Driver.Brute_force; Driver.Pruned; Driver.Optimized ]
+
+let tests =
+  [
+    ("persist: data journaling orders all", `Quick, test_persist_data_journaling_orders_everything);
+    ("persist: writeback orders metadata only", `Quick, test_persist_writeback_orders_metadata_only);
+    ("persist: nobarrier orders nothing", `Quick, test_persist_nobarrier_orders_nothing);
+    ("persist: fsync commits prior ops", `Quick, test_persist_fsync_commits);
+    ("persist: ordered mode data-before-metadata", `Quick, test_persist_ordered_data_before_same_file_metadata);
+    ("explore: data journaling yields prefixes", `Quick, test_explore_prefixes_under_data_journaling);
+    ("explore: victims independent when unordered", `Quick, test_explore_victims_drop_dependents);
+    ("explore: larger k reaches more states", `Quick, test_explore_k2_reaches_more);
+    ("emulator replays subsets", `Quick, test_emulator_replays_subsets);
+    ("emulator reports replay anomalies", `Quick, test_emulator_anomaly_on_dropped_dependency);
+    ("model: strict", `Quick, test_model_strict);
+    ("model: baseline", `Quick, test_model_baseline);
+    ("model: causal", `Quick, test_model_causal);
+    ("model: commit", `Quick, test_model_commit);
+    ("model: causal subsumes commits", `Quick, test_model_causal_commit_interaction);
+    ("model: figure 5 semantics", `Quick, test_figure5_semantics);
+    ("tsp ordering reduces restarts", `Quick, test_tsp_reduces_restarts);
+    ("name roundtrips", `Quick, test_model_names_roundtrip);
+  ]

@@ -1,0 +1,130 @@
+(* Whole-stack property tests over randomly generated test programs:
+   every PFS simulator must agree with the golden model on crash-free
+   executions, and stacks whose crash states are always causally
+   consistent prefixes (ext4 with data journaling, Lustre) must never
+   report a bug, whatever the program. *)
+
+module D = Paracrash_core.Driver
+module R = Paracrash_core.Report
+module Genprog = Paracrash_workloads.Genprog
+module Registry = Paracrash_workloads.Registry
+module Handle = Paracrash_pfs.Handle
+module Logical = Paracrash_pfs.Logical
+module Golden = Paracrash_pfs.Golden
+module Config = Paracrash_pfs.Config
+
+let check = Alcotest.check
+let cb = Alcotest.bool
+
+let test_deterministic () =
+  let a = Genprog.generate ~seed:42 () in
+  let b = Genprog.generate ~seed:42 () in
+  check cb "same seed, same program" true
+    (a.Genprog.test_ops = b.Genprog.test_ops
+    && a.Genprog.preamble_ops = b.Genprog.preamble_ops);
+  let c = Genprog.generate ~seed:43 () in
+  check cb "different seeds diverge" true
+    (a.Genprog.test_ops <> c.Genprog.test_ops
+    || a.Genprog.preamble_ops <> c.Genprog.preamble_ops)
+
+let test_wellformed_against_golden () =
+  (* every generated op applies cleanly in the golden model *)
+  for seed = 1 to 50 do
+    let prog = Genprog.generate ~seed () in
+    let ops = prog.Genprog.preamble_ops @ prog.Genprog.test_ops in
+    let st = ref Logical.empty in
+    List.iter
+      (fun op ->
+        let before = !st in
+        st := Golden.apply before op;
+        match op with
+        | Paracrash_pfs.Pfs_op.Creat _ | Mkdir _ | Rename _ | Unlink _ ->
+            check cb
+              (Printf.sprintf "seed %d: %s had an effect" seed
+                 (Paracrash_pfs.Pfs_op.to_string op))
+              false
+              (Logical.equal before !st)
+        | _ -> ())
+      ops
+  done
+
+let run_spec fs prog =
+  let fs = Option.get (Registry.find_fs fs) in
+  fst
+    (D.run
+       ~options:{ D.default_options with mode = D.Pruned }
+       ~config:Config.default ~make_fs:fs.Registry.make (Genprog.to_spec prog))
+
+let prop_roundtrip_all_fs =
+  QCheck.Test.make ~name:"random programs: live mount matches golden on every FS"
+    ~count:40 QCheck.(int_bound 10_000)
+    (fun seed ->
+      let prog = Genprog.generate ~seed () in
+      let ops = prog.Genprog.preamble_ops @ prog.Genprog.test_ops in
+      List.for_all
+        (fun (fs : Registry.fs_entry) ->
+          let tracer = Paracrash_trace.Tracer.create () in
+          let h = fs.Registry.make ~config:Config.default ~tracer in
+          List.iter (Handle.exec h) ops;
+          let golden = Golden.replay Logical.empty ops in
+          String.equal
+            (Logical.canonical golden)
+            (Logical.canonical (Handle.live_view h)))
+        Registry.file_systems)
+
+let prop_ext4_never_buggy =
+  QCheck.Test.make
+    ~name:"random programs: ext4 (data journaling) never reports a bug"
+    ~count:30 QCheck.(int_bound 10_000)
+    (fun seed ->
+      let report = run_spec "ext4" (Genprog.generate ~seed ()) in
+      report.R.bugs = [])
+
+let prop_lustre_never_buggy =
+  QCheck.Test.make ~name:"random programs: Lustre never reports a POSIX bug"
+    ~count:20 QCheck.(int_bound 10_000)
+    (fun seed ->
+      let report = run_spec "lustre" (Genprog.generate ~seed ()) in
+      report.R.bugs = [])
+
+let prop_full_state_always_clean =
+  QCheck.Test.make
+    ~name:"random programs: the complete (no-victim) state is always legal"
+    ~count:20 QCheck.(int_bound 10_000)
+    (fun seed ->
+      (* on any FS: replaying the full trace must recover to a legal
+         state; exercised via beegfs, the busiest protocol *)
+      let prog = Genprog.generate ~seed () in
+      let fs = Option.get (Registry.find_fs "beegfs") in
+      let tracer = Paracrash_trace.Tracer.create () in
+      let h = fs.Registry.make ~config:Config.default ~tracer in
+      Paracrash_trace.Tracer.set_enabled tracer false;
+      List.iter (Handle.exec h) prog.Genprog.preamble_ops;
+      let initial = Handle.snapshot h in
+      Paracrash_trace.Tracer.set_enabled tracer true;
+      List.iter (Handle.exec h) prog.Genprog.test_ops;
+      Paracrash_trace.Tracer.set_enabled tracer false;
+      let session = Paracrash_core.Session.of_run ~handle:h ~initial in
+      let pfs_legal =
+        Paracrash_core.Checker.pfs_legal_states session Paracrash_core.Model.Causal
+      in
+      let n = Paracrash_core.Session.n_storage_ops session in
+      Paracrash_core.Checker.is_consistent session ~pfs_legal
+        (Paracrash_util.Bitset.full n))
+
+let test_pp_renders () =
+  let prog = Genprog.generate ~seed:7 () in
+  let s = Fmt.str "%a" Genprog.pp prog in
+  check cb "rendering mentions the program sections" true
+    (String.length s > 0)
+
+let tests =
+  [
+    ("generation is deterministic in the seed", `Quick, test_deterministic);
+    ("generated ops are well-formed", `Quick, test_wellformed_against_golden);
+    ("program rendering", `Quick, test_pp_renders);
+    QCheck_alcotest.to_alcotest prop_roundtrip_all_fs;
+    QCheck_alcotest.to_alcotest prop_ext4_never_buggy;
+    QCheck_alcotest.to_alcotest prop_lustre_never_buggy;
+    QCheck_alcotest.to_alcotest prop_full_state_always_clean;
+  ]

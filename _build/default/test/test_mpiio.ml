@@ -1,0 +1,162 @@
+(* MPI-IO layer tests: rank processes, barrier causality, write
+   translation, and the h5replay tool that sits on top. *)
+
+module Mpiio = Paracrash_mpiio.Mpiio
+module Handle = Paracrash_pfs.Handle
+module Config = Paracrash_pfs.Config
+module Tracer = Paracrash_trace.Tracer
+module Event = Paracrash_trace.Event
+module Correlate = Paracrash_trace.Correlate
+module Dag = Paracrash_util.Dag
+module Registry = Paracrash_workloads.Registry
+module H5op = Paracrash_hdf5.H5op
+module Replay = Paracrash_hdf5.Replay
+module File = Paracrash_hdf5.File
+module Golden = Paracrash_hdf5.Golden
+
+let check = Alcotest.check
+let cb = Alcotest.bool
+let ci = Alcotest.int
+let cs = Alcotest.string
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn > 0 && go 0
+
+let fresh ?(nprocs = 2) () =
+  let fs = Option.get (Registry.find_fs "beegfs") in
+  let tracer = Tracer.create () in
+  let h = fs.Registry.make ~config:Config.default ~tracer in
+  (h, tracer, Mpiio.init h ~nprocs)
+
+let test_write_through () =
+  let _, _, ctx = fresh () in
+  Mpiio.file_open ctx ~rank:0 ~create:true "/f";
+  Mpiio.write_at ctx ~rank:0 "/f" ~off:0 "hello";
+  check (Alcotest.result cs cs) "content readable" (Ok "hello")
+    (Mpiio.read ctx ~rank:1 "/f")
+
+let test_ranks_are_processes () =
+  let _, tracer, ctx = fresh () in
+  Mpiio.file_open ctx ~rank:0 ~create:true "/f";
+  Mpiio.write_at ctx ~rank:0 "/f" ~off:0 "a";
+  Mpiio.write_at ctx ~rank:1 "/f" ~off:1 "b";
+  let evs = Tracer.events tracer in
+  let procs =
+    Array.to_list evs
+    |> List.map (fun (e : Event.t) -> e.proc)
+    |> List.sort_uniq String.compare
+  in
+  check cb "rank#0 and rank#1 both appear" true
+    (List.mem "rank#0" procs && List.mem "rank#1" procs)
+
+let storage_writes tracer =
+  Array.to_list (Tracer.events tracer)
+  |> List.filter_map (fun (e : Event.t) ->
+         if Event.is_storage_op e && not (Event.is_sync e) then Some e.id
+         else None)
+
+let test_cross_rank_unordered_without_barrier () =
+  let _, tracer, ctx = fresh () in
+  Mpiio.file_open ctx ~rank:0 ~create:true "/f";
+  Tracer.set_enabled tracer true;
+  Mpiio.write_at ctx ~rank:0 "/f" ~off:0 "a";
+  Mpiio.write_at ctx ~rank:1 "/f" ~off:1000 "b";
+  let g = Tracer.graph tracer in
+  match storage_writes tracer with
+  | a :: rest ->
+      let b = List.nth rest (List.length rest - 1) in
+      check cb "no cross-rank order" false
+        (Dag.happens_before g a b || Dag.happens_before g b a)
+  | [] -> Alcotest.fail "no storage writes traced"
+
+let test_barrier_orders_ranks () =
+  let _, tracer, ctx = fresh () in
+  Mpiio.file_open ctx ~rank:0 ~create:true "/f";
+  Mpiio.write_at ctx ~rank:0 "/f" ~off:0 "a";
+  Mpiio.barrier ctx;
+  Mpiio.write_at ctx ~rank:1 "/f" ~off:1000 "b";
+  let g = Tracer.graph tracer in
+  let writes = storage_writes tracer in
+  let a = List.hd writes and b = List.nth writes (List.length writes - 1) in
+  check cb "barrier orders rank0's write before rank1's" true
+    (Dag.happens_before g a b)
+
+let test_what_tag_propagates () =
+  let _, tracer, ctx = fresh () in
+  Mpiio.file_open ctx ~rank:0 ~create:true "/f";
+  Mpiio.write_at ctx ~rank:0 "/f" ~off:0 ~what:"my structure" "x";
+  let tagged =
+    Array.to_list (Tracer.events tracer)
+    |> List.exists (fun (e : Event.t) ->
+           Event.is_storage_op e && e.tag = "my structure")
+  in
+  check cb "server-side op carries the structure tag" true tagged
+
+let test_mpi_call_owns_storage_ops () =
+  let _, tracer, ctx = fresh () in
+  Mpiio.file_open ctx ~rank:0 ~create:true "/f";
+  Mpiio.write_at ctx ~rank:0 "/f" ~off:0 "x";
+  let mpi_calls = Correlate.calls_at tracer Event.Mpi in
+  let write_call =
+    List.find
+      (fun id ->
+        match (Tracer.event tracer id).Event.payload with
+        | Event.Call { name = "MPI_File_write_at"; _ } -> true
+        | _ -> false)
+      mpi_calls
+  in
+  check cb "storage ops attributed to the MPI write" true
+    (Correlate.storage_ops_of tracer write_call <> [])
+
+(* --- h5replay ---------------------------------------------------------- *)
+
+let replay_ops =
+  [
+    H5op.Create_group { group = "g" };
+    H5op.Create_dataset { group = "g"; name = "d"; rows = 10; cols = 10 };
+    H5op.Resize_dataset { group = "g"; name = "d"; rows = 20; cols = 20 };
+  ]
+
+let test_replay_executes_ops () =
+  let h, _, ctx = fresh ~nprocs:1 () in
+  let file = Replay.replay ctx ~path:"/r.h5" replay_ops in
+  let bytes = Result.get_ok (Handle.read_file h "/r.h5") in
+  check cs "replayed file matches golden"
+    (Golden.canonical (File.golden_final file))
+    (Paracrash_hdf5.Read.canonical bytes)
+
+let test_replay_skips_illformed () =
+  let _, _, ctx = fresh ~nprocs:1 () in
+  let file =
+    Replay.replay ctx ~path:"/r.h5"
+      [
+        H5op.Delete_dataset { group = "nope"; name = "d" };
+        H5op.Create_group { group = "g" };
+        H5op.Create_group { group = "g" } (* duplicate: skipped *);
+        H5op.Resize_dataset { group = "g"; name = "missing"; rows = 5; cols = 5 };
+      ]
+  in
+  check ci "only the group was created" 1
+    (List.length (Golden.groups (File.golden_final file)))
+
+let test_replay_c_program () =
+  let c = Replay.to_c_program ~path:"/data.h5" replay_ops in
+  check cb "includes hdf5 header" true (contains c "#include <hdf5.h>");
+  check cb "has the H5Dcreate call" true (contains c "H5Dcreate(fid, \"/g/d\"");
+  check cb "has the set_extent call" true (contains c "H5Dset_extent");
+  check cb "opens the right file" true (contains c "H5Fopen(\"/data.h5\"")
+
+let tests =
+  [
+    ("write reaches the PFS", `Quick, test_write_through);
+    ("ranks are separate processes", `Quick, test_ranks_are_processes);
+    ("no cross-rank order without a barrier", `Quick, test_cross_rank_unordered_without_barrier);
+    ("barriers order ranks", `Quick, test_barrier_orders_ranks);
+    ("structure tags reach server traces", `Quick, test_what_tag_propagates);
+    ("MPI calls own their storage ops", `Quick, test_mpi_call_owns_storage_ops);
+    ("h5replay executes operation lists", `Quick, test_replay_executes_ops);
+    ("h5replay skips ill-formed operations", `Quick, test_replay_skips_illformed);
+    ("h5replay renders the C program", `Quick, test_replay_c_program);
+  ]

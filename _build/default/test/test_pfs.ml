@@ -1,0 +1,348 @@
+(* Per-file-system behaviour tests: golden roundtrips through each PFS
+   (client ops -> server ops -> mount readback), striping, recovery
+   tools, and the ordering properties each simulator is supposed to
+   provide. *)
+
+module Handle = Paracrash_pfs.Handle
+module Op = Paracrash_pfs.Pfs_op
+module Config = Paracrash_pfs.Config
+module Logical = Paracrash_pfs.Logical
+module Golden = Paracrash_pfs.Golden
+module Images = Paracrash_pfs.Images
+module Registry = Paracrash_workloads.Registry
+module Tracer = Paracrash_trace.Tracer
+
+let check = Alcotest.check
+let cb = Alcotest.bool
+let cs = Alcotest.string
+
+let make fs_name =
+  let fs = Option.get (Registry.find_fs fs_name) in
+  let tracer = Tracer.create () in
+  fs.Registry.make ~config:Config.default ~tracer
+
+let ops_roundtrip fs_name ops =
+  (* applying client ops through the PFS and mounting the live images
+     must match the golden model's view *)
+  let h = make fs_name in
+  List.iter (Handle.exec h) ops;
+  let mounted = Handle.live_view h in
+  let golden = Golden.replay Logical.empty ops in
+  check cs
+    (fs_name ^ ": mount matches golden")
+    (Logical.canonical golden) (Logical.canonical mounted)
+
+let basic_ops =
+  [
+    Op.Mkdir { path = "/dir" };
+    Op.Creat { path = "/dir/a" };
+    Op.Append { path = "/dir/a"; data = "hello" };
+    Op.Creat { path = "/b" };
+    Op.Write { path = "/b"; off = 3; data = "xyz"; what = "" };
+    Op.Rename { src = "/b"; dst = "/c" };
+    Op.Creat { path = "/gone" };
+    Op.Unlink { path = "/gone" };
+  ]
+
+let replace_ops =
+  [
+    Op.Creat { path = "/f" };
+    Op.Append { path = "/f"; data = "old" };
+    Op.Creat { path = "/g" };
+    Op.Append { path = "/g"; data = "new!" };
+    Op.Rename { src = "/g"; dst = "/f" };
+  ]
+
+let big = String.init (300 * 1024) (fun i -> Char.chr (97 + (i mod 26)))
+
+let striped_ops =
+  [
+    Op.Creat { path = "/big" };
+    Op.Append { path = "/big"; data = big };
+    Op.Write { path = "/big"; off = 150_000; data = "MARKER"; what = "" };
+  ]
+
+let all_fs = List.map (fun e -> e.Registry.fs_name) Registry.file_systems
+
+let test_roundtrip_basic () = List.iter (fun fs -> ops_roundtrip fs basic_ops) all_fs
+let test_roundtrip_replace () = List.iter (fun fs -> ops_roundtrip fs replace_ops) all_fs
+let test_roundtrip_striped () = List.iter (fun fs -> ops_roundtrip fs striped_ops) all_fs
+
+let test_striped_content_spreads () =
+  (* a file larger than the stripe must occupy chunks on more than one
+     storage server on the striped file systems *)
+  List.iter
+    (fun fs_name ->
+      let h = make fs_name in
+      Handle.exec h (Op.Creat { path = "/big" });
+      Handle.exec h (Op.Append { path = "/big"; data = big });
+      let images = Handle.snapshot h in
+      let holding =
+        List.filter
+          (fun proc ->
+            match Images.find images proc with
+            | Some (Images.Fs st) ->
+                let has = ref false in
+                Paracrash_vfs.State.walk st (fun _ kind ->
+                    match kind with
+                    | `File c -> if String.length c > 1024 then has := true
+                    | `Dir -> ());
+                !has
+            | Some (Images.Dev d) ->
+                List.exists
+                  (fun (_, c) -> String.length c > 1024)
+                  (Paracrash_blockdev.State.bindings d)
+            | None -> false)
+          (Handle.servers h)
+      in
+      check cb (fs_name ^ ": data on several servers") true
+        (List.length holding >= 2))
+    [ "beegfs"; "orangefs"; "glusterfs"; "gpfs"; "lustre" ]
+
+let test_fsck_idempotent () =
+  List.iter
+    (fun fs_name ->
+      let h = make fs_name in
+      List.iter (Handle.exec h) basic_ops;
+      let images = Handle.snapshot h in
+      let once = Handle.fsck h images in
+      let twice = Handle.fsck h once in
+      check cb (fs_name ^ ": fsck idempotent") true
+        (String.equal
+           (Logical.canonical (Handle.mount h once))
+           (Logical.canonical (Handle.mount h twice))))
+    all_fs
+
+let test_fsck_clean_is_noop () =
+  List.iter
+    (fun fs_name ->
+      let h = make fs_name in
+      List.iter (Handle.exec h) basic_ops;
+      let images = Handle.snapshot h in
+      check cb
+        (fs_name ^ ": fsck preserves a clean state")
+        true
+        (String.equal
+           (Logical.canonical (Handle.mount h images))
+           (Logical.canonical (Handle.mount h (Handle.fsck h images)))))
+    all_fs
+
+let test_read_file_api () =
+  let h = make "beegfs" in
+  Handle.exec h (Op.Creat { path = "/f" });
+  Handle.exec h (Op.Append { path = "/f"; data = "payload" });
+  (match Handle.read_file h "/f" with
+  | Ok c -> check cs "read through PFS" "payload" c
+  | Error e -> Alcotest.fail e);
+  check cb "missing file errors" true (Result.is_error (Handle.read_file h "/nope"));
+  check (Alcotest.option Alcotest.int) "file size" (Some 7) (Handle.file_size h "/f")
+
+(* beegfs-specific: fsck removes orphan objects *)
+let test_beegfs_fsck_removes_orphans () =
+  let h = make "beegfs" in
+  Handle.exec h (Op.Creat { path = "/f" });
+  Handle.exec h (Op.Append { path = "/f"; data = "x" });
+  let images = Handle.snapshot h in
+  (* corrupt the image: remove the dentry, stranding the idfile and
+     chunk *)
+  let meta = Images.fs_exn images "meta#0" in
+  let meta =
+    match
+      Paracrash_vfs.State.apply meta
+        (Paracrash_vfs.Op.Unlink { path = "/dentries/0/f" })
+    with
+    | Ok s -> s
+    | Error _ -> Alcotest.fail "setup unlink failed"
+  in
+  let images = Images.add images "meta#0" (Images.Fs meta) in
+  let recovered = Handle.mount h (Handle.fsck h images) in
+  check cb "file gone after fsck" false (Logical.mem recovered "/f");
+  (* and the orphan chunk was garbage collected *)
+  let st = Images.fs_exn (Handle.fsck h images) "storage#1" in
+  let leftover =
+    match Paracrash_vfs.State.list_dir st "/chunks" with
+    | Ok l -> l
+    | Error _ -> []
+  in
+  check cb "no orphan chunks" true
+    (not (List.exists (fun c -> c = "1") leftover))
+
+(* orangefs-specific: stranded bstreams are restored when the rename's
+   metadata never committed *)
+let test_orangefs_stranded_restore () =
+  let h = make "orangefs" in
+  Handle.exec h (Op.Creat { path = "/f" });
+  Handle.exec h (Op.Append { path = "/f"; data = "precious" });
+  let before = Handle.snapshot h in
+  (* simulate the crash state where only the strand-rename persisted:
+     apply it directly to the image *)
+  let holder =
+    List.find
+      (fun proc ->
+        match Images.find before proc with
+        | Some (Images.Fs st) -> Paracrash_vfs.State.is_file st "/bstreams/1"
+        | _ -> false)
+      (Handle.servers h)
+  in
+  let st = Images.fs_exn before holder in
+  let st =
+    Result.get_ok
+      (Paracrash_vfs.State.apply st
+         (Paracrash_vfs.Op.Rename
+            { src = "/bstreams/1"; dst = "/bstreams/1.stranded" }))
+  in
+  let images = Images.add before holder (Images.Fs st) in
+  let view = Handle.mount h (Handle.fsck h images) in
+  match Logical.find view "/f" with
+  | Some (Logical.File (Logical.Data d)) ->
+      check cs "stranded bstream restored" "precious" d
+  | _ -> Alcotest.fail "file lost despite pvfs2-fsck"
+
+(* lustre: POSIX workloads leave only clean crash states (the paper
+   found no Lustre bugs with the POSIX programs) *)
+let test_lustre_posix_clean () =
+  let fs = Option.get (Registry.find_fs "lustre") in
+  List.iter
+    (fun spec ->
+      let report, _ =
+        Paracrash_core.Driver.run ~config:Config.default
+          ~make_fs:fs.Registry.make spec
+      in
+      check Alcotest.int
+        ("lustre clean on " ^ spec.Paracrash_core.Driver.name)
+        0
+        (List.length report.Paracrash_core.Report.bugs))
+    Paracrash_workloads.Posix.all
+
+(* ext4 with data journaling is fully causal: nothing to find *)
+let test_ext4_posix_clean () =
+  let fs = Option.get (Registry.find_fs "ext4") in
+  List.iter
+    (fun spec ->
+      let report, _ =
+        Paracrash_core.Driver.run ~config:Config.default
+          ~make_fs:fs.Registry.make spec
+      in
+      check Alcotest.int
+        ("ext4 clean on " ^ spec.Paracrash_core.Driver.name)
+        0
+        (List.length report.Paracrash_core.Report.bugs))
+    Paracrash_workloads.Posix.all
+
+(* Figure 2: the ARVR trace on BeeGFS has the paper's operation shape *)
+let test_fig2_trace_shape () =
+  let fs = Option.get (Registry.find_fs "beegfs") in
+  let tracer = Tracer.create () in
+  let h = fs.Registry.make ~config:Config.default ~tracer in
+  Tracer.set_enabled tracer false;
+  Paracrash_workloads.Posix.arvr.Paracrash_core.Driver.preamble h;
+  Tracer.set_enabled tracer true;
+  Paracrash_workloads.Posix.arvr.Paracrash_core.Driver.test h;
+  let rendered = Fmt.str "%a" Tracer.pp tracer in
+  let contains needle =
+    let nh = String.length rendered and nn = String.length needle in
+    let rec go i =
+      i + nn <= nh && (String.sub rendered i nn = needle || go (i + 1))
+    in
+    go 0
+  in
+  List.iter
+    (fun needle -> check cb ("trace contains " ^ needle) true (contains needle))
+    [
+      "creat(/inodes/";  (* creat(idfile) on the metadata node *)
+      "link(/inodes/";  (* link(idfile, dentries/tmp) *)
+      "setxattr(/dentries/0, mtime)";  (* setxattr(dir_inode) *)
+      "creat(/chunks/";  (* creat(chunk) on the storage node *)
+      "rename(/dentries/0/tmp, /dentries/0/foo)";
+      "unlink(/chunks/";  (* unlink(old-chunk) *)
+      "sendto(";  (* server communications *)
+      "recvfrom(";
+    ]
+
+(* Figure 2 case 3: with a Btrfs-like local FS on the metadata servers
+   (directory operations unordered), additional intra-node reorderings
+   appear on top of the cross-server ones *)
+let test_fig2_case3_btrfs_meta () =
+  let run mode =
+    let config = { Config.default with meta_mode = mode } in
+    let fs = Option.get (Registry.find_fs "beegfs") in
+    fst
+      (Paracrash_core.Driver.run
+         ~options:
+           { Paracrash_core.Driver.default_options with
+             mode = Paracrash_core.Driver.Brute_force }
+         ~config ~make_fs:fs.Registry.make Paracrash_workloads.Posix.arvr)
+  in
+  let data = run Paracrash_vfs.Journal.Data in
+  let btrfs = run Paracrash_vfs.Journal.Nobarrier in
+  check cb "relaxed metadata journaling exposes more bugs" true
+    (List.length btrfs.Paracrash_core.Report.bugs
+    > List.length data.Paracrash_core.Report.bugs);
+  (* the intra-metadata-node reordering family appears *)
+  let intra_meta =
+    List.exists
+      (fun (b : Paracrash_core.Report.bug) ->
+        match b.kind with
+        | Paracrash_core.Classify.Reorder { first; second } -> (
+            ignore first;
+            ignore second;
+            (* both ends on the same metadata server *)
+            let d = b.description in
+            let count_meta0 =
+              let rec go i acc =
+                if i + 7 > String.length d then acc
+                else if String.sub d i 7 = "@meta#0" then go (i + 1) (acc + 1)
+                else go (i + 1) acc
+              in
+              go 0 0
+            in
+            count_meta0 >= 2)
+        | _ -> false)
+      btrfs.Paracrash_core.Report.bugs
+  in
+  check cb "intra-metadata-node reorder reported" true intra_meta
+
+(* golden model unit behaviour *)
+let test_golden_semantics () =
+  let st = Golden.replay Logical.empty basic_ops in
+  check cb "dir exists" true (Logical.mem st "/dir");
+  check cb "unlinked gone" false (Logical.mem st "/gone");
+  (match Logical.find st "/c" with
+  | Some (Logical.File (Logical.Data d)) ->
+      check cs "write padded" "\000\000\000xyz" d
+  | _ -> Alcotest.fail "/c missing");
+  (* ops on missing files are no-ops in golden replay *)
+  let st' = Golden.apply st (Op.Append { path = "/missing"; data = "x" }) in
+  check cb "no-op append" true (Logical.equal st st')
+
+let test_golden_rename_subtree () =
+  let ops =
+    [
+      Op.Mkdir { path = "/a" };
+      Op.Creat { path = "/a/f" };
+      Op.Append { path = "/a/f"; data = "v" };
+      Op.Rename { src = "/a"; dst = "/b" };
+    ]
+  in
+  let st = Golden.replay Logical.empty ops in
+  check cb "moved subtree" true (Logical.mem st "/b/f");
+  check cb "old path gone" false (Logical.mem st "/a")
+
+let tests =
+  [
+    ("golden roundtrip: basic ops on all FS", `Quick, test_roundtrip_basic);
+    ("golden roundtrip: replace-rename on all FS", `Quick, test_roundtrip_replace);
+    ("golden roundtrip: striped file on all FS", `Quick, test_roundtrip_striped);
+    ("striping spreads data across servers", `Quick, test_striped_content_spreads);
+    ("fsck is idempotent", `Quick, test_fsck_idempotent);
+    ("fsck preserves clean states", `Quick, test_fsck_clean_is_noop);
+    ("handle read/size API", `Quick, test_read_file_api);
+    ("beegfs-fsck removes orphans", `Quick, test_beegfs_fsck_removes_orphans);
+    ("pvfs2-fsck restores stranded bstreams", `Quick, test_orangefs_stranded_restore);
+    ("lustre POSIX programs are clean", `Quick, test_lustre_posix_clean);
+    ("ext4 POSIX programs are clean", `Quick, test_ext4_posix_clean);
+    ("figure 2 trace shape on beegfs", `Quick, test_fig2_trace_shape);
+    ("figure 2 case 3: btrfs-like metadata servers", `Quick, test_fig2_case3_btrfs_meta);
+    ("golden PFS semantics", `Quick, test_golden_semantics);
+    ("golden rename moves subtrees", `Quick, test_golden_rename_subtree);
+  ]

@@ -1,0 +1,246 @@
+(* Protocol-internals tests for the individual PFS simulators:
+   OrangeFS's transaction-log metadata, GlusterFS's heal-time garbage
+   collection, the kernel-level block formats, and BeeGFS's
+   cross-metadata-server paths. *)
+
+module Handle = Paracrash_pfs.Handle
+module Op = Paracrash_pfs.Pfs_op
+module Config = Paracrash_pfs.Config
+module Logical = Paracrash_pfs.Logical
+module Images = Paracrash_pfs.Images
+module Vstate = Paracrash_vfs.State
+module Bstate = Paracrash_blockdev.State
+module Registry = Paracrash_workloads.Registry
+module Tracer = Paracrash_trace.Tracer
+module Event = Paracrash_trace.Event
+
+let check = Alcotest.check
+let cb = Alcotest.bool
+let ci = Alcotest.int
+let cs = Alcotest.string
+
+let make ?(config = Config.default) fs_name =
+  let fs = Option.get (Registry.find_fs fs_name) in
+  let tracer = Tracer.create () in
+  (fs.Registry.make ~config ~tracer, tracer)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn > 0 && go 0
+
+(* --- OrangeFS ---------------------------------------------------------- *)
+
+let test_orangefs_metadata_is_a_synced_log () =
+  let h, tracer = make "orangefs" in
+  Handle.exec h (Op.Creat { path = "/f" });
+  Handle.exec h (Op.Rename { src = "/f"; dst = "/g" });
+  (* every DB record write is followed by an fdatasync (Figure 9(b)) *)
+  let evs = Array.to_list (Tracer.events tracer) in
+  let rec scan = function
+    | [] -> ()
+    | (e : Event.t) :: rest -> (
+        match e.payload with
+        | Event.Posix_op (Paracrash_vfs.Op.Write { path; _ })
+          when contains path ".db" -> (
+            let followed =
+              List.exists
+                (fun (f : Event.t) ->
+                  f.proc = e.proc
+                  &&
+                  match f.payload with
+                  | Event.Posix_op (Paracrash_vfs.Op.Fdatasync { path = p }) ->
+                      p = path
+                  | _ -> false)
+                rest
+            in
+            check cb "DB write followed by fdatasync" true followed;
+            scan rest)
+        | _ -> scan rest)
+  in
+  scan evs
+
+let test_orangefs_db_records_are_fixed_slots () =
+  let h, _ = make "orangefs" in
+  Handle.exec h (Op.Creat { path = "/a" });
+  Handle.exec h (Op.Creat { path = "/b" });
+  let images = Handle.snapshot h in
+  (* both creats hit the same parent-dir owner; its keyval.db holds one
+     64-byte record per transaction *)
+  let st = Images.fs_exn images "meta#0" in
+  match Vstate.read_file st "/db/keyval.db" with
+  | Ok content ->
+      check ci "two 64-byte records" (2 * 64) (String.length content);
+      check cb "first record is an insert" true
+        (String.length content > 0 && content.[0] = 'I')
+  | Error _ -> Alcotest.fail "keyval.db missing"
+
+let test_orangefs_same_dir_rename_is_one_record () =
+  let h, _ = make "orangefs" in
+  Handle.exec h (Op.Creat { path = "/a" });
+  let before =
+    String.length
+      (Result.get_ok
+         (Vstate.read_file (Images.fs_exn (Handle.snapshot h) "meta#0") "/db/keyval.db"))
+  in
+  Handle.exec h (Op.Rename { src = "/a"; dst = "/b" });
+  let after =
+    String.length
+      (Result.get_ok
+         (Vstate.read_file (Images.fs_exn (Handle.snapshot h) "meta#0") "/db/keyval.db"))
+  in
+  check ci "rename appends exactly one transaction record" 64 (after - before)
+
+(* --- GlusterFS ---------------------------------------------------------- *)
+
+let test_glusterfs_defers_chunk_removal () =
+  (* replacing a file must not unlink the replaced chunks online — heal
+     garbage-collects them (protects ARVR; DESIGN.md) *)
+  let h, tracer = make "glusterfs" in
+  Handle.exec h (Op.Creat { path = "/old" });
+  Handle.exec h (Op.Append { path = "/old"; data = "x" });
+  Handle.exec h (Op.Creat { path = "/new" });
+  Handle.exec h (Op.Rename { src = "/new"; dst = "/old" });
+  let chunk_unlinks =
+    Array.to_list (Tracer.events tracer)
+    |> List.filter (fun (e : Event.t) ->
+           match e.payload with
+           | Event.Posix_op (Paracrash_vfs.Op.Unlink { path }) ->
+               contains path "/chunks/"
+           | _ -> false)
+  in
+  check ci "no online chunk unlink" 0 (List.length chunk_unlinks);
+  (* ... but fsck garbage-collects the orphan *)
+  let images = Handle.fsck h (Handle.snapshot h) in
+  let st = Images.fs_exn images "server#0" in
+  let leftover =
+    match Vstate.list_dir st "/chunks" with Ok l -> List.length l | Error _ -> 0
+  in
+  let st1 = Images.fs_exn images "server#1" in
+  let leftover1 =
+    match Vstate.list_dir st1 "/chunks" with Ok l -> List.length l | Error _ -> 0
+  in
+  check ci "heal removed the replaced chunk" 0 (leftover + leftover1)
+
+let test_glusterfs_heal_drops_gfidless_names () =
+  let h, _ = make "glusterfs" in
+  Handle.exec h (Op.Creat { path = "/keep" });
+  let images = Handle.snapshot h in
+  let st = Images.fs_exn images "server#0" in
+  (* inject a half-created name object (creat persisted, gfid not) *)
+  let st = Result.get_ok (Vstate.apply st (Paracrash_vfs.Op.Creat { path = "/names/half" })) in
+  let images = Images.add images "server#0" (Images.Fs st) in
+  let view = Handle.mount h (Handle.fsck h images) in
+  check cb "half-created name healed away" false (Logical.mem view "/half");
+  check cb "intact file kept" true (Logical.mem view "/keep")
+
+(* --- kernel-level (GPFS / Lustre) ---------------------------------------- *)
+
+let test_kernelfs_blocks_have_log_records () =
+  let h, tracer = make "gpfs" in
+  Handle.exec h (Op.Creat { path = "/f" });
+  let log_writes =
+    Array.to_list (Tracer.events tracer)
+    |> List.filter (fun (e : Event.t) ->
+           match e.payload with
+           | Event.Block_op (Paracrash_blockdev.Op.Scsi_write { what; _ }) ->
+               what = "log file"
+           | _ -> false)
+  in
+  check cb "each metadata transaction writes a log record" true
+    (List.length log_writes >= 1)
+
+let test_lustre_barriers_gpfs_none () =
+  let count_syncs fs_name =
+    let h, tracer = make fs_name in
+    Handle.exec h (Op.Creat { path = "/f" });
+    Handle.exec h (Op.Append { path = "/f"; data = "x" });
+    Array.to_list (Tracer.events tracer)
+    |> List.filter (fun (e : Event.t) -> Event.is_sync e)
+    |> List.length
+  in
+  (* GPFS only brackets the write-through data path; Lustre additionally
+     brackets every metadata transaction *)
+  check cb "lustre issues more barriers than gpfs" true
+    (count_syncs "lustre" > count_syncs "gpfs")
+
+let test_kernelfs_mount_reads_through_blocks () =
+  List.iter
+    (fun fs_name ->
+      let h, _ = make fs_name in
+      Handle.exec h (Op.Mkdir { path = "/d" });
+      Handle.exec h (Op.Creat { path = "/d/f" });
+      Handle.exec h (Op.Append { path = "/d/f"; data = "block data" });
+      match Handle.read_file h "/d/f" with
+      | Ok c -> check cs (fs_name ^ " content through blocks") "block data" c
+      | Error e -> Alcotest.fail e)
+    [ "gpfs"; "lustre" ]
+
+let test_kernelfs_fsck_drops_dangling_entries () =
+  let h, _ = make "gpfs" in
+  Handle.exec h (Op.Creat { path = "/f" });
+  let images = Handle.snapshot h in
+  (* free the file's inode behind the directory's back *)
+  let dev = Images.dev_exn images "nsd#1" in
+  let dev =
+    Bstate.apply dev
+      (Paracrash_blockdev.Op.Scsi_write { lba = 1001; data = "free"; what = "t" })
+  in
+  let images = Images.add images "nsd#1" (Images.Dev dev) in
+  let view = Handle.mount h (Handle.fsck h images) in
+  check cb "dangling entry removed by mmfsck" false (Logical.mem view "/f")
+
+(* --- BeeGFS cross-server paths -------------------------------------------- *)
+
+let test_beegfs_cross_meta_rename () =
+  let h, _ = make "beegfs" in
+  Handle.exec h (Op.Mkdir { path = "/A" });
+  Handle.exec h (Op.Mkdir { path = "/B" });
+  Handle.exec h (Op.Creat { path = "/A/f" });
+  Handle.exec h (Op.Append { path = "/A/f"; data = "v" });
+  Handle.exec h (Op.Rename { src = "/A/f"; dst = "/B/f" });
+  (match Handle.read_file h "/B/f" with
+  | Ok c -> check cs "content follows the cross-server rename" "v" c
+  | Error e -> Alcotest.fail e);
+  check cb "source gone" false (Logical.mem (Handle.live_view h) "/A/f")
+
+let test_beegfs_rename_replacing_hardlink_dentry () =
+  (* regression for the fuzzer-found bug: a cross-server rename onto an
+     existing name must not leave the replaced file's inode xattrs on
+     the new dentry *)
+  let h, _ = make "beegfs" in
+  Handle.exec h (Op.Mkdir { path = "/A" });
+  Handle.exec h (Op.Creat { path = "/A/t" });
+  Handle.exec h (Op.Append { path = "/A/t"; data = "0123456789abcdef" });
+  Handle.exec h (Op.Creat { path = "/new" });
+  Handle.exec h (Op.Rename { src = "/new"; dst = "/A/t" });
+  Handle.exec h (Op.Write { path = "/A/t"; off = 0; data = "xyz"; what = "" });
+  match Handle.read_file h "/A/t" with
+  | Ok c -> check cs "replaced file has the new size" "xyz" c
+  | Error e -> Alcotest.fail e
+
+let test_beegfs_many_servers () =
+  let config = Config.with_servers Config.default ~n_meta:4 ~n_storage:4 in
+  let h, _ = make ~config "beegfs" in
+  let big = String.init (600 * 1024) (fun i -> Char.chr (65 + (i mod 26))) in
+  Handle.exec h (Op.Creat { path = "/wide" });
+  Handle.exec h (Op.Append { path = "/wide"; data = big });
+  match Handle.read_file h "/wide" with
+  | Ok c -> check cb "striped over 4 servers and reassembled" true (String.equal c big)
+  | Error e -> Alcotest.fail e
+
+let tests =
+  [
+    ("orangefs: metadata DB writes are synced", `Quick, test_orangefs_metadata_is_a_synced_log);
+    ("orangefs: fixed-size transaction records", `Quick, test_orangefs_db_records_are_fixed_slots);
+    ("orangefs: same-dir rename is atomic (one record)", `Quick, test_orangefs_same_dir_rename_is_one_record);
+    ("glusterfs: replaced chunks removed by heal, not online", `Quick, test_glusterfs_defers_chunk_removal);
+    ("glusterfs: heal drops gfid-less names", `Quick, test_glusterfs_heal_drops_gfidless_names);
+    ("kernelfs: metadata transactions are logged", `Quick, test_kernelfs_blocks_have_log_records);
+    ("kernelfs: lustre barriers, gpfs none", `Quick, test_lustre_barriers_gpfs_none);
+    ("kernelfs: mount reads through blocks", `Quick, test_kernelfs_mount_reads_through_blocks);
+    ("kernelfs: mmfsck drops dangling entries", `Quick, test_kernelfs_fsck_drops_dangling_entries);
+    ("beegfs: cross-metadata-server rename", `Quick, test_beegfs_cross_meta_rename);
+    ("beegfs: rename onto a hard-linked dentry", `Quick, test_beegfs_rename_replacing_hardlink_dentry);
+    ("beegfs: four metadata and storage servers", `Quick, test_beegfs_many_servers);
+  ]

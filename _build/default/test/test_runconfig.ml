@@ -1,0 +1,96 @@
+(* Configuration-file parsing tests. *)
+
+module Runconfig = Paracrash_workloads.Runconfig
+module D = Paracrash_core.Driver
+module Model = Paracrash_core.Model
+module Config = Paracrash_pfs.Config
+
+let check = Alcotest.check
+let cb = Alcotest.bool
+let ci = Alcotest.int
+let cs = Alcotest.string
+
+let ok = function
+  | Ok v -> v
+  | Error m -> Alcotest.failf "unexpected parse error: %s" m
+
+let test_defaults () =
+  let t = ok (Runconfig.parse "") in
+  check cs "default fs" "beegfs" t.Runconfig.fs;
+  check cs "default program" "ARVR" t.Runconfig.program;
+  check ci "default k" 1 t.Runconfig.options.D.k
+
+let test_full_config () =
+  let t =
+    ok
+      (Runconfig.parse
+         {|
+# a full configuration
+fs        = gpfs
+program   = H5-create
+mode      = brute-force
+k         = 2
+servers   = 8
+stripe    = 65536
+pfs_model = commit
+lib_model = causal
+meta_journal = writeback
+|})
+  in
+  check cs "fs" "gpfs" t.Runconfig.fs;
+  check cs "program" "H5-create" t.Runconfig.program;
+  check cb "mode" true (t.Runconfig.options.D.mode = D.Brute_force);
+  check ci "k" 2 t.Runconfig.options.D.k;
+  check ci "meta servers" 4 t.Runconfig.config.Config.n_meta;
+  check ci "storage servers" 4 t.Runconfig.config.Config.n_storage;
+  check ci "stripe" 65536 t.Runconfig.config.Config.stripe_size;
+  check cb "pfs model" true (t.Runconfig.options.D.pfs_model = Model.Commit);
+  check cb "lib model" true (t.Runconfig.options.D.lib_model = Model.Causal);
+  check cb "journal" true
+    (t.Runconfig.config.Config.meta_mode = Paracrash_vfs.Journal.Writeback)
+
+let expect_error text needle =
+  match Runconfig.parse text with
+  | Ok _ -> Alcotest.failf "expected an error for %S" text
+  | Error m ->
+      let contains =
+        let nh = String.length m and nn = String.length needle in
+        let rec go i = i + nn <= nh && (String.sub m i nn = needle || go (i + 1)) in
+        go 0
+      in
+      check cb ("error mentions " ^ needle) true contains
+
+let test_errors () =
+  expect_error "fs = zfs" "unknown file system";
+  expect_error "program = FROB" "unknown test program";
+  expect_error "mode = warp" "unknown exploration mode";
+  expect_error "k = zero" "positive integer";
+  expect_error "k = -1" "positive integer";
+  expect_error "pfs_model = eventual" "unknown model";
+  expect_error "frobnicate = yes" "unknown configuration key";
+  expect_error "just words" "key = value"
+
+let test_comments_and_blank_lines () =
+  let t = ok (Runconfig.parse "\n  # comment only\n\nfs = lustre # trailing\n") in
+  check cs "fs parsed around comments" "lustre" t.Runconfig.fs
+
+let test_error_carries_line_number () =
+  match Runconfig.parse "fs = beegfs\nmode = warp\n" with
+  | Error m ->
+      check cb "line number in message" true
+        (String.length m >= 7 && String.sub m 0 7 = "line 2:")
+  | Ok _ -> Alcotest.fail "expected error"
+
+let test_program_all_allowed () =
+  let t = ok (Runconfig.parse "program = all") in
+  check cs "'all' accepted" "all" t.Runconfig.program
+
+let tests =
+  [
+    ("empty config keeps defaults", `Quick, test_defaults);
+    ("full config round-trips", `Quick, test_full_config);
+    ("invalid values are rejected", `Quick, test_errors);
+    ("comments and blank lines", `Quick, test_comments_and_blank_lines);
+    ("errors carry line numbers", `Quick, test_error_carries_line_number);
+    ("program = all", `Quick, test_program_all_allowed);
+  ]

@@ -1,0 +1,117 @@
+(* Tests for round-robin striping: piece decomposition and
+   reassembly. *)
+
+module Striping = Paracrash_pfs.Striping
+
+let check = Alcotest.check
+let ci = Alcotest.int
+let cs = Alcotest.string
+
+let test_single_stripe () =
+  let ps = Striping.pieces ~stripe_size:100 ~n_servers:2 ~start:0 ~off:10 ~len:20 in
+  check ci "one piece" 1 (List.length ps);
+  let p = List.hd ps in
+  check ci "server" 0 p.Striping.server;
+  check ci "local offset" 10 p.local_off;
+  check ci "len" 20 p.len
+
+let test_crossing_stripes () =
+  let ps = Striping.pieces ~stripe_size:100 ~n_servers:2 ~start:0 ~off:90 ~len:120 in
+  (* 90-100 on server0 stripe0; 100-200 on server1 stripe1; 200-210 on
+     server0 stripe2 at local offset 100 *)
+  check ci "three pieces" 3 (List.length ps);
+  (match ps with
+  | [ a; b; c ] ->
+      check ci "a server" 0 a.Striping.server;
+      check ci "a len" 10 a.len;
+      check ci "b server" 1 b.Striping.server;
+      check ci "b local off" 0 b.local_off;
+      check ci "b len" 100 b.len;
+      check ci "c server" 0 c.Striping.server;
+      check ci "c local off" 100 c.local_off;
+      check ci "c len" 10 c.len
+  | _ -> Alcotest.fail "expected three pieces");
+  ()
+
+let test_start_rotation () =
+  let ps = Striping.pieces ~stripe_size:100 ~n_servers:3 ~start:2 ~off:0 ~len:250 in
+  check (Alcotest.list ci) "servers rotate from start"
+    [ 2; 0; 1 ]
+    (List.map (fun p -> p.Striping.server) ps)
+
+let test_reassemble_roundtrip () =
+  (* write a pattern through pieces into per-server chunk buffers, then
+     reassemble *)
+  let stripe_size = 64 and n_servers = 3 and start = 1 in
+  let data = String.init 500 (fun i -> Char.chr (33 + (i mod 90))) in
+  let chunks = Array.make n_servers (Bytes.create 0) in
+  let ps = Striping.pieces ~stripe_size ~n_servers ~start ~off:0 ~len:500 in
+  List.iter
+    (fun (p : Striping.piece) ->
+      let need = p.local_off + p.len in
+      if Bytes.length chunks.(p.server) < need then begin
+        let bigger = Bytes.make need '\000' in
+        Bytes.blit chunks.(p.server) 0 bigger 0 (Bytes.length chunks.(p.server));
+        chunks.(p.server) <- bigger
+      end;
+      Bytes.blit_string data p.data_off chunks.(p.server) p.local_off p.len)
+    ps;
+  let out =
+    Striping.reassemble ~stripe_size ~n_servers ~start ~size:500
+      ~read_chunk:(fun j -> Bytes.to_string chunks.(j))
+  in
+  check cs "roundtrip" data out
+
+let test_reassemble_missing_chunk_zeros () =
+  let out =
+    Striping.reassemble ~stripe_size:10 ~n_servers:2 ~start:0 ~size:20
+      ~read_chunk:(fun j -> if j = 0 then "aaaaaaaaaa" else "")
+  in
+  check cs "missing chunk reads as zeros" ("aaaaaaaaaa" ^ String.make 10 '\000') out
+
+let prop_pieces_cover =
+  QCheck.Test.make ~name:"pieces exactly cover the byte range" ~count:300
+    QCheck.(quad (int_range 1 64) (int_range 1 4) (int_bound 200) (int_range 1 300))
+    (fun (stripe_size, n_servers, off, len) ->
+      let ps = Striping.pieces ~stripe_size ~n_servers ~start:0 ~off ~len in
+      let total = List.fold_left (fun a (p : Striping.piece) -> a + p.len) 0 ps in
+      let offsets_ok =
+        List.for_all
+          (fun (p : Striping.piece) -> p.data_off >= 0 && p.data_off + p.len <= len)
+          ps
+      in
+      total = len && offsets_ok)
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"stripe/reassemble roundtrip" ~count:200
+    QCheck.(pair (int_range 1 32) (int_range 1 4))
+    (fun (stripe_size, n_servers) ->
+      let data = String.init 200 (fun i -> Char.chr (65 + (i mod 26))) in
+      let chunks = Array.make n_servers "" in
+      let ps = Striping.pieces ~stripe_size ~n_servers ~start:0 ~off:0 ~len:200 in
+      List.iter
+        (fun (p : Striping.piece) ->
+          let cur = chunks.(p.server) in
+          let need = p.local_off + p.len in
+          let b =
+            Bytes.of_string
+              (if String.length cur >= need then cur
+               else cur ^ String.make (need - String.length cur) '\000')
+          in
+          Bytes.blit_string data p.data_off b p.local_off p.len;
+          chunks.(p.server) <- Bytes.to_string b)
+        ps;
+      String.equal data
+        (Striping.reassemble ~stripe_size ~n_servers ~start:0 ~size:200
+           ~read_chunk:(fun j -> chunks.(j))))
+
+let tests =
+  [
+    ("single stripe piece", `Quick, test_single_stripe);
+    ("write crossing stripes", `Quick, test_crossing_stripes);
+    ("rotation honors start", `Quick, test_start_rotation);
+    ("reassembly roundtrip", `Quick, test_reassemble_roundtrip);
+    ("missing chunks read as zeros", `Quick, test_reassemble_missing_chunk_zeros);
+    QCheck_alcotest.to_alcotest prop_pieces_cover;
+    QCheck_alcotest.to_alcotest prop_roundtrip;
+  ]

@@ -1,0 +1,155 @@
+(* Tests for the tracer, causality graph construction, RPC conversation
+   isolation and end-to-end correlation. *)
+
+module Tracer = Paracrash_trace.Tracer
+module Event = Paracrash_trace.Event
+module Correlate = Paracrash_trace.Correlate
+module Rpc = Paracrash_net.Rpc
+module Dag = Paracrash_util.Dag
+module Vop = Paracrash_vfs.Op
+
+let check = Alcotest.check
+let cb = Alcotest.bool
+let ci = Alcotest.int
+
+let posix t ~proc path =
+  Tracer.record t ~proc ~layer:Event.Posix (Event.Posix_op (Vop.Creat { path }))
+
+let test_program_order () =
+  let t = Tracer.create () in
+  let a = posix t ~proc:"p" "/a" in
+  let b = posix t ~proc:"p" "/b" in
+  let c = posix t ~proc:"q" "/c" in
+  let g = Tracer.graph t in
+  check cb "same proc ordered" true (Dag.happens_before g a b);
+  check cb "different procs unordered" false
+    (Dag.happens_before g a c || Dag.happens_before g c a)
+
+let test_disabled_records_nothing () =
+  let t = Tracer.create () in
+  Tracer.set_enabled t false;
+  check ci "disabled returns -1" (-1) (posix t ~proc:"p" "/a");
+  check ci "no events" 0 (Tracer.count t);
+  Tracer.set_enabled t true;
+  ignore (posix t ~proc:"p" "/b");
+  check ci "recording resumes" 1 (Tracer.count t)
+
+let test_rpc_edges () =
+  let t = Tracer.create () in
+  let before = posix t ~proc:"client" "/before" in
+  let server_op = ref (-1) in
+  Rpc.call t ~client:"client" ~server:"srv" (fun () ->
+      server_op := posix t ~proc:"srv" "/s");
+  let after = posix t ~proc:"client" "/after" in
+  let g = Tracer.graph t in
+  check cb "client op before server op" true (Dag.happens_before g before !server_op);
+  check cb "server op before later client op (reply)" true
+    (Dag.happens_before g !server_op after)
+
+let test_oneway_no_reply_edge () =
+  let t = Tracer.create () in
+  let server_op = ref (-1) in
+  Rpc.oneway t ~client:"client" ~server:"srv" (fun () ->
+      server_op := posix t ~proc:"srv" "/s");
+  let after = posix t ~proc:"client" "/after" in
+  let g = Tracer.graph t in
+  check cb "no ordering without a reply" false
+    (Dag.happens_before g !server_op after)
+
+let test_concurrent_conversations_unordered () =
+  (* two clients issue RPCs to the same server: their handler ops must
+     be causally unordered even though the server executed them in some
+     order (§4.3: any causality-consistent schedule is legal) *)
+  let t = Tracer.create () in
+  let op1 = ref (-1) and op2 = ref (-1) in
+  Rpc.call t ~client:"c1" ~server:"srv" (fun () -> op1 := posix t ~proc:"srv" "/x");
+  Rpc.call t ~client:"c2" ~server:"srv" (fun () -> op2 := posix t ~proc:"srv" "/y");
+  let g = Tracer.graph t in
+  check cb "handlers of different clients unordered" false
+    (Dag.happens_before g !op1 !op2 || Dag.happens_before g !op2 !op1)
+
+let test_sequential_same_client_ordered () =
+  let t = Tracer.create () in
+  let op1 = ref (-1) and op2 = ref (-1) in
+  Rpc.call t ~client:"c" ~server:"srv" (fun () -> op1 := posix t ~proc:"srv" "/x");
+  Rpc.call t ~client:"c" ~server:"srv" (fun () -> op2 := posix t ~proc:"srv" "/y");
+  let g = Tracer.graph t in
+  check cb "sequential RPCs of one client stay ordered" true
+    (Dag.happens_before g !op1 !op2)
+
+let test_ops_within_handler_ordered () =
+  let t = Tracer.create () in
+  let op1 = ref (-1) and op2 = ref (-1) in
+  Rpc.call t ~client:"c" ~server:"srv" (fun () ->
+      op1 := posix t ~proc:"srv" "/x";
+      op2 := posix t ~proc:"srv" "/y");
+  let g = Tracer.graph t in
+  check cb "handler body is sequential" true (Dag.happens_before g !op1 !op2)
+
+let test_correlation () =
+  let t = Tracer.create () in
+  let sop = ref (-1) in
+  Tracer.with_call t ~proc:"c" ~layer:Event.Pfs ~name:"creat" (fun () ->
+      Rpc.call t ~client:"c" ~server:"srv" (fun () ->
+          sop := posix t ~proc:"srv" "/x"));
+  let calls = Correlate.calls_at t Event.Pfs in
+  check ci "one pfs call" 1 (List.length calls);
+  let call = List.hd calls in
+  check cb "server op owned by the pfs call" true
+    (Correlate.owner_at t Event.Pfs !sop = Some call);
+  check (Alcotest.list ci) "storage ops of call" [ !sop ]
+    (Correlate.storage_ops_of t call)
+
+let test_with_call_nesting () =
+  let t = Tracer.create () in
+  let inner = ref (-1) in
+  Tracer.with_call t ~proc:"c" ~layer:Event.Lib ~name:"H5Dcreate" (fun () ->
+      Tracer.with_call t ~proc:"c" ~layer:Event.Mpi ~name:"MPI_File_write_at"
+        (fun () -> inner := posix t ~proc:"c" "/x"));
+  let lib_call = List.hd (Correlate.calls_at t Event.Lib) in
+  let mpi_call = List.hd (Correlate.calls_at t Event.Mpi) in
+  check cb "inner owned by mpi call" true
+    (Correlate.owner_at t Event.Mpi !inner = Some mpi_call);
+  check cb "inner owned by lib call transitively" true
+    (Correlate.owner_at t Event.Lib !inner = Some lib_call)
+
+let test_barrier_orders_ranks () =
+  let t = Tracer.create () in
+  let handle_tracer = t in
+  (* emulate two ranks with a barrier between their writes *)
+  let a = posix t ~proc:"rank#0" "/a" in
+  ignore handle_tracer;
+  (* barrier: enters then exits with cross edges, as Mpiio does *)
+  let e0 = Tracer.record t ~proc:"rank#0" ~layer:Event.Mpi (Event.Call { name = "b"; args = [] }) in
+  let e1 = Tracer.record t ~proc:"rank#1" ~layer:Event.Mpi (Event.Call { name = "b"; args = [] }) in
+  let x0 = Tracer.record t ~proc:"rank#0" ~layer:Event.Mpi (Event.Call { name = "b"; args = [] }) in
+  let x1 = Tracer.record t ~proc:"rank#1" ~layer:Event.Mpi (Event.Call { name = "b"; args = [] }) in
+  List.iter (fun e -> List.iter (fun x -> Tracer.add_edge t e x) [ x0; x1 ]) [ e0; e1 ];
+  let b = posix t ~proc:"rank#1" "/b" in
+  let g = Tracer.graph t in
+  check cb "rank0 pre-barrier before rank1 post-barrier" true
+    (Dag.happens_before g a b)
+
+let test_event_predicates () =
+  let e payload = { Event.id = 0; seq = 0; proc = "p"; layer = Event.Posix; payload; caller = None; tag = "" } in
+  check cb "posix op is storage" true (Event.is_storage_op (e (Event.Posix_op (Vop.Creat { path = "/x" }))));
+  check cb "fsync is sync" true (Event.is_sync (e (Event.Posix_op (Vop.Fsync { path = "/x" }))));
+  check cb "send is not storage" false
+    (Event.is_storage_op (e (Event.Send { msg = 0; dst = "q" })));
+  check (Alcotest.list Alcotest.string) "files of rename" [ "/a"; "/b" ]
+    (Event.files (e (Event.Posix_op (Vop.Rename { src = "/a"; dst = "/b" }))))
+
+let tests =
+  [
+    ("program order within a process", `Quick, test_program_order);
+    ("disabled tracer records nothing", `Quick, test_disabled_records_nothing);
+    ("rpc creates cross-process edges", `Quick, test_rpc_edges);
+    ("oneway rpc has no reply edge", `Quick, test_oneway_no_reply_edge);
+    ("concurrent conversations unordered", `Quick, test_concurrent_conversations_unordered);
+    ("sequential rpcs of one client ordered", `Quick, test_sequential_same_client_ordered);
+    ("handler body sequential", `Quick, test_ops_within_handler_ordered);
+    ("end-to-end correlation", `Quick, test_correlation);
+    ("nested call attribution", `Quick, test_with_call_nesting);
+    ("barrier creates cross-rank order", `Quick, test_barrier_orders_ranks);
+    ("event predicates", `Quick, test_event_predicates);
+  ]

@@ -1,0 +1,237 @@
+(* Unit and property tests for the utility layer: bitsets, DAGs
+   (reachability, topological order, downset enumeration) and
+   combinatorics. *)
+
+module Bitset = Paracrash_util.Bitset
+module Dag = Paracrash_util.Dag
+module Combi = Paracrash_util.Combi
+
+let check = Alcotest.check
+let ci = Alcotest.int
+let cb = Alcotest.bool
+
+(* --- Bitset ------------------------------------------------------------ *)
+
+let test_bitset_basics () =
+  let s = Bitset.create 10 in
+  check cb "empty has no members" false (Bitset.mem s 3);
+  let s = Bitset.add s 3 in
+  check cb "mem after add" true (Bitset.mem s 3);
+  check ci "cardinal" 1 (Bitset.cardinal s);
+  let s' = Bitset.remove s 3 in
+  check cb "removed" false (Bitset.mem s' 3);
+  check cb "original unchanged (persistent)" true (Bitset.mem s 3)
+
+let test_bitset_setops () =
+  let a = Bitset.of_list 8 [ 0; 2; 4 ] in
+  let b = Bitset.of_list 8 [ 2; 3 ] in
+  check (Alcotest.list ci) "union" [ 0; 2; 3; 4 ]
+    (Bitset.elements (Bitset.union a b));
+  check (Alcotest.list ci) "inter" [ 2 ] (Bitset.elements (Bitset.inter a b));
+  check (Alcotest.list ci) "diff" [ 0; 4 ] (Bitset.elements (Bitset.diff a b));
+  check cb "subset yes" true (Bitset.subset (Bitset.of_list 8 [ 2 ]) b);
+  check cb "subset no" false (Bitset.subset a b)
+
+let test_bitset_wide () =
+  (* crosses the 62-bit word boundary *)
+  let s = Bitset.of_list 200 [ 0; 61; 62; 63; 124; 199 ] in
+  check ci "cardinal across words" 6 (Bitset.cardinal s);
+  check (Alcotest.list ci) "elements sorted" [ 0; 61; 62; 63; 124; 199 ]
+    (Bitset.elements s);
+  check cb "full contains all" true
+    (Bitset.subset s (Bitset.full 200));
+  check ci "full cardinal" 200 (Bitset.cardinal (Bitset.full 200))
+
+let test_bitset_bounds () =
+  let s = Bitset.create 4 in
+  Alcotest.check_raises "add out of range"
+    (Invalid_argument "Bitset: index out of range") (fun () ->
+      ignore (Bitset.add s 4));
+  Alcotest.check_raises "negative" (Invalid_argument "Bitset: index out of range")
+    (fun () -> ignore (Bitset.mem s (-1)))
+
+let bitset_prop_roundtrip =
+  QCheck.Test.make ~name:"bitset elements/of_list roundtrip" ~count:200
+    QCheck.(list (int_bound 63))
+    (fun xs ->
+      let s = Bitset.of_list 64 xs in
+      Bitset.elements s = List.sort_uniq Int.compare xs)
+
+let bitset_prop_ops_match_lists =
+  QCheck.Test.make ~name:"bitset set ops agree with list model" ~count:200
+    QCheck.(pair (list (int_bound 40)) (list (int_bound 40)))
+    (fun (xs, ys) ->
+      let module IS = Set.Make (Int) in
+      let a = Bitset.of_list 41 xs and b = Bitset.of_list 41 ys in
+      let sa = IS.of_list xs and sb = IS.of_list ys in
+      Bitset.elements (Bitset.union a b) = IS.elements (IS.union sa sb)
+      && Bitset.elements (Bitset.inter a b) = IS.elements (IS.inter sa sb)
+      && Bitset.elements (Bitset.diff a b) = IS.elements (IS.diff sa sb)
+      && Bitset.subset a b = IS.subset sa sb)
+
+(* --- Dag ---------------------------------------------------------------- *)
+
+let diamond () =
+  (* 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3 *)
+  let b = Dag.Builder.create 4 in
+  Dag.Builder.add_edge b 0 1;
+  Dag.Builder.add_edge b 0 2;
+  Dag.Builder.add_edge b 1 3;
+  Dag.Builder.add_edge b 2 3;
+  Dag.Builder.freeze b
+
+let test_dag_reach () =
+  let g = diamond () in
+  check cb "0 before 3" true (Dag.happens_before g 0 3);
+  check cb "1 not before 2" false (Dag.happens_before g 1 2);
+  check cb "3 not before 0" false (Dag.happens_before g 3 0);
+  check cb "reflexive reaches" true (Dag.reaches g 2 2);
+  check cb "strict hb not reflexive" false (Dag.happens_before g 2 2)
+
+let test_dag_topo () =
+  let g = diamond () in
+  let order = Dag.topological g in
+  check ci "topo length" 4 (List.length order);
+  let pos x = Option.get (List.find_index (Int.equal x) order) in
+  check cb "0 first" true (pos 0 < pos 1 && pos 0 < pos 2);
+  check cb "3 last" true (pos 3 > pos 1 && pos 3 > pos 2)
+
+let test_dag_cycle () =
+  let b = Dag.Builder.create 2 in
+  Dag.Builder.add_edge b 0 1;
+  Dag.Builder.add_edge b 1 0;
+  Alcotest.check_raises "cycle rejected" (Failure "Dag: graph has a cycle")
+    (fun () -> ignore (Dag.Builder.freeze b))
+
+let test_dag_downsets () =
+  let g = diamond () in
+  (* downsets of the diamond: {}, {0}, {0,1}, {0,2}, {0,1,2}, {0,1,2,3} *)
+  let ds = Dag.downsets g in
+  check ci "diamond downset count" 6 (List.length ds);
+  List.iter (fun s -> check cb "is_downset" true (Dag.is_downset g s)) ds;
+  (* a chain of n nodes has n+1 downsets *)
+  let chain =
+    let b = Dag.Builder.create 5 in
+    for i = 0 to 3 do
+      Dag.Builder.add_edge b i (i + 1)
+    done;
+    Dag.Builder.freeze b
+  in
+  check ci "chain downsets" 6 (List.length (Dag.downsets chain));
+  (* an antichain of n nodes has 2^n *)
+  let anti = Dag.Builder.freeze (Dag.Builder.create 4) in
+  check ci "antichain downsets" 16 (Dag.downset_count anti)
+
+let test_dag_downsets_limit () =
+  let anti = Dag.Builder.freeze (Dag.Builder.create 10) in
+  check ci "limit respected" 100 (List.length (Dag.downsets ~limit:100 anti))
+
+let test_dag_restrict () =
+  let g = diamond () in
+  let sub, mapping = Dag.restrict g [ 1; 3 ] in
+  check ci "restricted size" 2 (Dag.size sub);
+  check cb "edge through transitive reach" true (Dag.happens_before sub 0 1);
+  check ci "mapping back" 1 mapping.(0);
+  check ci "mapping back 2" 3 mapping.(1)
+
+let test_linear_extensions () =
+  let g = diamond () in
+  let exts = Dag.linear_extensions g in
+  check ci "diamond has 2 linear extensions" 2 (List.length exts);
+  List.iter
+    (fun ext ->
+      check ci "extension is a permutation" 4 (List.length (List.sort_uniq Int.compare ext)))
+    exts
+
+let random_dag =
+  (* edges only from lower to higher indices: always acyclic *)
+  QCheck.make
+    QCheck.Gen.(
+      let* n = int_range 1 7 in
+      let* edges =
+        list_size (int_bound 12)
+          (let* a = int_bound (n - 1) in
+           let* b = int_bound (n - 1) in
+           return (min a b, max a b))
+      in
+      return (n, List.filter (fun (a, b) -> a <> b) edges))
+
+let dag_prop_downsets_closed =
+  QCheck.Test.make ~name:"every enumerated downset is downward closed" ~count:200
+    random_dag
+    (fun (n, edges) ->
+      let b = Dag.Builder.create n in
+      List.iter (fun (u, v) -> Dag.Builder.add_edge b u v) edges;
+      let g = Dag.Builder.freeze b in
+      List.for_all (Dag.is_downset g) (Dag.downsets g))
+
+let dag_prop_downsets_unique =
+  QCheck.Test.make ~name:"downsets are pairwise distinct" ~count:200 random_dag
+    (fun (n, edges) ->
+      let b = Dag.Builder.create n in
+      List.iter (fun (u, v) -> Dag.Builder.add_edge b u v) edges;
+      let g = Dag.Builder.freeze b in
+      let keys = List.map Bitset.to_string (Dag.downsets g) in
+      List.length keys = List.length (List.sort_uniq String.compare keys))
+
+let dag_prop_reach_transitive =
+  QCheck.Test.make ~name:"happens-before is transitive" ~count:200 random_dag
+    (fun (n, edges) ->
+      let b = Dag.Builder.create n in
+      List.iter (fun (u, v) -> Dag.Builder.add_edge b u v) edges;
+      let g = Dag.Builder.freeze b in
+      List.for_all
+        (fun u ->
+          List.for_all
+            (fun v ->
+              List.for_all
+                (fun w ->
+                  (not (Dag.happens_before g u v && Dag.happens_before g v w))
+                  || Dag.happens_before g u w)
+                (List.init n Fun.id))
+            (List.init n Fun.id))
+        (List.init n Fun.id))
+
+(* --- Combi -------------------------------------------------------------- *)
+
+let test_combinations () =
+  check ci "5 choose 2" 10 (List.length (Combi.combinations [ 1; 2; 3; 4; 5 ] 2));
+  check ci "choose 0" 1 (List.length (Combi.combinations [ 1; 2 ] 0));
+  check ci "choose too many" 0 (List.length (Combi.combinations [ 1 ] 2));
+  check ci "upto 2 of 4" 11 (List.length (Combi.combinations_upto [ 1; 2; 3; 4 ] 2))
+
+let test_subsets () =
+  check ci "subsets of 3" 8 (List.length (Combi.subsets [ 1; 2; 3 ]));
+  check ci "subsets of empty" 1 (List.length (Combi.subsets []))
+
+let test_cartesian () =
+  check ci "2x3 product" 6
+    (List.length (Combi.cartesian [ [ 1; 2 ]; [ 3; 4; 5 ] ]));
+  check ci "empty factor" 0 (List.length (Combi.cartesian [ [ 1 ]; [] ]))
+
+let test_pairs () =
+  check ci "pairs of 4" 6 (List.length (Combi.pairs [ 1; 2; 3; 4 ]))
+
+let tests =
+  [
+    ("bitset basics", `Quick, test_bitset_basics);
+    ("bitset set operations", `Quick, test_bitset_setops);
+    ("bitset across word boundary", `Quick, test_bitset_wide);
+    ("bitset bounds checking", `Quick, test_bitset_bounds);
+    ("dag reachability", `Quick, test_dag_reach);
+    ("dag topological order", `Quick, test_dag_topo);
+    ("dag rejects cycles", `Quick, test_dag_cycle);
+    ("dag downset enumeration", `Quick, test_dag_downsets);
+    ("dag downset limit", `Quick, test_dag_downsets_limit);
+    ("dag restriction", `Quick, test_dag_restrict);
+    ("dag linear extensions", `Quick, test_linear_extensions);
+    ("combinations", `Quick, test_combinations);
+    ("subsets", `Quick, test_subsets);
+    ("cartesian product", `Quick, test_cartesian);
+    ("unordered pairs", `Quick, test_pairs);
+    QCheck_alcotest.to_alcotest bitset_prop_roundtrip;
+    QCheck_alcotest.to_alcotest bitset_prop_ops_match_lists;
+    QCheck_alcotest.to_alcotest dag_prop_downsets_closed;
+    QCheck_alcotest.to_alcotest dag_prop_downsets_unique;
+    QCheck_alcotest.to_alcotest dag_prop_reach_transitive;
+  ]

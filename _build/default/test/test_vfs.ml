@@ -1,0 +1,297 @@
+(* Tests for the local file system simulator: path handling, operation
+   semantics (POSIX corner cases), hard links, xattrs, canonical
+   comparison, and crash-replay robustness. *)
+
+module Vpath = Paracrash_vfs.Vpath
+module Op = Paracrash_vfs.Op
+module State = Paracrash_vfs.State
+
+let check = Alcotest.check
+let cb = Alcotest.bool
+let cs = Alcotest.string
+let ci = Alcotest.int
+
+let ok = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "unexpected error: %s" (State.error_to_string e)
+
+let apply st op = ok (State.apply st op)
+
+let build ops = List.fold_left apply State.empty ops
+
+(* --- paths --------------------------------------------------------------- *)
+
+let test_path_normalize () =
+  check cs "collapse slashes" "/a/b" (Vpath.normalize "//a///b/");
+  check cs "root" "/" (Vpath.normalize "/");
+  Alcotest.check_raises "relative rejected"
+    (Invalid_argument "Vpath.normalize: not absolute: a/b") (fun () ->
+      ignore (Vpath.normalize "a/b"))
+
+let test_path_parts () =
+  check cs "parent" "/a" (Vpath.parent "/a/b");
+  check cs "parent of top" "/" (Vpath.parent "/a");
+  check cs "basename" "b" (Vpath.basename "/a/b");
+  check cb "ancestor" true (Vpath.is_ancestor "/a" "/a/b/c");
+  check cb "not self-ancestor" false (Vpath.is_ancestor "/a" "/a");
+  check cb "sibling" false (Vpath.is_ancestor "/a" "/ab");
+  check cs "concat" "/a/b" (Vpath.concat "/a" "b")
+
+(* --- basic operations ----------------------------------------------------- *)
+
+let test_create_write_read () =
+  let st =
+    build
+      [
+        Op.Creat { path = "/f" };
+        Op.Append { path = "/f"; data = "hello" };
+        Op.Write { path = "/f"; off = 0; data = "H" };
+      ]
+  in
+  check cs "content" "Hello" (ok (State.read_file st "/f"));
+  check ci "size" 5 (ok (State.file_size st "/f"))
+
+let test_write_extends_with_zeros () =
+  let st =
+    build [ Op.Creat { path = "/f" }; Op.Write { path = "/f"; off = 3; data = "x" } ]
+  in
+  check cs "zero padded" "\000\000\000x" (ok (State.read_file st "/f"))
+
+let test_creat_truncates () =
+  let st =
+    build
+      [
+        Op.Creat { path = "/f" };
+        Op.Append { path = "/f"; data = "data" };
+        Op.Creat { path = "/f" };
+      ]
+  in
+  check cs "truncated" "" (ok (State.read_file st "/f"))
+
+let test_truncate () =
+  let st =
+    build
+      [
+        Op.Creat { path = "/f" };
+        Op.Append { path = "/f"; data = "abcdef" };
+        Op.Truncate { path = "/f"; len = 3 };
+      ]
+  in
+  check cs "shrunk" "abc" (ok (State.read_file st "/f"));
+  let st = apply st (Op.Truncate { path = "/f"; len = 5 }) in
+  check cs "regrown with zeros" "abc\000\000" (ok (State.read_file st "/f"))
+
+let test_mkdir_nesting () =
+  let st = build [ Op.Mkdir { path = "/a" }; Op.Mkdir { path = "/a/b" } ] in
+  check cb "dir exists" true (State.is_dir st "/a/b");
+  check (Alcotest.list cs) "listing" [ "b" ] (ok (State.list_dir st "/a"));
+  match State.apply st (Op.Mkdir { path = "/x/y" }) with
+  | Error (State.Enoent _) -> ()
+  | _ -> Alcotest.fail "mkdir without parent must fail"
+
+let test_rename_file () =
+  let st =
+    build
+      [
+        Op.Creat { path = "/f" };
+        Op.Append { path = "/f"; data = "v" };
+        Op.Rename { src = "/f"; dst = "/g" };
+      ]
+  in
+  check cb "source gone" false (State.exists st "/f");
+  check cs "moved content" "v" (ok (State.read_file st "/g"))
+
+let test_rename_replaces () =
+  let st =
+    build
+      [
+        Op.Creat { path = "/old" };
+        Op.Append { path = "/old"; data = "OLD" };
+        Op.Creat { path = "/new" };
+        Op.Append { path = "/new"; data = "NEW" };
+        Op.Rename { src = "/new"; dst = "/old" };
+      ]
+  in
+  check cs "replaced" "NEW" (ok (State.read_file st "/old"));
+  check cb "src gone" false (State.exists st "/new")
+
+let test_rename_directory () =
+  let st =
+    build
+      [
+        Op.Mkdir { path = "/a" };
+        Op.Creat { path = "/a/f" };
+        Op.Rename { src = "/a"; dst = "/b" };
+      ]
+  in
+  check cb "subtree moved" true (State.is_file st "/b/f");
+  check cb "old gone" false (State.exists st "/a")
+
+let test_rename_into_self_rejected () =
+  let st = build [ Op.Mkdir { path = "/a" } ] in
+  match State.apply st (Op.Rename { src = "/a"; dst = "/a/b" }) with
+  | Error (State.Einval _) -> ()
+  | _ -> Alcotest.fail "rename into own subtree must fail"
+
+let test_rename_nonempty_dir_target () =
+  let st =
+    build
+      [
+        Op.Mkdir { path = "/a" };
+        Op.Mkdir { path = "/b" };
+        Op.Creat { path = "/b/f" };
+      ]
+  in
+  match State.apply st (Op.Rename { src = "/a"; dst = "/b" }) with
+  | Error (State.Enotempty _) -> ()
+  | _ -> Alcotest.fail "replacing a nonempty directory must fail"
+
+let test_hard_links () =
+  let st =
+    build
+      [
+        Op.Creat { path = "/f" };
+        Op.Link { src = "/f"; dst = "/g" };
+        Op.Append { path = "/f"; data = "shared" };
+      ]
+  in
+  check cs "write visible through link" "shared" (ok (State.read_file st "/g"));
+  check ci "same inode" (ok (State.inode_of st "/f")) (ok (State.inode_of st "/g"));
+  let st = apply st (Op.Unlink { path = "/f" }) in
+  check cs "survives unlink of one name" "shared" (ok (State.read_file st "/g"))
+
+let test_unlink_rmdir () =
+  let st = build [ Op.Mkdir { path = "/d" }; Op.Creat { path = "/d/f" } ] in
+  (match State.apply st (Op.Rmdir { path = "/d" }) with
+  | Error (State.Enotempty _) -> ()
+  | _ -> Alcotest.fail "rmdir of nonempty dir must fail");
+  let st = apply st (Op.Unlink { path = "/d/f" }) in
+  let st = apply st (Op.Rmdir { path = "/d" }) in
+  check cb "gone" false (State.exists st "/d")
+
+let test_xattrs () =
+  let st = build [ Op.Creat { path = "/f" }; Op.Mkdir { path = "/d" } ] in
+  let st = apply st (Op.Setxattr { path = "/f"; key = "k"; value = "v" }) in
+  let st = apply st (Op.Setxattr { path = "/d"; key = "dk"; value = "dv" }) in
+  check cs "file xattr" "v" (ok (State.getxattr st "/f" "k"));
+  check cs "dir xattr" "dv" (ok (State.getxattr st "/d" "dk"));
+  let st = apply st (Op.Removexattr { path = "/f"; key = "k" }) in
+  match State.getxattr st "/f" "k" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "xattr should be removed"
+
+let test_sync_noop () =
+  let st = build [ Op.Creat { path = "/f" } ] in
+  let st' = apply st (Op.Fsync { path = "/f" }) in
+  check cb "fsync leaves state unchanged" true (State.equal st st')
+
+let test_canonical_link_identity () =
+  (* two states differing only in whether files share an inode must not
+     compare equal *)
+  let shared =
+    build
+      [
+        Op.Creat { path = "/a" };
+        Op.Link { src = "/a"; dst = "/b" };
+        Op.Append { path = "/a"; data = "x" };
+      ]
+  in
+  let separate =
+    build
+      [
+        Op.Creat { path = "/a" };
+        Op.Creat { path = "/b" };
+        Op.Append { path = "/a"; data = "x" };
+        Op.Append { path = "/b"; data = "x" };
+      ]
+  in
+  check cb "link identity observable" false (State.equal shared separate)
+
+let test_canonical_insensitive_to_history () =
+  let a = build [ Op.Creat { path = "/x" }; Op.Creat { path = "/y" } ] in
+  let b = build [ Op.Creat { path = "/y" }; Op.Creat { path = "/x" } ] in
+  check cb "creation order invisible" true (State.equal a b)
+
+let test_apply_all_collects_errors () =
+  let _, errs =
+    State.apply_all State.empty
+      [
+        Op.Creat { path = "/f" };
+        Op.Append { path = "/missing"; data = "x" };
+        Op.Append { path = "/f"; data = "ok" };
+      ]
+  in
+  check ci "one error" 1 (List.length errs)
+
+(* --- property tests -------------------------------------------------------- *)
+
+let op_gen =
+  let open QCheck.Gen in
+  let path = map (fun i -> "/f" ^ string_of_int i) (int_bound 3) in
+  let data = map (fun s -> s) (string_size ~gen:printable (int_bound 8)) in
+  frequency
+    [
+      (3, map (fun path -> Op.Creat { path }) path);
+      (1, map (fun path -> Op.Mkdir { path }) path);
+      (3, map2 (fun path data -> Op.Append { path; data }) path data);
+      (2, map3 (fun path off data -> Op.Write { path; off; data }) path (int_bound 16) data);
+      (1, map2 (fun src dst -> Op.Rename { src; dst }) path path);
+      (1, map2 (fun src dst -> Op.Link { src; dst }) path path);
+      (1, map (fun path -> Op.Unlink { path }) path);
+      (1, map (fun path -> Op.Fsync { path }) path);
+    ]
+
+let arbitrary_ops = QCheck.make (QCheck.Gen.list_size (QCheck.Gen.int_bound 20) op_gen)
+
+let prop_apply_never_corrupts =
+  QCheck.Test.make ~name:"random replays always yield a valid state" ~count:300
+    arbitrary_ops
+    (fun ops ->
+      let st, _errs = State.apply_all State.empty ops in
+      (* the canonical form can always be computed, and equality is
+         reflexive *)
+      String.length (State.canonical st) >= 0 && State.equal st st)
+
+let prop_subset_replay_deterministic =
+  QCheck.Test.make ~name:"same replay twice gives equal states" ~count:200
+    arbitrary_ops
+    (fun ops ->
+      let a, _ = State.apply_all State.empty ops in
+      let b, _ = State.apply_all State.empty ops in
+      State.equal a b)
+
+let prop_metadata_partition =
+  QCheck.Test.make ~name:"every op is exactly one of data/metadata/sync"
+    ~count:300 arbitrary_ops
+    (fun ops ->
+      List.for_all
+        (fun op ->
+          let d = Op.is_data op and m = Op.is_metadata op and s = Op.is_sync op in
+          (if d then 1 else 0) + (if m then 1 else 0) + (if s then 1 else 0) = 1)
+        ops)
+
+let tests =
+  [
+    ("path normalization", `Quick, test_path_normalize);
+    ("path components", `Quick, test_path_parts);
+    ("create, write, read", `Quick, test_create_write_read);
+    ("write extends with zeros", `Quick, test_write_extends_with_zeros);
+    ("creat truncates existing file", `Quick, test_creat_truncates);
+    ("truncate shrinks and regrows", `Quick, test_truncate);
+    ("mkdir nesting and missing parent", `Quick, test_mkdir_nesting);
+    ("rename moves file", `Quick, test_rename_file);
+    ("rename replaces target", `Quick, test_rename_replaces);
+    ("rename moves directories", `Quick, test_rename_directory);
+    ("rename into own subtree rejected", `Quick, test_rename_into_self_rejected);
+    ("rename onto nonempty dir rejected", `Quick, test_rename_nonempty_dir_target);
+    ("hard links share content", `Quick, test_hard_links);
+    ("unlink and rmdir", `Quick, test_unlink_rmdir);
+    ("extended attributes", `Quick, test_xattrs);
+    ("sync ops are state no-ops", `Quick, test_sync_noop);
+    ("canonical form sees link identity", `Quick, test_canonical_link_identity);
+    ("canonical form ignores history", `Quick, test_canonical_insensitive_to_history);
+    ("apply_all collects failures", `Quick, test_apply_all_collects_errors);
+    QCheck_alcotest.to_alcotest prop_apply_never_corrupts;
+    QCheck_alcotest.to_alcotest prop_subset_replay_deterministic;
+    QCheck_alcotest.to_alcotest prop_metadata_partition;
+  ]
