@@ -1,1 +1,1 @@
-lib/core/driver.ml: Checker Classify Explore Fmt Hashtbl List Model Option Paracrash_pfs Paracrash_trace Paracrash_util Persist Prune Report Session Stats String Tsp Unix
+lib/core/driver.ml: Checker Classify Emulator Explore Fmt Hashtbl List Model Option Paracrash_pfs Paracrash_trace Paracrash_util Persist Prune Report Session Stats String Tsp Unix

@@ -1,1 +1,1 @@
-lib/core/emulator.ml: Array List Paracrash_pfs Paracrash_trace Paracrash_util Paracrash_vfs Printf Session
+lib/core/emulator.ml: Array Hashtbl Int List Paracrash_pfs Paracrash_trace Paracrash_util Paracrash_vfs Printf Session

@@ -1,1 +1,1 @@
-lib/core/explore.ml: Array Hashtbl List Paracrash_util Session
+lib/core/explore.ml: Array List Paracrash_util Session

@@ -1,1 +1,1 @@
-lib/core/tsp.ml: Array Explore Hashtbl List Paracrash_pfs Paracrash_trace Paracrash_util Session String
+lib/core/tsp.ml: Array Explore List Paracrash_pfs Paracrash_trace Paracrash_util Session String

@@ -51,13 +51,17 @@ let pfs_legal_states (s : Session.t) model =
     sets;
   List.rev !order
 
-let recovered_view (s : Session.t) persisted =
-  let images, _anomalies = Emulator.reconstruct s persisted in
+let recovered_view ?reconstruct (s : Session.t) persisted =
+  let images, _anomalies =
+    match reconstruct with
+    | Some f -> f persisted
+    | None -> Emulator.reconstruct s persisted
+  in
   let images = Handle.fsck s.handle images in
   Handle.mount s.handle images
 
-let check (s : Session.t) ~pfs_legal ?lib persisted =
-  let view = recovered_view s persisted in
+let check (s : Session.t) ~pfs_legal ?lib ?reconstruct persisted =
+  let view = recovered_view ?reconstruct s persisted in
   let canon = Logical.canonical view in
   let pfs_ok = List.exists (String.equal canon) pfs_legal in
   match lib with

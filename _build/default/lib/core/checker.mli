@@ -42,12 +42,16 @@ val check :
   Session.t ->
   pfs_legal:string list ->
   ?lib:lib_layer ->
+  ?reconstruct:
+    (Paracrash_util.Bitset.t -> Paracrash_pfs.Images.t * string list) ->
   Paracrash_util.Bitset.t ->
   verdict * Paracrash_pfs.Logical.t * string option
 (** Reconstruct, run the PFS recovery tool, mount, and judge one crash
     state. Returns the verdict, the recovered PFS view and (when a
     library layer is present) the recovered library-level view, for
-    reporting. *)
+    reporting. [reconstruct] substitutes the reconstruction strategy —
+    the driver passes {!Emulator.reconstruct_cached} in optimized mode;
+    the default is a from-scratch {!Emulator.reconstruct}. *)
 
 val is_consistent :
   Session.t ->

@@ -105,14 +105,25 @@ let run ?(options = default_options) ~config ~make_fs spec =
   (* memoize only the verdict and the (small) library view: caching the
      recovered Logical views would pin every crash state's full file
      contents in memory *)
-  let memo = Hashtbl.create 512 in
-  let check_state persisted =
-    let key = Bitset.to_string persisted in
-    match Hashtbl.find_opt memo key with
+  let memo = Bitset.Tbl.create 512 in
+  (* optimized mode reconstructs incrementally: per-server images are
+     cached under the server's exact persisted-op subset, so only the
+     servers whose subset changed since the previous (TSP-ordered)
+     state are re-replayed. The cache's miss count is the measured
+     number of server restarts. *)
+  let incr_cache =
+    match options.mode with
+    | Optimized -> Some (Emulator.create_cache session)
+    | Brute_force | Pruned -> None
+  in
+  let check_state ?reconstruct persisted =
+    match Bitset.Tbl.find_opt memo persisted with
     | Some (v, lv) -> (v, None, lv)
     | None ->
-        let v, view, lv = Checker.check session ~pfs_legal ?lib persisted in
-        Hashtbl.replace memo key (v, lv);
+        let v, view, lv =
+          Checker.check session ~pfs_legal ?lib ?reconstruct persisted
+        in
+        Bitset.Tbl.replace memo persisted (v, lv);
         (v, Some view, lv)
   in
   let bool_check persisted =
@@ -122,13 +133,7 @@ let run ?(options = default_options) ~config ~make_fs spec =
   in
   let raw_data i =
     let e = Session.storage_event session i in
-    let tag = e.Event.tag in
-    let contains_sub hay needle =
-      let nh = String.length hay and nn = String.length needle in
-      let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
-      nn > 0 && go 0
-    in
-    contains_sub tag "raw data"
+    Paracrash_util.Strutil.contains_sub e.Event.tag "raw data"
   in
   let prune = Prune.create ~raw_data in
   let semantic = lib <> None in
@@ -143,7 +148,6 @@ let run ?(options = default_options) ~config ~make_fs spec =
   let n_pruned = ref 0 in
   let n_inconsistent = ref 0 in
   let restarts = ref 0 in
-  let last_sig = ref None in
   let n_servers = List.length (Handle.servers handle) in
   List.iter
     (fun (st : Explore.state) ->
@@ -153,20 +157,18 @@ let run ?(options = default_options) ~config ~make_fs spec =
       then incr n_pruned
       else begin
         incr n_checked;
-        (match options.mode with
-        | Optimized ->
-            let sg = Tsp.server_signature session st.persisted in
-            (match !last_sig with
-            | None -> restarts := !restarts + n_servers
-            | Some prev ->
-                restarts :=
-                  !restarts
-                  + List.fold_left2
-                      (fun acc a b -> if String.equal a b then acc else acc + 1)
-                      0 prev sg);
-            last_sig := Some sg
-        | Brute_force | Pruned -> restarts := !restarts + n_servers);
-        let verdict, view_opt, lib_view = check_state st.persisted in
+        let verdict, view_opt, lib_view =
+          match incr_cache with
+          | Some cache ->
+              (* restarts are measured after the loop as this cache's
+                 miss count, not modeled from signature diffs *)
+              check_state
+                ~reconstruct:(Emulator.reconstruct_cached cache session)
+                st.persisted
+          | None ->
+              restarts := !restarts + n_servers;
+              check_state st.persisted
+        in
         match verdict with
         | Checker.Consistent | Checker.Consistent_after_recovery -> ()
         | Checker.Inconsistent layer ->
@@ -218,11 +220,8 @@ let run ?(options = default_options) ~config ~make_fs spec =
                         let corrupt_lines =
                           String.split_on_char '\n' lv
                           |> List.filter (fun line ->
-                                 let rec has i =
-                                   i + 7 <= String.length line
-                                   && (String.sub line i 7 = "CORRUPT" || has (i + 1))
-                                 in
-                                 has 0)
+                                 Paracrash_util.Strutil.contains_sub line
+                                   "CORRUPT")
                         in
                         if corrupt_lines <> [] then String.concat "; " corrupt_lines
                         else begin
@@ -263,6 +262,9 @@ let run ?(options = default_options) ~config ~make_fs spec =
             end
       end)
     states;
+  (match incr_cache with
+  | Some cache -> restarts := Emulator.cache_misses cache
+  | None -> ());
   let wall = Unix.gettimeofday () -. t0 in
   let fs = Handle.fs_name handle in
   let bug_list =

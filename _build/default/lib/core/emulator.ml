@@ -1,27 +1,168 @@
 module Bitset = Paracrash_util.Bitset
 module Event = Paracrash_trace.Event
+module Images = Paracrash_pfs.Images
+
+(* Storage operations only ever touch the image of the server that
+   emitted them, so a crash state factorizes into independent
+   per-server replays. Everything below exploits that: [reconstruct]
+   composes per-server replays, and [cache] reuses a server's image
+   whenever its persisted-op subset is unchanged since the previous
+   crash state (the paper's incremental reconstruction, §5.3). *)
+
+(* proc -> set of storage-event indices emitted by that proc *)
+let proc_masks (s : Session.t) =
+  let n = Array.length s.storage_events in
+  let tbl = Hashtbl.create 8 in
+  let order = ref [] in
+  for i = 0 to n - 1 do
+    let e = Session.storage_event s i in
+    let cur =
+      match Hashtbl.find_opt tbl e.Event.proc with
+      | Some m -> m
+      | None ->
+          order := e.proc :: !order;
+          Bitset.create n
+    in
+    Hashtbl.replace tbl e.proc (Bitset.add cur i)
+  done;
+  List.rev_map (fun proc -> (proc, Hashtbl.find tbl proc)) !order
+
+(* Replay the ops in [sel] (all belonging to one proc) onto that proc's
+   image. Anomalies keep their event index so cross-server merges can
+   restore global trace order. *)
+let replay_image (s : Session.t) img0 sel =
+  let img = ref img0 in
+  let anomalies = ref [] in
+  Bitset.iter
+    (fun i ->
+      let e = Session.storage_event s i in
+      match e.Event.payload with
+      | Event.Posix_op op -> (
+          let img', err = Images.apply_posix_image !img op in
+          img := img';
+          match err with
+          | None -> ()
+          | Some msg ->
+              anomalies :=
+                ( i,
+                  Printf.sprintf "%s: %s: %s" e.proc
+                    (Paracrash_vfs.Op.to_string op)
+                    msg )
+                :: !anomalies)
+      | Event.Block_op op -> img := Images.apply_block_image !img op
+      | Event.Call _ | Event.Send _ | Event.Recv _ -> ())
+    sel;
+  (!img, List.rev !anomalies)
+
+let initial_image (s : Session.t) proc =
+  match Images.find s.initial proc with
+  | Some img -> img
+  | None -> invalid_arg ("Emulator: no initial image for " ^ proc)
+
+let reconstruct_server (s : Session.t) ~proc persisted =
+  let mask =
+    match List.assoc_opt proc (proc_masks s) with
+    | Some m -> m
+    | None -> Bitset.create (Array.length s.storage_events)
+  in
+  let img, anomalies =
+    replay_image s (initial_image s proc) (Bitset.inter persisted mask)
+  in
+  (img, List.map snd anomalies)
+
+let merge_anomalies per_server =
+  List.concat per_server
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  |> List.map snd
 
 let reconstruct (s : Session.t) persisted =
   let images = ref s.initial in
   let anomalies = ref [] in
-  Array.iteri
-    (fun i _ ->
-      if Bitset.mem persisted i then
-        let e = Session.storage_event s i in
-        match e.Event.payload with
-        | Event.Posix_op op -> (
-            let imgs, err = Paracrash_pfs.Images.apply_posix !images e.proc op in
-            images := imgs;
-            match err with
-            | None -> ()
-            | Some msg ->
-                anomalies :=
-                  Printf.sprintf "%s: %s: %s" e.proc
-                    (Paracrash_vfs.Op.to_string op)
-                    msg
-                  :: !anomalies)
-        | Event.Block_op op ->
-            images := Paracrash_pfs.Images.apply_block !images e.proc op
-        | Event.Call _ | Event.Send _ | Event.Recv _ -> ())
-    s.storage_events;
-  (!images, List.rev !anomalies)
+  List.iter
+    (fun (proc, mask) ->
+      let sel = Bitset.inter persisted mask in
+      if not (Bitset.is_empty sel) then begin
+        let img, anoms = replay_image s (initial_image s proc) sel in
+        images := Images.add !images proc img;
+        anomalies := anoms :: !anomalies
+      end)
+    (proc_masks s);
+  (!images, merge_anomalies !anomalies)
+
+(* --- incremental reconstruction ----------------------------------------- *)
+
+type server_entry = {
+  mask : Bitset.t;
+  img0 : Images.image;
+  mutable last_key : Bitset.t option;  (* persisted ∩ mask of last replay *)
+  mutable last_img : Images.image;
+  mutable last_anomalies : (int * string) list;
+}
+
+type cache = {
+  servers : (string * server_entry) list;  (* in initial-image order *)
+  covered : Bitset.t;  (* union of masks of servers with an image *)
+  mutable misses : int;
+  mutable hits : int;
+}
+
+let create_cache (s : Session.t) =
+  let masks = proc_masks s in
+  let n = Array.length s.storage_events in
+  let servers =
+    List.map
+      (fun (proc, img0) ->
+        let mask =
+          match List.assoc_opt proc masks with
+          | Some m -> m
+          | None -> Bitset.create n
+        in
+        ( proc,
+          {
+            mask;
+            img0;
+            last_key = None;
+            last_img = img0;
+            last_anomalies = [];
+          } ))
+      (Images.bindings s.initial)
+  in
+  let covered =
+    List.fold_left
+      (fun acc (_, e) -> Bitset.union acc e.mask)
+      (Bitset.create n) servers
+  in
+  { servers; covered; misses = 0; hits = 0 }
+
+let cache_misses c = c.misses
+let cache_hits c = c.hits
+
+let reconstruct_cached (c : cache) (s : Session.t) persisted =
+  (match Bitset.elements (Bitset.diff persisted c.covered) with
+  | [] -> ()
+  | i :: _ ->
+      let e = Session.storage_event s i in
+      invalid_arg ("Emulator: no initial image for " ^ e.Event.proc));
+  let images = ref s.initial in
+  let anomalies = ref [] in
+  List.iter
+    (fun (proc, entry) ->
+      let key = Bitset.inter persisted entry.mask in
+      (match entry.last_key with
+      | Some prev when Bitset.equal prev key -> c.hits <- c.hits + 1
+      | _ ->
+          (* only this server restarts: rebuild its image from the
+             initial snapshot, leaving every other server untouched *)
+          c.misses <- c.misses + 1;
+          let img, anoms =
+            if Bitset.is_empty key then (entry.img0, [])
+            else replay_image s entry.img0 key
+          in
+          entry.last_key <- Some key;
+          entry.last_img <- img;
+          entry.last_anomalies <- anoms);
+      images := Images.add !images proc entry.last_img;
+      if entry.last_anomalies <> [] then
+        anomalies := entry.last_anomalies :: !anomalies)
+    c.servers;
+  (!images, merge_anomalies !anomalies)

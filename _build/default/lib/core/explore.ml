@@ -14,7 +14,7 @@ let generate ?(k = 1) ?(max_cuts = 100_000) (s : Session.t) ~persist =
   let g = storage_graph s in
   let cuts = Dag.downsets ~limit:max_cuts g in
   let n_cuts = List.length cuts in
-  let seen = Hashtbl.create 256 in
+  let seen = Bitset.Tbl.create 256 in
   let states_rev = ref [] in
   let n_candidates = ref 0 in
   let consider cut victims =
@@ -27,9 +27,8 @@ let generate ?(k = 1) ?(max_cuts = 100_000) (s : Session.t) ~persist =
         victims
     in
     let persisted = Bitset.diff cut unpersisted in
-    let key = Bitset.to_string persisted in
-    if not (Hashtbl.mem seen key) then begin
-      Hashtbl.replace seen key ();
+    if not (Bitset.Tbl.mem seen persisted) then begin
+      Bitset.Tbl.replace seen persisted ();
       states_rev := { persisted; cut; victims } :: !states_rev
     end
   in

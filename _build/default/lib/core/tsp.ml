@@ -3,28 +3,56 @@ module Event = Paracrash_trace.Event
 
 let servers (s : Session.t) = Paracrash_pfs.Handle.servers s.handle
 
+(* Ordinal of each storage event's emitting server, computed once per
+   session walk; -1 for procs outside the server list (none in
+   practice). *)
+let server_of_event (s : Session.t) =
+  let srvs = Array.of_list (servers s) in
+  let ord proc =
+    let rec go i =
+      if i >= Array.length srvs then -1
+      else if String.equal srvs.(i) proc then i
+      else go (i + 1)
+    in
+    go 0
+  in
+  Array.init (Array.length s.storage_events) (fun i ->
+      ord (Session.storage_event s i).Event.proc)
+
+(* One int per server, hashing the ordered list of that server's
+   persisted-op indices. Two states need no restart of a server iff its
+   hash matches; collisions only perturb the visit order and the
+   modeled restart count, never reconstruction itself (the emulator
+   cache keys on the exact op subset). *)
+let signature_with ~server_of ~n_servers persisted =
+  let sg = Array.make n_servers 0 in
+  Bitset.iter
+    (fun i ->
+      let k = server_of.(i) in
+      if k >= 0 then sg.(k) <- (sg.(k) * 31) + i + 1)
+    persisted;
+  sg
+
 let server_signature (s : Session.t) persisted =
-  let sigs = Hashtbl.create 8 in
-  Array.iteri
-    (fun i _ ->
-      if Bitset.mem persisted i then begin
-        let e = Session.storage_event s i in
-        let cur = try Hashtbl.find sigs e.Event.proc with Not_found -> [] in
-        Hashtbl.replace sigs e.proc (i :: cur)
-      end)
-    s.storage_events;
-  List.map
-    (fun srv ->
-      let ops = try Hashtbl.find sigs srv with Not_found -> [] in
-      String.concat "," (List.rev_map string_of_int ops))
-    (servers s)
+  signature_with ~server_of:(server_of_event s)
+    ~n_servers:(List.length (servers s))
+    persisted
 
 let sig_distance sa sb =
-  List.fold_left2
-    (fun acc x y -> if String.equal x y then acc else acc + 1)
-    0 sa sb
+  let d = ref 0 in
+  for k = 0 to Array.length sa - 1 do
+    if sa.(k) <> sb.(k) then incr d
+  done;
+  !d
 
 let distance s a b = sig_distance (server_signature s a) (server_signature s b)
+
+let signatures (s : Session.t) states =
+  let server_of = server_of_event s in
+  let n_servers = List.length (servers s) in
+  Array.map
+    (fun st -> signature_with ~server_of ~n_servers st.Explore.persisted)
+    (Array.of_list states)
 
 let order (s : Session.t) states =
   match states with
@@ -32,9 +60,7 @@ let order (s : Session.t) states =
   | _ ->
       let arr = Array.of_list states in
       let n = Array.length arr in
-      let sigs =
-        Array.map (fun st -> server_signature s st.Explore.persisted) arr
-      in
+      let sigs = signatures s states in
       let used = Array.make n false in
       used.(0) <- true;
       let path = ref [ arr.(0) ] in
@@ -60,16 +86,13 @@ let restarts (s : Session.t) states =
   let n_servers = List.length (servers s) in
   match states with
   | [] -> 0
-  | first :: rest ->
-      let sig0 = server_signature s first.Explore.persisted in
-      let _, total =
-        List.fold_left
-          (fun (prev_sig, acc) st ->
-            let sg = server_signature s st.Explore.persisted in
-            (sg, acc + sig_distance prev_sig sg))
-          (sig0, n_servers) rest
-      in
-      total
+  | _ ->
+      let sigs = signatures s states in
+      let total = ref n_servers in
+      for i = 1 to Array.length sigs - 1 do
+        total := !total + sig_distance sigs.(i - 1) sigs.(i)
+      done;
+      !total
 
 let full_restarts (s : Session.t) n_states =
   n_states * List.length (servers s)

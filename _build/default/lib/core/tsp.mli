@@ -6,9 +6,16 @@
     — minimizes the total number of server restarts, like the paper's
     greedy TSP solver. *)
 
-val server_signature : Session.t -> Paracrash_util.Bitset.t -> string list
-(** Per-server digests of the persisted-op subsets; two states need no
-    restart of a server iff its digest matches. *)
+val server_signature : Session.t -> Paracrash_util.Bitset.t -> int array
+(** Per-server hashes of the persisted-op subsets (one int per server,
+    in {!Paracrash_pfs.Handle.servers} order); two states need no
+    restart of a server iff its hash matches. Hash collisions only
+    perturb the visit order and the modeled restart count — actual
+    image reuse in {!Emulator} keys on the exact op subset. *)
+
+val signatures : Session.t -> Explore.state list -> int array array
+(** Signatures of many states, sharing the per-event server lookup
+    (computed once instead of per state). *)
 
 val distance : Session.t -> Paracrash_util.Bitset.t -> Paracrash_util.Bitset.t -> int
 

@@ -43,12 +43,26 @@ let equal a b =
       | Fs _, Dev _ | Dev _, Fs _ -> false)
     a b
 
+let apply_posix_image img op =
+  match img with
+  | Fs s -> (
+      match Vstate.apply s op with
+      | Ok s' -> (Fs s', None)
+      | Error e -> (img, Some (Vstate.error_to_string e)))
+  | Dev _ -> invalid_arg "Images.apply_posix_image: block image"
+
+let apply_block_image img op =
+  match img with
+  | Dev s -> Dev (Bstate.apply s op)
+  | Fs _ -> invalid_arg "Images.apply_block_image: fs image"
+
 let apply_posix t proc op =
-  let s = fs_exn t proc in
-  match Vstate.apply s op with
-  | Ok s' -> (add t proc (Fs s'), None)
-  | Error e -> (t, Some (Vstate.error_to_string e))
+  (* keep the fs_exn lookup so a missing/mistyped proc reports itself *)
+  let img, err = apply_posix_image (Fs (fs_exn t proc)) op in
+  (add t proc img, err)
 
 let apply_block t proc op =
-  let s = dev_exn t proc in
-  add t proc (Dev (Bstate.apply s op))
+  add t proc (apply_block_image (Dev (dev_exn t proc)) op)
+
+let merge t overrides =
+  List.fold_left (fun acc (proc, img) -> add acc proc img) t overrides

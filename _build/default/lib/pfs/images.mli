@@ -29,3 +29,22 @@ val apply_posix : t -> string -> Paracrash_vfs.Op.t -> t * string option
     a later operation fail — a legitimate corrupt-image outcome). *)
 
 val apply_block : t -> string -> Paracrash_blockdev.Op.t -> t
+
+(** {1 Per-server access}
+
+    Crash-state reconstruction builds each server's image independently
+    (servers only ever apply their own operations), which lets the
+    explorer cache and reuse unchanged per-server images across crash
+    states. *)
+
+val apply_posix_image : image -> Paracrash_vfs.Op.t -> image * string option
+(** As {!apply_posix} but on a single server's image. Raises
+    [Invalid_argument] on a block image. *)
+
+val apply_block_image : image -> Paracrash_blockdev.Op.t -> image
+(** As {!apply_block} but on a single server's image. Raises
+    [Invalid_argument] on a local-FS image. *)
+
+val merge : t -> (string * image) list -> t
+(** [merge base overrides] replaces each listed server's image in
+    [base]; servers not listed keep their [base] image. *)

@@ -1,1 +1,1 @@
-lib/util/bitset.mli: Format
+lib/util/bitset.mli: Format Hashtbl

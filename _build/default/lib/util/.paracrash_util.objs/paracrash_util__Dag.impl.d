@@ -1,1 +1,1 @@
-lib/util/dag.ml: Array Bitset Fmt Int List Set Sys
+lib/util/dag.ml: Array Bitset Fmt Hashtbl Int List Set Sys

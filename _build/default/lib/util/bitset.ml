@@ -32,9 +32,17 @@ let mem t i =
   let j = i / bits_per_word and b = i mod bits_per_word in
   t.words.(j) land (1 lsl b) <> 0
 
+(* SWAR popcount over a 62-bit word. The usual 64-bit masks overflow
+   OCaml's 63-bit ints, so the pair mask is truncated to 62 bits; the
+   later masks already fit. *)
 let popcount x =
-  let rec go x acc = if x = 0 then acc else go (x lsr 1) (acc + (x land 1)) in
-  go x 0
+  let x = x - ((x lsr 1) land 0x1555555555555555) in
+  let x = (x land 0x3333333333333333) + ((x lsr 2) land 0x3333333333333333) in
+  let x = (x + (x lsr 4)) land 0x0f0f0f0f0f0f0f0f in
+  let x = x + (x lsr 8) in
+  let x = x + (x lsr 16) in
+  let x = x + (x lsr 32) in
+  x land 0x7f
 
 let cardinal t = Array.fold_left (fun acc w -> acc + popcount w) 0 t.words
 let is_empty t = Array.for_all (fun w -> w = 0) t.words
@@ -59,15 +67,26 @@ let compare a b =
 
 let of_list cap xs = List.fold_left add (create cap) xs
 
+(* Visit members in increasing order, skipping zero words outright and
+   stepping lowest-set-bit to lowest-set-bit within a word. *)
 let fold f t acc =
   let acc = ref acc in
-  for i = 0 to t.cap - 1 do
-    if mem t i then acc := f i !acc
+  for j = 0 to Array.length t.words - 1 do
+    let w = t.words.(j) in
+    if w <> 0 then begin
+      let base = j * bits_per_word in
+      let rem = ref w in
+      while !rem <> 0 do
+        let lsb = !rem land - !rem in
+        acc := f (base + popcount (lsb - 1)) !acc;
+        rem := !rem land (!rem - 1)
+      done
+    end
   done;
   !acc
 
 let elements t = List.rev (fold (fun i acc -> i :: acc) t [])
-let iter f t = List.iter f (elements t)
+let iter f t = ignore (fold (fun i () -> f i) t ())
 
 let full cap =
   let t = create cap in
@@ -82,3 +101,10 @@ let to_string t =
   Buffer.contents buf
 
 let pp ppf t = Fmt.pf ppf "{%a}" Fmt.(list ~sep:comma int) (elements t)
+
+module Tbl = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)

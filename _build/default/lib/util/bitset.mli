@@ -44,3 +44,7 @@ val to_string : t -> string
 (** Compact hex rendering, usable as a dedup key. *)
 
 val pp : Format.formatter -> t -> unit
+
+module Tbl : Hashtbl.S with type key = t
+(** Hash tables keyed directly by bit sets, avoiding the string
+    round-trip of [to_string]-keyed tables on hot paths. *)

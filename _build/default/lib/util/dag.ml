@@ -12,17 +12,28 @@ module Builder = struct
     bn : int;
     mutable bsuccs : int list array;
     mutable bpreds : int list array;
+    (* membership of (u, v) as u * bn + v: dense graphs (e.g. restrict
+       on long chains) would make a List.mem duplicate check quadratic
+       per edge *)
+    bseen : (int, unit) Hashtbl.t;
   }
 
   let create n =
     if n < 0 then invalid_arg "Dag.Builder.create";
-    { bn = n; bsuccs = Array.make n []; bpreds = Array.make n [] }
+    {
+      bn = n;
+      bsuccs = Array.make n [];
+      bpreds = Array.make n [];
+      bseen = Hashtbl.create (max 16 n);
+    }
 
   let add_edge b u v =
     if u < 0 || u >= b.bn || v < 0 || v >= b.bn then
       invalid_arg "Dag.Builder.add_edge: node out of range";
     if u = v then invalid_arg "Dag.Builder.add_edge: self edge";
-    if not (List.mem v b.bsuccs.(u)) then begin
+    let key = (u * b.bn) + v in
+    if not (Hashtbl.mem b.bseen key) then begin
+      Hashtbl.replace b.bseen key ();
       b.bsuccs.(u) <- v :: b.bsuccs.(u);
       b.bpreds.(v) <- u :: b.bpreds.(v)
     end

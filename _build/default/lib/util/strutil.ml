@@ -1,0 +1,15 @@
+let find_sub hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  if nn = 0 || nn > nh then None
+  else begin
+    let c0 = needle.[0] in
+    let found = ref None in
+    let i = ref 0 in
+    while !found = None && !i <= nh - nn do
+      if hay.[!i] = c0 && String.sub hay !i nn = needle then found := Some !i
+      else incr i
+    done;
+    !found
+  end
+
+let contains_sub hay needle = find_sub hay needle <> None

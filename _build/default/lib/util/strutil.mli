@@ -1,0 +1,11 @@
+(** Small string-search helpers shared across the tree (semantic-tag
+    matching in the driver, view scans in classification). *)
+
+val find_sub : string -> string -> int option
+(** [find_sub hay needle] is the index of the first occurrence of
+    [needle] in [hay], or [None]. An empty needle never matches —
+    callers use these to test for the {e presence} of a marker. *)
+
+val contains_sub : string -> string -> bool
+(** [contains_sub hay needle] is [true] iff [needle] occurs in [hay].
+    [false] when [needle] is empty. *)

@@ -1,1 +1,1 @@
-test/test_util.ml: Alcotest Array Fun Int List Option Paracrash_util QCheck QCheck_alcotest Set String
+test/test_util.ml: Alcotest Array Fun Int List Option Paracrash_util QCheck QCheck_alcotest Set String Sys

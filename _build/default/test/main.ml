@@ -7,6 +7,7 @@ let () =
       ("blockdev", Test_blockdev.tests);
       ("striping", Test_striping.tests);
       ("core", Test_core.tests);
+      ("incremental", Test_incremental.tests);
       ("pfs", Test_pfs.tests);
       ("pfs-protocols", Test_pfs_protocols.tests);
       ("hdf5", Test_hdf5.tests);

@@ -5,10 +5,23 @@
 module Bitset = Paracrash_util.Bitset
 module Dag = Paracrash_util.Dag
 module Combi = Paracrash_util.Combi
+module Strutil = Paracrash_util.Strutil
 
 let check = Alcotest.check
 let ci = Alcotest.int
 let cb = Alcotest.bool
+
+(* reference implementations for the SWAR popcount and the
+   skip-zero-words element walk: probe every index with [mem] *)
+let naive_cardinal s =
+  let n = ref 0 in
+  for i = 0 to Bitset.capacity s - 1 do
+    if Bitset.mem s i then incr n
+  done;
+  !n
+
+let naive_elements s =
+  List.filter (Bitset.mem s) (List.init (Bitset.capacity s) Fun.id)
 
 (* --- Bitset ------------------------------------------------------------ *)
 
@@ -49,6 +62,49 @@ let test_bitset_bounds () =
       ignore (Bitset.add s 4));
   Alcotest.check_raises "negative" (Invalid_argument "Bitset: index out of range")
     (fun () -> ignore (Bitset.mem s (-1)))
+
+let test_bitset_popcount_pinned () =
+  (* word patterns that exercise the SWAR carry chains: empty, single
+     bits at word edges, alternating bits, full words, full set *)
+  let cases =
+    [
+      [];
+      [ 0 ];
+      [ 61 ];
+      [ 62 ];
+      [ 123 ];
+      [ 0; 61; 62; 123; 124; 185 ];
+      List.init 93 (fun i -> 2 * i);
+      List.init 186 Fun.id;
+    ]
+  in
+  List.iter
+    (fun xs ->
+      let s = Bitset.of_list 186 xs in
+      check ci "cardinal = naive" (naive_cardinal s) (Bitset.cardinal s);
+      check (Alcotest.list ci) "elements = naive" (naive_elements s)
+        (Bitset.elements s))
+    cases;
+  check ci "full 186" 186 (Bitset.cardinal (Bitset.full 186))
+
+let bitset_prop_popcount_matches_naive =
+  QCheck.Test.make ~name:"cardinal/elements agree with naive mem-walk"
+    ~count:300
+    QCheck.(list (int_bound 185))
+    (fun xs ->
+      let s = Bitset.of_list 186 xs in
+      Bitset.cardinal s = naive_cardinal s
+      && Bitset.elements s = naive_elements s)
+
+let test_bitset_tbl () =
+  let tbl = Bitset.Tbl.create 16 in
+  let a = Bitset.of_list 100 [ 1; 63; 99 ] in
+  Bitset.Tbl.replace tbl a "a";
+  (* an equal set built by a different op sequence must hit *)
+  let a' = Bitset.remove (Bitset.of_list 100 [ 1; 2; 63; 99 ]) 2 in
+  check cb "equal key found" true (Bitset.Tbl.find_opt tbl a' = Some "a");
+  check cb "different key absent" true
+    (Bitset.Tbl.find_opt tbl (Bitset.of_list 100 [ 1 ]) = None)
 
 let bitset_prop_roundtrip =
   QCheck.Test.make ~name:"bitset elements/of_list roundtrip" ~count:200
@@ -134,6 +190,25 @@ let test_dag_restrict () =
   check ci "mapping back" 1 mapping.(0);
   check ci "mapping back 2" 3 mapping.(1)
 
+let test_dag_restrict_chain_fast () =
+  (* restrict on a long chain produces a dense transitive closure
+     (~n²/2 edges); with the builder's old List.mem duplicate check this
+     was effectively cubic and took minutes at n=200 *)
+  let n = 200 in
+  let b = Dag.Builder.create n in
+  for i = 0 to n - 2 do
+    Dag.Builder.add_edge b i (i + 1)
+  done;
+  let g = Dag.Builder.freeze b in
+  let t0 = Sys.time () in
+  let sub, _ = Dag.restrict g (List.init n Fun.id) in
+  let elapsed = Sys.time () -. t0 in
+  check ci "restricted size" n (Dag.size sub);
+  check cb "transitive edge kept" true (Dag.happens_before sub 0 (n - 1));
+  check ci "first node reaches all" (n - 1) (List.length (Dag.succs sub 0));
+  check cb "restrict on a 200-chain stays well under a second" true
+    (elapsed < 1.0)
+
 let test_linear_extensions () =
   let g = diamond () in
   let exts = Dag.linear_extensions g in
@@ -192,6 +267,38 @@ let dag_prop_reach_transitive =
             (List.init n Fun.id))
         (List.init n Fun.id))
 
+(* --- Strutil ------------------------------------------------------------- *)
+
+let test_strutil_contains () =
+  check cb "middle" true (Strutil.contains_sub "chunk raw data of /f" "raw data");
+  check cb "at start" true (Strutil.contains_sub "CORRUPT heap" "CORRUPT");
+  check cb "at end" true (Strutil.contains_sub "b-tree CORRUPT" "CORRUPT");
+  check cb "whole string" true (Strutil.contains_sub "abc" "abc");
+  check cb "absent" false (Strutil.contains_sub "raw dat" "raw data");
+  check cb "needle longer than hay" false (Strutil.contains_sub "ab" "abc");
+  check cb "empty needle never matches" false (Strutil.contains_sub "abc" "");
+  check cb "empty hay" false (Strutil.contains_sub "" "a");
+  check cb "overlapping prefixes" true (Strutil.contains_sub "aab" "ab")
+
+let test_strutil_find () =
+  check cb "index of first hit" true (Strutil.find_sub "xabcabc" "abc" = Some 1);
+  check cb "miss" true (Strutil.find_sub "xyz" "abc" = None);
+  check cb "hit at 0" true (Strutil.find_sub "abc" "a" = Some 0)
+
+let strutil_prop_matches_naive =
+  QCheck.Test.make ~name:"contains_sub agrees with a naive quadratic scan"
+    ~count:500
+    QCheck.(pair (string_of_size (QCheck.Gen.int_bound 12)) (string_of_size (QCheck.Gen.int_bound 4)))
+    (fun (hay, needle) ->
+      let nh = String.length hay and nn = String.length needle in
+      let naive =
+        nn > 0
+        && List.exists
+             (fun i -> String.sub hay i nn = needle)
+             (List.init (max 0 (nh - nn + 1)) Fun.id)
+      in
+      Strutil.contains_sub hay needle = naive)
+
 (* --- Combi -------------------------------------------------------------- *)
 
 let test_combinations () =
@@ -218,6 +325,11 @@ let tests =
     ("bitset set operations", `Quick, test_bitset_setops);
     ("bitset across word boundary", `Quick, test_bitset_wide);
     ("bitset bounds checking", `Quick, test_bitset_bounds);
+    ("bitset popcount/elements pinned to naive", `Quick, test_bitset_popcount_pinned);
+    ("bitset-keyed hashtable", `Quick, test_bitset_tbl);
+    ("strutil contains_sub", `Quick, test_strutil_contains);
+    ("strutil find_sub", `Quick, test_strutil_find);
+    ("dag restrict on a 200-chain is fast", `Quick, test_dag_restrict_chain_fast);
     ("dag reachability", `Quick, test_dag_reach);
     ("dag topological order", `Quick, test_dag_topo);
     ("dag rejects cycles", `Quick, test_dag_cycle);
@@ -231,6 +343,8 @@ let tests =
     ("unordered pairs", `Quick, test_pairs);
     QCheck_alcotest.to_alcotest bitset_prop_roundtrip;
     QCheck_alcotest.to_alcotest bitset_prop_ops_match_lists;
+    QCheck_alcotest.to_alcotest bitset_prop_popcount_matches_naive;
+    QCheck_alcotest.to_alcotest strutil_prop_matches_naive;
     QCheck_alcotest.to_alcotest dag_prop_downsets_closed;
     QCheck_alcotest.to_alcotest dag_prop_downsets_unique;
     QCheck_alcotest.to_alcotest dag_prop_reach_transitive;

@@ -1,0 +1,149 @@
+(* Differential test for incremental crash-state reconstruction: for
+   every registered workload x file system, replaying each TSP-ordered
+   crash state through the per-server image cache must produce images
+   byte-identical to a from-scratch replay, the same anomaly list, and
+   the same checker verdict. Brute-force (from-scratch) reconstruction
+   is the oracle; the cache may only change speed, never results. *)
+
+module D = Paracrash_core.Driver
+module Session = Paracrash_core.Session
+module Persist = Paracrash_core.Persist
+module Explore = Paracrash_core.Explore
+module Emulator = Paracrash_core.Emulator
+module Checker = Paracrash_core.Checker
+module Tsp = Paracrash_core.Tsp
+module Model = Paracrash_core.Model
+module P = Paracrash_pfs
+module Registry = Paracrash_workloads.Registry
+module Tracer = Paracrash_trace.Tracer
+
+let check = Alcotest.check
+
+(* enough to cover every cell's full state list except the largest
+   parallel-HDF5 ones, which are truncated to keep the suite quick *)
+let max_states_per_cell = 150
+
+let rec take n = function
+  | [] -> []
+  | x :: tl -> if n <= 0 then [] else x :: take (n - 1) tl
+
+let verdict_to_string = function
+  | Checker.Consistent -> "consistent"
+  | Checker.Consistent_after_recovery -> "consistent-after-recovery"
+  | Checker.Inconsistent Checker.Pfs_fault -> "inconsistent:pfs"
+  | Checker.Inconsistent Checker.Lib_fault -> "inconsistent:lib"
+
+let session_of_spec (fs_entry : Registry.fs_entry) (spec : D.spec) =
+  let config = P.Config.default in
+  let tracer = Tracer.create () in
+  let handle = fs_entry.Registry.make ~config ~tracer in
+  Tracer.set_enabled tracer false;
+  spec.D.preamble handle;
+  let initial = P.Handle.snapshot handle in
+  Tracer.set_enabled tracer true;
+  spec.D.test handle;
+  Tracer.set_enabled tracer false;
+  Session.of_run ~handle ~initial
+
+let check_cell (fs_entry : Registry.fs_entry) (spec : D.spec) =
+  let cell = Printf.sprintf "%s/%s" spec.D.name fs_entry.Registry.fs_name in
+  let session = session_of_spec fs_entry spec in
+  let persist = Persist.build session in
+  let states, _ = Explore.generate ~k:1 session ~persist in
+  let ordered = take max_states_per_cell (Tsp.order session states) in
+  let cache = Emulator.create_cache session in
+  let pfs_legal = Checker.pfs_legal_states session Model.Causal in
+  let lib = Option.map (fun f -> f ~model:Model.Baseline session) spec.D.lib in
+  let n_states = List.length ordered in
+  List.iteri
+    (fun idx (st : Explore.state) ->
+      let imgs_scratch, anoms_scratch =
+        Emulator.reconstruct session st.persisted
+      in
+      let imgs_cached, anoms_cached =
+        Emulator.reconstruct_cached cache session st.persisted
+      in
+      check Alcotest.bool
+        (cell ^ ": cached images byte-identical to scratch")
+        true
+        (P.Images.equal imgs_scratch imgs_cached);
+      check (Alcotest.list Alcotest.string)
+        (cell ^ ": identical replay anomalies")
+        anoms_scratch anoms_cached;
+      (* the verdict is a pure function of the images, so byte-identical
+         images already imply identical verdicts; still check the full
+         pipeline on a sample of states (first, last, every 5th) *)
+      if idx mod 5 = 0 || idx = n_states - 1 then begin
+        let v_scratch, _, lv_scratch =
+          Checker.check session ~pfs_legal ?lib
+            ~reconstruct:(fun _ -> (imgs_scratch, anoms_scratch))
+            st.persisted
+        in
+        let v_cached, _, lv_cached =
+          Checker.check session ~pfs_legal ?lib
+            ~reconstruct:(fun _ -> (imgs_cached, anoms_cached))
+            st.persisted
+        in
+        check Alcotest.string
+          (cell ^ ": identical verdict")
+          (verdict_to_string v_scratch)
+          (verdict_to_string v_cached);
+        check (Alcotest.option Alcotest.string)
+          (cell ^ ": identical library view")
+          lv_scratch lv_cached
+      end)
+    ordered;
+  (* the measured restart count can never exceed the full-reboot bound *)
+  let n_checked = List.length ordered in
+  check Alcotest.bool
+    (cell ^ ": cache misses within full-restart bound")
+    true
+    (Emulator.cache_misses cache <= Tsp.full_restarts session n_checked)
+
+let test_all_cells () =
+  List.iter
+    (fun wname ->
+      let spec = Option.get (Registry.find_workload wname) in
+      List.iter (fun fs -> check_cell fs spec) Registry.file_systems)
+    Registry.workload_names
+
+(* Driver-level: an optimized run reports restarts as the measured
+   cache-miss count — strictly fewer than a full reboot per state — and
+   finds the same bugs as the non-incremental pruned run. *)
+let test_driver_optimized_matches_pruned () =
+  let beegfs = Option.get (Registry.find_fs "beegfs") in
+  List.iter
+    (fun wname ->
+      let spec = Option.get (Registry.find_workload wname) in
+      let run mode =
+        let options = { D.default_options with mode } in
+        fst (D.run ~options ~config:P.Config.default ~make_fs:beegfs.Registry.make spec)
+      in
+      let opt = run D.Optimized and pruned = run D.Pruned in
+      let r = opt.Paracrash_core.Report.perf in
+      let n_servers = 4 (* beegfs default: 2 meta + 2 storage *) in
+      check Alcotest.bool (wname ^ ": restarts measured below full reboots")
+        true
+        (r.Paracrash_core.Report.restarts < r.n_checked * n_servers);
+      check Alcotest.bool (wname ^ ": at least one full boot") true
+        (r.Paracrash_core.Report.restarts >= n_servers);
+      let bug_keys (rep : Paracrash_core.Report.t) =
+        List.map
+          (fun (b : Paracrash_core.Report.bug) ->
+            ((b.layer = Checker.Lib_fault), b.description))
+          rep.bugs
+        |> List.sort compare
+      in
+      check Alcotest.bool (wname ^ ": same bugs as pruned mode") true
+        (bug_keys opt = bug_keys pruned))
+    [ "ARVR"; "H5-delete" ]
+
+let tests =
+  [
+    ( "incremental = scratch on every workload x fs",
+      `Quick,
+      test_all_cells );
+    ( "optimized driver: measured restarts + same bugs",
+      `Quick,
+      test_driver_optimized_matches_pruned );
+  ]
