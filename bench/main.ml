@@ -9,8 +9,9 @@
      --sensitivity  parameter sensitivity (Table 3's last column)
      --traces       ARVR server traces per FS (Figures 2 and 9)
      --micro        bechamel microbenchmarks of the core phases
+     --scaling      jobs ∈ {1,2,4} sweep on the largest HDF5 cells
      --json         also dump the fig10 cells to BENCH_perf.json
-     (no flag: everything except --micro's long run)
+     (no flag: everything except --micro's and --scaling's long runs)
 
    Wall-clock here is the in-memory simulator's; the "modeled" column
    charges each crash-state replay and PFS server restart the cost the
@@ -35,9 +36,15 @@ module Table3 = W.Table3
 let pr = Fmt.pr
 let section title = pr "@.=== %s ===@.@." title
 
-let run_cell ?(mode = D.Pruned) ?(config = P.Config.default) fs_entry spec =
-  let options = { D.default_options with mode } in
-  fst (D.run ~options ~config ~make_fs:fs_entry.Registry.make spec)
+let run_cell ?(mode = D.Pruned) ?(jobs = 1) ?(config = P.Config.default)
+    fs_entry spec =
+  let options = { D.default_options with mode; jobs } in
+  let report = fst (D.run ~options ~config ~make_fs:fs_entry.Registry.make spec) in
+  if report.R.gen.Paracrash_core.Explore.truncated then
+    pr "!! %s/%s: cut enumeration truncated at %d cuts; figures are partial@."
+      spec.D.name fs_entry.Registry.fs_name
+      report.R.gen.Paracrash_core.Explore.n_cuts;
+  report
 
 (* --- Figure 8 ----------------------------------------------------------- *)
 
@@ -104,15 +111,24 @@ type fig10_cell = {
   f_program : string;
   f_fs : string;
   f_mode : string;
+  f_jobs : int;
   f_states : int;
   f_modeled : float;
   f_wall : float;
   f_restarts : int;
   f_bugs : int;
+  f_speedup : float;
+      (* serial-optimized wall / this cell's wall; 1.0 for jobs = 1 *)
 }
 
 let fig10_fses = [ "beegfs"; "orangefs"; "glusterfs" ]
 let fig10_modes = [ D.Brute_force; D.Pruned; D.Optimized ]
+
+(* jobs count for the extra parallel-optimized cell of each program/fs
+   pair; speedup is reported against the serial optimized cell (expect
+   ~1.0 on single-core hosts — the schedulers differ only in wall time,
+   never in the report) *)
+let fig10_jobs = 4
 
 let fig10_data () =
   List.concat_map
@@ -120,21 +136,34 @@ let fig10_data () =
       List.concat_map
         (fun fs_name ->
           let fs = Option.get (Registry.find_fs fs_name) in
-          List.map
-            (fun mode ->
-              let spec = Option.get (Registry.find_workload name) in
-              let report = run_cell ~mode fs spec in
-              {
-                f_program = name;
-                f_fs = fs_name;
-                f_mode = D.mode_to_string mode;
-                f_states = report.R.perf.n_checked;
-                f_modeled = report.R.perf.modeled_seconds;
-                f_wall = report.R.perf.wall_seconds;
-                f_restarts = report.R.perf.restarts;
-                f_bugs = List.length report.R.bugs;
-              })
-            fig10_modes)
+          let spec = Option.get (Registry.find_workload name) in
+          let cell mode jobs speedup_base =
+            let report = run_cell ~mode ~jobs fs spec in
+            {
+              f_program = name;
+              f_fs = fs_name;
+              f_mode = D.mode_to_string mode;
+              f_jobs = jobs;
+              f_states = report.R.perf.n_checked;
+              f_modeled = report.R.perf.modeled_seconds;
+              f_wall = report.R.perf.wall_seconds;
+              f_restarts = report.R.perf.restarts;
+              f_bugs = List.length report.R.bugs;
+              f_speedup =
+                (match speedup_base with
+                | Some serial_wall when report.R.perf.wall_seconds > 0. ->
+                    serial_wall /. report.R.perf.wall_seconds
+                | _ -> 1.0);
+            }
+          in
+          let serial = List.map (fun mode -> cell mode 1 None) fig10_modes in
+          let opt_serial =
+            List.find (fun c -> c.f_mode = "optimized") serial
+          in
+          let parallel =
+            cell D.Optimized fig10_jobs (Some opt_serial.f_wall)
+          in
+          serial @ [ parallel ])
         fig10_fses)
     Registry.workload_names
 
@@ -148,19 +177,29 @@ let fig10 () =
   List.iter
     (fun fs ->
       pr "--- %s ---@." fs;
-      pr "%-20s %12s %12s %12s | %30s   (states brute->pruned; restarts p->o)@."
-        "program" "brute-force" "pruning" "optimized" "wall b/p/o";
+      pr
+        "%-20s %12s %12s %12s | %30s | %14s   (states brute->pruned; restarts \
+         p->o)@."
+        "program" "brute-force" "pruning" "optimized" "wall b/p/o"
+        (Printf.sprintf "wall j%d (x)" fig10_jobs);
       List.iter
         (fun name ->
-          let cell m =
+          let cell m j =
             List.find
-              (fun c -> c.f_program = name && c.f_fs = fs && c.f_mode = m)
+              (fun c ->
+                c.f_program = name && c.f_fs = fs && c.f_mode = m && c.f_jobs = j)
               data
           in
-          let b = cell "brute-force" and p = cell "pruning" and o = cell "optimized" in
-          pr "%-20s %11.1fs %11.1fs %11.1fs | %8.3fs %8.3fs %8.3fs   (%d->%d; %d->%d)@."
+          let b = cell "brute-force" 1
+          and p = cell "pruning" 1
+          and o = cell "optimized" 1
+          and oj = cell "optimized" fig10_jobs in
+          pr
+            "%-20s %11.1fs %11.1fs %11.1fs | %8.3fs %8.3fs %8.3fs | %7.3fs \
+             %5.2fx   (%d->%d; %d->%d)@."
             name b.f_modeled p.f_modeled o.f_modeled b.f_wall p.f_wall o.f_wall
-            b.f_states p.f_states p.f_restarts o.f_restarts)
+            oj.f_wall oj.f_speedup b.f_states p.f_states p.f_restarts
+            o.f_restarts)
         Registry.workload_names;
       pr "@.")
     fig10_fses;
@@ -177,7 +216,9 @@ let summary data =
   in
   let find_mode b m =
     List.find
-      (fun c -> c.f_program = b.f_program && c.f_fs = b.f_fs && c.f_mode = m)
+      (fun c ->
+        c.f_program = b.f_program && c.f_fs = b.f_fs && c.f_mode = m
+        && c.f_jobs = 1)
       data
   in
   let state_reductions =
@@ -219,6 +260,15 @@ let summary data =
   pr "measured wall-clock: optimized over pruning avg %.2fx, max %.2fx (incremental reconstruction, this harness)@."
     (avg wall_speedups)
     (List.fold_left max 0. wall_speedups);
+  let parallel_speedups =
+    List.filter_map
+      (fun c -> if c.f_jobs > 1 then Some c.f_speedup else None)
+      data
+  in
+  pr "parallel check stage (jobs=%d over serial, wall): avg %.2fx, max %.2fx (bounded by the host's core count; reports are identical)@."
+    fig10_jobs
+    (avg parallel_speedups)
+    (List.fold_left max 0. parallel_speedups);
   let beegfs_speedups =
     List.filter_map
       (fun b ->
@@ -255,9 +305,10 @@ let write_perf_json data =
     (fun i c ->
       add
         "  { \"program\": \"%s\", \"fs\": \"%s\", \"mode\": \"%s\", \
-         \"wall_seconds\": %.6f, \"modeled_seconds\": %.3f, \"n_checked\": %d, \
-         \"restarts\": %d }%s\n"
-        c.f_program c.f_fs c.f_mode c.f_wall c.f_modeled c.f_states c.f_restarts
+         \"jobs\": %d, \"wall_seconds\": %.6f, \"modeled_seconds\": %.3f, \
+         \"n_checked\": %d, \"restarts\": %d, \"speedup\": %.3f }%s\n"
+        c.f_program c.f_fs c.f_mode c.f_jobs c.f_wall c.f_modeled c.f_states
+        c.f_restarts c.f_speedup
         (if i = List.length data - 1 then "" else ","))
     data;
   add "]\n";
@@ -300,6 +351,39 @@ let fig11 () =
     "@.Paper: with pruning, execution time grows roughly linearly with the \
      server count (brute force grows exponentially); no new bugs appear at \
      larger scales.@."
+
+(* --- scheduler scaling sweep -------------------------------------------------- *)
+
+(* Jobs sweep on the two largest HDF5 cells. Wall-clock speedup is
+   bounded by the host's core count (on a single-core container every
+   ratio is ~1.0); the point of the sweep is that the bug tables and
+   state counts never move with the job count. *)
+let scaling () =
+  section
+    "Scheduler scaling: optimized exploration with jobs ∈ {1, 2, 4} on the \
+     two largest HDF5 cells (beegfs)";
+  let beegfs = Option.get (Registry.find_fs "beegfs") in
+  pr "%-20s %6s %10s %10s %10s %8s %6s@." "program" "jobs" "wall" "speedup"
+    "restarts" "checked" "bugs";
+  List.iter
+    (fun pname ->
+      let spec = Option.get (Registry.find_workload pname) in
+      let base = ref 0. in
+      List.iter
+        (fun jobs ->
+          let report = run_cell ~mode:D.Optimized ~jobs beegfs spec in
+          let wall = report.R.perf.wall_seconds in
+          if jobs = 1 then base := wall;
+          pr "%-20s %6d %9.3fs %9.2fx %10d %8d %6d@." pname jobs wall
+            (if wall > 0. then !base /. wall else 1.0)
+            report.R.perf.restarts report.R.perf.n_checked
+            (List.length report.R.bugs))
+        [ 1; 2; 4 ])
+    [ "H5-parallel-create"; "H5-parallel-resize" ];
+  pr
+    "@.Speedup is wall-clock only: the reduce stage replays every \
+     order-dependent decision sequentially, so bugs, checked/pruned counts \
+     and verdicts are identical across job counts by construction.@."
 
 (* --- sensitivity (Table 3 last column) -------------------------------------- *)
 
@@ -458,5 +542,6 @@ let () =
   end;
   if all || has "--fig11" then fig11 ();
   if all || has "--sensitivity" then sensitivity ();
+  if has "--scaling" then scaling ();
   if has "--micro" then micro ();
   pr "@.done.@."

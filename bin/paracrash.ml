@@ -34,6 +34,21 @@ let k_arg =
   let doc = "Maximum victims per crash state (Algorithm 1)." in
   Arg.(value & opt int 1 & info [ "k" ] ~docv:"K" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Worker domains for the check stage. 1 runs the serial scheduler; N > 1 \
+     shards the visit order across N domains, each with its own emulator \
+     cache. Reports are deterministic across job counts."
+  in
+  Arg.(value & opt int 1 & info [ "jobs" ] ~docv:"N" ~doc)
+
+let max_cuts_arg =
+  let doc =
+    "Cap on enumerated consistent cuts; a warning is printed when the cap \
+     truncates exploration."
+  in
+  Arg.(value & opt int 100_000 & info [ "max-cuts" ] ~docv:"N" ~doc)
+
 let pfs_model_arg =
   let doc = "Crash-consistency model the PFS layer is tested against." in
   Arg.(value & opt string "causal" & info [ "pfs-model" ] ~docv:"MODEL" ~doc)
@@ -71,8 +86,8 @@ let output_arg =
 
 let explicit flag = List.exists (fun a -> List.mem a (Array.to_list Sys.argv)) flag
 
-let run config_file fs_name program mode_s k pfs_model_s lib_model_s servers
-    stripe show_trace json output =
+let run config_file fs_name program mode_s k jobs max_cuts pfs_model_s
+    lib_model_s servers stripe show_trace json output =
   let fail fmt = Fmt.kstr (fun m -> `Error (false, m)) fmt in
   let base =
     match config_file with
@@ -92,6 +107,13 @@ let run config_file fs_name program mode_s k pfs_model_s lib_model_s servers
         else D.mode_to_string base.W.Runconfig.options.D.mode
       in
       let k = if explicit [ "--k"; "-k" ] then k else base.W.Runconfig.options.D.k in
+      let jobs =
+        if explicit [ "--jobs" ] then jobs else base.W.Runconfig.options.D.jobs
+      in
+      let max_cuts =
+        if explicit [ "--max-cuts" ] then max_cuts
+        else base.W.Runconfig.options.D.max_cuts
+      in
       let pfs_model_s =
         if explicit [ "--pfs-model" ] then pfs_model_s
         else Model.to_string base.W.Runconfig.options.D.pfs_model
@@ -111,6 +133,8 @@ let run config_file fs_name program mode_s k pfs_model_s lib_model_s servers
               | None, _ -> fail "unknown model %S" pfs_model_s
               | _, None -> fail "unknown model %S" lib_model_s
               | Some pfs_model, Some lib_model ->
+                  if jobs < 1 then fail "--jobs must be at least 1"
+                  else
                   let programs =
                     if program = "all" then Registry.workload_names else [ program ]
                   in
@@ -131,7 +155,15 @@ let run config_file fs_name program mode_s k pfs_model_s lib_model_s servers
                       else base_config
                     in
                     let options =
-                      { D.default_options with mode; k; pfs_model; lib_model }
+                      {
+                        D.default_options with
+                        mode;
+                        k;
+                        jobs;
+                        max_cuts;
+                        pfs_model;
+                        lib_model;
+                      }
                     in
                     let out = Buffer.create 256 in
                     List.iter
@@ -140,6 +172,12 @@ let run config_file fs_name program mode_s k pfs_model_s lib_model_s servers
                         let report, session =
                           D.run ~options ~config ~make_fs:fs.Registry.make spec
                         in
+                        if report.R.gen.Paracrash_core.Explore.truncated then
+                          Fmt.epr
+                            "paracrash: warning: %s/%s: cut enumeration \
+                             truncated at %d cuts; coverage is partial@."
+                            pname fs_name
+                            report.R.gen.Paracrash_core.Explore.n_cuts;
                         let rendered =
                           if json then R.to_json report
                           else Fmt.str "%a@." R.pp report
@@ -185,7 +223,7 @@ let cmd =
     Term.(
       ret
         (const run $ config_file_arg $ fs_arg $ program_arg $ mode_arg $ k_arg
-       $ pfs_model_arg $ lib_model_arg $ servers_arg $ stripe_arg
-       $ show_trace_arg $ json_arg $ output_arg))
+       $ jobs_arg $ max_cuts_arg $ pfs_model_arg $ lib_model_arg $ servers_arg
+       $ stripe_arg $ show_trace_arg $ json_arg $ output_arg))
 
 let () = exit (Cmd.eval cmd)

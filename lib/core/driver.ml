@@ -1,40 +1,22 @@
-module Bitset = Paracrash_util.Bitset
 module Tracer = Paracrash_trace.Tracer
-module Event = Paracrash_trace.Event
 module Handle = Paracrash_pfs.Handle
-module Logical = Paracrash_pfs.Logical
 
-type mode = Brute_force | Pruned | Optimized
+type mode = Engine.mode = Brute_force | Pruned | Optimized
 
-let mode_to_string = function
-  | Brute_force -> "brute-force"
-  | Pruned -> "pruning"
-  | Optimized -> "optimized"
+let mode_to_string = Engine.mode_to_string
+let mode_of_string = Engine.mode_of_string
 
-let mode_of_string = function
-  | "brute-force" | "brute" -> Some Brute_force
-  | "pruning" | "pruned" -> Some Pruned
-  | "optimized" -> Some Optimized
-  | _ -> None
-
-type options = {
+type options = Pipeline.options = {
   k : int;
   mode : mode;
   pfs_model : Model.t;
   lib_model : Model.t;
   max_cuts : int;
   classify : bool;
+  jobs : int;
 }
 
-let default_options =
-  {
-    k = 1;
-    mode = Optimized;
-    pfs_model = Model.Causal;
-    lib_model = Model.Baseline;
-    max_cuts = 100_000;
-    classify = true;
-  }
+let default_options = Pipeline.default_options
 
 type spec = {
   name : string;
@@ -42,40 +24,6 @@ type spec = {
   test : Handle.t -> unit;
   lib : (model:Model.t -> Session.t -> Checker.lib_layer) option;
 }
-
-(* Human-readable difference between the expected final view and a
-   recovered one, used as the bug's "consequence" column. *)
-let consequence ~expected view =
-  let missing = ref [] and wrong = ref [] and unreadable = ref [] and extra = ref [] in
-  List.iter
-    (fun (p, e) ->
-      match (e, Logical.find view p) with
-      | _, None -> missing := p :: !missing
-      | Logical.File _, Some (Logical.File (Logical.Unreadable _)) ->
-          unreadable := p :: !unreadable
-      | Logical.File (Logical.Data d), Some (Logical.File (Logical.Data d')) ->
-          if not (String.equal d d') then wrong := p :: !wrong
-      | Logical.Dir, Some Logical.Dir -> ()
-      | _, Some _ -> wrong := p :: !wrong)
-    (Logical.bindings expected);
-  List.iter
-    (fun (p, _) -> if Logical.find expected p = None then extra := p :: !extra)
-    (Logical.bindings view);
-  let part name = function
-    | [] -> []
-    | ps -> [ name ^ " " ^ String.concat "," (List.rev ps) ]
-  in
-  let notes =
-    match Logical.notes view with [] -> [] | ns -> [ String.concat "; " ns ]
-  in
-  let all =
-    part "data loss/mismatch:" !wrong
-    @ part "missing:" !missing
-    @ part "unreadable:" !unreadable
-    @ part "spurious:" !extra
-    @ notes
-  in
-  match all with [] -> "recovered state diverges" | _ -> String.concat "; " all
 
 let run ?(options = default_options) ~config ~make_fs spec =
   let tracer = Tracer.create () in
@@ -87,212 +35,6 @@ let run ?(options = default_options) ~config ~make_fs spec =
   spec.test handle;
   Tracer.set_enabled tracer false;
   let session = Session.of_run ~handle ~initial in
-  let t0 = Unix.gettimeofday () in
-  let persist = Persist.build session in
-  let storage_graph = Explore.storage_graph session in
-  let states, gen =
-    Explore.generate ~k:options.k ~max_cuts:options.max_cuts session ~persist
-  in
-  let states =
-    match options.mode with
-    | Optimized -> Tsp.order session states
-    | Brute_force | Pruned -> states
-  in
-  let pfs_legal = Checker.pfs_legal_states session options.pfs_model in
-  let lib =
-    Option.map (fun f -> f ~model:options.lib_model session) spec.lib
-  in
-  (* memoize only the verdict and the (small) library view: caching the
-     recovered Logical views would pin every crash state's full file
-     contents in memory *)
-  let memo = Bitset.Tbl.create 512 in
-  (* optimized mode reconstructs incrementally: per-server images are
-     cached under the server's exact persisted-op subset, so only the
-     servers whose subset changed since the previous (TSP-ordered)
-     state are re-replayed. The cache's miss count is the measured
-     number of server restarts. *)
-  let incr_cache =
-    match options.mode with
-    | Optimized -> Some (Emulator.create_cache session)
-    | Brute_force | Pruned -> None
-  in
-  let check_state ?reconstruct persisted =
-    match Bitset.Tbl.find_opt memo persisted with
-    | Some (v, lv) -> (v, None, lv)
-    | None ->
-        let v, view, lv =
-          Checker.check session ~pfs_legal ?lib ?reconstruct persisted
-        in
-        Bitset.Tbl.replace memo persisted (v, lv);
-        (v, Some view, lv)
-  in
-  let bool_check persisted =
-    match check_state persisted with
-    | (Checker.Consistent | Checker.Consistent_after_recovery), _, _ -> true
-    | Checker.Inconsistent _, _, _ -> false
-  in
-  let raw_data i =
-    let e = Session.storage_event session i in
-    Paracrash_util.Strutil.contains_sub e.Event.tag "raw data"
-  in
-  let prune = Prune.create ~raw_data in
-  let semantic = lib <> None in
-  (* root causes already classified, with their bug-table keys: further
-     states exhibiting the same scenario are attributed without
-     re-probing *)
-  let explained : (Classify.kind * string) list ref = ref [] in
-  let expected = Handle.mount handle session.Session.final in
-  let bugs : (string, Report.bug) Hashtbl.t = Hashtbl.create 16 in
-  let bug_order = ref [] in
-  let n_checked = ref 0 in
-  let n_pruned = ref 0 in
-  let n_inconsistent = ref 0 in
-  let restarts = ref 0 in
-  let n_servers = List.length (Handle.servers handle) in
-  List.iter
-    (fun (st : Explore.state) ->
-      if
-        options.mode <> Brute_force
-        && Prune.should_skip prune ~semantic st
-      then incr n_pruned
-      else begin
-        incr n_checked;
-        let verdict, view_opt, lib_view =
-          match incr_cache with
-          | Some cache ->
-              (* restarts are measured after the loop as this cache's
-                 miss count, not modeled from signature diffs *)
-              check_state
-                ~reconstruct:(Emulator.reconstruct_cached cache session)
-                st.persisted
-          | None ->
-              restarts := !restarts + n_servers;
-              check_state st.persisted
-        in
-        match verdict with
-        | Checker.Consistent | Checker.Consistent_after_recovery -> ()
-        | Checker.Inconsistent layer ->
-            incr n_inconsistent;
-            if options.classify then begin
-              let layer_suffix =
-                match layer with
-                | Checker.Pfs_fault -> "pfs"
-                | Checker.Lib_fault -> "lib"
-              in
-              let known =
-                List.find_opt
-                  (fun (kind, k) ->
-                    Classify.matches kind st
-                    && String.length k > String.length layer_suffix
-                    && String.sub k
-                         (String.length k - String.length layer_suffix)
-                         (String.length layer_suffix)
-                       = layer_suffix)
-                  !explained
-              in
-              let kind, key =
-                match known with
-                | Some (kind, key) -> (kind, key)
-                | None ->
-                    let kind =
-                      Classify.classify session ~storage_graph ~check:bool_check st
-                    in
-                    let key = Classify.key session kind ^ "|" ^ layer_suffix in
-                    explained := (kind, key) :: !explained;
-                    (kind, key)
-              in
-              if options.mode <> Brute_force then Prune.learn prune kind;
-              match Hashtbl.find_opt bugs key with
-              | Some b -> Hashtbl.replace bugs key { b with states = b.states + 1 }
-              | None ->
-                  let view =
-                    match view_opt with
-                    | Some v -> v
-                    | None ->
-                        let _, v, _ =
-                          Checker.check session ~pfs_legal ?lib st.persisted
-                        in
-                        v
-                  in
-                  let conseq =
-                    match (layer, lib_view, lib) with
-                    | Checker.Lib_fault, Some lv, Some l ->
-                        let corrupt_lines =
-                          String.split_on_char '\n' lv
-                          |> List.filter (fun line ->
-                                 Paracrash_util.Strutil.contains_sub line
-                                   "CORRUPT")
-                        in
-                        if corrupt_lines <> [] then String.concat "; " corrupt_lines
-                        else begin
-                          (* a structurally clean library state that is
-                             nonetheless illegal: report lost/spurious
-                             objects against the no-crash outcome *)
-                          let lines v =
-                            String.split_on_char '\n' v
-                            |> List.filter (fun x -> x <> "")
-                          in
-                          let exp_lines = lines l.Checker.expected_view in
-                          let got_lines = lines lv in
-                          let lost =
-                            List.filter (fun x -> not (List.mem x got_lines)) exp_lines
-                          in
-                          let spurious =
-                            List.filter (fun x -> not (List.mem x exp_lines)) got_lines
-                          in
-                          let part name = function
-                            | [] -> []
-                            | xs -> [ name ^ " " ^ String.concat ", " xs ]
-                          in
-                          match part "object lost:" lost @ part "stale object:" spurious with
-                          | [] -> consequence ~expected view
-                          | parts -> String.concat "; " parts
-                        end
-                    | _ -> consequence ~expected view
-                  in
-                  Hashtbl.replace bugs key
-                    {
-                      Report.kind;
-                      layer;
-                      description = Fmt.str "%a" (Classify.pp session) kind;
-                      consequence = conseq;
-                      states = 1;
-                    };
-                  bug_order := key :: !bug_order
-            end
-      end)
-    states;
-  (match incr_cache with
-  | Some cache -> restarts := Emulator.cache_misses cache
-  | None -> ());
-  let wall = Unix.gettimeofday () -. t0 in
-  let fs = Handle.fs_name handle in
-  let bug_list =
-    List.rev_map (fun k -> Hashtbl.find bugs k) !bug_order
-  in
-  let lib_bugs =
-    List.length (List.filter (fun b -> b.Report.layer = Checker.Lib_fault) bug_list)
-  in
-  let pfs_bugs = List.length bug_list - lib_bugs in
-  let report =
-    {
-      Report.workload = spec.name;
-      fs;
-      mode = mode_to_string options.mode;
-      gen;
-      n_inconsistent = !n_inconsistent;
-      bugs = bug_list;
-      lib_bugs;
-      pfs_bugs;
-      perf =
-        {
-          Report.wall_seconds = wall;
-          modeled_seconds =
-            Stats.modeled_seconds ~fs ~n_states:!n_checked ~restarts:!restarts;
-          restarts = !restarts;
-          n_checked = !n_checked;
-          n_pruned = !n_pruned;
-        };
-    }
-  in
+  let lib = Option.map (fun f -> f ~model:options.lib_model session) spec.lib in
+  let report = Pipeline.run options ~session ~lib ~workload:spec.name in
   (report, session)

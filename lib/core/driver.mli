@@ -1,27 +1,29 @@
 (** End-to-end ParaCrash test driver (Figure 6 of the paper).
 
     Runs the preamble program untraced to build the initial storage
-    state, traces the test program, generates crash states, recovers
-    and checks each one, classifies and deduplicates the inconsistent
-    ones, and produces a report. *)
+    state, traces the test program, and hands the session to the staged
+    exploration {!Pipeline} (generate, order, check, reduce), which
+    produces the crash-consistency report. The historical [mode] and
+    [options] types are re-exported from {!Engine}/{!Pipeline}. *)
 
-type mode = Brute_force | Pruned | Optimized
+type mode = Engine.mode = Brute_force | Pruned | Optimized
 
 val mode_to_string : mode -> string
 val mode_of_string : string -> mode option
 
-type options = {
+type options = Pipeline.options = {
   k : int;  (** max victims per crash state (Algorithm 1) *)
   mode : mode;
   pfs_model : Model.t;  (** model the PFS layer is tested against *)
   lib_model : Model.t;  (** model the I/O library is tested against *)
   max_cuts : int;
   classify : bool;  (** classify and deduplicate inconsistent states *)
+  jobs : int;  (** worker domains for the check stage (1 = serial) *)
 }
 
 val default_options : options
 (** k = 1, optimized exploration, causal PFS model, baseline library
-    model. *)
+    model, serial scheduling (jobs = 1). *)
 
 type spec = {
   name : string;

@@ -1,0 +1,343 @@
+module Bitset = Paracrash_util.Bitset
+module Event = Paracrash_trace.Event
+module Handle = Paracrash_pfs.Handle
+module Logical = Paracrash_pfs.Logical
+
+type mode = Brute_force | Pruned | Optimized
+
+let mode_to_string = function
+  | Brute_force -> "brute-force"
+  | Pruned -> "pruning"
+  | Optimized -> "optimized"
+
+let mode_of_string = function
+  | "brute-force" | "brute" -> Some Brute_force
+  | "pruning" | "pruned" -> Some Pruned
+  | "optimized" -> Some Optimized
+  | _ -> None
+
+(* Everything the check and reduce stages need, fixed once per run.
+   Immutable, so a parallel scheduler can hand the same context to every
+   worker domain: workers only read the session (reconstruct / fsck /
+   mount are pure functions of their image arguments) and own their
+   mutable state (emulator cache, memo table) privately. *)
+type ctx = {
+  session : Session.t;
+  mode : mode;
+  classify : bool;
+  pfs_legal : string list;
+  lib : Checker.lib_layer option;
+  storage_graph : Paracrash_util.Dag.t;
+  expected : Logical.t;
+  raw_data : int -> bool;
+  n_servers : int;
+}
+
+let create ~session ~mode ~classify ~pfs_model ~lib =
+  let handle = session.Session.handle in
+  let raw_data i =
+    let e = Session.storage_event session i in
+    Paracrash_util.Strutil.contains_sub e.Event.tag "raw data"
+  in
+  {
+    session;
+    mode;
+    classify;
+    pfs_legal = Checker.pfs_legal_states session pfs_model;
+    lib;
+    storage_graph = Explore.storage_graph session;
+    expected = Handle.mount handle session.Session.final;
+    raw_data;
+    n_servers = List.length (Handle.servers handle);
+  }
+
+let semantic ctx = ctx.lib <> None
+
+(* --- check stage (parallelizable) --------------------------------------- *)
+
+type shard_result = {
+  verdicts : Checker.verdict option array;
+      (** [None]: skipped by the static (semantic) prune rule, which the
+          reduce stage is guaranteed to prune as well *)
+  shard_misses : int;
+      (** per-server image rebuilds performed by this shard's own cache
+          (optimized mode), or full reboots charged per checked state *)
+}
+
+let check_shard ctx (states : Explore.state array) =
+  (* only the learning-free rules (semantic raw-data pruning) may be
+     applied here: they are a subset of any learned prune set, so every
+     state skipped now is also skipped by the sequential reduce. States
+     that scenario pruning would skip are checked speculatively; the
+     reduce discards their verdicts. *)
+  let static_prune = Prune.create ~raw_data:ctx.raw_data in
+  let sem = semantic ctx in
+  let cache =
+    match ctx.mode with
+    | Optimized -> Some (Emulator.create_cache ctx.session)
+    | Brute_force | Pruned -> None
+  in
+  let n_checked = ref 0 in
+  let verdicts =
+    Array.map
+      (fun (st : Explore.state) ->
+        if ctx.mode <> Brute_force && Prune.should_skip static_prune ~semantic:sem st
+        then None
+        else begin
+          incr n_checked;
+          let v, _view, _lib_view =
+            match cache with
+            | Some c ->
+                Checker.check ctx.session ~pfs_legal:ctx.pfs_legal ?lib:ctx.lib
+                  ~reconstruct:(Emulator.reconstruct_cached c ctx.session)
+                  st.persisted
+            | None ->
+                Checker.check ctx.session ~pfs_legal:ctx.pfs_legal ?lib:ctx.lib
+                  st.persisted
+          in
+          Some v
+        end)
+      states
+  in
+  let shard_misses =
+    match cache with
+    | Some c -> Emulator.cache_misses c
+    | None -> !n_checked * ctx.n_servers
+  in
+  { verdicts; shard_misses }
+
+(* --- reduce stage (sequential, deterministic) ---------------------------- *)
+
+type acc = {
+  prune : Prune.t;
+  (* memoize only the verdict and the (small) library view: caching the
+     recovered Logical views would pin every crash state's full file
+     contents in memory *)
+  memo : (Checker.verdict * string option) Bitset.Tbl.t;
+  (* root causes already classified, with their bug-table keys: further
+     states exhibiting the same scenario are attributed without
+     re-probing *)
+  mutable explained : (Classify.kind * string) list;
+  bugs : (string, Report.bug) Hashtbl.t;
+  mutable bug_order : string list;  (* reversed *)
+  serial_cache : Emulator.cache option;
+  mutable n_checked : int;
+  mutable n_pruned : int;
+  mutable n_inconsistent : int;
+}
+
+let acc_create ctx =
+  {
+    prune = Prune.create ~raw_data:ctx.raw_data;
+    memo = Bitset.Tbl.create 512;
+    explained = [];
+    bugs = Hashtbl.create 16;
+    bug_order = [];
+    serial_cache =
+      (match ctx.mode with
+      | Optimized -> Some (Emulator.create_cache ctx.session)
+      | Brute_force | Pruned -> None);
+    n_checked = 0;
+    n_pruned = 0;
+    n_inconsistent = 0;
+  }
+
+(* On-demand memoized check. State checks (serial scheduler) thread the
+   shared incremental cache through [reconstruct]; classification probes
+   pass none and reconstruct from scratch, exactly as the monolithic
+   driver did. *)
+let check_state ctx acc ?reconstruct persisted =
+  match Bitset.Tbl.find_opt acc.memo persisted with
+  | Some (v, lv) -> (v, None, lv)
+  | None ->
+      let v, view, lv =
+        Checker.check ctx.session ~pfs_legal:ctx.pfs_legal ?lib:ctx.lib
+          ?reconstruct persisted
+      in
+      Bitset.Tbl.replace acc.memo persisted (v, lv);
+      (v, Some view, lv)
+
+let bool_check ctx acc persisted =
+  match check_state ctx acc persisted with
+  | (Checker.Consistent | Checker.Consistent_after_recovery), _, _ -> true
+  | Checker.Inconsistent _, _, _ -> false
+
+(* Human-readable difference between the expected final view and a
+   recovered one, used as the bug's "consequence" column. *)
+let consequence ~expected view =
+  let missing = ref [] and wrong = ref [] and unreadable = ref [] and extra = ref [] in
+  List.iter
+    (fun (p, e) ->
+      match (e, Logical.find view p) with
+      | _, None -> missing := p :: !missing
+      | Logical.File _, Some (Logical.File (Logical.Unreadable _)) ->
+          unreadable := p :: !unreadable
+      | Logical.File (Logical.Data d), Some (Logical.File (Logical.Data d')) ->
+          if not (String.equal d d') then wrong := p :: !wrong
+      | Logical.Dir, Some Logical.Dir -> ()
+      | _, Some _ -> wrong := p :: !wrong)
+    (Logical.bindings expected);
+  List.iter
+    (fun (p, _) -> if Logical.find expected p = None then extra := p :: !extra)
+    (Logical.bindings view);
+  let part name = function
+    | [] -> []
+    | ps -> [ name ^ " " ^ String.concat "," (List.rev ps) ]
+  in
+  let notes =
+    match Logical.notes view with [] -> [] | ns -> [ String.concat "; " ns ]
+  in
+  let all =
+    part "data loss/mismatch:" !wrong
+    @ part "missing:" !missing
+    @ part "unreadable:" !unreadable
+    @ part "spurious:" !extra
+    @ notes
+  in
+  match all with [] -> "recovered state diverges" | _ -> String.concat "; " all
+
+let lib_consequence ctx ~view ~lib_view =
+  match (ctx.lib, lib_view) with
+  | Some l, Some lv ->
+      let corrupt_lines =
+        String.split_on_char '\n' lv
+        |> List.filter (fun line ->
+               Paracrash_util.Strutil.contains_sub line "CORRUPT")
+      in
+      if corrupt_lines <> [] then String.concat "; " corrupt_lines
+      else begin
+        (* a structurally clean library state that is nonetheless
+           illegal: report lost/spurious objects against the no-crash
+           outcome *)
+        let lines v =
+          String.split_on_char '\n' v |> List.filter (fun x -> x <> "")
+        in
+        let exp_lines = lines l.Checker.expected_view in
+        let got_lines = lines lv in
+        let lost =
+          List.filter (fun x -> not (List.mem x got_lines)) exp_lines
+        in
+        let spurious =
+          List.filter (fun x -> not (List.mem x exp_lines)) got_lines
+        in
+        let part name = function
+          | [] -> []
+          | xs -> [ name ^ " " ^ String.concat ", " xs ]
+        in
+        match part "object lost:" lost @ part "stale object:" spurious with
+        | [] -> consequence ~expected:ctx.expected view
+        | parts -> String.concat "; " parts
+      end
+  | _ -> consequence ~expected:ctx.expected view
+
+let classify_state ctx acc (st : Explore.state) layer lib_view view_opt =
+  let layer_suffix =
+    match layer with Checker.Pfs_fault -> "pfs" | Checker.Lib_fault -> "lib"
+  in
+  let known =
+    List.find_opt
+      (fun (kind, k) ->
+        Classify.matches kind st
+        && Paracrash_util.Strutil.ends_with k ("|" ^ layer_suffix))
+      acc.explained
+  in
+  let kind, key =
+    match known with
+    | Some (kind, key) -> (kind, key)
+    | None ->
+        let kind =
+          Classify.classify ctx.session ~storage_graph:ctx.storage_graph
+            ~check:(bool_check ctx acc) st
+        in
+        let key = Classify.key ctx.session kind ^ "|" ^ layer_suffix in
+        acc.explained <- (kind, key) :: acc.explained;
+        (kind, key)
+  in
+  if ctx.mode <> Brute_force then Prune.learn acc.prune kind;
+  match Hashtbl.find_opt acc.bugs key with
+  | Some b -> Hashtbl.replace acc.bugs key { b with Report.states = b.Report.states + 1 }
+  | None ->
+      let view, lib_view =
+        match view_opt with
+        | Some v -> (v, lib_view)
+        | None ->
+            (* the verdict came memoized or from a worker domain: one
+               scratch check recovers the full view for the bug record *)
+            let _, v, lv =
+              Checker.check ctx.session ~pfs_legal:ctx.pfs_legal ?lib:ctx.lib
+                st.persisted
+            in
+            (v, if lib_view <> None then lib_view else lv)
+      in
+      let conseq =
+        match layer with
+        | Checker.Lib_fault -> lib_consequence ctx ~view ~lib_view
+        | Checker.Pfs_fault -> consequence ~expected:ctx.expected view
+      in
+      Hashtbl.replace acc.bugs key
+        {
+          Report.kind;
+          layer;
+          description = Fmt.str "%a" (Classify.pp ctx.session) kind;
+          consequence = conseq;
+          states = 1;
+        };
+      acc.bug_order <- key :: acc.bug_order
+
+(* One state of the canonical (ordered) stream. [?verdict] carries a
+   worker-domain verdict; without it the verdict is computed on demand
+   through the shared serial cache — the oracle path, identical to the
+   historical monolithic loop. *)
+let step ctx acc ?verdict (st : Explore.state) =
+  if ctx.mode <> Brute_force && Prune.should_skip acc.prune ~semantic:(semantic ctx) st
+  then acc.n_pruned <- acc.n_pruned + 1
+  else begin
+    acc.n_checked <- acc.n_checked + 1;
+    let v, view_opt, lib_view =
+      match verdict with
+      | Some v -> (v, None, None)
+      | None ->
+          let reconstruct =
+            Option.map
+              (fun c -> Emulator.reconstruct_cached c ctx.session)
+              acc.serial_cache
+          in
+          check_state ctx acc ?reconstruct st.persisted
+    in
+    match v with
+    | Checker.Consistent | Checker.Consistent_after_recovery -> ()
+    | Checker.Inconsistent layer ->
+        acc.n_inconsistent <- acc.n_inconsistent + 1;
+        if ctx.classify then classify_state ctx acc st layer lib_view view_opt
+  end
+
+type result = {
+  bugs : Report.bug list;
+  lib_bugs : int;
+  pfs_bugs : int;
+  n_checked : int;
+  n_pruned : int;
+  n_inconsistent : int;
+  serial_misses : int;
+      (** image rebuilds of the reduce stage's own cache (serial
+          optimized runs); 0 when verdicts came precomputed *)
+}
+
+let finish (acc : acc) =
+  let bug_list = List.rev_map (fun k -> Hashtbl.find acc.bugs k) acc.bug_order in
+  let lib_bugs =
+    List.length
+      (List.filter (fun b -> b.Report.layer = Checker.Lib_fault) bug_list)
+  in
+  {
+    bugs = bug_list;
+    lib_bugs;
+    pfs_bugs = List.length bug_list - lib_bugs;
+    n_checked = acc.n_checked;
+    n_pruned = acc.n_pruned;
+    n_inconsistent = acc.n_inconsistent;
+    serial_misses =
+      (match acc.serial_cache with
+      | Some c -> Emulator.cache_misses c
+      | None -> 0);
+  }

@@ -1,0 +1,89 @@
+(** Per-state verdict, classification and bug-deduplication engine — the
+    check and reduce stages of the exploration {!Pipeline}.
+
+    The engine splits the historical driver loop into:
+
+    - an immutable per-run context ({!ctx}) safe to share across worker
+      domains: everything it closes over (session, legal-state lists,
+      expected views, library layer) is only read during checking, and
+      every mount/fsck/view path in the tree is a pure function of its
+      image arguments;
+    - a parallelizable check stage ({!check_shard}) where each worker
+      owns its private emulator cache;
+    - a sequential reduce ({!step}/{!finish}) that makes every
+      order-dependent decision — pruning, classification reuse, bug
+      deduplication, counters — in the canonical state order, so its
+      results are independent of how verdicts were computed. *)
+
+type mode = Brute_force | Pruned | Optimized
+
+val mode_to_string : mode -> string
+val mode_of_string : string -> mode option
+
+type ctx = {
+  session : Session.t;
+  mode : mode;
+  classify : bool;
+  pfs_legal : string list;
+  lib : Checker.lib_layer option;
+  storage_graph : Paracrash_util.Dag.t;
+  expected : Paracrash_pfs.Logical.t;
+  raw_data : int -> bool;
+  n_servers : int;
+}
+
+val create :
+  session:Session.t ->
+  mode:mode ->
+  classify:bool ->
+  pfs_model:Model.t ->
+  lib:Checker.lib_layer option ->
+  ctx
+
+(** {1 Check stage} *)
+
+type shard_result = {
+  verdicts : Checker.verdict option array;
+      (** [None]: skipped by the static (semantic) prune rule, which the
+          reduce stage is guaranteed to prune as well *)
+  shard_misses : int;
+      (** per-server image rebuilds of this shard's own cache (optimized
+          mode), or full reboots charged per checked state *)
+}
+
+val check_shard : ctx -> Explore.state array -> shard_result
+(** Compute verdicts for one shard of ordered states. Only learning-free
+    prune rules are applied (they are a subset of every learned prune
+    set); states that learned scenario pruning would skip are checked
+    speculatively and discarded by the reduce. Safe to call from a
+    worker domain. *)
+
+(** {1 Reduce stage} *)
+
+type acc
+(** Mutable fold state of the sequential reduce: prune scenarios learned
+    so far, classified root causes, the bug table, verdict memo and
+    counters. Confined to the reducing domain. *)
+
+val acc_create : ctx -> acc
+
+val step : ctx -> acc -> ?verdict:Checker.verdict -> Explore.state -> unit
+(** Process the next state of the canonical order: decide pruning,
+    obtain the verdict ([?verdict] if a worker precomputed it, else
+    checked on demand through the reduce's own incremental cache — the
+    serial oracle path), classify inconsistencies and update the bug
+    table. *)
+
+type result = {
+  bugs : Report.bug list;
+  lib_bugs : int;
+  pfs_bugs : int;
+  n_checked : int;
+  n_pruned : int;
+  n_inconsistent : int;
+  serial_misses : int;
+      (** image rebuilds of the reduce's own cache (serial optimized
+          runs); 0 when verdicts came precomputed *)
+}
+
+val finish : acc -> result

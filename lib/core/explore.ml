@@ -3,20 +3,42 @@ module Dag = Paracrash_util.Dag
 module Combi = Paracrash_util.Combi
 
 type state = { persisted : Bitset.t; cut : Bitset.t; victims : int list }
-type stats = { n_cuts : int; n_candidates : int; n_unique : int }
+
+type stats = {
+  n_cuts : int;
+  n_candidates : int;
+  n_unique : int;
+  truncated : bool;
+}
 
 let storage_graph (s : Session.t) =
   let keep = Array.to_list s.storage_events in
   let g, _mapping = Dag.restrict s.graph keep in
   g
 
-let generate ?(k = 1) ?(max_cuts = 100_000) (s : Session.t) ~persist =
+let generate_seq ?(k = 1) ?(max_cuts = 100_000) (s : Session.t) ~persist =
   let g = storage_graph s in
-  let cuts = Dag.downsets ~limit:max_cuts g in
-  let n_cuts = List.length cuts in
   let seen = Bitset.Tbl.create 256 in
-  let states_rev = ref [] in
+  let n_cuts = ref 0 in
   let n_candidates = ref 0 in
+  let n_unique = ref 0 in
+  let truncated = ref false in
+  let exhausted = ref false in
+  (* cap cut enumeration at [max_cuts]; peeking at the next element of
+     the lazy enumeration tells truncation apart from exact exhaustion *)
+  let rec capped cuts () =
+    match cuts () with
+    | Seq.Nil -> Seq.Nil
+    | Seq.Cons (cut, tl) ->
+        if !n_cuts >= max_cuts then begin
+          truncated := true;
+          Seq.Nil
+        end
+        else begin
+          incr n_cuts;
+          Seq.Cons (cut, capped tl)
+        end
+  in
   let consider cut victims =
     incr n_candidates;
     let unpersisted =
@@ -27,16 +49,41 @@ let generate ?(k = 1) ?(max_cuts = 100_000) (s : Session.t) ~persist =
         victims
     in
     let persisted = Bitset.diff cut unpersisted in
-    if not (Bitset.Tbl.mem seen persisted) then begin
+    if Bitset.Tbl.mem seen persisted then None
+    else begin
       Bitset.Tbl.replace seen persisted ();
-      states_rev := { persisted; cut; victims } :: !states_rev
+      incr n_unique;
+      Some { persisted; cut; victims }
     end
   in
-  List.iter
-    (fun cut ->
-      let members = Bitset.elements cut in
-      let combos = Combi.combinations_upto members k in
-      List.iter (fun victims -> consider cut victims) combos)
-    cuts;
-  let states = List.rev !states_rev in
-  (states, { n_cuts; n_candidates = !n_candidates; n_unique = List.length states })
+  let states =
+    Seq.concat_map
+      (fun cut ->
+        let members = Bitset.elements cut in
+        let combos = Combi.combinations_upto members k in
+        Seq.filter_map (consider cut) (List.to_seq combos))
+      (capped (Dag.downsets_seq g))
+  in
+  let rec with_end seq () =
+    match seq () with
+    | Seq.Nil ->
+        exhausted := true;
+        Seq.Nil
+    | Seq.Cons (st, tl) -> Seq.Cons (st, with_end tl)
+  in
+  let stats () =
+    if not !exhausted then
+      invalid_arg "Explore.generate_seq: stats read before full consumption";
+    {
+      n_cuts = !n_cuts;
+      n_candidates = !n_candidates;
+      n_unique = !n_unique;
+      truncated = !truncated;
+    }
+  in
+  (with_end states, stats)
+
+let generate ?k ?max_cuts (s : Session.t) ~persist =
+  let states, stats = generate_seq ?k ?max_cuts s ~persist in
+  let states = List.of_seq states in
+  (states, stats ())

@@ -17,10 +17,27 @@ type stats = {
   n_cuts : int;  (** consistent cuts explored *)
   n_candidates : int;  (** states before deduplication *)
   n_unique : int;
+  truncated : bool;
+      (** cut enumeration hit [max_cuts]: coverage is incomplete and
+          callers should surface a warning instead of silently capping *)
 }
 
 val storage_graph : Session.t -> Paracrash_util.Dag.t
 (** The causality graph projected onto storage-op indices. *)
+
+val generate_seq :
+  ?k:int ->
+  ?max_cuts:int ->
+  Session.t ->
+  persist:Paracrash_util.Dag.t ->
+  state Seq.t * (unit -> stats)
+(** Lazy variant of {!generate}: crash states are produced on demand in
+    the same deterministic order, so the pipeline can chunk, order and
+    check them without first materializing the full list. The sequence
+    is ephemeral (it deduplicates against internal state): consume it
+    exactly once. The returned thunk yields the generation statistics
+    and raises [Invalid_argument] until the sequence has been fully
+    consumed, since [n_cuts]/[truncated] are only known at the end. *)
 
 val generate :
   ?k:int ->
@@ -31,4 +48,5 @@ val generate :
 (** All distinct crash states, deduplicated on the persisted set, in
     deterministic order. [k] defaults to 1 (the paper's setting;
     increasing it did not expose new bugs). [max_cuts] caps cut
-    enumeration for very wide graphs (default 100_000). *)
+    enumeration for very wide graphs (default 100_000); [stats.truncated]
+    reports whether the cap was hit. *)

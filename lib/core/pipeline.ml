@@ -1,0 +1,140 @@
+module Bitset = Paracrash_util.Bitset
+
+type options = {
+  k : int;
+  mode : Engine.mode;
+  pfs_model : Model.t;
+  lib_model : Model.t;
+  max_cuts : int;
+  classify : bool;
+  jobs : int;
+}
+
+let default_options =
+  {
+    k = 1;
+    mode = Engine.Optimized;
+    pfs_model = Model.Causal;
+    lib_model = Model.Baseline;
+    max_cuts = 100_000;
+    classify = true;
+    jobs = 1;
+  }
+
+(* Large enough that every current workload fits in one chunk, so the
+   chunked TSP tour coincides with the historical whole-list tour;
+   smaller values bound the ordering working set for streamed serial
+   runs (each chunk's tour is seeded with the previous chunk's final
+   signature, see Tsp.order_chunk). *)
+let default_order_chunk = 1_000_000
+
+let take_chunk size seq =
+  let rec go n acc seq =
+    if n >= size then (acc, seq)
+    else
+      match seq () with
+      | Seq.Nil -> (acc, Seq.empty)
+      | Seq.Cons (x, tl) -> go (n + 1) (x :: acc) tl
+  in
+  let rev_xs, rest = go 0 [] seq in
+  (Array.of_list (List.rev rev_xs), rest)
+
+(* Stage 2: visit ordering. Consume the generated states chunk by chunk;
+   optimized mode orders each chunk with the greedy TSP pass, threading
+   the boundary signature so image locality survives chunking. Lazy, so
+   a serial run holds at most one chunk in memory at a time. *)
+let ordered_chunks ~options ~order_chunk session states_seq =
+  let rec go prev seq () =
+    let chunk, rest = take_chunk order_chunk seq in
+    if Array.length chunk = 0 then Seq.Nil
+    else
+      let chunk, prev =
+        match options.mode with
+        | Engine.Optimized -> Tsp.order_chunk session ?prev chunk
+        | Engine.Brute_force | Engine.Pruned -> (chunk, prev)
+      in
+      Seq.Cons (chunk, go prev rest)
+  in
+  go None states_seq
+
+let run ?(order_chunk = default_order_chunk) options ~session ~lib ~workload =
+  let t0 = Unix.gettimeofday () in
+  (* stage 1: generate — a lazy stream of deduplicated crash states *)
+  let persist = Persist.build session in
+  let states_seq, gen_stats =
+    Explore.generate_seq ~k:options.k ~max_cuts:options.max_cuts session ~persist
+  in
+  let ctx =
+    Engine.create ~session ~mode:options.mode ~classify:options.classify
+      ~pfs_model:options.pfs_model ~lib
+  in
+  let scheduler = Scheduler.of_jobs options.jobs in
+  let acc = Engine.acc_create ctx in
+  (* stages 3+4: check, then reduce in the canonical stream order. The
+     serial scheduler computes verdicts on demand inside the reduce (the
+     oracle path, byte-identical to the historical driver); a parallel
+     scheduler precomputes verdicts shard-wise across domains and the
+     reduce replays the same deterministic decisions over them. *)
+  let parallel_misses = ref 0 in
+  (match scheduler with
+  | Scheduler.Serial ->
+      Seq.iter
+        (Array.iter (fun st -> Engine.step ctx acc st))
+        (ordered_chunks ~options ~order_chunk session states_seq)
+  | Scheduler.Parallel _ ->
+      let chunks =
+        List.of_seq (ordered_chunks ~options ~order_chunk session states_seq)
+      in
+      let all = Array.concat chunks in
+      let shards = Scheduler.split ~shards:(Scheduler.jobs scheduler) all in
+      let results =
+        Scheduler.map_shards scheduler ~f:(Engine.check_shard ctx) shards
+      in
+      Array.iteri
+        (fun i shard ->
+          let r = results.(i) in
+          parallel_misses := !parallel_misses + r.Engine.shard_misses;
+          Array.iteri
+            (fun j st ->
+              match r.Engine.verdicts.(j) with
+              | Some v -> Engine.step ctx acc ~verdict:v st
+              | None -> Engine.step ctx acc st)
+            shard)
+        shards);
+  let res = Engine.finish acc in
+  let gen = gen_stats () in
+  let restarts =
+    match (options.mode, scheduler) with
+    | (Engine.Brute_force | Engine.Pruned), _ ->
+        (* full reboot per checked state, independent of scheduling *)
+        res.Engine.n_checked * Engine.(ctx.n_servers)
+    | Engine.Optimized, Scheduler.Serial -> res.Engine.serial_misses
+    | Engine.Optimized, Scheduler.Parallel _ ->
+        (* each domain owns a cache over its shard: the merged count is
+           the restarts a deployment with one server pool per domain
+           would measure (at most (jobs-1) * n_servers above the serial
+           count from cold shard boundaries, plus speculative checks of
+           scenario-pruned states) *)
+        !parallel_misses
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  let fs = Paracrash_pfs.Handle.fs_name session.Session.handle in
+  {
+    Report.workload;
+    fs;
+    mode = Engine.mode_to_string options.mode;
+    gen;
+    n_inconsistent = res.Engine.n_inconsistent;
+    bugs = res.Engine.bugs;
+    lib_bugs = res.Engine.lib_bugs;
+    pfs_bugs = res.Engine.pfs_bugs;
+    perf =
+      {
+        Report.wall_seconds = wall;
+        modeled_seconds =
+          Stats.modeled_seconds ~fs ~n_states:res.Engine.n_checked ~restarts;
+        restarts;
+        n_checked = res.Engine.n_checked;
+        n_pruned = res.Engine.n_pruned;
+      };
+  }

@@ -1,0 +1,52 @@
+(** Staged crash-state exploration pipeline.
+
+    Decomposes the historical monolithic driver loop into four explicit
+    stages:
+
+    - {b generate}: {!Explore.generate_seq} streams deduplicated crash
+      states lazily, reporting truncation when [max_cuts] is hit;
+    - {b order}: {!Tsp.order_chunk} gives each chunk of the stream a
+      restart-minimizing visit order, threading the boundary signature
+      between chunks (optimized mode only);
+    - {b check}: {!Engine.check_shard} computes verdicts — on demand in
+      the calling domain under {!Scheduler.Serial}, or shard-parallel
+      across OCaml 5 domains under {!Scheduler.Parallel}, each domain
+      owning its private emulator cache and memo table;
+    - {b reduce}: {!Engine.step} folds the verdicts in the canonical
+      stream order — pruning, classification, bug deduplication and the
+      perf counters are sequential and deterministic, so every scheduler
+      produces the same bugs, verdict counts and prune decisions.
+
+    Only wall time and (in optimized mode) the measured restart count
+    depend on the scheduler: each parallel domain boots its shard's
+    servers cold, adding at most [(jobs - 1) * n_servers] restarts plus
+    the speculative checks of states that learned scenario pruning
+    skips serially. *)
+
+type options = {
+  k : int;  (** max victims per crash state (Algorithm 1) *)
+  mode : Engine.mode;
+  pfs_model : Model.t;  (** model the PFS layer is tested against *)
+  lib_model : Model.t;  (** model the I/O library is tested against *)
+  max_cuts : int;
+  classify : bool;  (** classify and deduplicate inconsistent states *)
+  jobs : int;
+      (** worker domains for the check stage: 1 = serial oracle, [n > 1]
+          = [Scheduler.Parallel n] *)
+}
+
+val default_options : options
+(** k = 1, optimized exploration, causal PFS model, baseline library
+    model, serial scheduling. *)
+
+val run :
+  ?order_chunk:int ->
+  options ->
+  session:Session.t ->
+  lib:Checker.lib_layer option ->
+  workload:string ->
+  Report.t
+(** Run the full pipeline over an already-traced session. [order_chunk]
+    bounds the TSP ordering working set (default large enough that
+    current workloads are single-chunk, making the tour identical to the
+    historical whole-list ordering). *)

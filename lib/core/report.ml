@@ -42,6 +42,10 @@ let pp ppf t =
     t.workload t.fs t.mode t.gen.Explore.n_cuts t.gen.Explore.n_candidates
     t.gen.Explore.n_unique t.perf.n_checked t.perf.n_pruned t.n_inconsistent
     (List.length t.bugs) t.pfs_bugs t.lib_bugs;
+  if t.gen.Explore.truncated then
+    Fmt.pf ppf
+      "WARNING: cut enumeration truncated at %d cuts; coverage is partial@,"
+      t.gen.Explore.n_cuts;
   List.iter (fun b -> Fmt.pf ppf "%a@," pp_bug b) t.bugs;
   Fmt.pf ppf "wall %.3fs, modeled %.1fs, %d restarts@]" t.perf.wall_seconds
     t.perf.modeled_seconds t.perf.restarts
@@ -70,6 +74,7 @@ let to_json t =
   add "  \"states\": { \"cuts\": %d, \"candidates\": %d, \"unique\": %d, \"checked\": %d, \"pruned\": %d },\n"
     t.gen.Explore.n_cuts t.gen.Explore.n_candidates t.gen.Explore.n_unique
     t.perf.n_checked t.perf.n_pruned;
+  add "  \"truncated\": %b,\n" t.gen.Explore.truncated;
   add "  \"inconsistent\": %d,\n" t.n_inconsistent;
   add "  \"pfs_bugs\": %d,\n" t.pfs_bugs;
   add "  \"lib_bugs\": %d,\n" t.lib_bugs;

@@ -1,0 +1,52 @@
+type t = Serial | Parallel of int
+
+let of_jobs n = if n <= 1 then Serial else Parallel n
+let jobs = function Serial -> 1 | Parallel n -> max 1 n
+
+let to_string = function
+  | Serial -> "serial"
+  | Parallel n -> "parallel:" ^ string_of_int n
+
+let split ~shards arr =
+  let n = Array.length arr in
+  let shards = max 1 (min shards n) in
+  if n = 0 then [||]
+  else
+    Array.init shards (fun i ->
+        (* distribute the remainder over the leading shards so sizes
+           differ by at most one *)
+        let base = n / shards and extra = n mod shards in
+        let start = (i * base) + min i extra in
+        let len = base + if i < extra then 1 else 0 in
+        Array.sub arr start len)
+
+let map_shards t ~f shard_arr =
+  let n = Array.length shard_arr in
+  if n = 0 then [||]
+  else
+    match t with
+    | Serial -> Array.map f shard_arr
+    | Parallel jobs ->
+        let jobs = max 1 (min jobs n) in
+        let results = Array.make n None in
+        let next = Atomic.make 0 in
+        (* work-stealing over a shared index: each domain claims the
+           next unprocessed shard; results land at the shard's own slot,
+           so the merge order is the shard order no matter which domain
+           ran what *)
+        let worker () =
+          let rec loop () =
+            let i = Atomic.fetch_and_add next 1 in
+            if i < n then begin
+              results.(i) <- Some (f shard_arr.(i));
+              loop ()
+            end
+          in
+          loop ()
+        in
+        let domains = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+        worker ();
+        Array.iter Domain.join domains;
+        Array.map
+          (function Some r -> r | None -> failwith "Scheduler: missing shard")
+          results

@@ -1,0 +1,35 @@
+(** Pluggable execution backend for the exploration pipeline.
+
+    [Serial] runs every pipeline stage in the calling domain and is the
+    oracle: its reports are bit-identical to the historical sequential
+    driver. [Parallel n] fans shard-level work out over [n] OCaml 5
+    domains. The shard merge is deterministic (results are collected in
+    shard order, not completion order), so scheduling only affects wall
+    time and the measured restart count — never verdicts, bugs or
+    counters (see the determinism suite in [test/test_scheduler.ml]).
+
+    Safety: shard workers only perform read-only work over the session
+    (reconstruct / fsck / mount / check); every mount and view path in
+    the tree is a pure function of its image arguments, and each worker
+    owns its own emulator cache and memo table. *)
+
+type t = Serial | Parallel of int
+
+val of_jobs : int -> t
+(** [of_jobs n] is [Serial] when [n <= 1], else [Parallel n]. *)
+
+val jobs : t -> int
+
+val to_string : t -> string
+
+val split : shards:int -> 'a array -> 'a array array
+(** Partition an array into at most [shards] contiguous pieces whose
+    sizes differ by at most one, preserving order. Fewer pieces are
+    returned when the array is shorter than [shards]; an empty array
+    yields no shards. *)
+
+val map_shards : t -> f:('a -> 'b) -> 'a array -> 'b array
+(** Apply [f] to every shard, serially or across domains, and return
+    the results in shard order. [f] must be safe to run in a fresh
+    domain (no hidden shared mutation). Exceptions raised by [f]
+    propagate to the caller. *)

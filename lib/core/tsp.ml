@@ -54,33 +54,56 @@ let signatures (s : Session.t) states =
     (fun st -> signature_with ~server_of ~n_servers st.Explore.persisted)
     (Array.of_list states)
 
+(* Greedy nearest-neighbour pass over one chunk of states. Without
+   [prev] the tour starts at the chunk's first state (the historical
+   whole-list behaviour); with [prev] — the signature the previous chunk
+   ended on — it starts at the state nearest to [prev], so consecutive
+   chunks of a streamed exploration still share server images across the
+   chunk boundary. Ties always resolve to the lowest index, keeping the
+   order deterministic. *)
+let order_chunk (s : Session.t) ?prev (arr : Explore.state array) =
+  let n = Array.length arr in
+  if n = 0 then (arr, prev)
+  else begin
+    let sigs = signatures s (Array.to_list arr) in
+    let nearest target =
+      let best = ref (-1) and best_d = ref max_int in
+      for j = 0 to n - 1 do
+        let d = sig_distance target sigs.(j) in
+        if d < !best_d then begin
+          best := j;
+          best_d := d
+        end
+      done;
+      !best
+    in
+    let start = match prev with None -> 0 | Some sg -> nearest sg in
+    let used = Array.make n false in
+    used.(start) <- true;
+    let path = ref [ arr.(start) ] in
+    let cur = ref start in
+    for _step = 1 to n - 1 do
+      let best = ref (-1) and best_d = ref max_int in
+      for j = 0 to n - 1 do
+        if not used.(j) then begin
+          let d = sig_distance sigs.(!cur) sigs.(j) in
+          if d < !best_d then begin
+            best := j;
+            best_d := d
+          end
+        end
+      done;
+      used.(!best) <- true;
+      path := arr.(!best) :: !path;
+      cur := !best
+    done;
+    (Array.of_list (List.rev !path), Some sigs.(!cur))
+  end
+
 let order (s : Session.t) states =
   match states with
   | [] | [ _ ] -> states
-  | _ ->
-      let arr = Array.of_list states in
-      let n = Array.length arr in
-      let sigs = signatures s states in
-      let used = Array.make n false in
-      used.(0) <- true;
-      let path = ref [ arr.(0) ] in
-      let cur = ref 0 in
-      for _step = 1 to n - 1 do
-        let best = ref (-1) and best_d = ref max_int in
-        for j = 0 to n - 1 do
-          if not used.(j) then begin
-            let d = sig_distance sigs.(!cur) sigs.(j) in
-            if d < !best_d then begin
-              best := j;
-              best_d := d
-            end
-          end
-        done;
-        used.(!best) <- true;
-        path := arr.(!best) :: !path;
-        cur := !best
-      done;
-      List.rev !path
+  | _ -> Array.to_list (fst (order_chunk s (Array.of_list states)))
 
 let restarts (s : Session.t) states =
   let n_servers = List.length (servers s) in

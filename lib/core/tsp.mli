@@ -19,9 +19,22 @@ val signatures : Session.t -> Explore.state list -> int array array
 
 val distance : Session.t -> Paracrash_util.Bitset.t -> Paracrash_util.Bitset.t -> int
 
+val order_chunk :
+  Session.t ->
+  ?prev:int array ->
+  Explore.state array ->
+  Explore.state array * int array option
+(** Greedy nearest-neighbour visit order over one chunk of states.
+    Without [prev] the tour starts at the chunk's first state; with
+    [prev] (the signature the previous chunk's tour ended on) it starts
+    at the state nearest to it, so a chunked stream of states keeps
+    server-image locality across chunk boundaries. Also returns the
+    signature of the last state visited, to seed the next chunk.
+    Deterministic: distance ties resolve to the lowest index. *)
+
 val order : Session.t -> Explore.state list -> Explore.state list
 (** Greedy nearest-neighbour visit order, starting from the first
-    state. *)
+    state. Equivalent to {!order_chunk} on a single whole-list chunk. *)
 
 val restarts : Session.t -> Explore.state list -> int
 (** Total server restarts needed to visit the states in the given

@@ -144,6 +144,33 @@ let downsets_fold ?limit g f init =
 let downsets ?limit g =
   List.rev (downsets_fold ?limit g (fun s acc -> s :: acc) [])
 
+(* Same enumeration as [downsets_fold], but demand-driven: the recursion
+   is reified as an explicit stack of (topo index, partial set) frames so
+   the caller can stop early without materializing the (potentially
+   exponential) downset list. Emission order is identical to
+   [downsets]. *)
+let downsets_seq g =
+  let topo = Array.of_list g.topo in
+  let n = Array.length topo in
+  let rec next stack () =
+    match stack with
+    | [] -> Seq.Nil
+    | (i, set) :: rest ->
+        if i >= n then Seq.Cons (set, next rest)
+        else
+          let v = topo.(i) in
+          (* exclude v first (the frame pushed on top), then include it
+             if every predecessor is already in: the recursive order of
+             [downsets_fold] *)
+          let rest =
+            if List.for_all (fun u -> Bitset.mem set u) g.preds.(v) then
+              (i + 1, Bitset.add set v) :: rest
+            else rest
+          in
+          next ((i + 1, set) :: rest) ()
+  in
+  next [ (0, Bitset.create g.n) ]
+
 let downset_count ?limit g = downsets_fold ?limit g (fun _ n -> n + 1) 0
 
 let restrict g keep =

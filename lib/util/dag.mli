@@ -57,6 +57,13 @@ val downsets : ?limit:int -> t -> Bitset.t list
 val downset_count : ?limit:int -> t -> int
 (** Number of downsets without materializing them (still capped). *)
 
+val downsets_seq : t -> Bitset.t Seq.t
+(** The same enumeration as {!downsets}, demand-driven: downsets are
+    produced lazily in the identical deterministic order, so a consumer
+    can cap enumeration (and detect that the cap truncated it by peeking
+    one element further) without materializing the full list. The
+    sequence is persistent and may be consumed more than once. *)
+
 val restrict : t -> int list -> t * int array
 (** [restrict g keep] is the subgraph induced on nodes [keep] with the
     reachability relation of [g] (i.e. an edge [i -> j] in the result

@@ -13,3 +13,7 @@ let find_sub hay needle =
   end
 
 let contains_sub hay needle = find_sub hay needle <> None
+
+let ends_with hay suffix =
+  let nh = String.length hay and ns = String.length suffix in
+  ns <= nh && String.sub hay (nh - ns) ns = suffix

@@ -9,3 +9,7 @@ val find_sub : string -> string -> int option
 val contains_sub : string -> string -> bool
 (** [contains_sub hay needle] is [true] iff [needle] occurs in [hay].
     [false] when [needle] is empty. *)
+
+val ends_with : string -> string -> bool
+(** [ends_with hay suffix] is [true] iff [hay] ends with [suffix].
+    Unlike the [find_sub]-style helpers, an empty suffix matches. *)

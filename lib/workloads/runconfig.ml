@@ -46,6 +46,12 @@ let apply_kv t key value =
   | "k" ->
       let* k = parse_int "k" value in
       Ok { t with options = { t.options with D.k } }
+  | "jobs" ->
+      let* jobs = parse_int "jobs" value in
+      Ok { t with options = { t.options with D.jobs } }
+  | "max_cuts" ->
+      let* max_cuts = parse_int "max_cuts" value in
+      Ok { t with options = { t.options with D.max_cuts } }
   | "servers" ->
       let* n = parse_int "servers" value in
       Ok
@@ -111,8 +117,8 @@ let load path =
   | exception Sys_error m -> Error m
 
 let pp ppf t =
-  Fmt.pf ppf "fs=%s program=%s mode=%s k=%d %a pfs_model=%a lib_model=%a" t.fs
-    t.program
+  Fmt.pf ppf "fs=%s program=%s mode=%s k=%d jobs=%d %a pfs_model=%a lib_model=%a"
+    t.fs t.program
     (D.mode_to_string t.options.D.mode)
-    t.options.D.k Config.pp t.config Model.pp t.options.D.pfs_model Model.pp
-    t.options.D.lib_model
+    t.options.D.k t.options.D.jobs Config.pp t.config Model.pp
+    t.options.D.pfs_model Model.pp t.options.D.lib_model

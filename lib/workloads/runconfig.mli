@@ -11,6 +11,8 @@
     program   = ARVR
     mode      = optimized      # brute-force | pruning | optimized
     k         = 1
+    jobs      = 4              # worker domains for the check stage
+    max_cuts  = 100000         # cut-enumeration cap (warns on truncation)
     servers   = 4
     stripe    = 131072
     pfs_model = causal         # strict | commit | causal | baseline

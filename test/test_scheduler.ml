@@ -1,0 +1,198 @@
+(* Scheduler determinism: the staged pipeline guarantees that parallel
+   checking never changes a report — workers compute verdicts only, and
+   the sequential reduce replays every order-dependent decision (prune
+   learning, classification reuse, bug dedup, counters) in canonical
+   stream order. These tests compare whole rendered reports across
+   schedulers for every registered workload x file system. *)
+
+module D = Paracrash_core.Driver
+module R = Paracrash_core.Report
+module Pipeline = Paracrash_core.Pipeline
+module Scheduler = Paracrash_core.Scheduler
+module P = Paracrash_pfs
+module W = Paracrash_workloads
+module Registry = W.Registry
+
+let check = Alcotest.check
+let ci = Alcotest.int
+let cb = Alcotest.bool
+let cs = Alcotest.string
+
+(* --- scheduler plumbing -------------------------------------------------- *)
+
+let test_of_jobs () =
+  check cb "1 job is serial" true (Scheduler.of_jobs 1 = Scheduler.Serial);
+  check cb "0 clamps to serial" true (Scheduler.of_jobs 0 = Scheduler.Serial);
+  check cb "negative clamps to serial" true
+    (Scheduler.of_jobs (-3) = Scheduler.Serial);
+  check cb "2 jobs is parallel" true
+    (Scheduler.of_jobs 2 = Scheduler.Parallel 2);
+  check ci "jobs of serial" 1 (Scheduler.jobs Scheduler.Serial);
+  check ci "jobs of parallel" 4 (Scheduler.jobs (Scheduler.Parallel 4));
+  check cs "to_string serial" "serial" (Scheduler.to_string Scheduler.Serial);
+  check cs "to_string parallel" "parallel:3"
+    (Scheduler.to_string (Scheduler.Parallel 3))
+
+let test_split () =
+  let arr = Array.init 10 Fun.id in
+  let shards = Scheduler.split ~shards:3 arr in
+  check ci "shard count" 3 (Array.length shards);
+  (* concatenating the shards restores the original order *)
+  check cb "partition preserves order" true (Array.concat (Array.to_list shards) = arr);
+  (* near-equal sizes: remainder spread over the leading shards *)
+  check cb "near-equal sizes" true
+    (Array.for_all (fun s -> Array.length s >= 3 && Array.length s <= 4) shards);
+  (* more shards than elements: empties at the tail, no loss *)
+  let small = Scheduler.split ~shards:4 [| 'a'; 'b' |] in
+  check cb "tiny input intact" true
+    (Array.concat (Array.to_list small) = [| 'a'; 'b' |])
+
+let test_map_shards_parallel () =
+  (* real cross-domain execution: results come back in shard order
+     regardless of which domain finishes first *)
+  let shards = Scheduler.split ~shards:4 (Array.init 17 Fun.id) in
+  let f shard = Array.fold_left ( + ) 0 shard in
+  let serial = Scheduler.map_shards Scheduler.Serial ~f shards in
+  let parallel = Scheduler.map_shards (Scheduler.Parallel 4) ~f shards in
+  check cb "parallel equals serial shard-wise" true (serial = parallel);
+  check ci "totals preserved" (17 * 16 / 2) (Array.fold_left ( + ) 0 parallel)
+
+(* --- mode round-trips ----------------------------------------------------- *)
+
+let test_mode_roundtrip () =
+  List.iter
+    (fun m ->
+      check cb (D.mode_to_string m) true
+        (D.mode_of_string (D.mode_to_string m) = Some m))
+    [ D.Brute_force; D.Pruned; D.Optimized ];
+  check cb "aliases accepted" true
+    (D.mode_of_string "brute" = Some D.Brute_force
+    && D.mode_of_string "pruned" = Some D.Pruned);
+  check cb "unknown rejected" true (D.mode_of_string "warp" = None)
+
+(* --- report determinism across schedulers --------------------------------- *)
+
+(* Render a report with the scheduler-dependent fields (wall clock and,
+   in optimized mode, the measured restart count with its modeled cost)
+   zeroed; everything else — generation stats, checked/pruned counts,
+   inconsistencies, the full deduplicated bug table — must match byte
+   for byte. *)
+let canonical (r : R.t) =
+  R.to_json
+    {
+      r with
+      R.perf =
+        { r.R.perf with wall_seconds = 0.; modeled_seconds = 0.; restarts = 0 };
+    }
+
+(* Candidate states grow as cuts x victim-frontier (hundreds of states
+   per workload at full depth, ~14ms of mount+recovery+check each), so
+   the full matrix is only affordable over a truncated prefix: 15 cuts
+   lets the small POSIX cells run to completion while the HDF5 cells
+   exercise truncation, non-empty bug tables and both fault layers. *)
+let det_max_cuts = 15
+
+let run_with ~mode ~jobs fs_entry spec =
+  let options = { D.default_options with mode; jobs; max_cuts = det_max_cuts } in
+  fst (D.run ~options ~config:P.Config.default ~make_fs:fs_entry.Registry.make spec)
+
+(* Trace the workload once, then drive the pipeline over the same
+   session with every scheduler: only the check stage varies, which is
+   exactly the claim under test. *)
+let session_of fs_entry (spec : D.spec) =
+  let tracer = Paracrash_trace.Tracer.create () in
+  let handle = fs_entry.Registry.make ~config:P.Config.default ~tracer in
+  Paracrash_trace.Tracer.set_enabled tracer false;
+  spec.D.preamble handle;
+  let initial = P.Handle.snapshot handle in
+  Paracrash_trace.Tracer.set_enabled tracer true;
+  spec.D.test handle;
+  Paracrash_trace.Tracer.set_enabled tracer false;
+  Paracrash_core.Session.of_run ~handle ~initial
+
+let test_determinism_fs fs_entry () =
+  List.iter
+    (fun pname ->
+      let spec = Option.get (Registry.find_workload pname) in
+      let session = session_of fs_entry spec in
+      let pipeline jobs =
+        let options =
+          { Pipeline.default_options with jobs; max_cuts = det_max_cuts }
+        in
+        let lib =
+          Option.map (fun f -> f ~model:options.Pipeline.lib_model session)
+            spec.D.lib
+        in
+        canonical (Pipeline.run options ~session ~lib ~workload:pname)
+      in
+      let serial = pipeline 1 in
+      List.iter
+        (fun jobs ->
+          check cs
+            (Printf.sprintf "%s/%s jobs=%d" pname fs_entry.Registry.fs_name jobs)
+            serial (pipeline jobs))
+        [ 2; 4 ])
+    Registry.workload_names
+
+let test_determinism_pruned_mode () =
+  (* in pruning mode even the restart count is scheduler-independent
+     (full reboot per checked state), so reports match with nothing
+     zeroed but the wall clock *)
+  let beegfs = Option.get (Registry.find_fs "beegfs") in
+  List.iter
+    (fun pname ->
+      let spec = Option.get (Registry.find_workload pname) in
+      let full (r : R.t) =
+        R.to_json { r with R.perf = { r.R.perf with wall_seconds = 0. } }
+      in
+      let serial = full (run_with ~mode:D.Pruned ~jobs:1 beegfs spec) in
+      let par = full (run_with ~mode:D.Pruned ~jobs:3 beegfs spec) in
+      check cs (pname ^ " pruned jobs=3") serial par)
+    [ "ARVR"; "H5-create" ]
+
+let test_parallel_restart_overhead_bounded () =
+  (* optimized parallel restarts may exceed serial only by cold shard
+     boundaries plus speculative checks of scenario-pruned states; in
+     particular they never exceed the no-cache bound *)
+  let beegfs = Option.get (Registry.find_fs "beegfs") in
+  let spec = Option.get (Registry.find_workload "ARVR") in
+  let serial = run_with ~mode:D.Optimized ~jobs:1 beegfs spec in
+  let par = run_with ~mode:D.Optimized ~jobs:4 beegfs spec in
+  let n_servers = 4 in
+  check cb "parallel restarts at least serial" true
+    (par.R.perf.restarts >= serial.R.perf.restarts);
+  check cb "parallel restarts below full-reboot bound" true
+    (par.R.perf.restarts <= par.R.perf.n_checked * n_servers + (4 - 1) * n_servers)
+
+(* --- runconfig / CLI plumbing --------------------------------------------- *)
+
+let test_runconfig_jobs () =
+  (match W.Runconfig.parse "jobs = 4" with
+  | Ok t -> check ci "jobs parsed" 4 t.W.Runconfig.options.D.jobs
+  | Error m -> Alcotest.failf "unexpected parse error: %s" m);
+  (match W.Runconfig.parse "" with
+  | Ok t -> check ci "default serial" 1 t.W.Runconfig.options.D.jobs
+  | Error m -> Alcotest.failf "unexpected parse error: %s" m);
+  check cb "zero rejected" true (Result.is_error (W.Runconfig.parse "jobs = 0"));
+  check cb "garbage rejected" true
+    (Result.is_error (W.Runconfig.parse "jobs = many"));
+  match W.Runconfig.parse "max_cuts = 250" with
+  | Ok t -> check ci "max_cuts parsed" 250 t.W.Runconfig.options.D.max_cuts
+  | Error m -> Alcotest.failf "unexpected parse error: %s" m
+
+let tests =
+  [
+    ("of_jobs / jobs / to_string", `Quick, test_of_jobs);
+    ("shard split", `Quick, test_split);
+    ("map_shards across domains", `Quick, test_map_shards_parallel);
+    ("mode round-trips", `Quick, test_mode_roundtrip);
+    ("runconfig jobs key", `Quick, test_runconfig_jobs);
+    ("pruned-mode reports identical across jobs", `Quick, test_determinism_pruned_mode);
+    ("optimized restart overhead bounded", `Quick, test_parallel_restart_overhead_bounded);
+  ]
+  @ List.map
+      (fun fs_entry ->
+        ( "reports identical across schedulers: " ^ fs_entry.Registry.fs_name,
+          `Slow,
+          test_determinism_fs fs_entry ))
+      Registry.file_systems

@@ -182,6 +182,28 @@ let test_dag_downsets_limit () =
   let anti = Dag.Builder.freeze (Dag.Builder.create 10) in
   check ci "limit respected" 100 (List.length (Dag.downsets ~limit:100 anti))
 
+let test_dag_downsets_seq () =
+  (* the lazy enumeration must reproduce the list one, element for
+     element and in the same order — the exploration pipeline relies on
+     this to keep crash-state numbering stable *)
+  let same g =
+    let xs = List.map Bitset.to_string (Dag.downsets g) in
+    let ys = List.map Bitset.to_string (List.of_seq (Dag.downsets_seq g)) in
+    xs = ys
+  in
+  check cb "diamond order identical" true (same (diamond ()));
+  let anti = Dag.Builder.freeze (Dag.Builder.create 6) in
+  check cb "antichain order identical" true (same anti);
+  (* persistence: consuming the sequence twice yields the same elements *)
+  let seq = Dag.downsets_seq (diamond ()) in
+  check ci "re-consumable" (List.length (List.of_seq seq))
+    (List.length (List.of_seq seq));
+  (* lazy truncation: taking limit+1 elements detects overflow without
+     materializing the tail *)
+  let big = Dag.Builder.freeze (Dag.Builder.create 16) in
+  let took = List.of_seq (Seq.take 101 (Dag.downsets_seq big)) in
+  check ci "lazy cap" 101 (List.length took)
+
 let test_dag_restrict () =
   let g = diamond () in
   let sub, mapping = Dag.restrict g [ 1; 3 ] in
@@ -249,6 +271,16 @@ let dag_prop_downsets_unique =
       let keys = List.map Bitset.to_string (Dag.downsets g) in
       List.length keys = List.length (List.sort_uniq String.compare keys))
 
+let dag_prop_downsets_seq_matches_list =
+  QCheck.Test.make ~name:"downsets_seq enumerates exactly downsets, in order"
+    ~count:200 random_dag
+    (fun (n, edges) ->
+      let b = Dag.Builder.create n in
+      List.iter (fun (u, v) -> Dag.Builder.add_edge b u v) edges;
+      let g = Dag.Builder.freeze b in
+      List.map Bitset.to_string (Dag.downsets g)
+      = List.map Bitset.to_string (List.of_seq (Dag.downsets_seq g)))
+
 let dag_prop_reach_transitive =
   QCheck.Test.make ~name:"happens-before is transitive" ~count:200 random_dag
     (fun (n, edges) ->
@@ -284,6 +316,19 @@ let test_strutil_find () =
   check cb "index of first hit" true (Strutil.find_sub "xabcabc" "abc" = Some 1);
   check cb "miss" true (Strutil.find_sub "xyz" "abc" = None);
   check cb "hit at 0" true (Strutil.find_sub "abc" "a" = Some 0)
+
+let test_strutil_ends_with () =
+  check cb "proper suffix" true (Strutil.ends_with "scenario|pfs" "|pfs");
+  check cb "whole string" true (Strutil.ends_with "|pfs" "|pfs");
+  check cb "empty suffix" true (Strutil.ends_with "abc" "");
+  check cb "empty both" true (Strutil.ends_with "" "");
+  check cb "suffix longer than hay" false (Strutil.ends_with "fs" "|pfs");
+  check cb "prefix is not suffix" false (Strutil.ends_with "pfs|x" "pfs");
+  (* the bug the driver's hand-rolled check had: a key whose *body*
+     contains the layer tag must not count as carrying that suffix *)
+  check cb "interior hit rejected" false
+    (Strutil.ends_with "reorder|pfs|lib" "|pfs");
+  check cb "bare tag without separator" false (Strutil.ends_with "libs" "|lib")
 
 let strutil_prop_matches_naive =
   QCheck.Test.make ~name:"contains_sub agrees with a naive quadratic scan"
@@ -329,12 +374,14 @@ let tests =
     ("bitset-keyed hashtable", `Quick, test_bitset_tbl);
     ("strutil contains_sub", `Quick, test_strutil_contains);
     ("strutil find_sub", `Quick, test_strutil_find);
+    ("strutil ends_with", `Quick, test_strutil_ends_with);
     ("dag restrict on a 200-chain is fast", `Quick, test_dag_restrict_chain_fast);
     ("dag reachability", `Quick, test_dag_reach);
     ("dag topological order", `Quick, test_dag_topo);
     ("dag rejects cycles", `Quick, test_dag_cycle);
     ("dag downset enumeration", `Quick, test_dag_downsets);
     ("dag downset limit", `Quick, test_dag_downsets_limit);
+    ("dag lazy downset stream", `Quick, test_dag_downsets_seq);
     ("dag restriction", `Quick, test_dag_restrict);
     ("dag linear extensions", `Quick, test_linear_extensions);
     ("combinations", `Quick, test_combinations);
@@ -347,5 +394,6 @@ let tests =
     QCheck_alcotest.to_alcotest strutil_prop_matches_naive;
     QCheck_alcotest.to_alcotest dag_prop_downsets_closed;
     QCheck_alcotest.to_alcotest dag_prop_downsets_unique;
+    QCheck_alcotest.to_alcotest dag_prop_downsets_seq_matches_list;
     QCheck_alcotest.to_alcotest dag_prop_reach_transitive;
   ]
