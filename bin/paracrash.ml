@@ -65,6 +65,41 @@ let stripe_arg =
   let doc = "Stripe size in bytes." in
   Arg.(value & opt int (128 * 1024) & info [ "stripe" ] ~docv:"BYTES" ~doc)
 
+let faults_arg =
+  let doc =
+    "Fault classes to inject, comma-separated: torn, bitflip, failstop, rpc, \
+     or 'all' / 'none'. torn/bitflip/failstop overlay seeded fault plans on \
+     the explored crash states; rpc drops and duplicates RPC replies while \
+     tracing the test program (handlers re-execute, probing idempotency)."
+  in
+  Arg.(value & opt string "none" & info [ "faults" ] ~docv:"CLASSES" ~doc)
+
+let fault_seed_arg =
+  let doc =
+    "Seed for fault-plan enumeration and pair sampling; identical seeds give \
+     identical faulted reports at any job count."
+  in
+  Arg.(value & opt int 1 & info [ "fault-seed" ] ~docv:"SEED" ~doc)
+
+let fault_budget_arg =
+  let doc = "Bound on fault plans and on (state, plan) pairs judged." in
+  Arg.(value & opt int 64 & info [ "fault-budget" ] ~docv:"N" ~doc)
+
+let deadline_arg =
+  let doc =
+    "Stop checking after this many wall-clock seconds and emit an explicitly \
+     partial report (coverage depends on machine speed; use --state-budget \
+     for a deterministic cut)."
+  in
+  Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"SECONDS" ~doc)
+
+let state_budget_arg =
+  let doc =
+    "Explore at most this many crash states (the first N of the canonical \
+     generation order) and mark the report partial."
+  in
+  Arg.(value & opt (some int) None & info [ "state-budget" ] ~docv:"N" ~doc)
+
 let show_trace_arg =
   let doc = "Print the recorded cross-layer trace (Figures 2/9 style)." in
   Arg.(value & flag & info [ "t"; "trace" ] ~doc)
@@ -87,7 +122,8 @@ let output_arg =
 let explicit flag = List.exists (fun a -> List.mem a (Array.to_list Sys.argv)) flag
 
 let run config_file fs_name program mode_s k jobs max_cuts pfs_model_s
-    lib_model_s servers stripe show_trace json output =
+    lib_model_s servers stripe faults_s fault_seed fault_budget deadline
+    state_budget show_trace json output =
   let fail fmt = Fmt.kstr (fun m -> `Error (false, m)) fmt in
   let base =
     match config_file with
@@ -122,7 +158,32 @@ let run config_file fs_name program mode_s k jobs max_cuts pfs_model_s
         if explicit [ "--lib-model" ] then lib_model_s
         else Model.to_string base.W.Runconfig.options.D.lib_model
       in
+      let faults_s =
+        if explicit [ "--faults" ] then faults_s
+        else
+          Paracrash_fault.Plan.classes_to_string
+            base.W.Runconfig.options.D.faults
+      in
+      let fault_seed =
+        if explicit [ "--fault-seed" ] then fault_seed
+        else base.W.Runconfig.options.D.fault_seed
+      in
+      let fault_budget =
+        if explicit [ "--fault-budget" ] then fault_budget
+        else base.W.Runconfig.options.D.fault_budget
+      in
+      let deadline =
+        if explicit [ "--deadline" ] then deadline
+        else base.W.Runconfig.options.D.deadline
+      in
+      let state_budget =
+        if explicit [ "--state-budget" ] then state_budget
+        else base.W.Runconfig.options.D.state_budget
+      in
       let base_config = base.W.Runconfig.config in
+      match Paracrash_fault.Plan.classes_of_string faults_s with
+      | Error m -> fail "--faults: %s" m
+      | Ok faults -> (
       match Registry.find_fs fs_name with
       | None -> fail "unknown file system %S" fs_name
       | Some fs -> (
@@ -163,6 +224,11 @@ let run config_file fs_name program mode_s k jobs max_cuts pfs_model_s
                         max_cuts;
                         pfs_model;
                         lib_model;
+                        faults;
+                        fault_seed;
+                        fault_budget;
+                        deadline;
+                        state_budget;
                       }
                     in
                     let out = Buffer.create 256 in
@@ -197,7 +263,7 @@ let run config_file fs_name program mode_s k jobs max_cuts pfs_model_s
                             Out_channel.output_string oc (Buffer.contents out))
                     | None -> ());
                     `Ok ()
-                  end)))
+                  end))))
 
 let cmd =
   let doc =
@@ -224,6 +290,8 @@ let cmd =
       ret
         (const run $ config_file_arg $ fs_arg $ program_arg $ mode_arg $ k_arg
        $ jobs_arg $ max_cuts_arg $ pfs_model_arg $ lib_model_arg $ servers_arg
-       $ stripe_arg $ show_trace_arg $ json_arg $ output_arg))
+       $ stripe_arg $ faults_arg $ fault_seed_arg $ fault_budget_arg
+       $ deadline_arg $ state_budget_arg $ show_trace_arg $ json_arg
+       $ output_arg))
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,31 @@
+#!/bin/sh
+# Tier-1 gate: everything a PR must keep green (see ROADMAP.md).
+#
+#   ./ci.sh          build + full test suite (+ formatting when available)
+#   ./ci.sh --quick  build + quick tests only (skips the `Slow full
+#                    scheduler-determinism matrix)
+#
+# Formatting is checked with `dune build @fmt` only when ocamlformat is
+# installed; environments without it skip the gate rather than fail.
+
+set -eu
+cd "$(dirname "$0")"
+
+echo "== dune build =="
+dune build
+
+echo "== dune runtest =="
+if [ "${1:-}" = "--quick" ]; then
+    dune exec test/main.exe -- test -q
+else
+    dune runtest
+fi
+
+echo "== dune build @fmt =="
+if command -v ocamlformat >/dev/null 2>&1; then
+    dune build @fmt
+else
+    echo "ocamlformat not installed; skipping the formatting gate"
+fi
+
+echo "ci: OK"

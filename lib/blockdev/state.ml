@@ -1,18 +1,59 @@
 module IMap = Map.Make (Int)
 
-type t = string IMap.t
+(* Alongside each block's payload we keep the checksum the device
+   computed when the block was written — the simulated analogue of
+   T10-DIF / metadata-guard protection. [apply] always stores a sum
+   matching the data; only out-of-band corruption ([corrupt], the
+   fault injector's bit flips) can make them diverge, which is exactly
+   what [verify] detects. *)
 
-let empty = IMap.empty
+type t = { blocks : string IMap.t; sums : string IMap.t }
+
+let checksum = Paracrash_util.Digestutil.of_string
+let empty = { blocks = IMap.empty; sums = IMap.empty }
 
 let apply t = function
-  | Op.Scsi_write { lba; data; _ } -> IMap.add lba data t
+  | Op.Scsi_write { lba; data; _ } ->
+      { blocks = IMap.add lba data t.blocks; sums = IMap.add lba (checksum data) t.sums }
   | Op.Scsi_sync -> t
 
 let apply_all = List.fold_left apply
-let read t lba = IMap.find_opt lba t
-let mem t lba = IMap.mem lba t
-let bindings t = IMap.bindings t
+let read t lba = IMap.find_opt lba t.blocks
+let mem t lba = IMap.mem lba t.blocks
+let bindings t = IMap.bindings t.blocks
 
+let corrupt t lba ~byte ~bit =
+  match IMap.find_opt lba t.blocks with
+  | None -> t
+  | Some data when String.length data = 0 -> t
+  | Some data ->
+      let b = Bytes.of_string data in
+      let len = Bytes.length b in
+      let pos = ((byte mod len) + len) mod len in
+      Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor (1 lsl (bit land 7))));
+      (* deliberately NOT updating the stored checksum *)
+      { t with blocks = IMap.add lba (Bytes.to_string b) t.blocks }
+
+let block_ok t lba =
+  match (IMap.find_opt lba t.blocks, IMap.find_opt lba t.sums) with
+  | Some data, Some sum -> String.equal (checksum data) sum
+  | Some _, None -> false
+  | None, _ -> true
+
+let verify t =
+  IMap.fold
+    (fun lba data acc -> if block_ok t lba then acc else (lba, checksum data) :: acc)
+    t.blocks []
+  |> List.rev
+
+let read_checked t lba =
+  match IMap.find_opt lba t.blocks with
+  | None -> None
+  | Some data -> Some (if block_ok t lba then Ok data else Error data)
+
+(* Canonical form and equality are over the payloads only: a corrupt
+   block *is* a different device state, while the guard sums are
+   bookkeeping about how it got that way. *)
 let canonical t =
   let buf = Buffer.create 128 in
   IMap.iter
@@ -20,13 +61,17 @@ let canonical t =
       Buffer.add_string buf
         (Printf.sprintf "%d:%d:%s\n" lba (String.length data)
            (Paracrash_util.Digestutil.of_string data)))
-    t;
+    t.blocks;
   Buffer.contents buf
 
 let digest t = Paracrash_util.Digestutil.of_string (canonical t)
-let equal a b = IMap.equal String.equal a b
+let equal a b = IMap.equal String.equal a.blocks b.blocks
 
 let pp ppf t =
   Fmt.pf ppf "@[<v>";
-  IMap.iter (fun lba data -> Fmt.pf ppf "LBA %d: %dB@," lba (String.length data)) t;
+  IMap.iter
+    (fun lba data ->
+      Fmt.pf ppf "LBA %d: %dB%s@," lba (String.length data)
+        (if block_ok t lba then "" else " (checksum mismatch)"))
+    t.blocks;
   Fmt.pf ppf "@]"

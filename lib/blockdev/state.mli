@@ -13,6 +13,26 @@ val apply_all : t -> Op.t list -> t
 val read : t -> int -> string option
 val mem : t -> int -> bool
 val bindings : t -> (int * string) list
+
+val corrupt : t -> int -> byte:int -> bit:int -> t
+(** Flip one bit of the block at this LBA {e without} refreshing its
+    stored checksum — out-of-band corruption, as injected by the fault
+    subsystem. [byte] is taken mod the block length, [bit] mod 8.
+    No-op if the LBA is absent or empty. *)
+
+val verify : t -> (int * string) list
+(** LBAs whose payload no longer matches the checksum recorded when the
+    block was written, with the checksum of the corrupt payload. Empty
+    for any state built from [apply] alone. *)
+
+val block_ok : t -> int -> bool
+(** Whether the block at this LBA (if any) still matches its stored
+    checksum. Absent LBAs are trivially ok. *)
+
+val read_checked : t -> int -> (string, string) result option
+(** [read t lba], with [Error] carrying the payload when its stored
+    checksum no longer matches. *)
+
 val canonical : t -> string
 val digest : t -> string
 val equal : t -> t -> bool

@@ -14,6 +14,11 @@ type options = Pipeline.options = {
   max_cuts : int;
   classify : bool;
   jobs : int;
+  faults : Paracrash_fault.Plan.cls list;
+  fault_seed : int;
+  fault_budget : int;
+  deadline : float option;
+  state_budget : int option;
 }
 
 let default_options = Pipeline.default_options
@@ -31,10 +36,37 @@ let run ?(options = default_options) ~config ~make_fs spec =
   Tracer.set_enabled tracer false;
   spec.preamble handle;
   let initial = Handle.snapshot handle in
+  (* the rpc fault class acts at trace time: a seeded injector disturbs
+     the test program's RPCs (lost replies force retransmission, so
+     handlers re-execute; duplicated requests deliver twice), and the
+     counters land in the report's fault section *)
+  let injector =
+    if List.mem Paracrash_fault.Plan.Rpc options.faults then begin
+      let inj = Paracrash_fault.Rpc_faults.injector ~seed:options.fault_seed in
+      Paracrash_net.Rpc.install tracer inj;
+      Some inj
+    end
+    else None
+  in
   Tracer.set_enabled tracer true;
-  spec.test handle;
+  let finally () = Paracrash_net.Rpc.uninstall tracer in
+  (try spec.test handle
+   with e ->
+     finally ();
+     raise e);
+  finally ();
   Tracer.set_enabled tracer false;
+  let rpc =
+    Option.map
+      (fun (inj : Paracrash_net.Rpc.injector) ->
+        {
+          Report.drops = inj.drops;
+          duplicates = inj.duplicates;
+          retries = inj.retries;
+        })
+      injector
+  in
   let session = Session.of_run ~handle ~initial in
   let lib = Option.map (fun f -> f ~model:options.lib_model session) spec.lib in
-  let report = Pipeline.run options ~session ~lib ~workload:spec.name in
+  let report = Pipeline.run ?rpc options ~session ~lib ~workload:spec.name in
   (report, session)

@@ -19,6 +19,12 @@ type options = Pipeline.options = {
   max_cuts : int;
   classify : bool;  (** classify and deduplicate inconsistent states *)
   jobs : int;  (** worker domains for the check stage (1 = serial) *)
+  faults : Paracrash_fault.Plan.cls list;
+      (** fault classes to overlay; [[]] disables fault injection *)
+  fault_seed : int;
+  fault_budget : int;
+  deadline : float option;  (** wall-clock seconds before a partial stop *)
+  state_budget : int option;  (** max crash states explored *)
 }
 
 val default_options : options

@@ -29,14 +29,16 @@ let proc_masks (s : Session.t) =
 
 (* Replay the ops in [sel] (all belonging to one proc) onto that proc's
    image. Anomalies keep their event index so cross-server merges can
-   restore global trace order. *)
-let replay_image (s : Session.t) img0 sel =
+   restore global trace order. [transform] lets the fault injector
+   rewrite a payload on its way to the image (e.g. a torn write
+   persisting only a prefix); the default is the identity. *)
+let replay_image ?(transform = fun _ p -> p) (s : Session.t) img0 sel =
   let img = ref img0 in
   let anomalies = ref [] in
   Bitset.iter
     (fun i ->
       let e = Session.storage_event s i in
-      match e.Event.payload with
+      match transform i e.Event.payload with
       | Event.Posix_op op -> (
           let img', err = Images.apply_posix_image !img op in
           img := img';
@@ -75,14 +77,14 @@ let merge_anomalies per_server =
   |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
   |> List.map snd
 
-let reconstruct (s : Session.t) persisted =
+let reconstruct ?transform (s : Session.t) persisted =
   let images = ref s.initial in
   let anomalies = ref [] in
   List.iter
     (fun (proc, mask) ->
       let sel = Bitset.inter persisted mask in
       if not (Bitset.is_empty sel) then begin
-        let img, anoms = replay_image s (initial_image s proc) sel in
+        let img, anoms = replay_image ?transform s (initial_image s proc) sel in
         images := Images.add !images proc img;
         anomalies := anoms :: !anomalies
       end)

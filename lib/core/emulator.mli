@@ -8,12 +8,18 @@
     crash state (§5.3 of the paper). *)
 
 val reconstruct :
-  Session.t -> Paracrash_util.Bitset.t -> Paracrash_pfs.Images.t * string list
+  ?transform:(int -> Paracrash_trace.Event.payload -> Paracrash_trace.Event.payload) ->
+  Session.t ->
+  Paracrash_util.Bitset.t ->
+  Paracrash_pfs.Images.t * string list
 (** [reconstruct s persisted] applies, in trace order, exactly the
     storage operations whose indices are in [persisted]. Returns the
     resulting images and the replay anomalies (operations that could
     not apply because a dropped victim removed their preconditions —
-    these model garbage left behind by partial persistence). *)
+    these model garbage left behind by partial persistence).
+    [transform], given the storage-op index and its payload, may
+    rewrite the payload on its way to the image — the fault injector's
+    hook for torn writes; default identity. *)
 
 val reconstruct_server :
   Session.t ->

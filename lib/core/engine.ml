@@ -56,9 +56,11 @@ let semantic ctx = ctx.lib <> None
 (* --- check stage (parallelizable) --------------------------------------- *)
 
 type shard_result = {
-  verdicts : Checker.verdict option array;
+  verdicts : (Checker.verdict, string) result option array;
       (** [None]: skipped by the static (semantic) prune rule, which the
-          reduce stage is guaranteed to prune as well *)
+          reduce stage is guaranteed to prune as well. [Some (Error msg)]:
+          the check raised — captured so one bad state cannot abort the
+          run *)
   shard_misses : int;
       (** per-server image rebuilds performed by this shard's own cache
           (optimized mode), or full reboots charged per checked state *)
@@ -85,17 +87,21 @@ let check_shard ctx (states : Explore.state array) =
         then None
         else begin
           incr n_checked;
-          let v, _view, _lib_view =
-            match cache with
-            | Some c ->
-                Checker.check ctx.session ~pfs_legal:ctx.pfs_legal ?lib:ctx.lib
-                  ~reconstruct:(Emulator.reconstruct_cached c ctx.session)
-                  st.persisted
-            | None ->
-                Checker.check ctx.session ~pfs_legal:ctx.pfs_legal ?lib:ctx.lib
-                  st.persisted
-          in
-          Some v
+          match
+            let v, _view, _lib_view =
+              match cache with
+              | Some c ->
+                  Checker.check ctx.session ~pfs_legal:ctx.pfs_legal ?lib:ctx.lib
+                    ~reconstruct:(Emulator.reconstruct_cached c ctx.session)
+                    st.persisted
+              | None ->
+                  Checker.check ctx.session ~pfs_legal:ctx.pfs_legal ?lib:ctx.lib
+                    st.persisted
+            in
+            v
+          with
+          | v -> Some (Ok v)
+          | exception e -> Some (Error (Printexc.to_string e))
         end)
       states
   in
@@ -124,6 +130,7 @@ type acc = {
   mutable n_checked : int;
   mutable n_pruned : int;
   mutable n_inconsistent : int;
+  mutable check_errors : Report.check_error list;  (* reversed *)
 }
 
 let acc_create ctx =
@@ -140,6 +147,7 @@ let acc_create ctx =
     n_checked = 0;
     n_pruned = 0;
     n_inconsistent = 0;
+    check_errors = [];
   }
 
 (* On-demand memoized check. State checks (serial scheduler) thread the
@@ -284,31 +292,45 @@ let classify_state ctx acc (st : Explore.state) layer lib_view view_opt =
         };
       acc.bug_order <- key :: acc.bug_order
 
+let record_check_error acc (st : Explore.state) msg =
+  acc.check_errors <-
+    { Report.state = Bitset.to_string st.persisted; message = msg }
+    :: acc.check_errors
+
 (* One state of the canonical (ordered) stream. [?verdict] carries a
-   worker-domain verdict; without it the verdict is computed on demand
+   worker-domain outcome; without it the verdict is computed on demand
    through the shared serial cache — the oracle path, identical to the
-   historical monolithic loop. *)
+   historical monolithic loop. A check (or classification) that raises
+   is captured as a [check_error] entry and the run continues: one bad
+   state must never abort a long exploration. *)
 let step ctx acc ?verdict (st : Explore.state) =
   if ctx.mode <> Brute_force && Prune.should_skip acc.prune ~semantic:(semantic ctx) st
   then acc.n_pruned <- acc.n_pruned + 1
   else begin
     acc.n_checked <- acc.n_checked + 1;
-    let v, view_opt, lib_view =
+    let outcome =
       match verdict with
-      | Some v -> (v, None, None)
-      | None ->
+      | Some (Ok v) -> Ok (v, None, None)
+      | Some (Error msg) -> Error msg
+      | None -> (
           let reconstruct =
             Option.map
               (fun c -> Emulator.reconstruct_cached c ctx.session)
               acc.serial_cache
           in
-          check_state ctx acc ?reconstruct st.persisted
+          match check_state ctx acc ?reconstruct st.persisted with
+          | v, view_opt, lib_view -> Ok (v, view_opt, lib_view)
+          | exception e -> Error (Printexc.to_string e))
     in
-    match v with
-    | Checker.Consistent | Checker.Consistent_after_recovery -> ()
-    | Checker.Inconsistent layer ->
+    match outcome with
+    | Error msg -> record_check_error acc st msg
+    | Ok ((Checker.Consistent | Checker.Consistent_after_recovery), _, _) -> ()
+    | Ok (Checker.Inconsistent layer, view_opt, lib_view) ->
         acc.n_inconsistent <- acc.n_inconsistent + 1;
-        if ctx.classify then classify_state ctx acc st layer lib_view view_opt
+        if ctx.classify then (
+          try classify_state ctx acc st layer lib_view view_opt
+          with e ->
+            record_check_error acc st ("classification: " ^ Printexc.to_string e))
   end
 
 type result = {
@@ -318,6 +340,8 @@ type result = {
   n_checked : int;
   n_pruned : int;
   n_inconsistent : int;
+  check_errors : Report.check_error list;
+      (** states whose check raised, in canonical stream order *)
   serial_misses : int;
       (** image rebuilds of the reduce stage's own cache (serial
           optimized runs); 0 when verdicts came precomputed *)
@@ -336,8 +360,90 @@ let finish (acc : acc) =
     n_checked = acc.n_checked;
     n_pruned = acc.n_pruned;
     n_inconsistent = acc.n_inconsistent;
+    check_errors = List.rev acc.check_errors;
     serial_misses =
       (match acc.serial_cache with
       | Some c -> Emulator.cache_misses c
       | None -> 0);
   }
+
+(* --- faulted checking ----------------------------------------------------- *)
+
+module Fault = Paracrash_fault
+
+(* Judge one shard of (crash state x fault plan) pairs against the same
+   golden-master legal states as the clean exploration. The fault plan
+   composes through [Checker.check]'s reconstruction hook: fail-stop
+   narrows the persisted selection, torn writes rewrite payloads during
+   replay, bit flips corrupt the finished images. Pure per pair, hence
+   safe on worker domains and deterministic across job counts. Each
+   pair is a fresh full reconstruction (no cache: transforms poison
+   reuse), and a raising check degrades to [Error] like everywhere
+   else. *)
+let check_faulted ctx ictx (pairs : Explore.faulted array) =
+  Array.map
+    (fun { Explore.fstate; plan } ->
+      try
+        let transform = Fault.Inject.transform plan in
+        let reconstruct persisted =
+          let sel = Fault.Inject.mask ictx plan persisted in
+          let images, anomalies = Emulator.reconstruct ~transform ctx.session sel in
+          (Fault.Inject.corrupt_images plan images, anomalies)
+        in
+        let v, view, lib_view =
+          Checker.check ctx.session ~pfs_legal:ctx.pfs_legal ?lib:ctx.lib
+            ~reconstruct fstate.Explore.persisted
+        in
+        match v with
+        | Checker.Consistent | Checker.Consistent_after_recovery -> Ok None
+        | Checker.Inconsistent layer ->
+            let conseq =
+              match layer with
+              | Checker.Lib_fault -> lib_consequence ctx ~view ~lib_view
+              | Checker.Pfs_fault -> consequence ~expected:ctx.expected view
+            in
+            Ok (Some (layer, conseq))
+      with e -> Error (Printexc.to_string e))
+    pairs
+
+(* Sequential reduce of faulted verdicts: findings are grouped by
+   (fault description, layer) so one torn write inconsistent under many
+   crash states reads as one finding with a state count. *)
+let reduce_faulted ~events (pairs : Explore.faulted array) outcomes =
+  let tbl = Hashtbl.create 16 in
+  let order = ref [] in
+  let errors = ref [] in
+  let n_inconsistent = ref 0 in
+  Array.iteri
+    (fun i outcome ->
+      let { Explore.plan; fstate } = pairs.(i) in
+      let desc = Fault.Plan.describe ~events plan in
+      match outcome with
+      | Error msg ->
+          errors :=
+            {
+              Report.state =
+                Printf.sprintf "%s under %s" (Bitset.to_string fstate.Explore.persisted) desc;
+              message = msg;
+            }
+            :: !errors
+      | Ok None -> ()
+      | Ok (Some (layer, conseq)) ->
+          incr n_inconsistent;
+          let key = (desc, layer) in
+          (match Hashtbl.find_opt tbl key with
+          | Some f ->
+              Hashtbl.replace tbl key
+                { f with Report.fstates = f.Report.fstates + 1 }
+          | None ->
+              Hashtbl.replace tbl key
+                {
+                  Report.fault = desc;
+                  flayer = layer;
+                  fconsequence = conseq;
+                  fstates = 1;
+                };
+              order := key :: !order))
+    outcomes;
+  let findings = List.rev_map (fun k -> Hashtbl.find tbl k) !order in
+  (findings, !n_inconsistent, List.rev !errors)

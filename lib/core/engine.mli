@@ -43,9 +43,11 @@ val create :
 (** {1 Check stage} *)
 
 type shard_result = {
-  verdicts : Checker.verdict option array;
+  verdicts : (Checker.verdict, string) result option array;
       (** [None]: skipped by the static (semantic) prune rule, which the
-          reduce stage is guaranteed to prune as well *)
+          reduce stage is guaranteed to prune as well. [Some (Error msg)]:
+          the check raised; the reduce records a {!Report.check_error}
+          instead of aborting the run *)
   shard_misses : int;
       (** per-server image rebuilds of this shard's own cache (optimized
           mode), or full reboots charged per checked state *)
@@ -67,12 +69,14 @@ type acc
 
 val acc_create : ctx -> acc
 
-val step : ctx -> acc -> ?verdict:Checker.verdict -> Explore.state -> unit
+val step :
+  ctx -> acc -> ?verdict:(Checker.verdict, string) result -> Explore.state -> unit
 (** Process the next state of the canonical order: decide pruning,
     obtain the verdict ([?verdict] if a worker precomputed it, else
     checked on demand through the reduce's own incremental cache — the
     serial oracle path), classify inconsistencies and update the bug
-    table. *)
+    table. A check or classification that raises becomes a
+    {!Report.check_error} entry; the stream continues. *)
 
 type result = {
   bugs : Report.bug list;
@@ -81,9 +85,35 @@ type result = {
   n_checked : int;
   n_pruned : int;
   n_inconsistent : int;
+  check_errors : Report.check_error list;
+      (** states whose check raised, in canonical stream order *)
   serial_misses : int;
       (** image rebuilds of the reduce's own cache (serial optimized
           runs); 0 when verdicts came precomputed *)
 }
 
 val finish : acc -> result
+
+(** {1 Faulted checking} *)
+
+val check_faulted :
+  ctx ->
+  Paracrash_fault.Inject.ctx ->
+  Explore.faulted array ->
+  ((Checker.layer * string) option, string) Stdlib.result array
+(** Judge one shard of (crash state x fault plan) pairs against the
+    golden-master legal states; the plan composes through the checker's
+    reconstruction hook (fail-stop masking, torn-write payload
+    rewriting, post-replay bit flips). [Ok None] is consistent,
+    [Ok (Some (layer, consequence))] an inconsistency attributed by the
+    layer walk-down, [Error msg] a captured check exception. Pure per
+    pair; safe on worker domains. *)
+
+val reduce_faulted :
+  events:Paracrash_trace.Event.t array ->
+  Explore.faulted array ->
+  ((Checker.layer * string) option, string) Stdlib.result array ->
+  Report.fault_finding list * int * Report.check_error list
+(** Sequential reduce over faulted outcomes in canonical order: findings
+    grouped by (fault description, layer) with state counts, the number
+    of inconsistent pairs, and captured check errors. *)

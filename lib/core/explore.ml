@@ -87,3 +87,36 @@ let generate ?k ?max_cuts (s : Session.t) ~persist =
   let states, stats = generate_seq ?k ?max_cuts s ~persist in
   let states = List.of_seq states in
   (states, stats ())
+
+(* --- (downset x fault plan) pairs ---------------------------------------- *)
+
+module Fault = Paracrash_fault
+
+type faulted = { fstate : state; plan : Fault.Plan.t }
+
+(* Cross every crash state with every fault plan that can act on it
+   (e.g. a torn write only matters in states that persisted the torn
+   op), then down-sample the pairs to [budget] with the seeded
+   generator. Enumeration order is plan-major over the canonical state
+   order, so the result is a pure function of (states, plans, seed,
+   budget) — reproducible across runs and job counts. *)
+let with_faults ~seed ~budget ~inject ~plans states =
+  let pairs = ref [] in
+  let n = ref 0 in
+  List.iter
+    (fun plan ->
+      Array.iter
+        (fun st ->
+          if Fault.Inject.applicable inject plan st.persisted then begin
+            pairs := { fstate = st; plan } :: !pairs;
+            incr n
+          end)
+        states)
+    plans;
+  let all = Array.of_list (List.rev !pairs) in
+  if !n <= budget then all
+  else begin
+    let rng = Fault.Rng.create seed in
+    Array.of_list
+      (List.map (fun i -> all.(i)) (Fault.Rng.pick rng budget !n))
+  end

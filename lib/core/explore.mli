@@ -50,3 +50,21 @@ val generate :
     increasing it did not expose new bugs). [max_cuts] caps cut
     enumeration for very wide graphs (default 100_000); [stats.truncated]
     reports whether the cap was hit. *)
+
+(** {1 Faulted states} *)
+
+type faulted = { fstate : state; plan : Paracrash_fault.Plan.t }
+(** One crash state overlaid with one fault plan. *)
+
+val with_faults :
+  seed:int ->
+  budget:int ->
+  inject:Paracrash_fault.Inject.ctx ->
+  plans:Paracrash_fault.Plan.t list ->
+  state array ->
+  faulted array
+(** Cross [states] with every plan applicable to them (a fault on an op
+    the state never persisted is a no-op and is skipped), down-sampled
+    to at most [budget] pairs with the seeded generator. Deterministic
+    in (states, plans, seed, budget): order is plan-major over the
+    given state order. *)

@@ -1,4 +1,5 @@
 module Bitset = Paracrash_util.Bitset
+module Fault = Paracrash_fault
 
 type options = {
   k : int;
@@ -8,6 +9,11 @@ type options = {
   max_cuts : int;
   classify : bool;
   jobs : int;
+  faults : Fault.Plan.cls list;
+  fault_seed : int;
+  fault_budget : int;
+  deadline : float option;
+  state_budget : int option;
 }
 
 let default_options =
@@ -19,6 +25,11 @@ let default_options =
     max_cuts = 100_000;
     classify = true;
     jobs = 1;
+    faults = [];
+    fault_seed = 1;
+    fault_budget = Fault.Plan.default_budget;
+    deadline = None;
+    state_budget = None;
   }
 
 (* Large enough that every current workload fits in one chunk, so the
@@ -57,52 +68,158 @@ let ordered_chunks ~options ~order_chunk session states_seq =
   in
   go None states_seq
 
-let run ?(order_chunk = default_order_chunk) options ~session ~lib ~workload =
+(* Cut the generated stream to its first [budget] states — the prefix of
+   the canonical generation order, before visit ordering, so the same
+   states survive under every scheduler — and drain the remainder so the
+   generation statistics (cheap enumeration, no checking) still cover
+   the full space. *)
+let budgeted ~state_budget states_seq =
+  match state_budget with
+  | None -> (states_seq, fun () -> false)
+  | Some b ->
+      let hit = ref false in
+      let rec limited n seq () =
+        match seq () with
+        | Seq.Nil -> Seq.Nil
+        | Seq.Cons (x, tl) ->
+            if n >= b then begin
+              hit := true;
+              Seq.iter ignore tl;
+              ignore x;
+              Seq.Nil
+            end
+            else Seq.Cons (x, limited (n + 1) tl)
+      in
+      (limited 0 states_seq, fun () -> !hit)
+
+let run ?(order_chunk = default_order_chunk) ?rpc options ~session ~lib
+    ~workload =
   let t0 = Unix.gettimeofday () in
   (* stage 1: generate — a lazy stream of deduplicated crash states *)
   let persist = Persist.build session in
   let states_seq, gen_stats =
     Explore.generate_seq ~k:options.k ~max_cuts:options.max_cuts session ~persist
   in
+  let states_seq, budget_hit = budgeted ~state_budget:options.state_budget states_seq in
   let ctx =
     Engine.create ~session ~mode:options.mode ~classify:options.classify
       ~pfs_model:options.pfs_model ~lib
   in
   let scheduler = Scheduler.of_jobs options.jobs in
   let acc = Engine.acc_create ctx in
+  let deadline_hit = ref false in
+  let over_deadline () =
+    match options.deadline with
+    | Some d when Unix.gettimeofday () -. t0 > d ->
+        deadline_hit := true;
+        true
+    | _ -> false
+  in
+  (* faulted checking revisits the explored states, so tee them off the
+     stream when a fault phase will need them *)
+  let teed = ref [] in
+  let tee chunk = if options.faults <> [] then teed := chunk :: !teed in
   (* stages 3+4: check, then reduce in the canonical stream order. The
      serial scheduler computes verdicts on demand inside the reduce (the
      oracle path, byte-identical to the historical driver); a parallel
      scheduler precomputes verdicts shard-wise across domains and the
-     reduce replays the same deterministic decisions over them. *)
+     reduce replays the same deterministic decisions over them. An
+     expired deadline stops checking (per state serially, per chunk in
+     parallel) but the stream is still drained for complete generation
+     stats. *)
   let parallel_misses = ref 0 in
   (match scheduler with
   | Scheduler.Serial ->
-      Seq.iter
-        (Array.iter (fun st -> Engine.step ctx acc st))
-        (ordered_chunks ~options ~order_chunk session states_seq)
+      let rec visit seq =
+        match seq () with
+        | Seq.Nil -> ()
+        | Seq.Cons (chunk, tl) ->
+            tee chunk;
+            Array.iter
+              (fun st -> if not (over_deadline ()) then Engine.step ctx acc st)
+              chunk;
+            visit tl
+      in
+      visit (ordered_chunks ~options ~order_chunk session states_seq)
   | Scheduler.Parallel _ ->
       let chunks =
         List.of_seq (ordered_chunks ~options ~order_chunk session states_seq)
       in
-      let all = Array.concat chunks in
-      let shards = Scheduler.split ~shards:(Scheduler.jobs scheduler) all in
-      let results =
-        Scheduler.map_shards scheduler ~f:(Engine.check_shard ctx) shards
-      in
-      Array.iteri
-        (fun i shard ->
-          let r = results.(i) in
-          parallel_misses := !parallel_misses + r.Engine.shard_misses;
-          Array.iteri
-            (fun j st ->
-              match r.Engine.verdicts.(j) with
-              | Some v -> Engine.step ctx acc ~verdict:v st
-              | None -> Engine.step ctx acc st)
-            shard)
-        shards);
+      List.iter
+        (fun chunk ->
+          tee chunk;
+          if not (over_deadline ()) then begin
+            let shards = Scheduler.split ~shards:(Scheduler.jobs scheduler) chunk in
+            let results =
+              Scheduler.map_shards scheduler ~f:(Engine.check_shard ctx) shards
+            in
+            Array.iteri
+              (fun i shard ->
+                let r = results.(i) in
+                parallel_misses := !parallel_misses + r.Engine.shard_misses;
+                Array.iteri
+                  (fun j st ->
+                    match r.Engine.verdicts.(j) with
+                    | Some v -> Engine.step ctx acc ~verdict:v st
+                    | None -> Engine.step ctx acc st)
+                  shard)
+              shards
+          end)
+        chunks);
   let res = Engine.finish acc in
   let gen = gen_stats () in
+  (* stage 5 (optional): overlay fault plans on the explored states and
+     judge each (state x plan) pair against the same golden masters *)
+  let fault, fault_errors =
+    match options.faults with
+    | [] -> (None, [])
+    | classes ->
+        let events =
+          Array.init (Session.n_storage_ops session) (Session.storage_event session)
+        in
+        let servers = Paracrash_pfs.Handle.servers session.Session.handle in
+        let spec =
+          {
+            Fault.Plan.classes;
+            seed = options.fault_seed;
+            budget = options.fault_budget;
+          }
+        in
+        let plans = Fault.Plan.enumerate ~events ~servers spec in
+        let ictx = Fault.Inject.make ~events in
+        let states = Array.concat (List.rev !teed) in
+        let faulted =
+          Explore.with_faults ~seed:options.fault_seed
+            ~budget:options.fault_budget ~inject:ictx ~plans states
+        in
+        let outcomes =
+          match scheduler with
+          | Scheduler.Serial -> Engine.check_faulted ctx ictx faulted
+          | Scheduler.Parallel _ ->
+              let shards =
+                Scheduler.split ~shards:(Scheduler.jobs scheduler) faulted
+              in
+              let results =
+                Scheduler.map_shards scheduler ~f:(Engine.check_faulted ctx ictx)
+                  shards
+              in
+              Array.concat (Array.to_list results)
+        in
+        let findings, n_fault_inconsistent, errs =
+          Engine.reduce_faulted ~events faulted outcomes
+        in
+        ( Some
+            {
+              Report.fault_seed = options.fault_seed;
+              classes = Fault.Plan.classes_to_string classes;
+              n_plans = List.length plans;
+              n_faulted = Array.length faulted;
+              n_fault_inconsistent;
+              findings;
+              rpc;
+            },
+          errs )
+  in
   let restarts =
     match (options.mode, scheduler) with
     | (Engine.Brute_force | Engine.Pruned), _ ->
@@ -119,6 +236,11 @@ let run ?(order_chunk = default_order_chunk) options ~session ~lib ~workload =
   in
   let wall = Unix.gettimeofday () -. t0 in
   let fs = Paracrash_pfs.Handle.fs_name session.Session.handle in
+  let partial =
+    if !deadline_hit || budget_hit () then
+      Some { Report.deadline_hit = !deadline_hit; budget_hit = budget_hit () }
+    else None
+  in
   {
     Report.workload;
     fs;
@@ -137,4 +259,7 @@ let run ?(order_chunk = default_order_chunk) options ~session ~lib ~workload =
         n_checked = res.Engine.n_checked;
         n_pruned = res.Engine.n_pruned;
       };
+    fault;
+    partial;
+    check_errors = res.Engine.check_errors @ fault_errors;
   }

@@ -1,6 +1,6 @@
 (** Staged crash-state exploration pipeline.
 
-    Decomposes the historical monolithic driver loop into four explicit
+    Decomposes the historical monolithic driver loop into explicit
     stages:
 
     - {b generate}: {!Explore.generate_seq} streams deduplicated crash
@@ -15,13 +15,24 @@
     - {b reduce}: {!Engine.step} folds the verdicts in the canonical
       stream order — pruning, classification, bug deduplication and the
       perf counters are sequential and deterministic, so every scheduler
-      produces the same bugs, verdict counts and prune decisions.
+      produces the same bugs, verdict counts and prune decisions;
+    - {b fault} (optional): {!Explore.with_faults} overlays seeded fault
+      plans on the explored states and {!Engine.check_faulted} judges
+      each (state x plan) pair against the same golden masters, again
+      deterministically across schedulers.
 
     Only wall time and (in optimized mode) the measured restart count
     depend on the scheduler: each parallel domain boots its shard's
     servers cold, adding at most [(jobs - 1) * n_servers] restarts plus
     the speculative checks of states that learned scenario pruning
-    skips serially. *)
+    skips serially.
+
+    {b Graceful degradation.} A check that raises on one state becomes a
+    {!Report.check_error} entry and the run continues. [state_budget]
+    truncates exploration to the first [n] states of the canonical
+    generation order (deterministic across schedulers); [deadline] stops
+    checking once the wall clock expires (inherently scheduler- and
+    load-dependent). Either marks the report {!Report.partial}. *)
 
 type options = {
   k : int;  (** max victims per crash state (Algorithm 1) *)
@@ -33,14 +44,21 @@ type options = {
   jobs : int;
       (** worker domains for the check stage: 1 = serial oracle, [n > 1]
           = [Scheduler.Parallel n] *)
+  faults : Paracrash_fault.Plan.cls list;
+      (** fault classes to overlay; [[]] disables the fault phase *)
+  fault_seed : int;  (** seed for plan enumeration and pair sampling *)
+  fault_budget : int;  (** bound on plans and on (state x plan) pairs *)
+  deadline : float option;  (** wall-clock seconds before a partial stop *)
+  state_budget : int option;  (** max crash states explored *)
 }
 
 val default_options : options
 (** k = 1, optimized exploration, causal PFS model, baseline library
-    model, serial scheduling. *)
+    model, serial scheduling, faults disabled, no deadline or budget. *)
 
 val run :
   ?order_chunk:int ->
+  ?rpc:Report.rpc_stats ->
   options ->
   session:Session.t ->
   lib:Checker.lib_layer option ->
@@ -49,4 +67,6 @@ val run :
 (** Run the full pipeline over an already-traced session. [order_chunk]
     bounds the TSP ordering working set (default large enough that
     current workloads are single-chunk, making the tour identical to the
-    historical whole-list ordering). *)
+    historical whole-list ordering). [rpc] carries the trace-time RPC
+    fault counters into the report's fault section (recorded by the
+    {!Driver} when the [rpc] fault class was active). *)

@@ -14,6 +14,28 @@ type perf = {
   n_pruned : int;
 }
 
+type check_error = { state : string; message : string }
+type rpc_stats = { drops : int; duplicates : int; retries : int }
+
+type fault_finding = {
+  fault : string;
+  flayer : Checker.layer;
+  fconsequence : string;
+  fstates : int;
+}
+
+type fault = {
+  fault_seed : int;
+  classes : string;
+  n_plans : int;
+  n_faulted : int;
+  n_fault_inconsistent : int;
+  findings : fault_finding list;
+  rpc : rpc_stats option;
+}
+
+type partial = { deadline_hit : bool; budget_hit : bool }
+
 type t = {
   workload : string;
   fs : string;
@@ -24,7 +46,14 @@ type t = {
   lib_bugs : int;
   pfs_bugs : int;
   perf : perf;
+  fault : fault option;
+  partial : partial option;
+  check_errors : check_error list;
 }
+
+(* JSON schema version: bumped to 2 when the fault / partial /
+   check_errors fields appeared. *)
+let json_version = 2
 
 let layer_name = function
   | Checker.Pfs_fault -> "PFS"
@@ -35,6 +64,14 @@ let pp_bug ppf b =
     b.description b.consequence b.states
     (if b.states = 1 then "" else "s")
 
+let pp_finding ppf f =
+  Fmt.pf ppf "@[<v2>[fault/%s] %s@,consequence: %s (%d state%s)@]"
+    (layer_name f.flayer) f.fault f.fconsequence f.fstates
+    (if f.fstates = 1 then "" else "s")
+
+(* The pretty report must stay byte-identical to its pre-fault form
+   whenever faults are off and nothing went wrong: every new section
+   below is emitted only when present. *)
 let pp ppf t =
   Fmt.pf ppf
     "@[<v>%s on %s (%s mode): %d cuts, %d candidate states, %d unique, %d \
@@ -46,7 +83,34 @@ let pp ppf t =
     Fmt.pf ppf
       "WARNING: cut enumeration truncated at %d cuts; coverage is partial@,"
       t.gen.Explore.n_cuts;
+  (match t.partial with
+  | Some p when p.deadline_hit || p.budget_hit ->
+      Fmt.pf ppf "WARNING: PARTIAL report — exploration stopped early (%s)@,"
+        (String.concat ", "
+           ((if p.deadline_hit then [ "deadline reached" ] else [])
+           @ (if p.budget_hit then [ "state budget exhausted" ] else [])))
+  | _ -> ());
   List.iter (fun b -> Fmt.pf ppf "%a@," pp_bug b) t.bugs;
+  (match t.fault with
+  | None -> ()
+  | Some f ->
+      Fmt.pf ppf
+        "fault injection (classes %s, seed %d): %d plans, %d faulted states \
+         checked, %d inconsistent@,"
+        f.classes f.fault_seed f.n_plans f.n_faulted f.n_fault_inconsistent;
+      (match f.rpc with
+      | Some r ->
+          Fmt.pf ppf "rpc faults: %d dropped replies, %d duplicated requests, %d retries@,"
+            r.drops r.duplicates r.retries
+      | None -> ());
+      List.iter (fun fd -> Fmt.pf ppf "%a@," pp_finding fd) f.findings);
+  (match t.check_errors with
+  | [] -> ()
+  | errs ->
+      Fmt.pf ppf "%d state(s) failed to check (run continued):@," (List.length errs);
+      List.iter
+        (fun e -> Fmt.pf ppf "  check error on %s: %s@," e.state e.message)
+        errs);
   Fmt.pf ppf "wall %.3fs, modeled %.1fs, %d restarts@]" t.perf.wall_seconds
     t.perf.modeled_seconds t.perf.restarts
 
@@ -68,6 +132,7 @@ let to_json t =
   let buf = Buffer.create 512 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   add "{\n";
+  add "  \"version\": %d,\n" json_version;
   add "  \"workload\": \"%s\",\n" (json_escape t.workload);
   add "  \"fs\": \"%s\",\n" (json_escape t.fs);
   add "  \"mode\": \"%s\",\n" (json_escape t.mode);
@@ -80,6 +145,45 @@ let to_json t =
   add "  \"lib_bugs\": %d,\n" t.lib_bugs;
   add "  \"perf\": { \"wall_seconds\": %.6f, \"modeled_seconds\": %.3f, \"restarts\": %d },\n"
     t.perf.wall_seconds t.perf.modeled_seconds t.perf.restarts;
+  (match t.partial with
+  | None -> add "  \"partial\": null,\n"
+  | Some p ->
+      add "  \"partial\": { \"deadline_hit\": %b, \"budget_hit\": %b },\n"
+        p.deadline_hit p.budget_hit);
+  add "  \"check_errors\": [\n";
+  List.iteri
+    (fun i e ->
+      add "    { \"state\": \"%s\", \"message\": \"%s\" }%s\n"
+        (json_escape e.state) (json_escape e.message)
+        (if i = List.length t.check_errors - 1 then "" else ","))
+    t.check_errors;
+  add "  ],\n";
+  (match t.fault with
+  | None -> add "  \"fault\": null,\n"
+  | Some f ->
+      add "  \"fault\": {\n";
+      add "    \"seed\": %d,\n" f.fault_seed;
+      add "    \"classes\": \"%s\",\n" (json_escape f.classes);
+      add "    \"plans\": %d,\n" f.n_plans;
+      add "    \"faulted\": %d,\n" f.n_faulted;
+      add "    \"fault_inconsistent\": %d,\n" f.n_fault_inconsistent;
+      (match f.rpc with
+      | None -> add "    \"rpc\": null,\n"
+      | Some r ->
+          add "    \"rpc\": { \"drops\": %d, \"duplicates\": %d, \"retries\": %d },\n"
+            r.drops r.duplicates r.retries);
+      add "    \"findings\": [\n";
+      List.iteri
+        (fun i fd ->
+          add "      { \"layer\": \"%s\", \"fault\": \"%s\", \"consequence\": \"%s\", \"states\": %d }%s\n"
+            (json_escape (layer_name fd.flayer))
+            (json_escape fd.fault)
+            (json_escape fd.fconsequence)
+            fd.fstates
+            (if i = List.length f.findings - 1 then "" else ","))
+        f.findings;
+      add "    ]\n";
+      add "  },\n");
   add "  \"bugs\": [\n";
   List.iteri
     (fun i b ->
@@ -98,6 +202,9 @@ let to_json t =
   Buffer.contents buf
 
 let summary_line t =
-  Fmt.str "%-18s %-10s %-10s states=%-5d inconsistent=%-4d bugs=%d (pfs=%d lib=%d)"
+  Fmt.str "%-18s %-10s %-10s states=%-5d inconsistent=%-4d bugs=%d (pfs=%d lib=%d)%s"
     t.workload t.fs t.mode t.perf.n_checked t.n_inconsistent (List.length t.bugs)
     t.pfs_bugs t.lib_bugs
+    (match t.fault with
+    | Some f -> Fmt.str " faulted=%d/%d" f.n_fault_inconsistent f.n_faulted
+    | None -> "")

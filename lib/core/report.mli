@@ -19,6 +19,36 @@ type perf = {
   n_pruned : int;  (** crash states skipped by pruning *)
 }
 
+type check_error = {
+  state : string;  (** compact rendering of the crash state (or fault) *)
+  message : string;  (** the exception that interrupted its check *)
+}
+(** A state whose check raised: captured, reported, run continued. *)
+
+type rpc_stats = { drops : int; duplicates : int; retries : int }
+(** Trace-time RPC fault counters (lost replies, duplicated requests,
+    retransmissions actually performed). *)
+
+type fault_finding = {
+  fault : string;  (** human description of the injected fault *)
+  flayer : Checker.layer;  (** attribution by the usual layer walk-down *)
+  fconsequence : string;
+  fstates : int;  (** faulted crash states sharing this finding *)
+}
+
+type fault = {
+  fault_seed : int;
+  classes : string;  (** canonical comma-separated fault classes *)
+  n_plans : int;  (** plans enumerated under the budget *)
+  n_faulted : int;  (** (state x plan) pairs judged *)
+  n_fault_inconsistent : int;
+  findings : fault_finding list;
+  rpc : rpc_stats option;  (** present when the [rpc] class was active *)
+}
+
+type partial = { deadline_hit : bool; budget_hit : bool }
+(** Why the exploration stopped before full coverage. *)
+
 type t = {
   workload : string;
   fs : string;
@@ -29,10 +59,21 @@ type t = {
   lib_bugs : int;  (** bugs attributed to the I/O library *)
   pfs_bugs : int;
   perf : perf;
+  fault : fault option;  (** [None] unless fault injection was enabled *)
+  partial : partial option;  (** [None] for complete runs *)
+  check_errors : check_error list;
 }
 
+val json_version : int
+(** Schema version of {!to_json} output (2 since the fault / partial /
+    check_errors fields). *)
+
 val pp_bug : Format.formatter -> bug -> unit
+
 val pp : Format.formatter -> t -> unit
+(** Human-readable report. Byte-identical to the pre-fault rendering
+    whenever [fault]/[partial] are [None] and [check_errors] is empty. *)
+
 val summary_line : t -> string
 
 val to_json : t -> string

@@ -1,0 +1,74 @@
+module Bitset = Paracrash_util.Bitset
+module Event = Paracrash_trace.Event
+module Vop = Paracrash_vfs.Op
+module Bop = Paracrash_blockdev.Op
+module Bstate = Paracrash_blockdev.State
+module Images = Paracrash_pfs.Images
+
+type ctx = { events : Event.t array }
+
+let make ~events = { events }
+
+(* Whether a plan can act on this crash state at all: a fault on an op
+   that was never persisted is a no-op and must not be charged against
+   the fault budget's findings. *)
+let applicable ctx plan persisted =
+  match Plan.kind plan with
+  | Plan.Torn_write { index; _ } | Plan.Bit_flip { index; _ } ->
+      Bitset.mem persisted index
+  | Plan.Fail_stop { server; from } ->
+      let hit = ref false in
+      Bitset.iter
+        (fun i ->
+          if i >= from && String.equal ctx.events.(i).Event.proc server then
+            hit := true)
+        persisted;
+      !hit
+
+(* Fail-stop drops the server's own storage ops from [from] on — the
+   server died mid-handler, so its tail never persisted even when the
+   cut says it did. Other plans leave the selection untouched. *)
+let mask ctx plan persisted =
+  match Plan.kind plan with
+  | Plan.Fail_stop { server; from } ->
+      Bitset.fold
+        (fun i acc ->
+          if i >= from && String.equal ctx.events.(i).Event.proc server then
+            Bitset.remove acc i
+          else acc)
+        persisted persisted
+  | Plan.Torn_write _ | Plan.Bit_flip _ -> persisted
+
+let truncate data keep =
+  if keep >= String.length data then data else String.sub data 0 keep
+
+(* Payload rewrite applied during replay: the torn write persists only
+   its sector-aligned prefix. Identity for every other (index, payload)
+   pair — in particular bit flips act on the finished image (below), not
+   on the payload, so the per-block checksum is computed over the clean
+   data and goes stale when the flip lands. *)
+let transform plan i (payload : Event.payload) =
+  match Plan.kind plan with
+  | Plan.Torn_write { index; keep } when i = index -> (
+      match payload with
+      | Event.Posix_op (Vop.Write w) ->
+          Event.Posix_op (Vop.Write { w with data = truncate w.data keep })
+      | Event.Posix_op (Vop.Append a) ->
+          Event.Posix_op (Vop.Append { a with data = truncate a.data keep })
+      | Event.Block_op (Bop.Scsi_write w) ->
+          Event.Block_op (Bop.Scsi_write { w with data = truncate w.data keep })
+      | other -> other)
+  | _ -> payload
+
+(* Post-reconstruction image corruption. Only bit flips act here; they
+   target block-device images (the plan was enumerated from a
+   [Scsi_write]), and silently skip if recovery already dropped the
+   block. *)
+let corrupt_images plan images =
+  match Plan.kind plan with
+  | Plan.Bit_flip { proc; lba; byte; bit; _ } -> (
+      match Images.find images proc with
+      | Some (Images.Dev st) when Bstate.mem st lba ->
+          Images.add images proc (Images.Dev (Bstate.corrupt st lba ~byte ~bit))
+      | _ -> images)
+  | Plan.Torn_write _ | Plan.Fail_stop _ -> images

@@ -1,0 +1,27 @@
+(** Applying fault plans to crash-state reconstruction.
+
+    A plan acts at up to three points of the reconstruction pipeline:
+    {ol
+    {- {!mask} narrows the persisted-op selection (fail-stop drops the
+       dead server's tail);}
+    {- {!transform} rewrites individual op payloads during replay (torn
+       writes keep a sector-aligned prefix);}
+    {- {!corrupt_images} mutates the finished images (bit flips, leaving
+       the stored per-block checksum stale).}}
+    All three are pure and deterministic. *)
+
+type ctx
+
+val make : events:Paracrash_trace.Event.t array -> ctx
+
+val applicable : ctx -> Plan.t -> Paracrash_util.Bitset.t -> bool
+(** Does the plan act on this crash state at all? (A torn write whose op
+    was never persisted is a no-op.) *)
+
+val mask : ctx -> Plan.t -> Paracrash_util.Bitset.t -> Paracrash_util.Bitset.t
+
+val transform :
+  Plan.t -> int -> Paracrash_trace.Event.payload -> Paracrash_trace.Event.payload
+(** [transform plan i payload] rewrites storage-op [i]'s payload. *)
+
+val corrupt_images : Plan.t -> Paracrash_pfs.Images.t -> Paracrash_pfs.Images.t

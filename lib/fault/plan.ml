@@ -1,0 +1,146 @@
+module Event = Paracrash_trace.Event
+module Vop = Paracrash_vfs.Op
+module Bop = Paracrash_blockdev.Op
+
+let sector = 512
+
+type cls = Torn | Bitflip | Failstop | Rpc
+
+let cls_to_string = function
+  | Torn -> "torn"
+  | Bitflip -> "bitflip"
+  | Failstop -> "failstop"
+  | Rpc -> "rpc"
+
+let cls_of_string = function
+  | "torn" -> Some Torn
+  | "bitflip" | "bit-flip" -> Some Bitflip
+  | "failstop" | "fail-stop" -> Some Failstop
+  | "rpc" -> Some Rpc
+  | _ -> None
+
+let all_classes = [ Torn; Bitflip; Failstop; Rpc ]
+
+let classes_of_string s =
+  match String.trim s with
+  | "" | "none" -> Ok []
+  | "all" -> Ok all_classes
+  | s ->
+      let parts = String.split_on_char ',' s |> List.map String.trim in
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | p :: rest -> (
+            match cls_of_string p with
+            | Some c -> go (if List.mem c acc then acc else c :: acc) rest
+            | None -> Error (Printf.sprintf "unknown fault class %S" p))
+      in
+      go [] parts
+
+let classes_to_string = function
+  | [] -> "none"
+  | cs -> String.concat "," (List.map cls_to_string cs)
+
+type spec = { classes : cls list; seed : int; budget : int }
+
+let default_budget = 64
+let default_spec = { classes = []; seed = 1; budget = default_budget }
+
+type kind =
+  | Torn_write of { index : int; keep : int }
+  | Bit_flip of { index : int; proc : string; lba : int; byte : int; bit : int }
+  | Fail_stop of { server : string; from : int }
+
+type t = { kind : kind; seed : int }
+
+let kind t = t.kind
+
+let describe ~events t =
+  let what i =
+    if i >= 0 && i < Array.length events then Event.describe events.(i)
+    else Printf.sprintf "op#%d" i
+  in
+  match t.kind with
+  | Torn_write { index; keep } ->
+      Printf.sprintf "torn write (%dB sector-aligned prefix persists): %s" keep
+        (what index)
+  | Bit_flip { proc; lba; byte; bit; _ } ->
+      Printf.sprintf "bit flip on %s LBA %d (byte %d bit %d)" proc lba byte bit
+  | Fail_stop { server; from } ->
+      Printf.sprintf "fail-stop of %s mid-handler (before %s)" server (what from)
+
+(* Payload length of a data-carrying storage op; None for the rest. *)
+let data_len (e : Event.t) =
+  match e.payload with
+  | Event.Posix_op (Vop.Write { data; _ }) | Event.Posix_op (Vop.Append { data; _ })
+    ->
+      if String.length data > 0 then Some (String.length data) else None
+  | Event.Block_op (Bop.Scsi_write { data; _ }) ->
+      if String.length data > 0 then Some (String.length data) else None
+  | _ -> None
+
+let block_target (e : Event.t) =
+  match e.payload with
+  | Event.Block_op (Bop.Scsi_write { lba; data; _ }) when String.length data > 0 ->
+      Some (lba, String.length data)
+  | _ -> None
+
+(* The largest sector-aligned strict prefix lengths of a [len]-byte
+   write are 0, 512, ..; pick one with the generator. A write shorter
+   than one sector can only tear to nothing. *)
+let torn_keep rng len =
+  let n_sectors = (len - 1) / sector in
+  sector * Rng.int rng (n_sectors + 1)
+
+let enumerate ~(events : Event.t array) ~(servers : string list) (spec : spec) =
+  let rng = Rng.create spec.seed in
+  let n = Array.length events in
+  let plans = ref [] in
+  let add kind = plans := { kind; seed = spec.seed } :: !plans in
+  let ordered = List.filter (fun c -> List.mem c spec.classes) [ Torn; Bitflip; Failstop ] in
+  List.iter
+    (fun cls ->
+      match cls with
+      | Torn ->
+          for i = 0 to n - 1 do
+            match data_len events.(i) with
+            | Some len -> add (Torn_write { index = i; keep = torn_keep rng len })
+            | None -> ()
+          done
+      | Bitflip ->
+          for i = 0 to n - 1 do
+            match block_target events.(i) with
+            | Some (lba, len) ->
+                add
+                  (Bit_flip
+                     {
+                       index = i;
+                       proc = events.(i).Event.proc;
+                       lba;
+                       byte = Rng.int rng len;
+                       bit = Rng.int rng 8;
+                     })
+            | None -> ()
+          done
+      | Failstop ->
+          List.iter
+            (fun server ->
+              let owned = ref [] in
+              for i = n - 1 downto 0 do
+                if String.equal events.(i).Event.proc server then owned := i :: !owned
+              done;
+              (* crash strictly after the server's first op, so the
+                 failure lands mid-stream, not before it did anything *)
+              match !owned with
+              | _ :: (_ :: _ as rest) ->
+                  let arr = Array.of_list rest in
+                  add (Fail_stop { server; from = arr.(Rng.int rng (Array.length arr)) })
+              | _ -> ())
+            servers
+      | Rpc -> (* trace-time class: no reconstruction-time plans *) ())
+    ordered;
+  let plans = List.rev !plans in
+  if List.length plans <= spec.budget then plans
+  else begin
+    let arr = Array.of_list plans in
+    List.map (fun i -> arr.(i)) (Rng.pick rng spec.budget (Array.length arr))
+  end

@@ -1,0 +1,51 @@
+(** Deterministic, seed-driven fault plans.
+
+    A plan describes ONE fault to overlay on a crash state during
+    reconstruction: a torn block/file write that persists only a
+    sector-aligned prefix, a single bit flip in a persisted block
+    (detectable through the per-block checksums kept by
+    {!Paracrash_blockdev.State}), or the fail-stop of one named PFS
+    server mid-handler. Plans are enumerated purely from the traced
+    events, the server list and a {!spec} — the same seed always yields
+    the same plans, which is what makes faulted reports reproducible
+    across job counts. Dropped/duplicated RPC replies are the fourth
+    fault class; they act at trace time (see {!Rpc_faults}) and so
+    produce no reconstruction-time plans here. *)
+
+type cls = Torn | Bitflip | Failstop | Rpc
+
+val all_classes : cls list
+val cls_to_string : cls -> string
+
+val classes_of_string : string -> (cls list, string) result
+(** Comma-separated class names; ["all"] and ["none"]/[""] accepted. *)
+
+val classes_to_string : cls list -> string
+
+type spec = { classes : cls list; seed : int; budget : int }
+
+val default_budget : int
+val default_spec : spec
+(** No classes (faults disabled), seed 1, budget {!default_budget}. *)
+
+type kind =
+  | Torn_write of { index : int; keep : int }
+      (** Storage op [index] persists only its first [keep] bytes
+          ([keep] sector-aligned, strictly less than the payload). *)
+  | Bit_flip of { index : int; proc : string; lba : int; byte : int; bit : int }
+      (** One flipped bit in the named block after reconstruction,
+          leaving the stored per-block checksum stale. *)
+  | Fail_stop of { server : string; from : int }
+      (** [server] stops persisting at storage op [from] (its own ops
+          from there on are lost), regardless of cut consistency. *)
+
+type t
+
+val kind : t -> kind
+
+val enumerate :
+  events:Paracrash_trace.Event.t array -> servers:string list -> spec -> t list
+(** All plans of the enabled classes over the traced storage ops,
+    down-sampled to [spec.budget] with the seeded generator. *)
+
+val describe : events:Paracrash_trace.Event.t array -> t -> string

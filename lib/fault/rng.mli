@@ -1,0 +1,23 @@
+(** Deterministic pseudo-random source for fault-plan generation.
+
+    SplitMix64: the same seed yields the same draw sequence on every
+    host, job count and run — the determinism contract of the fault
+    subsystem rests on this (never on [Stdlib.Random]). *)
+
+type t
+
+val create : int -> t
+
+val next : t -> int
+(** Next non-negative pseudo-random int. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform-ish in [0 .. bound-1]; 0 when [bound <= 1]. *)
+
+val hash : seed:int -> int -> int
+(** Stateless mix of [(seed, x)] — position-independent decisions (the
+    RPC injector keys on message ids with this). *)
+
+val pick : t -> int -> int -> int list
+(** [pick t k n] draws [k] distinct ints from [0 .. n-1], sorted
+    increasingly; all of them when [k >= n]. *)

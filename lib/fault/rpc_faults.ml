@@ -1,0 +1,26 @@
+module Rpc = Paracrash_net.Rpc
+
+(* Seeded message-level fault schedule for the RPC layer. Decisions are
+   a pure function of (seed, message id, attempt): the same seed drops
+   and duplicates the same messages on every run, independent of job
+   count or draw order. Only a first attempt is ever disturbed, so the
+   default [retries = 1] always recovers and the workload runs to
+   completion — the interesting signal is the re-executed handlers, not
+   an aborted trace. *)
+
+let drop_period = 8
+
+let decide ~seed ~client:_ ~server:_ ~msg ~attempt =
+  if attempt > 0 then Rpc.Deliver
+  else
+    match Rng.hash ~seed msg mod drop_period with
+    | 0 -> Rpc.Drop_reply
+    | 1 -> Rpc.Duplicate_request
+    | _ -> Rpc.Deliver
+
+let injector ~seed = Rpc.make_injector (decide ~seed)
+
+(* Adversarial injector for unit tests: every reply of every attempt is
+   lost, so a call with [retries = n] raises [Timeout] after n+1
+   handler executions. *)
+let always_drop () = Rpc.make_injector (fun ~client:_ ~server:_ ~msg:_ ~attempt:_ -> Rpc.Drop_reply)

@@ -1,0 +1,13 @@
+(** Seeded fault schedules for the RPC layer.
+
+    {!injector} disturbs roughly a quarter of first-attempt messages
+    (half lost replies, half duplicated requests), never a
+    retransmission — so the default [retries = 1] always recovers and
+    traced workloads run to completion while still re-executing
+    handlers. Decisions depend only on [(seed, msg, attempt)]. *)
+
+val injector : seed:int -> Paracrash_net.Rpc.injector
+
+val always_drop : unit -> Paracrash_net.Rpc.injector
+(** Loses every reply of every attempt; a call raises
+    [Rpc.Timeout] once its retry budget is spent. For tests. *)

@@ -1,50 +1,134 @@
 module Tracer = Paracrash_trace.Tracer
 module Event = Paracrash_trace.Event
 
-let call t ~client ~server ?(reply = true) handler =
-  if not (Tracer.enabled t) then handler ()
-  else begin
-    let msg = Tracer.fresh_msg t in
-    let send =
-      Tracer.record t ~proc:client ~layer:Event.Net (Event.Send { msg; dst = server })
-    in
-    (* the whole handler, including the receive and the reply, runs in
-       its own conversation on the server: two concurrent clients'
-       handlers are causally unordered even on one server *)
-    Tracer.begin_conversation t ~proc:server msg;
-    let recv =
-      Tracer.record t ~proc:server ~layer:Event.Net (Event.Recv { msg; src = client })
-    in
-    Tracer.add_edge t send recv;
-    Tracer.push_caller t ~proc:server recv;
-    let cleanup () =
-      Tracer.pop_caller t ~proc:server;
-      Tracer.end_conversation t ~proc:server
-    in
-    let finish () =
-      if reply then begin
-        let msg' = Tracer.fresh_msg t in
-        let send' =
-          Tracer.record t ~proc:server ~layer:Event.Net
-            (Event.Send { msg = msg'; dst = client })
-        in
-        cleanup ();
+exception
+  Timeout of { client : string; server : string; attempts : int; waited : float }
+
+type decision = Deliver | Drop_reply | Duplicate_request
+
+type injector = {
+  decide : client:string -> server:string -> msg:int -> attempt:int -> decision;
+  mutable drops : int;
+  mutable duplicates : int;
+  mutable retries : int;
+}
+
+let make_injector decide = { decide; drops = 0; duplicates = 0; retries = 0 }
+
+(* Installed injectors, keyed on physical tracer identity. The list is
+   empty in every run that does not opt into RPC faults, and [call]
+   falls through to the exact pre-fault code path in that case. *)
+let injectors : (Tracer.t * injector) list ref = ref []
+
+let uninstall t = injectors := List.filter (fun (t', _) -> t' != t) !injectors
+
+let install t inj =
+  uninstall t;
+  injectors := (t, inj) :: !injectors
+
+let find_injector t =
+  List.find_map (fun (t', inj) -> if t' == t then Some inj else None) !injectors
+
+let faults_active t = Option.is_some (find_injector t)
+
+(* One request delivery: Send on the client, Recv + handler inside its
+   own server conversation, then the reply pair. [deliver_reply] false
+   means the reply was sent but lost in flight — the server-side Send is
+   still recorded (the server did the work and answered), but no client
+   Recv appears, so no server -> client happens-before edge forms. *)
+let run_once t ~client ~server ~msg ~reply ~deliver_reply handler =
+  let send =
+    Tracer.record t ~proc:client ~layer:Event.Net (Event.Send { msg; dst = server })
+  in
+  (* the whole handler, including the receive and the reply, runs in
+     its own conversation on the server: two concurrent clients'
+     handlers are causally unordered even on one server *)
+  Tracer.begin_conversation t ~proc:server msg;
+  let recv =
+    Tracer.record t ~proc:server ~layer:Event.Net (Event.Recv { msg; src = client })
+  in
+  Tracer.add_edge t send recv;
+  Tracer.push_caller t ~proc:server recv;
+  let cleanup () =
+    Tracer.pop_caller t ~proc:server;
+    Tracer.end_conversation t ~proc:server
+  in
+  let finish () =
+    if reply then begin
+      let msg' = Tracer.fresh_msg t in
+      let send' =
+        Tracer.record t ~proc:server ~layer:Event.Net
+          (Event.Send { msg = msg'; dst = client })
+      in
+      cleanup ();
+      if deliver_reply then begin
         let recv' =
           Tracer.record t ~proc:client ~layer:Event.Net
             (Event.Recv { msg = msg'; src = server })
         in
         Tracer.add_edge t send' recv'
       end
-      else cleanup ()
+    end
+    else cleanup ()
+  in
+  match handler () with
+  | v ->
+      finish ();
+      v
+  | exception e ->
+      cleanup ();
+      raise e
+
+let call t ~client ~server ?(reply = true) ?(retries = 1) ?(timeout = 1.0) handler
+    =
+  if not (Tracer.enabled t) then handler ()
+  else
+    let deliver () =
+      let msg = Tracer.fresh_msg t in
+      run_once t ~client ~server ~msg ~reply ~deliver_reply:true handler
     in
-    match handler () with
-    | v ->
-        finish ();
-        v
-    | exception e ->
-        cleanup ();
-        raise e
-  end
+    match find_injector t with
+    | None -> deliver ()
+    | Some _ when not reply -> deliver ()
+    | Some inj ->
+        (* Retransmission loop. Every attempt re-executes the handler —
+           that is the point: lost replies and duplicated requests make
+           the server do the work again, and a non-idempotent handler
+           diverges from the golden intent. *)
+        let rec attempt n =
+          let msg = Tracer.fresh_msg t in
+          match inj.decide ~client ~server ~msg ~attempt:n with
+          | Deliver -> run_once t ~client ~server ~msg ~reply ~deliver_reply:true handler
+          | Duplicate_request ->
+              (* the network delivers the request twice: the handler runs
+                 in two conversations; only the second answer arrives *)
+              inj.duplicates <- inj.duplicates + 1;
+              let _ =
+                run_once t ~client ~server ~msg ~reply ~deliver_reply:false handler
+              in
+              let msg' = Tracer.fresh_msg t in
+              run_once t ~client ~server ~msg:msg' ~reply ~deliver_reply:true
+                handler
+          | Drop_reply ->
+              inj.drops <- inj.drops + 1;
+              let _ =
+                run_once t ~client ~server ~msg ~reply ~deliver_reply:false handler
+              in
+              if n < retries then begin
+                inj.retries <- inj.retries + 1;
+                attempt (n + 1)
+              end
+              else
+                raise
+                  (Timeout
+                     {
+                       client;
+                       server;
+                       attempts = n + 1;
+                       waited = float_of_int (n + 1) *. timeout;
+                     })
+        in
+        attempt 0
 
 let oneway t ~client ~server handler = call t ~client ~server ~reply:false handler
 

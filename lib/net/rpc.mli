@@ -5,24 +5,78 @@
     (so server-side storage operations correlate back to the client
     call), and optionally records the reply pair. The send/receive
     pairs contribute the cross-process happens-before edges of the
-    causality graph. *)
+    causality graph.
+
+    {1 Fault injection}
+
+    An {!injector} installed on a tracer may lose a reply in flight or
+    deliver a request twice. A lost reply makes the client retransmit
+    (up to [retries] times, each after a simulated [timeout]); the
+    server, which already did the work, re-executes the handler — so
+    handlers must be idempotent, and a non-idempotent one surfaces as a
+    divergence from the golden intent attributed by the usual layer
+    walk-down. With no injector installed, [call] follows the exact
+    pre-fault code path and traces are byte-identical. *)
+
+exception
+  Timeout of { client : string; server : string; attempts : int; waited : float }
+(** Raised when every attempt's reply was lost. [waited] is the total
+    simulated time spent in retransmission timeouts. *)
+
+type decision =
+  | Deliver  (** normal delivery *)
+  | Drop_reply  (** the handler runs; its reply is lost in flight *)
+  | Duplicate_request
+      (** the request arrives twice; the handler runs in two
+          conversations, the reply of the second is delivered *)
+
+type injector = {
+  decide : client:string -> server:string -> msg:int -> attempt:int -> decision;
+  mutable drops : int;
+  mutable duplicates : int;
+  mutable retries : int;
+}
+
+val make_injector :
+  (client:string -> server:string -> msg:int -> attempt:int -> decision) ->
+  injector
+(** An injector with zeroed counters. [decide] must be a pure function
+    of its arguments for runs to be reproducible. *)
+
+val install : Paracrash_trace.Tracer.t -> injector -> unit
+(** Attach an injector to this tracer's RPCs (replacing any previous
+    one). *)
+
+val uninstall : Paracrash_trace.Tracer.t -> unit
+
+val faults_active : Paracrash_trace.Tracer.t -> bool
+(** True while an injector is installed — PFS layers use this to
+    tolerate duplicate-delivery side effects (e.g. [EEXIST] from a
+    re-executed create) instead of treating them as simulator bugs. *)
 
 val call :
   Paracrash_trace.Tracer.t ->
   client:string ->
   server:string ->
   ?reply:bool ->
+  ?retries:int ->
+  ?timeout:float ->
   (unit -> 'a) ->
   'a
 (** [call t ~client ~server handler] performs a synchronous RPC.
     [reply] (default [true]) controls whether the server's completion
     is acknowledged to the client (creating a server -> client
-    happens-before edge). *)
+    happens-before edge). [retries] (default 1) bounds retransmissions
+    after a lost reply; [timeout] (default 1.0) is the simulated wait
+    before each retransmission. Raises {!Timeout} when the last
+    attempt's reply is also lost. *)
 
 val oneway :
   Paracrash_trace.Tracer.t -> client:string -> server:string -> (unit -> 'a) -> 'a
 (** [call] with [~reply:false]: the client does not wait, so later
-    client events are not ordered after the server-side effects. *)
+    client events are not ordered after the server-side effects.
+    Injected faults never apply to oneway calls (there is no reply to
+    lose). *)
 
 val broadcast :
   Paracrash_trace.Tracer.t ->

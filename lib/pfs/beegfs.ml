@@ -29,12 +29,17 @@ let chunk_start t fileid = fileid mod t.cfg.Config.n_storage
 
 (* Record a server-side local FS operation and apply it to the live
    image. Live application must never fail; a failure is a simulator
-   bug, not a crash state. *)
+   bug, not a crash state — except under RPC fault injection, where a
+   re-delivered request legitimately collides with its first execution
+   (EEXIST from a repeated create, ENOENT from a repeated unlink): the
+   server then just returns the error to the duplicate and the image
+   stays put. *)
 let posix t server ?(tag = "") op =
   ignore (Tracer.record t.tracer ~proc:server ~layer:Event.Posix ~tag (Event.Posix_op op));
   let images, err = Images.apply_posix t.images server op in
   match err with
   | None -> t.images <- images
+  | Some _ when Rpc.faults_active t.tracer -> ()
   | Some e ->
       failwith
         (Printf.sprintf "beegfs: live op failed on %s: %s: %s" server

@@ -428,37 +428,54 @@ let mount_with cfg images flavor =
   let n = cfg.Config.n_storage in
   let meta_owner id = match flavor with Gpfs -> id mod n | Lustre -> 0 in
   let dev j = Images.dev_exn images (server_proc j) in
-  let read_block j lba = Bstate.read (dev j) lba in
+  (* Reads go through the per-block guard sums (Bstate.read_checked):
+     a block whose payload no longer matches the checksum recorded at
+     write time — a media bit flip — is reported as a read error, the
+     way a T10-DIF verify failure surfaces as EIO rather than as
+     silently wrong data. *)
+  let read_block j lba =
+    match Bstate.read_checked (dev j) lba with
+    | None -> `Missing
+    | Some (Ok data) -> `Ok data
+    | Some (Error _) -> `Corrupt
+  in
   let view = ref Logical.empty in
   let visited = Hashtbl.create 8 in
   let file_content id size =
     let buf = Bytes.make size '\000' in
     let base = data_base id in
     let extents = ref [] in
+    let corrupt = ref false in
     for j = 0 to n - 1 do
       List.iter
         (fun (lba, content) ->
-          if lba >= base && lba < base + data_window then
+          if lba >= base && lba < base + data_window then begin
+            if not (Bstate.block_ok (dev j) lba) then corrupt := true;
             match parse_extent content with
             | Some (seq, off, payload) -> extents := (seq, off, payload) :: !extents
-            | None -> ())
+            | None -> ()
+          end)
         (Bstate.bindings (dev j))
     done;
-    (* compose in write order: overlapping persisted extents resolve to
-       the latest writer *)
-    List.iter
-      (fun (_, off, payload) ->
-        let len = min (String.length payload) (size - off) in
-        if off < size && len > 0 then Bytes.blit_string payload 0 buf off len)
-      (List.sort compare !extents);
-    Bytes.to_string buf
+    if !corrupt then Logical.Unreadable "data block checksum mismatch"
+    else begin
+      (* compose in write order: overlapping persisted extents resolve to
+         the latest writer *)
+      List.iter
+        (fun (_, off, payload) ->
+          let len = min (String.length payload) (size - off) in
+          if off < size && len > 0 then Bytes.blit_string payload 0 buf off len)
+        (List.sort compare !extents);
+      Logical.Data (Bytes.to_string buf)
+    end
   in
   let rec walk d pfs =
     if not (Hashtbl.mem visited d) then begin
       Hashtbl.replace visited d ();
       match read_block (meta_owner d) (dir_lba d) with
-      | None -> if pfs <> "/" then view := Logical.note !view ("missing directory block for " ^ pfs)
-      | Some content -> (
+      | `Missing -> if pfs <> "/" then view := Logical.note !view ("missing directory block for " ^ pfs)
+      | `Corrupt -> view := Logical.note !view ("checksum mismatch on directory block for " ^ pfs)
+      | `Ok content -> (
           match parse_dir content with
           | None -> view := Logical.note !view ("corrupt directory block for " ^ pfs)
           | Some entries ->
@@ -471,17 +488,21 @@ let mount_with cfg images flavor =
                       walk id child
                   | `File id -> (
                       match read_block (meta_owner id) (inode_lba id) with
-                      | Some inode -> (
+                      | `Ok inode -> (
                           match parse_inode inode with
                           | Some (`File size) ->
                               view :=
                                 Logical.add_file !view child
-                                  (Logical.Data (file_content id size))
+                                  (file_content id size)
                           | Some `Dir | None ->
                               view :=
                                 Logical.add_file !view child
                                   (Logical.Unreadable "dangling directory entry"))
-                      | None ->
+                      | `Corrupt ->
+                          view :=
+                            Logical.add_file !view child
+                              (Logical.Unreadable "inode checksum mismatch")
+                      | `Missing ->
                           view :=
                             Logical.add_file !view child
                               (Logical.Unreadable "missing inode")))
@@ -516,7 +537,12 @@ let fsck_with cfg images flavor =
         let logs =
           Bstate.bindings (dev j)
           |> List.filter_map (fun (lba, content) ->
-                 if lba >= 5000 && lba < 10000 then parse_log content else None)
+                 (* a log record whose guard sum fails is discarded, the
+                    way ldiskfs drops a journal block with a bad CRC —
+                    its transaction is simply not replayed *)
+                 if lba >= 5000 && lba < 10000 && Bstate.block_ok (dev j) lba
+                 then parse_log content
+                 else None)
           |> List.sort (fun (s1, _) (s2, _) -> Int.compare s1 s2)
         in
         List.iter

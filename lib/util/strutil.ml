@@ -17,3 +17,37 @@ let contains_sub hay needle = find_sub hay needle <> None
 let ends_with hay suffix =
   let nh = String.length hay and ns = String.length suffix in
   ns <= nh && String.sub hay (nh - ns) ns = suffix
+
+(* Classic two-row Levenshtein; inputs are short identifiers, so the
+   O(|a|*|b|) cost is irrelevant. *)
+let edit_distance a b =
+  let na = String.length a and nb = String.length b in
+  if na = 0 then nb
+  else if nb = 0 then na
+  else begin
+    let prev = Array.init (nb + 1) Fun.id in
+    let cur = Array.make (nb + 1) 0 in
+    for i = 1 to na do
+      cur.(0) <- i;
+      for j = 1 to nb do
+        let cost = if a.[i - 1] = b.[j - 1] then 0 else 1 in
+        cur.(j) <- min (min (cur.(j - 1) + 1) (prev.(j) + 1)) (prev.(j - 1) + cost)
+      done;
+      Array.blit cur 0 prev 0 (nb + 1)
+    done;
+    prev.(nb)
+  end
+
+(* Closest candidate by edit distance, if any is close enough to be a
+   plausible typo (within 2 edits, or 3 for longer words). *)
+let suggest candidates word =
+  let limit = if String.length word >= 8 then 3 else 2 in
+  List.fold_left
+    (fun best cand ->
+      let d = edit_distance word cand in
+      match best with
+      | Some (_, d') when d' <= d -> best
+      | _ when d <= limit -> Some (cand, d)
+      | _ -> best)
+    None candidates
+  |> Option.map fst

@@ -13,3 +13,12 @@ val contains_sub : string -> string -> bool
 val ends_with : string -> string -> bool
 (** [ends_with hay suffix] is [true] iff [hay] ends with [suffix].
     Unlike the [find_sub]-style helpers, an empty suffix matches. *)
+
+val edit_distance : string -> string -> int
+(** Levenshtein distance. *)
+
+val suggest : string list -> string -> string option
+(** [suggest candidates word] is the candidate closest to [word] by
+    {!edit_distance}, when that distance is small enough to be a
+    plausible typo (<= 2 edits, or 3 for words of 8+ characters); ties
+    keep the earliest candidate. *)

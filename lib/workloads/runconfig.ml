@@ -84,7 +84,37 @@ let apply_kv t key value =
           in
           Ok { t with config }
       | None -> Error (Printf.sprintf "%s: unknown journaling mode %S" key value))
-  | _ -> Error (Printf.sprintf "unknown configuration key %S" key)
+  | "faults" -> (
+      match Paracrash_fault.Plan.classes_of_string value with
+      | Ok faults -> Ok { t with options = { t.options with D.faults } }
+      | Error m -> Error (Printf.sprintf "faults: %s" m))
+  | "fault_seed" ->
+      let* fault_seed = parse_int "fault_seed" value in
+      Ok { t with options = { t.options with D.fault_seed } }
+  | "fault_budget" ->
+      let* fault_budget = parse_int "fault_budget" value in
+      Ok { t with options = { t.options with D.fault_budget } }
+  | "deadline" -> (
+      match float_of_string_opt value with
+      | Some d when d > 0. ->
+          Ok { t with options = { t.options with D.deadline = Some d } }
+      | Some _ | None ->
+          Error (Printf.sprintf "deadline: expected positive seconds, got %S" value))
+  | "state_budget" ->
+      let* b = parse_int "state_budget" value in
+      Ok { t with options = { t.options with D.state_budget = Some b } }
+  | _ ->
+      let known =
+        [
+          "fs"; "program"; "mode"; "k"; "jobs"; "max_cuts"; "servers"; "stripe";
+          "pfs_model"; "lib_model"; "meta_journal"; "storage_journal"; "faults";
+          "fault_seed"; "fault_budget"; "deadline"; "state_budget";
+        ]
+      in
+      Error
+        (match Paracrash_util.Strutil.suggest known key with
+        | Some s -> Printf.sprintf "unknown configuration key %S (did you mean %S?)" key s
+        | None -> Printf.sprintf "unknown configuration key %S" key)
 
 let parse text =
   let lines = String.split_on_char '\n' text in

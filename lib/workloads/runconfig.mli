@@ -17,9 +17,16 @@
     stripe    = 131072
     pfs_model = causal         # strict | commit | causal | baseline
     lib_model = baseline
+    faults    = torn,rpc       # torn | bitflip | failstop | rpc | all | none
+    fault_seed   = 1
+    fault_budget = 64          # bound on plans and (state x plan) pairs
+    deadline     = 30.0        # wall-clock seconds; report marked partial
+    state_budget = 500         # max crash states; report marked partial
     v}
 
-    Unknown keys are rejected; omitted keys keep their defaults. *)
+    Unknown keys are rejected with a did-you-mean suggestion when a
+    known key is within a couple of edits; omitted keys keep their
+    defaults. *)
 
 type t = {
   fs : string;

@@ -17,4 +17,6 @@ let () =
       ("mpiio", Test_mpiio.tests);
       ("checker", Test_checker.tests);
       ("runconfig", Test_runconfig.tests);
+      ("fault", Test_fault.tests);
+      ("report", Test_report.tests);
     ]

@@ -53,11 +53,56 @@ let prop_apply_subset_deterministic =
       in
       State.equal (State.apply_all State.empty ops) (State.apply_all State.empty ops))
 
+(* --- per-block checksums (fault-injection support) ----------------------- *)
+
+let test_checksums_clean_state () =
+  let st =
+    State.apply_all State.empty
+      [
+        Op.Scsi_write { lba = 1; data = "alpha"; what = "t" };
+        Op.Scsi_write { lba = 2; data = "beta"; what = "t" };
+      ]
+  in
+  check cb "apply keeps sums valid" true (State.verify st = []);
+  check cb "block_ok on valid block" true (State.block_ok st 1);
+  check cb "block_ok on absent lba" true (State.block_ok st 99);
+  check cb "read_checked ok" true (State.read_checked st 1 = Some (Ok "alpha"));
+  check cb "read_checked absent" true (State.read_checked st 99 = None)
+
+let test_corrupt_detected () =
+  let st = State.apply State.empty (Op.Scsi_write { lba = 5; data = "hello"; what = "t" }) in
+  let bad = State.corrupt st 5 ~byte:1 ~bit:0 in
+  check cb "payload changed" true (State.read bad 5 = Some "hdllo");
+  check cb "block_ok false" false (State.block_ok bad 5);
+  check cb "verify lists the lba" true
+    (List.map fst (State.verify bad) = [ 5 ]);
+  (match State.read_checked bad 5 with
+  | Some (Error "hdllo") -> ()
+  | _ -> Alcotest.fail "read_checked should return Error with the corrupt payload");
+  (* a fresh write over the corrupt block heals it *)
+  let healed = State.apply bad (Op.Scsi_write { lba = 5; data = "world"; what = "t" }) in
+  check cb "rewrite heals" true (State.verify healed = [])
+
+let test_corrupt_out_of_range_args () =
+  let st = State.apply State.empty (Op.Scsi_write { lba = 1; data = "abc"; what = "t" }) in
+  (* byte is taken mod the block length (including negatives), bit mod 8 *)
+  let a = State.corrupt st 1 ~byte:(-7) ~bit:9 in
+  check cb "negative byte / large bit still corrupt exactly one bit" true
+    (not (State.block_ok a 1));
+  check cb "absent lba is a no-op" true
+    (State.equal st (State.corrupt st 42 ~byte:0 ~bit:0));
+  (* corruption is invisible to canonical equality only if payloads match;
+     a flipped bit IS a different device state *)
+  check cb "corrupt state differs" false (State.equal st a)
+
 let tests =
   [
     ("write and read", `Quick, test_write_read);
     ("overwrite: last write wins", `Quick, test_overwrite_last_wins);
     ("sync does not change state", `Quick, test_sync_is_noop_on_state);
     ("canonical equality", `Quick, test_canonical_equality);
+    ("checksums: clean state verifies", `Quick, test_checksums_clean_state);
+    ("checksums: corrupt is detected and healable", `Quick, test_corrupt_detected);
+    ("checksums: corrupt argument handling", `Quick, test_corrupt_out_of_range_args);
     QCheck_alcotest.to_alcotest prop_apply_subset_deterministic;
   ]

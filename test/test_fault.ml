@@ -1,0 +1,284 @@
+(* Fault-injection subsystem tests: the seeded generator, plan
+   enumeration, RPC retry semantics, and the graceful-degradation
+   contract of the pipeline (check errors, state budgets, deadlines). *)
+
+module Fault = Paracrash_fault
+module Rng = Fault.Rng
+module Plan = Fault.Plan
+module Rpc = Paracrash_net.Rpc
+module Tracer = Paracrash_trace.Tracer
+module D = Paracrash_core.Driver
+module R = Paracrash_core.Report
+module Pipeline = Paracrash_core.Pipeline
+module Checker = Paracrash_core.Checker
+module P = Paracrash_pfs
+module W = Paracrash_workloads
+module Registry = W.Registry
+
+let check = Alcotest.check
+let cb = Alcotest.bool
+let ci = Alcotest.int
+
+(* --- Rng ------------------------------------------------------------------ *)
+
+let test_rng_deterministic () =
+  let draw seed n =
+    let t = Rng.create seed in
+    List.init n (fun _ -> Rng.next t)
+  in
+  check cb "same seed, same sequence" true (draw 42 64 = draw 42 64);
+  check cb "different seeds diverge" true (draw 42 64 <> draw 43 64);
+  check cb "all draws non-negative" true
+    (List.for_all (fun v -> v >= 0) (draw 7 1000 @ draw (-7) 1000))
+
+let test_rng_int_bounds () =
+  let t = Rng.create 9 in
+  for _ = 1 to 1000 do
+    let v = Rng.int t 10 in
+    if v < 0 || v >= 10 then Alcotest.failf "Rng.int out of bounds: %d" v
+  done;
+  check ci "bound <= 1 is 0" 0 (Rng.int t 1);
+  check ci "bound 0 is 0" 0 (Rng.int t 0)
+
+let test_rng_hash_stateless () =
+  check cb "hash is a pure function" true
+    (Rng.hash ~seed:5 123 = Rng.hash ~seed:5 123);
+  check cb "hash depends on seed" true
+    (Rng.hash ~seed:5 123 <> Rng.hash ~seed:6 123);
+  check cb "hash depends on input" true
+    (Rng.hash ~seed:5 123 <> Rng.hash ~seed:5 124);
+  check cb "hash non-negative" true
+    (List.for_all (fun x -> Rng.hash ~seed:1 x >= 0) (List.init 100 Fun.id))
+
+let test_rng_pick () =
+  let t = Rng.create 3 in
+  let p = Rng.pick t 5 20 in
+  check ci "picks k values" 5 (List.length p);
+  check cb "distinct and sorted" true (List.sort_uniq Int.compare p = p);
+  check cb "within range" true (List.for_all (fun v -> v >= 0 && v < 20) p);
+  check cb "k >= n yields all" true (Rng.pick t 10 4 = [ 0; 1; 2; 3 ])
+
+(* --- Plan classes --------------------------------------------------------- *)
+
+let test_classes_of_string () =
+  check cb "none" true (Plan.classes_of_string "none" = Ok []);
+  check cb "empty" true (Plan.classes_of_string "" = Ok []);
+  check cb "all" true (Plan.classes_of_string "all" = Ok Plan.all_classes);
+  check cb "list parses" true
+    (Plan.classes_of_string "torn,rpc" = Ok [ Plan.Torn; Plan.Rpc ]);
+  check cb "duplicates collapse" true
+    (Plan.classes_of_string "torn,torn" = Ok [ Plan.Torn ]);
+  check cb "unknown rejected" true
+    (Result.is_error (Plan.classes_of_string "torn,frob"));
+  (* round-trip through the canonical rendering *)
+  List.iter
+    (fun cls ->
+      let s = Plan.classes_to_string [ cls ] in
+      check cb ("round-trip " ^ s) true (Plan.classes_of_string s = Ok [ cls ]))
+    Plan.all_classes
+
+(* --- sessions for plan / pipeline tests ----------------------------------- *)
+
+let session_of fs_name (spec : D.spec) =
+  let fs_entry = Option.get (Registry.find_fs fs_name) in
+  let tracer = Tracer.create () in
+  let handle = fs_entry.Registry.make ~config:P.Config.default ~tracer in
+  Tracer.set_enabled tracer false;
+  spec.D.preamble handle;
+  let initial = P.Handle.snapshot handle in
+  Tracer.set_enabled tracer true;
+  spec.D.test handle;
+  Tracer.set_enabled tracer false;
+  Paracrash_core.Session.of_run ~handle ~initial
+
+let arvr () = Option.get (Registry.find_workload "ARVR")
+
+let events_and_servers session =
+  let module Session = Paracrash_core.Session in
+  ( Array.init (Session.n_storage_ops session) (Session.storage_event session),
+    P.Handle.servers session.Session.handle )
+
+let test_plan_enumeration_deterministic () =
+  let session = session_of "beegfs" (arvr ()) in
+  let events, servers = events_and_servers session in
+  let spec = { Plan.classes = Plan.all_classes; seed = 11; budget = 16 } in
+  let a = Plan.enumerate ~events ~servers spec in
+  let b = Plan.enumerate ~events ~servers spec in
+  check cb "same spec, same plans" true
+    (List.map Plan.kind a = List.map Plan.kind b);
+  check cb "budget respected" true (List.length a <= 16);
+  check cb "some plans found" true (a <> []);
+  (* torn-write prefixes are sector-aligned and strictly shorter *)
+  List.iter
+    (fun p ->
+      match Plan.kind p with
+      | Plan.Torn_write { keep; _ } ->
+          check cb "sector-aligned keep" true (keep mod 512 = 0)
+      | _ -> ())
+    a;
+  let c =
+    Plan.enumerate ~events ~servers { spec with Plan.seed = 12 }
+  in
+  (* a different seed may sample a different subset (not guaranteed to
+     differ, but the call must still succeed and respect the budget) *)
+  check cb "other seed under budget" true (List.length c <= 16)
+
+(* --- faulted exploration end-to-end --------------------------------------- *)
+
+let run_arvr_with options =
+  let beegfs = Option.get (Registry.find_fs "beegfs") in
+  fst (D.run ~options ~config:P.Config.default ~make_fs:beegfs.Registry.make (arvr ()))
+
+let test_torn_faults_on_beegfs () =
+  let options = { D.default_options with faults = [ Plan.Torn ] } in
+  let report = run_arvr_with options in
+  match report.R.fault with
+  | None -> Alcotest.fail "fault section missing with --faults torn"
+  | Some f ->
+      check cb "plans enumerated" true (f.R.n_plans >= 1);
+      check cb "faulted pairs judged" true (f.R.n_faulted >= 1);
+      check cb "fault-attributed finding present" true (f.R.findings <> []);
+      check cb "no rpc stats without the rpc class" true (f.R.rpc = None);
+      check cb "not marked partial" true (report.R.partial = None)
+
+let test_faults_off_section_absent () =
+  let report = run_arvr_with D.default_options in
+  check cb "no fault section" true (report.R.fault = None);
+  check cb "no partial section" true (report.R.partial = None);
+  check cb "no check errors" true (report.R.check_errors = [])
+
+(* --- graceful degradation -------------------------------------------------- *)
+
+let pipeline_over session ?lib options =
+  Pipeline.run options ~session ~lib ~workload:"ARVR"
+
+let test_check_error_captured () =
+  (* a library layer whose view always raises: every inconsistent-or-not
+     judgement that consults it dies — the run must still complete, with
+     one Check_error per affected state instead of an abort *)
+  let session = session_of "beegfs" (arvr ()) in
+  let exploding =
+    {
+      Checker.lib_name = "exploding";
+      view = (fun _ -> failwith "boom: simulated checker defect");
+      view_after_recovery = (fun _ -> None);
+      legal_views = [];
+      expected_view = "";
+    }
+  in
+  let report =
+    pipeline_over session ~lib:exploding Pipeline.default_options
+  in
+  check cb "check errors recorded" true (report.R.check_errors <> []);
+  check cb "messages carry the exception" true
+    (List.for_all
+       (fun (e : R.check_error) ->
+         Paracrash_util.Strutil.contains_sub e.R.message "boom")
+       report.R.check_errors)
+
+let test_state_budget_partial () =
+  let session = session_of "beegfs" (arvr ()) in
+  let options = { Pipeline.default_options with state_budget = Some 3 } in
+  let report = pipeline_over session options in
+  (match report.R.partial with
+  | Some p ->
+      check cb "budget hit" true p.R.budget_hit;
+      check cb "deadline not hit" false p.R.deadline_hit
+  | None -> Alcotest.fail "report not marked partial under a state budget");
+  check cb "at most 3 states checked" true (report.R.perf.n_checked <= 3)
+
+let test_large_state_budget_not_partial () =
+  let session = session_of "beegfs" (arvr ()) in
+  let options = { Pipeline.default_options with state_budget = Some 1_000_000 } in
+  let report = pipeline_over session options in
+  check cb "unhit budget leaves the report complete" true (report.R.partial = None)
+
+let test_deadline_partial () =
+  let session = session_of "beegfs" (arvr ()) in
+  let options = { Pipeline.default_options with deadline = Some 0.0 } in
+  let report = pipeline_over session options in
+  match report.R.partial with
+  | Some p -> check cb "deadline hit" true p.R.deadline_hit
+  | None -> Alcotest.fail "report not marked partial under an expired deadline"
+
+(* --- RPC retry semantics ---------------------------------------------------- *)
+
+let test_rpc_timeout_when_all_replies_lost () =
+  let t = Tracer.create () in
+  let inj = Fault.Rpc_faults.always_drop () in
+  Rpc.install t inj;
+  Fun.protect ~finally:(fun () -> Rpc.uninstall t)
+    (fun () ->
+      let ran = ref 0 in
+      (match
+         Rpc.call t ~client:"c" ~server:"s" ~retries:2 ~timeout:0.5 (fun () ->
+             incr ran)
+       with
+      | () -> Alcotest.fail "expected Timeout when every reply is lost"
+      | exception Rpc.Timeout { attempts; waited; _ } ->
+          check ci "attempts = 1 + retries" 3 attempts;
+          check cb "waited sums the timeouts" true (abs_float (waited -. 1.5) < 1e-9));
+      (* the server did the work on every attempt even though no reply
+         arrived — exactly why non-idempotent handlers are dangerous *)
+      check ci "handler ran once per attempt" 3 !ran;
+      check ci "drops counted" 3 inj.Rpc.drops;
+      check ci "retries counted" 2 inj.Rpc.retries;
+      (* retries = 0 gives exactly one attempt *)
+      match Rpc.call t ~client:"c" ~server:"s" ~retries:0 (fun () -> 1) with
+      | _ -> Alcotest.fail "expected Timeout with retries = 0"
+      | exception Rpc.Timeout { attempts; _ } -> check ci "single attempt" 1 attempts)
+
+let test_rpc_duplicate_delivers_once () =
+  let t = Tracer.create () in
+  let inj =
+    Rpc.make_injector (fun ~client:_ ~server:_ ~msg:_ ~attempt ->
+        if attempt = 0 then Rpc.Duplicate_request else Rpc.Deliver)
+  in
+  Rpc.install t inj;
+  Fun.protect ~finally:(fun () -> Rpc.uninstall t)
+    (fun () ->
+      let ran = ref 0 in
+      let v = Rpc.call t ~client:"c" ~server:"s" (fun () -> incr ran; !ran) in
+      check ci "handler executed twice" 2 !ran;
+      check ci "second execution's reply delivered" 2 v;
+      check ci "duplicate counted" 1 inj.Rpc.duplicates)
+
+let test_rpc_default_injector_always_recovers () =
+  (* the seeded injector only disturbs first attempts, so the default
+     retries = 1 must always get an answer *)
+  let t = Tracer.create () in
+  let inj = Fault.Rpc_faults.injector ~seed:123 in
+  Rpc.install t inj;
+  Fun.protect ~finally:(fun () -> Rpc.uninstall t)
+    (fun () ->
+      for i = 1 to 200 do
+        let v = Rpc.call t ~client:"c" ~server:"s" (fun () -> i) in
+        check ci "reply eventually delivered" i v
+      done;
+      check cb "schedule disturbed some messages" true
+        (inj.Rpc.drops + inj.Rpc.duplicates > 0))
+
+let test_rpc_no_injector_unchanged () =
+  let t = Tracer.create () in
+  check cb "no injector installed" false (Rpc.faults_active t);
+  check ci "plain call works" 7 (Rpc.call t ~client:"c" ~server:"s" (fun () -> 7))
+
+let tests =
+  [
+    ("rng: deterministic and non-negative", `Quick, test_rng_deterministic);
+    ("rng: int bounds", `Quick, test_rng_int_bounds);
+    ("rng: stateless hash", `Quick, test_rng_hash_stateless);
+    ("rng: pick distinct sorted", `Quick, test_rng_pick);
+    ("plan: classes_of_string", `Quick, test_classes_of_string);
+    ("plan: enumeration deterministic", `Quick, test_plan_enumeration_deterministic);
+    ("pipeline: torn faults on beegfs/ARVR", `Quick, test_torn_faults_on_beegfs);
+    ("pipeline: faults off leaves report untouched", `Quick, test_faults_off_section_absent);
+    ("degradation: checker exception becomes Check_error", `Quick, test_check_error_captured);
+    ("degradation: state budget marks partial", `Quick, test_state_budget_partial);
+    ("degradation: unhit budget stays complete", `Quick, test_large_state_budget_not_partial);
+    ("degradation: expired deadline marks partial", `Quick, test_deadline_partial);
+    ("rpc: timeout after exhausted retries", `Quick, test_rpc_timeout_when_all_replies_lost);
+    ("rpc: duplicate request delivers once", `Quick, test_rpc_duplicate_delivers_once);
+    ("rpc: seeded injector always recovers", `Quick, test_rpc_default_injector_always_recovers);
+    ("rpc: no injector, pre-fault path", `Quick, test_rpc_no_injector_unchanged);
+  ]

@@ -1,0 +1,265 @@
+(* Report JSON round-trip: to_json output must parse as JSON and carry
+   the versioned schema — version, fault, partial and check_errors
+   fields — with the same values that went in. The parser below is a
+   deliberately small recursive-descent JSON reader (the test suite has
+   no JSON dependency). *)
+
+module R = Paracrash_core.Report
+module Explore = Paracrash_core.Explore
+module Checker = Paracrash_core.Checker
+
+let check = Alcotest.check
+let cb = Alcotest.bool
+let ci = Alcotest.int
+let cs = Alcotest.string
+
+(* --- minimal JSON parser --------------------------------------------------- *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of json list
+  | Obj of (string * json) list
+
+exception Bad of string
+
+let parse (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let fail m = raise (Bad (Printf.sprintf "%s at offset %d" m !pos)) in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') -> advance (); skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some d when d = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %C" c)
+  in
+  let literal word v =
+    String.iter expect word;
+    v
+  in
+  let string_body () =
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance (); Buffer.contents buf
+      | Some '\\' -> (
+          advance ();
+          match peek () with
+          | Some ('"' as c) | Some ('\\' as c) | Some ('/' as c) ->
+              advance (); Buffer.add_char buf c; go ()
+          | Some 'n' -> advance (); Buffer.add_char buf '\n'; go ()
+          | Some 't' -> advance (); Buffer.add_char buf '\t'; go ()
+          | Some 'r' -> advance (); Buffer.add_char buf '\r'; go ()
+          | Some 'b' -> advance (); Buffer.add_char buf '\b'; go ()
+          | Some 'u' ->
+              advance ();
+              (* keep the raw escape; the reports only emit \u00XX *)
+              Buffer.add_string buf "\\u";
+              for _ = 1 to 4 do
+                (match peek () with Some c -> Buffer.add_char buf c | None -> fail "short \\u");
+                advance ()
+              done;
+              go ()
+          | _ -> fail "bad escape")
+      | Some c -> advance (); Buffer.add_char buf c; go ()
+    in
+    go ()
+  in
+  let number () =
+    let start = !pos in
+    let number_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c -> number_char c | None -> false) do
+      advance ()
+    done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> Num f
+    | None -> fail "bad number"
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then (advance (); Obj [])
+        else Obj (members [])
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then (advance (); List [])
+        else List (elements [])
+    | Some '"' -> advance (); Str (string_body ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> number ()
+    | None -> fail "unexpected end of input"
+  and members acc =
+    skip_ws ();
+    expect '"';
+    let key = string_body () in
+    skip_ws ();
+    expect ':';
+    let v = value () in
+    skip_ws ();
+    match peek () with
+    | Some ',' -> advance (); members ((key, v) :: acc)
+    | Some '}' -> advance (); List.rev ((key, v) :: acc)
+    | _ -> fail "expected , or } in object"
+  and elements acc =
+    let v = value () in
+    skip_ws ();
+    match peek () with
+    | Some ',' -> advance (); elements (v :: acc)
+    | Some ']' -> advance (); List.rev (v :: acc)
+    | _ -> fail "expected , or ] in array"
+  in
+  let v = value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let field obj key =
+  match obj with
+  | Obj kvs -> (
+      match List.assoc_opt key kvs with
+      | Some v -> v
+      | None -> raise (Bad ("missing field " ^ key)))
+  | _ -> raise (Bad "not an object")
+
+let as_int = function Num f -> int_of_float f | _ -> raise (Bad "not a number")
+let as_str = function Str s -> s | _ -> raise (Bad "not a string")
+let as_bool = function Bool b -> b | _ -> raise (Bad "not a bool")
+let as_list = function List l -> l | _ -> raise (Bad "not a list")
+
+(* --- sample reports --------------------------------------------------------- *)
+
+let base_report =
+  {
+    R.workload = "ARVR";
+    fs = "beegfs";
+    mode = "optimized";
+    gen = { Explore.n_cuts = 8; n_candidates = 36; n_unique = 20; truncated = false };
+    n_inconsistent = 3;
+    bugs = [];
+    lib_bugs = 0;
+    pfs_bugs = 0;
+    perf =
+      { R.wall_seconds = 0.25; modeled_seconds = 9.5; restarts = 13; n_checked = 20; n_pruned = 0 };
+    fault = None;
+    partial = None;
+    check_errors = [];
+  }
+
+let faulted_report =
+  {
+    base_report with
+    R.fault =
+      Some
+        {
+          R.fault_seed = 42;
+          classes = "torn,rpc";
+          n_plans = 5;
+          n_faulted = 17;
+          n_fault_inconsistent = 4;
+          findings =
+            [
+              {
+                R.fault = "torn write of \"stripe 0\"";
+                flayer = Checker.Pfs_fault;
+                fconsequence = "missing: /A/foo";
+                fstates = 4;
+              };
+            ];
+          rpc = Some { R.drops = 2; duplicates = 3; retries = 2 };
+        };
+    partial = Some { R.deadline_hit = false; budget_hit = true };
+    check_errors = [ { R.state = "0x3f"; message = "boom\nline two" } ];
+  }
+
+(* --- tests ------------------------------------------------------------------- *)
+
+let test_version_field () =
+  let j = parse (R.to_json base_report) in
+  check ci "version matches json_version" R.json_version (as_int (field j "version"));
+  check ci "schema is v2" 2 R.json_version
+
+let test_plain_report_round_trip () =
+  let j = parse (R.to_json base_report) in
+  check cs "workload" "ARVR" (as_str (field j "workload"));
+  check cb "fault null when disabled" true (field j "fault" = Null);
+  check cb "partial null when complete" true (field j "partial" = Null);
+  check ci "no check errors" 0 (List.length (as_list (field j "check_errors")));
+  check ci "inconsistent" 3 (as_int (field j "inconsistent"));
+  check ci "checked" 20 (as_int (field (field j "states") "checked"))
+
+let test_faulted_report_round_trip () =
+  let j = parse (R.to_json faulted_report) in
+  let f = field j "fault" in
+  check ci "seed" 42 (as_int (field f "seed"));
+  check cs "classes" "torn,rpc" (as_str (field f "classes"));
+  check ci "plans" 5 (as_int (field f "plans"));
+  check ci "faulted" 17 (as_int (field f "faulted"));
+  check ci "fault_inconsistent" 4 (as_int (field f "fault_inconsistent"));
+  let rpc = field f "rpc" in
+  check ci "rpc drops" 2 (as_int (field rpc "drops"));
+  check ci "rpc duplicates" 3 (as_int (field rpc "duplicates"));
+  (match as_list (field f "findings") with
+  | [ fd ] ->
+      check cs "finding layer" "PFS" (as_str (field fd "layer"));
+      check cs "finding consequence" "missing: /A/foo" (as_str (field fd "consequence"));
+      check ci "finding states" 4 (as_int (field fd "states"));
+      (* the quote in the fault description survives escaping *)
+      check cs "finding fault" "torn write of \"stripe 0\"" (as_str (field fd "fault"))
+  | l -> Alcotest.failf "expected 1 finding, got %d" (List.length l));
+  let p = field j "partial" in
+  check cb "budget_hit" true (as_bool (field p "budget_hit"));
+  check cb "deadline_hit" false (as_bool (field p "deadline_hit"));
+  match as_list (field j "check_errors") with
+  | [ e ] ->
+      check cs "error state" "0x3f" (as_str (field e "state"));
+      check cs "newline escaped and restored" "boom\nline two"
+        (as_str (field e "message"))
+  | l -> Alcotest.failf "expected 1 check error, got %d" (List.length l)
+
+let test_summary_line_faulted () =
+  check cb "summary mentions faulted counts" true
+    (Paracrash_util.Strutil.contains_sub (R.summary_line faulted_report)
+       "faulted=4/17");
+  check cb "plain summary does not" false
+    (Paracrash_util.Strutil.contains_sub (R.summary_line base_report) "faulted")
+
+let test_pp_sections_conditional () =
+  (* the human rendering grows fault / partial / error sections only
+     when present, keeping faults-off output byte-identical *)
+  let plain = Fmt.str "%a" R.pp base_report in
+  let faulted = Fmt.str "%a" R.pp faulted_report in
+  check cb "plain output has no fault section" false
+    (Paracrash_util.Strutil.contains_sub plain "fault injection");
+  check cb "faulted output has one" true
+    (Paracrash_util.Strutil.contains_sub faulted "fault injection");
+  check cb "faulted output warns PARTIAL" true
+    (Paracrash_util.Strutil.contains_sub faulted "PARTIAL");
+  check cb "plain output does not warn" false
+    (Paracrash_util.Strutil.contains_sub plain "PARTIAL")
+
+let tests =
+  [
+    ("json: version field", `Quick, test_version_field);
+    ("json: plain report round-trips", `Quick, test_plain_report_round_trip);
+    ("json: faulted report round-trips", `Quick, test_faulted_report_round_trip);
+    ("summary line shows fault counts", `Quick, test_summary_line_faulted);
+    ("pp sections are conditional", `Quick, test_pp_sections_conditional);
+  ]

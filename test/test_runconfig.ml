@@ -85,6 +85,54 @@ let test_program_all_allowed () =
   let t = ok (Runconfig.parse "program = all") in
   check cs "'all' accepted" "all" t.Runconfig.program
 
+let test_unknown_key_did_you_mean () =
+  (* a near-miss names the intended key *)
+  expect_error "jbos = 4" "did you mean \"jobs\"";
+  expect_error "stipe = 65536" "did you mean \"stripe\"";
+  expect_error "fault_sede = 3" "did you mean \"fault_seed\"";
+  expect_error "state_budge = 10" "did you mean \"state_budget\"";
+  (* nothing close: plain rejection, no bogus suggestion *)
+  (match Runconfig.parse "zzzzqqqq = 1" with
+  | Error m ->
+      check cb "no suggestion for distant keys" false
+        (let nh = String.length m in
+         let needle = "did you mean" in
+         let nn = String.length needle in
+         let rec go i = i + nn <= nh && (String.sub m i nn = needle || go (i + 1)) in
+         go 0)
+  | Ok _ -> Alcotest.fail "expected an error");
+  expect_error "zzzzqqqq = 1" "unknown configuration key"
+
+let test_fault_keys () =
+  let t =
+    ok
+      (Runconfig.parse
+         {|
+faults       = torn,rpc
+fault_seed   = 9
+fault_budget = 12
+deadline     = 2.5
+state_budget = 30
+|})
+  in
+  let o = t.Runconfig.options in
+  check cb "fault classes" true
+    (o.D.faults = [ Paracrash_fault.Plan.Torn; Paracrash_fault.Plan.Rpc ]);
+  check ci "fault seed" 9 o.D.fault_seed;
+  check ci "fault budget" 12 o.D.fault_budget;
+  check cb "deadline" true (o.D.deadline = Some 2.5);
+  check cb "state budget" true (o.D.state_budget = Some 30);
+  (* defaults: faults disabled, no deadline or budget *)
+  let d = (ok (Runconfig.parse "")).Runconfig.options in
+  check cb "default faults off" true (d.D.faults = []);
+  check cb "default no deadline" true (d.D.deadline = None);
+  check cb "default no state budget" true (d.D.state_budget = None);
+  (* bad values rejected with the usual messages *)
+  expect_error "faults = torn,frob" "unknown fault class";
+  expect_error "fault_seed = soon" "integer";
+  expect_error "deadline = -1" "positive";
+  expect_error "state_budget = 0" "positive integer"
+
 let tests =
   [
     ("empty config keeps defaults", `Quick, test_defaults);
@@ -93,4 +141,6 @@ let tests =
     ("comments and blank lines", `Quick, test_comments_and_blank_lines);
     ("errors carry line numbers", `Quick, test_error_carries_line_number);
     ("program = all", `Quick, test_program_all_allowed);
+    ("unknown keys get did-you-mean", `Quick, test_unknown_key_did_you_mean);
+    ("fault and degradation keys", `Quick, test_fault_keys);
   ]

@@ -164,6 +164,61 @@ let test_parallel_restart_overhead_bounded () =
   check cb "parallel restarts below full-reboot bound" true
     (par.R.perf.restarts <= par.R.perf.n_checked * n_servers + (4 - 1) * n_servers)
 
+(* --- fault determinism across schedulers ----------------------------------- *)
+
+(* The fault phase must obey the same contract as the base pipeline: a
+   fixed fault seed yields byte-identical canonicalized reports at any
+   job count — plan enumeration, pair sampling, faulted verdicts and
+   finding aggregation all replay deterministically in the reduce. *)
+let test_fault_determinism () =
+  let beegfs = Option.get (Registry.find_fs "beegfs") in
+  List.iter
+    (fun (pname, classes) ->
+      let spec = Option.get (Registry.find_workload pname) in
+      let session = session_of beegfs spec in
+      let pipeline jobs =
+        let options =
+          {
+            Pipeline.default_options with
+            jobs;
+            max_cuts = det_max_cuts;
+            faults = classes;
+            fault_seed = 5;
+            fault_budget = 32;
+          }
+        in
+        let lib =
+          Option.map (fun f -> f ~model:options.Pipeline.lib_model session)
+            spec.D.lib
+        in
+        canonical (Pipeline.run options ~session ~lib ~workload:pname)
+      in
+      let serial = pipeline 1 in
+      (match
+         (Pipeline.run
+            {
+              Pipeline.default_options with
+              max_cuts = det_max_cuts;
+              faults = classes;
+              fault_seed = 5;
+              fault_budget = 32;
+            }
+            ~session ~lib:None ~workload:pname)
+           .R.fault
+       with
+      | Some f -> check cb (pname ^ " fault phase ran") true (f.R.n_faulted >= 1)
+      | None -> Alcotest.fail "fault section missing");
+      List.iter
+        (fun jobs ->
+          check cs
+            (Printf.sprintf "%s faults jobs=%d" pname jobs)
+            serial (pipeline jobs))
+        [ 2; 4 ])
+    [
+      ("ARVR", [ Paracrash_fault.Plan.Torn; Paracrash_fault.Plan.Failstop ]);
+      ("H5-create", [ Paracrash_fault.Plan.Torn ]);
+    ]
+
 (* --- runconfig / CLI plumbing --------------------------------------------- *)
 
 let test_runconfig_jobs () =
@@ -188,6 +243,7 @@ let tests =
     ("mode round-trips", `Quick, test_mode_roundtrip);
     ("runconfig jobs key", `Quick, test_runconfig_jobs);
     ("pruned-mode reports identical across jobs", `Quick, test_determinism_pruned_mode);
+    ("faulted reports identical across jobs", `Quick, test_fault_determinism);
     ("optimized restart overhead bounded", `Quick, test_parallel_restart_overhead_bounded);
   ]
   @ List.map
