@@ -9,7 +9,11 @@
      --sensitivity  parameter sensitivity (Table 3's last column)
      --traces       ARVR server traces per FS (Figures 2 and 9)
      --faults       seeded fault-plan sweep (torn/bitflip/failstop/rpc) per FS
-     --micro        bechamel microbenchmarks of the core phases
+     --micro        bechamel microbenchmarks of the core phases, plus
+                    legal-state generation (scratch vs prefix-shared) and
+                    state matching (canonical scan vs 128-bit fingerprint);
+                    with --json the latter cells are appended to
+                    BENCH_perf.json under the "legal_gen" tag
      --scaling      jobs ∈ {1,2,4} sweep on the largest HDF5 cells
      --json         also dump the fig10 cells to BENCH_perf.json
      (no flag: everything except --micro's and --scaling's long runs)
@@ -506,22 +510,79 @@ let faults () =
 
 (* --- bechamel microbenchmarks ------------------------------------------------ *)
 
+(* Append the legal-generation/state-match micro cells to
+   BENCH_perf.json without disturbing the fig10 records: previous
+   legal_gen lines are replaced, everything else is kept verbatim (the
+   file is one record per line by construction, see write_perf_json). *)
+let append_legal_json cells =
+  let file = "BENCH_perf.json" in
+  let existing =
+    if not (Sys.file_exists file) then []
+    else begin
+      let ic = open_in file in
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> ());
+      close_in ic;
+      List.rev !lines
+    end
+  in
+  let is_record l =
+    let t = String.trim l in
+    t <> "" && t <> "[" && t <> "]"
+  in
+  let strip_comma l =
+    let t = String.trim l in
+    if String.length t > 0 && t.[String.length t - 1] = ',' then
+      String.sub t 0 (String.length t - 1)
+    else t
+  in
+  let kept =
+    existing
+    |> List.filter (fun l ->
+           is_record l
+           && not (Paracrash_util.Strutil.contains_sub l "\"tag\": \"legal_gen\""))
+    |> List.map strip_comma
+  in
+  let fresh =
+    List.map
+      (fun (name, ns) ->
+        Printf.sprintf "{ \"tag\": \"legal_gen\", \"name\": \"%s\", \"ns_per_run\": %.1f }"
+          name ns)
+      cells
+  in
+  let oc = open_out file in
+  output_string oc "[\n";
+  List.iteri
+    (fun i l ->
+      Printf.fprintf oc "  %s%s\n" l
+        (if i = List.length (kept @ fresh) - 1 then "" else ","))
+    (kept @ fresh);
+  output_string oc "]\n";
+  close_out oc;
+  pr "appended %d legal_gen cells to %s@." (List.length fresh) file
+
+let session_for spec_name fs_name =
+  let fs = Option.get (Registry.find_fs fs_name) in
+  let spec = Option.get (Registry.find_workload spec_name) in
+  let tracer = Paracrash_trace.Tracer.create () in
+  let handle = fs.Registry.make ~config:P.Config.default ~tracer in
+  Paracrash_trace.Tracer.set_enabled tracer false;
+  spec.D.preamble handle;
+  let initial = P.Handle.snapshot handle in
+  Paracrash_trace.Tracer.set_enabled tracer true;
+  spec.D.test handle;
+  Paracrash_trace.Tracer.set_enabled tracer false;
+  Paracrash_core.Session.of_run ~handle ~initial
+
 let micro () =
   section "Microbenchmarks (bechamel): core phases of one ParaCrash run";
   let open Bechamel in
   let beegfs = Option.get (Registry.find_fs "beegfs") in
-  let prepared =
-    let spec = W.Posix.arvr in
-    let tracer = Paracrash_trace.Tracer.create () in
-    let handle = beegfs.Registry.make ~config:P.Config.default ~tracer in
-    Paracrash_trace.Tracer.set_enabled tracer false;
-    spec.D.preamble handle;
-    let initial = P.Handle.snapshot handle in
-    Paracrash_trace.Tracer.set_enabled tracer true;
-    spec.D.test handle;
-    Paracrash_trace.Tracer.set_enabled tracer false;
-    Paracrash_core.Session.of_run ~handle ~initial
-  in
+  let prepared = session_for "ARVR" "beegfs" in
   let persist = Paracrash_core.Persist.build prepared in
   let states, _ = Paracrash_core.Explore.generate ~k:1 prepared ~persist in
   let some_state = List.nth states (List.length states / 2) in
@@ -570,18 +631,68 @@ let micro () =
   let instance = Toolkit.Instance.monotonic_clock in
   let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) ~kde:(Some 100) () in
   let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
-  List.iter
-    (fun test ->
-      List.iter
-        (fun elt ->
-          let raw = Benchmark.run cfg [ instance ] elt in
-          let result = Analyze.one ols instance raw in
-          let est =
-            match Analyze.OLS.estimates result with Some [ e ] -> e | _ -> nan
-          in
-          pr "%-50s %14.1f ns/run@." (Test.Elt.name elt) est)
-        (Test.elements test))
-    tests
+  let measure tests =
+    List.concat_map
+      (fun test ->
+        List.map
+          (fun elt ->
+            let raw = Benchmark.run cfg [ instance ] elt in
+            let result = Analyze.one ols instance raw in
+            let est =
+              match Analyze.OLS.estimates result with Some [ e ] -> e | _ -> nan
+            in
+            pr "%-50s %14.1f ns/run@." (Test.Elt.name elt) est;
+            (Test.Elt.name elt, est))
+          (Test.elements test))
+      tests
+  in
+  ignore (measure tests);
+  (* legal-state generation and state matching: the scratch/scan cells
+     are the pre-digest code paths (kept as oracles in Checker/Legal),
+     the shared/digest cells the content-addressed ones. H5-create has
+     the longest PFS oplog of the registered workloads, so prefix
+     sharing has real work to save. *)
+  section
+    "Microbenchmarks (bechamel): legal-state generation & state matching \
+     (H5-create/beegfs, causal model)";
+  let h5 = session_for "H5-create" "beegfs" in
+  let h5_legal = Paracrash_core.Checker.pfs_legal_states h5 Model.Causal in
+  let h5_views =
+    let persist = Paracrash_core.Persist.build h5 in
+    let states, _ = Paracrash_core.Explore.generate ~k:1 h5 ~persist in
+    let handle = h5.Paracrash_core.Session.handle in
+    List.filteri (fun i _ -> i < 30) states
+    |> List.map (fun (st : Paracrash_core.Explore.state) ->
+           let images, _ = Paracrash_core.Emulator.reconstruct h5 st.persisted in
+           P.Handle.mount handle (P.Handle.fsck handle images))
+  in
+  (* the render/fingerprint of a recovered view is paid once per state
+     on either path (both are MD5-bound over file contents); the
+     repeated operation the digest replaces is the membership test, so
+     that is what the match cells isolate *)
+  let h5_canons = List.map Paracrash_pfs.Logical.canonical h5_views in
+  let h5_fps = List.map Paracrash_pfs.Logical.fingerprint h5_views in
+  let legal_tests =
+    [
+      Test.make ~name:"legal-state generation: scratch replay per set"
+        (Staged.stage (fun () ->
+             ignore (Paracrash_core.Checker.pfs_legal_states_scratch h5 Model.Causal)));
+      Test.make ~name:"legal-state generation: prefix-shared replay"
+        (Staged.stage (fun () ->
+             ignore (Paracrash_core.Checker.pfs_legal_states h5 Model.Causal)));
+      Test.make ~name:"state match: linear scan over canonicals"
+        (Staged.stage (fun () ->
+             List.iter
+               (fun c -> ignore (Paracrash_core.Legal.mem_scan h5_legal c))
+               h5_canons));
+      Test.make ~name:"state match: 128-bit fingerprint lookup"
+        (Staged.stage (fun () ->
+             List.iter
+               (fun fp -> ignore (Paracrash_core.Legal.mem h5_legal fp))
+               h5_fps));
+    ]
+  in
+  measure legal_tests
 
 (* --- main --------------------------------------------------------------------- *)
 
@@ -603,5 +714,8 @@ let () =
   if all || has "--faults" then faults ();
   if all || has "--sensitivity" then sensitivity ();
   if has "--scaling" then scaling ();
-  if has "--micro" then micro ();
+  if has "--micro" then begin
+    let legal_cells = micro () in
+    if has "--json" then append_legal_json legal_cells
+  end;
   pr "@.done.@."

@@ -3,7 +3,9 @@
 #
 #   ./ci.sh          build + full test suite (+ formatting when available)
 #   ./ci.sh --quick  build + quick tests only (skips the `Slow full
-#                    scheduler-determinism matrix)
+#                    scheduler-determinism matrix) + a digest-determinism
+#                    smoke: the same run twice must render identical JSON
+#                    (content-addressed state matching is deterministic)
 #
 # Formatting is checked with `dune build @fmt` only when ocamlformat is
 # installed; environments without it skip the gate rather than fail.
@@ -17,6 +19,21 @@ dune build
 echo "== dune runtest =="
 if [ "${1:-}" = "--quick" ]; then
     dune exec test/main.exe -- test -q
+
+    echo "== digest determinism smoke =="
+    # two identical runs must produce byte-identical reports modulo the
+    # wall clock (the only nondeterministic field)
+    norm='s/"wall_seconds": [0-9.]*/"wall_seconds": X/'
+    ./_build/default/bin/paracrash.exe -f beegfs -p ARVR --json 2>/dev/null \
+        | sed "$norm" > /tmp/paracrash-digest-a.json
+    ./_build/default/bin/paracrash.exe -f beegfs -p ARVR --json 2>/dev/null \
+        | sed "$norm" > /tmp/paracrash-digest-b.json
+    if ! cmp -s /tmp/paracrash-digest-a.json /tmp/paracrash-digest-b.json; then
+        echo "digest determinism smoke FAILED: identical runs rendered different reports" >&2
+        diff /tmp/paracrash-digest-a.json /tmp/paracrash-digest-b.json >&2 || true
+        exit 1
+    fi
+    echo "identical reports across two runs"
 else
     dune runtest
 fi

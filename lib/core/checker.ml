@@ -1,5 +1,6 @@
 module Bitset = Paracrash_util.Bitset
 module Dag = Paracrash_util.Dag
+module Fp = Paracrash_util.Digestutil.Fp
 module Logical = Paracrash_pfs.Logical
 module Golden = Paracrash_pfs.Golden
 module Pfs_op = Paracrash_pfs.Pfs_op
@@ -9,7 +10,7 @@ type lib_layer = {
   lib_name : string;
   view : Logical.t -> string;
   view_after_recovery : Logical.t -> string option;
-  legal_views : string list;
+  legal_views : Legal.t;
   expected_view : string;
 }
 
@@ -21,7 +22,7 @@ let pfs_call_graph (s : Session.t) =
   let g, _ = Dag.restrict s.graph ids in
   g
 
-let pfs_legal_states (s : Session.t) model =
+let pfs_model_inputs (s : Session.t) =
   let ops = Array.of_list (List.map snd s.pfs_calls) in
   let graph = pfs_call_graph s in
   let is_commit i = Pfs_op.is_commit ops.(i) in
@@ -33,6 +34,25 @@ let pfs_legal_states (s : Session.t) model =
        || (Dag.happens_before graph i j
           && String.equal (Pfs_op.path_of ops.(i)) (Pfs_op.path_of ops.(j))))
   in
+  (ops, graph, is_commit, covered_by)
+
+let pfs_legal_states (s : Session.t) model =
+  let ops, graph, is_commit, covered_by = pfs_model_inputs s in
+  let enum = Model.preserved_sets_seq model ~graph ~is_commit ~covered_by in
+  let base = Handle.mount s.handle s.initial in
+  let states =
+    Legal.replay_sets ~base ~op:(fun i -> ops.(i)) ~apply:Golden.apply
+      enum.Model.sets
+  in
+  Legal.build ~truncated:enum.Model.truncated ~fingerprint:Logical.fingerprint
+    ~canonical:Logical.canonical states
+
+(* The pre-digest implementation, verbatim: a from-scratch golden replay
+   per preserved set, deduplicated and matched by canonical string. The
+   differential test and the bench baseline judge the content-addressed
+   path against this oracle; nothing else should use it. *)
+let pfs_legal_states_scratch (s : Session.t) model =
+  let ops, graph, is_commit, covered_by = pfs_model_inputs s in
   let sets = Model.preserved_sets model ~graph ~is_commit ~covered_by in
   let base = Handle.mount s.handle s.initial in
   let states = Hashtbl.create 32 in
@@ -62,17 +82,19 @@ let recovered_view ?reconstruct (s : Session.t) persisted =
 
 let check (s : Session.t) ~pfs_legal ?lib ?reconstruct persisted =
   let view = recovered_view ?reconstruct s persisted in
-  let canon = Logical.canonical view in
-  let pfs_ok = List.exists (String.equal canon) pfs_legal in
+  let pfs_ok = Legal.mem pfs_legal (Logical.fingerprint view) in
   match lib with
   | None -> ((if pfs_ok then Consistent else Inconsistent Pfs_fault), view, None)
   | Some lib ->
+      (* the library view and its digest are computed once per state;
+         membership is a fingerprint lookup, not a scan over every legal
+         view *)
       let lv = lib.view view in
-      if List.exists (String.equal lv) lib.legal_views then
+      if Legal.mem lib.legal_views (Fp.of_string lv) then
         (Consistent, view, Some lv)
       else (
         match lib.view_after_recovery view with
-        | Some lv' when List.exists (String.equal lv') lib.legal_views ->
+        | Some lv' when Legal.mem lib.legal_views (Fp.of_string lv') ->
             (Consistent_after_recovery, view, Some lv')
         | Some _ | None ->
             ( Inconsistent (if pfs_ok then Lib_fault else Pfs_fault),

@@ -7,7 +7,9 @@
     state and that the layer's recovery tool cannot repair is
     inconsistent; if the PFS view underneath is itself a legal causal
     PFS state, the bug is attributed to the I/O library, otherwise to
-    the PFS. *)
+    the PFS. Legal sets are content-addressed ({!Legal.t}): matching a
+    recovered state is one 128-bit fingerprint lookup, not a scan over
+    every canonical string. *)
 
 type lib_layer = {
   lib_name : string;
@@ -17,7 +19,7 @@ type lib_layer = {
   view_after_recovery : Paracrash_pfs.Logical.t -> string option;
       (** the same after running the library's recovery tool
           (h5clear); [None] if recovery is impossible *)
-  legal_views : string list;  (** canonical legal library states *)
+  legal_views : Legal.t;  (** content-addressed legal library states *)
   expected_view : string;
       (** golden replay of the full operation sequence (the no-crash
           outcome), for consequence reporting *)
@@ -34,13 +36,22 @@ val pfs_call_graph : Session.t -> Paracrash_util.Dag.t
 (** Causality graph over the session's PFS-layer calls (indices into
     [Session.pfs_calls]). *)
 
-val pfs_legal_states : Session.t -> Model.t -> string list
-(** Canonical forms of the legal PFS states: golden replays, over the
-    initial mounted view, of every preserved set the model allows. *)
+val pfs_legal_states : Session.t -> Model.t -> Legal.t
+(** The legal PFS states: golden replays, over the initial mounted
+    view, of every preserved set the model allows. Replays share work
+    along the subset lattice ({!Legal.replay_sets}): each enumerated
+    set extends a cached prefix state by its delta operations instead
+    of replaying from scratch. *)
+
+val pfs_legal_states_scratch : Session.t -> Model.t -> string list
+(** Reference oracle: the pre-digest implementation — a from-scratch
+    golden replay per preserved set, deduplicated by canonical string.
+    Used only by the differential test and the benchmark baseline;
+    must enumerate exactly the states of {!pfs_legal_states}. *)
 
 val check :
   Session.t ->
-  pfs_legal:string list ->
+  pfs_legal:Legal.t ->
   ?lib:lib_layer ->
   ?reconstruct:
     (Paracrash_util.Bitset.t -> Paracrash_pfs.Images.t * string list) ->
@@ -55,7 +66,7 @@ val check :
 
 val is_consistent :
   Session.t ->
-  pfs_legal:string list ->
+  pfs_legal:Legal.t ->
   ?lib:lib_layer ->
   Paracrash_util.Bitset.t ->
   bool

@@ -25,7 +25,7 @@ type ctx = {
   session : Session.t;
   mode : mode;
   classify : bool;
-  pfs_legal : string list;
+  pfs_legal : Legal.t;
   lib : Checker.lib_layer option;
   storage_graph : Paracrash_util.Dag.t;
   expected : Logical.t;

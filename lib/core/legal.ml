@@ -1,0 +1,75 @@
+module Bitset = Paracrash_util.Bitset
+module Fp = Paracrash_util.Digestutil.Fp
+
+type entry = { fp : Fp.t; canonical : string Lazy.t }
+
+type t = {
+  tbl : unit Fp.Tbl.t;
+  entries : entry list;  (* first-seen order *)
+  truncated : bool;
+}
+
+let mem t fp = Fp.Tbl.mem t.tbl fp
+let cardinal t = Fp.Tbl.length t.tbl
+let truncated t = t.truncated
+let canonicals t = List.map (fun e -> Lazy.force e.canonical) t.entries
+
+let mem_scan t canon =
+  List.exists (fun e -> String.equal (Lazy.force e.canonical) canon) t.entries
+
+let build ?(truncated = false) ~fingerprint ~canonical states =
+  let tbl = Fp.Tbl.create 64 in
+  let rev_entries = ref [] in
+  Seq.iter
+    (fun st ->
+      let fp = fingerprint st in
+      if not (Fp.Tbl.mem tbl fp) then begin
+        Fp.Tbl.replace tbl fp ();
+        (* the canonical string is only forced for reports and
+           differential tests; membership never materializes it *)
+        rev_entries := { fp; canonical = lazy (canonical st) } :: !rev_entries
+      end)
+    states;
+  { tbl; entries = List.rev !rev_entries; truncated }
+
+let of_canonical_seq ?truncated canons =
+  build ?truncated ~fingerprint:Fp.of_string ~canonical:Fun.id canons
+
+let of_canonicals canons = of_canonical_seq (List.to_seq canons)
+
+(* Prefix-shared golden replay over a lattice of preserved sets.
+
+   Replaying a preserved set is a left fold of [apply] over its
+   operations in ascending index order, so two sets sharing a sorted
+   prefix share that prefix's fold exactly. The cache memoizes the state
+   after every replayed prefix (states are persistent, so a cached entry
+   is a pointer, not a copy); each incoming set replays only the suffix
+   past its longest cached prefix. Over a subset/downset lattice almost
+   every set extends an earlier one by a single operation, collapsing
+   the quadratic total replay work of from-scratch generation to one
+   apply per lattice edge. *)
+let replay_sets ~base ~op ~apply sets =
+  let cache = Bitset.Tbl.create 256 in
+  let replay set =
+    let n = Bitset.capacity set in
+    let empty = Bitset.create n in
+    if not (Bitset.Tbl.mem cache empty) then Bitset.Tbl.replace cache empty base;
+    let elems = Bitset.elements set in
+    let m = List.length elems in
+    let prefixes = Array.make (m + 1) empty in
+    List.iteri (fun i e -> prefixes.(i + 1) <- Bitset.add prefixes.(i) e) elems;
+    let rec longest j =
+      if Bitset.Tbl.mem cache prefixes.(j) then j else longest (j - 1)
+    in
+    let j0 = longest m in
+    let st = ref (Bitset.Tbl.find cache prefixes.(j0)) in
+    List.iteri
+      (fun i e ->
+        if i >= j0 then begin
+          st := apply !st (op e);
+          Bitset.Tbl.replace cache prefixes.(i + 1) !st
+        end)
+      elems;
+    !st
+  in
+  Seq.map replay sets

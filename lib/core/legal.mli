@@ -1,0 +1,60 @@
+(** Content-addressed legal-state sets.
+
+    A legal-state set answers "is this recovered state one of the golden
+    masters?" in O(1) by 128-bit structural fingerprint
+    ({!Paracrash_util.Digestutil.Fp}) instead of the historical linear
+    scan over canonical strings. Canonical strings are kept lazily, for
+    reports, diffs and the differential-test oracle; membership never
+    materializes them. See DESIGN.md, "Content-addressed states &
+    golden-master caching". *)
+
+type t
+
+val build :
+  ?truncated:bool ->
+  fingerprint:('st -> Paracrash_util.Digestutil.Fp.t) ->
+  canonical:('st -> string) ->
+  'st Seq.t ->
+  t
+(** Fold a stream of golden states into a set, deduplicating by
+    fingerprint and preserving first-seen order. [canonical] is only
+    invoked lazily (reports/tests). [truncated] records that the
+    enumeration feeding the stream was capped
+    ({!Model.enumeration.truncated}). *)
+
+val of_canonical_seq : ?truncated:bool -> string Seq.t -> t
+(** Build from already-canonical strings (library-level views, whose
+    canonical form is how they are observed in the first place). *)
+
+val of_canonicals : string list -> t
+
+val mem : t -> Paracrash_util.Digestutil.Fp.t -> bool
+(** O(1) membership by fingerprint. *)
+
+val mem_scan : t -> string -> bool
+(** Reference membership by linear canonical-string scan — the pre-digest
+    code path, kept for differential tests and the bench baseline. *)
+
+val cardinal : t -> int
+
+val canonicals : t -> string list
+(** Canonical strings in first-seen order (forces the lazy strings). *)
+
+val truncated : t -> bool
+(** The enumeration behind this set was capped; verdicts may over-report
+    inconsistency and the engine logs a warning. *)
+
+val replay_sets :
+  base:'st ->
+  op:(int -> 'op) ->
+  apply:('st -> 'op -> 'st) ->
+  Paracrash_util.Bitset.t Seq.t ->
+  'st Seq.t
+(** Prefix-shared golden replay: map each preserved set to the state
+    reached by folding [apply] over its operations in ascending index
+    order, memoizing every replayed prefix so sets that extend an
+    already-seen prefix (almost all of them, in lattice enumeration
+    order) replay only their delta. The result is pointwise identical to
+    a from-scratch replay of each set; only the work is shared. The
+    returned sequence is ephemeral (it owns the mutable prefix cache):
+    consume it once. *)

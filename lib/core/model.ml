@@ -20,42 +20,97 @@ let of_string = function
 
 let pp ppf m = Fmt.string ppf (to_string m)
 
+(* Beyond this many enumerated sets, subset- and downset-based models
+   truncate gracefully instead of failing (the old code raised
+   [Invalid_argument] past 20 operations). 2^20 keeps the historical
+   exact-enumeration range intact: any layer with <= 20 operations is
+   enumerated in full. *)
+let max_enumerated = 1 lsl 20
+
+type enumeration = { sets : Bitset.t Seq.t; truncated : bool }
+
 (* A commit operation pins the operations it covers, but only in
    preserved sets where the commit provably completed before the crash:
    either the commit itself is preserved, or some preserved operation
    happens after it (so the crash point is causally past the commit).
    For a preserved set without such evidence, the crash may have
    predated the commit — an equally legal schedule — and nothing is
-   pinned (§4.4.2). *)
-let commit_respected ~graph ~is_commit ~covered_by s =
+   pinned (§4.4.2).
+
+   The per-commit data (descendant and covered-op bitsets) is computed
+   once per enumeration, so the per-set test is a handful of word-wise
+   bitset operations instead of the historical three [List.init]
+   allocations per set. *)
+let commit_filter ~graph ~is_commit ~covered_by =
   let n = Dag.size graph in
-  let happened j =
-    Bitset.mem s j
-    || List.exists
-         (fun i -> Bitset.mem s i && Dag.happens_before graph j i)
-         (List.init n Fun.id)
+  let commits = ref [] in
+  for j = n - 1 downto 0 do
+    if is_commit j then begin
+      let covered = ref (Bitset.create n) in
+      for i = 0 to n - 1 do
+        if covered_by i j then covered := Bitset.add !covered i
+      done;
+      commits := (j, Dag.descendants graph j, !covered) :: !commits
+    end
+  done;
+  let commits = !commits in
+  fun s ->
+    List.for_all
+      (fun (j, desc, covered) ->
+        let happened =
+          Bitset.mem s j || not (Bitset.is_empty (Bitset.inter s desc))
+        in
+        (not happened) || Bitset.subset covered s)
+      commits
+
+(* All subsets of [0 .. n-1] in ascending binary-counter order (bit i =
+   element i), the order [Combi.subsets] produced. Streams lazily; past
+   [max_enumerated] sets the tail — subsets touching elements >= 20 — is
+   dropped and the enumeration marked truncated. The emitted masks then
+   all fit in [max_enumerated], so a plain int counter suffices at any
+   [n]. *)
+let subsets_seq n =
+  let total = if n >= 62 then max_int else 1 lsl n in
+  let stop = min total max_enumerated in
+  let of_mask mask =
+    let s = ref (Bitset.create n) in
+    let rem = ref mask in
+    while !rem <> 0 do
+      let b = !rem land - !rem in
+      (* index of the lowest set bit *)
+      let rec idx i m = if m = 1 then i else idx (i + 1) (m lsr 1) in
+      s := Bitset.add !s (idx 0 b);
+      rem := !rem land (!rem - 1)
+    done;
+    !s
   in
-  List.for_all
-    (fun j ->
-      (not (is_commit j))
-      || (not (happened j))
-      || List.for_all
-           (fun i -> (not (covered_by i j)) || Bitset.mem s i)
-           (List.init n Fun.id))
-    (List.init n Fun.id)
+  let rec go mask () =
+    if mask >= stop then Seq.Nil else Seq.Cons (of_mask mask, go (mask + 1))
+  in
+  { sets = go 0; truncated = total > max_enumerated }
 
-let all_subsets ~n =
-  if n > 20 then invalid_arg "Model.preserved_sets: too many layer operations";
-  Paracrash_util.Combi.subsets (List.init n Fun.id)
-  |> List.map (Bitset.of_list n)
+let downsets_enum graph =
+  let truncated = Dag.downset_count ~limit:(max_enumerated + 1) graph > max_enumerated in
+  let rec capped k seq () =
+    if k >= max_enumerated then Seq.Nil
+    else
+      match seq () with
+      | Seq.Nil -> Seq.Nil
+      | Seq.Cons (s, tl) -> Seq.Cons (s, capped (k + 1) tl)
+  in
+  { sets = capped 0 (Dag.downsets_seq graph); truncated }
 
-let preserved_sets m ~graph ~is_commit ~covered_by =
+let preserved_sets_seq m ~graph ~is_commit ~covered_by =
   let n = Dag.size graph in
   match m with
-  | Strict -> [ Bitset.full n ]
+  | Strict -> { sets = Seq.return (Bitset.full n); truncated = false }
   | Commit ->
-      all_subsets ~n |> List.filter (commit_respected ~graph ~is_commit ~covered_by)
+      let e = subsets_seq n in
+      { e with sets = Seq.filter (commit_filter ~graph ~is_commit ~covered_by) e.sets }
   | Causal ->
-      Dag.downsets graph
-      |> List.filter (commit_respected ~graph ~is_commit ~covered_by)
-  | Baseline -> all_subsets ~n
+      let e = downsets_enum graph in
+      { e with sets = Seq.filter (commit_filter ~graph ~is_commit ~covered_by) e.sets }
+  | Baseline -> subsets_seq n
+
+let preserved_sets m ~graph ~is_commit ~covered_by =
+  List.of_seq (preserved_sets_seq m ~graph ~is_commit ~covered_by).sets

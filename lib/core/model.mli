@@ -25,24 +25,48 @@ val to_string : t -> string
 val of_string : string -> t option
 val pp : Format.formatter -> t -> unit
 
+val max_enumerated : int
+(** Cap on the number of sets a subset- or downset-based model
+    enumerates (2^20). Layers with at most 20 operations are always
+    enumerated exactly; beyond the cap the enumeration is truncated and
+    flagged, replacing the historical [Invalid_argument] hard stop. *)
+
+type enumeration = {
+  sets : Paracrash_util.Bitset.t Seq.t;
+      (** lazily produced, in the model's deterministic order *)
+  truncated : bool;
+      (** the cap dropped legal sets: verdicts against this enumeration
+          may over-report inconsistency and callers should surface a
+          warning (the engine logs one, mirroring [stats.truncated] for
+          cut enumeration) *)
+}
+
+val preserved_sets_seq :
+  t ->
+  graph:Paracrash_util.Dag.t ->
+  is_commit:(int -> bool) ->
+  covered_by:(int -> int -> bool) ->
+  enumeration
+(** [preserved_sets_seq m ~graph ~is_commit ~covered_by] enumerates the
+    legal preserved sets over the operation indices [0 .. size-1] of
+    [graph] (the layer-level causality graph), lazily and in a
+    deterministic order. [is_commit i] marks commit operations;
+    [covered_by i j] says commit [j] persists operation [i] (e.g. same
+    file, or any prior operation under data journaling).
+
+    A commit pins the operations it covers only in preserved sets that
+    show the commit completed before the crash — the commit itself is
+    preserved, or some preserved operation happens after it. Otherwise
+    the crash may have predated the commit under a different legal
+    schedule, and nothing is pinned. The per-commit coverage and
+    descendant bitsets are precomputed once, so filtering each set costs
+    a few word-wise bitset operations. *)
+
 val preserved_sets :
   t ->
   graph:Paracrash_util.Dag.t ->
   is_commit:(int -> bool) ->
   covered_by:(int -> int -> bool) ->
   Paracrash_util.Bitset.t list
-(** [preserved_sets m ~graph ~is_commit ~covered_by] enumerates the
-    legal preserved sets over the operation indices [0 .. size-1] of
-    [graph] (the layer-level causality graph). [is_commit i] marks
-    commit operations; [covered_by i j] says commit [j] persists
-    operation [i] (e.g. same file, or any prior operation under data
-    journaling).
-
-    A commit pins the operations it covers only in preserved sets that
-    show the commit completed before the crash — the commit itself is
-    preserved, or some preserved operation happens after it. Otherwise
-    the crash may have predated the commit under a different legal
-    schedule, and nothing is pinned.
-
-    Raises [Invalid_argument] for the subset-based models when the
-    operation count exceeds 20. *)
+(** {!preserved_sets_seq} forced to a list (tests and small layers);
+    silently capped at {!max_enumerated} sets like the streaming form. *)

@@ -105,6 +105,24 @@ let run ?(order_chunk = default_order_chunk) ?rpc options ~session ~lib
     Engine.create ~session ~mode:options.mode ~classify:options.classify
       ~pfs_model:options.pfs_model ~lib
   in
+  (* Truncated legal-set enumerations degrade gracefully (the check runs
+     against the prefix actually enumerated) but the narrowing must be
+     visible; warn on stderr so report output stays byte-stable. *)
+  let fs_name = Paracrash_pfs.Handle.fs_name session.Session.handle in
+  if Legal.truncated ctx.Engine.pfs_legal then
+    Printf.eprintf
+      "paracrash: warning: %s/%s: PFS preserved-set enumeration truncated at \
+       %d sets; legal-state matching is incomplete\n\
+       %!"
+      workload fs_name Model.max_enumerated;
+  (match ctx.Engine.lib with
+  | Some l when Legal.truncated l.Checker.legal_views ->
+      Printf.eprintf
+        "paracrash: warning: %s/%s: %s legal-view enumeration truncated at %d \
+         sets; legal-state matching is incomplete\n\
+         %!"
+        workload fs_name l.Checker.lib_name Model.max_enumerated
+  | _ -> ());
   let scheduler = Scheduler.of_jobs options.jobs in
   let acc = Engine.acc_create ctx in
   let deadline_hit = ref false in

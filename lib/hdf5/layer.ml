@@ -1,8 +1,9 @@
 module Checker = Paracrash_core.Checker
+module Legal = Paracrash_core.Legal
 module Model = Paracrash_core.Model
 module Session = Paracrash_core.Session
-module Bitset = Paracrash_util.Bitset
 module Dag = Paracrash_util.Dag
+module Fp = Paracrash_util.Digestutil.Fp
 module Logical = Paracrash_pfs.Logical
 
 let file_bytes path logical =
@@ -18,26 +19,19 @@ let lib_layer ~file ~model (session : Session.t) =
   let ops = Array.of_list (List.map snd (File.oplog file)) in
   let ids = List.map fst (File.oplog file) in
   let graph, _ = Dag.restrict session.Session.graph ids in
-  let sets =
-    Model.preserved_sets model ~graph
+  let enum =
+    Model.preserved_sets_seq model ~graph
       ~is_commit:(fun _ -> false)
       ~covered_by:(fun _ _ -> false)
   in
   let initial = File.golden_initial file in
-  let legal = Hashtbl.create 16 in
-  let legal_order = ref [] in
-  List.iter
-    (fun set ->
-      let subset =
-        List.filteri (fun i _ -> Bitset.mem set i) (Array.to_list ops)
-      in
-      let st = Golden.replay initial subset in
-      let c = Golden.canonical st in
-      if not (Hashtbl.mem legal c) then begin
-        Hashtbl.replace legal c ();
-        legal_order := c :: !legal_order
-      end)
-    sets;
+  let legal_views =
+    Legal.replay_sets ~base:initial ~op:(fun i -> ops.(i)) ~apply:Golden.apply
+      enum.Model.sets
+    |> Legal.build ~truncated:enum.Model.truncated
+         ~fingerprint:(fun st -> Fp.of_string (Golden.canonical st))
+         ~canonical:Golden.canonical
+  in
   let view logical =
     match file_bytes path logical with
     | Ok bytes -> Read.canonical bytes
@@ -52,7 +46,7 @@ let lib_layer ~file ~model (session : Session.t) =
     Checker.lib_name = "hdf5";
     view;
     view_after_recovery;
-    legal_views = List.rev !legal_order;
+    legal_views;
     expected_view =
       Golden.canonical (Golden.replay initial (Array.to_list ops));
   }

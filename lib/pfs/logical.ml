@@ -41,6 +41,36 @@ let canonical t =
   Buffer.contents buf
 
 let digest t = Paracrash_util.Digestutil.of_string (canonical t)
+
+(* Same equivalence as [canonical] — entry tags, paths, data lengths and
+   per-file content digests, then sorted notes — but streamed into the
+   128-bit fingerprint without building the string. *)
+let fingerprint t =
+  let module Fp = Paracrash_util.Digestutil.Fp in
+  let st = Fp.init () in
+  SMap.iter
+    (fun path entry ->
+      match entry with
+      | Dir ->
+          Fp.add_char st 'D';
+          Fp.add_string st path
+      | File (Data d) ->
+          Fp.add_char st 'F';
+          Fp.add_string st path;
+          Fp.add_int st (String.length d);
+          Fp.add_string st (Paracrash_util.Digestutil.raw_of_string d)
+      | File (Unreadable why) ->
+          Fp.add_char st 'U';
+          Fp.add_string st path;
+          Fp.add_string st why)
+    t.tree;
+  List.iter
+    (fun n ->
+      Fp.add_char st 'N';
+      Fp.add_string st n)
+    (List.sort String.compare t.notes);
+  Fp.finish st
+
 let equal a b = String.equal (canonical a) (canonical b)
 
 let pp ppf t =

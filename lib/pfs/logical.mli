@@ -35,5 +35,12 @@ val notes : t -> string list
 
 val canonical : t -> string
 val digest : t -> string
+
+val fingerprint : t -> Paracrash_util.Digestutil.Fp.t
+(** 128-bit structural digest with exactly the equivalence of
+    {!canonical} (two views fingerprint equal iff their canonical forms
+    are equal, up to hash collisions), computed without materializing
+    the canonical string. This is the checker's O(1) state-match key. *)
+
 val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit

@@ -1,4 +1,5 @@
 let of_string s = Digest.to_hex (Digest.string s)
+let raw_of_string s = Digest.string s
 
 let combine parts =
   let buf = Buffer.create 64 in
@@ -9,3 +10,83 @@ let combine parts =
   in
   List.iter add parts;
   of_string (Buffer.contents buf)
+
+(* 128-bit streaming fingerprints: two independent 64-bit lanes fed the
+   same token stream, finalized with a splitmix64-style avalanche. Lane
+   [a] is FNV-1a; lane [b] is a polynomial accumulator with a different
+   odd multiplier, so a collision must defeat two unrelated mixing
+   functions at once. Tokens are length-framed by the [add_*] helpers,
+   making the fed stream (and hence the fingerprint) injective in the
+   token sequence. *)
+module Fp = struct
+  type t = { hi : int64; lo : int64 }
+
+  type state = { mutable a : int64; mutable b : int64 }
+
+  let fnv_prime = 0x100000001b3L
+  let poly_mult = 0x9e3779b97f4a7c15L
+
+  let init () = { a = 0xcbf29ce484222325L; b = 0x9ae16a3b2f90404fL }
+
+  let absorb st x =
+    st.a <- Int64.mul (Int64.logxor st.a x) fnv_prime;
+    st.b <- Int64.add (Int64.mul st.b poly_mult) x
+
+  let add_int st i = absorb st (Int64.of_int i)
+
+  let add_char st c = absorb st (Int64.of_int (Char.code c))
+
+  (* length framing, then the bytes themselves packed 8 per absorption *)
+  let add_string st s =
+    let n = String.length s in
+    add_int st n;
+    let i = ref 0 in
+    while !i + 8 <= n do
+      (* little-endian 64-bit load, byte by byte (strings are immutable
+         and unaligned; this keeps the loop allocation-free) *)
+      let w = ref 0L in
+      for k = 7 downto 0 do
+        w :=
+          Int64.logor
+            (Int64.shift_left !w 8)
+            (Int64.of_int (Char.code (String.unsafe_get s (!i + k))))
+      done;
+      absorb st !w;
+      i := !i + 8
+    done;
+    while !i < n do
+      add_char st (String.unsafe_get s !i);
+      incr i
+    done
+
+  (* splitmix64 finalizer *)
+  let mix z =
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94d049bb133111ebL in
+    Int64.logxor z (Int64.shift_right_logical z 31)
+
+  let finish st =
+    let hi = mix st.a in
+    { hi; lo = mix (Int64.logxor st.b hi) }
+
+  let of_string s =
+    let st = init () in
+    add_string st s;
+    finish st
+
+  let equal x y = Int64.equal x.hi y.hi && Int64.equal x.lo y.lo
+
+  let compare x y =
+    let c = Int64.compare x.hi y.hi in
+    if c <> 0 then c else Int64.compare x.lo y.lo
+
+  let hash x = Int64.to_int x.lo land max_int
+  let to_hex x = Printf.sprintf "%016Lx%016Lx" x.hi x.lo
+
+  module Tbl = Hashtbl.Make (struct
+    type nonrec t = t
+
+    let equal = equal
+    let hash = hash
+  end)
+end

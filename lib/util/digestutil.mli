@@ -1,12 +1,56 @@
 (** Canonical digests for structural state comparison.
 
     Storage states (local FS images, PFS logical views, HDF5 logical
-    views) are compared by first rendering them to a canonical string
-    and then hashing. *)
+    views) are compared either by rendering them to a canonical string
+    and hashing ({!of_string}), or — on hot paths — by feeding their
+    structure directly into a streaming 128-bit fingerprint ({!Fp})
+    without materializing the string. *)
 
 val of_string : string -> string
 (** Hex MD5 digest. *)
 
+val raw_of_string : string -> string
+(** Raw 16-byte MD5 digest (same equivalence as {!of_string}, half the
+    size; intended for feeding into an {!Fp.state}). *)
+
 val combine : string list -> string
 (** Digest of the concatenation with length framing, so that
     [combine ["ab"; "c"] <> combine ["a"; "bc"]]. *)
+
+(** 128-bit streaming content fingerprints.
+
+    Two independent 64-bit lanes (FNV-1a and a polynomial accumulator
+    with an unrelated multiplier) absorb the same length-framed token
+    stream and are finalized with a splitmix64 avalanche. Equal token
+    streams give equal fingerprints; distinct streams collide with
+    probability ~2^-128, which the checker treats as negligible
+    (canonical strings are kept lazily for reports, so any suspected
+    collision can be confirmed by eye — see DESIGN.md,
+    "Content-addressed states & golden-master caching"). *)
+module Fp : sig
+  type t
+  (** An immutable 128-bit fingerprint. *)
+
+  type state
+  (** A mutable accumulation in progress. *)
+
+  val init : unit -> state
+  val add_char : state -> char -> unit
+  val add_int : state -> int -> unit
+
+  val add_string : state -> string -> unit
+  (** Length-framed: [add_string st "ab"; add_string st "c"] never
+      produces the fingerprint of [add_string st "a"; add_string st "bc"]. *)
+
+  val finish : state -> t
+
+  val of_string : string -> t
+  (** Fingerprint of one string ([init] + [add_string] + [finish]). *)
+
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+  val hash : t -> int
+  val to_hex : t -> string
+
+  module Tbl : Hashtbl.S with type key = t
+end

@@ -274,11 +274,11 @@ let walk t f =
   in
   go Vpath.root t.root
 
-(* Canonical form: group hard links by inode so that link identity is
-   observable but inode numbering is not. *)
-let canonical t =
+(* Hard links grouped by inode: leader.(inode) is the lexicographically
+   first path of the group, so link identity is observable but inode
+   numbering is not. Shared by [canonical] and [fingerprint]. *)
+let link_leaders t =
   let groups = Hashtbl.create 16 in
-  let buf = Buffer.create 256 in
   let rec collect prefix dir =
     SMap.iter
       (fun name node ->
@@ -295,6 +295,12 @@ let canonical t =
   Hashtbl.iter
     (fun i paths -> Hashtbl.replace leader i (List.fold_left min (List.hd paths) paths))
     groups;
+  leader
+
+(* Canonical form: see [link_leaders] for the hard-link treatment. *)
+let canonical t =
+  let buf = Buffer.create 256 in
+  let leader = link_leaders t in
   let add_xattrs m =
     SMap.iter (fun k v -> Buffer.add_string buf (Printf.sprintf " @%s=%s" k v)) m
   in
@@ -322,6 +328,45 @@ let canonical t =
   Buffer.contents buf
 
 let digest t = Paracrash_util.Digestutil.of_string (canonical t)
+
+(* Same rendering walk as [canonical] — leaders, lengths, per-inode
+   content digests, xattrs — streamed into the 128-bit fingerprint
+   without building the string. *)
+let fingerprint t =
+  let module Fp = Paracrash_util.Digestutil.Fp in
+  let st = Fp.init () in
+  let leader = link_leaders t in
+  let add_xattrs m =
+    SMap.iter
+      (fun k v ->
+        Fp.add_char st '@';
+        Fp.add_string st k;
+        Fp.add_string st v)
+      m
+  in
+  let rec render prefix dir =
+    add_xattrs dir.dxattrs;
+    SMap.iter
+      (fun name node ->
+        let path = Vpath.concat prefix name in
+        match node with
+        | File i ->
+            let ino = get_inode t i in
+            Fp.add_char st 'F';
+            Fp.add_string st path;
+            Fp.add_string st (Hashtbl.find leader i);
+            Fp.add_int st (String.length ino.content);
+            Fp.add_string st (Paracrash_util.Digestutil.raw_of_string ino.content);
+            add_xattrs ino.xattrs
+        | Dir d ->
+            Fp.add_char st 'D';
+            Fp.add_string st path;
+            render path d)
+      dir.entries
+  in
+  render Vpath.root t.root;
+  Fp.finish st
+
 let equal a b = String.equal (canonical a) (canonical b)
 
 let pp ppf t =

@@ -55,6 +55,11 @@ val canonical : t -> string
     forms are equal. *)
 
 val digest : t -> string
+
+val fingerprint : t -> Paracrash_util.Digestutil.Fp.t
+(** 128-bit structural digest with exactly the equivalence of
+    {!canonical}, computed without materializing the canonical string. *)
+
 val equal : t -> t -> bool
 
 val pp : Format.formatter -> t -> unit

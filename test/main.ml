@@ -8,6 +8,7 @@ let () =
       ("striping", Test_striping.tests);
       ("core", Test_core.tests);
       ("incremental", Test_incremental.tests);
+      ("digest", Test_digest.tests);
       ("scheduler", Test_scheduler.tests);
       ("pfs", Test_pfs.tests);
       ("pfs-protocols", Test_pfs_protocols.tests);

@@ -56,7 +56,7 @@ let test_full_and_empty_states_legal () =
 
 let test_legal_states_grow_with_weaker_models () =
   let s = arvr_session () in
-  let count m = List.length (Checker.pfs_legal_states s m) in
+  let count m = Paracrash_core.Legal.cardinal (Checker.pfs_legal_states s m) in
   check cb "strict has the fewest legal states" true
     (count Model.Strict <= count Model.Causal);
   check cb "baseline has the most" true

@@ -1,0 +1,242 @@
+(* Differential test for content-addressed state matching: the 128-bit
+   fingerprint path (prefix-shared legal-state generation + digest
+   membership) must agree with the historical string-matching oracle —
+   same legal-state lists in the same order, the same per-state
+   membership verdicts, and byte-identical rendered reports across
+   repeated runs. The digest may only change speed, never results. *)
+
+module D = Paracrash_core.Driver
+module Session = Paracrash_core.Session
+module Persist = Paracrash_core.Persist
+module Explore = Paracrash_core.Explore
+module Checker = Paracrash_core.Checker
+module Legal = Paracrash_core.Legal
+module Model = Paracrash_core.Model
+module Pipeline = Paracrash_core.Pipeline
+module R = Paracrash_core.Report
+module Bitset = Paracrash_util.Bitset
+module Dag = Paracrash_util.Dag
+module Fp = Paracrash_util.Digestutil.Fp
+module Logical = Paracrash_pfs.Logical
+module State = Paracrash_vfs.State
+module Op = Paracrash_vfs.Op
+module P = Paracrash_pfs
+module Registry = Paracrash_workloads.Registry
+module Tracer = Paracrash_trace.Tracer
+
+let check = Alcotest.check
+let cb = Alcotest.bool
+let cs = Alcotest.string
+let csl = Alcotest.list Alcotest.string
+
+(* --- fingerprint primitive ------------------------------------------------- *)
+
+let test_fp_primitive () =
+  let fp_of tokens =
+    let st = Fp.init () in
+    List.iter (Fp.add_string st) tokens;
+    Fp.finish st
+  in
+  check cb "equal streams, equal fingerprints" true
+    (Fp.equal (fp_of [ "ab"; "c" ]) (fp_of [ "ab"; "c" ]));
+  check cb "length framing splits concatenation" false
+    (Fp.equal (fp_of [ "ab"; "c" ]) (fp_of [ "a"; "bc" ]));
+  check cb "distinct content, distinct fingerprints" false
+    (Fp.equal (fp_of [ "ab" ]) (fp_of [ "ba" ]));
+  check cb "of_string is init+add_string+finish" true
+    (Fp.equal (Fp.of_string "paracrash") (fp_of [ "paracrash" ]));
+  check Alcotest.int "hex rendering is 128 bits" 32
+    (String.length (Fp.to_hex (fp_of [ "x" ])));
+  check Alcotest.int "compare agrees with equal" 0
+    (Fp.compare (fp_of [ "s" ]) (fp_of [ "s" ]))
+
+(* --- vfs State fingerprints ----------------------------------------------- *)
+
+let vfs_apply st op =
+  match State.apply st op with
+  | Ok st' -> st'
+  | Error e -> Alcotest.failf "vfs apply: %s" (State.error_to_string e)
+
+let vfs_state ops = List.fold_left vfs_apply State.empty ops
+
+let test_vfs_fingerprint_matches_canonical () =
+  let p = Paracrash_vfs.Vpath.normalize in
+  (* states covering directories, hard links, contents and xattrs *)
+  let creat path = Op.Creat { path = p path } in
+  let write path off data = Op.Write { path = p path; off; data } in
+  let states =
+    [
+      vfs_state [];
+      vfs_state [ Op.Mkdir { path = p "/d" } ];
+      vfs_state [ creat "/a"; write "/a" 0 "hello" ];
+      vfs_state [ creat "/a"; write "/a" 0 "world" ];
+      vfs_state [ creat "/a"; Op.Link { src = p "/a"; dst = p "/b" } ];
+      vfs_state [ creat "/a"; creat "/b" ];
+      vfs_state
+        [ creat "/a"; Op.Setxattr { path = p "/a"; key = "user.k"; value = "v" } ];
+      vfs_state
+        [ creat "/a"; Op.Setxattr { path = p "/a"; key = "user.k"; value = "w" } ];
+    ]
+  in
+  List.iteri
+    (fun i si ->
+      List.iteri
+        (fun j sj ->
+          check cb
+            (Printf.sprintf "state %d vs %d: fp equal iff canonical equal" i j)
+            (String.equal (State.canonical si) (State.canonical sj))
+            (Fp.equal (State.fingerprint si) (State.fingerprint sj)))
+        states)
+    states
+
+(* --- graceful enumeration truncation --------------------------------------- *)
+
+let test_truncation_graceful () =
+  (* 22 unordered ops: 2^22 subsets, over the 2^20 cap. The historical
+     code raised Invalid_argument here; now the enumeration must stream
+     the ascending-mask prefix and flag the cut. *)
+  let b = Dag.Builder.create 22 in
+  let graph = Dag.Builder.freeze b in
+  let enum =
+    Model.preserved_sets_seq Model.Baseline ~graph
+      ~is_commit:(fun _ -> false)
+      ~covered_by:(fun _ _ -> false)
+  in
+  check cb "over-cap enumeration is flagged truncated" true enum.Model.truncated;
+  let first = List.of_seq (Seq.take 4 enum.Model.sets) in
+  let expect =
+    [ []; [ 0 ]; [ 1 ]; [ 0; 1 ] ]
+    |> List.map (fun is ->
+           let s = Bitset.create 22 in
+           List.fold_left Bitset.add s is)
+  in
+  check cb "prefix keeps ascending mask order" true
+    (List.for_all2 Bitset.equal expect first);
+  (* a small enumeration is complete and unflagged *)
+  let b = Dag.Builder.create 3 in
+  let graph = Dag.Builder.freeze b in
+  let enum =
+    Model.preserved_sets_seq Model.Baseline ~graph
+      ~is_commit:(fun _ -> false)
+      ~covered_by:(fun _ _ -> false)
+  in
+  check cb "under-cap enumeration unflagged" false enum.Model.truncated;
+  check Alcotest.int "under-cap enumeration complete" 8
+    (Seq.length enum.Model.sets)
+
+(* --- legal-state generation: prefix-shared = scratch ----------------------- *)
+
+let session_of_spec (fs_entry : Registry.fs_entry) (spec : D.spec) =
+  let config = P.Config.default in
+  let tracer = Tracer.create () in
+  let handle = fs_entry.Registry.make ~config ~tracer in
+  Tracer.set_enabled tracer false;
+  spec.D.preamble handle;
+  let initial = P.Handle.snapshot handle in
+  Tracer.set_enabled tracer true;
+  spec.D.test handle;
+  Tracer.set_enabled tracer false;
+  Session.of_run ~handle ~initial
+
+let test_legal_states_match_scratch_oracle () =
+  List.iter
+    (fun wname ->
+      let spec = Option.get (Registry.find_workload wname) in
+      List.iter
+        (fun fs_entry ->
+          let session = session_of_spec fs_entry spec in
+          List.iter
+            (fun model ->
+              let cell =
+                Printf.sprintf "%s/%s/%s" wname fs_entry.Registry.fs_name
+                  (Model.to_string model)
+              in
+              let scratch = Checker.pfs_legal_states_scratch session model in
+              let legal = Checker.pfs_legal_states session model in
+              check csl
+                (cell ^ ": same legal canonicals in the same order")
+                scratch (Legal.canonicals legal);
+              check cb (cell ^ ": not truncated") false (Legal.truncated legal))
+            [ Model.Strict; Model.Commit; Model.Causal; Model.Baseline ])
+        Registry.file_systems)
+    Registry.workload_names
+
+(* --- per-state membership: digest = string scan ---------------------------- *)
+
+let max_verdict_states = 40
+
+let rec take n = function
+  | [] -> []
+  | x :: tl -> if n <= 0 then [] else x :: take (n - 1) tl
+
+let test_membership_matches_scan () =
+  let spec_fs =
+    [ ("ARVR", "beegfs"); ("ARVR", "lustre"); ("H5-create", "orangefs") ]
+  in
+  List.iter
+    (fun (wname, fsname) ->
+      let spec = Option.get (Registry.find_workload wname) in
+      let fs_entry = Option.get (Registry.find_fs fsname) in
+      let cell = Printf.sprintf "%s/%s" wname fsname in
+      let session = session_of_spec fs_entry spec in
+      let persist = Persist.build session in
+      let states, _ = Explore.generate ~k:1 session ~persist in
+      let states = take max_verdict_states states in
+      let legal = Checker.pfs_legal_states session Model.Causal in
+      let scratch = Checker.pfs_legal_states_scratch session Model.Causal in
+      List.iter
+        (fun (st : Explore.state) ->
+          let _, view, _ =
+            Checker.check session ~pfs_legal:legal st.Explore.persisted
+          in
+          let canon = Logical.canonical view in
+          check cb
+            (cell ^ ": digest membership equals canonical scan")
+            (List.exists (String.equal canon) scratch)
+            (Legal.mem legal (Logical.fingerprint view));
+          check cb
+            (cell ^ ": mem_scan agrees with the oracle list")
+            (List.exists (String.equal canon) scratch)
+            (Legal.mem_scan legal canon))
+        states)
+    spec_fs
+
+(* --- whole-report determinism ---------------------------------------------- *)
+
+let canonical_report (r : R.t) =
+  R.to_json { r with R.perf = { r.R.perf with wall_seconds = 0. } }
+
+let test_report_determinism () =
+  let beegfs = Option.get (Registry.find_fs "beegfs") in
+  List.iter
+    (fun wname ->
+      let spec = Option.get (Registry.find_workload wname) in
+      let run () =
+        let session = session_of_spec beegfs spec in
+        let lib =
+          Option.map
+            (fun f ->
+              f ~model:Pipeline.default_options.Pipeline.lib_model session)
+            spec.D.lib
+        in
+        canonical_report
+          (Pipeline.run Pipeline.default_options ~session ~lib ~workload:wname)
+      in
+      check cs (wname ^ ": two runs render identically") (run ()) (run ()))
+    [ "ARVR"; "H5-create" ]
+
+let tests =
+  [
+    ("fp: streaming fingerprint primitive", `Quick, test_fp_primitive);
+    ( "vfs: fingerprint equivalence = canonical equivalence",
+      `Quick,
+      test_vfs_fingerprint_matches_canonical );
+    ("model: over-cap enumeration degrades gracefully", `Quick, test_truncation_graceful);
+    ( "legal states: prefix-shared = scratch oracle on every cell",
+      `Quick,
+      test_legal_states_match_scratch_oracle );
+    ( "membership: digest lookup = canonical scan",
+      `Quick,
+      test_membership_matches_scan );
+    ("reports: digest path renders deterministically", `Quick, test_report_determinism);
+  ]

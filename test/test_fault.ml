@@ -162,7 +162,7 @@ let test_check_error_captured () =
       Checker.lib_name = "exploding";
       view = (fun _ -> failwith "boom: simulated checker defect");
       view_after_recovery = (fun _ -> None);
-      legal_views = [];
+      legal_views = Paracrash_core.Legal.of_canonicals [];
       expected_view = "";
     }
   in
