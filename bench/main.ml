@@ -10,10 +10,12 @@
      --traces       ARVR server traces per FS (Figures 2 and 9)
      --faults       seeded fault-plan sweep (torn/bitflip/failstop/rpc) per FS
      --micro        bechamel microbenchmarks of the core phases, plus
-                    legal-state generation (scratch vs prefix-shared) and
-                    state matching (canonical scan vs 128-bit fingerprint);
-                    with --json the latter cells are appended to
-                    BENCH_perf.json under the "legal_gen" tag
+                    legal-state generation (scratch vs prefix-shared),
+                    state matching (canonical scan vs 128-bit fingerprint)
+                    and observability overhead (noop vs recording sink on
+                    the incremental-reconstruct sweep); with --json the
+                    latter cells are appended to BENCH_perf.json under
+                    the "legal_gen" and "obs_overhead" tags
      --scaling      jobs ∈ {1,2,4} sweep on the largest HDF5 cells
      --json         also dump the fig10 cells to BENCH_perf.json
      (no flag: everything except --micro's and --scaling's long runs)
@@ -37,6 +39,7 @@ module P = Paracrash_pfs
 module W = Paracrash_workloads
 module Registry = W.Registry
 module Table3 = W.Table3
+module Obs = Paracrash_obs.Obs
 
 let pr = Fmt.pr
 let section title = pr "@.=== %s ===@.@." title
@@ -69,10 +72,11 @@ let fig8 () =
         (fun fs ->
           let spec = Option.get (Registry.find_workload name) in
           let report = run_cell fs spec in
+          let n_bugs = List.length (R.bugs report) in
           let cell =
             if report.R.lib_bugs > 0 then
-              Printf.sprintf "%d (%d)" (List.length report.R.bugs) report.R.lib_bugs
-            else string_of_int (List.length report.R.bugs)
+              Printf.sprintf "%d (%d)" n_bugs report.R.lib_bugs
+            else string_of_int n_bugs
           in
           pr "%12s" cell)
         fses;
@@ -144,20 +148,21 @@ let fig10_data () =
           let spec = Option.get (Registry.find_workload name) in
           let cell mode jobs speedup_base =
             let report = run_cell ~mode ~jobs fs spec in
+            let perf = R.stats report in
             {
               f_program = name;
               f_fs = fs_name;
               f_mode = D.mode_to_string mode;
               f_jobs = jobs;
-              f_states = report.R.perf.n_checked;
-              f_modeled = report.R.perf.modeled_seconds;
-              f_wall = report.R.perf.wall_seconds;
-              f_restarts = report.R.perf.restarts;
-              f_bugs = List.length report.R.bugs;
+              f_states = perf.R.n_checked;
+              f_modeled = perf.R.modeled_seconds;
+              f_wall = perf.R.wall_seconds;
+              f_restarts = perf.R.restarts;
+              f_bugs = List.length (R.bugs report);
               f_speedup =
                 (match speedup_base with
-                | Some serial_wall when report.R.perf.wall_seconds > 0. ->
-                    serial_wall /. report.R.perf.wall_seconds
+                | Some serial_wall when perf.R.wall_seconds > 0. ->
+                    serial_wall /. perf.R.wall_seconds
                 | _ -> 1.0);
             }
           in
@@ -347,7 +352,7 @@ let fig11 () =
               let spec = Option.get (Registry.find_workload pname) in
               (* incremental exploration, as in the paper's scalability runs *)
               let report = run_cell ~mode:D.Optimized ~config fs spec in
-              pr "%9.1fs" report.R.perf.modeled_seconds)
+              pr "%9.1fs" (R.stats report).R.modeled_seconds)
             server_counts;
           pr "@.")
         programs)
@@ -377,12 +382,13 @@ let scaling () =
       List.iter
         (fun jobs ->
           let report = run_cell ~mode:D.Optimized ~jobs beegfs spec in
-          let wall = report.R.perf.wall_seconds in
+          let perf = R.stats report in
+          let wall = perf.R.wall_seconds in
           if jobs = 1 then base := wall;
           pr "%-20s %6d %9.3fs %9.2fx %10d %8d %6d@." pname jobs wall
             (if wall > 0. then !base /. wall else 1.0)
-            report.R.perf.restarts report.R.perf.n_checked
-            (List.length report.R.bugs))
+            perf.R.restarts perf.R.n_checked
+            (List.length (R.bugs report)))
         [ 1; 2; 4 ])
     [ "H5-parallel-create"; "H5-parallel-resize" ];
   pr
@@ -401,7 +407,7 @@ let sensitivity () =
       let spec = W.H5.h5_parallel_create ~nprocs () in
       let report = run_cell beegfs spec in
       pr "  %d client(s): %d bugs (%d HDF5-attributed)@." nprocs
-        (List.length report.R.bugs)
+        (List.length (R.bugs report))
         report.R.lib_bugs)
     [ 1; 2; 4 ];
   pr "@.H5-resize on beegfs, varying the target dimension:@.";
@@ -411,7 +417,7 @@ let sensitivity () =
       let report = run_cell beegfs spec in
       pr "  %dx%d -> %dx%d: %d bugs (%d HDF5-attributed)@." rows rows to_rows
         to_rows
-        (List.length report.R.bugs)
+        (List.length (R.bugs report))
         report.R.lib_bugs)
     [ (200, 220); (200, 400); (200, 500) ];
   pr "@.H5-create on beegfs, varying datasets per group:@.";
@@ -419,7 +425,7 @@ let sensitivity () =
     (fun d ->
       let spec = W.H5.h5_create ~dsets_per_group:d () in
       let report = run_cell beegfs spec in
-      pr "  %d datasets/group: %d bugs@." d (List.length report.R.bugs))
+      pr "  %d datasets/group: %d bugs@." d (List.length (R.bugs report)))
     [ 1; 2; 4 ];
   pr "@.ARVR on beegfs, varying k (victims per crash state):@.";
   List.iter
@@ -429,8 +435,8 @@ let sensitivity () =
       let report, _ =
         D.run ~options ~config:P.Config.default ~make_fs:beegfs.Registry.make spec
       in
-      pr "  k=%d: %d states, %d bugs@." k report.R.perf.n_checked
-        (List.length report.R.bugs))
+      pr "  k=%d: %d states, %d bugs@." k (R.stats report).R.n_checked
+        (List.length (R.bugs report)))
     [ 1; 2; 3 ];
   pr "@.Paper: increasing servers, clients or k did not expose new bugs.@."
 
@@ -510,11 +516,11 @@ let faults () =
 
 (* --- bechamel microbenchmarks ------------------------------------------------ *)
 
-(* Append the legal-generation/state-match micro cells to
-   BENCH_perf.json without disturbing the fig10 records: previous
-   legal_gen lines are replaced, everything else is kept verbatim (the
-   file is one record per line by construction, see write_perf_json). *)
-let append_legal_json cells =
+(* Append tagged micro cells to BENCH_perf.json without disturbing the
+   fig10 records: previous lines with the same tag are replaced,
+   everything else is kept verbatim (the file is one record per line by
+   construction, see write_perf_json). *)
+let append_tagged_json ~tag cells =
   let file = "BENCH_perf.json" in
   let existing =
     if not (Sys.file_exists file) then []
@@ -544,14 +550,16 @@ let append_legal_json cells =
     existing
     |> List.filter (fun l ->
            is_record l
-           && not (Paracrash_util.Strutil.contains_sub l "\"tag\": \"legal_gen\""))
+           && not
+                (Paracrash_util.Strutil.contains_sub l
+                   (Printf.sprintf "\"tag\": \"%s\"" tag)))
     |> List.map strip_comma
   in
   let fresh =
     List.map
       (fun (name, ns) ->
-        Printf.sprintf "{ \"tag\": \"legal_gen\", \"name\": \"%s\", \"ns_per_run\": %.1f }"
-          name ns)
+        Printf.sprintf "{ \"tag\": \"%s\", \"name\": \"%s\", \"ns_per_run\": %.1f }"
+          tag name ns)
       cells
   in
   let oc = open_out file in
@@ -563,7 +571,7 @@ let append_legal_json cells =
     (kept @ fresh);
   output_string oc "]\n";
   close_out oc;
-  pr "appended %d legal_gen cells to %s@." (List.length fresh) file
+  pr "appended %d %s cells to %s@." (List.length fresh) tag file
 
 let session_for spec_name fs_name =
   let fs = Option.get (Registry.find_fs fs_name) in
@@ -646,7 +654,7 @@ let micro () =
           (Test.elements test))
       tests
   in
-  ignore (measure tests);
+  let phase_cells = measure tests in
   (* legal-state generation and state matching: the scratch/scan cells
      are the pre-digest code paths (kept as oracles in Checker/Legal),
      the shared/digest cells the content-addressed ones. H5-create has
@@ -692,7 +700,46 @@ let micro () =
                h5_fps));
     ]
   in
-  measure legal_tests
+  let legal_cells = measure legal_tests in
+  (* observability overhead on the hottest instrumented path: the
+     incremental reconstruct sweep runs one Obs.timed probe per state.
+     With the default noop sink a probe is an atomic load and a branch
+     (the "obs off" cell — it should match the phase cell above within
+     noise); a recording sink pays a mutex and two clock reads per
+     probe (the "obs on" cell). *)
+  section
+    "Microbenchmarks (bechamel): observability overhead (noop vs recording \
+     sink, incremental reconstruct sweep, ARVR/beegfs)";
+  let reconstruct_sweep () =
+    let cache = Paracrash_core.Emulator.create_cache prepared in
+    List.iter
+      (fun (st : Paracrash_core.Explore.state) ->
+        ignore (Paracrash_core.Emulator.reconstruct_cached cache prepared st.persisted))
+      ordered
+  in
+  let obs_tests =
+    [
+      Test.make ~name:"reconstruct sweep: obs off (noop sink)"
+        (Staged.stage reconstruct_sweep);
+      Test.make ~name:"reconstruct sweep: obs on (recording sink)"
+        (Staged.stage (fun () ->
+             Obs.with_sink (Obs.recorder ()) reconstruct_sweep));
+    ]
+  in
+  let obs_cells = measure obs_tests in
+  (match obs_cells with
+  | [ (_, off); (_, on_) ] when off > 0. ->
+      (match
+         List.assoc_opt "reconstruct all states: incremental (per-server cache)"
+           phase_cells
+       with
+      | Some base when base > 0. ->
+          pr "noop sink vs same sweep measured earlier: %+.1f%% (noise bound)@."
+            ((off -. base) /. base *. 100.)
+      | _ -> ());
+      pr "recording sink over noop sink: %+.1f%%@." ((on_ -. off) /. off *. 100.)
+  | _ -> ());
+  (legal_cells, obs_cells)
 
 (* --- main --------------------------------------------------------------------- *)
 
@@ -715,7 +762,10 @@ let () =
   if all || has "--sensitivity" then sensitivity ();
   if has "--scaling" then scaling ();
   if has "--micro" then begin
-    let legal_cells = micro () in
-    if has "--json" then append_legal_json legal_cells
+    let legal_cells, obs_cells = micro () in
+    if has "--json" then begin
+      append_tagged_json ~tag:"legal_gen" legal_cells;
+      append_tagged_json ~tag:"obs_overhead" obs_cells
+    end
   end;
   pr "@.done.@."

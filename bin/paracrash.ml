@@ -1,38 +1,45 @@
 (* The paracrash command-line tool: run one of the paper's test
    programs against a simulated HPC I/O stack and report the
    crash-consistency bugs found, like the original framework's
-   `paracrash.py -c <config> <preamble> <test>` entry point. *)
+   `paracrash.py -c <config> <preamble> <test>` entry point.
 
-module D = Paracrash_core.Driver
+   Every tunable flag is optional at the Cmdliner level (None = not
+   given): the typed Workloads.Config pipeline merges CLI > run
+   configuration file > defaults per knob, replacing the historical
+   per-flag Sys.argv scan. *)
+
 module R = Paracrash_core.Report
-module Model = Paracrash_core.Model
-module P = Paracrash_pfs
 module W = Paracrash_workloads
 module Registry = W.Registry
+module Obs = Paracrash_obs.Obs
 
 open Cmdliner
+
+let opt_arg c ~docv ~doc names =
+  Arg.(value & opt (some c) None & info names ~docv ~doc)
 
 let fs_arg =
   let names = List.map (fun e -> e.Registry.fs_name) Registry.file_systems in
   let doc =
-    Printf.sprintf "Parallel file system to test: %s." (String.concat ", " names)
+    Printf.sprintf "Parallel file system to test: %s. Default beegfs."
+      (String.concat ", " names)
   in
-  Arg.(value & opt string "beegfs" & info [ "f"; "fs" ] ~docv:"FS" ~doc)
+  opt_arg Arg.string ~docv:"FS" ~doc [ "f"; "fs" ]
 
 let program_arg =
   let doc =
-    Printf.sprintf "Test program: %s, or 'all'."
+    Printf.sprintf "Test program: %s, or 'all'. Default ARVR."
       (String.concat ", " Registry.workload_names)
   in
-  Arg.(value & opt string "ARVR" & info [ "p"; "program" ] ~docv:"PROGRAM" ~doc)
+  opt_arg Arg.string ~docv:"PROGRAM" ~doc [ "p"; "program" ]
 
 let mode_arg =
   let doc = "Exploration mode: brute-force, pruning or optimized (§5.3)." in
-  Arg.(value & opt string "optimized" & info [ "m"; "mode" ] ~docv:"MODE" ~doc)
+  opt_arg Arg.string ~docv:"MODE" ~doc [ "m"; "mode" ]
 
 let k_arg =
   let doc = "Maximum victims per crash state (Algorithm 1)." in
-  Arg.(value & opt int 1 & info [ "k" ] ~docv:"K" ~doc)
+  opt_arg Arg.int ~docv:"K" ~doc [ "k" ]
 
 let jobs_arg =
   let doc =
@@ -40,30 +47,30 @@ let jobs_arg =
      shards the visit order across N domains, each with its own emulator \
      cache. Reports are deterministic across job counts."
   in
-  Arg.(value & opt int 1 & info [ "jobs" ] ~docv:"N" ~doc)
+  opt_arg Arg.int ~docv:"N" ~doc [ "jobs" ]
 
 let max_cuts_arg =
   let doc =
     "Cap on enumerated consistent cuts; a warning is printed when the cap \
      truncates exploration."
   in
-  Arg.(value & opt int 100_000 & info [ "max-cuts" ] ~docv:"N" ~doc)
+  opt_arg Arg.int ~docv:"N" ~doc [ "max-cuts" ]
 
 let pfs_model_arg =
   let doc = "Crash-consistency model the PFS layer is tested against." in
-  Arg.(value & opt string "causal" & info [ "pfs-model" ] ~docv:"MODEL" ~doc)
+  opt_arg Arg.string ~docv:"MODEL" ~doc [ "pfs-model" ]
 
 let lib_model_arg =
   let doc = "Crash-consistency model the I/O library is tested against." in
-  Arg.(value & opt string "baseline" & info [ "lib-model" ] ~docv:"MODEL" ~doc)
+  opt_arg Arg.string ~docv:"MODEL" ~doc [ "lib-model" ]
 
 let servers_arg =
   let doc = "Number of metadata and storage servers (split evenly)." in
-  Arg.(value & opt int 4 & info [ "n"; "servers" ] ~docv:"N" ~doc)
+  opt_arg Arg.int ~docv:"N" ~doc [ "n"; "servers" ]
 
 let stripe_arg =
   let doc = "Stripe size in bytes." in
-  Arg.(value & opt int (128 * 1024) & info [ "stripe" ] ~docv:"BYTES" ~doc)
+  opt_arg Arg.int ~docv:"BYTES" ~doc [ "stripe" ]
 
 let faults_arg =
   let doc =
@@ -72,18 +79,18 @@ let faults_arg =
      the explored crash states; rpc drops and duplicates RPC replies while \
      tracing the test program (handlers re-execute, probing idempotency)."
   in
-  Arg.(value & opt string "none" & info [ "faults" ] ~docv:"CLASSES" ~doc)
+  opt_arg Arg.string ~docv:"CLASSES" ~doc [ "faults" ]
 
 let fault_seed_arg =
   let doc =
     "Seed for fault-plan enumeration and pair sampling; identical seeds give \
      identical faulted reports at any job count."
   in
-  Arg.(value & opt int 1 & info [ "fault-seed" ] ~docv:"SEED" ~doc)
+  opt_arg Arg.int ~docv:"SEED" ~doc [ "fault-seed" ]
 
 let fault_budget_arg =
   let doc = "Bound on fault plans and on (state, plan) pairs judged." in
-  Arg.(value & opt int 64 & info [ "fault-budget" ] ~docv:"N" ~doc)
+  opt_arg Arg.int ~docv:"N" ~doc [ "fault-budget" ]
 
 let deadline_arg =
   let doc =
@@ -91,14 +98,14 @@ let deadline_arg =
      partial report (coverage depends on machine speed; use --state-budget \
      for a deterministic cut)."
   in
-  Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"SECONDS" ~doc)
+  opt_arg Arg.float ~docv:"SECONDS" ~doc [ "deadline" ]
 
 let state_budget_arg =
   let doc =
     "Explore at most this many crash states (the first N of the canonical \
      generation order) and mark the report partial."
   in
-  Arg.(value & opt (some int) None & info [ "state-budget" ] ~docv:"N" ~doc)
+  opt_arg Arg.int ~docv:"N" ~doc [ "state-budget" ]
 
 let show_trace_arg =
   let doc = "Print the recorded cross-layer trace (Figures 2/9 style)." in
@@ -119,151 +126,102 @@ let output_arg =
   let doc = "Also write the crash-consistency report(s) to this file." in
   Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
 
-let explicit flag = List.exists (fun a -> List.mem a (Array.to_list Sys.argv)) flag
+let trace_out_arg =
+  let doc =
+    "Record spans and timers while running and write a Chrome trace_event \
+     JSON file (load it at chrome://tracing or https://ui.perfetto.dev). \
+     Written even when the run stops at a --deadline or fails."
+  in
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
 
-let run config_file fs_name program mode_s k jobs max_cuts pfs_model_s
-    lib_model_s servers stripe faults_s fault_seed fault_budget deadline
-    state_budget show_trace json output =
+let profile_arg =
+  let doc =
+    "Print a per-span / per-timer wall-time summary on stderr after the run. \
+     Timings are measured and vary run to run; the report's metrics object \
+     stays deterministic."
+  in
+  Arg.(value & flag & info [ "profile" ] ~doc)
+
+(* Flush the observability recorder: the Chrome trace file and/or the
+   stderr profile. Runs from a Fun.protect finalizer so deadline-hit,
+   erroring and interrupted runs still emit whatever was recorded. *)
+let flush_obs sink ~trace_out ~profile =
+  if Obs.is_recording sink then begin
+    (match trace_out with
+    | Some path ->
+        Out_channel.with_open_text path (fun oc ->
+            Out_channel.output_string oc (Obs.trace_json sink))
+    | None -> ());
+    if profile then Fmt.epr "%a@." Obs.pp_profile sink
+  end
+
+let run config_file fs program mode k jobs max_cuts pfs_model lib_model servers
+    stripe faults fault_seed fault_budget deadline state_budget show_trace json
+    output trace_out profile =
   let fail fmt = Fmt.kstr (fun m -> `Error (false, m)) fmt in
   let base =
     match config_file with
-    | None -> Ok W.Runconfig.default
-    | Some path -> W.Runconfig.load path
+    | None -> Ok W.Config.default
+    | Some path -> Result.map W.Config.of_runconfig (W.Runconfig.load path)
   in
   match base with
   | Error m -> fail "configuration file: %s" m
   | Ok base -> (
-      (* explicit command-line flags override the configuration file *)
-      let fs_name = if explicit [ "-f"; "--fs" ] then fs_name else base.W.Runconfig.fs in
-      let program =
-        if explicit [ "-p"; "--program" ] then program else base.W.Runconfig.program
+      let overrides =
+        {
+          W.Config.o_fs = fs;
+          o_program = program;
+          o_mode = mode;
+          o_k = k;
+          o_jobs = jobs;
+          o_max_cuts = max_cuts;
+          o_pfs_model = pfs_model;
+          o_lib_model = lib_model;
+          o_servers = servers;
+          o_stripe = stripe;
+          o_faults = faults;
+          o_fault_seed = fault_seed;
+          o_fault_budget = fault_budget;
+          o_deadline = deadline;
+          o_state_budget = state_budget;
+        }
       in
-      let mode_s =
-        if explicit [ "-m"; "--mode" ] then mode_s
-        else D.mode_to_string base.W.Runconfig.options.D.mode
-      in
-      let k = if explicit [ "--k"; "-k" ] then k else base.W.Runconfig.options.D.k in
-      let jobs =
-        if explicit [ "--jobs" ] then jobs else base.W.Runconfig.options.D.jobs
-      in
-      let max_cuts =
-        if explicit [ "--max-cuts" ] then max_cuts
-        else base.W.Runconfig.options.D.max_cuts
-      in
-      let pfs_model_s =
-        if explicit [ "--pfs-model" ] then pfs_model_s
-        else Model.to_string base.W.Runconfig.options.D.pfs_model
-      in
-      let lib_model_s =
-        if explicit [ "--lib-model" ] then lib_model_s
-        else Model.to_string base.W.Runconfig.options.D.lib_model
-      in
-      let faults_s =
-        if explicit [ "--faults" ] then faults_s
-        else
-          Paracrash_fault.Plan.classes_to_string
-            base.W.Runconfig.options.D.faults
-      in
-      let fault_seed =
-        if explicit [ "--fault-seed" ] then fault_seed
-        else base.W.Runconfig.options.D.fault_seed
-      in
-      let fault_budget =
-        if explicit [ "--fault-budget" ] then fault_budget
-        else base.W.Runconfig.options.D.fault_budget
-      in
-      let deadline =
-        if explicit [ "--deadline" ] then deadline
-        else base.W.Runconfig.options.D.deadline
-      in
-      let state_budget =
-        if explicit [ "--state-budget" ] then state_budget
-        else base.W.Runconfig.options.D.state_budget
-      in
-      let base_config = base.W.Runconfig.config in
-      match Paracrash_fault.Plan.classes_of_string faults_s with
-      | Error m -> fail "--faults: %s" m
-      | Ok faults -> (
-      match Registry.find_fs fs_name with
-      | None -> fail "unknown file system %S" fs_name
-      | Some fs -> (
-          match D.mode_of_string mode_s with
-          | None -> fail "unknown mode %S" mode_s
-          | Some mode -> (
-              match (Model.of_string pfs_model_s, Model.of_string lib_model_s) with
-              | None, _ -> fail "unknown model %S" pfs_model_s
-              | _, None -> fail "unknown model %S" lib_model_s
-              | Some pfs_model, Some lib_model ->
-                  if jobs < 1 then fail "--jobs must be at least 1"
-                  else
-                  let programs =
-                    if program = "all" then Registry.workload_names else [ program ]
-                  in
-                  let missing =
-                    List.filter (fun p -> Registry.find_workload p = None) programs
-                  in
-                  if missing <> [] then fail "unknown program %S" (List.hd missing)
-                  else begin
-                    let config =
-                      if explicit [ "-n"; "--servers" ] || explicit [ "--stripe" ]
-                      then
-                        {
-                          base_config with
-                          P.Config.n_meta = max 1 (servers / 2);
-                          n_storage = max 1 (servers - (servers / 2));
-                          stripe_size = stripe;
-                        }
-                      else base_config
-                    in
-                    let options =
-                      {
-                        D.default_options with
-                        mode;
-                        k;
-                        jobs;
-                        max_cuts;
-                        pfs_model;
-                        lib_model;
-                        faults;
-                        fault_seed;
-                        fault_budget;
-                        deadline;
-                        state_budget;
-                      }
-                    in
-                    let out = Buffer.create 256 in
-                    List.iter
-                      (fun pname ->
-                        let spec = Option.get (Registry.find_workload pname) in
-                        let report, session =
-                          D.run ~options ~config ~make_fs:fs.Registry.make spec
-                        in
-                        if report.R.gen.Paracrash_core.Explore.truncated then
-                          Fmt.epr
-                            "paracrash: warning: %s/%s: cut enumeration \
-                             truncated at %d cuts; coverage is partial@."
-                            pname fs_name
-                            report.R.gen.Paracrash_core.Explore.n_cuts;
-                        let rendered =
-                          if json then R.to_json report
-                          else Fmt.str "%a@." R.pp report
-                        in
-                        print_string rendered;
-                        Buffer.add_string out rendered;
-                        Buffer.add_char out '\n';
-                        if show_trace then
-                          Fmt.pr "@.--- trace ---@.%a@."
-                            Paracrash_trace.Tracer.pp
-                            session.Paracrash_core.Session.tracer;
-                        Fmt.pr "@.")
-                      programs;
-                    (match output with
-                    | Some path ->
-                        Out_channel.with_open_text path (fun oc ->
-                            Out_channel.output_string oc (Buffer.contents out))
-                    | None -> ());
-                    `Ok ()
-                  end))))
+      match W.Config.merge base ~overrides with
+      | Error m -> fail "%s" m
+      | Ok cfg ->
+          let sink =
+            if trace_out <> None || profile then Obs.recorder () else Obs.noop
+          in
+          Obs.with_sink sink @@ fun () ->
+          Fun.protect ~finally:(fun () -> flush_obs sink ~trace_out ~profile)
+          @@ fun () ->
+          let out = Buffer.create 256 in
+          List.iter
+            (fun pname ->
+              let report, session = W.Config.run cfg pname in
+              if report.R.gen.Paracrash_core.Explore.truncated then
+                Fmt.epr
+                  "paracrash: warning: %s/%s: cut enumeration truncated at %d \
+                   cuts; coverage is partial@."
+                  pname cfg.W.Config.fs
+                  report.R.gen.Paracrash_core.Explore.n_cuts;
+              let rendered =
+                if json then R.to_json report else Fmt.str "%a@." R.pp report
+              in
+              print_string rendered;
+              Buffer.add_string out rendered;
+              Buffer.add_char out '\n';
+              if show_trace then
+                Fmt.pr "@.--- trace ---@.%a@." Paracrash_trace.Tracer.pp
+                  session.Paracrash_core.Session.tracer;
+              Fmt.pr "@.")
+            (W.Config.programs cfg);
+          (match output with
+          | Some path ->
+              Out_channel.with_open_text path (fun oc ->
+                  Out_channel.output_string oc (Buffer.contents out))
+          | None -> ());
+          `Ok ())
 
 let cmd =
   let doc =
@@ -281,7 +239,7 @@ let cmd =
       `S Manpage.s_examples;
       `P "paracrash -f beegfs -p ARVR -m brute-force -t";
       `P "paracrash -f lustre -p H5-create";
-      `P "paracrash -f gpfs -p all";
+      `P "paracrash -f gpfs -p all --jobs 4 --trace-out trace.json";
     ]
   in
   Cmd.v
@@ -292,6 +250,6 @@ let cmd =
        $ jobs_arg $ max_cuts_arg $ pfs_model_arg $ lib_model_arg $ servers_arg
        $ stripe_arg $ faults_arg $ fault_seed_arg $ fault_budget_arg
        $ deadline_arg $ state_budget_arg $ show_trace_arg $ json_arg
-       $ output_arg))
+       $ output_arg $ trace_out_arg $ profile_arg))
 
 let () = exit (Cmd.eval cmd)

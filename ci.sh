@@ -34,6 +34,28 @@ if [ "${1:-}" = "--quick" ]; then
         exit 1
     fi
     echo "identical reports across two runs"
+
+    echo "== observability smoke =="
+    # one run with the recording sink on: the Chrome trace and the JSON
+    # report (with its metrics object) must both parse
+    if command -v python3 >/dev/null 2>&1; then
+        ./_build/default/bin/paracrash.exe -f beegfs -p ARVR --json \
+            --trace-out /tmp/paracrash-trace.json 2>/dev/null \
+            > /tmp/paracrash-obs-report.json
+        python3 - <<'EOF'
+import json
+trace = json.load(open("/tmp/paracrash-trace.json"))
+events = trace["traceEvents"]
+assert events, "empty traceEvents"
+assert all(e["ph"] in ("B", "E", "i") for e in events), "bad phase"
+report = json.load(open("/tmp/paracrash-obs-report.json"))
+assert report["version"] == 3, "report schema version"
+assert report["metrics"], "empty metrics object"
+print("trace: %d events; report: %d metrics" % (len(events), len(report["metrics"])))
+EOF
+    else
+        echo "python3 not installed; skipping the JSON parse checks"
+    fi
 else
     dune runtest
 fi

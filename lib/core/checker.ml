@@ -12,6 +12,7 @@ type lib_layer = {
   view_after_recovery : Logical.t -> string option;
   legal_views : Legal.t;
   expected_view : string;
+  lib_replay : Legal.replay_stats;
 }
 
 type layer = Pfs_fault | Lib_fault
@@ -36,12 +37,13 @@ let pfs_model_inputs (s : Session.t) =
   in
   (ops, graph, is_commit, covered_by)
 
-let pfs_legal_states (s : Session.t) model =
+let pfs_legal_states ?stats (s : Session.t) model =
+  Paracrash_obs.Obs.span "legal.golden_replay" @@ fun () ->
   let ops, graph, is_commit, covered_by = pfs_model_inputs s in
   let enum = Model.preserved_sets_seq model ~graph ~is_commit ~covered_by in
   let base = Handle.mount s.handle s.initial in
   let states =
-    Legal.replay_sets ~base ~op:(fun i -> ops.(i)) ~apply:Golden.apply
+    Legal.replay_sets ?stats ~base ~op:(fun i -> ops.(i)) ~apply:Golden.apply
       enum.Model.sets
   in
   Legal.build ~truncated:enum.Model.truncated ~fingerprint:Logical.fingerprint

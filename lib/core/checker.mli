@@ -23,6 +23,9 @@ type lib_layer = {
   expected_view : string;
       (** golden replay of the full operation sequence (the no-crash
           outcome), for consequence reporting *)
+  lib_replay : Legal.replay_stats;
+      (** work accounting of the legal-view golden replay, for the
+          report's deterministic metrics *)
 }
 
 type layer = Pfs_fault | Lib_fault
@@ -36,7 +39,7 @@ val pfs_call_graph : Session.t -> Paracrash_util.Dag.t
 (** Causality graph over the session's PFS-layer calls (indices into
     [Session.pfs_calls]). *)
 
-val pfs_legal_states : Session.t -> Model.t -> Legal.t
+val pfs_legal_states : ?stats:Legal.replay_stats -> Session.t -> Model.t -> Legal.t
 (** The legal PFS states: golden replays, over the initial mounted
     view, of every preserved set the model allows. Replays share work
     along the subset lattice ({!Legal.replay_sets}): each enumerated

@@ -31,10 +31,11 @@ type spec = {
 }
 
 let run ?(options = default_options) ~config ~make_fs spec =
+  let module Obs = Paracrash_obs.Obs in
   let tracer = Tracer.create () in
   let handle = make_fs ~config ~tracer in
   Tracer.set_enabled tracer false;
-  spec.preamble handle;
+  Obs.span "driver.preamble" (fun () -> spec.preamble handle);
   let initial = Handle.snapshot handle in
   (* the rpc fault class acts at trace time: a seeded injector disturbs
      the test program's RPCs (lost replies force retransmission, so
@@ -50,7 +51,7 @@ let run ?(options = default_options) ~config ~make_fs spec =
   in
   Tracer.set_enabled tracer true;
   let finally () = Paracrash_net.Rpc.uninstall tracer in
-  (try spec.test handle
+  (try Obs.span "driver.trace" (fun () -> spec.test handle)
    with e ->
      finally ();
      raise e);
@@ -63,10 +64,14 @@ let run ?(options = default_options) ~config ~make_fs spec =
           Report.drops = inj.drops;
           duplicates = inj.duplicates;
           retries = inj.retries;
+          timeouts = inj.timeouts;
         })
       injector
   in
-  let session = Session.of_run ~handle ~initial in
+  let session = Obs.span "driver.session" (fun () -> Session.of_run ~handle ~initial) in
   let lib = Option.map (fun f -> f ~model:options.lib_model session) spec.lib in
-  let report = Pipeline.run ?rpc options ~session ~lib ~workload:spec.name in
+  let report =
+    Obs.span "driver.pipeline" (fun () ->
+        Pipeline.run ?rpc options ~session ~lib ~workload:spec.name)
+  in
   (report, session)

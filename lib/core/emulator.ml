@@ -78,6 +78,7 @@ let merge_anomalies per_server =
   |> List.map snd
 
 let reconstruct ?transform (s : Session.t) persisted =
+  Paracrash_obs.Obs.timed "emulator.reconstruct" @@ fun () ->
   let images = ref s.initial in
   let anomalies = ref [] in
   List.iter
@@ -140,6 +141,7 @@ let cache_misses c = c.misses
 let cache_hits c = c.hits
 
 let reconstruct_cached (c : cache) (s : Session.t) persisted =
+  Paracrash_obs.Obs.timed "emulator.reconstruct_cached" @@ fun () ->
   (match Bitset.elements (Bitset.diff persisted c.covered) with
   | [] -> ()
   | i :: _ ->
@@ -168,3 +170,51 @@ let reconstruct_cached (c : cache) (s : Session.t) persisted =
         anomalies := entry.last_anomalies :: !anomalies)
     c.servers;
   (!images, merge_anomalies !anomalies)
+
+(* --- cache-key simulation ------------------------------------------------- *)
+
+(* Replays only the *decisions* of the per-server cache — which servers
+   would hit and which would restart — without touching any image. The
+   reduce stage runs it over the canonical stream order, so the counts
+   it produces are a function of that order alone: the same at any job
+   count, and equal to the misses a serial optimized run measures. The
+   parallel schedulers' *measured* per-domain misses (shard-boundary
+   cold starts, speculative checks) stay in the perf section. *)
+
+type sim_entry = { sim_mask : Bitset.t; mutable sim_last : Bitset.t option }
+
+type sim = {
+  sim_servers : sim_entry list;
+  mutable sim_hits : int;
+  mutable sim_misses : int;
+}
+
+let sim_create (s : Session.t) =
+  let masks = proc_masks s in
+  let n = Array.length s.storage_events in
+  let sim_servers =
+    List.map
+      (fun (proc, _) ->
+        let sim_mask =
+          match List.assoc_opt proc masks with
+          | Some m -> m
+          | None -> Bitset.create n
+        in
+        { sim_mask; sim_last = None })
+      (Images.bindings s.initial)
+  in
+  { sim_servers; sim_hits = 0; sim_misses = 0 }
+
+let sim_observe sim persisted =
+  List.iter
+    (fun e ->
+      let key = Bitset.inter persisted e.sim_mask in
+      match e.sim_last with
+      | Some prev when Bitset.equal prev key -> sim.sim_hits <- sim.sim_hits + 1
+      | _ ->
+          sim.sim_misses <- sim.sim_misses + 1;
+          e.sim_last <- Some key)
+    sim.sim_servers
+
+let sim_hits sim = sim.sim_hits
+let sim_misses sim = sim.sim_misses

@@ -61,3 +61,25 @@ val cache_misses : cache -> int
 
 val cache_hits : cache -> int
 (** Number of per-server image reuses so far. *)
+
+(** {1 Cache-key simulation}
+
+    Replays only the hit/miss {e decisions} of the per-server cache —
+    no images are built. Because the parallel schedulers each run their
+    own cache per domain, the measured hit/miss totals depend on the
+    job count; feeding the canonical stream order through a [sim]
+    during the sequential reduce instead yields counts that are a
+    function of that order alone — byte-identical at any [--jobs] and
+    equal to what a serial optimized run measures. *)
+
+type sim
+
+val sim_create : Session.t -> sim
+
+val sim_observe : sim -> Paracrash_util.Bitset.t -> unit
+(** [sim_observe sim persisted] records, for each server, whether the
+    cache would hit (server's persisted-op subset unchanged) or restart
+    on this crash state, in stream order. *)
+
+val sim_hits : sim -> int
+val sim_misses : sim -> int

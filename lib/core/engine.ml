@@ -31,6 +31,7 @@ type ctx = {
   expected : Logical.t;
   raw_data : int -> bool;
   n_servers : int;
+  replay_stats : Legal.replay_stats;
 }
 
 let create ~session ~mode ~classify ~pfs_model ~lib =
@@ -39,16 +40,18 @@ let create ~session ~mode ~classify ~pfs_model ~lib =
     let e = Session.storage_event session i in
     Paracrash_util.Strutil.contains_sub e.Event.tag "raw data"
   in
+  let replay_stats = Legal.replay_stats () in
   {
     session;
     mode;
     classify;
-    pfs_legal = Checker.pfs_legal_states session pfs_model;
+    pfs_legal = Checker.pfs_legal_states ~stats:replay_stats session pfs_model;
     lib;
     storage_graph = Explore.storage_graph session;
     expected = Handle.mount handle session.Session.final;
     raw_data;
     n_servers = List.length (Handle.servers handle);
+    replay_stats;
   }
 
 let semantic ctx = ctx.lib <> None
@@ -67,6 +70,7 @@ type shard_result = {
 }
 
 let check_shard ctx (states : Explore.state array) =
+  Paracrash_obs.Obs.span "engine.check_shard" @@ fun () ->
   (* only the learning-free rules (semantic raw-data pruning) may be
      applied here: they are a subset of any learned prune set, so every
      state skipped now is also skipped by the sequential reduce. States
@@ -127,9 +131,18 @@ type acc = {
   bugs : (string, Report.bug) Hashtbl.t;
   mutable bug_order : string list;  (* reversed *)
   serial_cache : Emulator.cache option;
+  (* cache-key simulation over the canonical stream order: the
+     deterministic (scheduler-independent) hit/miss counts the report's
+     metrics publish; equal to the serial cache's measured counts *)
+  sim : Emulator.sim option;
   mutable n_checked : int;
   mutable n_pruned : int;
   mutable n_inconsistent : int;
+  (* fingerprint membership queries charged by the canonical oracle:
+     one PFS lookup per checked state, plus one library lookup when a
+     library layer is present — a function of the checked stream alone,
+     hence identical at any job count *)
+  mutable n_fp_lookups : int;
   mutable check_errors : Report.check_error list;  (* reversed *)
 }
 
@@ -144,9 +157,14 @@ let acc_create ctx =
       (match ctx.mode with
       | Optimized -> Some (Emulator.create_cache ctx.session)
       | Brute_force | Pruned -> None);
+    sim =
+      (match ctx.mode with
+      | Optimized -> Some (Emulator.sim_create ctx.session)
+      | Brute_force | Pruned -> None);
     n_checked = 0;
     n_pruned = 0;
     n_inconsistent = 0;
+    n_fp_lookups = 0;
     check_errors = [];
   }
 
@@ -308,6 +326,16 @@ let step ctx acc ?verdict (st : Explore.state) =
   then acc.n_pruned <- acc.n_pruned + 1
   else begin
     acc.n_checked <- acc.n_checked + 1;
+    acc.n_fp_lookups <-
+      acc.n_fp_lookups + 1 + (if ctx.lib <> None then 1 else 0);
+    (* replay the cache decision this state costs in canonical order; a
+       memoized state never reaches the serial cache, so the simulation
+       skips it too (memo holds only classification-probe states here —
+       the same set under every scheduler) *)
+    (match acc.sim with
+    | Some sim when not (Bitset.Tbl.mem acc.memo st.persisted) ->
+        Emulator.sim_observe sim st.persisted
+    | _ -> ());
     let outcome =
       match verdict with
       | Some (Ok v) -> Ok (v, None, None)
@@ -345,6 +373,14 @@ type result = {
   serial_misses : int;
       (** image rebuilds of the reduce stage's own cache (serial
           optimized runs); 0 when verdicts came precomputed *)
+  sim_hits : int;
+  sim_misses : int;
+      (** canonical-order cache decisions from the reduce's simulation:
+          scheduler-independent, equal to the serial measured counts *)
+  n_scenarios : int;  (** distinct root-cause scenarios classified *)
+  n_fp_lookups : int;
+      (** fingerprint membership queries charged by the canonical
+          oracle (one per checked state per layer) *)
 }
 
 let finish (acc : acc) =
@@ -365,6 +401,11 @@ let finish (acc : acc) =
       (match acc.serial_cache with
       | Some c -> Emulator.cache_misses c
       | None -> 0);
+    sim_hits = (match acc.sim with Some s -> Emulator.sim_hits s | None -> 0);
+    sim_misses =
+      (match acc.sim with Some s -> Emulator.sim_misses s | None -> 0);
+    n_scenarios = List.length acc.explained;
+    n_fp_lookups = acc.n_fp_lookups;
   }
 
 (* --- faulted checking ----------------------------------------------------- *)

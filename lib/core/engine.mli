@@ -30,6 +30,9 @@ type ctx = {
   expected : Paracrash_pfs.Logical.t;
   raw_data : int -> bool;
   n_servers : int;
+  replay_stats : Legal.replay_stats;
+      (** work accounting of the PFS golden replay that built
+          [pfs_legal] (filled during {!create}) *)
 }
 
 val create :
@@ -90,6 +93,17 @@ type result = {
   serial_misses : int;
       (** image rebuilds of the reduce's own cache (serial optimized
           runs); 0 when verdicts came precomputed *)
+  sim_hits : int;
+  sim_misses : int;
+      (** canonical-order emulator-cache decisions replayed by the
+          reduce's {!Emulator.sim}: independent of the scheduler, equal
+          to the counts a serial optimized run measures; both 0 outside
+          optimized mode *)
+  n_scenarios : int;  (** distinct root-cause scenarios classified *)
+  n_fp_lookups : int;
+      (** fingerprint membership queries charged by the canonical
+          oracle: one per checked state, plus one more per checked
+          state when a library layer is present *)
 }
 
 val finish : acc -> result

@@ -37,6 +37,14 @@ let of_canonical_seq ?truncated canons =
 
 let of_canonicals canons = of_canonical_seq (List.to_seq canons)
 
+type replay_stats = {
+  mutable replayed_sets : int;
+  mutable applies : int;
+  mutable reused : int;
+}
+
+let replay_stats () = { replayed_sets = 0; applies = 0; reused = 0 }
+
 (* Prefix-shared golden replay over a lattice of preserved sets.
 
    Replaying a preserved set is a left fold of [apply] over its
@@ -48,9 +56,10 @@ let of_canonicals canons = of_canonical_seq (List.to_seq canons)
    every set extends an earlier one by a single operation, collapsing
    the quadratic total replay work of from-scratch generation to one
    apply per lattice edge. *)
-let replay_sets ~base ~op ~apply sets =
+let replay_sets ?stats ~base ~op ~apply sets =
   let cache = Bitset.Tbl.create 256 in
   let replay set =
+    Paracrash_obs.Obs.timed "legal.replay_set" @@ fun () ->
     let n = Bitset.capacity set in
     let empty = Bitset.create n in
     if not (Bitset.Tbl.mem cache empty) then Bitset.Tbl.replace cache empty base;
@@ -62,6 +71,12 @@ let replay_sets ~base ~op ~apply sets =
       if Bitset.Tbl.mem cache prefixes.(j) then j else longest (j - 1)
     in
     let j0 = longest m in
+    (match stats with
+    | Some s ->
+        s.replayed_sets <- s.replayed_sets + 1;
+        s.applies <- s.applies + (m - j0);
+        s.reused <- s.reused + j0
+    | None -> ());
     let st = ref (Bitset.Tbl.find cache prefixes.(j0)) in
     List.iteri
       (fun i e ->

@@ -44,7 +44,19 @@ val truncated : t -> bool
 (** The enumeration behind this set was capped; verdicts may over-report
     inconsistency and the engine logs a warning. *)
 
+type replay_stats = {
+  mutable replayed_sets : int;  (** preserved sets replayed *)
+  mutable applies : int;  (** golden operations actually applied *)
+  mutable reused : int;  (** operations skipped via a cached prefix *)
+}
+(** Work accounting of one {!replay_sets} stream. Filled during the
+    (sequential) legal-state generation, so the totals are a function of
+    the enumeration order alone — deterministic at any job count. *)
+
+val replay_stats : unit -> replay_stats
+
 val replay_sets :
+  ?stats:replay_stats ->
   base:'st ->
   op:(int -> 'op) ->
   apply:('st -> 'op -> 'st) ->

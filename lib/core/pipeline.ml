@@ -1,5 +1,7 @@
 module Bitset = Paracrash_util.Bitset
 module Fault = Paracrash_fault
+module Obs = Paracrash_obs.Obs
+module Metrics = Paracrash_obs.Metrics
 
 type options = {
   k : int;
@@ -61,7 +63,9 @@ let ordered_chunks ~options ~order_chunk session states_seq =
     else
       let chunk, prev =
         match options.mode with
-        | Engine.Optimized -> Tsp.order_chunk session ?prev chunk
+        | Engine.Optimized ->
+            Obs.timed "pipeline.order" (fun () ->
+                Tsp.order_chunk session ?prev chunk)
         | Engine.Brute_force | Engine.Pruned -> (chunk, prev)
       in
       Seq.Cons (chunk, go prev rest)
@@ -95,13 +99,19 @@ let budgeted ~state_budget states_seq =
 let run ?(order_chunk = default_order_chunk) ?rpc options ~session ~lib
     ~workload =
   let t0 = Unix.gettimeofday () in
-  (* stage 1: generate — a lazy stream of deduplicated crash states *)
-  let persist = Persist.build session in
+  (* stage 1: generate — a lazy stream of deduplicated crash states.
+     The span covers the (eager) persistence model and stream setup;
+     the lazy production itself is accounted to the check span that
+     forces it. *)
   let states_seq, gen_stats =
-    Explore.generate_seq ~k:options.k ~max_cuts:options.max_cuts session ~persist
+    Obs.span "pipeline.generate" @@ fun () ->
+    let persist = Persist.build session in
+    Explore.generate_seq ~k:options.k ~max_cuts:options.max_cuts session
+      ~persist
   in
   let states_seq, budget_hit = budgeted ~state_budget:options.state_budget states_seq in
   let ctx =
+    Obs.span "pipeline.setup" @@ fun () ->
     Engine.create ~session ~mode:options.mode ~classify:options.classify
       ~pfs_model:options.pfs_model ~lib
   in
@@ -153,9 +163,12 @@ let run ?(order_chunk = default_order_chunk) ?rpc options ~session ~lib
         | Seq.Nil -> ()
         | Seq.Cons (chunk, tl) ->
             tee chunk;
-            Array.iter
-              (fun st -> if not (over_deadline ()) then Engine.step ctx acc st)
-              chunk;
+            (* serial scheduler fuses check and reduce per state *)
+            Obs.span "pipeline.check+reduce" (fun () ->
+                Array.iter
+                  (fun st ->
+                    if not (over_deadline ()) then Engine.step ctx acc st)
+                  chunk);
             visit tl
       in
       visit (ordered_chunks ~options ~order_chunk session states_seq)
@@ -169,19 +182,22 @@ let run ?(order_chunk = default_order_chunk) ?rpc options ~session ~lib
           if not (over_deadline ()) then begin
             let shards = Scheduler.split ~shards:(Scheduler.jobs scheduler) chunk in
             let results =
-              Scheduler.map_shards scheduler ~f:(Engine.check_shard ctx) shards
+              Obs.span "pipeline.check" (fun () ->
+                  Scheduler.map_shards scheduler ~f:(Engine.check_shard ctx)
+                    shards)
             in
-            Array.iteri
-              (fun i shard ->
-                let r = results.(i) in
-                parallel_misses := !parallel_misses + r.Engine.shard_misses;
+            Obs.span "pipeline.reduce" (fun () ->
                 Array.iteri
-                  (fun j st ->
-                    match r.Engine.verdicts.(j) with
-                    | Some v -> Engine.step ctx acc ~verdict:v st
-                    | None -> Engine.step ctx acc st)
-                  shard)
-              shards
+                  (fun i shard ->
+                    let r = results.(i) in
+                    parallel_misses := !parallel_misses + r.Engine.shard_misses;
+                    Array.iteri
+                      (fun j st ->
+                        match r.Engine.verdicts.(j) with
+                        | Some v -> Engine.step ctx acc ~verdict:v st
+                        | None -> Engine.step ctx acc st)
+                      shard)
+                  shards)
           end)
         chunks);
   let res = Engine.finish acc in
@@ -192,6 +208,7 @@ let run ?(order_chunk = default_order_chunk) ?rpc options ~session ~lib
     match options.faults with
     | [] -> (None, [])
     | classes ->
+        Obs.span "pipeline.faults" @@ fun () ->
         let events =
           Array.init (Session.n_storage_ops session) (Session.storage_event session)
         in
@@ -259,6 +276,77 @@ let run ?(order_chunk = default_order_chunk) ?rpc options ~session ~lib
       Some { Report.deadline_hit = !deadline_hit; budget_hit = budget_hit () }
     else None
   in
+  (* Deterministic metrics: every value below is decided in the
+     canonical stream order (reduce-stage counters, the emulator
+     cache-key simulation), derived from the fixed trace, or produced
+     by the sequential generation — never read from a worker domain's
+     measured state. That is what makes the metrics object
+     byte-identical across --jobs for a fixed seed; scheduler-dependent
+     measurements (wall time, per-domain cache misses) stay in [perf]
+     and in the Obs sink. *)
+  let metrics =
+    let m = Metrics.create () in
+    Metrics.set m "states.cuts" gen.Explore.n_cuts;
+    Metrics.set m "states.candidates" gen.Explore.n_candidates;
+    Metrics.set m "states.unique" gen.Explore.n_unique;
+    Metrics.set m "states.truncated" (if gen.Explore.truncated then 1 else 0);
+    Metrics.set m "states.checked" res.Engine.n_checked;
+    Metrics.set m "states.pruned" res.Engine.n_pruned;
+    Metrics.set m "states.inconsistent" res.Engine.n_inconsistent;
+    Metrics.set m "classify.scenarios" res.Engine.n_scenarios;
+    (match options.mode with
+    | Engine.Optimized ->
+        Metrics.set m "emulator.cache_hits" res.Engine.sim_hits;
+        Metrics.set m "emulator.cache_misses" res.Engine.sim_misses
+    | Engine.Brute_force | Engine.Pruned ->
+        Metrics.set m "emulator.cache_hits" 0;
+        Metrics.set m "emulator.cache_misses"
+          (res.Engine.n_checked * ctx.Engine.n_servers));
+    Metrics.set m "fingerprint.lookups" res.Engine.n_fp_lookups;
+    Metrics.set m "fingerprint.scans" 0;
+    Metrics.set m "legal.pfs_states" (Legal.cardinal ctx.Engine.pfs_legal);
+    let replay = ctx.Engine.replay_stats in
+    let lib_replay =
+      match ctx.Engine.lib with
+      | Some l ->
+          Metrics.set m "legal.lib_views"
+            (Legal.cardinal l.Checker.legal_views);
+          [ l.Checker.lib_replay ]
+      | None -> []
+    in
+    let sum f = List.fold_left (fun a s -> a + f s) (f replay) lib_replay in
+    Metrics.set m "legal.replay_sets" (sum (fun s -> s.Legal.replayed_sets));
+    Metrics.set m "legal.replay_applies" (sum (fun s -> s.Legal.applies));
+    Metrics.set m "legal.replay_reused" (sum (fun s -> s.Legal.reused));
+    let events = Paracrash_trace.Tracer.events session.Session.tracer in
+    let count p = Array.fold_left (fun a e -> if p e then a + 1 else a) 0 events in
+    Metrics.set m "trace.events" (Array.length events);
+    Metrics.set m "trace.storage_ops" (Session.n_storage_ops session);
+    Metrics.set m "rpc.sends"
+      (count (fun e ->
+           match e.Paracrash_trace.Event.payload with
+           | Paracrash_trace.Event.Send _ -> true
+           | _ -> false));
+    Metrics.set m "rpc.recvs"
+      (count (fun e ->
+           match e.Paracrash_trace.Event.payload with
+           | Paracrash_trace.Event.Recv _ -> true
+           | _ -> false));
+    (match rpc with
+    | Some (r : Report.rpc_stats) ->
+        Metrics.set m "rpc.drops" r.Report.drops;
+        Metrics.set m "rpc.duplicates" r.Report.duplicates;
+        Metrics.set m "rpc.retries" r.Report.retries;
+        Metrics.set m "rpc.timeouts" r.Report.timeouts
+    | None -> ());
+    (match fault with
+    | Some f ->
+        Metrics.set m "fault.plans" f.Report.n_plans;
+        Metrics.set m "fault.pairs" f.Report.n_faulted;
+        Metrics.set m "fault.inconsistent" f.Report.n_fault_inconsistent
+    | None -> ());
+    Metrics.to_list m
+  in
   {
     Report.workload;
     fs;
@@ -280,4 +368,5 @@ let run ?(order_chunk = default_order_chunk) ?rpc options ~session ~lib
     fault;
     partial;
     check_errors = res.Engine.check_errors @ fault_errors;
+    metrics;
   }

@@ -15,7 +15,13 @@ type perf = {
 }
 
 type check_error = { state : string; message : string }
-type rpc_stats = { drops : int; duplicates : int; retries : int }
+
+type rpc_stats = {
+  drops : int;
+  duplicates : int;
+  retries : int;
+  timeouts : int;
+}
 
 type fault_finding = {
   fault : string;
@@ -49,11 +55,26 @@ type t = {
   fault : fault option;
   partial : partial option;
   check_errors : check_error list;
+  metrics : (string * int) list;
+      (* deterministic counters, sorted by name; byte-identical across
+         job counts by construction (see Pipeline) *)
 }
 
-(* JSON schema version: bumped to 2 when the fault / partial /
-   check_errors fields appeared. *)
-let json_version = 2
+(* JSON schema version: 2 when the fault / partial / check_errors
+   fields appeared; 3 with the deterministic [metrics] object. *)
+let json_version = 3
+
+(* --- stable accessors ---------------------------------------------------- *)
+
+let bugs t = t.bugs
+let stats t = t.perf
+let metrics t = t.metrics
+let metric t name = List.assoc_opt name t.metrics
+
+let is_partial t =
+  match t.partial with
+  | Some p -> p.deadline_hit || p.budget_hit
+  | None -> false
 
 let layer_name = function
   | Checker.Pfs_fault -> "PFS"
@@ -100,8 +121,10 @@ let pp ppf t =
         f.classes f.fault_seed f.n_plans f.n_faulted f.n_fault_inconsistent;
       (match f.rpc with
       | Some r ->
-          Fmt.pf ppf "rpc faults: %d dropped replies, %d duplicated requests, %d retries@,"
-            r.drops r.duplicates r.retries
+          Fmt.pf ppf
+            "rpc faults: %d dropped replies, %d duplicated requests, %d \
+             retries, %d timeouts@,"
+            r.drops r.duplicates r.retries r.timeouts
       | None -> ());
       List.iter (fun fd -> Fmt.pf ppf "%a@," pp_finding fd) f.findings);
   (match t.check_errors with
@@ -145,6 +168,12 @@ let to_json t =
   add "  \"lib_bugs\": %d,\n" t.lib_bugs;
   add "  \"perf\": { \"wall_seconds\": %.6f, \"modeled_seconds\": %.3f, \"restarts\": %d },\n"
     t.perf.wall_seconds t.perf.modeled_seconds t.perf.restarts;
+  add "  \"metrics\": {";
+  List.iteri
+    (fun i (k, v) ->
+      add "%s\n    \"%s\": %d" (if i = 0 then "" else ",") (json_escape k) v)
+    t.metrics;
+  add "%s},\n" (if t.metrics = [] then " " else "\n  ");
   (match t.partial with
   | None -> add "  \"partial\": null,\n"
   | Some p ->
@@ -170,8 +199,10 @@ let to_json t =
       (match f.rpc with
       | None -> add "    \"rpc\": null,\n"
       | Some r ->
-          add "    \"rpc\": { \"drops\": %d, \"duplicates\": %d, \"retries\": %d },\n"
-            r.drops r.duplicates r.retries);
+          add
+            "    \"rpc\": { \"drops\": %d, \"duplicates\": %d, \"retries\": \
+             %d, \"timeouts\": %d },\n"
+            r.drops r.duplicates r.retries r.timeouts);
       add "    \"findings\": [\n";
       List.iteri
         (fun i fd ->

@@ -25,9 +25,15 @@ type check_error = {
 }
 (** A state whose check raised: captured, reported, run continued. *)
 
-type rpc_stats = { drops : int; duplicates : int; retries : int }
+type rpc_stats = {
+  drops : int;
+  duplicates : int;
+  retries : int;
+  timeouts : int;
+}
 (** Trace-time RPC fault counters (lost replies, duplicated requests,
-    retransmissions actually performed). *)
+    retransmissions actually performed, calls whose every reply was
+    lost). *)
 
 type fault_finding = {
   fault : string;  (** human description of the injected fault *)
@@ -62,11 +68,33 @@ type t = {
   fault : fault option;  (** [None] unless fault injection was enabled *)
   partial : partial option;  (** [None] for complete runs *)
   check_errors : check_error list;
+  metrics : (string * int) list;
+      (** deterministic exploration counters, sorted by name. Every
+          value is decided in the canonical stream order (or derived
+          from it), so the list is byte-identical across [--jobs]
+          settings for a fixed seed — unlike the measured timings in
+          [perf] and the {!Paracrash_obs.Obs} sink. *)
 }
+
+(** {1 Stable accessors}
+
+    External consumers (benchmarks, tests, tooling) should read reports
+    through these instead of poking record fields, so the record can
+    grow without breaking them. *)
+
+val bugs : t -> bug list
+val stats : t -> perf
+val metrics : t -> (string * int) list
+
+val metric : t -> string -> int option
+(** [metric t name] looks up one deterministic counter by name. *)
+
+val is_partial : t -> bool
+(** The exploration stopped early (deadline or state budget). *)
 
 val json_version : int
 (** Schema version of {!to_json} output (2 since the fault / partial /
-    check_errors fields). *)
+    check_errors fields; 3 since the [metrics] object). *)
 
 val pp_bug : Format.formatter -> bug -> unit
 

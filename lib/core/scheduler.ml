@@ -38,7 +38,12 @@ let map_shards t ~f shard_arr =
           let rec loop () =
             let i = Atomic.fetch_and_add next 1 in
             if i < n then begin
-              results.(i) <- Some (f shard_arr.(i));
+              (* static span name: the trace's tid column already tells
+                 domains apart, and the noop path must not allocate *)
+              results.(i) <-
+                Some
+                  (Paracrash_obs.Obs.span "scheduler.shard" (fun () ->
+                       f shard_arr.(i)));
               loop ()
             end
           in

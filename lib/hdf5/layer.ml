@@ -25,9 +25,10 @@ let lib_layer ~file ~model (session : Session.t) =
       ~covered_by:(fun _ _ -> false)
   in
   let initial = File.golden_initial file in
+  let lib_replay = Legal.replay_stats () in
   let legal_views =
-    Legal.replay_sets ~base:initial ~op:(fun i -> ops.(i)) ~apply:Golden.apply
-      enum.Model.sets
+    Legal.replay_sets ~stats:lib_replay ~base:initial ~op:(fun i -> ops.(i))
+      ~apply:Golden.apply enum.Model.sets
     |> Legal.build ~truncated:enum.Model.truncated
          ~fingerprint:(fun st -> Fp.of_string (Golden.canonical st))
          ~canonical:Golden.canonical
@@ -49,4 +50,5 @@ let lib_layer ~file ~model (session : Session.t) =
     legal_views;
     expected_view =
       Golden.canonical (Golden.replay initial (Array.to_list ops));
+    lib_replay;
   }

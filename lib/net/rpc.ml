@@ -11,9 +11,11 @@ type injector = {
   mutable drops : int;
   mutable duplicates : int;
   mutable retries : int;
+  mutable timeouts : int;
 }
 
-let make_injector decide = { decide; drops = 0; duplicates = 0; retries = 0 }
+let make_injector decide =
+  { decide; drops = 0; duplicates = 0; retries = 0; timeouts = 0 }
 
 (* Installed injectors, keyed on physical tracer identity. The list is
    empty in every run that does not opt into RPC faults, and [call]
@@ -82,7 +84,8 @@ let run_once t ~client ~server ~msg ~reply ~deliver_reply handler =
 let call t ~client ~server ?(reply = true) ?(retries = 1) ?(timeout = 1.0) handler
     =
   if not (Tracer.enabled t) then handler ()
-  else
+  else begin
+    Paracrash_obs.Obs.add "rpc.calls" 1;
     let deliver () =
       let msg = Tracer.fresh_msg t in
       run_once t ~client ~server ~msg ~reply ~deliver_reply:true handler
@@ -118,7 +121,8 @@ let call t ~client ~server ?(reply = true) ?(retries = 1) ?(timeout = 1.0) handl
                 inj.retries <- inj.retries + 1;
                 attempt (n + 1)
               end
-              else
+              else begin
+                inj.timeouts <- inj.timeouts + 1;
                 raise
                   (Timeout
                      {
@@ -127,8 +131,10 @@ let call t ~client ~server ?(reply = true) ?(retries = 1) ?(timeout = 1.0) handl
                        attempts = n + 1;
                        waited = float_of_int (n + 1) *. timeout;
                      })
+              end
         in
         attempt 0
+  end
 
 let oneway t ~client ~server handler = call t ~client ~server ~reply:false handler
 

@@ -35,6 +35,7 @@ type injector = {
   mutable drops : int;
   mutable duplicates : int;
   mutable retries : int;
+  mutable timeouts : int;  (** calls whose every reply was lost *)
 }
 
 val make_injector :

@@ -1,0 +1,23 @@
+type t = (string, int ref) Hashtbl.t
+
+let create () : t = Hashtbl.create 32
+
+let cell (t : t) name =
+  match Hashtbl.find_opt t name with
+  | Some r -> r
+  | None ->
+      let r = ref 0 in
+      Hashtbl.replace t name r;
+      r
+
+let add t name n = cell t name := !(cell t name) + n
+let set t name n = cell t name := n
+let set_flag t name b = set t name (if b then 1 else 0)
+let get t name = match Hashtbl.find_opt t name with Some r -> !r | None -> 0
+
+let merge_into ~dst (src : t) =
+  Hashtbl.iter (fun name r -> add dst name !r) src
+
+let to_list (t : t) =
+  Hashtbl.fold (fun name r acc -> (name, !r) :: acc) t []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)

@@ -1,0 +1,37 @@
+(** Deterministic counter registry.
+
+    A [Metrics.t] holds the named integer counters a pipeline run
+    accumulates: states generated/checked/pruned, canonical cache
+    hits/misses, legal-replay sharing, RPC fault counters. Unlike the
+    measured timers of {!Obs}, these counters obey the determinism
+    contract of the exploration pipeline: every value must be a function
+    of the canonical stream order and the seeds — never of the
+    scheduler, the job count or the wall clock — so the [metrics]
+    object of a JSON report is byte-identical across [--jobs 1/2/4] for
+    a fixed seed. Counters that do depend on scheduling (per-domain
+    cache misses, wall time) belong in the report's [perf] section or
+    the {!Obs} profile instead. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> string -> int -> unit
+(** [add t name n] adds [n] to counter [name] (created at 0). *)
+
+val set : t -> string -> int -> unit
+(** [set t name n] overwrites counter [name]. *)
+
+val set_flag : t -> string -> bool -> unit
+(** [set_flag t name b] records a boolean gauge as 0/1. *)
+
+val get : t -> string -> int
+(** 0 for never-touched counters. *)
+
+val merge_into : dst:t -> t -> unit
+(** Add every counter of the source into [dst] (deterministic: the
+    result does not depend on merge order of commutative adds). *)
+
+val to_list : t -> (string * int) list
+(** All counters sorted by name — the canonical rendering order, so two
+    equal registries render identically. *)

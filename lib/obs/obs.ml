@@ -1,0 +1,209 @@
+type event = { name : string; ph : char; ts_us : float; tid : int }
+
+type recorder = {
+  mutex : Mutex.t;
+  mutable rev_events : event list;
+  timers : (string, float ref * int ref) Hashtbl.t;
+  counts : (string, int ref) Hashtbl.t;
+  t0 : float;  (* wall-clock origin of the recorder *)
+  mutable last : float;  (* monotonicity clamp: timestamps never regress *)
+}
+
+type sink = Noop | Rec of recorder
+
+let noop = Noop
+
+let recorder () =
+  let now = Unix.gettimeofday () in
+  Rec
+    {
+      mutex = Mutex.create ();
+      rev_events = [];
+      timers = Hashtbl.create 16;
+      counts = Hashtbl.create 16;
+      t0 = now;
+      last = now;
+    }
+
+let is_recording = function Noop -> false | Rec _ -> true
+
+(* The ambient sink. Global and atomic so scheduler worker domains
+   record into the sink their spawning run installed. *)
+let ambient : sink Atomic.t = Atomic.make Noop
+
+let current () = Atomic.get ambient
+
+let with_sink s f =
+  let prev = Atomic.get ambient in
+  Atomic.set ambient s;
+  Fun.protect ~finally:(fun () -> Atomic.set ambient prev) f
+
+(* Wall clock clamped to be non-decreasing per recorder; reads and
+   clamps happen under the recorder's mutex. *)
+let now_locked r =
+  let t = Unix.gettimeofday () in
+  let t = if t < r.last then r.last else t in
+  r.last <- t;
+  t
+
+let locked r f =
+  Mutex.lock r.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock r.mutex) f
+
+let record_event r ~name ~ph =
+  locked r (fun () ->
+      let ts_us = (now_locked r -. r.t0) *. 1e6 in
+      r.rev_events <-
+        { name; ph; ts_us; tid = (Domain.self () :> int) } :: r.rev_events)
+
+let span name f =
+  match Atomic.get ambient with
+  | Noop -> f ()
+  | Rec r ->
+      record_event r ~name ~ph:'B';
+      Fun.protect ~finally:(fun () -> record_event r ~name ~ph:'E') f
+
+let timed name f =
+  match Atomic.get ambient with
+  | Noop -> f ()
+  | Rec r ->
+      let t0 = Unix.gettimeofday () in
+      let finally () =
+        let dt = Float.max 0. (Unix.gettimeofday () -. t0) in
+        locked r (fun () ->
+            let total, count =
+              match Hashtbl.find_opt r.timers name with
+              | Some cell -> cell
+              | None ->
+                  let cell = (ref 0., ref 0) in
+                  Hashtbl.replace r.timers name cell;
+                  cell
+            in
+            total := !total +. dt;
+            incr count)
+      in
+      Fun.protect ~finally f
+
+let add name n =
+  match Atomic.get ambient with
+  | Noop -> ()
+  | Rec r ->
+      locked r (fun () ->
+          match Hashtbl.find_opt r.counts name with
+          | Some c -> c := !c + n
+          | None -> Hashtbl.replace r.counts name (ref n))
+
+let events = function Noop -> [] | Rec r -> List.rev r.rev_events
+
+let timers = function
+  | Noop -> []
+  | Rec r ->
+      Hashtbl.fold (fun name (t, c) acc -> (name, !t, !c) :: acc) r.timers []
+      |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
+
+let counters = function
+  | Noop -> []
+  | Rec r ->
+      Hashtbl.fold (fun name c acc -> (name, !c) :: acc) r.counts []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 32 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let trace_json sink =
+  let buf = Buffer.create 4096 in
+  let add_s fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let evs = events sink in
+  let tms = timers sink in
+  add_s "{ \"traceEvents\": [\n";
+  let n_evs = List.length evs and n_tms = List.length tms in
+  List.iteri
+    (fun i e ->
+      add_s
+        "  { \"name\": \"%s\", \"ph\": \"%c\", \"pid\": 1, \"tid\": %d, \
+         \"ts\": %.1f }%s\n"
+        (json_escape e.name) e.ph e.tid e.ts_us
+        (if i = n_evs - 1 && n_tms = 0 then "" else ","))
+    evs;
+  (* accumulated timers ride along as instant metadata events so the
+     totals are visible in the viewer without spamming real spans *)
+  List.iteri
+    (fun i (name, total, count) ->
+      add_s
+        "  { \"name\": \"%s\", \"ph\": \"i\", \"s\": \"g\", \"pid\": 1, \
+         \"tid\": 0, \"ts\": 0.0, \"args\": { \"total_ms\": %.3f, \
+         \"count\": %d } }%s\n"
+        (json_escape name) (total *. 1e3) count
+        (if i = n_tms - 1 then "" else ","))
+    tms;
+  add_s "] }\n";
+  Buffer.contents buf
+
+(* Per-span totals: replay each domain's B/E stream with a stack. An
+   unbalanced tail (a span still open when the recorder was drained)
+   contributes nothing. *)
+let span_totals sink =
+  let stacks : (int, (string * float) list ref) Hashtbl.t = Hashtbl.create 4 in
+  let totals : (string, float * int) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      let stack =
+        match Hashtbl.find_opt stacks e.tid with
+        | Some s -> s
+        | None ->
+            let s = ref [] in
+            Hashtbl.replace stacks e.tid s;
+            s
+      in
+      match e.ph with
+      | 'B' -> stack := (e.name, e.ts_us) :: !stack
+      | 'E' -> (
+          match !stack with
+          | (name, t0) :: rest when String.equal name e.name ->
+              stack := rest;
+              let total, count =
+                Option.value (Hashtbl.find_opt totals name) ~default:(0., 0)
+              in
+              Hashtbl.replace totals name
+                (total +. ((e.ts_us -. t0) /. 1e6), count + 1)
+          | _ -> ())
+      | _ -> ())
+    (events sink);
+  Hashtbl.fold (fun name (t, c) acc -> (name, t, c) :: acc) totals []
+  |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
+
+let pp_profile ppf sink =
+  Fmt.pf ppf "@[<v>--- profile ---@,";
+  (match span_totals sink with
+  | [] -> ()
+  | spans ->
+      Fmt.pf ppf "spans (wall time across all domains):@,";
+      List.iter
+        (fun (name, total, count) ->
+          Fmt.pf ppf "  %-32s %10.3f ms %8d span(s)@," name (total *. 1e3) count)
+        spans);
+  (match timers sink with
+  | [] -> ()
+  | tms ->
+      Fmt.pf ppf "timers (accumulated):@,";
+      List.iter
+        (fun (name, total, count) ->
+          Fmt.pf ppf "  %-32s %10.3f ms %8d call(s)@," name (total *. 1e3) count)
+        tms);
+  (match counters sink with
+  | [] -> ()
+  | cs ->
+      Fmt.pf ppf "measured counters:@,";
+      List.iter (fun (name, n) -> Fmt.pf ppf "  %-32s %10d@," name n) cs);
+  Fmt.pf ppf "@]"

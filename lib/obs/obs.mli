@@ -1,0 +1,88 @@
+(** Cross-layer observability: spans, timers and measured counters.
+
+    The exploration pipeline, the emulator, the legal-state builder and
+    the RPC layer instrument themselves against an ambient {e sink}.
+    The default sink is {!noop}: every probe is one atomic load and a
+    branch, instrumented code costs ~nothing, and the tool's output is
+    byte-identical to an uninstrumented build. Installing a recording
+    sink ({!recorder}, via {!with_sink}) turns the same probes into:
+
+    - {b spans} ({!span}): nestable begin/end intervals on a
+      monotonic-ish clock (wall clock clamped to never run backwards),
+      tagged with the recording domain — exported as Chrome
+      [trace_event] JSON ({!trace_json}, load in [chrome://tracing] or
+      Perfetto);
+    - {b timers} ({!timed}): high-frequency accumulating timers for hot
+      operations (one trace event per emulator reconstruction would
+      drown the trace; a total + count will not);
+    - {b measured counters} ({!add}): scheduler-dependent counts for the
+      {!pp_profile} summary.
+
+    Everything recorded here is {e measurement}, excluded from the
+    report-determinism contract: timings and per-domain counts may vary
+    across runs and job counts. Deterministic counters — the ones
+    embedded in report JSON and compared byte-for-byte across
+    schedulers — live in {!Metrics} instead.
+
+    The ambient sink is global (an [Atomic]), so worker domains spawned
+    by the scheduler record into the same sink; the recorder serializes
+    appends with a mutex. Recording is safe from any domain. *)
+
+type sink
+
+val noop : sink
+(** The do-nothing sink: probes cost an atomic load and a branch. *)
+
+val recorder : unit -> sink
+(** A fresh recording sink with empty spans, timers and counters. *)
+
+val is_recording : sink -> bool
+
+(** {1 Ambient sink} *)
+
+val current : unit -> sink
+
+val with_sink : sink -> (unit -> 'a) -> 'a
+(** [with_sink s f] installs [s] as the ambient sink for the duration
+    of [f] (restoring the previous sink even on exceptions). Runs are
+    expected to not overlap installations from concurrent domains. *)
+
+(** {1 Probes} *)
+
+val span : string -> (unit -> 'a) -> 'a
+(** [span name f] brackets [f] with begin/end trace events (balanced
+    even when [f] raises). Use for low-frequency phase-level work. *)
+
+val timed : string -> (unit -> 'a) -> 'a
+(** [timed name f] adds [f]'s elapsed time to the accumulating timer
+    [name]. Use for hot, high-frequency operations. *)
+
+val add : string -> int -> unit
+(** [add name n] bumps the measured counter [name]. *)
+
+(** {1 Draining a recorder} *)
+
+type event = {
+  name : string;
+  ph : char;  (** ['B'] begin or ['E'] end, as in Chrome [trace_event] *)
+  ts_us : float;  (** microseconds since the recorder was created *)
+  tid : int;  (** recording domain id *)
+}
+
+val events : sink -> event list
+(** Span events in record order (empty for {!noop}). *)
+
+val timers : sink -> (string * float * int) list
+(** [(name, total_seconds, count)] sorted by name. *)
+
+val counters : sink -> (string * int) list
+(** Measured counters sorted by name. *)
+
+val trace_json : sink -> string
+(** The recorded spans as a Chrome [trace_event] JSON document (an
+    object with a ["traceEvents"] array; accumulated timers are
+    appended as zero-duration counter-style metadata events). *)
+
+val pp_profile : Format.formatter -> sink -> unit
+(** Human-readable profile: per-span total wall time, accumulated
+    timers and measured counters. *)

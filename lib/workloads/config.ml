@@ -1,0 +1,164 @@
+module D = Paracrash_core.Driver
+module Model = Paracrash_core.Model
+module Pfs_config = Paracrash_pfs.Config
+
+type t = {
+  fs : string;
+  program : string;
+  pfs : Pfs_config.t;
+  options : D.options;
+}
+
+let default =
+  {
+    fs = "beegfs";
+    program = "ARVR";
+    pfs = Pfs_config.default;
+    options = D.default_options;
+  }
+
+let of_runconfig (rc : Runconfig.t) =
+  {
+    fs = rc.Runconfig.fs;
+    program = rc.Runconfig.program;
+    pfs = rc.Runconfig.config;
+    options = rc.Runconfig.options;
+  }
+
+type overrides = {
+  o_fs : string option;
+  o_program : string option;
+  o_mode : string option;
+  o_k : int option;
+  o_jobs : int option;
+  o_max_cuts : int option;
+  o_pfs_model : string option;
+  o_lib_model : string option;
+  o_servers : int option;
+  o_stripe : int option;
+  o_faults : string option;
+  o_fault_seed : int option;
+  o_fault_budget : int option;
+  o_deadline : float option;
+  o_state_budget : int option;
+}
+
+let no_overrides =
+  {
+    o_fs = None;
+    o_program = None;
+    o_mode = None;
+    o_k = None;
+    o_jobs = None;
+    o_max_cuts = None;
+    o_pfs_model = None;
+    o_lib_model = None;
+    o_servers = None;
+    o_stripe = None;
+    o_faults = None;
+    o_fault_seed = None;
+    o_fault_budget = None;
+    o_deadline = None;
+    o_state_budget = None;
+  }
+
+let ( let* ) = Result.bind
+
+(* Parse an enumerated override, keeping the underlying value when the
+   flag was absent. *)
+let enum name parse current = function
+  | None -> Ok current
+  | Some s -> (
+      match parse s with
+      | Some v -> Ok v
+      | None -> Error (Printf.sprintf "unknown %s %S" name s))
+
+let merge t ~overrides:o =
+  let keep current = Option.value ~default:current in
+  let fs = keep t.fs o.o_fs in
+  let program = keep t.program o.o_program in
+  let* () =
+    if Registry.find_fs fs = None then
+      Error (Printf.sprintf "unknown file system %S" fs)
+    else Ok ()
+  in
+  let* () =
+    if program <> "all" && Registry.find_workload program = None then
+      Error (Printf.sprintf "unknown program %S" program)
+    else Ok ()
+  in
+  let* mode = enum "mode" D.mode_of_string t.options.D.mode o.o_mode in
+  let* pfs_model =
+    enum "model" Model.of_string t.options.D.pfs_model o.o_pfs_model
+  in
+  let* lib_model =
+    enum "model" Model.of_string t.options.D.lib_model o.o_lib_model
+  in
+  let* faults =
+    match o.o_faults with
+    | None -> Ok t.options.D.faults
+    | Some s -> (
+        match Paracrash_fault.Plan.classes_of_string s with
+        | Ok classes -> Ok classes
+        | Error m -> Error (Printf.sprintf "faults: %s" m))
+  in
+  let jobs = keep t.options.D.jobs o.o_jobs in
+  let* () = if jobs < 1 then Error "jobs must be at least 1" else Ok () in
+  let pfs =
+    let pfs =
+      match o.o_servers with
+      | None -> t.pfs
+      | Some n ->
+          {
+            t.pfs with
+            Pfs_config.n_meta = max 1 (n / 2);
+            n_storage = max 1 (n - (n / 2));
+          }
+    in
+    match o.o_stripe with
+    | None -> pfs
+    | Some stripe_size -> { pfs with Pfs_config.stripe_size }
+  in
+  Ok
+    {
+      fs;
+      program;
+      pfs;
+      options =
+        {
+          t.options with
+          D.mode;
+          pfs_model;
+          lib_model;
+          faults;
+          jobs;
+          k = keep t.options.D.k o.o_k;
+          max_cuts = keep t.options.D.max_cuts o.o_max_cuts;
+          fault_seed = keep t.options.D.fault_seed o.o_fault_seed;
+          fault_budget = keep t.options.D.fault_budget o.o_fault_budget;
+          deadline =
+            (match o.o_deadline with
+            | Some d -> Some d
+            | None -> t.options.D.deadline);
+          state_budget =
+            (match o.o_state_budget with
+            | Some b -> Some b
+            | None -> t.options.D.state_budget);
+        };
+    }
+
+let programs t =
+  if t.program = "all" then Registry.workload_names else [ t.program ]
+
+let run t program =
+  let fs =
+    match Registry.find_fs t.fs with
+    | Some fs -> fs
+    | None -> invalid_arg ("Config.run: unknown file system " ^ t.fs)
+  in
+  let spec =
+    match Registry.find_workload program with
+    | Some spec -> spec
+    | None -> invalid_arg ("Config.run: unknown program " ^ program)
+  in
+  D.run ~options:t.options ~config:t.pfs ~make_fs:fs.Registry.make spec

@@ -1,0 +1,70 @@
+(** Typed run configuration — the single merged source of truth for a
+    paracrash invocation.
+
+    Historically the CLI reconciled each flag against the run
+    configuration file with an ad-hoc [Sys.argv] scan per flag
+    (~15 near-identical cases). This module replaces that with one
+    typed pipeline:
+
+    {v default --> of_runconfig (file) --> merge ~overrides (CLI) v}
+
+    Precedence is per knob: an explicit CLI flag beats the
+    configuration file, which beats {!default}. {!merge} also performs
+    all the validation the CLI used to chain by hand (unknown file
+    system / program / mode / model / fault class, jobs >= 1), so
+    callers get either a ready-to-run configuration or one error
+    message. *)
+
+type t = {
+  fs : string;  (** file system under test (a {!Registry.file_systems} name) *)
+  program : string;  (** test program name, or ["all"] *)
+  pfs : Paracrash_pfs.Config.t;  (** topology: servers, stripe, journaling *)
+  options : Paracrash_core.Driver.options;  (** exploration options *)
+}
+
+val default : t
+(** Library defaults: beegfs / ARVR / default topology and options. *)
+
+val of_runconfig : Runconfig.t -> t
+(** Adopt a parsed run-configuration file verbatim (no validation
+    beyond what {!Runconfig.parse} already did). *)
+
+type overrides = {
+  o_fs : string option;
+  o_program : string option;
+  o_mode : string option;
+  o_k : int option;
+  o_jobs : int option;
+  o_max_cuts : int option;
+  o_pfs_model : string option;
+  o_lib_model : string option;
+  o_servers : int option;
+  o_stripe : int option;
+  o_faults : string option;
+  o_fault_seed : int option;
+  o_fault_budget : int option;
+  o_deadline : float option;
+  o_state_budget : int option;
+}
+(** One optional value per CLI knob; [None] means the flag was not
+    given and the underlying configuration wins. Enumerated knobs
+    (mode, models, fault classes) stay raw strings here — {!merge}
+    parses and rejects them with the same messages the CLI used to
+    produce. *)
+
+val no_overrides : overrides
+
+val merge : t -> overrides:overrides -> (t, string) result
+(** Apply [overrides] on top of [t] (CLI > runconfig > default, per
+    knob) and validate the result. [o_servers n] splits [n] evenly
+    into metadata and storage servers exactly like the [servers]
+    configuration key. *)
+
+val programs : t -> string list
+(** The test programs this configuration selects (expands ["all"]). *)
+
+val run : t -> string -> Paracrash_core.Report.t * Paracrash_core.Session.t
+(** [run t program] runs one test program of {!programs} through
+    {!Paracrash_core.Driver.run} with this configuration. The blessed
+    entry point for the CLI and tooling; raises [Invalid_argument] on
+    a program or file system that {!merge} would have rejected. *)

@@ -20,4 +20,5 @@ let () =
       ("runconfig", Test_runconfig.tests);
       ("fault", Test_fault.tests);
       ("report", Test_report.tests);
+      ("obs", Test_obs.tests);
     ]

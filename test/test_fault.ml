@@ -164,6 +164,7 @@ let test_check_error_captured () =
       view_after_recovery = (fun _ -> None);
       legal_views = Paracrash_core.Legal.of_canonicals [];
       expected_view = "";
+      lib_replay = Paracrash_core.Legal.replay_stats ();
     }
   in
   let report =

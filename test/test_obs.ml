@@ -1,0 +1,354 @@
+(* Observability subsystem: measured spans/timers/counters must never
+   leak into the determinism contract (reports identical with the sink
+   on or off, metrics identical at any job count), the Chrome trace
+   export must be valid balanced JSON, and the typed Config merge must
+   honour CLI > runconfig > default precedence. *)
+
+module Obs = Paracrash_obs.Obs
+module Metrics = Paracrash_obs.Metrics
+module D = Paracrash_core.Driver
+module R = Paracrash_core.Report
+module Pipeline = Paracrash_core.Pipeline
+module P = Paracrash_pfs
+module W = Paracrash_workloads
+module Registry = W.Registry
+module Config = W.Config
+
+let check = Alcotest.check
+let ci = Alcotest.int
+let cb = Alcotest.bool
+let cs = Alcotest.string
+
+(* --- span / timer / counter recording ------------------------------------- *)
+
+let test_recorder_basics () =
+  let sink = Obs.recorder () in
+  Obs.with_sink sink (fun () ->
+      Obs.span "outer" (fun () ->
+          Obs.span "inner" (fun () -> Obs.add "widgets" 2);
+          Obs.add "widgets" 3);
+      Obs.timed "t" (fun () -> ());
+      Obs.timed "t" (fun () -> ()));
+  let evs = Obs.events sink in
+  check ci "four span events" 4 (List.length evs);
+  check cb "counter accumulated" true (Obs.counters sink = [ ("widgets", 5) ]);
+  (match Obs.timers sink with
+  | [ ("t", total, count) ] ->
+      check ci "timer called twice" 2 count;
+      check cb "timer total non-negative" true (total >= 0.)
+  | l -> Alcotest.failf "expected 1 timer, got %d" (List.length l));
+  (* nested spans record well-bracketed B/E pairs in order *)
+  match List.map (fun e -> (e.Obs.name, e.Obs.ph)) evs with
+  | [ ("outer", 'B'); ("inner", 'B'); ("inner", 'E'); ("outer", 'E') ] -> ()
+  | _ -> Alcotest.fail "unexpected span event stream"
+
+let test_noop_sink_records_nothing () =
+  (* the default ambient sink is Noop: instrumented code must not
+     accumulate anything *)
+  check cb "ambient starts as noop" false (Obs.is_recording (Obs.current ()));
+  Obs.span "s" (fun () -> Obs.add "c" 1);
+  Obs.timed "t" (fun () -> ());
+  check cb "noop has no events" true (Obs.events (Obs.current ()) = []);
+  check cb "noop has no counters" true (Obs.counters (Obs.current ()) = [])
+
+let test_span_balances_on_exception () =
+  let sink = Obs.recorder () in
+  (try
+     Obs.with_sink sink (fun () ->
+         Obs.span "boom" (fun () -> failwith "expected"))
+   with Failure _ -> ());
+  match Obs.events sink with
+  | [ b; e ] ->
+      check cb "B then E" true (b.Obs.ph = 'B' && e.Obs.ph = 'E');
+      check cs "same name" "boom" e.Obs.name
+  | l -> Alcotest.failf "expected balanced pair, got %d events" (List.length l)
+
+let test_with_sink_restores () =
+  let sink = Obs.recorder () in
+  Obs.with_sink sink (fun () ->
+      check cb "recording inside" true (Obs.is_recording (Obs.current ())));
+  check cb "restored outside" false (Obs.is_recording (Obs.current ()))
+
+(* --- metrics registry ------------------------------------------------------ *)
+
+let test_metrics_registry () =
+  let a = Metrics.create () in
+  Metrics.add a "x" 2;
+  Metrics.add a "x" 3;
+  Metrics.set a "y" 7;
+  Metrics.set_flag a "flag" true;
+  check ci "add accumulates" 5 (Metrics.get a "x");
+  check ci "untouched is 0" 0 (Metrics.get a "zzz");
+  let b = Metrics.create () in
+  Metrics.add b "x" 1;
+  Metrics.add b "w" 4;
+  Metrics.merge_into ~dst:a b;
+  check cb "merge + sorted rendering" true
+    (Metrics.to_list a = [ ("flag", 1); ("w", 4); ("x", 6); ("y", 7) ])
+
+(* --- pipeline determinism --------------------------------------------------- *)
+
+let session_of fs_entry (spec : D.spec) =
+  let tracer = Paracrash_trace.Tracer.create () in
+  let handle = fs_entry.Registry.make ~config:P.Config.default ~tracer in
+  Paracrash_trace.Tracer.set_enabled tracer false;
+  spec.D.preamble handle;
+  let initial = P.Handle.snapshot handle in
+  Paracrash_trace.Tracer.set_enabled tracer true;
+  spec.D.test handle;
+  Paracrash_trace.Tracer.set_enabled tracer false;
+  Paracrash_core.Session.of_run ~handle ~initial
+
+let det_max_cuts = 15
+
+let metrics_of session (spec : D.spec) pname jobs =
+  let options = { Pipeline.default_options with jobs; max_cuts = det_max_cuts } in
+  let lib =
+    Option.map (fun f -> f ~model:options.Pipeline.lib_model session) spec.D.lib
+  in
+  R.metrics (Pipeline.run options ~session ~lib ~workload:pname)
+
+let render_metrics ms =
+  String.concat ";" (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) ms)
+
+let metrics_deterministic fs_names () =
+  List.iter
+    (fun fs_name ->
+      let fs_entry = Option.get (Registry.find_fs fs_name) in
+      List.iter
+        (fun pname ->
+          let spec = Option.get (Registry.find_workload pname) in
+          let session = session_of fs_entry spec in
+          let serial = render_metrics (metrics_of session spec pname 1) in
+          check cb (pname ^ "/" ^ fs_name ^ " metrics non-empty") true
+            (serial <> "");
+          List.iter
+            (fun jobs ->
+              check cs
+                (Printf.sprintf "%s/%s metrics jobs=%d" pname fs_name jobs)
+                serial
+                (render_metrics (metrics_of session spec pname jobs)))
+            [ 2; 4 ])
+        Registry.workload_names)
+    fs_names
+
+let test_metrics_deterministic_quick = metrics_deterministic [ "beegfs" ]
+
+let test_metrics_deterministic_all =
+  metrics_deterministic
+    (List.map (fun e -> e.Registry.fs_name) Registry.file_systems)
+
+let test_sim_matches_serial_measured () =
+  (* the canonical emulator-cache counters published in the metrics must
+     equal what the serial optimized run actually measured *)
+  let fs_entry = Option.get (Registry.find_fs "beegfs") in
+  List.iter
+    (fun pname ->
+      let spec = Option.get (Registry.find_workload pname) in
+      let session = session_of fs_entry spec in
+      let options =
+        { Pipeline.default_options with jobs = 1; max_cuts = det_max_cuts }
+      in
+      let lib =
+        Option.map (fun f -> f ~model:options.Pipeline.lib_model session)
+          spec.D.lib
+      in
+      let r = Pipeline.run options ~session ~lib ~workload:pname in
+      check ci
+        (pname ^ " sim misses == measured serial restarts")
+        (R.stats r).R.restarts
+        (Option.get (R.metric r "emulator.cache_misses")))
+    [ "ARVR"; "H5-create" ]
+
+let test_recording_does_not_change_report () =
+  (* running with a live recorder must leave the report byte-identical
+     (modulo wall clock) to the noop-sink run: observation never feeds
+     back into exploration *)
+  let fs_entry = Option.get (Registry.find_fs "beegfs") in
+  let spec = Option.get (Registry.find_workload "ARVR") in
+  let session = session_of fs_entry spec in
+  let run () =
+    let options =
+      { Pipeline.default_options with jobs = 2; max_cuts = det_max_cuts }
+    in
+    let r = Pipeline.run options ~session ~lib:None ~workload:"ARVR" in
+    R.to_json
+      {
+        r with
+        R.perf =
+          { r.R.perf with wall_seconds = 0.; modeled_seconds = 0.; restarts = 0 };
+      }
+  in
+  let quiet = run () in
+  let sink = Obs.recorder () in
+  let recorded = Obs.with_sink sink run in
+  check cs "report unchanged under recording" quiet recorded;
+  check cb "something was recorded" true (Obs.events sink <> [])
+
+(* --- exporters ------------------------------------------------------------- *)
+
+let test_trace_json_valid_and_balanced () =
+  let fs_entry = Option.get (Registry.find_fs "beegfs") in
+  let spec = Option.get (Registry.find_workload "ARVR") in
+  let sink = Obs.recorder () in
+  let _ =
+    Obs.with_sink sink (fun () ->
+        let options =
+          { D.default_options with jobs = 2; max_cuts = det_max_cuts }
+        in
+        D.run ~options ~config:P.Config.default ~make_fs:fs_entry.Registry.make
+          spec)
+  in
+  let j = Test_report.parse (Obs.trace_json sink) in
+  let evs = Test_report.as_list (Test_report.field j "traceEvents") in
+  check cb "trace has events" true (evs <> []);
+  (* every B is closed by an E of the same name; instant events pass through *)
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      let name = Test_report.as_str (Test_report.field e "name") in
+      let prev = Option.value (Hashtbl.find_opt tbl name) ~default:0 in
+      match Test_report.as_str (Test_report.field e "ph") with
+      | "B" -> Hashtbl.replace tbl name (prev + 1)
+      | "E" -> Hashtbl.replace tbl name (prev - 1)
+      | "i" -> ()
+      | ph -> Alcotest.failf "unexpected phase %S" ph)
+    evs;
+  Hashtbl.iter
+    (fun name bal ->
+      check ci (Printf.sprintf "span %S balanced" name) 0 bal)
+    tbl;
+  (* timestamps are non-negative microseconds *)
+  List.iter
+    (fun e ->
+      check cb "ts >= 0" true
+        (match Test_report.field e "ts" with
+        | Test_report.Num f -> f >= 0.
+        | _ -> false))
+    evs
+
+let test_deadline_partial_keeps_metrics () =
+  (* a deadline-expired run still flushes its metrics (and spans): the
+     partial report carries the same deterministic counter keys *)
+  let fs_entry = Option.get (Registry.find_fs "beegfs") in
+  let spec = Option.get (Registry.find_workload "ARVR") in
+  let session = session_of fs_entry spec in
+  let options =
+    {
+      Pipeline.default_options with
+      deadline = Some 0.;
+      max_cuts = det_max_cuts;
+    }
+  in
+  let sink = Obs.recorder () in
+  let r =
+    Obs.with_sink sink (fun () ->
+        Pipeline.run options ~session ~lib:None ~workload:"ARVR")
+  in
+  check cb "partial" true (R.is_partial r);
+  check cb "metrics present" true (R.metrics r <> []);
+  check cb "states.checked key present" true
+    (R.metric r "states.checked" <> None);
+  check ci "nothing checked under 0s deadline" 0
+    (Option.get (R.metric r "states.checked"));
+  check cb "spans recorded despite deadline" true (Obs.events sink <> [])
+
+(* --- Config merge precedence ----------------------------------------------- *)
+
+let runconfig_text = "fs = lustre\nprogram = H5-create\njobs = 3\nstripe = 65536\n"
+
+let test_config_merge_precedence () =
+  let rc = Result.get_ok (W.Runconfig.parse runconfig_text) in
+  let base = Config.of_runconfig rc in
+  (* no CLI flags: the runconfig wins over the defaults *)
+  let merged = Result.get_ok (Config.merge base ~overrides:Config.no_overrides) in
+  check cs "runconfig fs beats default" "lustre" merged.Config.fs;
+  check cs "runconfig program beats default" "H5-create" merged.Config.program;
+  check ci "runconfig jobs beat default" 3 merged.Config.options.D.jobs;
+  check ci "runconfig stripe beats default" 65536
+    merged.Config.pfs.P.Config.stripe_size;
+  (* untouched knobs keep their defaults *)
+  check ci "default k survives" D.default_options.D.k
+    merged.Config.options.D.k;
+  (* CLI flags beat the runconfig per knob *)
+  let overrides =
+    {
+      Config.no_overrides with
+      Config.o_fs = Some "gpfs";
+      o_jobs = Some 2;
+      o_mode = Some "pruning";
+    }
+  in
+  let merged = Result.get_ok (Config.merge base ~overrides) in
+  check cs "CLI fs beats runconfig" "gpfs" merged.Config.fs;
+  check ci "CLI jobs beat runconfig" 2 merged.Config.options.D.jobs;
+  check cb "CLI mode parsed" true (merged.Config.options.D.mode = D.Pruned);
+  check cs "unoverridden program stays from runconfig" "H5-create"
+    merged.Config.program;
+  check ci "unoverridden stripe stays from runconfig" 65536
+    merged.Config.pfs.P.Config.stripe_size
+
+let test_config_merge_validates () =
+  let bad name overrides =
+    match Config.merge Config.default ~overrides with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "%s should have been rejected" name
+  in
+  bad "unknown fs"
+    { Config.no_overrides with Config.o_fs = Some "nope" };
+  bad "unknown program"
+    { Config.no_overrides with Config.o_program = Some "nope" };
+  bad "unknown mode"
+    { Config.no_overrides with Config.o_mode = Some "warp" };
+  bad "unknown model"
+    { Config.no_overrides with Config.o_pfs_model = Some "psychic" };
+  bad "bad fault class"
+    { Config.no_overrides with Config.o_faults = Some "gamma-rays" };
+  bad "jobs < 1" { Config.no_overrides with Config.o_jobs = Some 0 };
+  (* servers are split evenly like the runconfig 'servers' key *)
+  let merged =
+    Result.get_ok
+      (Config.merge Config.default
+         ~overrides:{ Config.no_overrides with Config.o_servers = Some 5 })
+  in
+  check ci "meta servers" 2 merged.Config.pfs.P.Config.n_meta;
+  check ci "storage servers" 3 merged.Config.pfs.P.Config.n_storage
+
+let test_config_programs_and_run () =
+  let all =
+    Result.get_ok
+      (Config.merge Config.default
+         ~overrides:{ Config.no_overrides with Config.o_program = Some "all" })
+  in
+  check cb "'all' expands to the registry" true
+    (Config.programs all = Registry.workload_names);
+  check cb "single program" true (Config.programs Config.default = [ "ARVR" ]);
+  let report, _session = Config.run Config.default "ARVR" in
+  check cs "run executes the requested workload" "ARVR" report.R.workload;
+  check cs "on the configured fs" "beegfs" report.R.fs
+
+let tests =
+  [
+    ("recorder: spans, timers, counters", `Quick, test_recorder_basics);
+    ("noop sink records nothing", `Quick, test_noop_sink_records_nothing);
+    ("span balances on exception", `Quick, test_span_balances_on_exception);
+    ("with_sink restores ambient", `Quick, test_with_sink_restores);
+    ("metrics registry", `Quick, test_metrics_registry);
+    ( "metrics deterministic across jobs (beegfs)",
+      `Quick,
+      test_metrics_deterministic_quick );
+    ( "metrics deterministic across jobs (all fs)",
+      `Slow,
+      test_metrics_deterministic_all );
+    ( "canonical cache counters equal serial measured",
+      `Quick,
+      test_sim_matches_serial_measured );
+    ( "recording does not change the report",
+      `Quick,
+      test_recording_does_not_change_report );
+    ("chrome trace is valid and balanced", `Quick, test_trace_json_valid_and_balanced);
+    ("deadline-partial report keeps metrics", `Quick, test_deadline_partial_keeps_metrics);
+    ("config merge precedence", `Quick, test_config_merge_precedence);
+    ("config merge validation", `Quick, test_config_merge_validates);
+    ("config programs and run", `Quick, test_config_programs_and_run);
+  ]

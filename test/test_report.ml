@@ -161,6 +161,7 @@ let base_report =
     fault = None;
     partial = None;
     check_errors = [];
+    metrics = [ ("states.checked", 20); ("states.inconsistent", 3) ];
   }
 
 let faulted_report =
@@ -183,7 +184,7 @@ let faulted_report =
                 fstates = 4;
               };
             ];
-          rpc = Some { R.drops = 2; duplicates = 3; retries = 2 };
+          rpc = Some { R.drops = 2; duplicates = 3; retries = 2; timeouts = 1 };
         };
     partial = Some { R.deadline_hit = false; budget_hit = true };
     check_errors = [ { R.state = "0x3f"; message = "boom\nline two" } ];
@@ -194,7 +195,7 @@ let faulted_report =
 let test_version_field () =
   let j = parse (R.to_json base_report) in
   check ci "version matches json_version" R.json_version (as_int (field j "version"));
-  check ci "schema is v2" 2 R.json_version
+  check ci "schema is v3" 3 R.json_version
 
 let test_plain_report_round_trip () =
   let j = parse (R.to_json base_report) in
@@ -203,7 +204,26 @@ let test_plain_report_round_trip () =
   check cb "partial null when complete" true (field j "partial" = Null);
   check ci "no check errors" 0 (List.length (as_list (field j "check_errors")));
   check ci "inconsistent" 3 (as_int (field j "inconsistent"));
-  check ci "checked" 20 (as_int (field (field j "states") "checked"))
+  check ci "checked" 20 (as_int (field (field j "states") "checked"));
+  let m = field j "metrics" in
+  check ci "metrics states.checked" 20 (as_int (field m "states.checked"));
+  check ci "metrics states.inconsistent" 3
+    (as_int (field m "states.inconsistent"))
+
+let test_accessors () =
+  check ci "bugs accessor" 0 (List.length (R.bugs base_report));
+  check ci "stats accessor n_checked" 20 (R.stats base_report).R.n_checked;
+  check cb "is_partial false on complete run" false (R.is_partial base_report);
+  check cb "is_partial true when budget hit" true (R.is_partial faulted_report);
+  check cb "metric lookup hit" true
+    (R.metric base_report "states.checked" = Some 20);
+  check cb "metric lookup miss" true (R.metric base_report "nope" = None);
+  check ci "metrics accessor length" 2 (List.length (R.metrics base_report))
+
+let test_empty_metrics_json () =
+  (* an empty metrics list still renders a valid (empty) object *)
+  let j = parse (R.to_json { base_report with R.metrics = [] }) in
+  check cb "empty metrics object" true (field j "metrics" = Obj [])
 
 let test_faulted_report_round_trip () =
   let j = parse (R.to_json faulted_report) in
@@ -216,6 +236,7 @@ let test_faulted_report_round_trip () =
   let rpc = field f "rpc" in
   check ci "rpc drops" 2 (as_int (field rpc "drops"));
   check ci "rpc duplicates" 3 (as_int (field rpc "duplicates"));
+  check ci "rpc timeouts" 1 (as_int (field rpc "timeouts"));
   (match as_list (field f "findings") with
   | [ fd ] ->
       check cs "finding layer" "PFS" (as_str (field fd "layer"));
@@ -260,6 +281,8 @@ let tests =
     ("json: version field", `Quick, test_version_field);
     ("json: plain report round-trips", `Quick, test_plain_report_round_trip);
     ("json: faulted report round-trips", `Quick, test_faulted_report_round_trip);
+    ("stable accessors", `Quick, test_accessors);
+    ("json: empty metrics object", `Quick, test_empty_metrics_json);
     ("summary line shows fault counts", `Quick, test_summary_line_faulted);
     ("pp sections are conditional", `Quick, test_pp_sections_conditional);
   ]
