@@ -13,11 +13,22 @@
                     legal-state generation (scratch vs prefix-shared),
                     state matching (canonical scan vs 128-bit fingerprint)
                     and observability overhead (noop vs recording sink on
-                    the incremental-reconstruct sweep); with --json the
-                    latter cells are appended to BENCH_perf.json under
-                    the "legal_gen" and "obs_overhead" tags
-     --scaling      jobs ∈ {1,2,4} sweep on the largest HDF5 cells
-     --json         also dump the fig10 cells to BENCH_perf.json
+                    the incremental-reconstruct sweep); every cell also
+                    reports Gc minor/major words per run; with --json the
+                    cells land in BENCH_perf.json under the
+                    "micro_phase", "legal_gen" and "obs_overhead" tags
+     --scaling      jobs ∈ {1,2,4,8} sweep on the largest HDF5 cells,
+                    recording the host core count and per-cell Gc
+                    minor/major words (--json: tag "scaling")
+     --gates        ratcheting perf gates: quick micro pass compared to
+                    the committed tag-"gate" baselines in BENCH_perf.json;
+                    fails (exit 1) on >15% wall or >10% minor-allocation
+                    regression; wall & jobs=4 speedup gates are loudly
+                    skipped on single-core hosts
+     --gates-update rewrite the committed gate baselines in place
+     --json         also dump cells to BENCH_perf.json (records are keyed
+                    by (tag, program, fs, mode, jobs); regeneration
+                    replaces matching records in place)
      (no flag: everything except --micro's and --scaling's long runs)
 
    Wall-clock here is the in-memory simulator's; the "modeled" column
@@ -302,28 +313,174 @@ let summary data =
   pr "optimizations preserve bug discovery (per-cell found/not-found agrees): %b@."
     same_bugs
 
-(* --- perf-trajectory JSON dump ---------------------------------------------- *)
+(* --- perf-trajectory JSON store ---------------------------------------------- *)
 
-(* One record per fig10 cell, so successive PRs can diff BENCH_perf.json
-   for regressions in both real and modeled exploration cost. *)
-let write_perf_json data =
-  let file = "BENCH_perf.json" in
-  let oc = open_out file in
-  let add fmt = Printf.fprintf oc fmt in
-  add "[\n";
+(* BENCH_perf.json holds one JSON record per line, keyed by
+   (tag, program, fs, mode, jobs). [append_cells] replaces a cell whose
+   key matches an existing line *in place* — same position in the file,
+   so successive regenerations produce readable diffs — and appends
+   genuinely new keys at the end; records under other keys are kept
+   verbatim. Every producer (fig10, scaling, micro, gate baselines)
+   goes through this one store. *)
+
+let perf_file = "BENCH_perf.json"
+
+type perf_cell = {
+  c_tag : string;
+  c_program : string;
+  c_fs : string;
+  c_mode : string;
+  c_jobs : int;
+  c_extras : (string * string) list;  (* field name -> rendered JSON value *)
+}
+
+let cell_key c = (c.c_tag, c.c_program, c.c_fs, c.c_mode, c.c_jobs)
+
+let render_cell c =
+  let b = Buffer.create 160 in
+  Buffer.add_string b
+    (Printf.sprintf
+       "{ \"tag\": \"%s\", \"program\": \"%s\", \"fs\": \"%s\", \"mode\": \
+        \"%s\", \"jobs\": %d"
+       c.c_tag c.c_program c.c_fs c.c_mode c.c_jobs);
+  List.iter
+    (fun (k, v) -> Buffer.add_string b (Printf.sprintf ", \"%s\": %s" k v))
+    c.c_extras;
+  Buffer.add_string b " }";
+  Buffer.contents b
+
+(* ["field": <value>] out of a one-line record: quoted string or the
+   bare token up to the next comma/brace. Missing fields read as "" so
+   records written before a key field existed still get a stable key. *)
+let json_field line name =
+  match Paracrash_util.Strutil.find_sub line (Printf.sprintf "\"%s\":" name) with
+  | None -> ""
+  | Some i ->
+      let n = String.length line in
+      let j = ref (i + String.length name + 3) in
+      while !j < n && line.[!j] = ' ' do
+        incr j
+      done;
+      if !j >= n then ""
+      else if line.[!j] = '"' then begin
+        let k = ref (!j + 1) in
+        while !k < n && line.[!k] <> '"' do
+          incr k
+        done;
+        String.sub line (!j + 1) (!k - !j - 1)
+      end
+      else begin
+        let k = ref !j in
+        while !k < n && line.[!k] <> ',' && line.[!k] <> '}' do
+          incr k
+        done;
+        String.trim (String.sub line !j (!k - !j))
+      end
+
+let line_key line =
+  ( (* records predating the tag field are all fig10 cells *)
+    (match json_field line "tag" with "" -> "fig10" | t -> t),
+    json_field line "program",
+    json_field line "fs",
+    json_field line "mode",
+    match int_of_string_opt (json_field line "jobs") with
+    | Some j -> j
+    | None -> 0 )
+
+let read_perf_lines () =
+  if not (Sys.file_exists perf_file) then []
+  else begin
+    let ic = open_in perf_file in
+    let lines = ref [] in
+    (try
+       while true do
+         lines := input_line ic :: !lines
+       done
+     with End_of_file -> ());
+    close_in ic;
+    let is_record l =
+      let t = String.trim l in
+      t <> "" && t <> "[" && t <> "]"
+    in
+    let strip_comma l =
+      let t = String.trim l in
+      if String.length t > 0 && t.[String.length t - 1] = ',' then
+        String.sub t 0 (String.length t - 1)
+      else t
+    in
+    List.rev !lines |> List.filter is_record |> List.map strip_comma
+  end
+
+let append_cells cells =
+  let existing = read_perf_lines () in
+  let fresh = ref cells in
+  let take_match key =
+    match List.partition (fun c -> cell_key c = key) !fresh with
+    | c :: _, rest ->
+        fresh := rest;
+        Some c
+    | [], _ -> None
+  in
+  let replaced =
+    List.map
+      (fun line ->
+        match take_match (line_key line) with
+        | Some c -> render_cell c
+        | None -> line)
+      existing
+  in
+  let out = replaced @ List.map render_cell !fresh in
+  let oc = open_out perf_file in
+  output_string oc "[\n";
   List.iteri
-    (fun i c ->
-      add
-        "  { \"program\": \"%s\", \"fs\": \"%s\", \"mode\": \"%s\", \
-         \"jobs\": %d, \"wall_seconds\": %.6f, \"modeled_seconds\": %.3f, \
-         \"n_checked\": %d, \"restarts\": %d, \"speedup\": %.3f }%s\n"
-        c.f_program c.f_fs c.f_mode c.f_jobs c.f_wall c.f_modeled c.f_states
-        c.f_restarts c.f_speedup
-        (if i = List.length data - 1 then "" else ","))
-    data;
-  add "]\n";
+    (fun i l ->
+      Printf.fprintf oc "  %s%s\n" l
+        (if i = List.length out - 1 then "" else ","))
+    out;
+  output_string oc "]\n";
   close_out oc;
-  pr "wrote %d cells to %s@." (List.length data) file
+  pr "updated %s: %d cells (%d new)@." perf_file (List.length out)
+    (List.length !fresh)
+
+let fig10_cells data =
+  List.map
+    (fun c ->
+      {
+        c_tag = "fig10";
+        c_program = c.f_program;
+        c_fs = c.f_fs;
+        c_mode = c.f_mode;
+        c_jobs = c.f_jobs;
+        c_extras =
+          [
+            ("wall_seconds", Printf.sprintf "%.6f" c.f_wall);
+            ("modeled_seconds", Printf.sprintf "%.3f" c.f_modeled);
+            ("n_checked", string_of_int c.f_states);
+            ("restarts", string_of_int c.f_restarts);
+            ("speedup", Printf.sprintf "%.3f" c.f_speedup);
+          ];
+      })
+    data
+
+let write_perf_json data = append_cells (fig10_cells data)
+
+(* allocation-diet telemetry: minor/major words allocated by one run of
+   [f], after a warm-up run so one-time lazies and table growth don't
+   pollute the delta. These paths are deterministic, so the minor
+   column is stable enough to gate on. On OCaml 5 the global counters
+   read by [quick_stat] are only updated when a domain flushes at a
+   minor collection (or terminates), so a minor collection is forced
+   before each sample: the deltas are then exact, and include worker
+   domains joined inside [f]. *)
+let words_per_run f =
+  ignore (Sys.opaque_identity (f ()));
+  Gc.full_major ();
+  let s0 = Gc.quick_stat () in
+  ignore (Sys.opaque_identity (f ()));
+  Gc.minor ();
+  let s1 = Gc.quick_stat () in
+  ( s1.Gc.minor_words -. s0.Gc.minor_words,
+    s1.Gc.major_words -. s0.Gc.major_words )
 
 (* --- Figure 11 ------------------------------------------------------------- *)
 
@@ -367,34 +524,70 @@ let fig11 () =
 (* Jobs sweep on the two largest HDF5 cells. Wall-clock speedup is
    bounded by the host's core count (on a single-core container every
    ratio is ~1.0); the point of the sweep is that the bug tables and
-   state counts never move with the job count. *)
+   state counts never move with the job count, and — since the
+   allocation diet — that the minor-words column shrinks and stays
+   flat across job counts. Each cell records the host's
+   recommended_domain_count so a reader of BENCH_perf.json can tell a
+   saturated 1-core sweep from a real one. *)
+let scaling_jobs = [ 1; 2; 4; 8 ]
+
 let scaling () =
+  let cores = Domain.recommended_domain_count () in
   section
-    "Scheduler scaling: optimized exploration with jobs ∈ {1, 2, 4} on the \
-     two largest HDF5 cells (beegfs)";
+    (Printf.sprintf
+       "Scheduler scaling: optimized exploration with jobs ∈ {1, 2, 4, 8} on \
+        the two largest HDF5 cells (beegfs); host reports %d core(s)"
+       cores);
   let beegfs = Option.get (Registry.find_fs "beegfs") in
-  pr "%-20s %6s %10s %10s %10s %8s %6s@." "program" "jobs" "wall" "speedup"
-    "restarts" "checked" "bugs";
+  pr "%-20s %6s %10s %10s %10s %8s %6s %6s %14s@." "program" "jobs" "wall"
+    "speedup" "restarts" "checked" "bugs" "cores" "minor-words";
+  let cells = ref [] in
   List.iter
     (fun pname ->
       let spec = Option.get (Registry.find_workload pname) in
       let base = ref 0. in
       List.iter
         (fun jobs ->
-          let report = run_cell ~mode:D.Optimized ~jobs beegfs spec in
+          let report = ref None in
+          let minor_w, major_w =
+            words_per_run (fun () ->
+                report := Some (run_cell ~mode:D.Optimized ~jobs beegfs spec))
+          in
+          let report = Option.get !report in
           let perf = R.stats report in
           let wall = perf.R.wall_seconds in
           if jobs = 1 then base := wall;
-          pr "%-20s %6d %9.3fs %9.2fx %10d %8d %6d@." pname jobs wall
-            (if wall > 0. then !base /. wall else 1.0)
-            perf.R.restarts perf.R.n_checked
-            (List.length (R.bugs report)))
-        [ 1; 2; 4 ])
+          let speedup = if wall > 0. then !base /. wall else 1.0 in
+          pr "%-20s %6d %9.3fs %9.2fx %10d %8d %6d %6d %14.0f@." pname jobs
+            wall speedup perf.R.restarts perf.R.n_checked
+            (List.length (R.bugs report))
+            cores minor_w;
+          cells :=
+            {
+              c_tag = "scaling";
+              c_program = pname;
+              c_fs = "beegfs";
+              c_mode = "optimized";
+              c_jobs = jobs;
+              c_extras =
+                [
+                  ("wall_seconds", Printf.sprintf "%.6f" wall);
+                  ("speedup", Printf.sprintf "%.3f" speedup);
+                  ("cores", string_of_int cores);
+                  ("n_checked", string_of_int perf.R.n_checked);
+                  ("restarts", string_of_int perf.R.restarts);
+                  ("minor_words", Printf.sprintf "%.0f" minor_w);
+                  ("major_words", Printf.sprintf "%.0f" major_w);
+                ];
+            }
+            :: !cells)
+        scaling_jobs)
     [ "H5-parallel-create"; "H5-parallel-resize" ];
   pr
     "@.Speedup is wall-clock only: the reduce stage replays every \
      order-dependent decision sequentially, so bugs, checked/pruned counts \
-     and verdicts are identical across job counts by construction.@."
+     and verdicts are identical across job counts by construction.@.";
+  List.rev !cells
 
 (* --- sensitivity (Table 3 last column) -------------------------------------- *)
 
@@ -516,62 +709,24 @@ let faults () =
 
 (* --- bechamel microbenchmarks ------------------------------------------------ *)
 
-(* Append tagged micro cells to BENCH_perf.json without disturbing the
-   fig10 records: previous lines with the same tag are replaced,
-   everything else is kept verbatim (the file is one record per line by
-   construction, see write_perf_json). *)
-let append_tagged_json ~tag cells =
-  let file = "BENCH_perf.json" in
-  let existing =
-    if not (Sys.file_exists file) then []
-    else begin
-      let ic = open_in file in
-      let lines = ref [] in
-      (try
-         while true do
-           lines := input_line ic :: !lines
-         done
-       with End_of_file -> ());
-      close_in ic;
-      List.rev !lines
-    end
-  in
-  let is_record l =
-    let t = String.trim l in
-    t <> "" && t <> "[" && t <> "]"
-  in
-  let strip_comma l =
-    let t = String.trim l in
-    if String.length t > 0 && t.[String.length t - 1] = ',' then
-      String.sub t 0 (String.length t - 1)
-    else t
-  in
-  let kept =
-    existing
-    |> List.filter (fun l ->
-           is_record l
-           && not
-                (Paracrash_util.Strutil.contains_sub l
-                   (Printf.sprintf "\"tag\": \"%s\"" tag)))
-    |> List.map strip_comma
-  in
-  let fresh =
-    List.map
-      (fun (name, ns) ->
-        Printf.sprintf "{ \"tag\": \"%s\", \"name\": \"%s\", \"ns_per_run\": %.1f }"
-          tag name ns)
-      cells
-  in
-  let oc = open_out file in
-  output_string oc "[\n";
-  List.iteri
-    (fun i l ->
-      Printf.fprintf oc "  %s%s\n" l
-        (if i = List.length (kept @ fresh) - 1 then "" else ","))
-    (kept @ fresh);
-  output_string oc "]\n";
-  close_out oc;
-  pr "appended %d %s cells to %s@." (List.length fresh) tag file
+(* Micro cells land in the unified store keyed by (tag, cell name):
+   ns_per_run from bechamel, minor/major words per run from
+   [words_per_run] — the allocation column is what the ci.sh gates
+   ratchet on, since it is deterministic where wall time is not. *)
+let micro_cell ~tag (name, ns, minor_w, major_w) =
+  {
+    c_tag = tag;
+    c_program = name;
+    c_fs = "beegfs";
+    c_mode = "-";
+    c_jobs = 1;
+    c_extras =
+      [
+        ("ns_per_run", Printf.sprintf "%.1f" ns);
+        ("minor_words", Printf.sprintf "%.0f" minor_w);
+        ("major_words", Printf.sprintf "%.0f" major_w);
+      ];
+  }
 
 let session_for spec_name fs_name =
   let fs = Option.get (Registry.find_fs fs_name) in
@@ -596,52 +751,59 @@ let micro () =
   let some_state = List.nth states (List.length states / 2) in
   let ordered = Paracrash_core.Tsp.order prepared states in
   let pfs_legal = Paracrash_core.Checker.pfs_legal_states prepared Model.Causal in
-  let tests =
+  let specs =
     [
-      Test.make ~name:"fig8 cell: full ARVR/BeeGFS run (pruned)"
-        (Staged.stage (fun () -> ignore (run_cell beegfs W.Posix.arvr)));
-      Test.make ~name:"table3 row: direct scenario probe (row 2)"
-        (Staged.stage (fun () ->
-             let row = List.find (fun (r : Table3.row) -> r.Table3.no = 2) Table3.rows in
-             ignore (Table3.verify_row row beegfs)));
-      Test.make ~name:"fig10 phase: causality graph construction"
-        (Staged.stage (fun () ->
-             ignore (Paracrash_trace.Tracer.graph prepared.Paracrash_core.Session.tracer)));
-      Test.make ~name:"fig10 phase: persists-before relation (Alg. 2)"
-        (Staged.stage (fun () -> ignore (Paracrash_core.Persist.build prepared)));
-      Test.make ~name:"fig10 phase: crash-state generation (Alg. 1)"
-        (Staged.stage (fun () ->
-             ignore (Paracrash_core.Explore.generate ~k:1 prepared ~persist)));
-      Test.make ~name:"fig10 phase: reconstruct+recover+check one state"
-        (Staged.stage (fun () ->
-             ignore
-               (Paracrash_core.Checker.check prepared ~pfs_legal
-                  some_state.Paracrash_core.Explore.persisted)));
-      Test.make ~name:"fig11 phase: TSP visit ordering"
-        (Staged.stage (fun () -> ignore (Paracrash_core.Tsp.order prepared states)));
-      Test.make ~name:"reconstruct all states: from scratch"
-        (Staged.stage (fun () ->
-             List.iter
-               (fun (st : Paracrash_core.Explore.state) ->
-                 ignore (Paracrash_core.Emulator.reconstruct prepared st.persisted))
-               ordered));
-      Test.make ~name:"reconstruct all states: incremental (per-server cache)"
-        (Staged.stage (fun () ->
-             let cache = Paracrash_core.Emulator.create_cache prepared in
-             List.iter
-               (fun (st : Paracrash_core.Explore.state) ->
-                 ignore
-                   (Paracrash_core.Emulator.reconstruct_cached cache prepared
-                      st.persisted))
-               ordered));
+      ( "fig8 cell: full ARVR/BeeGFS run (pruned)",
+        fun () -> ignore (run_cell beegfs W.Posix.arvr) );
+      ( "table3 row: direct scenario probe (row 2)",
+        fun () ->
+          let row =
+            List.find (fun (r : Table3.row) -> r.Table3.no = 2) Table3.rows
+          in
+          ignore (Table3.verify_row row beegfs) );
+      ( "fig10 phase: causality graph construction",
+        fun () ->
+          ignore
+            (Paracrash_trace.Tracer.graph prepared.Paracrash_core.Session.tracer)
+      );
+      ( "fig10 phase: persists-before relation (Alg. 2)",
+        fun () -> ignore (Paracrash_core.Persist.build prepared) );
+      ( "fig10 phase: crash-state generation (Alg. 1)",
+        fun () -> ignore (Paracrash_core.Explore.generate ~k:1 prepared ~persist)
+      );
+      ( "fig10 phase: reconstruct+recover+check one state",
+        fun () ->
+          ignore
+            (Paracrash_core.Checker.check prepared ~pfs_legal
+               some_state.Paracrash_core.Explore.persisted) );
+      ( "fig11 phase: TSP visit ordering",
+        fun () -> ignore (Paracrash_core.Tsp.order prepared states) );
+      ( "reconstruct all states: from scratch",
+        fun () ->
+          List.iter
+            (fun (st : Paracrash_core.Explore.state) ->
+              ignore (Paracrash_core.Emulator.reconstruct prepared st.persisted))
+            ordered );
+      ( "reconstruct all states: incremental (per-server cache)",
+        fun () ->
+          let cache = Paracrash_core.Emulator.create_cache prepared in
+          List.iter
+            (fun (st : Paracrash_core.Explore.state) ->
+              ignore
+                (Paracrash_core.Emulator.reconstruct_cached cache prepared
+                   st.persisted))
+            ordered );
     ]
   in
   let instance = Toolkit.Instance.monotonic_clock in
   let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) ~kde:(Some 100) () in
   let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
-  let measure tests =
+  (* each spec is measured twice: bechamel for ns/run, then one
+     instrumented run for the per-run allocation columns *)
+  let measure specs =
     List.concat_map
-      (fun test ->
+      (fun (name, fn) ->
+        let test = Test.make ~name (Staged.stage fn) in
         List.map
           (fun elt ->
             let raw = Benchmark.run cfg [ instance ] elt in
@@ -649,12 +811,14 @@ let micro () =
             let est =
               match Analyze.OLS.estimates result with Some [ e ] -> e | _ -> nan
             in
-            pr "%-50s %14.1f ns/run@." (Test.Elt.name elt) est;
-            (Test.Elt.name elt, est))
+            let minor_w, major_w = words_per_run fn in
+            pr "%-50s %14.1f ns/run %14.0f minor-words/run@." (Test.Elt.name elt)
+              est minor_w;
+            (Test.Elt.name elt, est, minor_w, major_w))
           (Test.elements test))
-      tests
+      specs
   in
-  let phase_cells = measure tests in
+  let phase_cells = measure specs in
   (* legal-state generation and state matching: the scratch/scan cells
      are the pre-digest code paths (kept as oracles in Checker/Legal),
      the shared/digest cells the content-addressed ones. H5-create has
@@ -680,27 +844,27 @@ let micro () =
      that is what the match cells isolate *)
   let h5_canons = List.map Paracrash_pfs.Logical.canonical h5_views in
   let h5_fps = List.map Paracrash_pfs.Logical.fingerprint h5_views in
-  let legal_tests =
+  let legal_specs =
     [
-      Test.make ~name:"legal-state generation: scratch replay per set"
-        (Staged.stage (fun () ->
-             ignore (Paracrash_core.Checker.pfs_legal_states_scratch h5 Model.Causal)));
-      Test.make ~name:"legal-state generation: prefix-shared replay"
-        (Staged.stage (fun () ->
-             ignore (Paracrash_core.Checker.pfs_legal_states h5 Model.Causal)));
-      Test.make ~name:"state match: linear scan over canonicals"
-        (Staged.stage (fun () ->
-             List.iter
-               (fun c -> ignore (Paracrash_core.Legal.mem_scan h5_legal c))
-               h5_canons));
-      Test.make ~name:"state match: 128-bit fingerprint lookup"
-        (Staged.stage (fun () ->
-             List.iter
-               (fun fp -> ignore (Paracrash_core.Legal.mem h5_legal fp))
-               h5_fps));
+      ( "legal-state generation: scratch replay per set",
+        fun () ->
+          ignore (Paracrash_core.Checker.pfs_legal_states_scratch h5 Model.Causal)
+      );
+      ( "legal-state generation: prefix-shared replay",
+        fun () -> ignore (Paracrash_core.Checker.pfs_legal_states h5 Model.Causal)
+      );
+      ( "state match: linear scan over canonicals",
+        fun () ->
+          List.iter
+            (fun c -> ignore (Paracrash_core.Legal.mem_scan h5_legal c))
+            h5_canons );
+      ( "state match: 128-bit fingerprint lookup",
+        fun () ->
+          List.iter (fun fp -> ignore (Paracrash_core.Legal.mem h5_legal fp)) h5_fps
+      );
     ]
   in
-  let legal_cells = measure legal_tests in
+  let legal_cells = measure legal_specs in
   (* observability overhead on the hottest instrumented path: the
      incremental reconstruct sweep runs one Obs.timed probe per state.
      With the default noop sink a probe is an atomic load and a branch
@@ -717,29 +881,227 @@ let micro () =
         ignore (Paracrash_core.Emulator.reconstruct_cached cache prepared st.persisted))
       ordered
   in
-  let obs_tests =
+  let obs_specs =
     [
-      Test.make ~name:"reconstruct sweep: obs off (noop sink)"
-        (Staged.stage reconstruct_sweep);
-      Test.make ~name:"reconstruct sweep: obs on (recording sink)"
-        (Staged.stage (fun () ->
-             Obs.with_sink (Obs.recorder ()) reconstruct_sweep));
+      ("reconstruct sweep: obs off (noop sink)", reconstruct_sweep);
+      ( "reconstruct sweep: obs on (recording sink)",
+        fun () -> Obs.with_sink (Obs.recorder ()) reconstruct_sweep );
     ]
   in
-  let obs_cells = measure obs_tests in
+  let obs_cells = measure obs_specs in
   (match obs_cells with
-  | [ (_, off); (_, on_) ] when off > 0. ->
+  | [ (_, off, _, _); (_, on_, _, _) ] when off > 0. ->
       (match
-         List.assoc_opt "reconstruct all states: incremental (per-server cache)"
+         List.find_opt
+           (fun (n, _, _, _) ->
+             n = "reconstruct all states: incremental (per-server cache)")
            phase_cells
        with
-      | Some base when base > 0. ->
+      | Some (_, base, _, _) when base > 0. ->
           pr "noop sink vs same sweep measured earlier: %+.1f%% (noise bound)@."
             ((off -. base) /. base *. 100.)
       | _ -> ());
       pr "recording sink over noop sink: %+.1f%%@." ((on_ -. off) /. off *. 100.)
   | _ -> ());
-  (legal_cells, obs_cells)
+  List.map (micro_cell ~tag:"micro_phase") phase_cells
+  @ List.map (micro_cell ~tag:"legal_gen") legal_cells
+  @ List.map (micro_cell ~tag:"obs_overhead") obs_cells
+
+(* --- ratcheting perf gates ---------------------------------------------------- *)
+
+(* ci.sh --gates: a quick micro pass over the hottest serial paths,
+   compared against the gate baselines committed in BENCH_perf.json
+   (tag "gate", written by --gates-update). Two ratchets:
+
+     wall: fresh best-of-5 > 1.15x the committed ns_per_run  -> FAIL
+     alloc: fresh minor words > 1.10x the committed column   -> FAIL
+
+   The allocation ratchet is enforced everywhere — per-run minor words
+   are deterministic on these paths, so a regression is a real code
+   change, not scheduler noise. The wall ratchet (and the jobs=4
+   speedup floor) need a multi-core host with stable clocks; on a
+   1-core container they are skipped with a loud notice rather than
+   producing flaky reds. *)
+
+let gate_wall_slack = 1.15
+let gate_alloc_slack = 1.10
+let gate_speedup_floor = 1.5
+let gate_speedup_program = "H5-parallel-create"
+
+let best_wall_ns f =
+  ignore (Sys.opaque_identity (f ()));
+  let best = ref infinity in
+  for _ = 1 to 5 do
+    let t0 = Unix.gettimeofday () in
+    ignore (Sys.opaque_identity (f ()));
+    let dt = (Unix.gettimeofday () -. t0) *. 1e9 in
+    if dt < !best then best := dt
+  done;
+  !best
+
+let gate_specs () =
+  let prepared = session_for "ARVR" "beegfs" in
+  let persist = Paracrash_core.Persist.build prepared in
+  let states, _ = Paracrash_core.Explore.generate ~k:1 prepared ~persist in
+  let ordered = Paracrash_core.Tsp.order prepared states in
+  let pfs_legal = Paracrash_core.Checker.pfs_legal_states prepared Model.Causal in
+  let some_state = List.nth states (List.length states / 2) in
+  [
+    ( "incremental reconstruct sweep (ARVR/beegfs)",
+      fun () ->
+        let cache = Paracrash_core.Emulator.create_cache prepared in
+        List.iter
+          (fun (st : Paracrash_core.Explore.state) ->
+            ignore
+              (Paracrash_core.Emulator.reconstruct_cached cache prepared
+                 st.persisted))
+          ordered );
+    ( "reconstruct+recover+check one state (ARVR/beegfs)",
+      fun () ->
+        ignore
+          (Paracrash_core.Checker.check prepared ~pfs_legal
+             some_state.Paracrash_core.Explore.persisted) );
+    ( "legal-state generation: prefix-shared replay (ARVR/beegfs)",
+      fun () -> ignore (Paracrash_core.Checker.pfs_legal_states prepared Model.Causal)
+    );
+  ]
+
+let measure_gate_speedup () =
+  let beegfs = Option.get (Registry.find_fs "beegfs") in
+  let spec = Option.get (Registry.find_workload gate_speedup_program) in
+  let wall jobs =
+    (R.stats (run_cell ~mode:D.Optimized ~jobs beegfs spec)).R.wall_seconds
+  in
+  let w1 = wall 1 in
+  let w4 = wall 4 in
+  if w4 > 0. then w1 /. w4 else 1.0
+
+let gate_baselines () =
+  read_perf_lines ()
+  |> List.filter (fun l -> json_field l "tag" = "gate")
+  |> List.map (fun l ->
+         ( json_field l "program",
+           float_of_string_opt (json_field l "ns_per_run"),
+           float_of_string_opt (json_field l "minor_words") ))
+
+let gates ~update () =
+  let cores = Domain.recommended_domain_count () in
+  section
+    (Printf.sprintf
+       "Perf gates: quick micro pass vs committed BENCH_perf.json baselines \
+        (wall > +%.0f%%, minor alloc > +%.0f%% fail; host reports %d core(s))"
+       ((gate_wall_slack -. 1.) *. 100.)
+       ((gate_alloc_slack -. 1.) *. 100.)
+       cores);
+  let fresh =
+    List.map
+      (fun (name, fn) ->
+        let ns = best_wall_ns fn in
+        let minor_w, major_w = words_per_run fn in
+        pr "%-55s %12.0f ns %12.0f minor-words@." name ns minor_w;
+        (name, ns, minor_w, major_w))
+      (gate_specs ())
+  in
+  let speedup = if cores >= 4 then Some (measure_gate_speedup ()) else None in
+  (match speedup with
+  | Some s ->
+      pr "%-55s %11.2fx (%s, jobs=4 vs jobs=1)@." "parallel wall speedup" s
+        gate_speedup_program
+  | None -> ());
+  if update then begin
+    let cells =
+      List.map
+        (fun (name, ns, minor_w, major_w) ->
+          {
+            c_tag = "gate";
+            c_program = name;
+            c_fs = "beegfs";
+            c_mode = "-";
+            c_jobs = 1;
+            c_extras =
+              [
+                ("ns_per_run", Printf.sprintf "%.1f" ns);
+                ("minor_words", Printf.sprintf "%.0f" minor_w);
+                ("major_words", Printf.sprintf "%.0f" major_w);
+                ("cores", string_of_int cores);
+              ];
+          })
+        fresh
+      @
+      match speedup with
+      | Some s ->
+          [
+            {
+              c_tag = "gate";
+              c_program = "parallel wall speedup";
+              c_fs = "beegfs";
+              c_mode = "optimized";
+              c_jobs = 4;
+              c_extras =
+                [
+                  ("speedup", Printf.sprintf "%.3f" s);
+                  ("cores", string_of_int cores);
+                ];
+            };
+          ]
+      | None -> []
+    in
+    append_cells cells;
+    pr "gate baselines updated (host: %d cores)@." cores
+  end
+  else begin
+    let baselines = gate_baselines () in
+    let failures = ref [] in
+    let fail fmt = Printf.ksprintf (fun m -> failures := m :: !failures) fmt in
+    let wall_gated = cores > 1 in
+    List.iter
+      (fun (name, ns, minor_w, _) ->
+        match
+          List.find_opt (fun (n, _, _) -> n = name) baselines
+        with
+        | None ->
+            pr "!! no committed baseline for %S — run bench --gates-update@."
+              name
+        | Some (_, base_ns, base_minor) ->
+            (match base_minor with
+            | Some b when b > 0. && minor_w > (b *. gate_alloc_slack) +. 64. ->
+                fail "%s: minor allocation %.0f words > %.0f (committed %.0f +%.0f%%)"
+                  name minor_w
+                  ((b *. gate_alloc_slack) +. 64.)
+                  b
+                  ((gate_alloc_slack -. 1.) *. 100.)
+            | _ -> ());
+            (match base_ns with
+            | Some b when wall_gated && b > 0. && ns > b *. gate_wall_slack ->
+                fail "%s: wall %.0f ns > %.0f (committed %.0f +%.0f%%)" name ns
+                  (b *. gate_wall_slack) b
+                  ((gate_wall_slack -. 1.) *. 100.)
+            | _ -> ()))
+      fresh;
+    (match speedup with
+    | Some s when s < gate_speedup_floor ->
+        fail "parallel wall speedup %.2fx < %.1fx floor (%s, jobs=4, %d cores)"
+          s gate_speedup_floor gate_speedup_program cores
+    | _ -> ());
+    if not wall_gated then
+      pr
+        "@.!! GATES PARTIALLY SKIPPED: this host reports %d core(s); \
+         wall-clock and jobs=4 speedup gates need a multi-core host and \
+         were NOT enforced. Allocation gates were enforced.@."
+        cores
+    else if speedup = None then
+      pr
+        "@.!! SPEEDUP GATE SKIPPED: jobs=4 speedup floor needs >= 4 cores \
+         (host reports %d).@."
+        cores;
+    match !failures with
+    | [] ->
+        pr "@.perf gates: PASS (%d cells checked)@." (List.length fresh)
+    | fs ->
+        List.iter (fun m -> pr "GATE FAIL: %s@." m) (List.rev fs);
+        pr "@.perf gates: FAIL (%d regression(s))@." (List.length fs);
+        exit 1
+  end
 
 (* --- main --------------------------------------------------------------------- *)
 
@@ -760,12 +1122,14 @@ let () =
   if all || has "--fig11" then fig11 ();
   if all || has "--faults" then faults ();
   if all || has "--sensitivity" then sensitivity ();
-  if has "--scaling" then scaling ();
-  if has "--micro" then begin
-    let legal_cells, obs_cells = micro () in
-    if has "--json" then begin
-      append_tagged_json ~tag:"legal_gen" legal_cells;
-      append_tagged_json ~tag:"obs_overhead" obs_cells
-    end
+  if has "--scaling" then begin
+    let cells = scaling () in
+    if has "--json" then append_cells cells
   end;
+  if has "--micro" then begin
+    let cells = micro () in
+    if has "--json" then append_cells cells
+  end;
+  if has "--gates-update" then gates ~update:true ()
+  else if has "--gates" then gates ~update:false ();
   pr "@.done.@."

@@ -6,6 +6,14 @@
 #                    scheduler-determinism matrix) + a digest-determinism
 #                    smoke: the same run twice must render identical JSON
 #                    (content-addressed state matching is deterministic)
+#   ./ci.sh --gates  build + ratcheting perf gates: a quick micro pass
+#                    compared against the committed tag-"gate" baselines
+#                    in BENCH_perf.json; fails on >15% wall or >10%
+#                    minor-allocation regression. Wall & speedup gates
+#                    are loudly skipped on single-core hosts (the
+#                    allocation ratchet is enforced everywhere).
+#                    Refresh baselines with:
+#                      dune exec bench/main.exe -- --gates-update
 #
 # Formatting is checked with `dune build @fmt` only when ocamlformat is
 # installed; environments without it skip the gate rather than fail.
@@ -15,6 +23,13 @@ cd "$(dirname "$0")"
 
 echo "== dune build =="
 dune build
+
+if [ "${1:-}" = "--gates" ]; then
+    echo "== perf gates =="
+    dune exec bench/main.exe -- --gates
+    echo "ci: OK (gates)"
+    exit 0
+fi
 
 echo "== dune runtest =="
 if [ "${1:-}" = "--quick" ]; then

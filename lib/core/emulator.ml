@@ -94,17 +94,30 @@ let reconstruct ?transform (s : Session.t) persisted =
 
 (* --- incremental reconstruction ----------------------------------------- *)
 
+(* The cache is deliberately allocation-free on its hit path: millions
+   of TSP-ordered states reduce to "did any server's persisted subset
+   change?", and answering that must not churn the minor heap. Keys
+   live as rows of one flat SoA word array ([Bitset.Pack]) compared and
+   overwritten in place; the composed per-server image map and the
+   merged anomaly list are maintained incrementally and only rebuilt
+   when a server actually restarts. A fully-hit state allocates
+   nothing beyond the result tuple. *)
+
 type server_entry = {
   mask : Bitset.t;
   img0 : Images.image;
-  mutable last_key : Bitset.t option;  (* persisted ∩ mask of last replay *)
+  mutable has_key : bool;  (* the pack row holds a replayed key *)
   mutable last_img : Images.image;
   mutable last_anomalies : (int * string) list;
 }
 
 type cache = {
-  servers : (string * server_entry) list;  (* in initial-image order *)
+  servers : (string * server_entry) array;  (* in initial-image order *)
+  keys : Bitset.Pack.pack;  (* row i = persisted ∩ mask of server i's last replay *)
   covered : Bitset.t;  (* union of masks of servers with an image *)
+  mutable composed : Images.t;
+      (* initial images overlaid with every server's last_img *)
+  mutable merged : string list;  (* merge_anomalies of current last_anomalies *)
   mutable misses : int;
   mutable hits : int;
 }
@@ -113,63 +126,76 @@ let create_cache (s : Session.t) =
   let masks = proc_masks s in
   let n = Array.length s.storage_events in
   let servers =
-    List.map
-      (fun (proc, img0) ->
-        let mask =
-          match List.assoc_opt proc masks with
-          | Some m -> m
-          | None -> Bitset.create n
-        in
-        ( proc,
-          {
-            mask;
-            img0;
-            last_key = None;
-            last_img = img0;
-            last_anomalies = [];
-          } ))
-      (Images.bindings s.initial)
+    Array.of_list
+      (List.map
+         (fun (proc, img0) ->
+           let mask =
+             match List.assoc_opt proc masks with
+             | Some m -> m
+             | None -> Bitset.create n
+           in
+           ( proc,
+             { mask; img0; has_key = false; last_img = img0; last_anomalies = [] }
+           ))
+         (Images.bindings s.initial))
   in
   let covered =
-    List.fold_left
+    Array.fold_left
       (fun acc (_, e) -> Bitset.union acc e.mask)
       (Bitset.create n) servers
   in
-  { servers; covered; misses = 0; hits = 0 }
+  {
+    servers;
+    keys = Bitset.Pack.create ~cap:n ~rows:(Array.length servers);
+    covered;
+    composed = s.initial;
+    merged = [];
+    misses = 0;
+    hits = 0;
+  }
 
 let cache_misses c = c.misses
 let cache_hits c = c.hits
 
 let reconstruct_cached (c : cache) (s : Session.t) persisted =
   Paracrash_obs.Obs.timed "emulator.reconstruct_cached" @@ fun () ->
-  (match Bitset.elements (Bitset.diff persisted c.covered) with
-  | [] -> ()
-  | i :: _ ->
-      let e = Session.storage_event s i in
-      invalid_arg ("Emulator: no initial image for " ^ e.Event.proc));
-  let images = ref s.initial in
-  let anomalies = ref [] in
-  List.iter
-    (fun (proc, entry) ->
-      let key = Bitset.inter persisted entry.mask in
-      (match entry.last_key with
-      | Some prev when Bitset.equal prev key -> c.hits <- c.hits + 1
-      | _ ->
-          (* only this server restarts: rebuild its image from the
-             initial snapshot, leaving every other server untouched *)
-          c.misses <- c.misses + 1;
-          let img, anoms =
-            if Bitset.is_empty key then (entry.img0, [])
-            else replay_image s entry.img0 key
-          in
-          entry.last_key <- Some key;
-          entry.last_img <- img;
-          entry.last_anomalies <- anoms);
-      images := Images.add !images proc entry.last_img;
-      if entry.last_anomalies <> [] then
-        anomalies := entry.last_anomalies :: !anomalies)
-    c.servers;
-  (!images, merge_anomalies !anomalies)
+  if not (Bitset.subset persisted c.covered) then (
+    match Bitset.elements (Bitset.diff persisted c.covered) with
+    | i :: _ ->
+        let e = Session.storage_event s i in
+        invalid_arg ("Emulator: no initial image for " ^ e.Event.proc)
+    | [] -> assert false);
+  let misses0 = c.misses in
+  for i = 0 to Array.length c.servers - 1 do
+    let proc, entry = c.servers.(i) in
+    if entry.has_key && Bitset.Pack.row_equals_inter c.keys i persisted entry.mask
+    then c.hits <- c.hits + 1
+    else begin
+      (* only this server restarts: rebuild its image from the
+         initial snapshot, leaving every other server untouched *)
+      c.misses <- c.misses + 1;
+      Bitset.Pack.inter_into c.keys i persisted entry.mask;
+      entry.has_key <- true;
+      let img, anoms =
+        if Bitset.Pack.row_is_empty c.keys i then (entry.img0, [])
+        else replay_image s entry.img0 (Bitset.Pack.get c.keys i)
+      in
+      entry.last_img <- img;
+      entry.last_anomalies <- anoms;
+      c.composed <- Images.add c.composed proc img
+    end
+  done;
+  (* something replayed: refresh the merged anomaly list (a miss already
+     paid for a replay, so the rebuild is noise there; hit-only states
+     reuse the previous list untouched) *)
+  if c.misses > misses0 then
+    c.merged <-
+      merge_anomalies
+        (Array.fold_left
+           (fun acc (_, e) ->
+             if e.last_anomalies = [] then acc else e.last_anomalies :: acc)
+           [] c.servers);
+  (c.composed, c.merged)
 
 (* --- cache-key simulation ------------------------------------------------- *)
 
@@ -181,10 +207,12 @@ let reconstruct_cached (c : cache) (s : Session.t) persisted =
    parallel schedulers' *measured* per-domain misses (shard-boundary
    cold starts, speculative checks) stay in the perf section. *)
 
-type sim_entry = { sim_mask : Bitset.t; mutable sim_last : Bitset.t option }
-
+(* Same SoA discipline as the real cache: the simulation runs once per
+   reduced state, so its key comparisons must not allocate either. *)
 type sim = {
-  sim_servers : sim_entry list;
+  sim_masks : Bitset.t array;
+  sim_keys : Bitset.Pack.pack;
+  sim_has_key : bool array;
   mutable sim_hits : int;
   mutable sim_misses : int;
 }
@@ -192,29 +220,36 @@ type sim = {
 let sim_create (s : Session.t) =
   let masks = proc_masks s in
   let n = Array.length s.storage_events in
-  let sim_servers =
-    List.map
-      (fun (proc, _) ->
-        let sim_mask =
-          match List.assoc_opt proc masks with
-          | Some m -> m
-          | None -> Bitset.create n
-        in
-        { sim_mask; sim_last = None })
-      (Images.bindings s.initial)
+  let sim_masks =
+    Array.of_list
+      (List.map
+         (fun (proc, _) ->
+           match List.assoc_opt proc masks with
+           | Some m -> m
+           | None -> Bitset.create n)
+         (Images.bindings s.initial))
   in
-  { sim_servers; sim_hits = 0; sim_misses = 0 }
+  {
+    sim_masks;
+    sim_keys = Bitset.Pack.create ~cap:n ~rows:(Array.length sim_masks);
+    sim_has_key = Array.make (Array.length sim_masks) false;
+    sim_hits = 0;
+    sim_misses = 0;
+  }
 
 let sim_observe sim persisted =
-  List.iter
-    (fun e ->
-      let key = Bitset.inter persisted e.sim_mask in
-      match e.sim_last with
-      | Some prev when Bitset.equal prev key -> sim.sim_hits <- sim.sim_hits + 1
-      | _ ->
-          sim.sim_misses <- sim.sim_misses + 1;
-          e.sim_last <- Some key)
-    sim.sim_servers
+  for i = 0 to Array.length sim.sim_masks - 1 do
+    let mask = sim.sim_masks.(i) in
+    if
+      sim.sim_has_key.(i)
+      && Bitset.Pack.row_equals_inter sim.sim_keys i persisted mask
+    then sim.sim_hits <- sim.sim_hits + 1
+    else begin
+      sim.sim_misses <- sim.sim_misses + 1;
+      Bitset.Pack.inter_into sim.sim_keys i persisted mask;
+      sim.sim_has_key.(i) <- true
+    end
+  done
 
 let sim_hits sim = sim.sim_hits
 let sim_misses sim = sim.sim_misses

@@ -69,52 +69,64 @@ type shard_result = {
           (optimized mode), or full reboots charged per checked state *)
 }
 
+(* Per-domain mutable check state: a private emulator cache (optimized
+   mode) and the learning-free prune rules. One [worker] per scheduler
+   domain; never shared. *)
+type worker = {
+  wprune : Prune.t;
+  wcache : Emulator.cache option;
+  wn_servers : int;
+  mutable wn_checked : int;
+}
+
+let worker_create ctx =
+  {
+    wprune = Prune.create ~raw_data:ctx.raw_data;
+    wcache =
+      (match ctx.mode with
+      | Optimized -> Some (Emulator.create_cache ctx.session)
+      | Brute_force | Pruned -> None);
+    wn_servers = ctx.n_servers;
+    wn_checked = 0;
+  }
+
+(* Only the learning-free rules (semantic raw-data pruning) may be
+   applied here: they are a subset of any learned prune set, so every
+   state skipped now is also skipped by the sequential reduce. States
+   that scenario pruning would skip are checked speculatively; the
+   reduce discards their verdicts. *)
+let check_one ctx w (st : Explore.state) =
+  if ctx.mode <> Brute_force && Prune.should_skip w.wprune ~semantic:(semantic ctx) st
+  then None
+  else begin
+    w.wn_checked <- w.wn_checked + 1;
+    match
+      let v, _view, _lib_view =
+        match w.wcache with
+        | Some c ->
+            Checker.check ctx.session ~pfs_legal:ctx.pfs_legal ?lib:ctx.lib
+              ~reconstruct:(Emulator.reconstruct_cached c ctx.session)
+              st.persisted
+        | None ->
+            Checker.check ctx.session ~pfs_legal:ctx.pfs_legal ?lib:ctx.lib
+              st.persisted
+      in
+      v
+    with
+    | v -> Some (Ok v)
+    | exception e -> Some (Error (Printexc.to_string e))
+  end
+
+let worker_misses w =
+  match w.wcache with
+  | Some c -> Emulator.cache_misses c
+  | None -> w.wn_checked * w.wn_servers
+
 let check_shard ctx (states : Explore.state array) =
   Paracrash_obs.Obs.span "engine.check_shard" @@ fun () ->
-  (* only the learning-free rules (semantic raw-data pruning) may be
-     applied here: they are a subset of any learned prune set, so every
-     state skipped now is also skipped by the sequential reduce. States
-     that scenario pruning would skip are checked speculatively; the
-     reduce discards their verdicts. *)
-  let static_prune = Prune.create ~raw_data:ctx.raw_data in
-  let sem = semantic ctx in
-  let cache =
-    match ctx.mode with
-    | Optimized -> Some (Emulator.create_cache ctx.session)
-    | Brute_force | Pruned -> None
-  in
-  let n_checked = ref 0 in
-  let verdicts =
-    Array.map
-      (fun (st : Explore.state) ->
-        if ctx.mode <> Brute_force && Prune.should_skip static_prune ~semantic:sem st
-        then None
-        else begin
-          incr n_checked;
-          match
-            let v, _view, _lib_view =
-              match cache with
-              | Some c ->
-                  Checker.check ctx.session ~pfs_legal:ctx.pfs_legal ?lib:ctx.lib
-                    ~reconstruct:(Emulator.reconstruct_cached c ctx.session)
-                    st.persisted
-              | None ->
-                  Checker.check ctx.session ~pfs_legal:ctx.pfs_legal ?lib:ctx.lib
-                    st.persisted
-            in
-            v
-          with
-          | v -> Some (Ok v)
-          | exception e -> Some (Error (Printexc.to_string e))
-        end)
-      states
-  in
-  let shard_misses =
-    match cache with
-    | Some c -> Emulator.cache_misses c
-    | None -> !n_checked * ctx.n_servers
-  in
-  { verdicts; shard_misses }
+  let w = worker_create ctx in
+  let verdicts = Array.map (check_one ctx w) states in
+  { verdicts; shard_misses = worker_misses w }
 
 (* --- reduce stage (sequential, deterministic) ---------------------------- *)
 
@@ -421,31 +433,31 @@ module Fault = Paracrash_fault
    pair is a fresh full reconstruction (no cache: transforms poison
    reuse), and a raising check degrades to [Error] like everywhere
    else. *)
+let check_faulted_one ctx ictx { Explore.fstate; plan } =
+  try
+    let transform = Fault.Inject.transform plan in
+    let reconstruct persisted =
+      let sel = Fault.Inject.mask ictx plan persisted in
+      let images, anomalies = Emulator.reconstruct ~transform ctx.session sel in
+      (Fault.Inject.corrupt_images plan images, anomalies)
+    in
+    let v, view, lib_view =
+      Checker.check ctx.session ~pfs_legal:ctx.pfs_legal ?lib:ctx.lib
+        ~reconstruct fstate.Explore.persisted
+    in
+    match v with
+    | Checker.Consistent | Checker.Consistent_after_recovery -> Ok None
+    | Checker.Inconsistent layer ->
+        let conseq =
+          match layer with
+          | Checker.Lib_fault -> lib_consequence ctx ~view ~lib_view
+          | Checker.Pfs_fault -> consequence ~expected:ctx.expected view
+        in
+        Ok (Some (layer, conseq))
+  with e -> Error (Printexc.to_string e)
+
 let check_faulted ctx ictx (pairs : Explore.faulted array) =
-  Array.map
-    (fun { Explore.fstate; plan } ->
-      try
-        let transform = Fault.Inject.transform plan in
-        let reconstruct persisted =
-          let sel = Fault.Inject.mask ictx plan persisted in
-          let images, anomalies = Emulator.reconstruct ~transform ctx.session sel in
-          (Fault.Inject.corrupt_images plan images, anomalies)
-        in
-        let v, view, lib_view =
-          Checker.check ctx.session ~pfs_legal:ctx.pfs_legal ?lib:ctx.lib
-            ~reconstruct fstate.Explore.persisted
-        in
-        match v with
-        | Checker.Consistent | Checker.Consistent_after_recovery -> Ok None
-        | Checker.Inconsistent layer ->
-            let conseq =
-              match layer with
-              | Checker.Lib_fault -> lib_consequence ctx ~view ~lib_view
-              | Checker.Pfs_fault -> consequence ~expected:ctx.expected view
-            in
-            Ok (Some (layer, conseq))
-      with e -> Error (Printexc.to_string e))
-    pairs
+  Array.map (check_faulted_one ctx ictx) pairs
 
 (* Sequential reduce of faulted verdicts: findings are grouped by
    (fault description, layer) so one torn write inconsistent under many

@@ -45,6 +45,28 @@ val create :
 
 (** {1 Check stage} *)
 
+type worker
+(** Per-domain mutable check state: a private emulator cache (optimized
+    mode), the learning-free prune rules and a checked-state counter.
+    One worker per scheduler domain (via [Scheduler.map_tasks]'s
+    [worker] factory); never shared across domains. *)
+
+val worker_create : ctx -> worker
+
+val check_one :
+  ctx -> worker -> Explore.state -> (Checker.verdict, string) result option
+(** Compute one state's verdict on the given worker. [None]: skipped by
+    the static (semantic) prune rule, which the reduce stage is
+    guaranteed to prune as well. [Some (Error msg)]: the check raised;
+    the reduce records a {!Report.check_error} instead of aborting.
+    States that learned scenario pruning would skip are checked
+    speculatively and discarded by the reduce. Safe on a worker
+    domain. *)
+
+val worker_misses : worker -> int
+(** Per-server image rebuilds of this worker's own cache (optimized
+    mode), or full reboots charged per checked state. *)
+
 type shard_result = {
   verdicts : (Checker.verdict, string) result option array;
       (** [None]: skipped by the static (semantic) prune rule, which the
@@ -109,6 +131,15 @@ type result = {
 val finish : acc -> result
 
 (** {1 Faulted checking} *)
+
+val check_faulted_one :
+  ctx ->
+  Paracrash_fault.Inject.ctx ->
+  Explore.faulted ->
+  ((Checker.layer * string) option, string) Stdlib.result
+(** Judge one (crash state x fault plan) pair against the golden-master
+    legal states; the plan composes through the checker's
+    reconstruction hook. Pure per pair; safe on worker domains. *)
 
 val check_faulted :
   ctx ->

@@ -180,24 +180,25 @@ let run ?(order_chunk = default_order_chunk) ?rpc options ~session ~lib
         (fun chunk ->
           tee chunk;
           if not (over_deadline ()) then begin
-            let shards = Scheduler.split ~shards:(Scheduler.jobs scheduler) chunk in
-            let results =
+            (* fine-grained work stealing over per-state tasks: each
+               domain owns a deque preloaded with a contiguous run of
+               the canonical order and its own emulator cache; verdicts
+               land at each state's own index *)
+            let verdicts, misses =
               Obs.span "pipeline.check" (fun () ->
-                  Scheduler.map_shards scheduler ~f:(Engine.check_shard ctx)
-                    shards)
+                  Scheduler.map_tasks scheduler
+                    ~worker:(fun () -> Engine.worker_create ctx)
+                    ~f:(Engine.check_one ctx) ~finish:Engine.worker_misses
+                    chunk)
             in
+            List.iter (fun m -> parallel_misses := !parallel_misses + m) misses;
             Obs.span "pipeline.reduce" (fun () ->
                 Array.iteri
-                  (fun i shard ->
-                    let r = results.(i) in
-                    parallel_misses := !parallel_misses + r.Engine.shard_misses;
-                    Array.iteri
-                      (fun j st ->
-                        match r.Engine.verdicts.(j) with
-                        | Some v -> Engine.step ctx acc ~verdict:v st
-                        | None -> Engine.step ctx acc st)
-                      shard)
-                  shards)
+                  (fun j st ->
+                    match verdicts.(j) with
+                    | Some v -> Engine.step ctx acc ~verdict:v st
+                    | None -> Engine.step ctx acc st)
+                  chunk)
           end)
         chunks);
   let res = Engine.finish acc in
@@ -231,14 +232,14 @@ let run ?(order_chunk = default_order_chunk) ?rpc options ~session ~lib
           match scheduler with
           | Scheduler.Serial -> Engine.check_faulted ctx ictx faulted
           | Scheduler.Parallel _ ->
-              let shards =
-                Scheduler.split ~shards:(Scheduler.jobs scheduler) faulted
-              in
-              let results =
-                Scheduler.map_shards scheduler ~f:(Engine.check_faulted ctx ictx)
-                  shards
-              in
-              Array.concat (Array.to_list results)
+              (* per-pair tasks: each (state x plan) judgment is pure,
+                 so pairs steal individually like clean-check states *)
+              fst
+                (Scheduler.map_tasks scheduler
+                   ~worker:(fun () -> ())
+                   ~f:(fun () p -> Engine.check_faulted_one ctx ictx p)
+                   ~finish:(fun () -> ())
+                   faulted)
         in
         let findings, n_fault_inconsistent, errs =
           Engine.reduce_faulted ~events faulted outcomes

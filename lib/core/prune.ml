@@ -23,11 +23,13 @@ let learn t = function
 let known_count t = List.length t.reorders + List.length t.atomics
 
 let should_skip t ~semantic (st : Explore.state) =
-  let dropped = Bitset.diff st.cut st.persisted in
-  let matches_reorder (a, b) = Bitset.mem dropped a && Bitset.mem st.persisted b in
+  (* membership in the dropped set (cut \ persisted) is tested pointwise
+     instead of materializing the difference: this runs once per state
+     on both the worker and reduce paths, and must not allocate *)
+  let dropped i = Bitset.mem st.cut i && not (Bitset.mem st.persisted i) in
+  let matches_reorder (a, b) = dropped a && Bitset.mem st.persisted b in
   let matches_atomic ops =
-    List.exists (Bitset.mem st.persisted) ops
-    && List.exists (Bitset.mem dropped) ops
+    List.exists (Bitset.mem st.persisted) ops && List.exists dropped ops
   in
   List.exists matches_reorder t.reorders
   || List.exists matches_atomic t.atomics

@@ -20,38 +20,98 @@ let split ~shards arr =
         let len = base + if i < extra then 1 else 0 in
         Array.sub arr start len)
 
+(* Claim granularity: small enough that a pathologically heavy task
+   cannot strand a long tail behind it (a batch is the most work a
+   steal cannot redistribute), large enough to amortize the claim CAS
+   and keep contiguous canonical-order runs on each domain's emulator
+   cache. *)
+let batch_for ~n ~jobs = max 1 (min 16 (n / (jobs * 4)))
+
+let map_tasks t ~worker ~f ~finish tasks =
+  let n = Array.length tasks in
+  match t with
+  | Serial ->
+      let w = worker () in
+      let results = Array.map (fun x -> f w x) tasks in
+      (results, [ finish w ])
+  | Parallel _ when n = 0 -> ([||], [])
+  | Parallel jobs ->
+      let jobs = max 1 (min jobs n) in
+      let batch = batch_for ~n ~jobs in
+      (* per-domain deques over the same near-equal contiguous ranges
+         [split] would produce, preloaded with task indices in
+         canonical order *)
+      let deques =
+        Array.init jobs (fun i ->
+            let base = n / jobs and extra = n mod jobs in
+            let lo = (i * base) + min i extra in
+            let hi = lo + base + if i < extra then 1 else 0 in
+            Wsdeque.create ~lo ~hi)
+      in
+      let results = Array.make n None in
+      (* first worker exception, with its backtrace: the run aborts at
+         the next claim boundary and the caller sees the real error,
+         not a missing-result artifact *)
+      let failure = Atomic.make None in
+      let abort = Atomic.make false in
+      let fail e =
+        let bt = Printexc.get_raw_backtrace () in
+        Atomic.set abort true;
+        ignore (Atomic.compare_and_set failure None (Some (e, bt)))
+      in
+      let run_range w start len =
+        for i = start to start + len - 1 do
+          results.(i) <-
+            Some (Paracrash_obs.Obs.span "scheduler.batch" (fun () -> f w tasks.(i)))
+        done
+      in
+      let worker_loop me =
+        let w = worker () in
+        (try
+           (* LIFO-ish local discipline: drain the owned deque front to
+              back (canonical order); once dry, scan the other deques
+              round-robin and steal contiguous batches off their backs.
+              Tasks are never re-enqueued, so one full silent scan means
+              every task is claimed and the domain may retire. *)
+           let rec own () =
+             if not (Atomic.get abort) then
+               match Wsdeque.pop_batch deques.(me) ~max:batch with
+               | Some (start, len) ->
+                   run_range w start len;
+                   own ()
+               | None -> steal 0
+           and steal tried =
+             if (not (Atomic.get abort)) && tried < jobs - 1 then
+               let v = (me + 1 + tried) mod jobs in
+               match Wsdeque.steal_batch deques.(v) ~max:batch with
+               | Some (start, len) ->
+                   run_range w start len;
+                   steal 0
+               | None -> steal (tried + 1)
+           in
+           own ()
+         with e -> fail e);
+        finish w
+      in
+      let domains =
+        Array.init (jobs - 1) (fun i -> Domain.spawn (fun () -> worker_loop (i + 1)))
+      in
+      let own_finish = worker_loop 0 in
+      let finishes =
+        own_finish :: Array.to_list (Array.map Domain.join domains)
+      in
+      (match Atomic.get failure with
+      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+      | None -> ());
+      ( Array.map
+          (function Some r -> r | None -> failwith "Scheduler: lost task")
+          results,
+        finishes )
+
 let map_shards t ~f shard_arr =
-  let n = Array.length shard_arr in
-  if n = 0 then [||]
-  else
-    match t with
-    | Serial -> Array.map f shard_arr
-    | Parallel jobs ->
-        let jobs = max 1 (min jobs n) in
-        let results = Array.make n None in
-        let next = Atomic.make 0 in
-        (* work-stealing over a shared index: each domain claims the
-           next unprocessed shard; results land at the shard's own slot,
-           so the merge order is the shard order no matter which domain
-           ran what *)
-        let worker () =
-          let rec loop () =
-            let i = Atomic.fetch_and_add next 1 in
-            if i < n then begin
-              (* static span name: the trace's tid column already tells
-                 domains apart, and the noop path must not allocate *)
-              results.(i) <-
-                Some
-                  (Paracrash_obs.Obs.span "scheduler.shard" (fun () ->
-                       f shard_arr.(i)));
-              loop ()
-            end
-          in
-          loop ()
-        in
-        let domains = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
-        worker ();
-        Array.iter Domain.join domains;
-        Array.map
-          (function Some r -> r | None -> failwith "Scheduler: missing shard")
-          results
+  fst
+    (map_tasks t
+       ~worker:(fun () -> ())
+       ~f:(fun () shard -> f shard)
+       ~finish:(fun () -> ())
+       shard_arr)

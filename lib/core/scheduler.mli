@@ -2,16 +2,22 @@
 
     [Serial] runs every pipeline stage in the calling domain and is the
     oracle: its reports are bit-identical to the historical sequential
-    driver. [Parallel n] fans shard-level work out over [n] OCaml 5
-    domains. The shard merge is deterministic (results are collected in
-    shard order, not completion order), so scheduling only affects wall
-    time and the measured restart count — never verdicts, bugs or
-    counters (see the determinism suite in [test/test_scheduler.ml]).
+    driver. [Parallel n] fans per-task work out over [n] OCaml 5
+    domains with fine-grained work stealing: each domain owns a
+    Chase–Lev-style deque ({!Wsdeque}) preloaded with a contiguous
+    block of the canonically ordered task array, drains it front to
+    back, and steals contiguous batches off the backs of other deques
+    once its own is dry. Results land at each task's own index, so the
+    merge order is the canonical task order no matter which domain ran
+    what — scheduling only affects wall time and measured per-domain
+    cache counts, never verdicts, bugs or report counters (see the
+    determinism suite in [test/test_scheduler.ml]).
 
-    Safety: shard workers only perform read-only work over the session
+    Safety: workers only perform read-only work over the session
     (reconstruct / fsck / mount / check); every mount and view path in
     the tree is a pure function of its image arguments, and each worker
-    owns its own emulator cache and memo table. *)
+    owns its own mutable state (emulator cache, memo table) privately
+    via the [worker] factory. *)
 
 type t = Serial | Parallel of int
 
@@ -28,8 +34,25 @@ val split : shards:int -> 'a array -> 'a array array
     returned when the array is shorter than [shards]; an empty array
     yields no shards. *)
 
+val map_tasks :
+  t ->
+  worker:(unit -> 'w) ->
+  f:('w -> 'a -> 'b) ->
+  finish:('w -> 'c) ->
+  'a array ->
+  'b array * 'c list
+(** [map_tasks t ~worker ~f ~finish tasks] applies [f] to every task
+    and returns the results in task order, plus one [finish] value per
+    worker (per-domain accounting such as cache-miss counts; list
+    order is unspecified). Each domain calls [worker ()] once to build
+    its private mutable state; [f] must be safe to run in a fresh
+    domain given that state (no hidden shared mutation). Every task is
+    executed exactly once. If a task raises, the run aborts at the
+    next claim boundary and the {e first} exception is re-raised in
+    the caller with its original backtrace. *)
+
 val map_shards : t -> f:('a -> 'b) -> 'a array -> 'b array
 (** Apply [f] to every shard, serially or across domains, and return
-    the results in shard order. [f] must be safe to run in a fresh
-    domain (no hidden shared mutation). Exceptions raised by [f]
-    propagate to the caller. *)
+    the results in shard order — [map_tasks] with one task per shard
+    and no per-worker state. Exceptions raised by [f] propagate to the
+    caller with their backtrace. *)

@@ -1,0 +1,65 @@
+(* Chase–Lev-style work-stealing deque, specialised to the pipeline's
+   shape: the full task set is known (and canonically ordered) before
+   any worker starts, so instead of a growable circular buffer each
+   deque is a claimable range [lo, hi) of the global task array, with
+   the owner claiming batches from one end and thieves from the other —
+   the same two-ended discipline as Chase–Lev, without push.
+
+   Both cursors live packed in a single atomic word, so every claim is
+   one CAS: owner and thief claims are linearizable against each other
+   and can never hand out overlapping ranges (the classic top/bottom
+   race of two separate atomics needs no fences or retries to rule
+   out). Claims are batched — a worker takes up to [max] contiguous
+   tasks per CAS — which amortizes contention and keeps each claim a
+   contiguous run of the canonical order, so per-domain emulator caches
+   retain the TSP ordering's image locality on both owned and stolen
+   work. *)
+
+type t = { cursors : int Atomic.t; lo : int; hi : int }
+
+(* [next] in the high half, [limit] in the low half of one OCaml int.
+   31 bits each leaves headroom under the 63-bit immediate range; a
+   single chunk never holds 2^31 tasks (generation would exhaust
+   memory long before). *)
+let shift = 31
+let mask = (1 lsl shift) - 1
+let pack next limit = (next lsl shift) lor limit
+let unpack_next c = c lsr shift
+let unpack_limit c = c land mask
+
+let create ~lo ~hi =
+  if lo < 0 || hi < lo || hi > mask then invalid_arg "Wsdeque.create";
+  { cursors = Atomic.make (pack lo hi); lo; hi }
+
+let range t = (t.lo, t.hi)
+
+let remaining t =
+  let c = Atomic.get t.cursors in
+  unpack_limit c - unpack_next c
+
+(* Owner claim: up to [max] tasks off the front of the live range —
+   the canonical-order end, so an owner drains its block in exactly
+   the order the TSP tour produced. *)
+let rec pop_batch t ~max:k =
+  let c = Atomic.get t.cursors in
+  let next = unpack_next c and limit = unpack_limit c in
+  if next >= limit then None
+  else
+    let n = min k (limit - next) in
+    if Atomic.compare_and_set t.cursors c (pack (next + n) limit) then
+      Some (next, n)
+    else pop_batch t ~max:k
+
+(* Thief claim: up to [max] tasks (at most half of what is left, so a
+   victim with work in hand keeps the majority) off the back of the
+   live range — the end farthest from the owner's cursor, leaving the
+   owner's in-order scan undisturbed. *)
+let rec steal_batch t ~max:k =
+  let c = Atomic.get t.cursors in
+  let next = unpack_next c and limit = unpack_limit c in
+  if next >= limit then None
+  else
+    let n = min k ((limit - next + 1) / 2) in
+    if Atomic.compare_and_set t.cursors c (pack next (limit - n)) then
+      Some (limit - n, n)
+    else steal_batch t ~max:k

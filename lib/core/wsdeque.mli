@@ -1,0 +1,35 @@
+(** Chase–Lev-style work-stealing deque over a preloaded task range.
+
+    One deque per worker domain, each owning a contiguous range of the
+    global (canonically ordered) task array. The owner claims batches
+    from the front of its live range — so owned work is processed in
+    canonical order — and thieves claim batches from the back, at most
+    half of what remains per steal. Both cursors are packed into a
+    single atomic word, making every claim one CAS: owner and thief
+    claims can never overlap, and a task is handed out exactly once.
+
+    Because the task set is fixed before any worker starts (no pushes
+    during execution), emptiness is monotone: once every deque reports
+    no work, all tasks have been claimed and workers may exit. *)
+
+type t
+
+val create : lo:int -> hi:int -> t
+(** A deque whose live range is [\[lo, hi)]. Raises [Invalid_argument]
+    when [lo < 0], [hi < lo], or [hi] exceeds the packed-cursor range
+    (2^31 - 1). *)
+
+val range : t -> int * int
+(** The [(lo, hi)] this deque was created with. *)
+
+val remaining : t -> int
+(** Unclaimed tasks at the moment of the read (a racy snapshot). *)
+
+val pop_batch : t -> max:int -> (int * int) option
+(** Owner claim: [Some (start, len)] with [len <= max] tasks off the
+    front of the live range, [None] when the deque is empty. *)
+
+val steal_batch : t -> max:int -> (int * int) option
+(** Thief claim: [Some (start, len)] with [len <= max] tasks (and at
+    most half of what remained) off the back of the live range, [None]
+    when the deque is empty. *)

@@ -82,19 +82,39 @@ let replay st ops = List.fold_left apply st ops
 let groups st =
   SMap.bindings st.grps |> List.map (fun (g, ds) -> (g, SMap.bindings ds))
 
-let canonical st =
-  let buf = Buffer.create 128 in
-  Buffer.add_string buf "H5 ok\n";
+(* Renders the canonical form into a caller-supplied scratch so the
+   legal-view builder can fingerprint thousands of states through one
+   reusable buffer (see [Legal.build] in layer.ml); [canonical] is the
+   plain-string wrapper over the same walk. *)
+let render scratch st =
+  let module Scratch = Paracrash_util.Digestutil.Scratch in
+  Scratch.clear scratch;
+  Scratch.add_string scratch "H5 ok\n";
   SMap.iter
     (fun g dsets ->
-      Buffer.add_string buf (Printf.sprintf "G %s ok\n" g);
+      Scratch.add_string scratch "G ";
+      Scratch.add_string scratch g;
+      Scratch.add_string scratch " ok\n";
       SMap.iter
         (fun name d ->
           let digest = Paracrash_util.Digestutil.of_string (expected_bytes d) in
-          Buffer.add_string buf
-            (Printf.sprintf "D %s/%s %dx%d %s\n" g name d.rows d.cols digest))
+          Scratch.add_string scratch "D ";
+          Scratch.add_string scratch g;
+          Scratch.add_char scratch '/';
+          Scratch.add_string scratch name;
+          Scratch.add_char scratch ' ';
+          Scratch.add_string scratch (string_of_int d.rows);
+          Scratch.add_char scratch 'x';
+          Scratch.add_string scratch (string_of_int d.cols);
+          Scratch.add_char scratch ' ';
+          Scratch.add_string scratch digest;
+          Scratch.add_char scratch '\n')
         dsets)
-    st.grps;
-  Buffer.contents buf
+    st.grps
+
+let canonical st =
+  let scratch = Paracrash_util.Digestutil.Scratch.create 128 in
+  render scratch st;
+  Paracrash_util.Digestutil.Scratch.contents scratch
 
 let equal a b = String.equal (canonical a) (canonical b)

@@ -36,5 +36,12 @@ val apply : state -> H5op.t -> state
 
 val replay : state -> H5op.t list -> state
 val groups : state -> (string * (string * dataset) list) list
+val render : Paracrash_util.Digestutil.Scratch.t -> state -> unit
+(** Clear the scratch and render the canonical form into it. The
+    legal-view builder fingerprints thousands of golden states through
+    one reusable scratch ([Scratch.fp] of the render equals
+    [Fp.of_string (canonical st)]) instead of building a fresh string
+    per state. *)
+
 val canonical : state -> string
 val equal : state -> state -> bool

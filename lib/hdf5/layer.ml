@@ -26,11 +26,17 @@ let lib_layer ~file ~model (session : Session.t) =
   in
   let initial = File.golden_initial file in
   let lib_replay = Legal.replay_stats () in
+  (* one scratch for the whole legal-view build: each state renders
+     into it and is fingerprinted in place, matching what
+     [Fp.of_string (Golden.canonical st)] would produce *)
+  let scratch = Paracrash_util.Digestutil.Scratch.create 256 in
   let legal_views =
     Legal.replay_sets ~stats:lib_replay ~base:initial ~op:(fun i -> ops.(i))
       ~apply:Golden.apply enum.Model.sets
     |> Legal.build ~truncated:enum.Model.truncated
-         ~fingerprint:(fun st -> Fp.of_string (Golden.canonical st))
+         ~fingerprint:(fun st ->
+           Golden.render scratch st;
+           Paracrash_util.Digestutil.Scratch.fp scratch)
          ~canonical:Golden.canonical
   in
   let view logical =

@@ -86,7 +86,27 @@ let fold f t acc =
   !acc
 
 let elements t = List.rev (fold (fun i acc -> i :: acc) t [])
-let iter f t = ignore (fold (fun i () -> f i) t ())
+
+(* [iter] sits on the replay hot path (one call per rebuilt server
+   image), so it must not allocate: no ref cells, no closure built over
+   an accumulator — bit positions are threaded through an int-only
+   recursion. *)
+let iter f t =
+  let words = t.words in
+  for j = 0 to Array.length words - 1 do
+    let w = words.(j) in
+    if w <> 0 then begin
+      let base = j * bits_per_word in
+      let rec bits rem =
+        if rem <> 0 then begin
+          let lsb = rem land -rem in
+          f (base + popcount (lsb - 1));
+          bits (rem land (rem - 1))
+        end
+      in
+      bits w
+    end
+  done
 
 let full cap =
   let t = create cap in
@@ -108,3 +128,85 @@ module Tbl = Hashtbl.Make (struct
   let equal = equal
   let hash = hash
 end)
+
+(* --- SoA row storage ------------------------------------------------------- *)
+
+module Pack = struct
+  type pack = { pcap : int; wpr : int; prows : int; data : int array }
+
+  let create ~cap ~rows =
+    if cap < 0 || rows < 0 then invalid_arg "Bitset.Pack.create";
+    (* wpr 0 when cap = 0: every row loop is then vacuous, matching the
+       zero-length word arrays of capacity-0 pure sets *)
+    let wpr = words_for cap in
+    { pcap = cap; wpr; prows = rows; data = Array.make (max 1 (rows * wpr)) 0 }
+
+  let cap p = p.pcap
+  let rows p = p.prows
+
+  let check_row p i =
+    if i < 0 || i >= p.prows then invalid_arg "Bitset.Pack: row out of range"
+
+  let check_set p t =
+    if t.cap <> p.pcap then invalid_arg "Bitset.Pack: capacity mismatch"
+
+  let set p i t =
+    check_row p i;
+    check_set p t;
+    Array.blit t.words 0 p.data (i * p.wpr) p.wpr
+
+  let get p i =
+    check_row p i;
+    { cap = p.pcap; words = Array.sub p.data (i * p.wpr) p.wpr }
+
+  let inter_into p i a b =
+    check_row p i;
+    check_set p a;
+    check_set p b;
+    let off = i * p.wpr in
+    for j = 0 to p.wpr - 1 do
+      p.data.(off + j) <- a.words.(j) land b.words.(j)
+    done
+
+  let row_equals_inter p i a b =
+    check_row p i;
+    check_set p a;
+    check_set p b;
+    let off = i * p.wpr in
+    let rec go j =
+      j >= p.wpr
+      || p.data.(off + j) = a.words.(j) land b.words.(j) && go (j + 1)
+    in
+    go 0
+
+  let row_equal p i j =
+    check_row p i;
+    check_row p j;
+    let oi = i * p.wpr and oj = j * p.wpr in
+    let rec go k = k >= p.wpr || (p.data.(oi + k) = p.data.(oj + k) && go (k + 1)) in
+    go 0
+
+  let row_is_empty p i =
+    check_row p i;
+    let off = i * p.wpr in
+    let rec go j = j >= p.wpr || (p.data.(off + j) = 0 && go (j + 1)) in
+    go 0
+
+  let iter_row f p i =
+    check_row p i;
+    let off = i * p.wpr in
+    for j = 0 to p.wpr - 1 do
+      let w = p.data.(off + j) in
+      if w <> 0 then begin
+        let base = j * bits_per_word in
+        let rec bits rem =
+          if rem <> 0 then begin
+            let lsb = rem land -rem in
+            f (base + popcount (lsb - 1));
+            bits (rem land (rem - 1))
+          end
+        in
+        bits w
+      end
+    done
+end

@@ -48,3 +48,42 @@ val pp : Format.formatter -> t -> unit
 module Tbl : Hashtbl.S with type key = t
 (** Hash tables keyed directly by bit sets, avoiding the string
     round-trip of [to_string]-keyed tables on hot paths. *)
+
+(** Structure-of-arrays storage for many same-capacity sets.
+
+    A pack holds [rows] bit sets of one capacity contiguously in a
+    single flat word array. Row operations ([inter_into],
+    [row_equals_inter], [row_equal], [iter_row]) read and write in
+    place without allocating — the hot-path alternative to the pure
+    {!inter}/{!equal} pair, used for the emulator's per-server cache
+    keys where a fresh intersection per state per server would churn
+    the minor heap. Rows start empty. *)
+module Pack : sig
+  type pack
+
+  val create : cap:int -> rows:int -> pack
+  val cap : pack -> int
+  val rows : pack -> int
+
+  val set : pack -> int -> t -> unit
+  (** [set p i t] overwrites row [i] with [t]. Raises
+      [Invalid_argument] on a row or capacity mismatch. *)
+
+  val get : pack -> int -> t
+  (** Materialize row [i] as a fresh pure set (allocates; meant for
+      the cold path). *)
+
+  val inter_into : pack -> int -> t -> t -> unit
+  (** [inter_into p i a b] sets row [i] to [a ∩ b] without
+      allocating. *)
+
+  val row_equals_inter : pack -> int -> t -> t -> bool
+  (** [row_equals_inter p i a b] is [equal (get p i) (inter a b)]
+      without building either side. *)
+
+  val row_equal : pack -> int -> int -> bool
+  val row_is_empty : pack -> int -> bool
+
+  val iter_row : (int -> unit) -> pack -> int -> unit
+  (** Visit row [i]'s members in increasing order; allocation-free. *)
+end

@@ -36,26 +36,39 @@ module Fp = struct
 
   let add_char st c = absorb st (Int64.of_int (Char.code c))
 
-  (* length framing, then the bytes themselves packed 8 per absorption *)
+  (* length framing, then the bytes themselves packed 8 per absorption.
+     The packed word is one [get_int64_le] load — the same little-endian
+     value the historical byte-by-byte loop built (byte 0 lands in the
+     low octet), so fingerprints are unchanged, but the ~24 boxed
+     Int64 intermediates per word collapse into one. *)
   let add_string st s =
     let n = String.length s in
     add_int st n;
     let i = ref 0 in
     while !i + 8 <= n do
-      (* little-endian 64-bit load, byte by byte (strings are immutable
-         and unaligned; this keeps the loop allocation-free) *)
-      let w = ref 0L in
-      for k = 7 downto 0 do
-        w :=
-          Int64.logor
-            (Int64.shift_left !w 8)
-            (Int64.of_int (Char.code (String.unsafe_get s (!i + k))))
-      done;
-      absorb st !w;
+      absorb st (String.get_int64_le s !i);
       i := !i + 8
     done;
     while !i < n do
       add_char st (String.unsafe_get s !i);
+      incr i
+    done
+
+  (* same token stream as [add_string (Bytes.sub_string b pos len)]
+     without the copy: callers stream out of one reusable scratch
+     buffer instead of materializing a fresh string per state *)
+  let add_subbytes st b ~pos ~len =
+    if pos < 0 || len < 0 || pos + len > Bytes.length b then
+      invalid_arg "Fp.add_subbytes";
+    add_int st len;
+    let i = ref pos in
+    let stop = pos + len in
+    while !i + 8 <= stop do
+      absorb st (Bytes.get_int64_le b !i);
+      i := !i + 8
+    done;
+    while !i < stop do
+      add_char st (Bytes.unsafe_get b !i);
       incr i
     done
 
@@ -89,4 +102,48 @@ module Fp = struct
     let equal = equal
     let hash = hash
   end)
+end
+
+(* A reusable render buffer: like [Buffer] but the backing [Bytes] is
+   reachable by [Fp.add_subbytes], so "render a canonical form, then
+   fingerprint it as one framed token" needs no [Buffer.contents] copy
+   and no fresh buffer per state. One scratch, cleared and refilled
+   per state, keeps the legal-view fingerprint loop off the minor heap
+   except when the rendering itself outgrows the backing store. *)
+module Scratch = struct
+  type t = { mutable buf : Bytes.t; mutable len : int }
+
+  let create n = { buf = Bytes.create (max 16 n); len = 0 }
+  let clear t = t.len <- 0
+  let length t = t.len
+
+  let ensure t extra =
+    let need = t.len + extra in
+    if need > Bytes.length t.buf then begin
+      let cap = ref (Bytes.length t.buf * 2) in
+      while !cap < need do
+        cap := !cap * 2
+      done;
+      let buf = Bytes.create !cap in
+      Bytes.blit t.buf 0 buf 0 t.len;
+      t.buf <- buf
+    end
+
+  let add_char t c =
+    ensure t 1;
+    Bytes.unsafe_set t.buf t.len c;
+    t.len <- t.len + 1
+
+  let add_string t s =
+    let n = String.length s in
+    ensure t n;
+    Bytes.blit_string s 0 t.buf t.len n;
+    t.len <- t.len + n
+
+  let contents t = Bytes.sub_string t.buf 0 t.len
+
+  let fp t =
+    let st = Fp.init () in
+    Fp.add_subbytes st t.buf ~pos:0 ~len:t.len;
+    Fp.finish st
 end

@@ -42,6 +42,13 @@ module Fp : sig
   (** Length-framed: [add_string st "ab"; add_string st "c"] never
       produces the fingerprint of [add_string st "a"; add_string st "bc"]. *)
 
+  val add_subbytes : state -> Bytes.t -> pos:int -> len:int -> unit
+  (** [add_subbytes st b ~pos ~len] absorbs the same token as
+      [add_string st (Bytes.sub_string b pos len)] without building the
+      string — callers render into one reusable scratch buffer and
+      stream it, keeping the fingerprint hot path off the minor heap.
+      Raises [Invalid_argument] when the range is out of bounds. *)
+
   val finish : state -> t
 
   val of_string : string -> t
@@ -53,4 +60,32 @@ module Fp : sig
   val to_hex : t -> string
 
   module Tbl : Hashtbl.S with type key = t
+end
+
+(** A reusable render buffer whose backing [Bytes] can be fingerprinted
+    in place.
+
+    Like [Buffer], but [fp] absorbs the accumulated bytes directly via
+    {!Fp.add_subbytes} — no [Buffer.contents] copy, and one scratch can
+    be cleared and refilled across many states. Used by the legal-view
+    builders that must fingerprint a rendered canonical string as a
+    single framed token (so membership keys stay comparable with
+    [Fp.of_string] of the same string). *)
+module Scratch : sig
+  type t
+
+  val create : int -> t
+  (** [create n] is an empty scratch with at least [n] bytes reserved. *)
+
+  val clear : t -> unit
+  val length : t -> int
+  val add_char : t -> char -> unit
+  val add_string : t -> string -> unit
+
+  val contents : t -> string
+  (** Copy out the accumulated bytes (cold path — reports only). *)
+
+  val fp : t -> Fp.t
+  (** Fingerprint of the accumulated bytes as one framed token:
+      [fp t = Fp.of_string (contents t)], without building the string. *)
 end

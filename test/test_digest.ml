@@ -50,6 +50,50 @@ let test_fp_primitive () =
   check Alcotest.int "compare agrees with equal" 0
     (Fp.compare (fp_of [ "s" ]) (fp_of [ "s" ]))
 
+(* --- add_subbytes / Scratch ------------------------------------------------ *)
+
+let test_fp_subbytes_matches_add_string () =
+  (* add_subbytes must absorb the exact token add_string would, at any
+     offset and length (covering the 8-byte fast path and the tail) *)
+  let payload = String.init 300 (fun i -> Char.chr (i mod 256)) in
+  let b = Bytes.of_string ("xx" ^ payload ^ "yy") in
+  List.iter
+    (fun len ->
+      let via_string =
+        let st = Fp.init () in
+        Fp.add_string st (String.sub payload 0 len);
+        Fp.finish st
+      in
+      let via_bytes =
+        let st = Fp.init () in
+        Fp.add_subbytes st b ~pos:2 ~len;
+        Fp.finish st
+      in
+      check cb
+        (Printf.sprintf "len %d: subbytes = add_string" len)
+        true
+        (Fp.equal via_string via_bytes))
+    [ 0; 1; 7; 8; 9; 63; 64; 65; 300 ];
+  Alcotest.check_raises "out of bounds rejected"
+    (Invalid_argument "Fp.add_subbytes") (fun () ->
+      Fp.add_subbytes (Fp.init ()) b ~pos:2 ~len:(Bytes.length b))
+
+let test_scratch_fp_matches_of_string () =
+  let module Scratch = Paracrash_util.Digestutil.Scratch in
+  let s = Scratch.create 4 in
+  (* growth across the initial reservation, then clear-and-reuse *)
+  Scratch.add_string s "H5 ok";
+  Scratch.add_char s '\n';
+  Scratch.add_string s (String.make 100 'D');
+  check cs "contents" ("H5 ok\n" ^ String.make 100 'D') (Scratch.contents s);
+  check cb "fp = of_string of contents" true
+    (Fp.equal (Scratch.fp s) (Fp.of_string (Scratch.contents s)));
+  Scratch.clear s;
+  check Alcotest.int "clear resets length" 0 (Scratch.length s);
+  Scratch.add_string s "other";
+  check cb "reused scratch fingerprints fresh content" true
+    (Fp.equal (Scratch.fp s) (Fp.of_string "other"))
+
 (* --- vfs State fingerprints ----------------------------------------------- *)
 
 let vfs_apply st op =
@@ -228,6 +272,8 @@ let test_report_determinism () =
 let tests =
   [
     ("fp: streaming fingerprint primitive", `Quick, test_fp_primitive);
+    ("fp: add_subbytes = add_string", `Quick, test_fp_subbytes_matches_add_string);
+    ("fp: scratch render buffer", `Quick, test_scratch_fp_matches_of_string);
     ( "vfs: fingerprint equivalence = canonical equivalence",
       `Quick,
       test_vfs_fingerprint_matches_canonical );

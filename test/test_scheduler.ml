@@ -9,6 +9,7 @@ module D = Paracrash_core.Driver
 module R = Paracrash_core.Report
 module Pipeline = Paracrash_core.Pipeline
 module Scheduler = Paracrash_core.Scheduler
+module Wsdeque = Paracrash_core.Wsdeque
 module P = Paracrash_pfs
 module W = Paracrash_workloads
 module Registry = W.Registry
@@ -56,6 +57,161 @@ let test_map_shards_parallel () =
   let parallel = Scheduler.map_shards (Scheduler.Parallel 4) ~f shards in
   check cb "parallel equals serial shard-wise" true (serial = parallel);
   check ci "totals preserved" (17 * 16 / 2) (Array.fold_left ( + ) 0 parallel)
+
+(* --- work-stealing deque --------------------------------------------------- *)
+
+let test_wsdeque_sequential () =
+  let dq = Wsdeque.create ~lo:3 ~hi:10 in
+  check cb "range" true (Wsdeque.range dq = (3, 10));
+  check ci "remaining" 7 (Wsdeque.remaining dq);
+  (* owner claims off the front, in order *)
+  check cb "pop front" true (Wsdeque.pop_batch dq ~max:3 = Some (3, 3));
+  (* thief takes at most half of what remains, off the back *)
+  check cb "steal back" true (Wsdeque.steal_batch dq ~max:10 = Some (8, 2));
+  check cb "pop rest" true (Wsdeque.pop_batch dq ~max:10 = Some (6, 2));
+  check cb "empty pop" true (Wsdeque.pop_batch dq ~max:1 = None);
+  check cb "empty steal" true (Wsdeque.steal_batch dq ~max:1 = None);
+  check ci "nothing remaining" 0 (Wsdeque.remaining dq);
+  check cb "empty range ok" true
+    (Wsdeque.pop_batch (Wsdeque.create ~lo:5 ~hi:5) ~max:1 = None)
+
+let test_wsdeque_concurrent_claims () =
+  (* one owner popping and two thief domains stealing concurrently:
+     every index in the range is claimed exactly once — the single-CAS
+     claim protocol admits no overlap and no loss *)
+  let n = 20_000 in
+  let dq = Wsdeque.create ~lo:0 ~hi:n in
+  let claims = Array.init n (fun _ -> Atomic.make 0) in
+  let mark (start, len) =
+    for i = start to start + len - 1 do
+      Atomic.incr claims.(i)
+    done
+  in
+  let thief () =
+    let rec go () =
+      match Wsdeque.steal_batch dq ~max:5 with
+      | Some c ->
+          mark c;
+          go ()
+      | None -> ()
+    in
+    go ()
+  in
+  let thieves = [ Domain.spawn thief; Domain.spawn thief ] in
+  let rec drain () =
+    match Wsdeque.pop_batch dq ~max:7 with
+    | Some c ->
+        mark c;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  List.iter Domain.join thieves;
+  check cb "every task claimed exactly once" true
+    (Array.for_all (fun a -> Atomic.get a = 1) claims);
+  check ci "deque drained" 0 (Wsdeque.remaining dq)
+
+(* --- map_tasks: exactly-once, skew, exceptions ----------------------------- *)
+
+let test_map_tasks_exactly_once () =
+  let n = 503 in
+  let tasks = Array.init n Fun.id in
+  List.iter
+    (fun jobs ->
+      let executions = Array.init n (fun _ -> Atomic.make 0) in
+      let results, finals =
+        Scheduler.map_tasks (Scheduler.of_jobs jobs)
+          ~worker:(fun () -> ref 0)
+          ~f:(fun w i ->
+            Atomic.incr executions.(i);
+            incr w;
+            i * i)
+          ~finish:(fun w -> !w)
+          tasks
+      in
+      check cb
+        (Printf.sprintf "results in task order (jobs=%d)" jobs)
+        true
+        (results = Array.init n (fun i -> i * i));
+      check cb
+        (Printf.sprintf "each task ran exactly once (jobs=%d)" jobs)
+        true
+        (Array.for_all (fun a -> Atomic.get a = 1) executions);
+      (* per-worker counters account for every task exactly once *)
+      check ci
+        (Printf.sprintf "finish values cover all tasks (jobs=%d)" jobs)
+        n
+        (List.fold_left ( + ) 0 finals);
+      check ci
+        (Printf.sprintf "one finish value per worker (jobs=%d)" jobs)
+        (max 1 jobs) (List.length finals))
+    [ 1; 2; 4; 8 ]
+
+(* Adversarial task-size skew: one pathologically heavy task, placed
+   first and then last. With shard-granularity scheduling the heavy
+   task's domain would serialize its whole block; with stealing the
+   other domains drain that block out from under it. Either way the
+   contract under test is stronger: results and accounting must be
+   identical at every job count. *)
+let test_map_tasks_skewed () =
+  let n = 200 in
+  let spin = Sys.opaque_identity (ref 0) in
+  let heavy () =
+    for _ = 1 to 2_000_000 do
+      incr spin
+    done
+  in
+  List.iter
+    (fun heavy_at ->
+      let tasks = Array.init n Fun.id in
+      let serial = ref [||] in
+      List.iter
+        (fun jobs ->
+          let executions = Array.init n (fun _ -> Atomic.make 0) in
+          let results, _ =
+            Scheduler.map_tasks (Scheduler.of_jobs jobs)
+              ~worker:(fun () -> ())
+              ~f:(fun () i ->
+                if i = heavy_at then heavy ();
+                Atomic.incr executions.(i);
+                (i * 7) mod 13)
+              ~finish:(fun () -> ())
+              tasks
+          in
+          if jobs = 1 then serial := results;
+          check cb
+            (Printf.sprintf "skew@%d jobs=%d matches serial" heavy_at jobs)
+            true
+            (results = !serial);
+          check cb
+            (Printf.sprintf "skew@%d jobs=%d exactly once" heavy_at jobs)
+            true
+            (Array.for_all (fun a -> Atomic.get a = 1) executions))
+        [ 1; 2; 4; 8 ])
+    [ 0; n - 1 ]
+
+exception Boom of int
+
+let test_map_tasks_exception () =
+  (* a worker failure aborts the run and re-raises the original
+     exception in the caller — not a synthetic "missing result" *)
+  let n = 97 in
+  let tasks = Array.init n Fun.id in
+  List.iter
+    (fun jobs ->
+      match
+        Scheduler.map_tasks (Scheduler.of_jobs jobs)
+          ~worker:(fun () -> ())
+          ~f:(fun () i -> if i = 61 then raise (Boom i) else i)
+          ~finish:(fun () -> ())
+          tasks
+      with
+      | _ -> Alcotest.failf "jobs=%d: expected Boom to propagate" jobs
+      | exception Boom 61 -> ()
+      | exception e ->
+          Alcotest.failf "jobs=%d: expected Boom 61, got %s" jobs
+            (Printexc.to_string e))
+    [ 1; 4 ]
 
 (* --- mode round-trips ----------------------------------------------------- *)
 
@@ -131,7 +287,7 @@ let test_determinism_fs fs_entry () =
           check cs
             (Printf.sprintf "%s/%s jobs=%d" pname fs_entry.Registry.fs_name jobs)
             serial (pipeline jobs))
-        [ 2; 4 ])
+        [ 2; 4; 8 ])
     Registry.workload_names
 
 let test_determinism_pruned_mode () =
@@ -146,23 +302,32 @@ let test_determinism_pruned_mode () =
         R.to_json { r with R.perf = { r.R.perf with wall_seconds = 0. } }
       in
       let serial = full (run_with ~mode:D.Pruned ~jobs:1 beegfs spec) in
-      let par = full (run_with ~mode:D.Pruned ~jobs:3 beegfs spec) in
-      check cs (pname ^ " pruned jobs=3") serial par)
+      List.iter
+        (fun jobs ->
+          let par = full (run_with ~mode:D.Pruned ~jobs beegfs spec) in
+          check cs (Printf.sprintf "%s pruned jobs=%d" pname jobs) serial par)
+        [ 3; 8 ])
     [ "ARVR"; "H5-create" ]
 
 let test_parallel_restart_overhead_bounded () =
-  (* optimized parallel restarts may exceed serial only by cold shard
-     boundaries plus speculative checks of scenario-pruned states; in
-     particular they never exceed the no-cache bound *)
+  (* with per-state stealing the split of checked states over domains is
+     timing-dependent, so the measured parallel miss count is only
+     softly related to the serial one (it can even undercut it: a
+     domain's subsequence can turn a serial miss into a hit by skipping
+     the state that invalidated the key). Two bounds are sound at any
+     interleaving: some domain cold-starts every server at its first
+     checked state, and no checked state can miss more than once per
+     server. *)
   let beegfs = Option.get (Registry.find_fs "beegfs") in
   let spec = Option.get (Registry.find_workload "ARVR") in
   let serial = run_with ~mode:D.Optimized ~jobs:1 beegfs spec in
   let par = run_with ~mode:D.Optimized ~jobs:4 beegfs spec in
   let n_servers = 4 in
-  check cb "parallel restarts at least serial" true
-    (par.R.perf.restarts >= serial.R.perf.restarts);
+  check cb "some work was measured" true (serial.R.perf.n_checked > 0);
+  check cb "parallel restarts at least one cold start" true
+    (par.R.perf.restarts >= n_servers);
   check cb "parallel restarts below full-reboot bound" true
-    (par.R.perf.restarts <= par.R.perf.n_checked * n_servers + (4 - 1) * n_servers)
+    (par.R.perf.restarts <= par.R.perf.n_checked * n_servers)
 
 (* --- fault determinism across schedulers ----------------------------------- *)
 
@@ -240,6 +405,11 @@ let tests =
     ("of_jobs / jobs / to_string", `Quick, test_of_jobs);
     ("shard split", `Quick, test_split);
     ("map_shards across domains", `Quick, test_map_shards_parallel);
+    ("wsdeque sequential claims", `Quick, test_wsdeque_sequential);
+    ("wsdeque concurrent exactly-once", `Quick, test_wsdeque_concurrent_claims);
+    ("map_tasks exactly-once across jobs", `Quick, test_map_tasks_exactly_once);
+    ("map_tasks under adversarial skew", `Quick, test_map_tasks_skewed);
+    ("map_tasks exception propagation", `Quick, test_map_tasks_exception);
     ("mode round-trips", `Quick, test_mode_roundtrip);
     ("runconfig jobs key", `Quick, test_runconfig_jobs);
     ("pruned-mode reports identical across jobs", `Quick, test_determinism_pruned_mode);

@@ -106,6 +106,56 @@ let test_bitset_tbl () =
   check cb "different key absent" true
     (Bitset.Tbl.find_opt tbl (Bitset.of_list 100 [ 1 ]) = None)
 
+(* --- Bitset.Pack (SoA rows) -------------------------------------------- *)
+
+let test_bitset_pack_rows () =
+  let p = Bitset.Pack.create ~cap:130 ~rows:3 in
+  check ci "cap" 130 (Bitset.Pack.cap p);
+  check ci "rows" 3 (Bitset.Pack.rows p);
+  check cb "rows start empty" true (Bitset.Pack.row_is_empty p 1);
+  let a = Bitset.of_list 130 [ 0; 63; 64; 129 ] in
+  Bitset.Pack.set p 1 a;
+  check cb "set/get roundtrip" true (Bitset.equal (Bitset.Pack.get p 1) a);
+  check cb "other rows untouched" true
+    (Bitset.Pack.row_is_empty p 0 && Bitset.Pack.row_is_empty p 2);
+  (* in-place intersection matches the pure operation *)
+  let b = Bitset.of_list 130 [ 63; 64; 100 ] in
+  Bitset.Pack.inter_into p 2 a b;
+  check cb "inter_into = inter" true
+    (Bitset.equal (Bitset.Pack.get p 2) (Bitset.inter a b));
+  (* the allocation-free compare answers equal (get p i) (inter a b) *)
+  check cb "row_equals_inter yes" true (Bitset.Pack.row_equals_inter p 2 a b);
+  check cb "row_equals_inter no" false (Bitset.Pack.row_equals_inter p 1 a b);
+  check cb "row_equal" true
+    (Bitset.Pack.row_equal p 1 1 && not (Bitset.Pack.row_equal p 1 2));
+  (* iter_row visits members in increasing order without materializing *)
+  let seen = ref [] in
+  Bitset.Pack.iter_row (fun i -> seen := i :: !seen) p 2;
+  check (Alcotest.list ci) "iter_row order" [ 63; 64 ] (List.rev !seen);
+  (* capacity mismatch is rejected *)
+  Alcotest.check_raises "set cap mismatch"
+    (Invalid_argument "Bitset.Pack: capacity mismatch") (fun () ->
+      Bitset.Pack.set p 0 (Bitset.create 10));
+  (* cap-0 packs: every row op is vacuous rather than out of bounds *)
+  let z = Bitset.Pack.create ~cap:0 ~rows:2 in
+  Bitset.Pack.inter_into z 0 (Bitset.create 0) (Bitset.create 0);
+  check cb "cap-0 row empty" true (Bitset.Pack.row_is_empty z 0);
+  check cb "cap-0 equals inter" true
+    (Bitset.Pack.row_equals_inter z 1 (Bitset.create 0) (Bitset.create 0))
+
+let bitset_pack_prop_matches_pure =
+  QCheck.Test.make ~name:"pack row ops agree with pure bitset ops" ~count:200
+    QCheck.(pair (list (int_bound 90)) (list (int_bound 90)))
+    (fun (xs, ys) ->
+      let a = Bitset.of_list 91 xs and b = Bitset.of_list 91 ys in
+      let p = Bitset.Pack.create ~cap:91 ~rows:2 in
+      Bitset.Pack.inter_into p 0 a b;
+      Bitset.Pack.set p 1 (Bitset.inter a b);
+      Bitset.equal (Bitset.Pack.get p 0) (Bitset.inter a b)
+      && Bitset.Pack.row_equals_inter p 1 a b
+      && Bitset.Pack.row_equal p 0 1
+      && Bitset.Pack.row_is_empty p 0 = Bitset.is_empty (Bitset.inter a b))
+
 let bitset_prop_roundtrip =
   QCheck.Test.make ~name:"bitset elements/of_list roundtrip" ~count:200
     QCheck.(list (int_bound 63))
@@ -372,6 +422,7 @@ let tests =
     ("bitset bounds checking", `Quick, test_bitset_bounds);
     ("bitset popcount/elements pinned to naive", `Quick, test_bitset_popcount_pinned);
     ("bitset-keyed hashtable", `Quick, test_bitset_tbl);
+    ("bitset pack rows (SoA)", `Quick, test_bitset_pack_rows);
     ("strutil contains_sub", `Quick, test_strutil_contains);
     ("strutil find_sub", `Quick, test_strutil_find);
     ("strutil ends_with", `Quick, test_strutil_ends_with);
@@ -391,6 +442,7 @@ let tests =
     QCheck_alcotest.to_alcotest bitset_prop_roundtrip;
     QCheck_alcotest.to_alcotest bitset_prop_ops_match_lists;
     QCheck_alcotest.to_alcotest bitset_prop_popcount_matches_naive;
+    QCheck_alcotest.to_alcotest bitset_pack_prop_matches_pure;
     QCheck_alcotest.to_alcotest strutil_prop_matches_naive;
     QCheck_alcotest.to_alcotest dag_prop_downsets_closed;
     QCheck_alcotest.to_alcotest dag_prop_downsets_unique;
