@@ -17,6 +17,9 @@
                     reports Gc minor/major words per run; with --json the
                     cells land in BENCH_perf.json under the
                     "micro_phase", "legal_gen" and "obs_overhead" tags
+     --sweep        bounded-sweep throughput: the full posix-seq2
+                    enumeration (143 programs) checked end-to-end on
+                    beegfs, reporting sequences/sec (--json: tag "sweep")
      --scaling      jobs ∈ {1,2,4,8} sweep on the largest HDF5 cells,
                     recording the host core count and per-cell Gc
                     minor/major words (--json: tag "scaling")
@@ -907,6 +910,50 @@ let micro () =
   @ List.map (micro_cell ~tag:"legal_gen") legal_cells
   @ List.map (micro_cell ~tag:"obs_overhead") obs_cells
 
+(* --- bounded-sweep throughput -------------------------------------------------- *)
+
+(* End-to-end sweep rate: enumerate the full posix-seq2 space and push
+   every program through trace + explore + check on beegfs, fresh (no
+   corpus), serial. The sequences/sec cell is the number a reader needs
+   to size a bigger sweep: seq-3 or a 6-fs x 4-model crossing is just
+   (programs / rate) away. *)
+let sweep_bench () =
+  section
+    "Bounded sweep throughput: full posix-seq2 enumeration on beegfs \
+     (fresh, serial, causal model)";
+  let cfg =
+    { W.Config.default with fs = "beegfs"; sweep = Some "posix-seq2" }
+  in
+  let summary = W.Config.run_sweep cfg in
+  let s = summary.Paracrash_core.Sweep.stats in
+  let wall = summary.Paracrash_core.Sweep.wall_seconds in
+  let rate =
+    if wall > 0. then float_of_int s.Paracrash_core.Sweep.checked /. wall
+    else 0.
+  in
+  pr
+    "%d programs checked in %.3fs (%.0f sequences/sec), %d distinct \
+     outcomes, %d programs with bugs@."
+    s.Paracrash_core.Sweep.checked wall rate s.Paracrash_core.Sweep.outcomes
+    s.Paracrash_core.Sweep.bug_programs;
+  [
+    {
+      c_tag = "sweep";
+      c_program = "posix-seq2";
+      c_fs = "beegfs";
+      c_mode = "optimized";
+      c_jobs = 1;
+      c_extras =
+        [
+          ("wall_seconds", Printf.sprintf "%.6f" wall);
+          ("sequences_per_sec", Printf.sprintf "%.1f" rate);
+          ("programs", string_of_int s.Paracrash_core.Sweep.programs);
+          ("outcomes", string_of_int s.Paracrash_core.Sweep.outcomes);
+          ("bug_programs", string_of_int s.Paracrash_core.Sweep.bug_programs);
+        ];
+    };
+  ]
+
 (* --- ratcheting perf gates ---------------------------------------------------- *)
 
 (* ci.sh --gates: a quick micro pass over the hottest serial paths,
@@ -1124,6 +1171,10 @@ let () =
   if all || has "--sensitivity" then sensitivity ();
   if has "--scaling" then begin
     let cells = scaling () in
+    if has "--json" then append_cells cells
+  end;
+  if has "--sweep" then begin
+    let cells = sweep_bench () in
     if has "--json" then append_cells cells
   end;
   if has "--micro" then begin

@@ -107,6 +107,26 @@ let state_budget_arg =
   in
   opt_arg Arg.int ~docv:"N" ~doc [ "state-budget" ]
 
+let sweep_arg =
+  let doc =
+    Printf.sprintf
+      "Instead of a named test program, enumerate every bounded op sequence \
+       of the given depth (B3-style) and check each one: %s. With --fs all \
+       and/or --pfs-model all the sweep crosses file systems and consistency \
+       models. Prints a sweep summary instead of per-program reports."
+      (String.concat ", " W.Vocab.spec_names)
+  in
+  opt_arg Arg.string ~docv:"SWEEP" ~doc [ "sweep" ]
+
+let corpus_arg =
+  let doc =
+    "Directory holding the sweep's resumable corpus journal (program id -> \
+     outcome fingerprint, appended as programs are checked). Programs \
+     already in the corpus are skipped, so an interrupted sweep resumes \
+     where it left off and a finished sweep re-runs as a no-op."
+  in
+  opt_arg Arg.string ~docv:"DIR" ~doc [ "corpus" ]
+
 let show_trace_arg =
   let doc = "Print the recorded cross-layer trace (Figures 2/9 style)." in
   Arg.(value & flag & info [ "t"; "trace" ] ~doc)
@@ -155,9 +175,38 @@ let flush_obs sink ~trace_out ~profile =
     if profile then Fmt.epr "%a@." Obs.pp_profile sink
   end
 
+(* Run the configured bounded sweep: stream every enumerated program
+   through the pipeline, then print (and optionally save) the summary.
+   Per-program reports stay available via --output for offline triage;
+   stdout carries only the summary so large sweeps stay readable. *)
+let run_sweep cfg ~json ~output =
+  let out = Buffer.create 256 in
+  let on_report id report =
+    if output <> None then begin
+      Buffer.add_string out (Printf.sprintf "=== %s ===\n" id);
+      Buffer.add_string out
+        (if json then R.to_json report else Fmt.str "%a@." R.pp report);
+      Buffer.add_char out '\n'
+    end
+  in
+  let summary = W.Config.run_sweep ~on_report cfg in
+  let rendered =
+    if json then Paracrash_core.Sweep.to_json summary
+    else Fmt.str "%a@." Paracrash_core.Sweep.pp summary
+  in
+  print_string rendered;
+  print_newline ();
+  match output with
+  | Some path ->
+      Buffer.add_string out rendered;
+      Buffer.add_char out '\n';
+      Out_channel.with_open_text path (fun oc ->
+          Out_channel.output_string oc (Buffer.contents out))
+  | None -> ()
+
 let run config_file fs program mode k jobs max_cuts pfs_model lib_model servers
-    stripe faults fault_seed fault_budget deadline state_budget show_trace json
-    output trace_out profile =
+    stripe faults fault_seed fault_budget deadline state_budget sweep corpus
+    show_trace json output trace_out profile =
   let fail fmt = Fmt.kstr (fun m -> `Error (false, m)) fmt in
   let base =
     match config_file with
@@ -184,6 +233,8 @@ let run config_file fs program mode k jobs max_cuts pfs_model lib_model servers
           o_fault_budget = fault_budget;
           o_deadline = deadline;
           o_state_budget = state_budget;
+          o_sweep = sweep;
+          o_corpus = corpus;
         }
       in
       match W.Config.merge base ~overrides with
@@ -195,6 +246,11 @@ let run config_file fs program mode k jobs max_cuts pfs_model lib_model servers
           Obs.with_sink sink @@ fun () ->
           Fun.protect ~finally:(fun () -> flush_obs sink ~trace_out ~profile)
           @@ fun () ->
+          if cfg.W.Config.sweep <> None then begin
+            run_sweep cfg ~json ~output;
+            `Ok ()
+          end
+          else begin
           let out = Buffer.create 256 in
           List.iter
             (fun pname ->
@@ -221,7 +277,8 @@ let run config_file fs program mode k jobs max_cuts pfs_model lib_model servers
               Out_channel.with_open_text path (fun oc ->
                   Out_channel.output_string oc (Buffer.contents out))
           | None -> ());
-          `Ok ())
+          `Ok ()
+          end)
 
 let cmd =
   let doc =
@@ -240,6 +297,7 @@ let cmd =
       `P "paracrash -f beegfs -p ARVR -m brute-force -t";
       `P "paracrash -f lustre -p H5-create";
       `P "paracrash -f gpfs -p all --jobs 4 --trace-out trace.json";
+      `P "paracrash -f beegfs --sweep posix-seq2 --corpus ./corpus";
     ]
   in
   Cmd.v
@@ -249,7 +307,7 @@ let cmd =
         (const run $ config_file_arg $ fs_arg $ program_arg $ mode_arg $ k_arg
        $ jobs_arg $ max_cuts_arg $ pfs_model_arg $ lib_model_arg $ servers_arg
        $ stripe_arg $ faults_arg $ fault_seed_arg $ fault_budget_arg
-       $ deadline_arg $ state_budget_arg $ show_trace_arg $ json_arg
-       $ output_arg $ trace_out_arg $ profile_arg))
+       $ deadline_arg $ state_budget_arg $ sweep_arg $ corpus_arg
+       $ show_trace_arg $ json_arg $ output_arg $ trace_out_arg $ profile_arg))
 
 let () = exit (Cmd.eval cmd)

@@ -71,6 +71,44 @@ EOF
     else
         echo "python3 not installed; skipping the JSON parse checks"
     fi
+
+    echo "== sweep corpus smoke =="
+    # a tiny bounded sweep run twice into the same corpus: the second
+    # run must be served entirely from the corpus (checked = 0) and
+    # produce the same summary modulo the wall clock and the
+    # hit/checked split
+    corpus=$(mktemp -d /tmp/paracrash-corpus.XXXXXX)
+    ./_build/default/bin/paracrash.exe -f beegfs --sweep posix-seq1 \
+        --corpus "$corpus" --json 2>/dev/null > /tmp/paracrash-sweep-a.json
+    ./_build/default/bin/paracrash.exe -f beegfs --sweep posix-seq1 \
+        --corpus "$corpus" --json 2>/dev/null > /tmp/paracrash-sweep-b.json
+    if command -v python3 >/dev/null 2>&1; then
+        python3 - <<'EOF'
+import json
+a = json.load(open("/tmp/paracrash-sweep-a.json"))
+b = json.load(open("/tmp/paracrash-sweep-b.json"))
+ma, mb = a["metrics"], b["metrics"]
+assert ma["sweep.programs"] == 12, ma
+assert ma["sweep.corpus_hits"] == 0 and ma["sweep.checked"] == 12, ma
+assert mb["sweep.corpus_hits"] == 12 and mb["sweep.checked"] == 0, \
+    "second run not served from the corpus: %s" % mb
+for k in ma:
+    if k not in ("sweep.corpus_hits", "sweep.checked"):
+        assert ma[k] == mb[k], (k, ma[k], mb[k])
+print("sweep resume: %d programs, %d outcomes, second run 100%% corpus hits"
+      % (ma["sweep.programs"], ma["sweep.outcomes"]))
+EOF
+    else
+        norm='s/"wall_seconds": [0-9.]*/"wall_seconds": X/
+              s/"sweep.corpus_hits": [0-9]*/"sweep.corpus_hits": X/
+              s/"sweep.checked": [0-9]*/"sweep.checked": X/'
+        sed "$norm" /tmp/paracrash-sweep-a.json > /tmp/paracrash-sweep-a.norm
+        sed "$norm" /tmp/paracrash-sweep-b.json > /tmp/paracrash-sweep-b.norm
+        cmp -s /tmp/paracrash-sweep-a.norm /tmp/paracrash-sweep-b.norm || {
+            echo "sweep corpus smoke FAILED" >&2; exit 1; }
+        echo "sweep resume summaries identical (python3 unavailable)"
+    fi
+    rm -rf "$corpus"
 else
     dune runtest
 fi

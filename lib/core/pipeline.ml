@@ -34,6 +34,44 @@ let default_options =
     state_budget = None;
   }
 
+(* Truncation warnings normally go straight to stderr (report output
+   stays byte-stable). A sweep runs thousands of pipelines that would
+   each repeat the same warning; [with_deferred_warnings] collects them
+   instead — deduplicated, counted, in first-seen order — so the caller
+   can print each once with its count. *)
+type warning_sink = {
+  counts : (string, int) Hashtbl.t;
+  mutable order : string list;  (* reversed first-seen order *)
+}
+
+let warning_sink : warning_sink option ref = ref None
+
+let warn fmt =
+  Printf.ksprintf
+    (fun msg ->
+      match !warning_sink with
+      | None -> Printf.eprintf "%s%!" msg
+      | Some sink ->
+          (match Hashtbl.find_opt sink.counts msg with
+          | None ->
+              Hashtbl.replace sink.counts msg 1;
+              sink.order <- msg :: sink.order
+          | Some n -> Hashtbl.replace sink.counts msg (n + 1)))
+    fmt
+
+let with_deferred_warnings f =
+  let sink = { counts = Hashtbl.create 7; order = [] } in
+  let saved = !warning_sink in
+  warning_sink := Some sink;
+  Fun.protect
+    ~finally:(fun () -> warning_sink := saved)
+    (fun () ->
+      let v = f () in
+      let warnings =
+        List.rev_map (fun msg -> (msg, Hashtbl.find sink.counts msg)) sink.order
+      in
+      (v, warnings))
+
 (* Large enough that every current workload fits in one chunk, so the
    chunked TSP tour coincides with the historical whole-list tour;
    smaller values bound the ordering working set for streamed serial
@@ -120,17 +158,15 @@ let run ?(order_chunk = default_order_chunk) ?rpc options ~session ~lib
      visible; warn on stderr so report output stays byte-stable. *)
   let fs_name = Paracrash_pfs.Handle.fs_name session.Session.handle in
   if Legal.truncated ctx.Engine.pfs_legal then
-    Printf.eprintf
+    warn
       "paracrash: warning: %s/%s: PFS preserved-set enumeration truncated at \
-       %d sets; legal-state matching is incomplete\n\
-       %!"
+       %d sets; legal-state matching is incomplete\n"
       workload fs_name Model.max_enumerated;
   (match ctx.Engine.lib with
   | Some l when Legal.truncated l.Checker.legal_views ->
-      Printf.eprintf
+      warn
         "paracrash: warning: %s/%s: %s legal-view enumeration truncated at %d \
-         sets; legal-state matching is incomplete\n\
-         %!"
+         sets; legal-state matching is incomplete\n"
         workload fs_name l.Checker.lib_name Model.max_enumerated
   | _ -> ());
   let scheduler = Scheduler.of_jobs options.jobs in

@@ -56,6 +56,15 @@ val default_options : options
 (** k = 1, optimized exploration, causal PFS model, baseline library
     model, serial scheduling, faults disabled, no deadline or budget. *)
 
+val with_deferred_warnings : (unit -> 'a) -> 'a * (string * int) list
+(** Run [f] with pipeline stderr warnings (legal-set truncation)
+    captured instead of printed: returns [f ()]'s value plus each
+    distinct warning with its occurrence count, in first-seen order. A
+    sweep over thousands of programs prints each warning once with a
+    count rather than thousands of times. Not reentrant across domains
+    (the capture is process-global); the sweep calls it from the single
+    coordinating domain. *)
+
 val run :
   ?order_chunk:int ->
   ?rpc:Report.rpc_stats ->

@@ -106,3 +106,7 @@ val summary_line : t -> string
 
 val to_json : t -> string
 (** Machine-readable rendering of the full report. *)
+
+val json_escape : string -> string
+(** Escape for embedding in a JSON string literal (shared by the other
+    JSON emitters: sweep summaries, bench records). *)

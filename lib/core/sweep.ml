@@ -1,0 +1,251 @@
+module Fp = Paracrash_util.Digestutil.Fp
+
+type outcome = {
+  fingerprint : string;
+  bugs : int;
+  inconsistent : int;
+}
+
+(* Only report content that is deterministic across schedulers goes
+   into the fingerprint (the PR-5 determinism contract: bugs, counts
+   and metrics are byte-identical across --jobs for a fixed seed; wall
+   time, modeled time and restart counts are not). *)
+let outcome_of_report (r : Report.t) =
+  let st = Fp.init () in
+  Fp.add_string st r.Report.fs;
+  Fp.add_string st r.Report.mode;
+  Fp.add_int st r.Report.gen.Explore.n_cuts;
+  Fp.add_int st r.Report.gen.Explore.n_unique;
+  Fp.add_int st (if r.Report.gen.Explore.truncated then 1 else 0);
+  Fp.add_int st r.Report.n_inconsistent;
+  Fp.add_int st r.Report.pfs_bugs;
+  Fp.add_int st r.Report.lib_bugs;
+  List.iter
+    (fun b -> Fp.add_string st (Fmt.str "%a" Report.pp_bug b))
+    r.Report.bugs;
+  {
+    fingerprint = Fp.to_hex (Fp.finish st);
+    bugs = List.length r.Report.bugs;
+    inconsistent = r.Report.n_inconsistent;
+  }
+
+module Corpus = struct
+  type t = {
+    entries : (string, outcome) Hashtbl.t;
+    oc : out_channel;
+  }
+
+  let journal_version = 1
+  let journal_path dir = Filename.concat dir "journal"
+  let header_line header = Printf.sprintf "paracrash-corpus %d %s" journal_version header
+
+  let parse_entry line =
+    match String.split_on_char ' ' line with
+    | [ id; fp; bugs; inconsistent ] when String.length fp = 32 -> (
+        match (int_of_string_opt bugs, int_of_string_opt inconsistent) with
+        | Some bugs, Some inconsistent ->
+            Some (id, { fingerprint = fp; bugs; inconsistent })
+        | _ -> None)
+    | _ -> None
+
+  let entry_line id o =
+    Printf.sprintf "%s %s %d %d\n" id o.fingerprint o.bugs o.inconsistent
+
+  (* Load the journal, returning the byte offset just past the last
+     well-formed line. A torn final line — the sweep was killed
+     mid-write — is dropped by truncating to that offset; a malformed
+     line in the middle means the file is not ours, so fail loudly. *)
+  let load path ~header entries =
+    let ic = open_in_bin path in
+    Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+    let size = in_channel_length ic in
+    let good = ref 0 in
+    let check_header = ref true in
+    let rec go () =
+      let start = pos_in ic in
+      match In_channel.input_line ic with
+      | None -> ()
+      | Some line ->
+          let complete = pos_in ic < size || pos_in ic - start > String.length line in
+          if !check_header then
+            let expected = header_line header in
+            if String.equal line expected && complete then begin
+              check_header := false;
+              good := pos_in ic;
+              go ()
+            end
+            else if (not complete) && String.starts_with ~prefix:line expected
+            then () (* header torn mid-write: treat as an empty journal *)
+            else
+              failwith
+                (Printf.sprintf
+                   "corpus %s was written by a different sweep (journal header %S)"
+                   path line)
+          else
+            match parse_entry line with
+            | Some (id, o) when complete ->
+                Hashtbl.replace entries id o;
+                good := pos_in ic;
+                go ()
+            | Some _ | None ->
+                if complete then
+                  failwith
+                    (Printf.sprintf "corpus %s: malformed journal line %S" path line)
+                (* else: torn tail, drop it *)
+    in
+    go ();
+    !good
+
+  let open_ ~dir ~header =
+    if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+    let path = journal_path dir in
+    let entries = Hashtbl.create 1024 in
+    if Sys.file_exists path then begin
+      let good = load path ~header entries in
+      let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+      ignore (Unix.ftruncate fd good);
+      ignore (Unix.lseek fd good Unix.SEEK_SET);
+      let oc = Unix.out_channel_of_descr fd in
+      if good = 0 then begin
+        output_string oc (header_line header ^ "\n");
+        flush oc
+      end;
+      { entries; oc }
+    end
+    else begin
+      let oc = open_out_bin path in
+      output_string oc (header_line header ^ "\n");
+      flush oc;
+      { entries; oc }
+    end
+
+  let mem t id = Hashtbl.mem t.entries id
+  let find t id = Hashtbl.find_opt t.entries id
+
+  let record t id o =
+    Hashtbl.replace t.entries id o;
+    output_string t.oc (entry_line id o);
+    flush t.oc
+
+  let cardinal t = Hashtbl.length t.entries
+  let close t = close_out_noerr t.oc
+end
+
+type stats = {
+  programs : int;
+  corpus_hits : int;
+  checked : int;
+  outcomes : int;
+  bug_programs : int;
+  bugs : int;
+  inconsistent : int;
+  warnings : (string * int) list;
+}
+
+type summary = {
+  sweep : string;
+  corpus_dir : string option;
+  stats : stats;
+  wall_seconds : float;
+}
+
+let run ?corpus ?on_report ~sweep ~corpus_dir programs =
+  let t0 = Unix.gettimeofday () in
+  let n_programs = ref 0 in
+  let hits = ref 0 in
+  let checked = ref 0 in
+  let bug_programs = ref 0 in
+  let bugs = ref 0 in
+  let inconsistent = ref 0 in
+  let distinct = Hashtbl.create 256 in
+  let tally o =
+    Hashtbl.replace distinct o.fingerprint ();
+    if o.bugs > 0 then incr bug_programs;
+    bugs := !bugs + o.bugs;
+    inconsistent := !inconsistent + o.inconsistent
+  in
+  let (), warnings =
+    Pipeline.with_deferred_warnings @@ fun () ->
+    Seq.iter
+      (fun (id, run_program) ->
+        incr n_programs;
+        match Option.bind corpus (fun c -> Corpus.find c id) with
+        | Some o ->
+            incr hits;
+            tally o
+        | None ->
+            let report = run_program () in
+            incr checked;
+            let o = outcome_of_report report in
+            Option.iter (fun c -> Corpus.record c id o) corpus;
+            Option.iter (fun f -> f id report) on_report;
+            tally o)
+      programs
+  in
+  {
+    sweep;
+    corpus_dir;
+    stats =
+      {
+        programs = !n_programs;
+        corpus_hits = !hits;
+        checked = !checked;
+        outcomes = Hashtbl.length distinct;
+        bug_programs = !bug_programs;
+        bugs = !bugs;
+        inconsistent = !inconsistent;
+        warnings;
+      };
+    wall_seconds = Unix.gettimeofday () -. t0;
+  }
+
+let pp ppf t =
+  let s = t.stats in
+  Fmt.pf ppf "@[<v>=== sweep %s ===@," t.sweep;
+  (match t.corpus_dir with
+  | Some d -> Fmt.pf ppf "corpus: %s@," d
+  | None -> ());
+  Fmt.pf ppf "programs %d (%d from corpus, %d checked)@," s.programs
+    s.corpus_hits s.checked;
+  Fmt.pf ppf "distinct outcomes %d@," s.outcomes;
+  Fmt.pf ppf "programs with bugs %d (%d bug entries, %d inconsistent states)@,"
+    s.bug_programs s.bugs s.inconsistent;
+  List.iter
+    (fun (msg, n) ->
+      Fmt.pf ppf "warning (x%d): %s@," n (String.trim msg))
+    s.warnings;
+  Fmt.pf ppf "wall %.3fs@]" t.wall_seconds
+
+let json_version = 1
+
+let to_json t =
+  let s = t.stats in
+  let buf = Buffer.create 512 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "{\n";
+  add "  \"version\": %d,\n" json_version;
+  add "  \"sweep\": \"%s\",\n" (Report.json_escape t.sweep);
+  (match t.corpus_dir with
+  | Some d -> add "  \"corpus\": \"%s\",\n" (Report.json_escape d)
+  | None -> add "  \"corpus\": null,\n");
+  add "  \"metrics\": {\n";
+  add "    \"sweep.programs\": %d,\n" s.programs;
+  add "    \"sweep.corpus_hits\": %d,\n" s.corpus_hits;
+  add "    \"sweep.checked\": %d,\n" s.checked;
+  add "    \"sweep.outcomes\": %d,\n" s.outcomes;
+  add "    \"sweep.bug_programs\": %d,\n" s.bug_programs;
+  add "    \"sweep.bugs\": %d,\n" s.bugs;
+  add "    \"sweep.inconsistent\": %d\n" s.inconsistent;
+  add "  },\n";
+  add "  \"warnings\": [";
+  List.iteri
+    (fun i (msg, n) ->
+      add "%s\n    { \"message\": \"%s\", \"count\": %d }"
+        (if i = 0 then "" else ",")
+        (Report.json_escape (String.trim msg))
+        n)
+    s.warnings;
+  add "%s],\n" (if s.warnings = [] then "" else "\n  ");
+  add "  \"perf\": { \"wall_seconds\": %.6f }\n" t.wall_seconds;
+  add "}";
+  Buffer.contents buf

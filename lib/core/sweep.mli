@@ -1,0 +1,88 @@
+(** Bounded-sweep driver: stream thousands of generated programs
+    through the pipeline, dedup outcomes, and remember what was checked.
+
+    A sweep is a lazy sequence of [(id, run)] pairs — the enumeration
+    and the fs x model crossing live with the caller (the workload
+    layer); this module owns the generic machinery:
+
+    - each program's report is reduced to a 128-bit outcome
+      {e fingerprint} covering everything deterministic (bugs,
+      inconsistency counts, truncation) and nothing scheduler-dependent
+      (wall time, restarts), so fingerprints are stable across [--jobs];
+    - distinct fingerprints are counted — the sweep's product is "how
+      many behaviours", not "how many programs";
+    - an optional on-disk {e corpus} journal records
+      [id -> fingerprint]: programs already present are skipped, so a
+      killed sweep resumes where it left off and a finished sweep
+      re-runs as a no-op. The journal is append-only with a torn-tail
+      repair on load, and entries are written in enumeration order, so
+      an interrupted-then-resumed corpus is byte-identical to an
+      uninterrupted one;
+    - pipeline truncation warnings are captured once each with a count
+      ({!Pipeline.with_deferred_warnings}) instead of flooding stderr. *)
+
+type outcome = {
+  fingerprint : string;  (** 32-char hex of the 128-bit outcome fp *)
+  bugs : int;
+  inconsistent : int;
+}
+
+val outcome_of_report : Report.t -> outcome
+(** Deterministic across [--jobs]: absorbs fs, mode, state counts,
+    truncation, inconsistency, bug attributions and each rendered bug —
+    never wall time, modeled time or restart counts. *)
+
+(** The on-disk corpus: one header line (validated on reopen, so two
+    different sweeps cannot share a directory), then one
+    [id fingerprint bugs inconsistent] line per checked program,
+    appended in enumeration order and flushed per entry. A torn final
+    line (killed mid-write) is dropped on load. *)
+module Corpus : sig
+  type t
+
+  val open_ : dir:string -> header:string -> t
+  (** Creates [dir] (and the journal) if missing. Raises [Failure] when
+      the directory holds a journal for a different [header]. *)
+
+  val mem : t -> string -> bool
+  val find : t -> string -> outcome option
+  val record : t -> string -> outcome -> unit
+  val cardinal : t -> int
+  val close : t -> unit
+end
+
+type stats = {
+  programs : int;  (** enumerated *)
+  corpus_hits : int;  (** skipped: already in the corpus *)
+  checked : int;  (** actually run through the pipeline *)
+  outcomes : int;  (** distinct outcome fingerprints seen (incl. corpus) *)
+  bug_programs : int;  (** programs whose report contains >= 1 bug *)
+  bugs : int;  (** total bug entries across reports *)
+  inconsistent : int;  (** total inconsistent crash states *)
+  warnings : (string * int) list;  (** deduplicated pipeline warnings *)
+}
+
+type summary = {
+  sweep : string;  (** the sweep spec, e.g. ["posix-seq2"] *)
+  corpus_dir : string option;
+  stats : stats;
+  wall_seconds : float;
+}
+
+val run :
+  ?corpus:Corpus.t ->
+  ?on_report:(string -> Report.t -> unit) ->
+  sweep:string ->
+  corpus_dir:string option ->
+  (string * (unit -> Report.t)) Seq.t ->
+  summary
+(** Stream the programs in order. For each: skip if the corpus already
+    has its id (counting its recorded outcome), else run the thunk,
+    fingerprint the report, record it, and pass the report to
+    [on_report] (streamed output; reports are not accumulated). *)
+
+val pp : Format.formatter -> summary -> unit
+
+val to_json : summary -> string
+(** Stable JSON: a [metrics] object mirroring {!stats} (deterministic
+    given the corpus state) plus [wall_seconds] (measured). *)

@@ -7,6 +7,9 @@ type t = {
   program : string;
   pfs : Pfs_config.t;
   options : D.options;
+  sweep : string option;
+  corpus : string option;
+  sweep_all_models : bool;
 }
 
 let default =
@@ -15,6 +18,9 @@ let default =
     program = "ARVR";
     pfs = Pfs_config.default;
     options = D.default_options;
+    sweep = None;
+    corpus = None;
+    sweep_all_models = false;
   }
 
 let of_runconfig (rc : Runconfig.t) =
@@ -23,6 +29,9 @@ let of_runconfig (rc : Runconfig.t) =
     program = rc.Runconfig.program;
     pfs = rc.Runconfig.config;
     options = rc.Runconfig.options;
+    sweep = rc.Runconfig.sweep;
+    corpus = rc.Runconfig.corpus;
+    sweep_all_models = false;
   }
 
 type overrides = {
@@ -41,6 +50,8 @@ type overrides = {
   o_fault_budget : int option;
   o_deadline : float option;
   o_state_budget : int option;
+  o_sweep : string option;
+  o_corpus : string option;
 }
 
 let no_overrides =
@@ -60,6 +71,8 @@ let no_overrides =
     o_fault_budget = None;
     o_deadline = None;
     o_state_budget = None;
+    o_sweep = None;
+    o_corpus = None;
   }
 
 let ( let* ) = Result.bind
@@ -77,10 +90,26 @@ let merge t ~overrides:o =
   let keep current = Option.value ~default:current in
   let fs = keep t.fs o.o_fs in
   let program = keep t.program o.o_program in
+  let sweep =
+    match o.o_sweep with Some s -> Some s | None -> t.sweep
+  in
+  let corpus =
+    match o.o_corpus with Some c -> Some c | None -> t.corpus
+  in
   let* () =
-    if Registry.find_fs fs = None then
-      Error (Printf.sprintf "unknown file system %S" fs)
-    else Ok ()
+    match sweep with
+    | None -> Ok ()
+    | Some s ->
+        if Vocab.spec_of_string s <> None then Ok ()
+        else
+          Error
+            (Printf.sprintf "unknown sweep %S (expected one of %s)" s
+               (String.concat ", " Vocab.spec_names))
+  in
+  let* () =
+    if Registry.find_fs fs <> None then Ok ()
+    else if fs = "all" && sweep <> None then Ok ()
+    else Error (Printf.sprintf "unknown file system %S" fs)
   in
   let* () =
     if program <> "all" && Registry.find_workload program = None then
@@ -88,8 +117,12 @@ let merge t ~overrides:o =
     else Ok ()
   in
   let* mode = enum "mode" D.mode_of_string t.options.D.mode o.o_mode in
+  let sweep_all_models =
+    (sweep <> None && o.o_pfs_model = Some "all") || t.sweep_all_models
+  in
+  let o_pfs_model = if sweep_all_models then None else o.o_pfs_model in
   let* pfs_model =
-    enum "model" Model.of_string t.options.D.pfs_model o.o_pfs_model
+    enum "model" Model.of_string t.options.D.pfs_model o_pfs_model
   in
   let* lib_model =
     enum "model" Model.of_string t.options.D.lib_model o.o_lib_model
@@ -124,6 +157,9 @@ let merge t ~overrides:o =
       fs;
       program;
       pfs;
+      sweep;
+      corpus;
+      sweep_all_models;
       options =
         {
           t.options with
@@ -162,3 +198,59 @@ let run t program =
     | None -> invalid_arg ("Config.run: unknown program " ^ program)
   in
   D.run ~options:t.options ~config:t.pfs ~make_fs:fs.Registry.make spec
+
+module Sweep = Paracrash_core.Sweep
+
+let sweep_spec t =
+  match t.sweep with
+  | None -> invalid_arg "Config.sweep_spec: no sweep configured"
+  | Some s -> (
+      match Vocab.spec_of_string s with
+      | Some spec -> spec
+      | None -> invalid_arg ("Config.sweep_spec: unknown sweep " ^ s))
+
+let sweep_file_systems t =
+  if t.fs = "all" then Registry.file_systems
+  else
+    match Registry.find_fs t.fs with
+    | Some fs -> [ fs ]
+    | None -> invalid_arg ("Config.sweep_programs: unknown file system " ^ t.fs)
+
+let sweep_models t =
+  if t.sweep_all_models then Model.all else [ t.options.D.pfs_model ]
+
+(* The full work-list: fs x consistency model x enumerated program, in
+   a deterministic order (corpus resume depends on it). Each element
+   carries the stable corpus id and a thunk running the program through
+   the ordinary pipeline with this configuration's options. *)
+let sweep_programs t =
+  let spec = sweep_spec t in
+  List.to_seq (sweep_file_systems t)
+  |> Seq.concat_map (fun fs ->
+         List.to_seq (sweep_models t)
+         |> Seq.concat_map (fun pfs_model ->
+                let options = { t.options with D.pfs_model } in
+                Vocab.enumerate spec
+                |> Seq.map (fun p ->
+                       let id =
+                         Printf.sprintf "%s/%s/%s" fs.Registry.fs_name
+                           (Model.to_string pfs_model) (Prog.id p)
+                       in
+                       let run () =
+                         fst
+                           (D.run ~options ~config:t.pfs
+                              ~make_fs:fs.Registry.make (Prog.to_spec p))
+                       in
+                       (id, run))))
+
+let run_sweep ?on_report t =
+  let spec_name = Vocab.spec_to_string (sweep_spec t) in
+  let corpus =
+    Option.map
+      (fun dir -> Sweep.Corpus.open_ ~dir ~header:("sweep " ^ spec_name))
+      t.corpus
+  in
+  Fun.protect ~finally:(fun () -> Option.iter Sweep.Corpus.close corpus)
+  @@ fun () ->
+  Sweep.run ?corpus ?on_report ~sweep:spec_name ~corpus_dir:t.corpus
+    (sweep_programs t)

@@ -16,10 +16,17 @@
     message. *)
 
 type t = {
-  fs : string;  (** file system under test (a {!Registry.file_systems} name) *)
+  fs : string;
+      (** file system under test (a {!Registry.file_systems} name, or
+          ["all"] under a sweep) *)
   program : string;  (** test program name, or ["all"] *)
   pfs : Paracrash_pfs.Config.t;  (** topology: servers, stripe, journaling *)
   options : Paracrash_core.Driver.options;  (** exploration options *)
+  sweep : string option;  (** a {!Vocab.spec_names} value, or no sweep *)
+  corpus : string option;  (** sweep corpus directory *)
+  sweep_all_models : bool;
+      (** sweep across every consistency model instead of
+          [options.pfs_model] (from [--model all] under [--sweep]) *)
 }
 
 val default : t
@@ -45,6 +52,8 @@ type overrides = {
   o_fault_budget : int option;
   o_deadline : float option;
   o_state_budget : int option;
+  o_sweep : string option;
+  o_corpus : string option;
 }
 (** One optional value per CLI knob; [None] means the flag was not
     given and the underlying configuration wins. Enumerated knobs
@@ -68,3 +77,22 @@ val run : t -> string -> Paracrash_core.Report.t * Paracrash_core.Session.t
     {!Paracrash_core.Driver.run} with this configuration. The blessed
     entry point for the CLI and tooling; raises [Invalid_argument] on
     a program or file system that {!merge} would have rejected. *)
+
+(** {1 Bounded sweeps} *)
+
+val sweep_programs :
+  t -> (string * (unit -> Paracrash_core.Report.t)) Seq.t
+(** The sweep work-list this configuration selects: file systems
+    ([t.fs], or all six for ["all"]) x consistency models
+    ([options.pfs_model], or every model when [sweep_all_models]) x the
+    programs {!Vocab.enumerate} yields for [t.sweep] — lazily, in the
+    deterministic order corpus resume relies on. Ids are
+    [fs/model/program]. Raises [Invalid_argument] if [t.sweep] is
+    unset or would have been rejected by {!merge}. *)
+
+val run_sweep :
+  ?on_report:(string -> Paracrash_core.Report.t -> unit) ->
+  t ->
+  Paracrash_core.Sweep.summary
+(** Stream {!sweep_programs} through {!Paracrash_core.Sweep.run},
+    opening (and closing) the corpus at [t.corpus] if configured. *)

@@ -1,5 +1,6 @@
 module Op = Paracrash_pfs.Pfs_op
 module Handle = Paracrash_pfs.Handle
+module Ns = Vocab.Ns
 
 type t = {
   seed : int;
@@ -26,20 +27,16 @@ module Rng = struct
   let pick t xs = List.nth xs (below t (List.length xs))
 end
 
-(* Generation state: the namespace the program has built so far, used
-   to keep every operation well-formed. *)
-type gen_state = {
-  mutable dirs : string list;
-  mutable files : (string * int) list;  (* path, size *)
-  mutable fresh : int;
-}
+(* Generation state is the shared namespace model: [Ns] preserves the
+   exact association-list ordering of the historical generator state,
+   so the PRNG's positional picks — and hence every seeded program —
+   are unchanged. *)
 
-let fresh_name st prefix =
-  let n = st.fresh in
-  st.fresh <- n + 1;
-  Printf.sprintf "%s%d" prefix n
+let in_dir rng st = Rng.pick rng (Ns.dirs st)
 
-let in_dir rng st = Rng.pick rng st.dirs
+let emit st op =
+  Ns.record st op;
+  Some op
 
 let gen_op rng st =
   let choice = Rng.below rng 100 in
@@ -47,68 +44,58 @@ let gen_op rng st =
     (* create a file *)
     let dir = in_dir rng st in
     let path =
-      (if dir = "/" then "/" else dir ^ "/") ^ fresh_name st "f"
+      (if dir = "/" then "/" else dir ^ "/") ^ Ns.fresh_name st "f"
     in
-    st.files <- (path, 0) :: st.files;
-    Some (Op.Creat { path })
+    emit st (Op.Creat { path })
   end
-  else if choice < 45 && st.files <> [] then begin
+  else if choice < 45 && Ns.files st <> [] then begin
     (* append data *)
-    let path, size = Rng.pick rng st.files in
+    let path, _ = Rng.pick rng (Ns.files st) in
     let data = String.make (1 + Rng.below rng 64) (Char.chr (97 + Rng.below rng 26)) in
-    st.files <-
-      (path, size + String.length data) :: List.remove_assoc path st.files;
-    Some (Op.Append { path; data })
+    emit st (Op.Append { path; data })
   end
-  else if choice < 60 && st.files <> [] then begin
+  else if choice < 60 && Ns.files st <> [] then begin
     (* overwrite strictly in place: a crash can tear an extending write
        between its data and its size update, which is legal partial
        execution of a non-atomic operation (§4.4.2) and outside the
        all-or-nothing golden comparison, so generated overwrites stay
        within the current size *)
-    let candidates = List.filter (fun (_, size) -> size > 1) st.files in
+    let candidates = List.filter (fun (_, size) -> size > 1) (Ns.files st) in
     if candidates = [] then None
     else begin
       let path, size = Rng.pick rng candidates in
       let off = Rng.below rng (size - 1) in
       let len = 1 + Rng.below rng (size - off - 1) in
       let data = String.make len (Char.chr (65 + Rng.below rng 26)) in
-      Some (Op.Write { path; off; data; what = "" })
+      emit st (Op.Write { path; off; data; what = "" })
     end
   end
-  else if choice < 75 && st.files <> [] then begin
+  else if choice < 75 && Ns.files st <> [] then begin
     (* rename a file, possibly replacing another *)
-    let src, size = Rng.pick rng st.files in
+    let src, _ = Rng.pick rng (Ns.files st) in
     let dir = in_dir rng st in
-    let replace = Rng.below rng 2 = 0 && List.length st.files > 1 in
+    let replace = Rng.below rng 2 = 0 && List.length (Ns.files st) > 1 in
     let dst =
       if replace then
-        fst (Rng.pick rng (List.filter (fun (p, _) -> p <> src) st.files))
-      else (if dir = "/" then "/" else dir ^ "/") ^ fresh_name st "r"
+        fst (Rng.pick rng (List.filter (fun (p, _) -> p <> src) (Ns.files st)))
+      else (if dir = "/" then "/" else dir ^ "/") ^ Ns.fresh_name st "r"
     in
-    if dst = src then None
-    else begin
-      st.files <-
-        (dst, size)
-        :: List.remove_assoc dst (List.remove_assoc src st.files);
-      Some (Op.Rename { src; dst })
-    end
+    if dst = src then None else emit st (Op.Rename { src; dst })
   end
-  else if choice < 85 && st.files <> [] then begin
+  else if choice < 85 && Ns.files st <> [] then begin
     (* unlink *)
-    let path, _ = Rng.pick rng st.files in
-    st.files <- List.remove_assoc path st.files;
-    Some (Op.Unlink { path })
+    let path, _ = Rng.pick rng (Ns.files st) in
+    emit st (Op.Unlink { path })
   end
   else if choice < 92 then begin
     (* new directory at the root, to keep renames well-formed *)
-    let path = "/" ^ fresh_name st "d" in
-    st.dirs <- path :: st.dirs;
-    Some (Op.Mkdir { path })
+    let path = "/" ^ Ns.fresh_name st "d" in
+    emit st (Op.Mkdir { path })
   end
-  else if st.files <> [] then begin
-    let path, _ = Rng.pick rng st.files in
-    Some (if Rng.below rng 2 = 0 then Op.Fsync { path } else Op.Close { path })
+  else if Ns.files st <> [] then begin
+    let path, _ = Rng.pick rng (Ns.files st) in
+    emit st
+      (if Rng.below rng 2 = 0 then Op.Fsync { path } else Op.Close { path })
   end
   else None
 
@@ -124,10 +111,16 @@ let gen_ops rng st n =
 
 let generate ?(n_ops = 5) ~seed () =
   let rng = Rng.create seed in
-  let st = { dirs = [ "/" ]; files = []; fresh = 0 } in
+  let st = Ns.create () in
   let preamble_ops = gen_ops rng st (2 + Rng.below rng 3) in
   let test_ops = gen_ops rng st n_ops in
   { seed; preamble_ops; test_ops }
+
+let to_prog t =
+  {
+    Prog.name = Printf.sprintf "gen-%d" t.seed;
+    body = Prog.Posix { preamble = t.preamble_ops; test = t.test_ops };
+  }
 
 let to_spec t =
   {

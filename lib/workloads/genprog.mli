@@ -3,7 +3,9 @@
     The paper notes that ParaCrash "allows users to generate their own
     test programs" (§6.2). This module produces random-but-wellformed
     POSIX test programs (a preamble establishing files and directories,
-    then a short sequence of operations) from a deterministic seed.
+    then a short sequence of operations) from a deterministic seed. The
+    namespace model that keeps operations well-formed is the shared
+    {!Vocab.Ns} — the same one the bounded sweep enumerator uses.
 
     Besides fuzzing the PFS simulators, random programs give strong
     whole-stack properties: on a stack whose every crash state is a
@@ -20,6 +22,9 @@ val generate : ?n_ops:int -> seed:int -> unit -> t
 (** Deterministic in [seed]. [n_ops] bounds the traced test sequence
     (default 5). All operations are well-formed with respect to the
     program's own history (no writes to never-created files). *)
+
+val to_prog : t -> Prog.t
+(** The generated program as first-class data (named [gen-<seed>]). *)
 
 val to_spec : t -> Paracrash_core.Driver.spec
 val pp : Format.formatter -> t -> unit

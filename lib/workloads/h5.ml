@@ -1,109 +1,157 @@
-module Driver = Paracrash_core.Driver
-module Mpiio = Paracrash_mpiio.Mpiio
-module File = Paracrash_hdf5.File
-module Layer = Paracrash_hdf5.Layer
-module Netcdf = Paracrash_netcdf.Netcdf
-
 let default_rows = 200
 let default_cols = 200
-let file_path = "/data.h5"
+let h5_setup ?(nprocs = 1) ~rows ~cols ?(dsets_per_group = 2) () =
+  { Prog.nprocs; rows; cols; dsets_per_group }
 
-(* Common initial state (§6.2): a file with two groups and (by default)
-   two datasets per group. *)
-let setup ~nprocs ~rows ~cols ~dsets_per_group h =
-  let ctx = Mpiio.init h ~nprocs in
-  let file = File.create ctx file_path in
-  List.iter
-    (fun g ->
-      File.create_group file g;
-      for i = 0 to dsets_per_group - 1 do
-        File.create_dataset file ~group:g ~name:(Printf.sprintf "d%d" i) ~rows
-          ~cols ()
-      done)
-    [ "g1"; "g2" ];
-  file
-
-let h5_spec ~name ?(nprocs = 1) ?(rows = default_rows) ?(cols = default_cols)
-    ?(dsets_per_group = 2) test =
-  let file = ref None in
-  let get () = Option.get !file in
-  {
-    Driver.name;
-    preamble = (fun h -> file := Some (setup ~nprocs ~rows ~cols ~dsets_per_group h));
-    test = (fun _h -> test (get ()));
-    lib = Some (fun ~model session -> Layer.lib_layer ~file:(get ()) ~model session);
-  }
-
-let h5_create ?(rows = default_rows) ?(cols = default_cols)
+let h5_create_prog ?(rows = default_rows) ?(cols = default_cols)
     ?(dsets_per_group = 2) () =
-  h5_spec ~name:"H5-create" ~rows ~cols ~dsets_per_group (fun file ->
-      File.create_dataset file ~group:"g2" ~name:"dnew" ~rows ~cols ())
-
-let h5_delete ?(rows = default_rows) ?(cols = default_cols) () =
-  h5_spec ~name:"H5-delete" ~rows ~cols (fun file ->
-      File.delete_dataset file ~group:"g1" ~name:"d1" ())
-
-let h5_rename ?(rows = default_rows) ?(cols = default_cols) () =
-  h5_spec ~name:"H5-rename" ~rows ~cols (fun file ->
-      File.move_dataset file ~src_group:"g1" ~name:"d0" ~dst_group:"g2"
-        ~new_name:"dmoved" ())
-
-let h5_resize ?(rows = default_rows) ?(cols = default_cols) ?to_rows ?to_cols () =
-  let to_rows = Option.value to_rows ~default:(rows * 2) in
-  let to_cols = Option.value to_cols ~default:(cols * 2) in
-  h5_spec ~name:"H5-resize" ~rows ~cols (fun file ->
-      File.resize_dataset file ~group:"g1" ~name:"d0" ~rows:to_rows ~cols:to_cols ())
-
-let cdf_create ?(rows = default_rows) ?(cols = default_cols) () =
-  (* NetCDF over the same substrate: the preamble defines two variables
-     per group through the NetCDF API *)
-  let cdf = ref None in
-  let get () = Option.get !cdf in
   {
-    Driver.name = "CDF-create";
-    preamble =
-      (fun h ->
-        let ctx = Mpiio.init h ~nprocs:1 in
-        let t = Netcdf.create ctx file_path in
-        List.iter
-          (fun g ->
-            Netcdf.def_group t g;
-            for i = 0 to 1 do
-              Netcdf.def_var t ~group:g ~name:(Printf.sprintf "v%d" i) ~rows
-                ~cols ()
-            done)
-          [ "g1"; "g2" ];
-        cdf := Some t);
-    test =
-      (fun _h -> Netcdf.def_var (get ()) ~group:"g2" ~name:"vnew" ~rows ~cols ());
-    lib =
-      Some
-        (fun ~model session ->
-          let layer = Layer.lib_layer ~file:(Netcdf.hdf5 (get ())) ~model session in
-          { layer with lib_name = "netcdf" });
+    Prog.name = "H5-create";
+    body =
+      Prog.H5
+        {
+          setup = h5_setup ~rows ~cols ~dsets_per_group ();
+          test =
+            [
+              Prog.H5_create
+                { parallel = false; group = "g2"; name = "dnew"; rows; cols };
+            ];
+        };
   }
 
-let h5_parallel_create ?(rows = default_rows) ?(cols = default_cols)
-    ?(nprocs = 2) () =
-  h5_spec ~name:"H5-parallel-create" ~nprocs ~rows ~cols (fun file ->
-      File.create_dataset file ~parallel:true ~group:"g2" ~name:"dnew" ~rows
-        ~cols ())
+let h5_delete_prog ?(rows = default_rows) ?(cols = default_cols) () =
+  {
+    Prog.name = "H5-delete";
+    body =
+      Prog.H5
+        {
+          setup = h5_setup ~rows ~cols ();
+          test = [ Prog.H5_delete { group = "g1"; name = "d1" } ];
+        };
+  }
 
-let h5_parallel_resize ?(rows = default_rows) ?(cols = default_cols) ?to_rows
-    ?to_cols ?(nprocs = 2) () =
+let h5_rename_prog ?(rows = default_rows) ?(cols = default_cols) () =
+  {
+    Prog.name = "H5-rename";
+    body =
+      Prog.H5
+        {
+          setup = h5_setup ~rows ~cols ();
+          test =
+            [
+              Prog.H5_move
+                {
+                  src_group = "g1";
+                  name = "d0";
+                  dst_group = "g2";
+                  new_name = "dmoved";
+                };
+            ];
+        };
+  }
+
+let h5_resize_prog ?(rows = default_rows) ?(cols = default_cols) ?to_rows
+    ?to_cols () =
   let to_rows = Option.value to_rows ~default:(rows * 2) in
   let to_cols = Option.value to_cols ~default:(cols * 2) in
-  h5_spec ~name:"H5-parallel-resize" ~nprocs ~rows ~cols (fun file ->
-      File.resize_dataset file ~parallel:true ~group:"g1" ~name:"d0"
-        ~rows:to_rows ~cols:to_cols ())
+  {
+    Prog.name = "H5-resize";
+    body =
+      Prog.H5
+        {
+          setup = h5_setup ~rows ~cols ();
+          test =
+            [
+              Prog.H5_resize
+                {
+                  parallel = false;
+                  group = "g1";
+                  name = "d0";
+                  rows = to_rows;
+                  cols = to_cols;
+                };
+            ];
+        };
+  }
 
-let all () =
+let cdf_create_prog ?(rows = default_rows) ?(cols = default_cols) () =
+  {
+    Prog.name = "CDF-create";
+    body =
+      Prog.Cdf
+        {
+          setup = { Prog.c_rows = rows; c_cols = cols };
+          test =
+            [ Prog.Cdf_def_var { group = "g2"; name = "vnew"; rows; cols } ];
+        };
+  }
+
+let h5_parallel_create_prog ?(rows = default_rows) ?(cols = default_cols)
+    ?(nprocs = 2) () =
+  {
+    Prog.name = "H5-parallel-create";
+    body =
+      Prog.H5
+        {
+          setup = h5_setup ~nprocs ~rows ~cols ();
+          test =
+            [
+              Prog.H5_create
+                { parallel = true; group = "g2"; name = "dnew"; rows; cols };
+            ];
+        };
+  }
+
+let h5_parallel_resize_prog ?(rows = default_rows) ?(cols = default_cols)
+    ?to_rows ?to_cols ?(nprocs = 2) () =
+  let to_rows = Option.value to_rows ~default:(rows * 2) in
+  let to_cols = Option.value to_cols ~default:(cols * 2) in
+  {
+    Prog.name = "H5-parallel-resize";
+    body =
+      Prog.H5
+        {
+          setup = h5_setup ~nprocs ~rows ~cols ();
+          test =
+            [
+              Prog.H5_resize
+                {
+                  parallel = true;
+                  group = "g1";
+                  name = "d0";
+                  rows = to_rows;
+                  cols = to_cols;
+                };
+            ];
+        };
+  }
+
+let h5_create ?rows ?cols ?dsets_per_group () =
+  Prog.to_spec (h5_create_prog ?rows ?cols ?dsets_per_group ())
+
+let h5_delete ?rows ?cols () = Prog.to_spec (h5_delete_prog ?rows ?cols ())
+let h5_rename ?rows ?cols () = Prog.to_spec (h5_rename_prog ?rows ?cols ())
+
+let h5_resize ?rows ?cols ?to_rows ?to_cols () =
+  Prog.to_spec (h5_resize_prog ?rows ?cols ?to_rows ?to_cols ())
+
+let cdf_create ?rows ?cols () = Prog.to_spec (cdf_create_prog ?rows ?cols ())
+
+let h5_parallel_create ?rows ?cols ?nprocs () =
+  Prog.to_spec (h5_parallel_create_prog ?rows ?cols ?nprocs ())
+
+let h5_parallel_resize ?rows ?cols ?to_rows ?to_cols ?nprocs () =
+  Prog.to_spec (h5_parallel_resize_prog ?rows ?cols ?to_rows ?to_cols ?nprocs ())
+
+let programs () =
   [
-    h5_create ();
-    h5_delete ();
-    h5_rename ();
-    h5_resize ();
-    cdf_create ();
-    h5_parallel_create ();
-    h5_parallel_resize ();
+    h5_create_prog ();
+    h5_delete_prog ();
+    h5_rename_prog ();
+    h5_resize_prog ();
+    cdf_create_prog ();
+    h5_parallel_create_prog ();
+    h5_parallel_resize_prog ();
   ]
+
+let all () = List.map Prog.to_spec (programs ())

@@ -1,13 +1,29 @@
-(** The paper's HDF5 and NetCDF test programs (§6.2).
+(** The paper's HDF5 and NetCDF test programs (§6.2), as first-class
+    {!Prog.t} data.
 
     Each program starts from the common initial state — an HDF5 file
     holding two groups with two datasets each — and performs one or two
     library calls. The parallel variants run the call collectively on
     two MPI ranks. Dimensions default to the paper's 200x200 and can be
-    varied for the sensitivity study. *)
+    varied for the sensitivity study. The [Driver.spec] constructors
+    compile the programs and are byte-identical to the historical
+    closure-based definitions. *)
 
 val default_rows : int
 val default_cols : int
+
+val h5_create_prog :
+  ?rows:int -> ?cols:int -> ?dsets_per_group:int -> unit -> Prog.t
+val h5_delete_prog : ?rows:int -> ?cols:int -> unit -> Prog.t
+val h5_rename_prog : ?rows:int -> ?cols:int -> unit -> Prog.t
+val h5_resize_prog :
+  ?rows:int -> ?cols:int -> ?to_rows:int -> ?to_cols:int -> unit -> Prog.t
+val cdf_create_prog : ?rows:int -> ?cols:int -> unit -> Prog.t
+val h5_parallel_create_prog :
+  ?rows:int -> ?cols:int -> ?nprocs:int -> unit -> Prog.t
+val h5_parallel_resize_prog :
+  ?rows:int -> ?cols:int -> ?to_rows:int -> ?to_cols:int -> ?nprocs:int ->
+  unit -> Prog.t
 
 val h5_create : ?rows:int -> ?cols:int -> ?dsets_per_group:int -> unit ->
   Paracrash_core.Driver.spec
@@ -23,5 +39,8 @@ val h5_parallel_resize :
   ?rows:int -> ?cols:int -> ?to_rows:int -> ?to_cols:int -> ?nprocs:int ->
   unit -> Paracrash_core.Driver.spec
 
-val all : unit -> Paracrash_core.Driver.spec list
+val programs : unit -> Prog.t list
 (** The seven library programs at default parameters. *)
+
+val all : unit -> Paracrash_core.Driver.spec list
+(** {!programs} compiled. *)

@@ -1,72 +1,89 @@
-module Handle = Paracrash_pfs.Handle
 module Op = Paracrash_pfs.Pfs_op
-module Driver = Paracrash_core.Driver
 
-let x = Handle.exec
-
-let arvr =
+let arvr_prog =
   {
-    Driver.name = "ARVR";
-    preamble =
-      (fun h ->
-        x h (Op.Creat { path = "/foo" });
-        x h (Op.Append { path = "/foo"; data = "old-contents-of-foo" });
-        x h (Op.Close { path = "/foo" }));
-    test =
-      (fun h ->
-        x h (Op.Creat { path = "/tmp" });
-        x h (Op.Append { path = "/tmp"; data = "NEW-contents-of-foo" });
-        x h (Op.Close { path = "/tmp" });
-        x h (Op.Rename { src = "/tmp"; dst = "/foo" }));
-    lib = None;
+    Prog.name = "ARVR";
+    body =
+      Prog.Posix
+        {
+          preamble =
+            [
+              Op.Creat { path = "/foo" };
+              Op.Append { path = "/foo"; data = "old-contents-of-foo" };
+              Op.Close { path = "/foo" };
+            ];
+          test =
+            [
+              Op.Creat { path = "/tmp" };
+              Op.Append { path = "/tmp"; data = "NEW-contents-of-foo" };
+              Op.Close { path = "/tmp" };
+              Op.Rename { src = "/tmp"; dst = "/foo" };
+            ];
+        };
   }
 
-let cr =
+let cr_prog =
   {
-    Driver.name = "CR";
-    preamble =
-      (fun h ->
-        x h (Op.Mkdir { path = "/A" });
-        x h (Op.Mkdir { path = "/B" }));
-    test =
-      (fun h ->
-        x h (Op.Creat { path = "/A/foo" });
-        x h (Op.Close { path = "/A/foo" });
-        x h (Op.Rename { src = "/A/foo"; dst = "/B/foo" }));
-    lib = None;
+    Prog.name = "CR";
+    body =
+      Prog.Posix
+        {
+          preamble = [ Op.Mkdir { path = "/A" }; Op.Mkdir { path = "/B" } ];
+          test =
+            [
+              Op.Creat { path = "/A/foo" };
+              Op.Close { path = "/A/foo" };
+              Op.Rename { src = "/A/foo"; dst = "/B/foo" };
+            ];
+        };
   }
 
-let rc =
+let rc_prog =
   {
-    Driver.name = "RC";
-    preamble = (fun h -> x h (Op.Mkdir { path = "/A" }));
-    test =
-      (fun h ->
-        x h (Op.Rename { src = "/A"; dst = "/B" });
-        x h (Op.Creat { path = "/B/foo" });
-        x h (Op.Close { path = "/B/foo" }));
-    lib = None;
+    Prog.name = "RC";
+    body =
+      Prog.Posix
+        {
+          preamble = [ Op.Mkdir { path = "/A" } ];
+          test =
+            [
+              Op.Rename { src = "/A"; dst = "/B" };
+              Op.Creat { path = "/B/foo" };
+              Op.Close { path = "/B/foo" };
+            ];
+        };
   }
 
-let wal =
+let wal_prog =
   let page c = String.make 4096 c in
   {
-    Driver.name = "WAL";
-    preamble =
-      (fun h ->
-        x h (Op.Creat { path = "/foo" });
-        x h (Op.Append { path = "/foo"; data = page 'a' });
-        x h (Op.Append { path = "/foo"; data = page 'b' });
-        x h (Op.Close { path = "/foo" }));
-    test =
-      (fun h ->
-        x h (Op.Creat { path = "/log" });
-        x h (Op.Append { path = "/log"; data = "intent: overwrite /foo pages 0-1" });
-        x h (Op.Write { path = "/foo"; off = 0; data = page 'X'; what = "" });
-        x h (Op.Write { path = "/foo"; off = 4096; data = page 'Y'; what = "" });
-        x h (Op.Unlink { path = "/log" });
-        x h (Op.Close { path = "/foo" }));
-    lib = None;
+    Prog.name = "WAL";
+    body =
+      Prog.Posix
+        {
+          preamble =
+            [
+              Op.Creat { path = "/foo" };
+              Op.Append { path = "/foo"; data = page 'a' };
+              Op.Append { path = "/foo"; data = page 'b' };
+              Op.Close { path = "/foo" };
+            ];
+          test =
+            [
+              Op.Creat { path = "/log" };
+              Op.Append
+                { path = "/log"; data = "intent: overwrite /foo pages 0-1" };
+              Op.Write { path = "/foo"; off = 0; data = page 'X'; what = "" };
+              Op.Write { path = "/foo"; off = 4096; data = page 'Y'; what = "" };
+              Op.Unlink { path = "/log" };
+              Op.Close { path = "/foo" };
+            ];
+        };
   }
 
+let programs = [ arvr_prog; cr_prog; rc_prog; wal_prog ]
+let arvr = Prog.to_spec arvr_prog
+let cr = Prog.to_spec cr_prog
+let rc = Prog.to_spec rc_prog
+let wal = Prog.to_spec wal_prog
 let all = [ arvr; cr; rc; wal ]

@@ -1,23 +1,32 @@
-(** The paper's POSIX test programs (§6.2).
+(** The paper's POSIX test programs (§6.2), as first-class {!Prog.t}
+    data.
 
     Each program issues a short sequence of PFS client calls whose
     crash behaviour exposed PFS bugs in Table 3. The preambles build
-    the initial storage states the paper describes. *)
+    the initial storage states the paper describes. The compiled
+    [Driver.spec] values are kept for direct consumers; reports are
+    byte-identical to the historical closure-based definitions. *)
 
-val arvr : Paracrash_core.Driver.spec
+val arvr_prog : Prog.t
 (** Atomic-Replace-Via-Rename: update a preexisting [/foo] by creating,
     writing and renaming [/tmp] over it (the checkpointing pattern;
     Figure 2). *)
 
-val cr : Paracrash_core.Driver.spec
+val cr_prog : Prog.t
 (** Create-and-Rename: create [/A/foo], move it to [/B/foo]. *)
 
-val rc : Paracrash_core.Driver.spec
+val rc_prog : Prog.t
 (** Rename-and-Create: rename directory [/A] to [/B], then create
     [/B/foo]. *)
 
-val wal : Paracrash_core.Driver.spec
+val wal_prog : Prog.t
 (** Write-Ahead-Logging: write an intent log, overwrite [/foo] with
     multiple pages, delete the log. *)
 
+val programs : Prog.t list
+
+val arvr : Paracrash_core.Driver.spec
+val cr : Paracrash_core.Driver.spec
+val rc : Paracrash_core.Driver.spec
+val wal : Paracrash_core.Driver.spec
 val all : Paracrash_core.Driver.spec list

@@ -1,0 +1,170 @@
+module Op = Paracrash_pfs.Pfs_op
+module Handle = Paracrash_pfs.Handle
+module Driver = Paracrash_core.Driver
+module Mpiio = Paracrash_mpiio.Mpiio
+module File = Paracrash_hdf5.File
+module Layer = Paracrash_hdf5.Layer
+module Netcdf = Paracrash_netcdf.Netcdf
+
+let h5_file_path = "/data.h5"
+
+type h5_setup = { nprocs : int; rows : int; cols : int; dsets_per_group : int }
+
+type h5_op =
+  | H5_create of {
+      parallel : bool;
+      group : string;
+      name : string;
+      rows : int;
+      cols : int;
+    }
+  | H5_delete of { group : string; name : string }
+  | H5_move of {
+      src_group : string;
+      name : string;
+      dst_group : string;
+      new_name : string;
+    }
+  | H5_resize of {
+      parallel : bool;
+      group : string;
+      name : string;
+      rows : int;
+      cols : int;
+    }
+
+type cdf_setup = { c_rows : int; c_cols : int }
+type cdf_op = Cdf_def_var of { group : string; name : string; rows : int; cols : int }
+
+type body =
+  | Posix of { preamble : Op.t list; test : Op.t list }
+  | H5 of { setup : h5_setup; test : h5_op list }
+  | Cdf of { setup : cdf_setup; test : cdf_op list }
+
+type t = { name : string; body : body }
+
+let id t = t.name
+
+(* Common initial state of the library programs (§6.2): a file with two
+   groups and [dsets_per_group] datasets per group. *)
+let h5_setup_run ~setup h =
+  let ctx = Mpiio.init h ~nprocs:setup.nprocs in
+  let file = File.create ctx h5_file_path in
+  List.iter
+    (fun g ->
+      File.create_group file g;
+      for i = 0 to setup.dsets_per_group - 1 do
+        File.create_dataset file ~group:g ~name:(Printf.sprintf "d%d" i)
+          ~rows:setup.rows ~cols:setup.cols ()
+      done)
+    [ "g1"; "g2" ];
+  file
+
+let h5_apply file = function
+  | H5_create { parallel; group; name; rows; cols } ->
+      File.create_dataset file ~parallel ~group ~name ~rows ~cols ()
+  | H5_delete { group; name } -> File.delete_dataset file ~group ~name ()
+  | H5_move { src_group; name; dst_group; new_name } ->
+      File.move_dataset file ~src_group ~name ~dst_group ~new_name ()
+  | H5_resize { parallel; group; name; rows; cols } ->
+      File.resize_dataset file ~parallel ~group ~name ~rows ~cols ()
+
+let cdf_setup_run ~setup h =
+  let ctx = Mpiio.init h ~nprocs:1 in
+  let t = Netcdf.create ctx h5_file_path in
+  List.iter
+    (fun g ->
+      Netcdf.def_group t g;
+      for i = 0 to 1 do
+        Netcdf.def_var t ~group:g ~name:(Printf.sprintf "v%d" i)
+          ~rows:setup.c_rows ~cols:setup.c_cols ()
+      done)
+    [ "g1"; "g2" ];
+  t
+
+let cdf_apply t = function
+  | Cdf_def_var { group; name; rows; cols } ->
+      Netcdf.def_var t ~group ~name ~rows ~cols ()
+
+let to_spec t =
+  match t.body with
+  | Posix { preamble; test } ->
+      {
+        Driver.name = t.name;
+        preamble = (fun h -> List.iter (Handle.exec h) preamble);
+        test = (fun h -> List.iter (Handle.exec h) test);
+        lib = None;
+      }
+  | H5 { setup; test } ->
+      let file = ref None in
+      let get () = Option.get !file in
+      {
+        Driver.name = t.name;
+        preamble = (fun h -> file := Some (h5_setup_run ~setup h));
+        test = (fun _h -> List.iter (h5_apply (get ())) test);
+        lib =
+          Some
+            (fun ~model session ->
+              Layer.lib_layer ~file:(get ()) ~model session);
+      }
+  | Cdf { setup; test } ->
+      let cdf = ref None in
+      let get () = Option.get !cdf in
+      {
+        Driver.name = t.name;
+        preamble = (fun h -> cdf := Some (cdf_setup_run ~setup h));
+        test = (fun _h -> List.iter (cdf_apply (get ())) test);
+        lib =
+          Some
+            (fun ~model session ->
+              let layer =
+                Layer.lib_layer ~file:(Netcdf.hdf5 (get ())) ~model session
+              in
+              { layer with lib_name = "netcdf" });
+      }
+
+(* Compact space-free renderings, usable as corpus keys. *)
+let posix_op_slug op =
+  Printf.sprintf "%s(%s)" (Op.name op) (String.concat "," (Op.args op))
+
+let h5_op_slug = function
+  | H5_create { parallel; group; name; rows; cols } ->
+      Printf.sprintf "h5create%s(%s/%s,%dx%d)"
+        (if parallel then "-par" else "")
+        group name rows cols
+  | H5_delete { group; name } -> Printf.sprintf "h5delete(%s/%s)" group name
+  | H5_move { src_group; name; dst_group; new_name } ->
+      Printf.sprintf "h5move(%s/%s->%s/%s)" src_group name dst_group new_name
+  | H5_resize { parallel; group; name; rows; cols } ->
+      Printf.sprintf "h5resize%s(%s/%s,%dx%d)"
+        (if parallel then "-par" else "")
+        group name rows cols
+
+let cdf_op_slug = function
+  | Cdf_def_var { group; name; rows; cols } ->
+      Printf.sprintf "cdfdefvar(%s/%s,%dx%d)" group name rows cols
+
+let test_slugs t =
+  match t.body with
+  | Posix { test; _ } -> List.map posix_op_slug test
+  | H5 { test; _ } -> List.map h5_op_slug test
+  | Cdf { test; _ } -> List.map cdf_op_slug test
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>program %s@," t.name;
+  (match t.body with
+  | Posix { preamble; test } ->
+      Fmt.pf ppf "preamble:@,";
+      List.iter (fun op -> Fmt.pf ppf "  %a@," Op.pp op) preamble;
+      Fmt.pf ppf "test:@,";
+      List.iter (fun op -> Fmt.pf ppf "  %a@," Op.pp op) test
+  | H5 { setup; test } ->
+      Fmt.pf ppf
+        "preamble: hdf5 setup (nprocs=%d, %dx%d, %d datasets/group)@,test:@,"
+        setup.nprocs setup.rows setup.cols setup.dsets_per_group;
+      List.iter (fun op -> Fmt.pf ppf "  %s@," (h5_op_slug op)) test
+  | Cdf { setup; test } ->
+      Fmt.pf ppf "preamble: netcdf setup (%dx%d, 2 vars/group)@,test:@,"
+        setup.c_rows setup.c_cols;
+      List.iter (fun op -> Fmt.pf ppf "  %s@," (cdf_op_slug op)) test);
+  Fmt.pf ppf "@]"

@@ -1,0 +1,79 @@
+(** First-class test programs: a workload is data, not code.
+
+    A {!t} is a preamble (the initial storage state) plus a short test
+    sequence, in one of three families — raw POSIX client operations,
+    HDF5 library calls over the §6.2 initial state, or NetCDF calls
+    over the same substrate. {!to_spec} compiles it to the
+    {!Paracrash_core.Driver.spec} closures the exploration pipeline
+    runs; the compilation reproduces the historical hand-written
+    workloads exactly (byte-identical traces and reports), so the 11
+    paper programs of {!Registry} are just named {!t} values.
+
+    Programs being data is what lets {!Vocab} enumerate bounded
+    op-sequence spaces B3-style and lets a sweep corpus key each
+    program by a stable, human-readable {!id}. *)
+
+val h5_file_path : string
+(** Path of the HDF5/NetCDF container file on the PFS (["/data.h5"]). *)
+
+type h5_setup = {
+  nprocs : int;  (** MPI ranks (parallel variants use 2) *)
+  rows : int;
+  cols : int;
+  dsets_per_group : int;
+}
+(** The §6.2 initial state: groups [g1]/[g2] with [dsets_per_group]
+    datasets [d0..] of [rows x cols] each. *)
+
+type h5_op =
+  | H5_create of {
+      parallel : bool;
+      group : string;
+      name : string;
+      rows : int;
+      cols : int;
+    }
+  | H5_delete of { group : string; name : string }
+  | H5_move of {
+      src_group : string;
+      name : string;
+      dst_group : string;
+      new_name : string;
+    }
+  | H5_resize of {
+      parallel : bool;
+      group : string;
+      name : string;
+      rows : int;
+      cols : int;
+    }
+
+type cdf_setup = { c_rows : int; c_cols : int }
+(** NetCDF initial state: groups [g1]/[g2] with variables [v0]/[v1]. *)
+
+type cdf_op =
+  | Cdf_def_var of { group : string; name : string; rows : int; cols : int }
+
+type body =
+  | Posix of { preamble : Paracrash_pfs.Pfs_op.t list; test : Paracrash_pfs.Pfs_op.t list }
+  | H5 of { setup : h5_setup; test : h5_op list }
+  | Cdf of { setup : cdf_setup; test : cdf_op list }
+
+type t = { name : string; body : body }
+
+val id : t -> string
+(** Stable identifier (the name; enumerated programs are named by their
+    op slugs, so ids are unique within a sweep and contain no spaces). *)
+
+val to_spec : t -> Paracrash_core.Driver.spec
+(** Compile to runnable driver closures. Each call returns a fresh spec
+    (library specs carry per-run state in a ref, like the historical
+    [h5_spec] helper did). *)
+
+val posix_op_slug : Paracrash_pfs.Pfs_op.t -> string
+val h5_op_slug : h5_op -> string
+
+val test_slugs : t -> string list
+(** Compact space-free renderings of the test ops (corpus/program ids). *)
+
+val pp : Format.formatter -> t -> unit

@@ -46,28 +46,15 @@ let parallel_file_systems =
 
 let find_fs name = List.find_opt (fun e -> String.equal e.fs_name name) file_systems
 
-let posix_workloads () = Posix.all
+let posix_programs () = Posix.programs
+let library_programs () = H5.programs ()
+let programs () = posix_programs () @ library_programs ()
+let posix_workloads () = List.map Prog.to_spec (posix_programs ())
+let library_workloads () = List.map Prog.to_spec (library_programs ())
+let workloads () = List.map Prog.to_spec (programs ())
+let workload_names = List.map Prog.id (programs ())
 
-let library_workloads () =
-  [
-    H5.h5_create ();
-    H5.h5_delete ();
-    H5.h5_rename ();
-    H5.h5_resize ();
-    H5.cdf_create ();
-    H5.h5_parallel_create ();
-    H5.h5_parallel_resize ();
-  ]
+let find_program name =
+  List.find_opt (fun p -> String.equal (Prog.id p) name) (programs ())
 
-let workloads () = posix_workloads () @ library_workloads ()
-
-let workload_names =
-  [
-    "ARVR"; "CR"; "RC"; "WAL"; "H5-create"; "H5-delete"; "H5-rename";
-    "H5-resize"; "CDF-create"; "H5-parallel-create"; "H5-parallel-resize";
-  ]
-
-let find_workload name =
-  List.find_opt
-    (fun (s : Paracrash_core.Driver.spec) -> String.equal s.name name)
-    (workloads ())
+let find_workload name = Option.map Prog.to_spec (find_program name)

@@ -19,9 +19,16 @@ val parallel_file_systems : fs_entry list
 
 val find_fs : string -> fs_entry option
 
+val programs : unit -> Prog.t list
+(** The 11 test programs of §6.2 at default parameters, as data. *)
+
+val posix_programs : unit -> Prog.t list
+val library_programs : unit -> Prog.t list
+val find_program : string -> Prog.t option
+
 val workloads : unit -> Paracrash_core.Driver.spec list
-(** The 11 test programs of §6.2 at default parameters (fresh spec
-    values on each call — specs carry per-run state). *)
+(** {!programs} compiled (fresh spec values on each call — specs carry
+    per-run state). *)
 
 val posix_workloads : unit -> Paracrash_core.Driver.spec list
 val library_workloads : unit -> Paracrash_core.Driver.spec list

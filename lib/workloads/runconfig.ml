@@ -7,6 +7,8 @@ type t = {
   program : string;
   options : D.options;
   config : Config.t;
+  sweep : string option;
+  corpus : string option;
 }
 
 let default =
@@ -15,6 +17,8 @@ let default =
     program = "ARVR";
     options = D.default_options;
     config = Config.default;
+    sweep = None;
+    corpus = None;
   }
 
 let ( let* ) = Result.bind
@@ -32,7 +36,7 @@ let parse_int key v =
 let apply_kv t key value =
   match key with
   | "fs" ->
-      if Registry.find_fs value = None then
+      if Registry.find_fs value = None && value <> "all" then
         Error (Printf.sprintf "fs: unknown file system %S" value)
       else Ok { t with fs = value }
   | "program" ->
@@ -103,12 +107,20 @@ let apply_kv t key value =
   | "state_budget" ->
       let* b = parse_int "state_budget" value in
       Ok { t with options = { t.options with D.state_budget = Some b } }
+  | "sweep" ->
+      if Vocab.spec_of_string value = None then
+        Error
+          (Printf.sprintf "sweep: unknown sweep %S (expected one of %s)" value
+             (String.concat ", " Vocab.spec_names))
+      else Ok { t with sweep = Some value }
+  | "corpus" -> Ok { t with corpus = Some value }
   | _ ->
       let known =
         [
           "fs"; "program"; "mode"; "k"; "jobs"; "max_cuts"; "servers"; "stripe";
           "pfs_model"; "lib_model"; "meta_journal"; "storage_journal"; "faults";
-          "fault_seed"; "fault_budget"; "deadline"; "state_budget";
+          "fault_seed"; "fault_budget"; "deadline"; "state_budget"; "sweep";
+          "corpus";
         ]
       in
       Error

@@ -22,6 +22,8 @@
     fault_budget = 64          # bound on plans and (state x plan) pairs
     deadline     = 30.0        # wall-clock seconds; report marked partial
     state_budget = 500         # max crash states; report marked partial
+    sweep        = posix-seq2  # bounded enumeration instead of `program`
+    corpus       = ./corpus    # resumable sweep journal directory
     v}
 
     Unknown keys are rejected with a did-you-mean suggestion when a
@@ -29,10 +31,12 @@
     defaults. *)
 
 type t = {
-  fs : string;
+  fs : string;  (** may be ["all"] (valid only when a sweep is set) *)
   program : string;
   options : Paracrash_core.Driver.options;
   config : Paracrash_pfs.Config.t;
+  sweep : string option;
+  corpus : string option;
 }
 
 val default : t

@@ -1,0 +1,357 @@
+module Op = Paracrash_pfs.Pfs_op
+
+(* --- the shared namespace model ------------------------------------------- *)
+
+(* One mutable model of "what the program has built so far", shared by
+   the random generator (Genprog) and the bounded enumerator below so
+   both produce only well-formed operation sequences.
+
+   The representation is deliberately exactly the association-list
+   discipline the historical Genprog generator used (new entries pushed
+   to the front, updates via [List.remove_assoc] + push): Genprog picks
+   list elements with its seeded PRNG, so preserving list order is what
+   keeps generation byte-identical for a given seed. *)
+module Ns = struct
+  type t = {
+    mutable dirs : string list;  (** most recently created first; ["/"] always present *)
+    mutable files : (string * int) list;  (** (path, size), most recently touched first *)
+    mutable fresh : int;
+  }
+
+  let create () = { dirs = [ "/" ]; files = []; fresh = 0 }
+  let copy t = { dirs = t.dirs; files = t.files; fresh = t.fresh }
+  let dirs t = t.dirs
+  let files t = t.files
+
+  let fresh_name t prefix =
+    let n = t.fresh in
+    t.fresh <- n + 1;
+    Printf.sprintf "%s%d" prefix n
+
+  let is_dir t p = String.equal p "/" || List.mem p t.dirs
+  let is_file t p = List.mem_assoc p t.files
+  let file_size t p = List.assoc_opt p t.files
+
+  let parent p =
+    match String.rindex_opt p '/' with
+    | Some 0 -> "/"
+    | Some i -> String.sub p 0 i
+    | None -> "/"
+
+  (* paths strictly under [dir] get rebased onto [dst] *)
+  let rebase ~src ~dst p =
+    if String.equal p src then Some dst
+    else
+      let prefix = src ^ "/" in
+      if String.starts_with ~prefix p then
+        Some (dst ^ String.sub p (String.length src) (String.length p - String.length src))
+      else None
+
+  let record t (op : Op.t) =
+    match op with
+    | Op.Creat { path } -> t.files <- (path, 0) :: t.files
+    | Op.Mkdir { path } -> t.dirs <- path :: t.dirs
+    | Op.Append { path; data } -> (
+        match List.assoc_opt path t.files with
+        | Some size ->
+            t.files <-
+              (path, size + String.length data) :: List.remove_assoc path t.files
+        | None -> ())
+    | Op.Write _ ->
+        (* generated and enumerated overwrites stay in place (within the
+           current size), so the namespace is unchanged *)
+        ()
+    | Op.Rename { src; dst } ->
+        if List.mem_assoc src t.files then begin
+          let size = List.assoc src t.files in
+          t.files <-
+            (dst, size) :: List.remove_assoc dst (List.remove_assoc src t.files)
+        end
+        else if List.mem src t.dirs then begin
+          t.dirs <-
+            List.map (fun d -> Option.value ~default:d (rebase ~src ~dst d)) t.dirs;
+          t.files <-
+            List.map
+              (fun (p, s) ->
+                match rebase ~src ~dst p with Some p' -> (p', s) | None -> (p, s))
+              t.files
+        end
+    | Op.Unlink { path } -> t.files <- List.remove_assoc path t.files
+    | Op.Fsync _ | Op.Close _ -> ()
+end
+
+(* --- the bounded POSIX vocabulary (B3-style bounded args) ----------------- *)
+
+(* Few files, few directories, one payload per extent, few offsets: the
+   whole seq-N space over these arguments stays enumerable while still
+   crossing metadata servers (creates, renames, unlinks, mkdir) with
+   storage servers (appends, overwrites) and commit points (fsync). *)
+let posix_files = [ "/f0"; "/f1"; "/d0/f2" ]
+let posix_dirs = [ "/d0"; "/d1" ]
+let posix_initial_data = "aaaaaaaa" (* /f0 starts 8 bytes long *)
+let posix_append_data = "NEWDATA!" (* one bounded append extent *)
+let posix_patch_data = "ZZ" (* one bounded overwrite extent *)
+let posix_offsets = [ 0; 4 ]
+
+let posix_preamble =
+  [
+    Op.Mkdir { path = "/d0" };
+    Op.Creat { path = "/f0" };
+    Op.Append { path = "/f0"; data = posix_initial_data };
+    Op.Close { path = "/f0" };
+  ]
+
+(* All well-formed next operations over the bounded arguments, in a
+   fixed deterministic order (the enumeration order of the sweep). *)
+let posix_candidates (ns : Ns.t) : Op.t list =
+  let creats =
+    List.filter_map
+      (fun p ->
+        if (not (Ns.is_file ns p)) && (not (Ns.is_dir ns p))
+           && Ns.is_dir ns (Ns.parent p)
+        then Some (Op.Creat { path = p })
+        else None)
+      posix_files
+  in
+  let mkdirs =
+    List.filter_map
+      (fun d ->
+        if (not (Ns.is_dir ns d)) && not (Ns.is_file ns d) then
+          Some (Op.Mkdir { path = d })
+        else None)
+      posix_dirs
+  in
+  let appends =
+    List.filter_map
+      (fun p ->
+        if Ns.is_file ns p then Some (Op.Append { path = p; data = posix_append_data })
+        else None)
+      posix_files
+  in
+  let writes =
+    List.concat_map
+      (fun p ->
+        match Ns.file_size ns p with
+        | Some size ->
+            List.filter_map
+              (fun off ->
+                if off + String.length posix_patch_data <= size then
+                  Some (Op.Write { path = p; off; data = posix_patch_data; what = "" })
+                else None)
+              posix_offsets
+        | None -> [])
+      posix_files
+  in
+  let file_renames =
+    List.concat_map
+      (fun src ->
+        if not (Ns.is_file ns src) then []
+        else
+          List.filter_map
+            (fun dst ->
+              if String.equal dst src || Ns.is_dir ns dst
+                 || not (Ns.is_dir ns (Ns.parent dst))
+              then None
+              else Some (Op.Rename { src; dst }))
+            posix_files)
+      posix_files
+  in
+  let dir_renames =
+    List.concat_map
+      (fun src ->
+        if not (Ns.is_dir ns src) then []
+        else
+          List.filter_map
+            (fun dst ->
+              if String.equal dst src || Ns.is_dir ns dst || Ns.is_file ns dst
+              then None
+              else Some (Op.Rename { src; dst }))
+            posix_dirs)
+      posix_dirs
+  in
+  let unlinks =
+    List.filter_map
+      (fun p -> if Ns.is_file ns p then Some (Op.Unlink { path = p }) else None)
+      posix_files
+  in
+  let fsyncs =
+    List.filter_map
+      (fun p -> if Ns.is_file ns p then Some (Op.Fsync { path = p }) else None)
+      posix_files
+  in
+  let closes =
+    List.filter_map
+      (fun p -> if Ns.is_file ns p then Some (Op.Close { path = p }) else None)
+      posix_files
+  in
+  creats @ mkdirs @ appends @ writes @ file_renames @ dir_renames @ unlinks
+  @ fsyncs @ closes
+
+(* --- the bounded HDF5 vocabulary ------------------------------------------ *)
+
+(* Small extents keep each pipeline run fast; the structures the bugs
+   live in (heaps, B-trees, symbol tables) are exercised identically. *)
+let h5_rows = 32
+let h5_cols = 32
+let h5_groups = [ "g1"; "g2" ]
+let h5_new_name = "dnew"
+let h5_moved_name = "dmoved"
+
+let h5_setup =
+  { Prog.nprocs = 1; rows = h5_rows; cols = h5_cols; dsets_per_group = 2 }
+
+(* group -> live dataset names, in creation order *)
+type h5_ns = (string * string list) list
+
+let h5_initial_ns : h5_ns =
+  List.map
+    (fun g ->
+      (g, List.init h5_setup.Prog.dsets_per_group (Printf.sprintf "d%d")))
+    h5_groups
+
+let h5_mem (ns : h5_ns) g d =
+  match List.assoc_opt g ns with Some ds -> List.mem d ds | None -> false
+
+let h5_record (ns : h5_ns) (op : Prog.h5_op) : h5_ns =
+  let update g f = List.map (fun (g', ds) -> if g' = g then (g', f ds) else (g', ds)) ns in
+  match op with
+  | Prog.H5_create { group; name; _ } -> update group (fun ds -> ds @ [ name ])
+  | Prog.H5_delete { group; name } ->
+      update group (List.filter (fun d -> d <> name))
+  | Prog.H5_move { src_group; name; dst_group; new_name } ->
+      List.map
+        (fun (g, ds) ->
+          let ds = if g = src_group then List.filter (fun d -> d <> name) ds else ds in
+          let ds = if g = dst_group then ds @ [ new_name ] else ds in
+          (g, ds))
+        ns
+  | Prog.H5_resize _ -> ns
+
+let h5_candidates (ns : h5_ns) : Prog.h5_op list =
+  let datasets = List.concat_map (fun (g, ds) -> List.map (fun d -> (g, d)) ds) ns in
+  let creates =
+    List.filter_map
+      (fun g ->
+        if h5_mem ns g h5_new_name then None
+        else
+          Some
+            (Prog.H5_create
+               { parallel = false; group = g; name = h5_new_name; rows = h5_rows; cols = h5_cols }))
+      h5_groups
+  in
+  let deletes = List.map (fun (g, d) -> Prog.H5_delete { group = g; name = d }) datasets in
+  let moves =
+    List.concat_map
+      (fun (g, d) ->
+        List.filter_map
+          (fun dst ->
+            if h5_mem ns dst h5_moved_name then None
+            else
+              Some
+                (Prog.H5_move
+                   { src_group = g; name = d; dst_group = dst; new_name = h5_moved_name }))
+          h5_groups)
+      datasets
+  in
+  let resizes =
+    List.map
+      (fun (g, d) ->
+        Prog.H5_resize
+          { parallel = false; group = g; name = d; rows = 2 * h5_rows; cols = 2 * h5_cols })
+      datasets
+  in
+  creates @ deletes @ moves @ resizes
+
+(* --- sweep specifications -------------------------------------------------- *)
+
+type family = Posix_vocab | Hdf5_vocab | All_vocab
+type spec = { family : family; depth : int }
+
+let family_to_string = function
+  | Posix_vocab -> "posix"
+  | Hdf5_vocab -> "hdf5"
+  | All_vocab -> "all"
+
+let spec_to_string s =
+  match s.family with
+  | All_vocab -> Printf.sprintf "seq%d" s.depth
+  | f -> Printf.sprintf "%s-seq%d" (family_to_string f) s.depth
+
+let spec_of_string str =
+  let depth_of d = if d >= 1 && d <= 3 then Some d else None in
+  let seq s =
+    if String.length s = 4 && String.sub s 0 3 = "seq" then
+      Option.bind (int_of_string_opt (String.sub s 3 1)) depth_of
+    else None
+  in
+  match String.index_opt str '-' with
+  | None -> Option.map (fun depth -> { family = All_vocab; depth }) (seq str)
+  | Some i -> (
+      let fam = String.sub str 0 i in
+      let rest = String.sub str (i + 1) (String.length str - i - 1) in
+      match (fam, seq rest) with
+      | "posix", Some depth -> Some { family = Posix_vocab; depth }
+      | "hdf5", Some depth -> Some { family = Hdf5_vocab; depth }
+      | _ -> None)
+
+let spec_names =
+  [ "seq1"; "seq2"; "seq3"; "posix-seq1"; "posix-seq2"; "posix-seq3";
+    "hdf5-seq1"; "hdf5-seq2"; "hdf5-seq3" ]
+
+(* --- enumeration ----------------------------------------------------------- *)
+
+let prog_name family slugs =
+  Printf.sprintf "%s[%s]" (family_to_string family) (String.concat "+" slugs)
+
+(* depth-first over the candidate lists: at each step the namespace is
+   copied, the candidate applied, and the suffix space explored. The
+   order is fully deterministic, which is what makes an interrupted
+   sweep resume exactly where its corpus journal left off. *)
+let enumerate_posix depth : Prog.t Seq.t =
+  let rec go ns acc remaining () =
+    if remaining = 0 then
+      let test = List.rev acc in
+      Seq.Cons
+        ( {
+            Prog.name = prog_name Posix_vocab (List.map Prog.posix_op_slug test);
+            body = Prog.Posix { preamble = posix_preamble; test };
+          },
+          Seq.empty )
+    else
+      Seq.concat_map
+        (fun op ->
+          let ns' = Ns.copy ns in
+          Ns.record ns' op;
+          go ns' (op :: acc) (remaining - 1))
+        (List.to_seq (posix_candidates ns))
+        ()
+  in
+  let ns = Ns.create () in
+  List.iter (Ns.record ns) posix_preamble;
+  go ns [] depth
+
+let enumerate_hdf5 depth : Prog.t Seq.t =
+  let rec go ns acc remaining () =
+    if remaining = 0 then
+      let test = List.rev acc in
+      Seq.Cons
+        ( {
+            Prog.name = prog_name Hdf5_vocab (List.map Prog.h5_op_slug test);
+            body = Prog.H5 { setup = h5_setup; test };
+          },
+          Seq.empty )
+    else
+      Seq.concat_map
+        (fun op -> go (h5_record ns op) (op :: acc) (remaining - 1))
+        (List.to_seq (h5_candidates ns))
+        ()
+  in
+  go h5_initial_ns [] depth
+
+let enumerate s : Prog.t Seq.t =
+  match s.family with
+  | Posix_vocab -> enumerate_posix s.depth
+  | Hdf5_vocab -> enumerate_hdf5 s.depth
+  | All_vocab -> Seq.append (enumerate_posix s.depth) (enumerate_hdf5 s.depth)
+
+let count s = Seq.fold_left (fun n _ -> n + 1) 0 (enumerate s)

@@ -1,0 +1,79 @@
+(** Bounded op vocabularies and systematic program enumeration.
+
+    Following B3 (bounded black-box crash testing), the scenario space
+    is all sequences of 1–3 operations drawn from a small vocabulary
+    with bounded arguments — few files, few directories, one payload
+    per extent class, few offsets for POSIX; two groups, two datasets
+    per group and fixed target names for HDF5. Every enumerated
+    sequence is well-formed by construction: candidates are generated
+    against a namespace model ({!Ns} for POSIX, an internal group map
+    for HDF5) that tracks what the program has built so far.
+
+    {!Ns} is also the namespace model behind {!Genprog}'s random
+    generation — one shared definition of well-formedness. *)
+
+(** Mutable namespace model: which directories and files (with sizes)
+    exist, shared by the random generator and the enumerator.
+
+    List order is part of the contract: entries are pushed to the
+    front and updated with [remove_assoc] + push exactly like the
+    historical Genprog generator state, so Genprog's seeded picks over
+    [files]/[dirs] stay byte-identical for a given seed. *)
+module Ns : sig
+  type t
+
+  val create : unit -> t
+  (** Root directory only, no files. *)
+
+  val copy : t -> t
+  val dirs : t -> string list
+  val files : t -> (string * int) list
+
+  val fresh_name : t -> string -> string
+  (** [fresh_name t prefix] is [prefix ^ n] with a per-namespace
+      counter. *)
+
+  val is_dir : t -> string -> bool
+  val is_file : t -> string -> bool
+  val file_size : t -> string -> int option
+  val parent : string -> string
+
+  val record : t -> Paracrash_pfs.Pfs_op.t -> unit
+  (** Apply an operation's namespace effect (no-op for writes, fsync
+      and close; renames move whole directory subtrees). *)
+end
+
+val posix_preamble : Paracrash_pfs.Pfs_op.t list
+(** Fixed initial state of every enumerated POSIX program: [/d0],
+    and [/f0] with 8 bytes of content, closed. *)
+
+val posix_candidates : Ns.t -> Paracrash_pfs.Pfs_op.t list
+(** All well-formed next operations over the bounded POSIX arguments,
+    in the fixed enumeration order. *)
+
+val h5_setup : Prog.h5_setup
+(** Initial state of every enumerated HDF5 program (32x32 datasets —
+    bounded extents keep sweep runs fast). *)
+
+(** {1 Sweep specifications} *)
+
+type family = Posix_vocab | Hdf5_vocab | All_vocab
+type spec = { family : family; depth : int  (** test ops per program, 1–3 *) }
+
+val spec_of_string : string -> spec option
+(** ["seq1".."seq3"] (both vocabularies), ["posix-seqN"],
+    ["hdf5-seqN"]. *)
+
+val spec_to_string : spec -> string
+
+val spec_names : string list
+(** Every accepted [--sweep] value, for help text and did-you-mean. *)
+
+val enumerate : spec -> Prog.t Seq.t
+(** All programs of exactly [depth] test operations, lazily, in a
+    deterministic order (depth-first over the candidate lists). The
+    fixed order is what lets an interrupted sweep resume exactly where
+    its corpus journal left off. *)
+
+val count : spec -> int
+(** Size of the enumeration (forces the whole sequence). *)

@@ -15,6 +15,7 @@ let () =
       ("hdf5", Test_hdf5.tests);
       ("integration", Test_integration.tests);
       ("genprog", Test_genprog.tests);
+      ("sweep", Test_sweep.tests);
       ("mpiio", Test_mpiio.tests);
       ("checker", Test_checker.tests);
       ("runconfig", Test_runconfig.tests);

@@ -85,9 +85,26 @@ let test_program_all_allowed () =
   let t = ok (Runconfig.parse "program = all") in
   check cs "'all' accepted" "all" t.Runconfig.program
 
+let test_sweep_keys () =
+  let t = ok (Runconfig.parse "sweep = posix-seq2\ncorpus = ./corpus\n") in
+  check cb "sweep parsed" true (t.Runconfig.sweep = Some "posix-seq2");
+  check cb "corpus parsed" true (t.Runconfig.corpus = Some "./corpus");
+  (* fs = all is a valid sweep target at parse time *)
+  let t = ok (Runconfig.parse "fs = all\nsweep = seq1\n") in
+  check cs "fs all" "all" t.Runconfig.fs;
+  (* defaults: no sweep, no corpus *)
+  let d = ok (Runconfig.parse "") in
+  check cb "default no sweep" true (d.Runconfig.sweep = None);
+  check cb "default no corpus" true (d.Runconfig.corpus = None);
+  (* bad sweep names are rejected and the message lists the specs *)
+  expect_error "sweep = posix-seq9" "unknown sweep";
+  expect_error "sweep = posix-seq9" "posix-seq2"
+
 let test_unknown_key_did_you_mean () =
   (* a near-miss names the intended key *)
   expect_error "jbos = 4" "did you mean \"jobs\"";
+  expect_error "swep = seq2" "did you mean \"sweep\"";
+  expect_error "corpsu = ./c" "did you mean \"corpus\"";
   expect_error "stipe = 65536" "did you mean \"stripe\"";
   expect_error "fault_sede = 3" "did you mean \"fault_seed\"";
   expect_error "state_budge = 10" "did you mean \"state_budget\"";
@@ -141,6 +158,7 @@ let tests =
     ("comments and blank lines", `Quick, test_comments_and_blank_lines);
     ("errors carry line numbers", `Quick, test_error_carries_line_number);
     ("program = all", `Quick, test_program_all_allowed);
+    ("sweep and corpus keys", `Quick, test_sweep_keys);
     ("unknown keys get did-you-mean", `Quick, test_unknown_key_did_you_mean);
     ("fault and degradation keys", `Quick, test_fault_keys);
   ]

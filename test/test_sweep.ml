@@ -1,0 +1,212 @@
+(* Bounded-sweep tests: enumeration sizes, outcome fingerprints,
+   corpus torn-tail repair, interrupted-resume equivalence and
+   jobs-independence of the sweep's journal. *)
+
+module D = Paracrash_core.Driver
+module Sweep = Paracrash_core.Sweep
+module W = Paracrash_workloads
+module Vocab = W.Vocab
+module Prog = W.Prog
+module Registry = W.Registry
+
+let check = Alcotest.check
+let cb = Alcotest.bool
+let ci = Alcotest.int
+let cs = Alcotest.string
+
+let tmpdir () =
+  let d = Filename.temp_file "paracrash-sweep" "" in
+  Sys.remove d;
+  Sys.mkdir d 0o755;
+  d
+
+let journal dir =
+  In_channel.with_open_bin (Filename.concat dir "journal") In_channel.input_all
+
+let spec s = Option.get (Vocab.spec_of_string s)
+
+(* --- enumeration sizes ---------------------------------------------------- *)
+
+(* The bounded vocabularies give exactly these scenario counts; a change
+   here means the vocabulary (and every corpus built on it) changed. *)
+let test_enumeration_counts () =
+  let n s = Vocab.count (spec s) in
+  check ci "posix-seq1" 12 (n "posix-seq1");
+  check ci "hdf5-seq1" 18 (n "hdf5-seq1");
+  check ci "seq1" 30 (n "seq1");
+  check ci "posix-seq2" 143 (n "posix-seq2");
+  check ci "hdf5-seq2" 282 (n "hdf5-seq2")
+
+let test_enumeration_deterministic () =
+  let ids s = List.map Prog.id (List.of_seq (Vocab.enumerate (spec s))) in
+  check (Alcotest.list cs) "same order twice" (ids "posix-seq1")
+    (ids "posix-seq1");
+  (* seq-1 programs are pairwise distinct *)
+  let l = ids "seq1" in
+  check ci "no duplicate ids" (List.length l)
+    (List.length (List.sort_uniq compare l))
+
+(* --- the registry as Prog.t ----------------------------------------------- *)
+
+let run_report ?(jobs = 1) fs_name s =
+  let fs = Option.get (Registry.find_fs fs_name) in
+  let options = { D.default_options with D.jobs } in
+  fst
+    (D.run ~options ~config:Paracrash_pfs.Config.default
+       ~make_fs:fs.Registry.make s)
+
+let test_registry_programs () =
+  let progs = Registry.programs () in
+  check ci "the paper's 11 programs" 11 (List.length progs);
+  check (Alcotest.list cs) "workload_names = program ids"
+    Registry.workload_names
+    (List.map Prog.id progs);
+  List.iter
+    (fun p ->
+      match Registry.find_program (Prog.id p) with
+      | None -> Alcotest.failf "find_program %s" (Prog.id p)
+      | Some q ->
+          check cs "find_program name" (Prog.id p) (Prog.id q);
+          let s = Option.get (Registry.find_workload (Prog.id p)) in
+          check cs "find_workload compiles the program" (Prog.id p) s.D.name)
+    progs
+
+(* Outcome fingerprints are the sweep's dedup key: for every registry
+   program they must be identical across job counts (restarts and wall
+   time are excluded) and across repeated runs. *)
+let registry_fingerprints_on fs_names =
+  List.iter
+    (fun fs_name ->
+      List.iter
+        (fun p ->
+          let s = Prog.to_spec p in
+          let fp jobs =
+            (Sweep.outcome_of_report (run_report ~jobs fs_name s))
+              .Sweep.fingerprint
+          in
+          let f1 = fp 1 in
+          let label = fs_name ^ "/" ^ Prog.id p in
+          check ci "32 hex chars" 32 (String.length f1);
+          check cs (label ^ " jobs 1 = jobs 4") f1 (fp 4);
+          check cs (label ^ " stable across runs") f1 (fp 1))
+        (Registry.programs ()))
+    fs_names
+
+let test_registry_fingerprints_jobs_independent () =
+  registry_fingerprints_on [ "beegfs" ]
+
+(* the full parity matrix: every registry program on every file system *)
+let test_registry_fingerprints_all_fs () =
+  registry_fingerprints_on
+    (List.map
+       (fun e -> e.Registry.fs_name)
+       (List.filter (fun e -> e.Registry.fs_name <> "beegfs")
+          Registry.file_systems))
+
+(* --- the corpus journal --------------------------------------------------- *)
+
+let o32 c ~bugs ~inconsistent =
+  { Sweep.fingerprint = String.make 32 c; bugs; inconsistent }
+
+let test_corpus_torn_tail_repair () =
+  let d = tmpdir () in
+  let c = Sweep.Corpus.open_ ~dir:d ~header:"sweep test" in
+  Sweep.Corpus.record c "a" (o32 '0' ~bugs:0 ~inconsistent:0);
+  Sweep.Corpus.record c "b" (o32 '1' ~bugs:1 ~inconsistent:2);
+  Sweep.Corpus.close c;
+  (* simulate a crash mid-append: a torn final line, no newline *)
+  let oc =
+    open_out_gen [ Open_append; Open_binary ] 0 (Filename.concat d "journal")
+  in
+  output_string oc "c 0123";
+  close_out oc;
+  let c = Sweep.Corpus.open_ ~dir:d ~header:"sweep test" in
+  check ci "torn line dropped" 2 (Sweep.Corpus.cardinal c);
+  check cb "complete entry survives" true (Sweep.Corpus.mem c "b");
+  check cb "torn entry gone" false (Sweep.Corpus.mem c "c");
+  (match Sweep.Corpus.find c "b" with
+  | None -> Alcotest.fail "find b"
+  | Some o ->
+      check ci "bugs round-trip" 1 o.Sweep.bugs;
+      check ci "inconsistent round-trip" 2 o.Sweep.inconsistent);
+  (* appending after the repair yields a clean journal again *)
+  Sweep.Corpus.record c "d" (o32 '2' ~bugs:0 ~inconsistent:1);
+  Sweep.Corpus.close c;
+  let c = Sweep.Corpus.open_ ~dir:d ~header:"sweep test" in
+  check ci "repair then append" 3 (Sweep.Corpus.cardinal c);
+  Sweep.Corpus.close c
+
+let test_corpus_header_mismatch () =
+  let d = tmpdir () in
+  let c = Sweep.Corpus.open_ ~dir:d ~header:"sweep posix-seq1" in
+  Sweep.Corpus.close c;
+  match Sweep.Corpus.open_ ~dir:d ~header:"sweep hdf5-seq1" with
+  | exception Failure _ -> ()
+  | c ->
+      Sweep.Corpus.close c;
+      Alcotest.fail "expected a header mismatch failure"
+
+(* --- sweeps --------------------------------------------------------------- *)
+
+let sweep_cfg ?(jobs = 1) corpus =
+  let d = W.Config.default in
+  {
+    d with
+    W.Config.fs = "beegfs";
+    sweep = Some "posix-seq1";
+    corpus = Some corpus;
+    options = { d.W.Config.options with D.jobs };
+  }
+
+(* An interrupted sweep (killed after 5 programs) resumed to completion
+   leaves a journal byte-identical to an uninterrupted sweep's. *)
+let test_resume_equivalence () =
+  let da = tmpdir () in
+  let sa = W.Config.run_sweep (sweep_cfg da) in
+  check ci "uninterrupted checked" 12 sa.Sweep.stats.Sweep.checked;
+  let db = tmpdir () in
+  let cfg = sweep_cfg db in
+  let c = Sweep.Corpus.open_ ~dir:db ~header:"sweep posix-seq1" in
+  let prefix = List.of_seq (Seq.take 5 (W.Config.sweep_programs cfg)) in
+  ignore
+    (Sweep.run ~corpus:c ~sweep:"posix-seq1" ~corpus_dir:(Some db)
+       (List.to_seq prefix));
+  Sweep.Corpus.close c;
+  let sb = W.Config.run_sweep cfg in
+  check ci "resume skips the prefix" 5 sb.Sweep.stats.Sweep.corpus_hits;
+  check ci "resume checks the rest" 7 sb.Sweep.stats.Sweep.checked;
+  check ci "same distinct outcomes" sa.Sweep.stats.Sweep.outcomes
+    sb.Sweep.stats.Sweep.outcomes;
+  check cs "journals byte-identical" (journal da) (journal db)
+
+(* The journal (ids and fingerprints) is independent of --jobs. *)
+let test_sweep_jobs_independent () =
+  let run jobs =
+    let d = tmpdir () in
+    let s = W.Config.run_sweep (sweep_cfg ~jobs d) in
+    (s, journal d)
+  in
+  let s1, j1 = run 1 in
+  let s4, j4 = run 4 in
+  check ci "programs agree" s1.Sweep.stats.Sweep.programs
+    s4.Sweep.stats.Sweep.programs;
+  check ci "bug programs agree" s1.Sweep.stats.Sweep.bug_programs
+    s4.Sweep.stats.Sweep.bug_programs;
+  check cs "journals byte-identical across jobs" j1 j4
+
+let tests =
+  [
+    ("bounded enumeration counts", `Quick, test_enumeration_counts);
+    ("enumeration order is deterministic", `Quick, test_enumeration_deterministic);
+    ("registry programs are Prog.t", `Quick, test_registry_programs);
+    ( "registry fingerprints jobs-independent",
+      `Quick,
+      test_registry_fingerprints_jobs_independent );
+    ( "registry fingerprints jobs-independent (all fs)",
+      `Slow,
+      test_registry_fingerprints_all_fs );
+    ("corpus torn-tail repair", `Quick, test_corpus_torn_tail_repair);
+    ("corpus header mismatch rejected", `Quick, test_corpus_header_mismatch);
+    ("interrupted sweep resumes byte-identically", `Quick, test_resume_equivalence);
+    ("sweep journal jobs-independent", `Quick, test_sweep_jobs_independent);
+  ]
