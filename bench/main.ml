@@ -20,6 +20,10 @@
      --sweep        bounded-sweep throughput: the full posix-seq2
                     enumeration (143 programs) checked end-to-end on
                     beegfs, reporting sequences/sec (--json: tag "sweep")
+     --store        checking-service hit ratio: a mixed 3-job batch run
+                    cold through Paracrash_store.Service, then resubmitted
+                    against the same store; reports the job hit ratio and
+                    the cold/warm wall split (--json: tag "store")
      --scaling      jobs ∈ {1,2,4,8} sweep on the largest HDF5 cells,
                     recording the host core count and per-cell Gc
                     minor/major words (--json: tag "scaling")
@@ -954,6 +958,75 @@ let sweep_bench () =
     };
   ]
 
+(* --- checking-service store hit ratio ----------------------------------------- *)
+
+(* paracrashd's value proposition in one cell: a mixed batch run cold
+   (every job computed, every result persisted) and then resubmitted
+   against the same store (every job answered from disk). The hit
+   ratio and the cold/warm wall split are what a reader needs to judge
+   when fronting a sweep with the service pays off. *)
+let store_bench () =
+  section
+    "Checking service: cold batch vs store-served resubmission \
+     (beegfs ARVR+CR, ext4 RC)";
+  let module St = Paracrash_store.Store in
+  let module Svc = Paracrash_store.Service in
+  let module M = Paracrash_obs.Metrics in
+  let dir = Filename.temp_dir "paracrash-store-bench" "" in
+  let batch = [ ("beegfs", "ARVR"); ("beegfs", "CR"); ("ext4", "RC") ] in
+  let run () =
+    (* a fresh service per submission, so the warm counters measure
+       only the resubmission (the store itself persists across opens) *)
+    let svc = Svc.create ~store:(St.open_ ~dir) ~config:W.Config.default in
+    let t0 = Unix.gettimeofday () in
+    let res = Svc.run_batch svc batch in
+    (Unix.gettimeofday () -. t0, res, Svc.metrics svc)
+  in
+  let cold_wall, cold, _ = run () in
+  let warm_wall, warm, wm = run () in
+  let cached r =
+    List.length
+      (List.filter (fun c -> c.Svc.c_outcome = Svc.Cached) r.Svc.completed)
+  in
+  let hits = M.get wm "store.job_hits" and misses = M.get wm "store.job_misses" in
+  let hit_ratio =
+    if hits + misses > 0 then float_of_int hits /. float_of_int (hits + misses)
+    else 0.
+  in
+  pr "cold: %d/%d jobs computed in %.3fs (%d served from the store)@."
+    (List.length cold.Svc.completed) cold.Svc.total cold_wall (cached cold);
+  pr "warm: %d/%d jobs in %.3fs, %d served from the store (hit ratio %.2f)@."
+    (List.length warm.Svc.completed) warm.Svc.total warm_wall (cached warm)
+    hit_ratio;
+  if warm_wall > 0. then
+    pr "store-served resubmission: %.1fx faster than the cold batch@."
+      (cold_wall /. warm_wall);
+  let rec rm_rf path =
+    if Sys.is_directory path then begin
+      Array.iter (fun n -> rm_rf (Filename.concat path n)) (Sys.readdir path);
+      Unix.rmdir path
+    end
+    else Sys.remove path
+  in
+  (try rm_rf dir with Sys_error _ | Unix.Unix_error _ -> ());
+  [
+    {
+      c_tag = "store";
+      c_program = "ARVR+CR+RC";
+      c_fs = "mixed";
+      c_mode = D.mode_to_string W.Config.default.W.Config.options.D.mode;
+      c_jobs = 1;
+      c_extras =
+        [
+          ("cold_wall_seconds", Printf.sprintf "%.6f" cold_wall);
+          ("warm_wall_seconds", Printf.sprintf "%.6f" warm_wall);
+          ("job_hits", string_of_int hits);
+          ("job_misses", string_of_int misses);
+          ("hit_ratio", Printf.sprintf "%.4f" hit_ratio);
+        ];
+    };
+  ]
+
 (* --- ratcheting perf gates ---------------------------------------------------- *)
 
 (* ci.sh --gates: a quick micro pass over the hottest serial paths,
@@ -1175,6 +1248,10 @@ let () =
   end;
   if has "--sweep" then begin
     let cells = sweep_bench () in
+    if has "--json" then append_cells cells
+  end;
+  if has "--store" then begin
+    let cells = store_bench () in
     if has "--json" then append_cells cells
   end;
   if has "--micro" then begin

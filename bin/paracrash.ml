@@ -12,6 +12,7 @@ module R = Paracrash_core.Report
 module W = Paracrash_workloads
 module Registry = W.Registry
 module Obs = Paracrash_obs.Obs
+module S = Paracrash_store.Store
 
 open Cmdliner
 
@@ -127,6 +128,15 @@ let corpus_arg =
   in
   opt_arg Arg.string ~docv:"DIR" ~doc [ "corpus" ]
 
+let store_arg =
+  let doc =
+    "Serve and record legal-state sets through the content-addressed store \
+     at this directory (created if missing): a repeated run skips the \
+     golden-replay legal-set construction. Single-program runs only; \
+     paracrashd(1) additionally caches whole job results there."
+  in
+  opt_arg Arg.string ~docv:"DIR" ~doc [ "store" ]
+
 let show_trace_arg =
   let doc = "Print the recorded cross-layer trace (Figures 2/9 style)." in
   Arg.(value & flag & info [ "t"; "trace" ] ~doc)
@@ -206,7 +216,7 @@ let run_sweep cfg ~json ~output =
 
 let run config_file fs program mode k jobs max_cuts pfs_model lib_model servers
     stripe faults fault_seed fault_budget deadline state_budget sweep corpus
-    show_trace json output trace_out profile =
+    store_dir show_trace json output trace_out profile =
   let fail fmt = Fmt.kstr (fun m -> `Error (false, m)) fmt in
   let base =
     match config_file with
@@ -251,10 +261,22 @@ let run config_file fs program mode k jobs max_cuts pfs_model lib_model servers
             `Ok ()
           end
           else begin
+          let legal_cache =
+            Option.map
+              (fun dir ->
+                let st = S.open_ ~dir in
+                {
+                  Paracrash_core.Engine.lc_lookup =
+                    (fun ~key -> S.get st ~ns:"legal" ~key);
+                  lc_save =
+                    (fun ~key payload -> S.put st ~ns:"legal" ~key payload);
+                })
+              store_dir
+          in
           let out = Buffer.create 256 in
           List.iter
             (fun pname ->
-              let report, session = W.Config.run cfg pname in
+              let report, session = W.Config.run ?legal_cache cfg pname in
               if report.R.gen.Paracrash_core.Explore.truncated then
                 Fmt.epr
                   "paracrash: warning: %s/%s: cut enumeration truncated at %d \
@@ -280,6 +302,45 @@ let run config_file fs program mode k jobs max_cuts pfs_model lib_model servers
           `Ok ()
           end)
 
+let run_term =
+  Term.(
+    ret
+      (const run $ config_file_arg $ fs_arg $ program_arg $ mode_arg $ k_arg
+     $ jobs_arg $ max_cuts_arg $ pfs_model_arg $ lib_model_arg $ servers_arg
+     $ stripe_arg $ faults_arg $ fault_seed_arg $ fault_budget_arg
+     $ deadline_arg $ state_budget_arg $ sweep_arg $ corpus_arg $ store_arg
+     $ show_trace_arg $ json_arg $ output_arg $ trace_out_arg $ profile_arg))
+
+(* paracrash store fsck: verify every entry of a content-addressed
+   store against its CRC frame and content fingerprint. *)
+let fsck_cmd =
+  let store_req =
+    let doc = "Store directory to verify." in
+    Arg.(required & opt (some string) None & info [ "store" ] ~docv:"DIR" ~doc)
+  in
+  let keep_arg =
+    let doc = "Report damaged entries without quarantining them." in
+    Arg.(value & flag & info [ "keep" ] ~doc)
+  in
+  let fsck store_dir keep =
+    let st = S.open_ ~dir:store_dir in
+    let r = S.fsck ~quarantine_bad:(not keep) st in
+    Fmt.pr "fsck %s: %d entries, %d valid, %d damaged%s@." store_dir
+      r.S.checked r.S.valid
+      (List.length r.S.bad)
+      (if keep || r.S.bad = [] then "" else " (quarantined)");
+    List.iter
+      (fun e -> Fmt.pr "  %s/%s: %s@." e.S.e_ns e.S.e_key e.S.e_reason)
+      r.S.bad;
+    if r.S.bad = [] then `Ok () else exit 1
+  in
+  let doc = "verify every store entry against its checksum and fingerprint" in
+  Cmd.v (Cmd.info "fsck" ~doc) Term.(ret (const fsck $ store_req $ keep_arg))
+
+let store_cmd =
+  let doc = "maintain a paracrash content-addressed store" in
+  Cmd.group (Cmd.info "store" ~doc) [ fsck_cmd ]
+
 let cmd =
   let doc =
     "test the crash consistency of a simulated HPC I/O stack (ParaCrash)"
@@ -298,16 +359,11 @@ let cmd =
       `P "paracrash -f lustre -p H5-create";
       `P "paracrash -f gpfs -p all --jobs 4 --trace-out trace.json";
       `P "paracrash -f beegfs --sweep posix-seq2 --corpus ./corpus";
+      `P "paracrash -f beegfs -p ARVR --store ./store";
+      `P "paracrash store fsck --store ./store";
     ]
   in
-  Cmd.v
-    (Cmd.info "paracrash" ~version:"1.0" ~doc ~man)
-    Term.(
-      ret
-        (const run $ config_file_arg $ fs_arg $ program_arg $ mode_arg $ k_arg
-       $ jobs_arg $ max_cuts_arg $ pfs_model_arg $ lib_model_arg $ servers_arg
-       $ stripe_arg $ faults_arg $ fault_seed_arg $ fault_budget_arg
-       $ deadline_arg $ state_budget_arg $ sweep_arg $ corpus_arg
-       $ show_trace_arg $ json_arg $ output_arg $ trace_out_arg $ profile_arg))
+  Cmd.group ~default:run_term (Cmd.info "paracrash" ~version:"1.0" ~doc ~man)
+    [ store_cmd ]
 
 let () = exit (Cmd.eval cmd)

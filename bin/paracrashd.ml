@@ -1,0 +1,220 @@
+(* paracrashd: the crash-safe checking service.
+
+   Reads a batch of "<fs> <program>" jobs, submits each over the
+   simulated RPC layer, and answers from the content-addressed store
+   when an identical job (same workload, options and topology) was
+   completed before — by this process or any earlier one. Every
+   completed job is durable before the next starts, so killing the
+   daemon mid-batch loses at most the job in flight; resubmitting the
+   same batch after a restart is served from the store.
+
+   Exit codes: 0 complete, 1 job errors, 3 partial (drained after
+   SIGTERM), 42 the --crash-after test hook fired. *)
+
+module R = Paracrash_core.Report
+module W = Paracrash_workloads
+module Obs = Paracrash_obs.Obs
+module Metrics = Paracrash_obs.Metrics
+module Store = Paracrash_store.Store
+module Service = Paracrash_store.Service
+
+open Cmdliner
+
+let opt_arg c ~docv ~doc names =
+  Arg.(value & opt (some c) None & info names ~docv ~doc)
+
+let store_arg =
+  let doc = "Directory of the content-addressed result store (created if missing)." in
+  Arg.(required & opt (some string) None & info [ "store" ] ~docv:"DIR" ~doc)
+
+let batch_arg =
+  let doc =
+    "Batch file: one \"<fs> <program>\" job per line ('#' comments and blank \
+     lines ignored), or '-' for stdin."
+  in
+  Arg.(required & opt (some string) None & info [ "batch" ] ~docv:"FILE" ~doc)
+
+let config_file_arg =
+  let doc = "Read option defaults from a configuration file (key = value)." in
+  Arg.(value & opt (some string) None & info [ "c"; "config" ] ~docv:"FILE" ~doc)
+
+let mode_arg =
+  let doc = "Exploration mode: brute-force, pruning or optimized." in
+  opt_arg Arg.string ~docv:"MODE" ~doc [ "m"; "mode" ]
+
+let k_arg = opt_arg Arg.int ~docv:"K" ~doc:"Maximum victims per crash state." [ "k" ]
+
+let jobs_arg =
+  opt_arg Arg.int ~docv:"N"
+    ~doc:
+      "Worker domains per check. Results are deterministic across worker \
+       counts, so cached results serve any -j."
+    [ "jobs" ]
+
+let max_cuts_arg =
+  opt_arg Arg.int ~docv:"N" ~doc:"Cap on enumerated consistent cuts." [ "max-cuts" ]
+
+let pfs_model_arg =
+  opt_arg Arg.string ~docv:"MODEL"
+    ~doc:"Crash-consistency model the PFS layer is tested against." [ "pfs-model" ]
+
+let lib_model_arg =
+  opt_arg Arg.string ~docv:"MODEL"
+    ~doc:"Crash-consistency model the I/O library is tested against."
+    [ "lib-model" ]
+
+let servers_arg =
+  opt_arg Arg.int ~docv:"N" ~doc:"Number of metadata and storage servers." [ "n"; "servers" ]
+
+let stripe_arg = opt_arg Arg.int ~docv:"BYTES" ~doc:"Stripe size in bytes." [ "stripe" ]
+
+let crash_after_arg =
+  let doc =
+    "Crash-test hook: exit abruptly (code 42) as soon as N jobs have \
+     completed and become durable, simulating a kill mid-batch."
+  in
+  opt_arg Arg.int ~docv:"N" ~doc [ "crash-after" ]
+
+let json_arg =
+  let doc = "Emit the batch summary as JSON." in
+  Arg.(value & flag & info [ "j"; "json" ] ~doc)
+
+let read_batch = function
+  | "-" -> In_channel.input_all stdin
+  | path -> In_channel.with_open_bin path In_channel.input_all
+
+let pp_text dir (r : Service.batch_result) status metrics =
+  let cached =
+    List.length (List.filter (fun c -> c.Service.c_outcome = Cached) r.completed)
+  in
+  Fmt.pr "=== paracrashd batch ===@.";
+  Fmt.pr "store: %s@." dir;
+  Fmt.pr "jobs %d: %d cached, %d fresh, %d errors, %d drained@." r.total cached
+    (List.length r.completed - cached)
+    (List.length r.errors) r.drained;
+  List.iter
+    (fun (e : Service.job_error) ->
+      Fmt.pr "error %s/%s: %s@." e.x_fs e.x_program e.x_msg)
+    r.errors;
+  Fmt.pr "status: %s@." status;
+  List.iter (fun (name, v) -> Fmt.pr "%s %d@." name v) (Metrics.to_list metrics)
+
+let pp_json dir (r : Service.batch_result) status metrics =
+  let b = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  let cached =
+    List.length (List.filter (fun c -> c.Service.c_outcome = Cached) r.completed)
+  in
+  add "{\n";
+  add "  \"version\": 1,\n";
+  add "  \"store\": \"%s\",\n" (R.json_escape dir);
+  add "  \"status\": \"%s\",\n" status;
+  add "  \"jobs\": { \"total\": %d, \"completed\": %d, \"cached\": %d, \
+       \"fresh\": %d, \"errors\": %d, \"drained\": %d },\n"
+    r.total
+    (List.length r.completed)
+    cached
+    (List.length r.completed - cached)
+    (List.length r.errors) r.drained;
+  add "  \"metrics\": {";
+  List.iteri
+    (fun i (name, v) ->
+      add "%s\n    \"%s\": %d" (if i = 0 then "" else ",") (R.json_escape name) v)
+    (Metrics.to_list metrics);
+  add "\n  },\n";
+  add "  \"errors\": [";
+  List.iteri
+    (fun i (e : Service.job_error) ->
+      add "%s\n    { \"fs\": \"%s\", \"program\": \"%s\", \"message\": \"%s\" }"
+        (if i = 0 then "" else ",")
+        (R.json_escape e.x_fs) (R.json_escape e.x_program) (R.json_escape e.x_msg))
+    r.errors;
+  add "%s],\n" (if r.errors = [] then "" else "\n  ");
+  add "  \"results\": [";
+  List.iteri
+    (fun i (c : Service.completed) ->
+      add "%s\n    { \"fs\": \"%s\", \"program\": \"%s\", \"key\": \"%s\", \
+           \"outcome\": \"%s\", \"report\": %s }"
+        (if i = 0 then "" else ",")
+        (R.json_escape c.c_fs) (R.json_escape c.c_program) (R.json_escape c.c_key)
+        (match c.c_outcome with Cached -> "cached" | Fresh -> "fresh")
+        c.c_record.Service.r_report)
+    r.completed;
+  add "%s]\n" (if r.completed = [] then "" else "\n  ");
+  add "}\n";
+  print_string (Buffer.contents b)
+
+let run config_file store_dir batch mode k jobs max_cuts pfs_model lib_model
+    servers stripe crash_after json =
+  let fail fmt = Fmt.kstr (fun m -> `Error (false, m)) fmt in
+  let base =
+    match config_file with
+    | None -> Ok W.Config.default
+    | Some path -> Result.map W.Config.of_runconfig (W.Runconfig.load path)
+  in
+  match base with
+  | Error m -> fail "configuration file: %s" m
+  | Ok base -> (
+      let overrides =
+        {
+          W.Config.no_overrides with
+          W.Config.o_mode = mode;
+          o_k = k;
+          o_jobs = jobs;
+          o_max_cuts = max_cuts;
+          o_pfs_model = pfs_model;
+          o_lib_model = lib_model;
+          o_servers = servers;
+          o_stripe = stripe;
+        }
+      in
+      match W.Config.merge base ~overrides with
+      | Error m -> fail "%s" m
+      | Ok cfg -> (
+          match Service.parse_batch (read_batch batch) with
+          | Error m -> fail "batch %s: %s" batch m
+          | Ok batch_jobs -> (
+              let store = Store.open_ ~dir:store_dir in
+              let svc = Service.create ~store ~config:cfg in
+              (try
+                 Sys.set_signal Sys.sigterm
+                   (Sys.Signal_handle (fun _ -> Service.request_drain svc))
+               with Invalid_argument _ | Sys_error _ -> ());
+              match Service.run_batch ?crash_after svc batch_jobs with
+              | exception Service.Crash_requested n ->
+                  Fmt.epr "paracrashd: crash hook fired after %d completed jobs@." n;
+                  exit 42
+              | result ->
+                  let status = if result.drained > 0 then "partial" else "complete" in
+                  let metrics = Service.metrics svc in
+                  (if json then pp_json else pp_text) store_dir result status metrics;
+                  if result.drained > 0 then exit 3
+                  else if result.errors <> [] then exit 1
+                  else `Ok ())))
+
+let cmd =
+  let doc = "crash-safe checking service over a content-addressed store" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Processes a batch of check jobs, serving repeats from a \
+         self-verifying content-addressed store of job results, legal-state \
+         sets and golden final-view images. Each completed job is durable \
+         (tmp + fsync + rename) before the next starts; killing the daemon \
+         mid-batch and resubmitting loses no completed work.";
+      `S Manpage.s_examples;
+      `P "paracrashd --store ./store --batch jobs.txt";
+      `P "echo 'beegfs ARVR' | paracrashd --store ./store --batch - --json";
+      `P "paracrashd --store ./store --batch jobs.txt --crash-after 2";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "paracrashd" ~version:"1.0" ~doc ~man)
+    Term.(
+      ret
+        (const run $ config_file_arg $ store_arg $ batch_arg $ mode_arg $ k_arg
+       $ jobs_arg $ max_cuts_arg $ pfs_model_arg $ lib_model_arg $ servers_arg
+       $ stripe_arg $ crash_after_arg $ json_arg))
+
+let () = exit (Cmd.eval cmd)

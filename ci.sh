@@ -6,6 +6,9 @@
 #                    scheduler-determinism matrix) + a digest-determinism
 #                    smoke: the same run twice must render identical JSON
 #                    (content-addressed state matching is deterministic)
+#                    + a daemon smoke: paracrashd killed mid-batch loses
+#                    no completed job and serves resubmissions from the
+#                    content-addressed store
 #   ./ci.sh --gates  build + ratcheting perf gates: a quick micro pass
 #                    compared against the committed tag-"gate" baselines
 #                    in BENCH_perf.json; fails on >15% wall or >10%
@@ -109,6 +112,54 @@ EOF
         echo "sweep resume summaries identical (python3 unavailable)"
     fi
     rm -rf "$corpus"
+
+    echo "== daemon crash/restart smoke =="
+    # paracrashd killed mid-batch (the deterministic --crash-after hook)
+    # must lose no completed job: the restarted daemon serves it from
+    # the store, finishes the rest, and a third submission is answered
+    # entirely from the store (job hit ratio 100%).
+    dstore=$(mktemp -d /tmp/paracrash-store.XXXXXX)
+    batch=/tmp/paracrash-batch.txt
+    printf 'beegfs ARVR\nbeegfs CR\next4 RC\n' > "$batch"
+    set +e
+    ./_build/default/bin/paracrashd.exe --store "$dstore" --batch "$batch" \
+        --crash-after 1 > /dev/null 2>&1
+    code=$?
+    set -e
+    [ "$code" = 42 ] || {
+        echo "daemon smoke FAILED: crash hook exit $code, want 42" >&2; exit 1; }
+    ./_build/default/bin/paracrashd.exe --store "$dstore" --batch "$batch" \
+        --json > /tmp/paracrash-daemon-b.json
+    ./_build/default/bin/paracrashd.exe --store "$dstore" --batch "$batch" \
+        --json > /tmp/paracrash-daemon-c.json
+    if command -v python3 >/dev/null 2>&1; then
+        python3 - <<'EOF'
+import json
+b = json.load(open("/tmp/paracrash-daemon-b.json"))
+c = json.load(open("/tmp/paracrash-daemon-c.json"))
+assert b["status"] == "complete", b["status"]
+jb = b["jobs"]
+assert jb["completed"] == 3 and jb["cached"] == 1 and jb["fresh"] == 2, \
+    "restart lost completed work: %s" % jb
+jc = c["jobs"]
+assert jc["completed"] == 3 and jc["cached"] == 3 and jc["fresh"] == 0, \
+    "resubmission not served from the store: %s" % jc
+mc = c["metrics"]
+hits, misses = mc["store.job_hits"], mc.get("store.job_misses", 0)
+assert hits == 3 and misses == 0, (hits, misses)
+print("daemon: kill after 1/3 -> restart cached=1 fresh=2; "
+      "resubmit hit ratio %d/%d" % (hits, hits + misses))
+EOF
+    else
+        grep -q '"status": "complete"' /tmp/paracrash-daemon-b.json || {
+            echo "daemon smoke FAILED: restart batch not complete" >&2; exit 1; }
+        grep -q '"cached": 3' /tmp/paracrash-daemon-c.json || {
+            echo "daemon smoke FAILED: resubmission not fully cached" >&2; exit 1; }
+        echo "daemon crash/restart smoke passed (python3 unavailable)"
+    fi
+    ./_build/default/bin/paracrash.exe store fsck --store "$dstore" > /dev/null || {
+        echo "daemon smoke FAILED: store fsck found damage" >&2; exit 1; }
+    rm -rf "$dstore" "$batch"
 else
     dune runtest
 fi

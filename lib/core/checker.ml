@@ -37,6 +37,30 @@ let pfs_model_inputs (s : Session.t) =
   in
   (ops, graph, is_commit, covered_by)
 
+(* Content address of a session's PFS legal-state set: a fingerprint of
+   every input [pfs_legal_states] consumes — file system, consistency
+   model, the traced PFS call list, the causality edges between those
+   calls, and the initial mounted view the golden replay starts from.
+   Two sessions with equal keys compute equal legal sets (up to Fp
+   collisions), so the persistent store can serve one session's set to
+   the other; anything that could change the set (op payloads, op
+   order, fsync edges, preamble state, fs recovery semantics via the fs
+   name) perturbs the key. *)
+let legal_key (s : Session.t) model =
+  let ops, graph, _, _ = pfs_model_inputs s in
+  let st = Fp.init () in
+  Fp.add_string st "paracrash-legal-key-v1";
+  Fp.add_string st (Handle.fs_name s.handle);
+  Fp.add_string st (Model.to_string model);
+  Fp.add_int st (Array.length ops);
+  Array.iter (fun op -> Fp.add_string st (Pfs_op.to_string op)) ops;
+  for i = 0 to Dag.size graph - 1 do
+    Fp.add_int st i;
+    List.iter (Fp.add_int st) (Dag.succs graph i)
+  done;
+  Fp.add_string st (Logical.canonical (Handle.mount s.handle s.initial));
+  Fp.to_hex (Fp.finish st)
+
 let pfs_legal_states ?stats (s : Session.t) model =
   Paracrash_obs.Obs.span "legal.golden_replay" @@ fun () ->
   let ops, graph, is_commit, covered_by = pfs_model_inputs s in

@@ -39,6 +39,14 @@ val pfs_call_graph : Session.t -> Paracrash_util.Dag.t
 (** Causality graph over the session's PFS-layer calls (indices into
     [Session.pfs_calls]). *)
 
+val legal_key : Session.t -> Model.t -> string
+(** Content address (hex 128-bit fingerprint) of this session's PFS
+    legal-state set: covers the fs name, the model, every traced PFS
+    call, the causality edges between them, and the initial mounted
+    view — all inputs of {!pfs_legal_states}. Equal keys mean equal
+    legal sets, so a persistent store may serve a cached set across
+    runs and processes. *)
+
 val pfs_legal_states : ?stats:Legal.replay_stats -> Session.t -> Model.t -> Legal.t
 (** The legal PFS states: golden replays, over the initial mounted
     view, of every preserved set the model allows. Replays share work

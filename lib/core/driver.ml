@@ -30,7 +30,7 @@ type spec = {
   lib : (model:Model.t -> Session.t -> Checker.lib_layer) option;
 }
 
-let run ?(options = default_options) ~config ~make_fs spec =
+let run ?(options = default_options) ?legal_cache ~config ~make_fs spec =
   let module Obs = Paracrash_obs.Obs in
   let tracer = Tracer.create () in
   let handle = make_fs ~config ~tracer in
@@ -72,6 +72,7 @@ let run ?(options = default_options) ~config ~make_fs spec =
   let lib = Option.map (fun f -> f ~model:options.lib_model session) spec.lib in
   let report =
     Obs.span "driver.pipeline" (fun () ->
-        Pipeline.run ?rpc options ~session ~lib ~workload:spec.name)
+        Pipeline.run ?rpc ?legal_cache options ~session ~lib
+          ~workload:spec.name)
   in
   (report, session)

@@ -42,6 +42,7 @@ type spec = {
 
 val run :
   ?options:options ->
+  ?legal_cache:Engine.legal_cache ->
   config:Paracrash_pfs.Config.t ->
   make_fs:
     (config:Paracrash_pfs.Config.t ->

@@ -34,18 +34,49 @@ type ctx = {
   replay_stats : Legal.replay_stats;
 }
 
-let create ~session ~mode ~classify ~pfs_model ~lib =
+(* Persistent-store hook for legal-state sets: [lookup] fetches the
+   serialized set under a {!Checker.legal_key} (None = miss or refused
+   by integrity checking), [save] records a freshly computed one. Plain
+   callbacks so the store implementation lives above this library; with
+   no hook the computation is byte-identical to the historical path. *)
+type legal_cache = {
+  lc_lookup : key:string -> string option;
+  lc_save : key:string -> string -> unit;
+}
+
+let create ?legal_cache ~session ~mode ~classify ~pfs_model ~lib () =
   let handle = session.Session.handle in
   let raw_data i =
     let e = Session.storage_event session i in
     Paracrash_util.Strutil.contains_sub e.Event.tag "raw data"
   in
   let replay_stats = Legal.replay_stats () in
+  let pfs_legal =
+    let fresh () = Checker.pfs_legal_states ~stats:replay_stats session pfs_model in
+    match legal_cache with
+    | None -> fresh ()
+    | Some lc -> (
+        let key = Checker.legal_key session pfs_model in
+        let cached =
+          Option.bind (lc.lc_lookup ~key) (fun payload ->
+              match Legal.deserialize payload with
+              | Ok legal -> Some legal
+              | Error _ -> None)
+        in
+        match cached with
+        | Some legal ->
+            Paracrash_obs.Obs.add "legal.store_hits" 1;
+            legal
+        | None ->
+            let legal = fresh () in
+            lc.lc_save ~key (Legal.serialize legal);
+            legal)
+  in
   {
     session;
     mode;
     classify;
-    pfs_legal = Checker.pfs_legal_states ~stats:replay_stats session pfs_model;
+    pfs_legal;
     lib;
     storage_graph = Explore.storage_graph session;
     expected = Handle.mount handle session.Session.final;

@@ -35,12 +35,27 @@ type ctx = {
           [pfs_legal] (filled during {!create}) *)
 }
 
+type legal_cache = {
+  lc_lookup : key:string -> string option;
+      (** serialized {!Legal.t} under a {!Checker.legal_key}, [None] on
+          miss (or when the store refused a damaged entry) *)
+  lc_save : key:string -> string -> unit;
+}
+(** Persistent-store hook for legal-state sets. Plain callbacks so the
+    store implementation ([lib/store]) stays above this library; with
+    no hook, {!create} is byte-identical to the historical path. A
+    store-served set skips the golden replays entirely, so the report's
+    [legal.replay_*] counters truthfully read zero on a hit — verdicts,
+    bugs and every other deterministic metric are unchanged. *)
+
 val create :
+  ?legal_cache:legal_cache ->
   session:Session.t ->
   mode:mode ->
   classify:bool ->
   pfs_model:Model.t ->
   lib:Checker.lib_layer option ->
+  unit ->
   ctx
 
 (** {1 Check stage} *)

@@ -37,6 +37,87 @@ let of_canonical_seq ?truncated canons =
 
 let of_canonicals canons = of_canonical_seq (List.to_seq canons)
 
+(* --- persistence ---------------------------------------------------------- *)
+
+(* Length-framed text serialization, the payload format of the
+   persistent store's [legal] namespace:
+
+     paracrash-legal <version> <count> <truncated>\n
+     <fp-hex> <byte-length>\n
+     <canonical bytes>\n            (repeated <count> times)
+
+   Canonical strings are multi-line, so they are framed by byte length,
+   never parsed by line. Fingerprints are stored verbatim rather than
+   recomputed on load: a PFS legal set's fingerprints stream structural
+   tokens ([Logical.fingerprint]), not the canonical rendering, so the
+   (fp, canonical) pairing is data, not derivable. Frame integrity
+   (torn writes, bit flips) is the store's job — CRC + payload
+   fingerprint per entry; [deserialize] only validates structure. *)
+
+let serialize_version = 1
+
+let serialize t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "paracrash-legal %d %d %d\n" serialize_version
+       (cardinal t)
+       (if t.truncated then 1 else 0));
+  List.iter
+    (fun e ->
+      let c = Lazy.force e.canonical in
+      Buffer.add_string buf
+        (Printf.sprintf "%s %d\n" (Fp.to_hex e.fp) (String.length c));
+      Buffer.add_string buf c;
+      Buffer.add_char buf '\n')
+    t.entries;
+  Buffer.contents buf
+
+let deserialize s =
+  let ( let* ) = Result.bind in
+  let err fmt = Printf.ksprintf (fun m -> Error ("Legal.deserialize: " ^ m)) fmt in
+  let n = String.length s in
+  let line_end pos =
+    match String.index_from_opt s pos '\n' with
+    | Some i -> Ok i
+    | None -> err "truncated at byte %d (no newline)" pos
+  in
+  let* hdr_end = line_end 0 in
+  let* count, truncated =
+    match String.split_on_char ' ' (String.sub s 0 hdr_end) with
+    | [ "paracrash-legal"; v; count; trunc ] -> (
+        match (int_of_string_opt v, int_of_string_opt count, trunc) with
+        | Some v, _, _ when v <> serialize_version -> err "version %d" v
+        | Some _, Some count, ("0" | "1") -> Ok (count, trunc = "1")
+        | _ -> err "malformed header")
+    | _ -> err "bad magic"
+  in
+  let tbl = Fp.Tbl.create (max 16 count) in
+  let rec entries pos k acc =
+    if k = 0 then
+      if pos = n then Ok (List.rev acc) else err "%d trailing bytes" (n - pos)
+    else
+      let* eol = line_end pos in
+      let* fp, len =
+        match String.split_on_char ' ' (String.sub s pos (eol - pos)) with
+        | [ hex; len ] -> (
+            match (Fp.of_hex hex, int_of_string_opt len) with
+            | Some fp, Some len when len >= 0 -> Ok (fp, len)
+            | _ -> err "malformed entry frame at byte %d" pos)
+        | _ -> err "malformed entry frame at byte %d" pos
+      in
+      let start = eol + 1 in
+      if start + len >= n || s.[start + len] <> '\n' then
+        err "truncated canonical at byte %d" start
+      else if Fp.Tbl.mem tbl fp then err "duplicate fingerprint %s" (Fp.to_hex fp)
+      else begin
+        Fp.Tbl.replace tbl fp ();
+        let canonical = Lazy.from_val (String.sub s start len) in
+        entries (start + len + 1) (k - 1) ({ fp; canonical } :: acc)
+      end
+  in
+  let* entries = entries (hdr_end + 1) count [] in
+  Ok { tbl; entries; truncated }
+
 type replay_stats = {
   mutable replayed_sets : int;
   mutable applies : int;

@@ -44,6 +44,21 @@ val truncated : t -> bool
 (** The enumeration behind this set was capped; verdicts may over-report
     inconsistency and the engine logs a warning. *)
 
+val serialize : t -> string
+(** Length-framed text rendering for the persistent store (forces every
+    lazy canonical). Versioned; entries keep first-seen order, the
+    truncation flag survives, and fingerprints are stored verbatim (a
+    PFS set's fingerprints are structural, not derivable from the
+    canonical strings). *)
+
+val deserialize : string -> (t, string) result
+(** Inverse of {!serialize}. The result answers [mem], [cardinal],
+    [canonicals] and [truncated] identically to the serialized set
+    (the persistent-store round-trip oracle in [test_store.ml] proves
+    this differentially). Any structural damage — truncation, bad
+    framing, duplicate fingerprints — is an [Error]; whole-payload
+    integrity is the store's CRC/fingerprint frame. *)
+
 type replay_stats = {
   mutable replayed_sets : int;  (** preserved sets replayed *)
   mutable applies : int;  (** golden operations actually applied *)

@@ -134,8 +134,8 @@ let budgeted ~state_budget states_seq =
       in
       (limited 0 states_seq, fun () -> !hit)
 
-let run ?(order_chunk = default_order_chunk) ?rpc options ~session ~lib
-    ~workload =
+let run ?(order_chunk = default_order_chunk) ?rpc ?legal_cache options ~session
+    ~lib ~workload =
   let t0 = Unix.gettimeofday () in
   (* stage 1: generate — a lazy stream of deduplicated crash states.
      The span covers the (eager) persistence model and stream setup;
@@ -150,8 +150,8 @@ let run ?(order_chunk = default_order_chunk) ?rpc options ~session ~lib
   let states_seq, budget_hit = budgeted ~state_budget:options.state_budget states_seq in
   let ctx =
     Obs.span "pipeline.setup" @@ fun () ->
-    Engine.create ~session ~mode:options.mode ~classify:options.classify
-      ~pfs_model:options.pfs_model ~lib
+    Engine.create ?legal_cache ~session ~mode:options.mode
+      ~classify:options.classify ~pfs_model:options.pfs_model ~lib ()
   in
   (* Truncated legal-set enumerations degrade gracefully (the check runs
      against the prefix actually enumerated) but the narrowing must be

@@ -68,6 +68,7 @@ val with_deferred_warnings : (unit -> 'a) -> 'a * (string * int) list
 val run :
   ?order_chunk:int ->
   ?rpc:Report.rpc_stats ->
+  ?legal_cache:Engine.legal_cache ->
   options ->
   session:Session.t ->
   lib:Checker.lib_layer option ->
@@ -78,4 +79,7 @@ val run :
     current workloads are single-chunk, making the tour identical to the
     historical whole-list ordering). [rpc] carries the trace-time RPC
     fault counters into the report's fault section (recorded by the
-    {!Driver} when the [rpc] fault class was active). *)
+    {!Driver} when the [rpc] fault class was active). [legal_cache]
+    lets a persistent store serve/record the PFS legal-state set
+    ({!Engine.legal_cache}); absent, setup is byte-identical to the
+    historical path. *)

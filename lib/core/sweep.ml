@@ -32,8 +32,16 @@ let outcome_of_report (r : Report.t) =
 module Corpus = struct
   type t = {
     entries : (string, outcome) Hashtbl.t;
+    fd : Unix.file_descr;
     oc : out_channel;
+    mutable unsynced : int;  (* records appended since the last fsync *)
   }
+
+  (* Entries are flushed per record (a kill loses at most the torn
+     tail, which load repairs) but fsynced only every [sync_batch]
+     records and on close — a power failure rewinds the corpus by at
+     most one batch, which the resume then re-runs. *)
+  let sync_batch = 64
 
   let journal_version = 1
   let journal_path dir = Filename.concat dir "journal"
@@ -96,6 +104,22 @@ module Corpus = struct
     go ();
     !good
 
+  let write_all fd s =
+    let len = String.length s in
+    let pos = ref 0 in
+    while !pos < len do
+      pos := !pos + Unix.write_substring fd s !pos (len - !pos)
+    done
+
+  let fsync_quiet fd = try Unix.fsync fd with Unix.Unix_error (_, _, _) -> ()
+
+  let fsync_dir dir =
+    match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+    | fd ->
+        Fun.protect ~finally:(fun () -> Unix.close fd) (fun () ->
+            fsync_quiet fd)
+    | exception Unix.Unix_error (_, _, _) -> ()
+
   let open_ ~dir ~header =
     if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
     let path = journal_path dir in
@@ -108,27 +132,47 @@ module Corpus = struct
       let oc = Unix.out_channel_of_descr fd in
       if good = 0 then begin
         output_string oc (header_line header ^ "\n");
-        flush oc
+        flush oc;
+        fsync_quiet fd
       end;
-      { entries; oc }
+      { entries; fd; oc; unsynced = 0 }
     end
     else begin
-      let oc = open_out_bin path in
-      output_string oc (header_line header ^ "\n");
-      flush oc;
-      { entries; oc }
+      (* A fresh journal appears atomically: header staged in a tmp
+         file, fsynced, renamed into place, directory fsynced — a crash
+         during creation leaves no half-born journal for the next open
+         to misread. *)
+      let tmp = path ^ ".tmp" in
+      let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+      (Fun.protect ~finally:(fun () -> Unix.close fd) @@ fun () ->
+       write_all fd (header_line header ^ "\n");
+       fsync_quiet fd);
+      Sys.rename tmp path;
+      fsync_dir dir;
+      let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_APPEND ] 0o644 in
+      { entries; fd; oc = Unix.out_channel_of_descr fd; unsynced = 0 }
     end
 
   let mem t id = Hashtbl.mem t.entries id
   let find t id = Hashtbl.find_opt t.entries id
 
+  let sync t =
+    flush t.oc;
+    fsync_quiet t.fd;
+    t.unsynced <- 0
+
   let record t id o =
     Hashtbl.replace t.entries id o;
     output_string t.oc (entry_line id o);
-    flush t.oc
+    flush t.oc;
+    t.unsynced <- t.unsynced + 1;
+    if t.unsynced >= sync_batch then sync t
 
   let cardinal t = Hashtbl.length t.entries
-  let close t = close_out_noerr t.oc
+
+  let close t =
+    (try sync t with Sys_error _ -> ());
+    close_out_noerr t.oc
 end
 
 type stats = {

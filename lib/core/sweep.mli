@@ -36,7 +36,13 @@ val outcome_of_report : Report.t -> outcome
     different sweeps cannot share a directory), then one
     [id fingerprint bugs inconsistent] line per checked program,
     appended in enumeration order and flushed per entry. A torn final
-    line (killed mid-write) is dropped on load. *)
+    line (killed mid-write) is dropped on load.
+
+    Durability: a fresh journal is created atomically (header staged in
+    a tmp file, fsynced, renamed into place, directory fsynced), and
+    appends are fsynced at batch boundaries (every 64 records) and on
+    {!close} — a power failure rewinds the corpus by at most one batch
+    of entries, which the resume re-runs. *)
 module Corpus : sig
   type t
 
@@ -48,7 +54,14 @@ module Corpus : sig
   val find : t -> string -> outcome option
   val record : t -> string -> outcome -> unit
   val cardinal : t -> int
+
+  val sync : t -> unit
+  (** Force an fsync of everything recorded so far (recording already
+      syncs every 64 entries; this closes the gap at points the caller
+      considers a batch boundary). *)
+
   val close : t -> unit
+  (** Syncs, then closes the journal. *)
 end
 
 type stats = {

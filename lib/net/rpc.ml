@@ -81,6 +81,20 @@ let run_once t ~client ~server ~msg ~reply ~deliver_reply handler =
       cleanup ();
       raise e
 
+(* Simulated wait before retransmission [attempt] (0-based): exponential
+   in the attempt number with a seeded jitter factor in [1, 2). The
+   jitter is a stateless hash of (seed, attempt) — no generator state —
+   so a call's whole backoff schedule is a pure function of its seed,
+   reproducible across runs, hosts and job counts. The seed is the
+   call's first message id (deterministic in trace position), so
+   distinct calls desynchronize instead of retrying in lockstep. *)
+let backoff_delay ~timeout ~seed ~attempt =
+  let base = timeout *. Float.of_int (1 lsl min attempt 30) in
+  let jitter =
+    Float.of_int (Paracrash_util.Rng.hash ~seed attempt land 0xffff) /. 65536.
+  in
+  base *. (1. +. jitter)
+
 let call t ~client ~server ?(reply = true) ?(retries = 1) ?(timeout = 1.0) handler
     =
   if not (Tracer.enabled t) then handler ()
@@ -97,9 +111,13 @@ let call t ~client ~server ?(reply = true) ?(retries = 1) ?(timeout = 1.0) handl
         (* Retransmission loop. Every attempt re-executes the handler —
            that is the point: lost replies and duplicated requests make
            the server do the work again, and a non-idempotent handler
-           diverges from the golden intent. *)
-        let rec attempt n =
+           diverges from the golden intent. Lost replies wait out a
+           seeded exponential backoff ([backoff_delay]) before the next
+           attempt; the accumulated simulated wait surfaces in
+           [Timeout.waited]. *)
+        let rec attempt n ~seed ~waited =
           let msg = Tracer.fresh_msg t in
+          let seed = if n = 0 then msg else seed in
           match inj.decide ~client ~server ~msg ~attempt:n with
           | Deliver -> run_once t ~client ~server ~msg ~reply ~deliver_reply:true handler
           | Duplicate_request ->
@@ -117,23 +135,17 @@ let call t ~client ~server ?(reply = true) ?(retries = 1) ?(timeout = 1.0) handl
               let _ =
                 run_once t ~client ~server ~msg ~reply ~deliver_reply:false handler
               in
+              let waited = waited +. backoff_delay ~timeout ~seed ~attempt:n in
               if n < retries then begin
                 inj.retries <- inj.retries + 1;
-                attempt (n + 1)
+                attempt (n + 1) ~seed ~waited
               end
               else begin
                 inj.timeouts <- inj.timeouts + 1;
-                raise
-                  (Timeout
-                     {
-                       client;
-                       server;
-                       attempts = n + 1;
-                       waited = float_of_int (n + 1) *. timeout;
-                     })
+                raise (Timeout { client; server; attempts = n + 1; waited })
               end
         in
-        attempt 0
+        attempt 0 ~seed:0 ~waited:0.
   end
 
 let oneway t ~client ~server handler = call t ~client ~server ~reply:false handler

@@ -68,9 +68,22 @@ val call :
     [reply] (default [true]) controls whether the server's completion
     is acknowledged to the client (creating a server -> client
     happens-before edge). [retries] (default 1) bounds retransmissions
-    after a lost reply; [timeout] (default 1.0) is the simulated wait
-    before each retransmission. Raises {!Timeout} when the last
-    attempt's reply is also lost. *)
+    after a lost reply; [timeout] (default 1.0) is the base of the
+    simulated exponential backoff waited before each retransmission
+    (see {!backoff_delay}). Raises {!Timeout} when the last attempt's
+    reply is also lost, with [waited] the accumulated simulated
+    backoff. *)
+
+val backoff_delay : timeout:float -> seed:int -> attempt:int -> float
+(** Simulated wait before retransmission [attempt] (0-based):
+    [timeout * 2^attempt * (1 + jitter)] with [jitter] in [0, 1) a
+    stateless seeded hash of [(seed, attempt)]
+    ({!Paracrash_util.Rng.hash}) — the whole schedule is a pure
+    function of the seed, so retries are reproducible across runs and
+    job counts while distinct calls (seeded by their first message id)
+    desynchronize. Only the injector-active retransmission loop waits;
+    the no-injector path never computes a delay and stays
+    byte-identical. *)
 
 val oneway :
   Paracrash_trace.Tracer.t -> client:string -> server:string -> (unit -> 'a) -> 'a

@@ -1,0 +1,290 @@
+module Fp = Paracrash_util.Digestutil.Fp
+module Obs = Paracrash_obs.Obs
+module Metrics = Paracrash_obs.Metrics
+module Tracer = Paracrash_trace.Tracer
+module Rpc = Paracrash_net.Rpc
+module Handle = Paracrash_pfs.Handle
+module Logical = Paracrash_pfs.Logical
+module Journal = Paracrash_vfs.Journal
+module Model = Paracrash_core.Model
+module Driver = Paracrash_core.Driver
+module Engine = Paracrash_core.Engine
+module Report = Paracrash_core.Report
+module Plan = Paracrash_fault.Plan
+module Config = Paracrash_workloads.Config
+
+type t = {
+  store : Store.t;
+  config : Config.t;
+  tracer : Tracer.t;
+  metrics : Metrics.t;
+  mutable draining : bool;
+}
+
+let create ~store ~config =
+  {
+    store;
+    config;
+    tracer = Tracer.create ();
+    metrics = Metrics.create ();
+    draining = false;
+  }
+
+let store t = t.store
+let request_drain t = t.draining <- true
+
+(* The job fingerprint covers every input the report is a function of:
+   workload identity, exploration options, topology. [jobs] is excluded
+   deliberately — the determinism contract makes reports byte-identical
+   across worker counts, so a result computed at any parallelism serves
+   every resubmission. *)
+let job_key (cfg : Config.t) ~fs ~program =
+  let o = cfg.options and p = cfg.pfs in
+  let st = Fp.init () in
+  Fp.add_string st "paracrash-job-key-v1";
+  Fp.add_string st fs;
+  Fp.add_string st program;
+  Fp.add_string st (Driver.mode_to_string o.mode);
+  Fp.add_int st o.k;
+  Fp.add_string st (Model.to_string o.pfs_model);
+  Fp.add_string st (Model.to_string o.lib_model);
+  Fp.add_int st o.max_cuts;
+  Fp.add_int st (Bool.to_int o.classify);
+  Fp.add_string st (Plan.classes_to_string o.faults);
+  Fp.add_int st o.fault_seed;
+  Fp.add_int st o.fault_budget;
+  (match o.deadline with
+  | None -> Fp.add_int st 0
+  | Some d ->
+      Fp.add_int st 1;
+      Fp.add_string st (Printf.sprintf "%h" d));
+  (match o.state_budget with
+  | None -> Fp.add_int st 0
+  | Some b ->
+      Fp.add_int st 1;
+      Fp.add_int st b);
+  Fp.add_int st p.Paracrash_pfs.Config.n_meta;
+  Fp.add_int st p.Paracrash_pfs.Config.n_storage;
+  Fp.add_int st p.Paracrash_pfs.Config.stripe_size;
+  Fp.add_string st (Journal.to_string p.Paracrash_pfs.Config.meta_mode);
+  Fp.add_string st (Journal.to_string p.Paracrash_pfs.Config.storage_mode);
+  Fp.to_hex (Fp.finish st)
+
+(* {1 Job records} *)
+
+type job_record = {
+  r_fs : string;
+  r_program : string;
+  r_image : string option;
+  r_report : string;
+}
+
+let job_record_to_string r =
+  let b = Buffer.create (256 + String.length r.r_report) in
+  Buffer.add_string b "paracrash-job 1\n";
+  Buffer.add_string b ("fs " ^ r.r_fs ^ "\n");
+  Buffer.add_string b ("program " ^ r.r_program ^ "\n");
+  Buffer.add_string b
+    ("image " ^ Option.value ~default:"-" r.r_image ^ "\n");
+  Buffer.add_string b
+    (Printf.sprintf "report %d\n" (String.length r.r_report));
+  Buffer.add_string b r.r_report;
+  Buffer.add_char b '\n';
+  Buffer.contents b
+
+let job_record_of_string s =
+  let ( let* ) = Result.bind in
+  let pos = ref 0 in
+  let line () =
+    match String.index_from_opt s !pos '\n' with
+    | None -> Error "job record: missing newline"
+    | Some i ->
+        let l = String.sub s !pos (i - !pos) in
+        pos := i + 1;
+        Ok l
+  in
+  let field name =
+    let* l = line () in
+    let prefix = name ^ " " in
+    if String.starts_with ~prefix l then
+      Ok (String.sub l (String.length prefix)
+            (String.length l - String.length prefix))
+    else Error (Printf.sprintf "job record: expected %S line, got %S" name l)
+  in
+  let* header = line () in
+  let* () =
+    if header = "paracrash-job 1" then Ok ()
+    else Error (Printf.sprintf "job record: bad header %S" header)
+  in
+  let* r_fs = field "fs" in
+  let* r_program = field "program" in
+  let* image = field "image" in
+  let r_image = if image = "-" then None else Some image in
+  let* len_s = field "report" in
+  let* len =
+    match int_of_string_opt len_s with
+    | Some n when n >= 0 -> Ok n
+    | _ -> Error (Printf.sprintf "job record: bad report length %S" len_s)
+  in
+  let* () =
+    if String.length s = !pos + len + 1 && s.[!pos + len] = '\n' then Ok ()
+    else Error "job record: report length does not match payload"
+  in
+  Ok { r_fs; r_program; r_image; r_report = String.sub s !pos len }
+
+(* {1 Batches} *)
+
+let parse_batch text =
+  let jobs = ref [] and err = ref None in
+  List.iteri
+    (fun i line ->
+      let line =
+        match String.index_opt line '#' with
+        | Some j -> String.sub line 0 j
+        | None -> line
+      in
+      let line = String.trim line in
+      if line <> "" && !err = None then
+        match String.split_on_char ' ' line |> List.filter (( <> ) "") with
+        | [ fs; program ] -> jobs := (fs, program) :: !jobs
+        | _ ->
+            err :=
+              Some
+                (Printf.sprintf "line %d: expected \"<fs> <program>\", got %S"
+                   (i + 1) line))
+    (String.split_on_char '\n' text);
+  match !err with Some e -> Error e | None -> Ok (List.rev !jobs)
+
+type outcome = Fresh | Cached
+
+type completed = {
+  c_fs : string;
+  c_program : string;
+  c_key : string;
+  c_outcome : outcome;
+  c_record : job_record;
+}
+
+type job_error = { x_fs : string; x_program : string; x_msg : string }
+
+type batch_result = {
+  total : int;
+  completed : completed list;
+  errors : job_error list;
+  drained : int;  (** jobs not attempted because a drain was requested *)
+}
+
+exception Crash_requested of int
+
+let legal_cache_of t =
+  {
+    Engine.lc_lookup =
+      (fun ~key ->
+        let r = Store.get t.store ~ns:"legal" ~key in
+        Metrics.add t.metrics
+          (match r with
+          | Some _ -> "store.legal_hits"
+          | None -> "store.legal_misses")
+          1;
+        r);
+    lc_save = (fun ~key payload -> Store.put t.store ~ns:"legal" ~key payload);
+  }
+
+let run_job t ~fs ~program ~key =
+  let cfg = { t.config with Config.fs; program } in
+  (* The submission travels over the simulated RPC layer: the check
+     runs server-side, correlated back to the client call in the
+     daemon's trace. *)
+  let report, session =
+    Rpc.call t.tracer ~client:"paracrashd.client" ~server:"paracrashd"
+      (fun () -> Config.run ~legal_cache:(legal_cache_of t) cfg program)
+  in
+  let canonical =
+    Logical.canonical
+      (Handle.mount session.Paracrash_core.Session.handle
+         session.Paracrash_core.Session.final)
+  in
+  let image_key = Fp.to_hex (Fp.of_string canonical) in
+  let record =
+    {
+      r_fs = fs;
+      r_program = program;
+      r_image = Some image_key;
+      r_report = Report.to_json report;
+    }
+  in
+  (* Only settled results become durable: a deadline- or budget-cut
+     report is not a function of the job key alone, so caching it would
+     let one partial run impersonate the full answer forever. *)
+  if not (Report.is_partial report) then begin
+    Store.put t.store ~ns:"image" ~key:image_key canonical;
+    Store.put t.store ~ns:"job" ~key (job_record_to_string record)
+  end;
+  record
+
+let run_batch ?crash_after t jobs =
+  let total = List.length jobs in
+  let completed = ref [] and errors = ref [] and attempted = ref 0 in
+  let maybe_crash () =
+    match crash_after with
+    | Some n when List.length !completed >= n ->
+        raise (Crash_requested (List.length !completed))
+    | _ -> ()
+  in
+  List.iter
+    (fun (fs, program) ->
+      if not t.draining then begin
+        incr attempted;
+        Obs.span "daemon.job" (fun () ->
+            let key = job_key { t.config with Config.fs; program } ~fs ~program in
+            match Store.get t.store ~ns:"job" ~key with
+            | Some payload -> (
+                Metrics.add t.metrics "store.job_hits" 1;
+                match job_record_of_string payload with
+                | Ok c_record ->
+                    completed :=
+                      {
+                        c_fs = fs;
+                        c_program = program;
+                        c_key = key;
+                        c_outcome = Cached;
+                        c_record;
+                      }
+                      :: !completed
+                | Error msg ->
+                    errors := { x_fs = fs; x_program = program; x_msg = msg }
+                             :: !errors)
+            | None -> (
+                Metrics.add t.metrics "store.job_misses" 1;
+                match run_job t ~fs ~program ~key with
+                | c_record ->
+                    completed :=
+                      {
+                        c_fs = fs;
+                        c_program = program;
+                        c_key = key;
+                        c_outcome = Fresh;
+                        c_record;
+                      }
+                      :: !completed
+                | exception e ->
+                    errors :=
+                      { x_fs = fs; x_program = program; x_msg = Printexc.to_string e }
+                      :: !errors));
+        maybe_crash ()
+      end)
+    jobs;
+  {
+    total;
+    completed = List.rev !completed;
+    errors = List.rev !errors;
+    drained = total - !attempted;
+  }
+
+let metrics t =
+  let s = Store.stats t.store in
+  Metrics.set t.metrics "store.hits" s.Store.hits;
+  Metrics.set t.metrics "store.misses" s.Store.misses;
+  Metrics.set t.metrics "store.writes" s.Store.writes;
+  Metrics.set t.metrics "store.quarantined" s.Store.quarantined;
+  t.metrics

@@ -1,0 +1,89 @@
+(** The checking service behind [paracrashd].
+
+    A service owns an open {!Store.t} and a base run configuration;
+    batches of [(fs, program)] jobs are submitted over the simulated
+    RPC layer ({!Paracrash_net.Rpc.call}) and answered either from the
+    store (a prior run with an identical job fingerprint) or by running
+    the full pipeline. Every completed job becomes durable {e before}
+    the next job starts — one atomic store write per job — so a daemon
+    killed at any instant loses at most the job in flight, and a
+    resubmitted batch is served (near-)entirely from the store.
+
+    Alongside job records the service persists the legal-state sets the
+    pipeline computes (namespace [legal], hooked in through
+    {!Paracrash_core.Engine.legal_cache}) and the golden final-view
+    canonicals (namespace [image], content-addressed), so even a fresh
+    job on a known workload skips the legal-set golden replays. *)
+
+type t
+
+val create : store:Store.t -> config:Paracrash_workloads.Config.t -> t
+(** A service answering jobs with [config]'s options and topology;
+    [config]'s own [fs]/[program] are ignored (each job names its
+    own). *)
+
+val store : t -> Store.t
+
+val request_drain : t -> unit
+(** Graceful-shutdown flag (the daemon's SIGTERM handler): the job in
+    flight finishes and becomes durable, remaining jobs are not
+    attempted, and the batch result reports them as [drained] — the
+    daemon marks such a batch [partial]. *)
+
+val job_key : Paracrash_workloads.Config.t -> fs:string -> program:string -> string
+(** Content address of a job's result: a fingerprint over the workload
+    identity, every exploration option and the topology. The worker
+    count is excluded — the determinism contract makes reports
+    byte-identical across [--jobs], so one cached result serves all.
+    Deadline/budget values are included, but reports they actually cut
+    short are never persisted (see {!run_batch}). *)
+
+type job_record = {
+  r_fs : string;
+  r_program : string;
+  r_image : string option;
+      (** [image]-namespace key of the golden final-view canonical *)
+  r_report : string;  (** the report JSON exactly as the pipeline emitted it *)
+}
+
+val job_record_to_string : job_record -> string
+val job_record_of_string : string -> (job_record, string) result
+
+val parse_batch : string -> ((string * string) list, string) result
+(** Batch file format: one ["<fs> <program>"] job per line; blank lines
+    and [#] comments ignored. *)
+
+type outcome = Fresh  (** computed by this run *) | Cached  (** served from the store *)
+
+type completed = {
+  c_fs : string;
+  c_program : string;
+  c_key : string;  (** the {!job_key} *)
+  c_outcome : outcome;
+  c_record : job_record;
+}
+
+type job_error = { x_fs : string; x_program : string; x_msg : string }
+
+type batch_result = {
+  total : int;
+  completed : completed list;  (** submission order *)
+  errors : job_error list;  (** jobs whose run raised (batch continues) *)
+  drained : int;  (** jobs not attempted because a drain was requested *)
+}
+
+val run_batch : ?crash_after:int -> t -> (string * string) list -> batch_result
+(** Process a batch job by job (each under an [Obs] span
+    ["daemon.job"]). Results that a deadline or state budget cut short
+    are returned but not persisted — a partial report is not a function
+    of the job key alone. [crash_after n] is the crash-test hook: raise
+    {!Crash_requested} as soon as [n] jobs have completed (their store
+    writes already durable), simulating a kill mid-batch. *)
+
+exception Crash_requested of int
+
+val metrics : t -> Paracrash_obs.Metrics.t
+(** The service's deterministic counters, refreshed from the store:
+    [store.hits]/[misses]/[writes]/[quarantined] plus
+    [store.job_hits]/[job_misses] and
+    [store.legal_hits]/[legal_misses]. *)

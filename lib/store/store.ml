@@ -1,0 +1,278 @@
+module Fp = Paracrash_util.Digestutil.Fp
+module Crc = Paracrash_util.Crc
+module Obs = Paracrash_obs.Obs
+
+let magic = "paracstr"
+let version = 1
+let version_line = Printf.sprintf "paracrash-store %d\n" version
+
+(* Frame layout (all integers little-endian):
+
+   offset      size  field
+   0           8     magic "paracstr"
+   8           1     version
+   9           2     key length [klen]
+   11          klen  key ("<ns>/<name>", so a frame misfiled under
+                     another path is detected)
+   11+klen     8     payload length [plen]
+   19+klen     32    payload fingerprint, hex ({!Fp.to_hex})
+   51+klen     plen  payload
+   51+klen+plen 4    CRC-32 of every preceding byte
+
+   The CRC catches torn tails and random damage cheaply; the
+   fingerprint ties the payload to the content address the rest of the
+   tool uses, so [fsck] re-derives the same identity the checker would. *)
+
+let header_len = 11
+let fixed_overhead = 51 + 4
+
+let encode_entry ~key payload =
+  let klen = String.length key in
+  if klen = 0 || klen > 0xffff then invalid_arg "Store.encode_entry: key length";
+  let b = Buffer.create (fixed_overhead + klen + String.length payload) in
+  Buffer.add_string b magic;
+  Buffer.add_uint8 b version;
+  Buffer.add_uint16_le b klen;
+  Buffer.add_string b key;
+  Buffer.add_int64_le b (Int64.of_int (String.length payload));
+  Buffer.add_string b (Fp.to_hex (Fp.of_string payload));
+  Buffer.add_string b payload;
+  let crc = Crc.string (Buffer.contents b) in
+  Buffer.add_int32_le b (Int32.of_int crc);
+  Buffer.contents b
+
+let decode_entry ~key s =
+  let ( let* ) = Result.bind in
+  let len = String.length s in
+  let* () =
+    if len >= header_len then Ok ()
+    else Error (Printf.sprintf "truncated header (%d bytes)" len)
+  in
+  let* () = if String.sub s 0 8 = magic then Ok () else Error "bad magic" in
+  let* () =
+    let v = Char.code s.[8] in
+    if v = version then Ok ()
+    else Error (Printf.sprintf "unsupported version %d" v)
+  in
+  let klen = String.get_uint16_le s 9 in
+  let* () =
+    if len >= header_len + klen + 8 + 32 then Ok ()
+    else Error (Printf.sprintf "truncated key/length fields (%d bytes)" len)
+  in
+  let frame_key = String.sub s header_len klen in
+  let plen64 = String.get_int64_le s (header_len + klen) in
+  let* plen =
+    match Int64.unsigned_to_int plen64 with
+    | Some n when n <= len -> Ok n
+    | _ -> Error (Printf.sprintf "implausible payload length %Ld" plen64)
+  in
+  let total = fixed_overhead + klen + plen in
+  let* () =
+    if len < total then
+      Error (Printf.sprintf "truncated payload (%d of %d bytes)" len total)
+    else if len > total then Error "trailing bytes after frame"
+    else Ok ()
+  in
+  let stored_crc =
+    Int32.to_int (String.get_int32_le s (total - 4)) land 0xffffffff
+  in
+  let crc =
+    Crc.sub_bytes (Bytes.unsafe_of_string s) ~pos:0 ~len:(total - 4)
+  in
+  let* () =
+    if crc = stored_crc then Ok ()
+    else Error (Printf.sprintf "checksum mismatch (stored %08x, computed %08x)"
+                  stored_crc crc)
+  in
+  let* () =
+    if frame_key = key then Ok ()
+    else Error (Printf.sprintf "key mismatch (frame says %S)" frame_key)
+  in
+  let fp_hex = String.sub s (19 + klen) 32 in
+  let payload = String.sub s (51 + klen) plen in
+  let* () =
+    let actual = Fp.to_hex (Fp.of_string payload) in
+    if actual = fp_hex then Ok ()
+    else
+      Error (Printf.sprintf "fingerprint mismatch (stored %s, computed %s)"
+               fp_hex actual)
+  in
+  Ok payload
+
+type t = {
+  root : string;
+  mutable hits : int;
+  mutable misses : int;
+  mutable writes : int;
+  mutable quarantined : int;
+}
+
+type stats = { hits : int; misses : int; writes : int; quarantined : int }
+
+let stats (t : t) =
+  {
+    hits = t.hits;
+    misses = t.misses;
+    writes = t.writes;
+    quarantined = t.quarantined;
+  }
+
+let root t = t.root
+let objects_dir t = Filename.concat t.root "objects"
+let ns_dir t ns = Filename.concat (objects_dir t) ns
+let tmp_dir t = Filename.concat t.root "tmp"
+let quarantine_dir t = Filename.concat t.root "quarantine"
+let entry_path t ~ns ~key = Filename.concat (ns_dir t ns) key
+let frame_key ~ns ~key = ns ^ "/" ^ key
+
+let safe_component s =
+  s <> "" && s.[0] <> '.'
+  && String.for_all
+       (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '.' | '_' | '-' -> true
+         | _ -> false)
+       s
+
+let check_component what s =
+  if not (safe_component s) then
+    invalid_arg (Printf.sprintf "Store: unsafe %s %S" what s)
+
+let mkdir_p dir =
+  let rec go dir =
+    if not (Sys.file_exists dir) then begin
+      go (Filename.dirname dir);
+      try Unix.mkdir dir 0o755
+      with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    end
+  in
+  go dir
+
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | fd -> Fun.protect ~finally:(fun () -> Unix.close fd) (fun () ->
+        try Unix.fsync fd with Unix.Unix_error (_, _, _) -> ())
+  | exception Unix.Unix_error (_, _, _) -> ()
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () ->
+      really_input_string ic (in_channel_length ic))
+
+(* Durable write: stage the full frame in tmp/, fsync the file, rename
+   into place, fsync the directory. A crash at any point leaves either
+   no entry (plus a tmp leftover that [open_] sweeps) or the complete
+   entry — never a torn tail under [objects/]. *)
+let write_durable t ~path ~tmp_name data =
+  let tmp = Filename.concat (tmp_dir t) tmp_name in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      let len = String.length data in
+      let pos = ref 0 in
+      while !pos < len do
+        pos := !pos + Unix.write_substring fd data !pos (len - !pos)
+      done;
+      Unix.fsync fd);
+  Sys.rename tmp path;
+  fsync_dir (Filename.dirname path)
+
+let open_ ~dir =
+  let t = { root = dir; hits = 0; misses = 0; writes = 0; quarantined = 0 } in
+  mkdir_p (objects_dir t);
+  mkdir_p (tmp_dir t);
+  mkdir_p (quarantine_dir t);
+  let version_file = Filename.concat dir "VERSION" in
+  (if Sys.file_exists version_file then begin
+     let line = read_file version_file in
+     if line <> version_line then
+       failwith
+         (Printf.sprintf "Store.open_: %s is not a version-%d store (%S)" dir
+            version line)
+   end
+   else write_durable t ~path:version_file ~tmp_name:"VERSION" version_line);
+  (* Sweep interrupted writes: anything still in tmp/ never made it to
+     its rename, so it is garbage by construction. *)
+  Array.iter
+    (fun name -> try Sys.remove (Filename.concat (tmp_dir t) name) with Sys_error _ -> ())
+    (Sys.readdir (tmp_dir t));
+  t
+
+let quarantine t ~ns ~key =
+  let path = entry_path t ~ns ~key in
+  let dest = Filename.concat (quarantine_dir t) (ns ^ "-" ^ key) in
+  (try Sys.rename path dest with Sys_error _ -> (try Sys.remove path with Sys_error _ -> ()));
+  t.quarantined <- t.quarantined + 1;
+  Obs.add "store.quarantined" 1
+
+let put t ~ns ~key payload =
+  check_component "namespace" ns;
+  check_component "key" key;
+  let dir = ns_dir t ns in
+  mkdir_p dir;
+  let path = entry_path t ~ns ~key in
+  (* Content-addressed: an existing entry under this key already holds
+     these bytes (or fsck/get will quarantine it), so rewriting would
+     only churn the disk. *)
+  if not (Sys.file_exists path) then begin
+    let data = encode_entry ~key:(frame_key ~ns ~key) payload in
+    write_durable t ~path ~tmp_name:(ns ^ "-" ^ key) data;
+    t.writes <- t.writes + 1;
+    Obs.add "store.writes" 1
+  end
+
+let get t ~ns ~key =
+  check_component "namespace" ns;
+  check_component "key" key;
+  let path = entry_path t ~ns ~key in
+  if not (Sys.file_exists path) then begin
+    t.misses <- t.misses + 1;
+    Obs.add "store.misses" 1;
+    None
+  end
+  else
+    match decode_entry ~key:(frame_key ~ns ~key) (read_file path) with
+    | Ok payload ->
+        t.hits <- t.hits + 1;
+        Obs.add "store.hits" 1;
+        Some payload
+    | Error _ ->
+        quarantine t ~ns ~key;
+        t.misses <- t.misses + 1;
+        Obs.add "store.misses" 1;
+        None
+
+let mem t ~ns ~key =
+  check_component "namespace" ns;
+  check_component "key" key;
+  Sys.file_exists (entry_path t ~ns ~key)
+
+let sorted_dir dir =
+  if Sys.file_exists dir then begin
+    let names = Sys.readdir dir in
+    Array.sort String.compare names;
+    Array.to_list names
+  end
+  else []
+
+let keys t ~ns =
+  check_component "namespace" ns;
+  sorted_dir (ns_dir t ns)
+
+type fsck_error = { e_ns : string; e_key : string; e_reason : string }
+type fsck_report = { checked : int; valid : int; bad : fsck_error list }
+
+let fsck ?(quarantine_bad = true) t =
+  let checked = ref 0 and valid = ref 0 and bad = ref [] in
+  List.iter
+    (fun ns ->
+      List.iter
+        (fun key ->
+          incr checked;
+          let path = entry_path t ~ns ~key in
+          match decode_entry ~key:(frame_key ~ns ~key) (read_file path) with
+          | Ok _ -> incr valid
+          | Error e_reason ->
+              bad := { e_ns = ns; e_key = key; e_reason } :: !bad;
+              if quarantine_bad then quarantine t ~ns ~key)
+        (sorted_dir (ns_dir t ns)))
+    (sorted_dir (objects_dir t));
+  { checked = !checked; valid = !valid; bad = List.rev !bad }

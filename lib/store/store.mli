@@ -1,0 +1,88 @@
+(** Self-verifying content-addressed store for checking artifacts.
+
+    One directory per store:
+
+    {v
+    <dir>/VERSION              format marker (refused on mismatch)
+    <dir>/objects/<ns>/<key>   one CRC-framed entry per object
+    <dir>/tmp/                 staging area (swept on open)
+    <dir>/quarantine/          entries that failed verification
+    v}
+
+    Every entry is a binary frame carrying its own namespace-qualified
+    key, the payload's 128-bit content fingerprint
+    ({!Paracrash_util.Digestutil.Fp}) and a CRC-32 trailer. Writes are
+    atomic and durable (stage in [tmp/], fsync, rename, fsync the
+    directory), so a crash at any instant leaves each entry either
+    absent or complete — a torn tail can only exist in [tmp/], which
+    {!open_} sweeps. Reads re-verify the frame; an entry that fails
+    (damaged in place, misfiled, truncated by an imperfect filesystem)
+    is moved to [quarantine/] and reported as a miss — the store never
+    returns bytes that do not match their content address.
+
+    Namespaces used by the checking service ({!Service}): [legal]
+    (serialized {!Paracrash_core.Legal} sets keyed by
+    {!Paracrash_core.Checker.legal_key}), [job] (completed job records
+    keyed by the job fingerprint), [image] (golden final-view
+    canonicals keyed by their own fingerprint). The store itself is
+    namespace-agnostic. *)
+
+type t
+
+val open_ : dir:string -> t
+(** Open (creating if needed) the store at [dir]: builds the layout,
+    validates [VERSION], and sweeps interrupted writes out of [tmp/].
+    Fails on a [VERSION] from a different format. *)
+
+val root : t -> string
+
+val put : t -> ns:string -> key:string -> string -> unit
+(** Durably store [payload] under [ns/key] (atomic: tmp + fsync +
+    rename + directory fsync). Content-addressed, hence idempotent: an
+    existing entry under the same key is left untouched. Raises
+    [Invalid_argument] on unsafe namespace or key names (allowed:
+    [[A-Za-z0-9._-]+], not starting with a dot). *)
+
+val get : t -> ns:string -> key:string -> string option
+(** The payload under [ns/key], fully re-verified (magic, version,
+    length, CRC, embedded key, content fingerprint). A present entry
+    that fails any check is moved to [quarantine/] and [None] is
+    returned — corrupt bytes are never served. *)
+
+val mem : t -> ns:string -> key:string -> bool
+(** Existence only — no verification (the subsequent {!get} decides). *)
+
+val keys : t -> ns:string -> string list
+(** Keys present under a namespace, sorted ([[]] for an empty or absent
+    namespace). *)
+
+type stats = {
+  hits : int;  (** verified reads served *)
+  misses : int;  (** absent entries plus quarantined failures *)
+  writes : int;  (** durable entry writes (idempotent skips excluded) *)
+  quarantined : int;
+}
+
+val stats : t -> stats
+(** Counters since {!open_} on this handle. *)
+
+(** {1 Verification} *)
+
+type fsck_error = { e_ns : string; e_key : string; e_reason : string }
+type fsck_report = { checked : int; valid : int; bad : fsck_error list }
+
+val fsck : ?quarantine_bad:bool -> t -> fsck_report
+(** Verify every entry against its frame (CRC, key, fingerprint), in
+    sorted namespace/key order. [quarantine_bad] (default [true]) moves
+    failing entries to [quarantine/]. *)
+
+(** {1 Frame codec} (exposed for the crash-injection tests) *)
+
+val encode_entry : key:string -> string -> string
+(** The on-disk frame for [payload] under the namespace-qualified
+    [key] ("<ns>/<name>"). *)
+
+val decode_entry : key:string -> string -> (string, string) result
+(** Inverse of {!encode_entry}, verifying every field; the error string
+    says which check failed (truncation, magic, version, CRC, key,
+    fingerprint). *)

@@ -1,0 +1,33 @@
+(* CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320), table-driven.
+   Frames every persistent-store record: unlike the 128-bit content
+   fingerprint (which addresses an entry), the CRC detects torn and
+   bit-flipped frames, including damage to the framing fields
+   themselves. OCaml ints are 63-bit here, so the 32-bit arithmetic
+   needs no masking beyond the final fold. *)
+
+let poly = 0xEDB88320
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then poly lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let update crc b =
+  let t = Lazy.force table in
+  t.((crc lxor b) land 0xff) lxor (crc lsr 8)
+
+let sub_bytes b ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length b then
+    invalid_arg "Crc.sub_bytes";
+  let crc = ref 0xFFFFFFFF in
+  for i = pos to pos + len - 1 do
+    crc := update !crc (Char.code (Bytes.unsafe_get b i))
+  done;
+  !crc lxor 0xFFFFFFFF
+
+let string s =
+  sub_bytes (Bytes.unsafe_of_string s) ~pos:0 ~len:(String.length s)

@@ -1,0 +1,10 @@
+(** CRC-32 (IEEE 802.3) frame checksums for the persistent store.
+
+    Detects torn and bit-flipped on-disk frames; content *addressing*
+    uses the 128-bit {!Digestutil.Fp} fingerprints instead. *)
+
+val string : string -> int
+(** CRC-32 of a whole string, in [0 .. 0xFFFFFFFF]. *)
+
+val sub_bytes : Bytes.t -> pos:int -> len:int -> int
+(** CRC-32 of a byte range. Raises [Invalid_argument] out of bounds. *)

@@ -96,6 +96,26 @@ module Fp = struct
   let hash x = Int64.to_int x.lo land max_int
   let to_hex x = Printf.sprintf "%016Lx%016Lx" x.hi x.lo
 
+  (* Inverse of [to_hex]: 32 lowercase hex digits -> fingerprint. The
+     persistent store serializes fingerprints this way, so round-trip
+     exactness matters more than leniency: anything else is rejected. *)
+  let of_hex s =
+    let ok =
+      String.length s = 32
+      && String.for_all
+           (function '0' .. '9' | 'a' .. 'f' -> true | _ -> false)
+           s
+    in
+    if not ok then None
+    else
+      (* hex Int64.of_string accepts the full unsigned 64-bit range *)
+      match
+        ( Int64.of_string_opt ("0x" ^ String.sub s 0 16),
+          Int64.of_string_opt ("0x" ^ String.sub s 16 16) )
+      with
+      | Some hi, Some lo -> Some { hi; lo }
+      | _ -> None
+
   module Tbl = Hashtbl.Make (struct
     type nonrec t = t
 

@@ -59,6 +59,10 @@ module Fp : sig
   val hash : t -> int
   val to_hex : t -> string
 
+  val of_hex : string -> t option
+  (** Inverse of {!to_hex}: exactly 32 lowercase hex digits, else
+      [None]. The persistent store serializes fingerprints as hex. *)
+
   module Tbl : Hashtbl.S with type key = t
 end
 

@@ -1,0 +1,48 @@
+(* SplitMix64, truncated to OCaml's 63-bit native ints. Fault plans
+   must be reproducible from a seed across runs, job counts and hosts,
+   so no dependency on [Random]'s global state is allowed. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let next64 t =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* [Int64.to_int] keeps the low 63 bits including the native sign bit,
+   so mask explicitly to stay non-negative. *)
+let next t = Int64.to_int (next64 t) land max_int
+
+let int t bound = if bound <= 1 then 0 else next t mod bound
+
+(* Stateless hash of (seed, x): one SplitMix64 round over the mixed
+   pair. Used where a decision must depend only on its inputs (e.g. the
+   RPC injector keyed by message id), not on how many draws preceded
+   it. *)
+let hash ~seed x =
+  let t = create ((seed * 0x2545F491) lxor (x * 0x9E3779B9) lxor 0x5bf03635) in
+  next t
+
+(* [pick t k n] draws [k] distinct values from [0 .. n-1], returned in
+   increasing order. Deterministic in the generator state. *)
+let pick t k n =
+  if k >= n then List.init n Fun.id
+  else begin
+    let chosen = Hashtbl.create (2 * k) in
+    let count = ref 0 in
+    (* n is small (states/events per session); rejection terminates fast *)
+    while !count < k do
+      let v = int t n in
+      if not (Hashtbl.mem chosen v) then begin
+        Hashtbl.replace chosen v ();
+        incr count
+      end
+    done;
+    List.sort Int.compare (Hashtbl.fold (fun v () acc -> v :: acc) chosen [])
+  end

@@ -1,10 +1,12 @@
-(** Deterministic pseudo-random source for fault-plan generation.
+(** Deterministic pseudo-random source.
 
-    Since the RPC backoff work this is an alias of
-    {!Paracrash_util.Rng}, which holds the actual SplitMix64
-    implementation; see that module for the determinism contract. *)
+    SplitMix64: the same seed yields the same draw sequence on every
+    host, job count and run — the determinism contract of the fault
+    subsystem and of the RPC retransmission backoff rests on this
+    (never on [Stdlib.Random]). Lives in [lib/util] so every layer can
+    draw from it; [Paracrash_fault.Rng] re-exports it. *)
 
-type t = Paracrash_util.Rng.t
+type t
 
 val create : int -> t
 

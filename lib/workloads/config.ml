@@ -186,7 +186,7 @@ let merge t ~overrides:o =
 let programs t =
   if t.program = "all" then Registry.workload_names else [ t.program ]
 
-let run t program =
+let run ?legal_cache t program =
   let fs =
     match Registry.find_fs t.fs with
     | Some fs -> fs
@@ -197,7 +197,8 @@ let run t program =
     | Some spec -> spec
     | None -> invalid_arg ("Config.run: unknown program " ^ program)
   in
-  D.run ~options:t.options ~config:t.pfs ~make_fs:fs.Registry.make spec
+  D.run ?legal_cache ~options:t.options ~config:t.pfs ~make_fs:fs.Registry.make
+    spec
 
 module Sweep = Paracrash_core.Sweep
 

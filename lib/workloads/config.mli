@@ -72,11 +72,17 @@ val merge : t -> overrides:overrides -> (t, string) result
 val programs : t -> string list
 (** The test programs this configuration selects (expands ["all"]). *)
 
-val run : t -> string -> Paracrash_core.Report.t * Paracrash_core.Session.t
+val run :
+  ?legal_cache:Paracrash_core.Engine.legal_cache ->
+  t ->
+  string ->
+  Paracrash_core.Report.t * Paracrash_core.Session.t
 (** [run t program] runs one test program of {!programs} through
     {!Paracrash_core.Driver.run} with this configuration. The blessed
     entry point for the CLI and tooling; raises [Invalid_argument] on
-    a program or file system that {!merge} would have rejected. *)
+    a program or file system that {!merge} would have rejected.
+    [legal_cache] plugs a persistent legal-state store into the
+    pipeline ({!Paracrash_core.Engine.legal_cache}). *)
 
 (** {1 Bounded sweeps} *)
 

@@ -22,4 +22,5 @@ let () =
       ("fault", Test_fault.tests);
       ("report", Test_report.tests);
       ("obs", Test_obs.tests);
+      ("store", Test_store.tests);
     ]

@@ -218,7 +218,11 @@ let test_rpc_timeout_when_all_replies_lost () =
       | () -> Alcotest.fail "expected Timeout when every reply is lost"
       | exception Rpc.Timeout { attempts; waited; _ } ->
           check ci "attempts = 1 + retries" 3 attempts;
-          check cb "waited sums the timeouts" true (abs_float (waited -. 1.5) < 1e-9));
+          (* waited sums the exponential backoff: attempt n waits
+             timeout * 2^n * (1 + jitter), jitter in [0, 1) *)
+          check cb "waited within the backoff envelope" true
+            (waited >= 0.5 *. (1. +. 2. +. 4.) -. 1e-9
+            && waited < 0.5 *. (2. +. 4. +. 8.) +. 1e-9));
       (* the server did the work on every attempt even though no reply
          arrived — exactly why non-idempotent handlers are dangerous *)
       check ci "handler ran once per attempt" 3 !ran;

@@ -1,0 +1,499 @@
+(* Persistent-store tests: Legal round-trip differential oracle,
+   frame-codec inverses, crash-recovery (every interrupted-write
+   prefix), bit-flip quarantine, fsck, corpus journal durability, and
+   the checking service's kill-mid-batch / lost-work guarantees. *)
+
+module Fp = Paracrash_util.Digestutil.Fp
+module Rng = Paracrash_fault.Rng
+module Tracer = Paracrash_trace.Tracer
+module P = Paracrash_pfs
+module D = Paracrash_core.Driver
+module Model = Paracrash_core.Model
+module Session = Paracrash_core.Session
+module Checker = Paracrash_core.Checker
+module Legal = Paracrash_core.Legal
+module Engine = Paracrash_core.Engine
+module Sweep = Paracrash_core.Sweep
+module Report = Paracrash_core.Report
+module W = Paracrash_workloads
+module Registry = W.Registry
+module Store = Paracrash_store.Store
+module Service = Paracrash_store.Service
+
+let check = Alcotest.check
+let cb = Alcotest.bool
+let ci = Alcotest.int
+let cs = Alcotest.string
+let csl = Alcotest.(list string)
+let cso = Alcotest.(option string)
+
+let tmpdir () =
+  let d = Filename.temp_file "paracrash-store" "" in
+  Sys.remove d;
+  Sys.mkdir d 0o755;
+  d
+
+let session_of ~fs ~program =
+  let fs_entry = Option.get (Registry.find_fs fs) in
+  let spec = Option.get (Registry.find_workload program) in
+  let config = P.Config.default in
+  let tracer = Tracer.create () in
+  let handle = fs_entry.Registry.make ~config ~tracer in
+  Tracer.set_enabled tracer false;
+  spec.D.preamble handle;
+  let initial = P.Handle.snapshot handle in
+  Tracer.set_enabled tracer true;
+  spec.D.test handle;
+  Tracer.set_enabled tracer false;
+  Session.of_run ~handle ~initial
+
+(* --- Legal serialization: differential round-trip oracle ------------------ *)
+
+(* Extract the stored fingerprints back out of the serialized text so
+   [mem] can be probed without a structural-fp accessor on Legal.t. *)
+let fps_of_serialized s =
+  String.split_on_char '\n' s
+  |> List.filter_map (fun line ->
+         match String.split_on_char ' ' line with
+         | [ hex; _len ] -> Fp.of_hex hex
+         | _ -> None)
+
+(* For every workload x file system (x every model), the deserialized
+   set must answer mem / cardinal / canonicals / truncated identically
+   to the set it was serialized from. *)
+let test_legal_round_trip_oracle () =
+  List.iter
+    (fun program ->
+      List.iter
+        (fun (fs_entry : Registry.fs_entry) ->
+          let session = session_of ~fs:fs_entry.Registry.fs_name ~program in
+          List.iter
+            (fun model ->
+              let cell =
+                Printf.sprintf "%s/%s/%s" program fs_entry.Registry.fs_name
+                  (Model.to_string model)
+              in
+              let legal = Checker.pfs_legal_states session model in
+              let s = Legal.serialize legal in
+              match Legal.deserialize s with
+              | Error m -> Alcotest.failf "%s: deserialize failed: %s" cell m
+              | Ok legal' ->
+                  check ci (cell ^ ": cardinal") (Legal.cardinal legal)
+                    (Legal.cardinal legal');
+                  check cb (cell ^ ": truncated") (Legal.truncated legal)
+                    (Legal.truncated legal');
+                  check csl (cell ^ ": canonicals")
+                    (Legal.canonicals legal) (Legal.canonicals legal');
+                  let fps = fps_of_serialized s in
+                  check ci (cell ^ ": every fingerprint recovered")
+                    (Legal.cardinal legal) (List.length fps);
+                  List.iter
+                    (fun fp ->
+                      check cb (cell ^ ": mem agrees (present)")
+                        (Legal.mem legal fp) (Legal.mem legal' fp))
+                    fps;
+                  let absent = Fp.of_string "not-a-legal-state" in
+                  check cb (cell ^ ": mem agrees (absent)")
+                    (Legal.mem legal absent) (Legal.mem legal' absent);
+                  check cs (cell ^ ": serialization is stable") s
+                    (Legal.serialize legal'))
+            [ Model.Strict; Model.Commit; Model.Causal; Model.Baseline ])
+        Registry.file_systems)
+    Registry.workload_names
+
+let test_legal_deserialize_rejects_damage () =
+  let legal = Legal.of_canonicals [ "state-a"; "state-b"; "state-c" ] in
+  let s = Legal.serialize legal in
+  let reject what s' =
+    match Legal.deserialize s' with
+    | Ok _ -> Alcotest.failf "%s: damaged payload accepted" what
+    | Error _ -> ()
+  in
+  reject "empty" "";
+  reject "bad magic" ("x" ^ s);
+  (* every proper prefix must be rejected, not half-loaded *)
+  for len = 0 to String.length s - 1 do
+    reject (Printf.sprintf "prefix %d" len) (String.sub s 0 len)
+  done;
+  reject "trailing bytes" (s ^ "extra");
+  (* round trip still fine *)
+  match Legal.deserialize s with
+  | Ok legal' -> check csl "intact round trip"
+      (Legal.canonicals legal) (Legal.canonicals legal')
+  | Error m -> Alcotest.failf "intact payload rejected: %s" m
+
+(* --- frame codec ---------------------------------------------------------- *)
+
+let test_frame_codec_round_trip () =
+  List.iter
+    (fun payload ->
+      let frame = Store.encode_entry ~key:"legal/abc123" payload in
+      match Store.decode_entry ~key:"legal/abc123" frame with
+      | Ok p -> check cs "payload survives" payload p
+      | Error m -> Alcotest.failf "decode failed: %s" m)
+    [ ""; "x"; "hello\nworld\n"; String.init 4096 (fun i -> Char.chr (i land 0xff)) ]
+
+let test_frame_codec_rejects_wrong_key () =
+  let frame = Store.encode_entry ~key:"legal/abc" "payload" in
+  match Store.decode_entry ~key:"legal/other" frame with
+  | Ok _ -> Alcotest.fail "frame accepted under the wrong key"
+  | Error m -> check cb "key mismatch named" true
+      (String.length m > 0)
+
+(* --- store basics --------------------------------------------------------- *)
+
+let test_store_put_get () =
+  let t = Store.open_ ~dir:(tmpdir ()) in
+  check cso "absent key" None (Store.get t ~ns:"legal" ~key:"k1");
+  Store.put t ~ns:"legal" ~key:"k1" "payload-1";
+  check cso "round trip" (Some "payload-1") (Store.get t ~ns:"legal" ~key:"k1");
+  check cb "mem" true (Store.mem t ~ns:"legal" ~key:"k1");
+  let w = (Store.stats t).Store.writes in
+  Store.put t ~ns:"legal" ~key:"k1" "payload-1";
+  check ci "idempotent put skips the write" w (Store.stats t).Store.writes;
+  Store.put t ~ns:"legal" ~key:"k0" "payload-0";
+  check csl "keys sorted" [ "k0"; "k1" ] (Store.keys t ~ns:"legal");
+  check csl "other namespace empty" [] (Store.keys t ~ns:"job");
+  let s = Store.stats t in
+  check ci "one miss" 1 s.Store.misses;
+  check ci "one hit" 1 s.Store.hits
+
+let test_store_reopen_persists () =
+  let dir = tmpdir () in
+  let t = Store.open_ ~dir in
+  Store.put t ~ns:"job" ~key:"aa" "result";
+  let t' = Store.open_ ~dir in
+  check cso "entry survives reopen" (Some "result")
+    (Store.get t' ~ns:"job" ~key:"aa")
+
+(* --- crash recovery: interrupted-write prefixes --------------------------- *)
+
+let write_raw path data =
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc data)
+
+let entry_file dir ~ns ~key =
+  Filename.concat (Filename.concat (Filename.concat dir "objects") ns) key
+
+(* Replay every prefix of the entry byte stream as if the writer died
+   mid-write with the bytes already at their final path (a stronger
+   adversary than the tmp+rename protocol ever allows): each prefix
+   must reopen cleanly, never be served, and be quarantined so a fresh
+   put works again. *)
+let test_store_recovers_from_every_torn_prefix () =
+  let dir = tmpdir () in
+  let payload = "legal-states payload \xff\x00 with framing" in
+  let full = Store.encode_entry ~key:"legal/torn" payload in
+  let t0 = Store.open_ ~dir in
+  Store.put t0 ~ns:"legal" ~key:"other" "untouched neighbour";
+  for len = 0 to String.length full - 1 do
+    let t = Store.open_ ~dir in
+    write_raw (entry_file dir ~ns:"legal" ~key:"torn") (String.sub full 0 len);
+    check cso
+      (Printf.sprintf "prefix %d never served" len)
+      None
+      (Store.get t ~ns:"legal" ~key:"torn");
+    check cb
+      (Printf.sprintf "prefix %d quarantined" len)
+      false
+      (Sys.file_exists (entry_file dir ~ns:"legal" ~key:"torn"));
+    check cso
+      (Printf.sprintf "prefix %d leaves neighbour intact" len)
+      (Some "untouched neighbour")
+      (Store.get t ~ns:"legal" ~key:"other")
+  done;
+  (* after the carnage, a clean write is served again *)
+  let t = Store.open_ ~dir in
+  Store.put t ~ns:"legal" ~key:"torn" payload;
+  check cso "clean rewrite served" (Some payload)
+    (Store.get t ~ns:"legal" ~key:"torn")
+
+let test_store_sweeps_tmp_leftovers () =
+  let dir = tmpdir () in
+  let t = Store.open_ ~dir in
+  Store.put t ~ns:"legal" ~key:"kept" "kept";
+  (* a writer died before its rename: partial frame still in tmp/ *)
+  let leftover = Filename.concat (Filename.concat dir "tmp") "legal-halfway" in
+  write_raw leftover (String.sub (Store.encode_entry ~key:"legal/halfway" "x") 0 10);
+  let t' = Store.open_ ~dir in
+  check cb "tmp leftover swept" false (Sys.file_exists leftover);
+  check cb "interrupted write left no entry" false
+    (Store.mem t' ~ns:"legal" ~key:"halfway");
+  check cso "durable entry survives" (Some "kept")
+    (Store.get t' ~ns:"legal" ~key:"kept")
+
+(* --- bit flips ------------------------------------------------------------ *)
+
+(* Flip one seeded-chosen bit in every byte position of the frame: the
+   CRC (or a field check) must catch each, quarantine the entry and
+   never return damaged bytes. lib/fault's RNG picks the bit, so the
+   sweep is deterministic yet not biased to one bit lane. *)
+let test_store_bit_flips_quarantined () =
+  let dir = tmpdir () in
+  let payload = "bit-flip victim payload: legal states ahoy" in
+  let full = Store.encode_entry ~key:"image/victim" payload in
+  let t0 = Store.open_ ~dir in
+  Store.put t0 ~ns:"image" ~key:"victim" payload;
+  for pos = 0 to String.length full - 1 do
+    let bit = Rng.hash ~seed:0x5eed pos land 7 in
+    let b = Bytes.of_string full in
+    Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor (1 lsl bit)));
+    let t = Store.open_ ~dir in
+    write_raw (entry_file dir ~ns:"image" ~key:"victim") (Bytes.to_string b);
+    (match Store.get t ~ns:"image" ~key:"victim" with
+    | None -> ()
+    | Some served ->
+        (* the flip hit a byte the payload checks can't distinguish only
+           if the payload itself is untouched *)
+        check cs (Printf.sprintf "flip at %d bit %d must not corrupt" pos bit)
+          payload served);
+    (* restore for the next position *)
+    if not (Sys.file_exists (entry_file dir ~ns:"image" ~key:"victim")) then
+      Store.put t ~ns:"image" ~key:"victim" payload
+  done;
+  (* decode-level: every single-bit flip inside the frame is caught *)
+  for pos = 0 to String.length full - 1 do
+    for bit = 0 to 7 do
+      let b = Bytes.of_string full in
+      Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor (1 lsl bit)));
+      match Store.decode_entry ~key:"image/victim" (Bytes.to_string b) with
+      | Ok served ->
+          Alcotest.failf "flip at byte %d bit %d went undetected (%S)" pos bit
+            served
+      | Error _ -> ()
+    done
+  done
+
+(* --- fsck ----------------------------------------------------------------- *)
+
+let test_fsck_finds_and_quarantines_damage () =
+  let dir = tmpdir () in
+  let t = Store.open_ ~dir in
+  Store.put t ~ns:"legal" ~key:"good1" "payload one";
+  Store.put t ~ns:"legal" ~key:"good2" "payload two";
+  Store.put t ~ns:"job" ~key:"good3" "payload three";
+  Store.put t ~ns:"job" ~key:"bad-torn" "will be torn";
+  Store.put t ~ns:"image" ~key:"bad-flip" "will be flipped";
+  (* damage two entries behind the store's back *)
+  let torn_path = entry_file dir ~ns:"job" ~key:"bad-torn" in
+  let torn = In_channel.with_open_bin torn_path In_channel.input_all in
+  write_raw torn_path (String.sub torn 0 (String.length torn - 3));
+  let flip_path = entry_file dir ~ns:"image" ~key:"bad-flip" in
+  let flip = Bytes.of_string (In_channel.with_open_bin flip_path In_channel.input_all) in
+  Bytes.set flip 20 (Char.chr (Char.code (Bytes.get flip 20) lxor 0x10));
+  write_raw flip_path (Bytes.to_string flip);
+  let r = Store.fsck t in
+  check ci "checked all entries" 5 r.Store.checked;
+  check ci "three valid" 3 r.Store.valid;
+  check csl "damage identified"
+    [ "image/bad-flip"; "job/bad-torn" ]
+    (List.map (fun e -> e.Store.e_ns ^ "/" ^ e.Store.e_key) r.Store.bad);
+  check cb "torn entry quarantined" false (Sys.file_exists torn_path);
+  check cb "flipped entry quarantined" false (Sys.file_exists flip_path);
+  let r2 = Store.fsck t in
+  check ci "second pass clean" 3 r2.Store.checked;
+  check ci "second pass all valid" 3 r2.Store.valid;
+  check ci "second pass no damage" 0 (List.length r2.Store.bad)
+
+(* --- corpus journal durability -------------------------------------------- *)
+
+let test_corpus_creation_atomic_and_synced () =
+  let dir = tmpdir () in
+  let c = Sweep.Corpus.open_ ~dir ~header:"sweep t" in
+  check cb "no tmp staging left behind" false
+    (Sys.file_exists (Filename.concat dir "journal.tmp"));
+  let o = { Sweep.fingerprint = String.make 32 'a'; bugs = 1; inconsistent = 2 } in
+  Sweep.Corpus.record c "id1" o;
+  Sweep.Corpus.sync c;
+  Sweep.Corpus.record c "id2" o;
+  Sweep.Corpus.close c;
+  let c' = Sweep.Corpus.open_ ~dir ~header:"sweep t" in
+  check ci "entries survive" 2 (Sweep.Corpus.cardinal c');
+  check cb "id1 present" true (Sweep.Corpus.mem c' "id1");
+  check cb "id2 present" true (Sweep.Corpus.mem c' "id2");
+  Sweep.Corpus.close c'
+
+(* --- legal cache through the pipeline ------------------------------------- *)
+
+let legal_cache_of store =
+  {
+    Engine.lc_lookup = (fun ~key -> Store.get store ~ns:"legal" ~key);
+    lc_save = (fun ~key payload -> Store.put store ~ns:"legal" ~key payload);
+  }
+
+let contains s sub =
+  let n = String.length sub in
+  let rec go i =
+    i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+  in
+  go 0
+
+(* Everything measured or work-accounting: wall time, and the
+   legal-replay counters, which truthfully report zero replay work when
+   the set came from the store. *)
+let strip_measured json =
+  String.split_on_char '\n' json
+  |> List.filter (fun l ->
+         not (contains l "\"perf\"" || contains l "legal.replay"))
+  |> String.concat "\n"
+
+(* Cold (computing and saving) and warm (served from the store) runs
+   must produce identical verdicts: same bugs, counts and deterministic
+   metrics — only wall time and the replay work accounting (zero on a
+   store hit) may differ. *)
+let test_legal_cache_reports_identical () =
+  let dir = tmpdir () in
+  let cfg = W.Config.default in
+  let store = Store.open_ ~dir in
+  let cold, _ = W.Config.run ~legal_cache:(legal_cache_of store) cfg "ARVR" in
+  check cb "cold run saved a legal set" true
+    (Store.keys store ~ns:"legal" <> []);
+  let store' = Store.open_ ~dir in
+  let warm, _ = W.Config.run ~legal_cache:(legal_cache_of store') cfg "ARVR" in
+  check cb "warm run hit the store" true ((Store.stats store').Store.hits > 0);
+  check ci "warm run wrote nothing" 0 (Store.stats store').Store.writes;
+  check cs "same outcome fingerprint"
+    (Sweep.outcome_of_report cold).Sweep.fingerprint
+    (Sweep.outcome_of_report warm).Sweep.fingerprint;
+  check cs "reports identical outside measurement"
+    (strip_measured (Report.to_json cold))
+    (strip_measured (Report.to_json warm))
+
+(* --- the checking service ------------------------------------------------- *)
+
+let batch = [ ("beegfs", "ARVR"); ("beegfs", "CR"); ("ext4", "RC") ]
+
+let outcomes (r : Service.batch_result) =
+  List.map
+    (fun (c : Service.completed) ->
+      Printf.sprintf "%s/%s:%s" c.Service.c_fs c.Service.c_program
+        (match c.Service.c_outcome with
+        | Service.Fresh -> "fresh"
+        | Service.Cached -> "cached"))
+    r.Service.completed
+
+let test_service_batch_then_cached_resubmit () =
+  let dir = tmpdir () in
+  let svc = Service.create ~store:(Store.open_ ~dir) ~config:W.Config.default in
+  let r1 = Service.run_batch svc batch in
+  check csl "first submission all fresh"
+    [ "beegfs/ARVR:fresh"; "beegfs/CR:fresh"; "ext4/RC:fresh" ]
+    (outcomes r1);
+  check ci "no errors" 0 (List.length r1.Service.errors);
+  check ci "nothing drained" 0 r1.Service.drained;
+  (* resubmission, fresh process: everything served from the store *)
+  let svc2 = Service.create ~store:(Store.open_ ~dir) ~config:W.Config.default in
+  let r2 = Service.run_batch svc2 batch in
+  check csl "resubmission fully cached"
+    [ "beegfs/ARVR:cached"; "beegfs/CR:cached"; "ext4/RC:cached" ]
+    (outcomes r2);
+  (* cached reports are the same bytes the fresh run produced *)
+  List.iter2
+    (fun (a : Service.completed) (b : Service.completed) ->
+      check cs "report bytes stable" a.Service.c_record.Service.r_report
+        b.Service.c_record.Service.r_report)
+    r1.Service.completed r2.Service.completed
+
+let test_service_crash_mid_batch_loses_nothing () =
+  let dir = tmpdir () in
+  let svc = Service.create ~store:(Store.open_ ~dir) ~config:W.Config.default in
+  (match Service.run_batch ~crash_after:1 svc batch with
+  | _ -> Alcotest.fail "crash hook did not fire"
+  | exception Service.Crash_requested n -> check ci "crashed after 1 job" 1 n);
+  (* restart: the completed job is durable, the resubmission re-runs
+     only what the crash interrupted *)
+  let svc2 = Service.create ~store:(Store.open_ ~dir) ~config:W.Config.default in
+  let r = Service.run_batch svc2 batch in
+  check csl "completed job survives the kill; rest recomputed"
+    [ "beegfs/ARVR:cached"; "beegfs/CR:fresh"; "ext4/RC:fresh" ]
+    (outcomes r);
+  check ci "no completed job lost" 3 (List.length r.Service.completed)
+
+let test_service_drain_marks_remaining () =
+  let dir = tmpdir () in
+  let svc = Service.create ~store:(Store.open_ ~dir) ~config:W.Config.default in
+  Service.request_drain svc;
+  let r = Service.run_batch svc batch in
+  check ci "nothing attempted" 0 (List.length r.Service.completed);
+  check ci "all drained" 3 r.Service.drained
+
+let test_service_job_key_covers_options () =
+  let cfg = W.Config.default in
+  let k1 = Service.job_key cfg ~fs:"beegfs" ~program:"ARVR" in
+  let k2 = Service.job_key cfg ~fs:"beegfs" ~program:"CR" in
+  let k3 = Service.job_key cfg ~fs:"lustre" ~program:"ARVR" in
+  let cfg_k2 =
+    { cfg with W.Config.options = { cfg.W.Config.options with D.k = 2 } }
+  in
+  let k4 = Service.job_key cfg_k2 ~fs:"beegfs" ~program:"ARVR" in
+  let cfg_jobs =
+    { cfg with W.Config.options = { cfg.W.Config.options with D.jobs = 4 } }
+  in
+  let k5 = Service.job_key cfg_jobs ~fs:"beegfs" ~program:"ARVR" in
+  check cb "program distinguishes" true (k1 <> k2);
+  check cb "fs distinguishes" true (k1 <> k3);
+  check cb "options distinguish" true (k1 <> k4);
+  check cs "worker count does not (determinism contract)" k1 k5
+
+let test_parse_batch () =
+  (match Service.parse_batch "beegfs ARVR\n# comment\n\n  ext4   RC  \n" with
+  | Ok jobs ->
+      check csl "parsed"
+        [ "beegfs/ARVR"; "ext4/RC" ]
+        (List.map (fun (f, p) -> f ^ "/" ^ p) jobs)
+  | Error m -> Alcotest.failf "parse failed: %s" m);
+  match Service.parse_batch "beegfs ARVR extra\n" with
+  | Ok _ -> Alcotest.fail "malformed line accepted"
+  | Error _ -> ()
+
+let test_job_record_round_trip () =
+  let r =
+    {
+      Service.r_fs = "beegfs";
+      r_program = "ARVR";
+      r_image = Some (String.make 32 'f');
+      r_report = "{\n  \"multi\": \"line\"\n}";
+    }
+  in
+  (match Service.job_record_of_string (Service.job_record_to_string r) with
+  | Ok r' -> check cb "round trip" true (r = r')
+  | Error m -> Alcotest.failf "job record round trip failed: %s" m);
+  match Service.job_record_of_string "garbage" with
+  | Ok _ -> Alcotest.fail "garbage accepted"
+  | Error _ -> ()
+
+let tests =
+  [
+    Alcotest.test_case "legal: serialize/deserialize round-trip oracle" `Slow
+      test_legal_round_trip_oracle;
+    Alcotest.test_case "legal: damaged payloads rejected" `Quick
+      test_legal_deserialize_rejects_damage;
+    Alcotest.test_case "frame: codec round trip" `Quick test_frame_codec_round_trip;
+    Alcotest.test_case "frame: wrong key rejected" `Quick
+      test_frame_codec_rejects_wrong_key;
+    Alcotest.test_case "store: put/get/mem/keys" `Quick test_store_put_get;
+    Alcotest.test_case "store: entries survive reopen" `Quick
+      test_store_reopen_persists;
+    Alcotest.test_case "store: every torn prefix recovered" `Quick
+      test_store_recovers_from_every_torn_prefix;
+    Alcotest.test_case "store: tmp leftovers swept on open" `Quick
+      test_store_sweeps_tmp_leftovers;
+    Alcotest.test_case "store: bit flips caught and quarantined" `Quick
+      test_store_bit_flips_quarantined;
+    Alcotest.test_case "store: fsck finds and quarantines damage" `Quick
+      test_fsck_finds_and_quarantines_damage;
+    Alcotest.test_case "corpus: atomic creation, synced appends" `Quick
+      test_corpus_creation_atomic_and_synced;
+    Alcotest.test_case "pipeline: legal cache keeps reports identical" `Quick
+      test_legal_cache_reports_identical;
+    Alcotest.test_case "service: batch then fully-cached resubmit" `Quick
+      test_service_batch_then_cached_resubmit;
+    Alcotest.test_case "service: kill mid-batch loses no completed job" `Quick
+      test_service_crash_mid_batch_loses_nothing;
+    Alcotest.test_case "service: drain skips remaining jobs" `Quick
+      test_service_drain_marks_remaining;
+    Alcotest.test_case "service: job key covers inputs, not worker count" `Quick
+      test_service_job_key_covers_options;
+    Alcotest.test_case "service: batch file parsing" `Quick test_parse_batch;
+    Alcotest.test_case "service: job record round trip" `Quick
+      test_job_record_round_trip;
+  ]
