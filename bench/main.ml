@@ -24,6 +24,13 @@
                     cold through Paracrash_store.Service, then resubmitted
                     against the same store; reports the job hit ratio and
                     the cold/warm wall split (--json: tag "store")
+     --rep          representative-state pruning: signature-bucketed
+                    checking (-m rep, --rep-audit 3) vs the brute-force
+                    oracle on a spread of cells, reporting the pruning
+                    ratio, fallback volume and the measured missed-bug
+                    rate — 0 by construction, verified per run
+                    (--json: tag "rep"; the tag's headline cell is also
+                    a --gates correctness + ratchet check)
      --scaling      jobs ∈ {1,2,4,8} sweep on the largest HDF5 cells,
                     recording the host core count and per-cell Gc
                     minor/major words (--json: tag "scaling")
@@ -1027,6 +1034,85 @@ let store_bench () =
     };
   ]
 
+(* --- representative-state pruning --------------------------------------------- *)
+
+(* Representative mode vs the brute-force oracle on a spread of cells:
+   the headline >=50% pruning cell (H5-delete/beegfs), a fallback-heavy
+   cell (H5-resize/beegfs), two more pruning-friendly HDF5 cells, and
+   one honest zero (ARVR — every POSIX crash state is behaviorally
+   distinct, so bucketing saves nothing). "missed" counts coarse
+   (layer, consequence) bug identities found by brute force but absent
+   from the rep report — the measured missed-bug rate, which must be 0
+   (exact bug tables can differ from brute force only in how the
+   TSP-ordered classifier splits scenarios; rep matches optimized mode
+   exactly, see DESIGN.md "Representative testing"). *)
+
+let rep_cells_spec =
+  [
+    ("H5-delete", "beegfs");
+    ("H5-resize", "beegfs");
+    ("H5-create", "gpfs");
+    ("H5-parallel-create", "beegfs");
+    ("ARVR", "beegfs");
+  ]
+
+let coarse_bugs report =
+  List.sort_uniq compare
+    (List.map (fun b -> (b.R.layer, b.R.consequence)) (R.bugs report))
+
+let run_rep_cell program fs_name =
+  let fs = Option.get (Registry.find_fs fs_name) in
+  let spec = Option.get (Registry.find_workload program) in
+  let run mode rep_audit =
+    let options = { D.default_options with mode; rep_audit } in
+    fst (D.run ~options ~config:P.Config.default ~make_fs:fs.Registry.make spec)
+  in
+  (run D.Brute_force None, run D.Representative (Some 3))
+
+let rep_missed brute rep =
+  let cr = coarse_bugs rep in
+  List.length (List.filter (fun b -> not (List.mem b cr)) (coarse_bugs brute))
+
+let rep_bench () =
+  section
+    "Representative-state pruning: signature-bucketed checking vs the \
+     brute-force oracle (--rep-audit 3); missed = coarse (layer, \
+     consequence) bug identities brute force finds that rep mode does not";
+  pr "%-20s %-10s %8s %8s %8s %8s %8s %8s %7s %9s@." "program" "fs" "brute"
+    "checked" "skipped" "buckets" "fallbks" "pruned%" "missed" "audit";
+  List.map
+    (fun (program, fs_name) ->
+      let brute, rep = run_rep_cell program fs_name in
+      let m name = Option.value ~default:0 (R.metric rep name) in
+      let missed = rep_missed brute rep in
+      pr "%-20s %-10s %8d %8d %8d %8d %8d %7d%% %7d %5d/%d@." program fs_name
+        (R.stats brute).R.n_checked (R.stats rep).R.n_checked
+        (m "rep.members_skipped") (m "rep.buckets") (m "rep.fallbacks")
+        (m "rep.pruned_pct") missed
+        (m "rep.audit_checked")
+        (m "rep.audit_mismatches");
+      {
+        c_tag = "rep";
+        c_program = program;
+        c_fs = fs_name;
+        c_mode = "representative";
+        c_jobs = 1;
+        c_extras =
+          [
+            ("wall_seconds", Printf.sprintf "%.6f" (R.stats rep).R.wall_seconds);
+            ("brute_checked", string_of_int (R.stats brute).R.n_checked);
+            ("n_checked", string_of_int (R.stats rep).R.n_checked);
+            ("members_skipped", string_of_int (m "rep.members_skipped"));
+            ("buckets", string_of_int (m "rep.buckets"));
+            ("fallbacks", string_of_int (m "rep.fallbacks"));
+            ("pruned_pct", string_of_int (m "rep.pruned_pct"));
+            ("missed_bugs", string_of_int missed);
+            ("audit_checked", string_of_int (m "rep.audit_checked"));
+            ("audit_mismatches", string_of_int (m "rep.audit_mismatches"));
+          ];
+      })
+    rep_cells_spec
+
 (* --- ratcheting perf gates ---------------------------------------------------- *)
 
 (* ci.sh --gates: a quick micro pass over the hottest serial paths,
@@ -1047,6 +1133,13 @@ let gate_wall_slack = 1.15
 let gate_alloc_slack = 1.10
 let gate_speedup_floor = 1.5
 let gate_speedup_program = "H5-parallel-create"
+
+(* the rep gate re-runs the headline pruning cell fresh: the missed-bug
+   count and the audit mismatches must be 0 unconditionally, and the
+   pruning ratio must not regress below the committed tag-"rep"
+   baseline (both runs are deterministic, so equality is expected) *)
+let gate_rep_program = "H5-delete"
+let gate_rep_fs = "beegfs"
 
 let best_wall_ns f =
   ignore (Sys.opaque_identity (f ()));
@@ -1203,6 +1296,45 @@ let gates ~update () =
         fail "parallel wall speedup %.2fx < %.1fx floor (%s, jobs=4, %d cores)"
           s gate_speedup_floor gate_speedup_program cores
     | _ -> ());
+    begin
+      let brute, rep = run_rep_cell gate_rep_program gate_rep_fs in
+      let missed = rep_missed brute rep in
+      let pruned =
+        Option.value ~default:0 (R.metric rep "rep.pruned_pct")
+      in
+      let mismatches =
+        Option.value ~default:0 (R.metric rep "rep.audit_mismatches")
+      in
+      pr "%-55s %7d%% pruned, %d missed, %d audit mismatch(es)@."
+        (Printf.sprintf "representative pruning (%s/%s)" gate_rep_program
+           gate_rep_fs)
+        pruned missed mismatches;
+      if missed > 0 then
+        fail "representative pruning: %d bug identit%s missed vs brute force"
+          missed
+          (if missed = 1 then "y" else "ies");
+      if mismatches > 0 then
+        fail "representative pruning: %d audit verdict mismatch(es)" mismatches;
+      let committed =
+        read_perf_lines ()
+        |> List.find_opt (fun l ->
+               json_field l "tag" = "rep"
+               && json_field l "program" = gate_rep_program
+               && json_field l "fs" = gate_rep_fs)
+        |> Fun.flip Option.bind (fun l ->
+               int_of_string_opt (json_field l "pruned_pct"))
+      in
+      match committed with
+      | None ->
+          pr "!! no committed rep baseline for %s/%s — run bench --rep --json@."
+            gate_rep_program gate_rep_fs
+      | Some base when pruned < base ->
+          fail
+            "representative pruning: ratio %d%% regressed below the committed \
+             %d%% (%s/%s)"
+            pruned base gate_rep_program gate_rep_fs
+      | Some _ -> ()
+    end;
     if not wall_gated then
       pr
         "@.!! GATES PARTIALLY SKIPPED: this host reports %d core(s); \
@@ -1248,6 +1380,10 @@ let () =
   end;
   if has "--sweep" then begin
     let cells = sweep_bench () in
+    if has "--json" then append_cells cells
+  end;
+  if has "--rep" then begin
+    let cells = rep_bench () in
     if has "--json" then append_cells cells
   end;
   if has "--store" then begin

@@ -35,7 +35,12 @@ let program_arg =
   opt_arg Arg.string ~docv:"PROGRAM" ~doc [ "p"; "program" ]
 
 let mode_arg =
-  let doc = "Exploration mode: brute-force, pruning or optimized (§5.3)." in
+  let doc =
+    "Exploration mode: brute-force, pruning, optimized (§5.3) or rep \
+     (representative testing: bucket crash states by behavioral signature, \
+     fully check one representative per bucket, and fall back to checking \
+     every member of a bucket whose representative is inconsistent)."
+  in
   opt_arg Arg.string ~docv:"MODE" ~doc [ "m"; "mode" ]
 
 let k_arg =
@@ -107,6 +112,15 @@ let state_budget_arg =
      generation order) and mark the report partial."
   in
   opt_arg Arg.int ~docv:"N" ~doc [ "state-budget" ]
+
+let rep_audit_arg =
+  let doc =
+    "With --mode rep: re-check up to N seeded-random skipped members per \
+     bucket against the verdict they inherited and report the mismatch \
+     count in the rep.audit_* metrics (measurement only; bugs and counters \
+     are unchanged)."
+  in
+  opt_arg Arg.int ~docv:"N" ~doc [ "rep-audit" ]
 
 let sweep_arg =
   let doc =
@@ -215,8 +229,8 @@ let run_sweep cfg ~json ~output =
   | None -> ()
 
 let run config_file fs program mode k jobs max_cuts pfs_model lib_model servers
-    stripe faults fault_seed fault_budget deadline state_budget sweep corpus
-    store_dir show_trace json output trace_out profile =
+    stripe faults fault_seed fault_budget deadline state_budget rep_audit sweep
+    corpus store_dir show_trace json output trace_out profile =
   let fail fmt = Fmt.kstr (fun m -> `Error (false, m)) fmt in
   let base =
     match config_file with
@@ -243,6 +257,7 @@ let run config_file fs program mode k jobs max_cuts pfs_model lib_model servers
           o_fault_budget = fault_budget;
           o_deadline = deadline;
           o_state_budget = state_budget;
+          o_rep_audit = rep_audit;
           o_sweep = sweep;
           o_corpus = corpus;
         }
@@ -308,8 +323,9 @@ let run_term =
       (const run $ config_file_arg $ fs_arg $ program_arg $ mode_arg $ k_arg
      $ jobs_arg $ max_cuts_arg $ pfs_model_arg $ lib_model_arg $ servers_arg
      $ stripe_arg $ faults_arg $ fault_seed_arg $ fault_budget_arg
-     $ deadline_arg $ state_budget_arg $ sweep_arg $ corpus_arg $ store_arg
-     $ show_trace_arg $ json_arg $ output_arg $ trace_out_arg $ profile_arg))
+     $ deadline_arg $ state_budget_arg $ rep_audit_arg $ sweep_arg $ corpus_arg
+     $ store_arg $ show_trace_arg $ json_arg $ output_arg $ trace_out_arg
+     $ profile_arg))
 
 (* paracrash store fsck: verify every entry of a content-addressed
    store against its CRC frame and content fingerprint. *)
@@ -358,6 +374,7 @@ let cmd =
       `P "paracrash -f beegfs -p ARVR -m brute-force -t";
       `P "paracrash -f lustre -p H5-create";
       `P "paracrash -f gpfs -p all --jobs 4 --trace-out trace.json";
+      `P "paracrash -f beegfs -p H5-resize -m rep --rep-audit 3";
       `P "paracrash -f beegfs --sweep posix-seq2 --corpus ./corpus";
       `P "paracrash -f beegfs -p ARVR --store ./store";
       `P "paracrash store fsck --store ./store";

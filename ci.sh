@@ -9,6 +9,9 @@
 #                    + a daemon smoke: paracrashd killed mid-batch loses
 #                    no completed job and serves resubmissions from the
 #                    content-addressed store
+#                    + a representative-pruning smoke: `-m rep` must
+#                    agree with brute force on bug identity while
+#                    skipping a positive fraction of member checks
 #   ./ci.sh --gates  build + ratcheting perf gates: a quick micro pass
 #                    compared against the committed tag-"gate" baselines
 #                    in BENCH_perf.json; fails on >15% wall or >10%
@@ -160,6 +163,42 @@ EOF
     ./_build/default/bin/paracrash.exe store fsck --store "$dstore" > /dev/null || {
         echo "daemon smoke FAILED: store fsck found damage" >&2; exit 1; }
     rm -rf "$dstore" "$batch"
+
+    echo "== representative pruning smoke =="
+    # brute-force vs representative on the headline pruning cell: the
+    # bug sets must agree on (layer, consequence) identity and rep mode
+    # must actually have skipped member checks (pruning ratio > 0)
+    ./_build/default/bin/paracrash.exe -f beegfs -p H5-delete --json \
+        2>/dev/null > /tmp/paracrash-rep-brute.json
+    ./_build/default/bin/paracrash.exe -f beegfs -p H5-delete -m rep --json \
+        2>/dev/null > /tmp/paracrash-rep-rep.json
+    if command -v python3 >/dev/null 2>&1; then
+        python3 - <<'EOF'
+import json
+brute = json.load(open("/tmp/paracrash-rep-brute.json"))
+rep = json.load(open("/tmp/paracrash-rep-rep.json"))
+coarse = lambda r: sorted({(b["layer"], b["consequence"]) for b in r["bugs"]})
+assert coarse(brute) == coarse(rep), \
+    "rep bug identity diverged from brute force:\n%s\n%s" % (
+        coarse(brute), coarse(rep))
+m = rep["metrics"]
+assert m["rep.members_skipped"] > 0 and m["rep.pruned_pct"] > 0, \
+    "rep mode pruned nothing: %s" % m
+print("rep smoke: %d bugs match brute force; %d/%d checks pruned (%d%%)"
+      % (len(rep["bugs"]), m["rep.members_skipped"],
+         m["states.checked"] + m["rep.members_skipped"], m["rep.pruned_pct"]))
+EOF
+    else
+        grep -o '"consequence": "[^"]*"' /tmp/paracrash-rep-brute.json | sort \
+            > /tmp/paracrash-rep-brute.coarse
+        grep -o '"consequence": "[^"]*"' /tmp/paracrash-rep-rep.json | sort \
+            > /tmp/paracrash-rep-rep.coarse
+        cmp -s /tmp/paracrash-rep-brute.coarse /tmp/paracrash-rep-rep.coarse || {
+            echo "rep smoke FAILED: bug consequences diverged" >&2; exit 1; }
+        grep -q '"rep.members_skipped": 0' /tmp/paracrash-rep-rep.json && {
+            echo "rep smoke FAILED: rep mode pruned nothing" >&2; exit 1; }
+        echo "rep pruning smoke passed (python3 unavailable)"
+    fi
 else
     dune runtest
 fi

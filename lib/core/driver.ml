@@ -1,7 +1,7 @@
 module Tracer = Paracrash_trace.Tracer
 module Handle = Paracrash_pfs.Handle
 
-type mode = Engine.mode = Brute_force | Pruned | Optimized
+type mode = Engine.mode = Brute_force | Pruned | Optimized | Representative
 
 let mode_to_string = Engine.mode_to_string
 let mode_of_string = Engine.mode_of_string
@@ -19,6 +19,7 @@ type options = Pipeline.options = {
   fault_budget : int;
   deadline : float option;
   state_budget : int option;
+  rep_audit : int option;
 }
 
 let default_options = Pipeline.default_options

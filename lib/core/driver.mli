@@ -6,7 +6,7 @@
     produces the crash-consistency report. The historical [mode] and
     [options] types are re-exported from {!Engine}/{!Pipeline}. *)
 
-type mode = Engine.mode = Brute_force | Pruned | Optimized
+type mode = Engine.mode = Brute_force | Pruned | Optimized | Representative
 
 val mode_to_string : mode -> string
 val mode_of_string : string -> mode option
@@ -25,6 +25,9 @@ type options = Pipeline.options = {
   fault_budget : int;
   deadline : float option;  (** wall-clock seconds before a partial stop *)
   state_budget : int option;  (** max crash states explored *)
+  rep_audit : int option;
+      (** representative mode: audit sample size per bucket
+          ([--rep-audit N]) *)
 }
 
 val default_options : options

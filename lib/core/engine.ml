@@ -1,19 +1,23 @@
 module Bitset = Paracrash_util.Bitset
+module Rng = Paracrash_util.Rng
+module Fp = Paracrash_util.Digestutil.Fp
 module Event = Paracrash_trace.Event
 module Handle = Paracrash_pfs.Handle
 module Logical = Paracrash_pfs.Logical
 
-type mode = Brute_force | Pruned | Optimized
+type mode = Brute_force | Pruned | Optimized | Representative
 
 let mode_to_string = function
   | Brute_force -> "brute-force"
   | Pruned -> "pruning"
   | Optimized -> "optimized"
+  | Representative -> "representative"
 
 let mode_of_string = function
   | "brute-force" | "brute" -> Some Brute_force
   | "pruning" | "pruned" -> Some Pruned
   | "optimized" -> Some Optimized
+  | "representative" | "rep" -> Some Representative
   | _ -> None
 
 (* Everything the check and reduce stages need, fixed once per run.
@@ -114,8 +118,11 @@ let worker_create ctx =
   {
     wprune = Prune.create ~raw_data:ctx.raw_data;
     wcache =
+      (* representative-mode workers check speculatively like optimized
+         ones (the reduce decides which verdicts are actually used), so
+         they share the incremental-reconstruction path *)
       (match ctx.mode with
-      | Optimized -> Some (Emulator.create_cache ctx.session)
+      | Optimized | Representative -> Some (Emulator.create_cache ctx.session)
       | Brute_force | Pruned -> None);
     wn_servers = ctx.n_servers;
     wn_checked = 0;
@@ -161,6 +168,42 @@ let check_shard ctx (states : Explore.state array) =
 
 (* --- reduce stage (sequential, deterministic) ---------------------------- *)
 
+(* Representative-mode bucket: one per distinct behavioral signature,
+   created when its representative (the first state of the canonical
+   order with that signature) is fully checked. *)
+type bucket = {
+  mutable b_skip : bool;
+      (* representative consistent: members inherit its verdict and skip *)
+  mutable b_members : int;  (* states assigned after the representative *)
+  mutable b_skipped : int;
+  b_reservoir : Bitset.t option array;
+      (* audit sample of skipped members (reservoir, --rep-audit N) *)
+  mutable b_seen : int;  (* skipped members offered to the reservoir *)
+  b_rng : Rng.t;
+}
+
+(* Representative-mode reduce state: the signature context (owning the
+   reduce's incremental emulator cache), the bucket table and the
+   bucketing counters. All decisions happen in canonical stream order,
+   so every field is a pure function of the stream and the audit
+   size — independent of the scheduler. *)
+type rep = {
+  rsig : Repsig.ctx;
+  buckets : bucket Repsig.Tbl.t;
+  mutable bucket_order : Repsig.t list;  (* reversed creation order *)
+  shapes : (int, unit) Hashtbl.t;  (* distinct persisted-set shapes seen *)
+  audit_n : int;  (* sampled members re-checked per bucket; 0 = no audit *)
+  mutable n_buckets : int;
+  mutable n_skipped : int;
+  mutable n_fallbacks : int;
+  mutable n_audit_checked : int;
+  mutable n_audit_mismatches : int;
+  (* the signature cache's (hits, misses) as of the end of the reduce,
+     snapshotted before any audit re-checks run through it: the counts
+     the report publishes, so auditing cannot perturb them *)
+  mutable frozen_cache : (int * int) option;
+}
+
 type acc = {
   prune : Prune.t;
   (* memoize only the verdict and the (small) library view: caching the
@@ -187,9 +230,10 @@ type acc = {
      hence identical at any job count *)
   mutable n_fp_lookups : int;
   mutable check_errors : Report.check_error list;  (* reversed *)
+  rep : rep option;  (* Some in representative mode only *)
 }
 
-let acc_create ctx =
+let acc_create ?(rep_audit = 0) ctx =
   {
     prune = Prune.create ~raw_data:ctx.raw_data;
     memo = Bitset.Tbl.create 512;
@@ -199,16 +243,34 @@ let acc_create ctx =
     serial_cache =
       (match ctx.mode with
       | Optimized -> Some (Emulator.create_cache ctx.session)
-      | Brute_force | Pruned -> None);
+      | Brute_force | Pruned | Representative -> None);
     sim =
       (match ctx.mode with
       | Optimized -> Some (Emulator.sim_create ctx.session)
-      | Brute_force | Pruned -> None);
+      | Brute_force | Pruned | Representative -> None);
     n_checked = 0;
     n_pruned = 0;
     n_inconsistent = 0;
     n_fp_lookups = 0;
     check_errors = [];
+    rep =
+      (match ctx.mode with
+      | Representative ->
+          Some
+            {
+              rsig = Repsig.create ctx.session;
+              buckets = Repsig.Tbl.create 256;
+              bucket_order = [];
+              shapes = Hashtbl.create 64;
+              audit_n = max 0 rep_audit;
+              n_buckets = 0;
+              n_skipped = 0;
+              n_fallbacks = 0;
+              n_audit_checked = 0;
+              n_audit_mismatches = 0;
+              frozen_cache = None;
+            }
+      | Brute_force | Pruned | Optimized -> None);
   }
 
 (* On-demand memoized check. State checks (serial scheduler) thread the
@@ -358,51 +420,158 @@ let record_check_error acc (st : Explore.state) msg =
     { Report.state = Bitset.to_string st.persisted; message = msg }
     :: acc.check_errors
 
-(* One state of the canonical (ordered) stream. [?verdict] carries a
-   worker-domain outcome; without it the verdict is computed on demand
-   through the shared serial cache — the oracle path, identical to the
-   historical monolithic loop. A check (or classification) that raises
-   is captured as a [check_error] entry and the run continues: one bad
-   state must never abort a long exploration. *)
+(* Fully check one state of the canonical stream and account for it
+   (counters, fp lookups, cache simulation, classification). [?verdict]
+   carries a worker-domain outcome; without it the verdict is computed
+   on demand through [?reconstruct] (the shared serial cache, or the
+   representative-mode signature cache). A check (or classification)
+   that raises is captured as a [check_error] entry and the run
+   continues: one bad state must never abort a long exploration. *)
+let check_stepped ctx acc ?verdict ?reconstruct (st : Explore.state) =
+  acc.n_checked <- acc.n_checked + 1;
+  acc.n_fp_lookups <-
+    acc.n_fp_lookups + 1 + (if ctx.lib <> None then 1 else 0);
+  (* replay the cache decision this state costs in canonical order; a
+     memoized state never reaches the serial cache, so the simulation
+     skips it too (memo holds only classification-probe states here —
+     the same set under every scheduler) *)
+  (match acc.sim with
+  | Some sim when not (Bitset.Tbl.mem acc.memo st.persisted) ->
+      Emulator.sim_observe sim st.persisted
+  | _ -> ());
+  let outcome =
+    match verdict with
+    | Some (Ok v) -> Ok (v, None, None)
+    | Some (Error msg) -> Error msg
+    | None -> (
+        match check_state ctx acc ?reconstruct st.persisted with
+        | v, view_opt, lib_view -> Ok (v, view_opt, lib_view)
+        | exception e -> Error (Printexc.to_string e))
+  in
+  match outcome with
+  | Error msg ->
+      record_check_error acc st msg;
+      `Errored
+  | Ok ((Checker.Consistent | Checker.Consistent_after_recovery), _, _) ->
+      `Consistent
+  | Ok (Checker.Inconsistent layer, view_opt, lib_view) ->
+      acc.n_inconsistent <- acc.n_inconsistent + 1;
+      if ctx.classify then (
+        try classify_state ctx acc st layer lib_view view_opt
+        with e ->
+          record_check_error acc st ("classification: " ^ Printexc.to_string e));
+      `Inconsistent
+
+(* Representative-mode step. The reduce reconstructs every non-pruned
+   state through the signature cache (in canonical order, so the cache
+   trace is scheduler-independent), buckets it by behavioral key, and
+   only fully checks bucket representatives — members of a consistent
+   bucket inherit the representative's verdict and skip their own
+   check; members of an inconsistent (or errored) bucket fall back to
+   an individual full check, so no bug report rests on an unchecked
+   state. On-demand checks of the current state reuse the images the
+   signature just computed; any other persisted set (classification
+   probes) reconstructs through the same shared cache. *)
+let step_rep ctx acc r ?verdict (st : Explore.state) =
+  let images, anomalies = Repsig.reconstruct r.rsig st.persisted in
+  let sg = Repsig.of_images images in
+  let sh = Repsig.shape r.rsig st in
+  if not (Hashtbl.mem r.shapes sh) then Hashtbl.replace r.shapes sh ();
+  let reconstruct p =
+    if Bitset.equal p st.persisted then (images, anomalies)
+    else Repsig.reconstruct r.rsig p
+  in
+  let check () = check_stepped ctx acc ?verdict ~reconstruct st in
+  match Repsig.Tbl.find_opt r.buckets sg with
+  | None ->
+      (* first state with this signature: it is the representative *)
+      let skip = check () = `Consistent in
+      r.n_buckets <- r.n_buckets + 1;
+      r.bucket_order <- sg :: r.bucket_order;
+      Repsig.Tbl.replace r.buckets sg
+        {
+          b_skip = skip;
+          b_members = 0;
+          b_skipped = 0;
+          b_reservoir = Array.make r.audit_n None;
+          b_seen = 0;
+          b_rng = Rng.create (Rng.hash ~seed:(Fp.hash sg) sh);
+        }
+  | Some b ->
+      b.b_members <- b.b_members + 1;
+      if b.b_skip then begin
+        b.b_skipped <- b.b_skipped + 1;
+        r.n_skipped <- r.n_skipped + 1;
+        (* reservoir-sample skipped members for the audit (Algorithm R:
+           uniform over the bucket's skipped members, deterministic
+           given the canonical order and the per-bucket seed) *)
+        if r.audit_n > 0 then begin
+          (if b.b_seen < r.audit_n then
+             b.b_reservoir.(b.b_seen) <- Some st.persisted
+           else
+             let j = Rng.int b.b_rng (b.b_seen + 1) in
+             if j < r.audit_n then b.b_reservoir.(j) <- Some st.persisted);
+          b.b_seen <- b.b_seen + 1
+        end
+      end
+      else begin
+        r.n_fallbacks <- r.n_fallbacks + 1;
+        ignore (check ())
+      end
+
+(* One state of the canonical (ordered) stream: prune, then either the
+   plain oracle path or the representative bucketing path. *)
 let step ctx acc ?verdict (st : Explore.state) =
   if ctx.mode <> Brute_force && Prune.should_skip acc.prune ~semantic:(semantic ctx) st
   then acc.n_pruned <- acc.n_pruned + 1
-  else begin
-    acc.n_checked <- acc.n_checked + 1;
-    acc.n_fp_lookups <-
-      acc.n_fp_lookups + 1 + (if ctx.lib <> None then 1 else 0);
-    (* replay the cache decision this state costs in canonical order; a
-       memoized state never reaches the serial cache, so the simulation
-       skips it too (memo holds only classification-probe states here —
-       the same set under every scheduler) *)
-    (match acc.sim with
-    | Some sim when not (Bitset.Tbl.mem acc.memo st.persisted) ->
-        Emulator.sim_observe sim st.persisted
-    | _ -> ());
-    let outcome =
-      match verdict with
-      | Some (Ok v) -> Ok (v, None, None)
-      | Some (Error msg) -> Error msg
-      | None -> (
-          let reconstruct =
-            Option.map
-              (fun c -> Emulator.reconstruct_cached c ctx.session)
-              acc.serial_cache
-          in
-          match check_state ctx acc ?reconstruct st.persisted with
-          | v, view_opt, lib_view -> Ok (v, view_opt, lib_view)
-          | exception e -> Error (Printexc.to_string e))
-    in
-    match outcome with
-    | Error msg -> record_check_error acc st msg
-    | Ok ((Checker.Consistent | Checker.Consistent_after_recovery), _, _) -> ()
-    | Ok (Checker.Inconsistent layer, view_opt, lib_view) ->
-        acc.n_inconsistent <- acc.n_inconsistent + 1;
-        if ctx.classify then (
-          try classify_state ctx acc st layer lib_view view_opt
-          with e ->
-            record_check_error acc st ("classification: " ^ Printexc.to_string e))
-  end
+  else
+    match acc.rep with
+    | Some r -> step_rep ctx acc r ?verdict st
+    | None ->
+        let reconstruct =
+          Option.map
+            (fun c -> Emulator.reconstruct_cached c ctx.session)
+            acc.serial_cache
+        in
+        ignore (check_stepped ctx acc ?verdict ?reconstruct st)
+
+(* Re-check the audit sample against each bucket's inherited verdict
+   (--rep-audit N). Runs after the stream is consumed, in bucket
+   creation order; audit checks are measurement only — they touch no
+   verdict, bug, or checked/lookup counter, so reports with and without
+   auditing differ only in the audit metrics themselves. *)
+let audit_rep ctx acc =
+  match acc.rep with
+  | None -> ()
+  | Some r when r.audit_n = 0 -> ()
+  | Some r ->
+      r.frozen_cache <-
+        Some (Repsig.cache_hits r.rsig, Repsig.cache_misses r.rsig);
+      List.iter
+        (fun sg ->
+          let b = Repsig.Tbl.find r.buckets sg in
+          Array.iter
+            (function
+              | None -> ()
+              | Some persisted ->
+                  r.n_audit_checked <- r.n_audit_checked + 1;
+                  let consistent =
+                    match
+                      Checker.check ctx.session ~pfs_legal:ctx.pfs_legal
+                        ?lib:ctx.lib
+                        ~reconstruct:(Repsig.reconstruct r.rsig)
+                        persisted
+                    with
+                    | (Checker.Consistent | Checker.Consistent_after_recovery), _, _
+                      ->
+                        true
+                    | Checker.Inconsistent _, _, _ -> false
+                    | exception _ -> false
+                  in
+                  if consistent <> b.b_skip then
+                    r.n_audit_mismatches <- r.n_audit_mismatches + 1)
+            b.b_reservoir)
+        (List.rev r.bucket_order)
 
 type result = {
   bugs : Report.bug list;
@@ -424,6 +593,19 @@ type result = {
   n_fp_lookups : int;
       (** fingerprint membership queries charged by the canonical
           oracle (one per checked state per layer) *)
+  rep_buckets : int;  (** distinct behavioral signatures (rep mode) *)
+  rep_skipped : int;
+      (** members of consistent buckets that inherited the
+          representative's verdict without their own check *)
+  rep_fallbacks : int;
+      (** members of inconsistent buckets individually re-checked *)
+  rep_shape_classes : int;
+      (** distinct persisted-set shapes seen — how many shape classes
+          the behavioral buckets merged *)
+  rep_audit_checked : int;
+  rep_audit_mismatches : int;
+      (** audit sample size and disagreements with inherited verdicts
+          ([--rep-audit]); all six fields are 0 outside rep mode *)
 }
 
 let finish (acc : acc) =
@@ -441,14 +623,34 @@ let finish (acc : acc) =
     n_inconsistent = acc.n_inconsistent;
     check_errors = List.rev acc.check_errors;
     serial_misses =
-      (match acc.serial_cache with
-      | Some c -> Emulator.cache_misses c
-      | None -> 0);
-    sim_hits = (match acc.sim with Some s -> Emulator.sim_hits s | None -> 0);
+      (match (acc.serial_cache, acc.rep) with
+      | Some c, _ -> Emulator.cache_misses c
+      | None, Some { frozen_cache = Some (_, m); _ } -> m
+      | None, Some r -> Repsig.cache_misses r.rsig
+      | None, None -> 0);
+    sim_hits =
+      (match (acc.sim, acc.rep) with
+      | Some s, _ -> Emulator.sim_hits s
+      | None, Some { frozen_cache = Some (h, _); _ } -> h
+      | None, Some r -> Repsig.cache_hits r.rsig
+      | None, None -> 0);
     sim_misses =
-      (match acc.sim with Some s -> Emulator.sim_misses s | None -> 0);
+      (match (acc.sim, acc.rep) with
+      | Some s, _ -> Emulator.sim_misses s
+      | None, Some { frozen_cache = Some (_, m); _ } -> m
+      | None, Some r -> Repsig.cache_misses r.rsig
+      | None, None -> 0);
     n_scenarios = List.length acc.explained;
     n_fp_lookups = acc.n_fp_lookups;
+    rep_buckets = (match acc.rep with Some r -> r.n_buckets | None -> 0);
+    rep_skipped = (match acc.rep with Some r -> r.n_skipped | None -> 0);
+    rep_fallbacks = (match acc.rep with Some r -> r.n_fallbacks | None -> 0);
+    rep_shape_classes =
+      (match acc.rep with Some r -> Hashtbl.length r.shapes | None -> 0);
+    rep_audit_checked =
+      (match acc.rep with Some r -> r.n_audit_checked | None -> 0);
+    rep_audit_mismatches =
+      (match acc.rep with Some r -> r.n_audit_mismatches | None -> 0);
   }
 
 (* --- faulted checking ----------------------------------------------------- *)

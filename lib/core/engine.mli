@@ -13,9 +13,19 @@
     - a sequential reduce ({!step}/{!finish}) that makes every
       order-dependent decision — pruning, classification reuse, bug
       deduplication, counters — in the canonical state order, so its
-      results are independent of how verdicts were computed. *)
+      results are independent of how verdicts were computed.
 
-type mode = Brute_force | Pruned | Optimized
+    {b Representative mode} ([Representative], CLI [--mode rep]) adds a
+    bucketing layer to the reduce: states are grouped by their
+    {!Repsig.t} behavioral signature, one representative per bucket is
+    fully checked, and members of a consistent bucket inherit its
+    verdict without their own check. Members of an inconsistent (or
+    errored) bucket fall back to individual full checks, so no bug
+    report ever rests on an unchecked state. The bucketing decisions
+    happen in the sequential reduce over the canonical order, so
+    representative-mode reports stay byte-identical across [--jobs]. *)
+
+type mode = Brute_force | Pruned | Optimized | Representative
 
 val mode_to_string : mode -> string
 val mode_of_string : string -> mode option
@@ -107,7 +117,10 @@ type acc
     so far, classified root causes, the bug table, verdict memo and
     counters. Confined to the reducing domain. *)
 
-val acc_create : ctx -> acc
+val acc_create : ?rep_audit:int -> ctx -> acc
+(** [rep_audit] (default 0) is the [--rep-audit N] sample size:
+    representative mode reservoir-samples up to [N] skipped members per
+    bucket for {!audit_rep} to re-check. Ignored outside rep mode. *)
 
 val step :
   ctx -> acc -> ?verdict:(Checker.verdict, string) result -> Explore.state -> unit
@@ -115,8 +128,18 @@ val step :
     obtain the verdict ([?verdict] if a worker precomputed it, else
     checked on demand through the reduce's own incremental cache — the
     serial oracle path), classify inconsistencies and update the bug
-    table. A check or classification that raises becomes a
+    table. In representative mode the state is first bucketed by
+    signature and only checked when it is a bucket representative or a
+    fallback member. A check or classification that raises becomes a
     {!Report.check_error} entry; the stream continues. *)
+
+val audit_rep : ctx -> acc -> unit
+(** Re-check the reservoir-sampled skipped members against their
+    buckets' inherited verdicts ([--rep-audit]). Call after the state
+    stream is fully consumed and before {!finish}. Measurement only:
+    audit checks touch no verdict, bug, or checked/lookup counter —
+    they fill only the [rep_audit_*] result fields. No-op outside rep
+    mode or when the audit size is 0. *)
 
 type result = {
   bugs : Report.bug list;
@@ -129,18 +152,33 @@ type result = {
       (** states whose check raised, in canonical stream order *)
   serial_misses : int;
       (** image rebuilds of the reduce's own cache (serial optimized
-          runs); 0 when verdicts came precomputed *)
+          runs, or the rep-mode signature cache); 0 when verdicts came
+          precomputed in optimized mode *)
   sim_hits : int;
   sim_misses : int;
       (** canonical-order emulator-cache decisions replayed by the
-          reduce's {!Emulator.sim}: independent of the scheduler, equal
-          to the counts a serial optimized run measures; both 0 outside
-          optimized mode *)
+          reduce's {!Emulator.sim} (optimized mode) or measured on the
+          rep-mode signature cache, which reconstructs every non-pruned
+          state in canonical order: independent of the scheduler; both
+          0 in brute-force and pruning modes *)
   n_scenarios : int;  (** distinct root-cause scenarios classified *)
   n_fp_lookups : int;
       (** fingerprint membership queries charged by the canonical
           oracle: one per checked state, plus one more per checked
           state when a library layer is present *)
+  rep_buckets : int;  (** distinct behavioral signatures (rep mode) *)
+  rep_skipped : int;
+      (** members of consistent buckets that inherited the
+          representative's verdict without their own check *)
+  rep_fallbacks : int;
+      (** members of inconsistent buckets individually re-checked *)
+  rep_shape_classes : int;
+      (** distinct persisted-set shapes seen — how many shape classes
+          the behavioral buckets merged *)
+  rep_audit_checked : int;
+  rep_audit_mismatches : int;
+      (** audit sample size and disagreements with inherited verdicts
+          ([--rep-audit]); all six fields are 0 outside rep mode *)
 }
 
 val finish : acc -> result

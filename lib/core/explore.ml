@@ -16,7 +16,8 @@ let storage_graph (s : Session.t) =
   let g, _mapping = Dag.restrict s.graph keep in
   g
 
-let generate_seq ?(k = 1) ?(max_cuts = 100_000) (s : Session.t) ~persist =
+let generate_seq ?(caller = "Explore.generate_seq") ?(k = 1)
+    ?(max_cuts = 100_000) (s : Session.t) ~persist =
   let g = storage_graph s in
   let seen = Bitset.Tbl.create 256 in
   let n_cuts = ref 0 in
@@ -73,7 +74,12 @@ let generate_seq ?(k = 1) ?(max_cuts = 100_000) (s : Session.t) ~persist =
   in
   let stats () =
     if not !exhausted then
-      invalid_arg "Explore.generate_seq: stats read before full consumption";
+      invalid_arg
+        (Printf.sprintf
+           "%s: crash-state stats read before the sequence was fully consumed \
+            (%d cuts enumerated so far; drain the sequence, then call the \
+            stats thunk)"
+           caller !n_cuts);
     {
       n_cuts = !n_cuts;
       n_candidates = !n_candidates;
@@ -84,7 +90,9 @@ let generate_seq ?(k = 1) ?(max_cuts = 100_000) (s : Session.t) ~persist =
   (with_end states, stats)
 
 let generate ?k ?max_cuts (s : Session.t) ~persist =
-  let states, stats = generate_seq ?k ?max_cuts s ~persist in
+  let states, stats =
+    generate_seq ~caller:"Explore.generate" ?k ?max_cuts s ~persist
+  in
   let states = List.of_seq states in
   (states, stats ())
 

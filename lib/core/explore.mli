@@ -26,6 +26,7 @@ val storage_graph : Session.t -> Paracrash_util.Dag.t
 (** The causality graph projected onto storage-op indices. *)
 
 val generate_seq :
+  ?caller:string ->
   ?k:int ->
   ?max_cuts:int ->
   Session.t ->
@@ -37,7 +38,11 @@ val generate_seq :
     is ephemeral (it deduplicates against internal state): consume it
     exactly once. The returned thunk yields the generation statistics
     and raises [Invalid_argument] until the sequence has been fully
-    consumed, since [n_cuts]/[truncated] are only known at the end. *)
+    consumed, since [n_cuts]/[truncated] are only known at the end —
+    the error message names [caller] (default ["Explore.generate_seq"])
+    so a misuse points at the offending call site. Once the sequence is
+    exhausted the thunk is idempotent: repeated calls return equal
+    stats. *)
 
 val generate :
   ?k:int ->

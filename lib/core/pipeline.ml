@@ -16,6 +16,9 @@ type options = {
   fault_budget : int;
   deadline : float option;
   state_budget : int option;
+  rep_audit : int option;
+      (* representative mode: re-check up to N sampled skipped members
+         per bucket against the inherited verdict (--rep-audit N) *)
 }
 
 let default_options =
@@ -32,6 +35,7 @@ let default_options =
     fault_budget = Fault.Plan.default_budget;
     deadline = None;
     state_budget = None;
+    rep_audit = None;
   }
 
 (* Truncation warnings normally go straight to stderr (report output
@@ -101,7 +105,9 @@ let ordered_chunks ~options ~order_chunk session states_seq =
     else
       let chunk, prev =
         match options.mode with
-        | Engine.Optimized ->
+        | Engine.Optimized | Engine.Representative ->
+            (* rep mode reconstructs every state through the reduce's
+               signature cache, so image locality pays off the same way *)
             Obs.timed "pipeline.order" (fun () ->
                 Tsp.order_chunk session ?prev chunk)
         | Engine.Brute_force | Engine.Pruned -> (chunk, prev)
@@ -144,8 +150,8 @@ let run ?(order_chunk = default_order_chunk) ?rpc ?legal_cache options ~session
   let states_seq, gen_stats =
     Obs.span "pipeline.generate" @@ fun () ->
     let persist = Persist.build session in
-    Explore.generate_seq ~k:options.k ~max_cuts:options.max_cuts session
-      ~persist
+    Explore.generate_seq ~caller:"Pipeline.run" ~k:options.k
+      ~max_cuts:options.max_cuts session ~persist
   in
   let states_seq, budget_hit = budgeted ~state_budget:options.state_budget states_seq in
   let ctx =
@@ -170,7 +176,9 @@ let run ?(order_chunk = default_order_chunk) ?rpc ?legal_cache options ~session
         workload fs_name l.Checker.lib_name Model.max_enumerated
   | _ -> ());
   let scheduler = Scheduler.of_jobs options.jobs in
-  let acc = Engine.acc_create ctx in
+  let acc =
+    Engine.acc_create ?rep_audit:options.rep_audit ctx
+  in
   let deadline_hit = ref false in
   let over_deadline () =
     match options.deadline with
@@ -237,6 +245,9 @@ let run ?(order_chunk = default_order_chunk) ?rpc ?legal_cache options ~session
                   chunk)
           end)
         chunks);
+  (* rep-mode audit: re-check the sampled skipped members before the
+     counters are frozen (no-op outside rep mode / without --rep-audit) *)
+  Obs.span "pipeline.audit" (fun () -> Engine.audit_rep ctx acc);
   let res = Engine.finish acc in
   let gen = gen_stats () in
   (* stage 5 (optional): overlay fault plans on the explored states and
@@ -305,6 +316,11 @@ let run ?(order_chunk = default_order_chunk) ?rpc ?legal_cache options ~session
            count from cold shard boundaries, plus speculative checks of
            scenario-pruned states) *)
         !parallel_misses
+    | Engine.Representative, Scheduler.Serial -> res.Engine.serial_misses
+    | Engine.Representative, Scheduler.Parallel _ ->
+        (* worker caches (speculative checks) plus the reduce's own
+           signature cache, which reconstructs every non-pruned state *)
+        !parallel_misses + res.Engine.serial_misses
   in
   let wall = Unix.gettimeofday () -. t0 in
   let fs = Paracrash_pfs.Handle.fs_name session.Session.handle in
@@ -332,13 +348,31 @@ let run ?(order_chunk = default_order_chunk) ?rpc ?legal_cache options ~session
     Metrics.set m "states.inconsistent" res.Engine.n_inconsistent;
     Metrics.set m "classify.scenarios" res.Engine.n_scenarios;
     (match options.mode with
-    | Engine.Optimized ->
+    | Engine.Optimized | Engine.Representative ->
+        (* rep mode: the reduce's signature cache reconstructs every
+           non-pruned state in canonical order, so its measured counts
+           are scheduler-independent like the optimized-mode simulation *)
         Metrics.set m "emulator.cache_hits" res.Engine.sim_hits;
         Metrics.set m "emulator.cache_misses" res.Engine.sim_misses
     | Engine.Brute_force | Engine.Pruned ->
         Metrics.set m "emulator.cache_hits" 0;
         Metrics.set m "emulator.cache_misses"
           (res.Engine.n_checked * ctx.Engine.n_servers));
+    (match options.mode with
+    | Engine.Representative ->
+        Metrics.set m "rep.buckets" res.Engine.rep_buckets;
+        Metrics.set m "rep.members_skipped" res.Engine.rep_skipped;
+        Metrics.set m "rep.fallbacks" res.Engine.rep_fallbacks;
+        Metrics.set m "rep.shape_classes" res.Engine.rep_shape_classes;
+        (* integer pruning percentage: skipped / (checked + skipped) *)
+        let denom = res.Engine.n_checked + res.Engine.rep_skipped in
+        Metrics.set m "rep.pruned_pct"
+          (if denom = 0 then 0 else 100 * res.Engine.rep_skipped / denom);
+        if options.rep_audit <> None then begin
+          Metrics.set m "rep.audit_checked" res.Engine.rep_audit_checked;
+          Metrics.set m "rep.audit_mismatches" res.Engine.rep_audit_mismatches
+        end
+    | Engine.Brute_force | Engine.Pruned | Engine.Optimized -> ());
     Metrics.set m "fingerprint.lookups" res.Engine.n_fp_lookups;
     Metrics.set m "fingerprint.scans" 0;
     Metrics.set m "legal.pfs_states" (Legal.cardinal ctx.Engine.pfs_legal);

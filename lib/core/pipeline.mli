@@ -50,6 +50,10 @@ type options = {
   fault_budget : int;  (** bound on plans and on (state x plan) pairs *)
   deadline : float option;  (** wall-clock seconds before a partial stop *)
   state_budget : int option;  (** max crash states explored *)
+  rep_audit : int option;
+      (** representative mode: re-check up to [N] reservoir-sampled
+          skipped members per bucket against the inherited verdict and
+          publish the mismatch count ([rep.audit_*] metrics) *)
 }
 
 val default_options : options

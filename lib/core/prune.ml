@@ -1,36 +1,104 @@
 module Bitset = Paracrash_util.Bitset
 
+(* Learned scenarios live in flat arrays rebuilt at [learn] time:
+   [should_skip] runs once per crash state on both the worker and the
+   reduce paths, so matching must neither allocate nor chase list
+   spines. Learning is rare (once per classified root cause, a handful
+   per run), so paying an array rebuild there is free. *)
 type t = {
   raw_data : int -> bool;
-  mutable reorders : (int * int) list;
-  mutable atomics : int list list;
+  (* reorder scenarios, struct-of-arrays: scenario i skips states that
+     dropped [reorder_first.(i)] while persisting [reorder_second.(i)] *)
+  mutable reorder_first : int array;
+  mutable reorder_second : int array;
+  mutable n_reorders : int;
+  (* atomic groups (each <= 3 ops, see [learn]): a partially persisted
+     group — some op persisted, some op dropped — skips the state *)
+  mutable atomics : int array array;
+  mutable n_atomics : int;
 }
 
-let create ~raw_data = { raw_data; reorders = []; atomics = [] }
+let create ~raw_data =
+  {
+    raw_data;
+    reorder_first = [||];
+    reorder_second = [||];
+    n_reorders = 0;
+    atomics = [||];
+    n_atomics = 0;
+  }
+
+let mem_reorder t first second =
+  let rec go i =
+    i < t.n_reorders
+    && ((t.reorder_first.(i) = first && t.reorder_second.(i) = second)
+       || go (i + 1))
+  in
+  go 0
+
+let mem_atomic t ops =
+  let rec go i =
+    i < t.n_atomics
+    && (Array.to_list t.atomics.(i) = ops || go (i + 1))
+  in
+  go 0
+
+let push_reorder t first second =
+  let n = t.n_reorders in
+  if n = Array.length t.reorder_first then begin
+    let cap = max 4 (2 * n) in
+    let grow a = Array.init cap (fun i -> if i < n then a.(i) else -1) in
+    t.reorder_first <- grow t.reorder_first;
+    t.reorder_second <- grow t.reorder_second
+  end;
+  t.reorder_first.(n) <- first;
+  t.reorder_second.(n) <- second;
+  t.n_reorders <- n + 1
+
+let push_atomic t ops =
+  let n = t.n_atomics in
+  if n = Array.length t.atomics then
+    t.atomics <-
+      Array.init (max 4 (2 * n)) (fun i ->
+          if i < n then t.atomics.(i) else [||]);
+  t.atomics.(n) <- Array.of_list ops;
+  t.n_atomics <- n + 1
 
 let learn t = function
   | Classify.Reorder { first; second } ->
-      if not (List.mem (first, second) t.reorders) then
-        t.reorders <- (first, second) :: t.reorders
+      if not (mem_reorder t first second) then push_reorder t first second
   | Classify.Atomic ops ->
       (* Only small atomic groups are safe pruning scenarios: a group
          covering a whole high-level call would prune every partial
          persistence of that call and mask unrelated root causes. *)
-      if List.length ops <= 3 && not (List.mem ops t.atomics) then
-        t.atomics <- ops :: t.atomics
+      if List.length ops <= 3 && not (mem_atomic t ops) then push_atomic t ops
   | Classify.Unknown _ -> ()
 
-let known_count t = List.length t.reorders + List.length t.atomics
+let known_count t = t.n_reorders + t.n_atomics
 
 let should_skip t ~semantic (st : Explore.state) =
   (* membership in the dropped set (cut \ persisted) is tested pointwise
      instead of materializing the difference: this runs once per state
-     on both the worker and reduce paths, and must not allocate *)
+     on both the worker and reduce paths, and must not allocate — hence
+     manual index loops over the scenario arrays, no closures *)
   let dropped i = Bitset.mem st.cut i && not (Bitset.mem st.persisted i) in
-  let matches_reorder (a, b) = dropped a && Bitset.mem st.persisted b in
-  let matches_atomic ops =
-    List.exists (Bitset.mem st.persisted) ops && List.exists dropped ops
+  let rec any_reorder i =
+    i < t.n_reorders
+    && ((dropped t.reorder_first.(i)
+        && Bitset.mem st.persisted t.reorder_second.(i))
+       || any_reorder (i + 1))
   in
-  List.exists matches_reorder t.reorders
-  || List.exists matches_atomic t.atomics
+  let rec any_persisted ops j =
+    j < Array.length ops
+    && (Bitset.mem st.persisted ops.(j) || any_persisted ops (j + 1))
+  in
+  let rec any_dropped ops j =
+    j < Array.length ops && (dropped ops.(j) || any_dropped ops (j + 1))
+  in
+  let rec any_atomic i =
+    i < t.n_atomics
+    && ((any_persisted t.atomics.(i) 0 && any_dropped t.atomics.(i) 0)
+       || any_atomic (i + 1))
+  in
+  any_reorder 0 || any_atomic 0
   || semantic && st.victims <> [] && List.for_all t.raw_data st.victims

@@ -1,0 +1,83 @@
+module Bitset = Paracrash_util.Bitset
+module Rng = Paracrash_util.Rng
+module Fp = Paracrash_util.Digestutil.Fp
+module Images = Paracrash_pfs.Images
+
+type t = Fp.t
+
+type ctx = {
+  session : Session.t;
+  cache : Emulator.cache;
+  (* storage-op index -> server index (into [Handle.servers] order), -1
+     for ops not attributed to a server *)
+  server_of : int array;
+  n_servers : int;
+  (* scratch row for per-server persisted counts, reused per state so
+     [shape] allocates nothing *)
+  counts : int array;
+}
+
+let create (s : Session.t) =
+  let servers =
+    Array.of_list (Paracrash_pfs.Handle.servers s.Session.handle)
+  in
+  let n_servers = Array.length servers in
+  let server_of =
+    Array.init (Session.n_storage_ops s) (fun i ->
+        let proc = (Session.storage_event s i).Paracrash_trace.Event.proc in
+        let rec find k =
+          if k >= n_servers then -1
+          else if String.equal servers.(k) proc then k
+          else find (k + 1)
+        in
+        find 0)
+  in
+  {
+    session = s;
+    cache = Emulator.create_cache s;
+    server_of;
+    n_servers;
+    counts = Array.make (max 1 n_servers) 0;
+  }
+
+let reconstruct ctx persisted =
+  Emulator.reconstruct_cached ctx.cache ctx.session persisted
+
+let of_images images =
+  let st = Fp.init () in
+  List.iter
+    (fun (proc, img) ->
+      Fp.add_string st proc;
+      match img with
+      | Images.Fs s -> Fp.add_string st (Paracrash_vfs.State.digest s)
+      | Images.Dev s -> Fp.add_string st (Paracrash_blockdev.State.digest s))
+    (Images.bindings images);
+  Fp.finish st
+
+let signature ctx (st : Explore.state) =
+  let images, _anomalies = reconstruct ctx st.persisted in
+  of_images images
+
+(* Mix one more token into a running shape hash. [Rng.hash] is the
+   stateless SplitMix64 finalizer, so the result is a pure function of
+   the token sequence and stable across runs and job counts. *)
+let mix h token = Rng.hash ~seed:h token
+
+let shape ctx (st : Explore.state) =
+  Array.fill ctx.counts 0 (Array.length ctx.counts) 0;
+  Bitset.iter
+    (fun i ->
+      let k = ctx.server_of.(i) in
+      if k >= 0 then ctx.counts.(k) <- ctx.counts.(k) + 1)
+    st.persisted;
+  let h = ref (mix 0x9e3779b9 ctx.n_servers) in
+  Array.iter (fun c -> h := mix !h c) ctx.counts;
+  (* dropped-descendant frontier: the victim ops whose descendant drops
+     define this state (minimal elements of cut \ persisted) *)
+  List.iter (fun v -> h := mix !h (v + 1)) st.victims;
+  !h
+
+let cache_hits ctx = Emulator.cache_hits ctx.cache
+let cache_misses ctx = Emulator.cache_misses ctx.cache
+
+module Tbl = Fp.Tbl

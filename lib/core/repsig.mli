@@ -1,0 +1,71 @@
+(** Behavioral crash-state signatures for representative testing.
+
+    Representative mode ({!Engine.mode} [Representative]) buckets crash
+    states by a cheap behavioral signature and fully checks only one
+    representative per bucket. The signature has two tiers:
+
+    - the {b behavioral key} ({!signature} / {!of_images}): a 128-bit
+      {!Paracrash_util.Digestutil.Fp} fingerprint over the per-server
+      composed images produced by {!Emulator.reconstruct_cached}. A
+      state's verdict is a pure function of its reconstructed images
+      (the checker recovers, mounts and fingerprint-matches the images
+      and nothing else), so two states with equal keys have equal
+      verdicts up to the ~2^-128 fingerprint collision bound — this is
+      what makes assigning a representative's verdict to its bucket
+      sound;
+    - the {b persisted-set shape} ({!shape}): a cheap int hash of the
+      per-server persisted counts and the dropped-descendant frontier
+      (the victim set) over the causality DAG. The shape is computed
+      without reconstruction, but it is deliberately {e not} part of
+      the bucket key: measured over every registry workload x file
+      system, the shape is injective on crash states (dropping a
+      different op always changes some per-server count or the
+      frontier), so keying on it would give every state its own bucket
+      and prune nothing. It instead seeds the per-bucket audit
+      sampler and feeds the [rep.shape_classes] diagnostic, which
+      records how many shape classes the behavioral buckets merged.
+
+    One {!ctx} per run; it owns the incremental emulator cache that
+    both the signature computation and the representative checks of
+    the sequential reduce share. *)
+
+module Fp = Paracrash_util.Digestutil.Fp
+
+type t = Fp.t
+(** A behavioral signature: 128-bit composed-image fingerprint. *)
+
+type ctx
+(** Per-run signature state: the session's server layout and a private
+    {!Emulator.cache}. Confined to the reducing domain. *)
+
+val create : Session.t -> ctx
+
+val reconstruct :
+  ctx -> Paracrash_util.Bitset.t -> Paracrash_pfs.Images.t * string list
+(** Reconstruct the per-server images of a persisted set through the
+    context's incremental cache (hit/miss accounting included). The
+    reduce computes each state's signature from this result and hands
+    the same images to the checker, so a representative's full check
+    never pays reconstruction twice. *)
+
+val of_images : Paracrash_pfs.Images.t -> t
+(** The behavioral key of already-reconstructed images: an [Fp] over
+    each server's name and state digest, in binding order. *)
+
+val signature : ctx -> Explore.state -> t
+(** [of_images] of [reconstruct ctx st.persisted] — convenience for
+    callers that do not need the images. *)
+
+val shape : ctx -> Explore.state -> int
+(** Persisted-set shape over the causality DAG: an int hash of the
+    per-server persisted counts and the victim frontier. Reconstruction-
+    free; not part of the bucket key (see above). *)
+
+val cache_hits : ctx -> int
+val cache_misses : ctx -> int
+(** Per-server image rebuild accounting of the context's own cache —
+    the representative-mode analogue of the optimized mode's serial
+    cache counters (deterministic: the reduce reconstructs every
+    non-pruned state in canonical order). *)
+
+module Tbl : Hashtbl.S with type key = t

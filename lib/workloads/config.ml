@@ -50,6 +50,7 @@ type overrides = {
   o_fault_budget : int option;
   o_deadline : float option;
   o_state_budget : int option;
+  o_rep_audit : int option;
   o_sweep : string option;
   o_corpus : string option;
 }
@@ -71,6 +72,7 @@ let no_overrides =
     o_fault_budget = None;
     o_deadline = None;
     o_state_budget = None;
+    o_rep_audit = None;
     o_sweep = None;
     o_corpus = None;
   }
@@ -180,6 +182,10 @@ let merge t ~overrides:o =
             (match o.o_state_budget with
             | Some b -> Some b
             | None -> t.options.D.state_budget);
+          rep_audit =
+            (match o.o_rep_audit with
+            | Some n -> Some n
+            | None -> t.options.D.rep_audit);
         };
     }
 

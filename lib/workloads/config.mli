@@ -52,6 +52,7 @@ type overrides = {
   o_fault_budget : int option;
   o_deadline : float option;
   o_state_budget : int option;
+  o_rep_audit : int option;
   o_sweep : string option;
   o_corpus : string option;
 }

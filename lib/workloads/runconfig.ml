@@ -107,6 +107,9 @@ let apply_kv t key value =
   | "state_budget" ->
       let* b = parse_int "state_budget" value in
       Ok { t with options = { t.options with D.state_budget = Some b } }
+  | "rep_audit" ->
+      let* n = parse_int "rep_audit" value in
+      Ok { t with options = { t.options with D.rep_audit = Some n } }
   | "sweep" ->
       if Vocab.spec_of_string value = None then
         Error
@@ -119,8 +122,8 @@ let apply_kv t key value =
         [
           "fs"; "program"; "mode"; "k"; "jobs"; "max_cuts"; "servers"; "stripe";
           "pfs_model"; "lib_model"; "meta_journal"; "storage_journal"; "faults";
-          "fault_seed"; "fault_budget"; "deadline"; "state_budget"; "sweep";
-          "corpus";
+          "fault_seed"; "fault_budget"; "deadline"; "state_budget";
+          "rep_audit"; "sweep"; "corpus";
         ]
       in
       Error

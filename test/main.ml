@@ -10,6 +10,7 @@ let () =
       ("incremental", Test_incremental.tests);
       ("digest", Test_digest.tests);
       ("scheduler", Test_scheduler.tests);
+      ("rep", Test_rep.tests);
       ("pfs", Test_pfs.tests);
       ("pfs-protocols", Test_pfs_protocols.tests);
       ("hdf5", Test_hdf5.tests);

@@ -1,0 +1,353 @@
+(* Representative-state pruning (--mode rep): crash states bucketed by
+   behavioral signature, one full check per bucket, verified fallback
+   for inconsistent buckets.
+
+   The contracts under test:
+
+   - bug equivalence: rep mode finds exactly the brute-force bug set
+     (kind, layer, description, consequence) on every registry workload
+     x file system — bucketing may only skip consistent states;
+   - exactness vs optimized mode: rep shares optimized's visit order
+     and prune learning, so its report matches optimized bug-for-bug
+     including per-bug state counts, and checked + skipped in rep mode
+     equals optimized's checked count;
+   - determinism: signatures are pure functions of the traced workload
+     (stable across fresh sessions and contexts), and rep reports are
+     byte-identical across --jobs;
+   - fallback: every member of a bucket whose representative is
+     inconsistent is individually re-checked (counted in fallbacks and
+     in states.checked — no bug rests on an unchecked state);
+   - audit: --rep-audit re-checks sampled skipped members and finds no
+     verdict mismatches on the seed corpus. *)
+
+module C = Paracrash_core
+module D = C.Driver
+module R = C.Report
+module Pipeline = C.Pipeline
+module Explore = C.Explore
+module Repsig = C.Repsig
+module P = Paracrash_pfs
+module W = Paracrash_workloads
+module Registry = W.Registry
+
+let check = Alcotest.check
+let ci = Alcotest.int
+let cb = Alcotest.bool
+let cs = Alcotest.string
+
+(* Same truncation prefix as the scheduler determinism suite: full
+   coverage on the small POSIX cells, truncated-but-representative
+   coverage on the HDF5 cells, at test-suite cost. *)
+let det_max_cuts = 15
+
+let canonical (r : R.t) =
+  R.to_json
+    {
+      r with
+      R.perf =
+        { r.R.perf with wall_seconds = 0.; modeled_seconds = 0.; restarts = 0 };
+    }
+
+(* Trace once, explore many times: only the exploration options vary
+   between the runs each test compares. *)
+let session_of fs_entry (spec : D.spec) =
+  let tracer = Paracrash_trace.Tracer.create () in
+  let handle = fs_entry.Registry.make ~config:P.Config.default ~tracer in
+  Paracrash_trace.Tracer.set_enabled tracer false;
+  spec.D.preamble handle;
+  let initial = P.Handle.snapshot handle in
+  Paracrash_trace.Tracer.set_enabled tracer true;
+  spec.D.test handle;
+  Paracrash_trace.Tracer.set_enabled tracer false;
+  C.Session.of_run ~handle ~initial
+
+let pipeline ?max_cuts ?rep_audit ~mode ~jobs session (spec : D.spec) =
+  let options =
+    {
+      Pipeline.default_options with
+      mode;
+      jobs;
+      max_cuts = Option.value ~default:det_max_cuts max_cuts;
+      rep_audit;
+    }
+  in
+  let lib =
+    Option.map (fun f -> f ~model:options.Pipeline.lib_model session) spec.D.lib
+  in
+  Pipeline.run options ~session ~lib ~workload:spec.D.name
+
+let metric r name = Option.value ~default:0 (R.metric r name)
+
+(* The full identity of a bug: root cause, layer, rendering, observed
+   consequence and the number of inconsistent states attributed to it. *)
+let bug_identity (b : R.bug) =
+  (b.R.kind, b.R.layer, b.R.description, b.R.consequence, b.R.states)
+
+(* Visit-order-independent identity. Classification is order-sensitive
+   by design (the first inconsistent state of a scenario names it, and
+   [acc.explained] reuse depends on discovery order), and rep mode
+   shares optimized mode's TSP visit order while brute force checks in
+   generation order — so under truncation the same inconsistent states
+   can be split across scenarios differently (observed on
+   H5-create/beegfs at max_cuts=15, identically in optimized and rep
+   modes). What no mode may change is which failures are surfaced:
+   the (layer, consequence) pairs. *)
+let coarse_bug_set (r : R.t) =
+  List.sort_uniq compare
+    (List.map (fun (b : R.bug) -> (b.R.layer, b.R.consequence)) r.R.bugs)
+
+let pp_bug_set r =
+  String.concat "\n" (List.map (fun b -> Fmt.str "%a" R.pp_bug b) r.R.bugs)
+
+(* --- differential suite: rep vs optimized vs brute force ------------------- *)
+
+(* Per workload x fs: rep mode must (a) match optimized mode bug-for-bug
+   — same visit order, same prune learning, so bucketing may change
+   nothing but the number of full checks; (b) surface exactly the
+   failures brute force surfaces (coarse identity, since classification
+   granularity is visit-order-dependent); (c) render byte-identical
+   reports at jobs ∈ {1, 2, 4}. *)
+let test_rep_equals_brute_fs fs_entry () =
+  List.iter
+    (fun pname ->
+      let spec = Option.get (Registry.find_workload pname) in
+      let session = session_of fs_entry spec in
+      let cell = Printf.sprintf "%s/%s" pname fs_entry.Registry.fs_name in
+      let brute = pipeline ~mode:D.Brute_force ~jobs:1 session spec in
+      let opt = pipeline ~mode:D.Optimized ~jobs:1 session spec in
+      let rep = pipeline ~mode:D.Representative ~jobs:1 session spec in
+      if
+        List.map bug_identity opt.R.bugs <> List.map bug_identity rep.R.bugs
+      then
+        Alcotest.failf "%s: rep bug table diverges from optimized\noptimized:\n%s\nrep:\n%s"
+          cell (pp_bug_set opt) (pp_bug_set rep);
+      if coarse_bug_set brute <> coarse_bug_set rep then
+        Alcotest.failf
+          "%s: rep surfaced failures diverge from brute force\nbrute:\n%s\nrep:\n%s"
+          cell (pp_bug_set brute) (pp_bug_set rep);
+      (* byte-identical rep reports across job counts extend both
+         equivalences to jobs ∈ {2, 4} *)
+      let serial = canonical rep in
+      List.iter
+        (fun jobs ->
+          check cs
+            (Printf.sprintf "%s rep jobs=%d" cell jobs)
+            serial
+            (canonical (pipeline ~mode:D.Representative ~jobs session spec)))
+        [ 2; 4 ])
+    Registry.workload_names
+
+(* Quick single-cell variant so ci.sh -q still exercises the rep path. *)
+let test_rep_equals_brute_quick () =
+  let beegfs = Option.get (Registry.find_fs "beegfs") in
+  test_rep_equals_brute_fs beegfs ()
+
+(* --- exactness vs optimized mode ------------------------------------------ *)
+
+(* Optimized mode checks every non-pruned state in the same TSP visit
+   order rep mode uses, with the same prune learning (skipped states
+   are consistent and never learn). So rep must reproduce optimized's
+   bug table exactly — including per-bug state counts and discovery
+   order — while checking only representatives and fallback members:
+   checked + skipped = optimized checked. *)
+let test_rep_matches_optimized () =
+  let beegfs = Option.get (Registry.find_fs "beegfs") in
+  List.iter
+    (fun pname ->
+      let spec = Option.get (Registry.find_workload pname) in
+      let session = session_of beegfs spec in
+      (* full depth: H5-resize has inconsistent buckets (fallbacks) only
+         beyond the truncation prefix *)
+      let opt =
+        pipeline ~max_cuts:100_000 ~mode:D.Optimized ~jobs:1 session spec
+      in
+      let rep =
+        pipeline ~max_cuts:100_000 ~mode:D.Representative ~jobs:1 session spec
+      in
+      check cb (pname ^ " bug tables equal incl. counts and order") true
+        (List.map bug_identity opt.R.bugs = List.map bug_identity rep.R.bugs);
+      check ci (pname ^ " pruned counts equal")
+        (metric opt "states.pruned") (metric rep "states.pruned");
+      check ci (pname ^ " inconsistent counts equal")
+        (metric opt "states.inconsistent") (metric rep "states.inconsistent");
+      check ci
+        (pname ^ " rep checked + skipped covers optimized's checked")
+        (metric opt "states.checked")
+        (metric rep "states.checked" + metric rep "rep.members_skipped"))
+    [ "H5-delete"; "H5-resize" ]
+
+(* --- fallback on inconsistent representatives ------------------------------ *)
+
+let test_rep_fallback_rechecks () =
+  let beegfs = Option.get (Registry.find_fs "beegfs") in
+  let spec = Option.get (Registry.find_workload "H5-resize") in
+  let session = session_of beegfs spec in
+  let rep =
+    pipeline ~max_cuts:100_000 ~mode:D.Representative ~jobs:1 session spec
+  in
+  let buckets = metric rep "rep.buckets" in
+  let skipped = metric rep "rep.members_skipped" in
+  let fallbacks = metric rep "rep.fallbacks" in
+  check cb "has inconsistent buckets (fallbacks observed)" true (fallbacks > 0);
+  check cb "has consistent buckets (members skipped)" true (skipped > 0);
+  (* every visited state is a representative, a skipped member or a
+     re-checked fallback member; fallbacks are full checks *)
+  check ci "checked = representatives + fallbacks"
+    (buckets + fallbacks)
+    (metric rep "states.checked");
+  check ci "visited = checked + skipped"
+    (metric rep "states.unique" - metric rep "states.pruned")
+    (metric rep "states.checked" + skipped)
+
+(* --- signature determinism ------------------------------------------------- *)
+
+let test_signature_determinism () =
+  let beegfs = Option.get (Registry.find_fs "beegfs") in
+  let spec = Option.get (Registry.find_workload "H5-delete") in
+  let signatures session =
+    let persist = C.Persist.build session in
+    let states, _ = Explore.generate ~k:1 session ~persist in
+    let ctx = Repsig.create session in
+    List.map
+      (fun st ->
+        (Repsig.Fp.to_hex (Repsig.signature ctx st), Repsig.shape ctx st))
+      states
+  in
+  let s1 = session_of beegfs spec in
+  let a = signatures s1 in
+  (* a fresh context over the same session replays identical signatures
+     (the cache is an optimization, not an input) *)
+  let b = signatures s1 in
+  (* and so does a freshly traced session: signatures are a pure
+     function of the workload *)
+  let c = signatures (session_of beegfs spec) in
+  check cb "non-trivial state count" true (List.length a > 1);
+  check cb "same session, fresh context" true (a = b);
+  check cb "fresh session" true (a = c);
+  (* distinct signatures exist (states do differ behaviorally) *)
+  check cb "not all states equivalent" true
+    (List.sort_uniq compare (List.map fst a) |> List.length > 1)
+
+(* --- audit ----------------------------------------------------------------- *)
+
+let test_rep_audit_zero_mismatches () =
+  let beegfs = Option.get (Registry.find_fs "beegfs") in
+  List.iter
+    (fun pname ->
+      let spec = Option.get (Registry.find_workload pname) in
+      let session = session_of beegfs spec in
+      let audited =
+        pipeline ~max_cuts:100_000 ~rep_audit:3 ~mode:D.Representative ~jobs:1
+          session spec
+      in
+      check cb (pname ^ " audit sampled some members") true
+        (metric audited "rep.audit_checked" > 0);
+      check ci (pname ^ " audit found no verdict mismatches") 0
+        (metric audited "rep.audit_mismatches");
+      (* auditing is measurement only: the report without the audit
+         metrics is unchanged *)
+      let plain =
+        pipeline ~max_cuts:100_000 ~mode:D.Representative ~jobs:1 session spec
+      in
+      let strip (r : R.t) =
+        canonical
+          {
+            r with
+            R.metrics =
+              List.filter
+                (fun (k, _) -> not (String.length k >= 10 && String.sub k 0 10 = "rep.audit_"))
+                r.R.metrics;
+          }
+      in
+      check cs (pname ^ " audit does not perturb the report") (strip plain)
+        (strip audited))
+    [ "H5-delete"; "H5-resize" ]
+
+(* --- generate_seq stats-thunk misuse (satellite) --------------------------- *)
+
+let test_stats_thunk_misuse () =
+  let beegfs = Option.get (Registry.find_fs "beegfs") in
+  let spec = Option.get (Registry.find_workload "ARVR") in
+  let session = session_of beegfs spec in
+  let persist = C.Persist.build session in
+  let states, stats =
+    Explore.generate_seq ~caller:"Test_rep.misuse" ~k:1 session ~persist
+  in
+  (* reading stats before the sequence is consumed is a misuse, and the
+     error names the offending call site *)
+  (match stats () with
+  | _ -> Alcotest.fail "stats before consumption should raise"
+  | exception Invalid_argument msg ->
+      check cb "error names the call site" true
+        (Paracrash_util.Strutil.contains_sub msg "Test_rep.misuse");
+      check cb "error explains the misuse" true
+        (Paracrash_util.Strutil.contains_sub msg "fully consumed"));
+  (* partial consumption is still a misuse *)
+  (match states () with
+  | Seq.Nil -> Alcotest.fail "expected at least one state"
+  | Seq.Cons (_, _) -> ());
+  (match stats () with
+  | _ -> Alcotest.fail "stats after partial consumption should raise"
+  | exception Invalid_argument _ -> ());
+  (* NB: the sequence is ephemeral, but re-entering it from the start
+     replays generation; full consumption unlocks the thunk *)
+  Seq.iter ignore states;
+  let s1 = stats () in
+  check cb "stats available after full consumption" true (s1.Explore.n_cuts > 0);
+  (* the thunk is idempotent: a second call returns equal stats *)
+  check cb "second stats call returns equal stats" true (s1 = stats ())
+
+let test_stats_thunk_default_caller () =
+  let beegfs = Option.get (Registry.find_fs "beegfs") in
+  let spec = Option.get (Registry.find_workload "ARVR") in
+  let session = session_of beegfs spec in
+  let persist = C.Persist.build session in
+  let _, stats = Explore.generate_seq ~k:1 session ~persist in
+  match stats () with
+  | _ -> Alcotest.fail "stats before consumption should raise"
+  | exception Invalid_argument msg ->
+      check cb "default caller names generate_seq" true
+        (Paracrash_util.Strutil.contains_sub msg "Explore.generate_seq")
+
+(* --- runconfig / CLI plumbing ---------------------------------------------- *)
+
+let test_runconfig_rep () =
+  (match W.Runconfig.parse "mode = rep" with
+  | Ok t ->
+      check cb "mode rep parsed" true
+        (t.W.Runconfig.options.D.mode = D.Representative)
+  | Error m -> Alcotest.failf "unexpected parse error: %s" m);
+  (match W.Runconfig.parse "rep_audit = 5" with
+  | Ok t ->
+      check cb "rep_audit parsed" true
+        (t.W.Runconfig.options.D.rep_audit = Some 5)
+  | Error m -> Alcotest.failf "unexpected parse error: %s" m);
+  (match W.Runconfig.parse "" with
+  | Ok t -> check cb "default no audit" true (t.W.Runconfig.options.D.rep_audit = None)
+  | Error m -> Alcotest.failf "unexpected parse error: %s" m);
+  check cb "zero rejected" true
+    (Result.is_error (W.Runconfig.parse "rep_audit = 0"));
+  check cb "garbage rejected" true
+    (Result.is_error (W.Runconfig.parse "rep_audit = lots"))
+
+let tests =
+  [
+    ("rep equals brute force (beegfs, all workloads)", `Quick, test_rep_equals_brute_quick);
+    ("rep matches optimized exactly", `Quick, test_rep_matches_optimized);
+    ("fallback re-checks inconsistent buckets", `Quick, test_rep_fallback_rechecks);
+    ("signature determinism", `Quick, test_signature_determinism);
+    ("rep-audit: zero mismatches on seed corpus", `Quick, test_rep_audit_zero_mismatches);
+    ("generate_seq stats-thunk misuse", `Quick, test_stats_thunk_misuse);
+    ("generate_seq stats-thunk default caller", `Quick, test_stats_thunk_default_caller);
+    ("runconfig mode=rep / rep_audit", `Quick, test_runconfig_rep);
+  ]
+  @ List.filter_map
+      (fun fs_entry ->
+        if fs_entry.Registry.fs_name = "beegfs" then None
+          (* beegfs runs in the quick set above *)
+        else
+          Some
+            ( "rep equals brute force: " ^ fs_entry.Registry.fs_name,
+              `Slow,
+              test_rep_equals_brute_fs fs_entry ))
+      Registry.file_systems

@@ -220,10 +220,11 @@ let test_mode_roundtrip () =
     (fun m ->
       check cb (D.mode_to_string m) true
         (D.mode_of_string (D.mode_to_string m) = Some m))
-    [ D.Brute_force; D.Pruned; D.Optimized ];
+    [ D.Brute_force; D.Pruned; D.Optimized; D.Representative ];
   check cb "aliases accepted" true
     (D.mode_of_string "brute" = Some D.Brute_force
-    && D.mode_of_string "pruned" = Some D.Pruned);
+    && D.mode_of_string "pruned" = Some D.Pruned
+    && D.mode_of_string "rep" = Some D.Representative);
   check cb "unknown rejected" true (D.mode_of_string "warp" = None)
 
 (* --- report determinism across schedulers --------------------------------- *)
